@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the cache substrate: single-bank access,
+//! DNUCA access under each mode, and partition-plan application.
+
+use bap_cache::{AccessKind, AggregationScheme, BankAllocation, CacheBank, DnucaL2, PartitionPlan};
+use bap_types::{BankId, BlockAddr, CacheGeometry, CoreId, Topology};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bank_geom() -> CacheGeometry {
+    CacheGeometry::new(256 * 8 * 64, 8, 64)
+}
+
+fn bench_bank_access(c: &mut Criterion) {
+    let mut bank = CacheBank::new(BankId(0), bank_geom(), 8);
+    // Warm a working set.
+    for i in 0..1024u64 {
+        bank.access(BlockAddr(i), CoreId(0), AccessKind::Read);
+        bank.fill_unrestricted(BlockAddr(i), CoreId(0), false);
+    }
+    let mut i = 0u64;
+    c.bench_function("bank_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(bank.access(BlockAddr(i), CoreId(0), AccessKind::Read))
+        })
+    });
+}
+
+fn dnuca(mode: &str) -> DnucaL2 {
+    let mut l2 = DnucaL2::new(16, bank_geom(), 8);
+    match mode {
+        "dnuca" => l2.set_shared_dnuca(&Topology::baseline(), 2),
+        "static" => l2.set_shared_static(),
+        _ => {
+            let plan = PartitionPlan::equal(8, 16, 8);
+            l2.apply_plan(plan, AggregationScheme::Parallel);
+        }
+    }
+    l2
+}
+
+fn bench_dnuca_modes(c: &mut Criterion) {
+    for mode in ["dnuca", "static", "partitioned"] {
+        let mut l2 = dnuca(mode);
+        let mut i = 0u64;
+        c.bench_function(&format!("l2_access_{mode}"), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9);
+                let core = CoreId((i % 8) as u8);
+                black_box(l2.access(BlockAddr(i % 65_536), core, AccessKind::Read))
+            })
+        });
+    }
+}
+
+fn bench_plan_application(c: &mut Criterion) {
+    let mut l2 = DnucaL2::new(16, bank_geom(), 8);
+    let mut plan = PartitionPlan::empty(8, 16, 8);
+    for core in 0..8 {
+        plan.per_core[core] = vec![
+            BankAllocation {
+                bank: BankId(core as u8),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(8 + core as u8),
+                ways: 8,
+            },
+        ];
+    }
+    c.bench_function("apply_plan", |b| {
+        b.iter(|| l2.apply_plan(black_box(plan.clone()), AggregationScheme::Parallel))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bank_access,
+    bench_dnuca_modes,
+    bench_plan_application
+);
+criterion_main!(benches);
+
+// ---- appended: coherence directory micro-bench ----
+mod coherence_bench {
+    use super::*;
+    use bap_coherence::{Directory, Request, ShardedDirectory};
+
+    pub fn bench_directory(c: &mut Criterion) {
+        let mut d = Directory::new();
+        let mut i = 0u64;
+        c.bench_function("directory_get_s", |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(d.request(CoreId((i % 8) as u8), BlockAddr(i % 4096), Request::GetS))
+            })
+        });
+        let mut sharded = ShardedDirectory::new(16);
+        c.bench_function("sharded_directory_get_s", |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(sharded.request(
+                    CoreId((i % 8) as u8),
+                    BlockAddr(i % 4096),
+                    Request::GetS,
+                ))
+            })
+        });
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the MSA profiler: observe throughput for
+//! the reference and hardware configurations, and curve construction.
+
+use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+use bap_types::BlockAddr;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_observe(c: &mut Criterion) {
+    for (label, cfg) in [
+        ("reference", ProfilerConfig::reference(2048, 72)),
+        ("hardware", ProfilerConfig::paper_hardware(2048)),
+    ] {
+        let mut p = StackProfiler::new(cfg);
+        let mut i = 0u64;
+        c.bench_function(&format!("profiler_observe_{label}"), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                p.observe(black_box(BlockAddr(i % 300_000)));
+            })
+        });
+    }
+}
+
+fn bench_curve_build(c: &mut Criterion) {
+    let mut p = StackProfiler::new(ProfilerConfig::reference(2048, 72));
+    let mut i = 0u64;
+    for _ in 0..500_000 {
+        i = i.wrapping_add(0x9E37_79B9);
+        p.observe(BlockAddr(i % 100_000));
+    }
+    c.bench_function("curve_from_histogram", |b| {
+        b.iter(|| black_box(MissRatioCurve::from_histogram(p.histogram(), 1.0)))
+    });
+}
+
+fn bench_banked_dram(c: &mut Criterion) {
+    use bap_dram::{BankedDram, BankedDramConfig};
+    let mut d = BankedDram::new(BankedDramConfig::default());
+    let mut i = 0u64;
+    c.bench_function("banked_dram_read", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(37);
+            black_box(d.read_block(bap_types::BlockAddr(i % 1_000_000), i))
+        })
+    });
+}
+
+criterion_group!(benches, bench_observe, bench_curve_build, bench_banked_dram);
+criterion_main!(benches);

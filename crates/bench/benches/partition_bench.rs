@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the partitioning algorithms themselves —
+//! the repartitioning work done at every epoch boundary, which the paper
+//! argues is cheap enough for a 100 M-cycle cadence.
+
+use bap_core::{bank_aware_partition, unrestricted_partition, BankAwareConfig};
+use bap_msa::MissRatioCurve;
+use bap_types::Topology;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Eight synthetic curves with assorted knees (what the profilers yield).
+fn curves() -> Vec<MissRatioCurve> {
+    (0..8)
+        .map(|c| {
+            let knee = 4 + c * 9;
+            let misses: Vec<f64> = (0..=72)
+                .map(|w| {
+                    if w >= knee {
+                        50.0
+                    } else {
+                        5000.0 - (5000.0 - 50.0) * w as f64 / knee as f64
+                    }
+                })
+                .collect();
+            MissRatioCurve::from_misses(misses, 5000.0)
+        })
+        .collect()
+}
+
+fn bench_unrestricted(c: &mut Criterion) {
+    let curves = curves();
+    c.bench_function("unrestricted_partition", |b| {
+        b.iter(|| black_box(unrestricted_partition(black_box(&curves), 128, 1, 72)))
+    });
+}
+
+fn bench_bank_aware(c: &mut Criterion) {
+    let curves = curves();
+    let topo = Topology::baseline();
+    let cfg = BankAwareConfig::default();
+    c.bench_function("bank_aware_partition", |b| {
+        b.iter(|| black_box(bank_aware_partition(black_box(&curves), &topo, 8, &cfg)))
+    });
+}
+
+criterion_group!(benches, bench_unrestricted, bench_bank_aware);
+criterion_main!(benches);

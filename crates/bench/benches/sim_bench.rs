@@ -1,0 +1,34 @@
+//! Criterion benchmark of whole-system simulation throughput
+//! (instructions simulated per wall-clock second drives every experiment's
+//! runtime budget).
+
+use bap_core::Policy;
+use bap_system::{SimOptions, System};
+use bap_types::SystemConfig;
+use bap_workloads::spec_by_name;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_system_run(c: &mut Criterion) {
+    let specs: Vec<_> = [
+        "mcf", "twolf", "art", "sixtrack", "gcc", "gap", "vpr", "eon",
+    ]
+    .iter()
+    .map(|n| spec_by_name(n).expect("catalog"))
+    .collect();
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    for policy in [Policy::NoPartition, Policy::BankAware] {
+        group.bench_function(format!("run_100k_insts_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut opts = SimOptions::new(SystemConfig::scaled(64), policy);
+                opts.warmup_instructions = 0;
+                opts.measure_instructions = 100_000 / 8;
+                black_box(System::new(opts, specs.clone()).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_system_run);
+criterion_main!(benches);

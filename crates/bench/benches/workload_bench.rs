@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks of workload generation: order-statistic
+//! treap operations and end-to-end stream throughput.
+
+use bap_workloads::{spec_by_name, AddressStream, LruStack};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_treap(c: &mut Criterion) {
+    let mut stack = LruStack::new(7);
+    for v in 0..100_000u64 {
+        stack.push_front(v);
+    }
+    let mut i = 0usize;
+    c.bench_function("lru_stack_touch_deep", |b| {
+        b.iter(|| {
+            i = (i * 31 + 7) % 90_000;
+            black_box(stack.touch_at(i))
+        })
+    });
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let spec = spec_by_name("mcf").expect("catalog");
+    let mut stream = AddressStream::new(spec, 2048, 1, 3);
+    c.bench_function("address_stream_next", |b| {
+        b.iter(|| black_box(stream.next()))
+    });
+}
+
+criterion_group!(benches, bench_treap, bench_stream);
+criterion_main!(benches);

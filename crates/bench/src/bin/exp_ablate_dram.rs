@@ -1,0 +1,76 @@
+//! Memory-model ablation — flat Table I pipe vs banked DRAM with row
+//! buffers.
+//!
+//! Partitioning shapes the *address stream* memory sees: protected working
+//! sets stop thrashing, so fewer scattered misses reach DRAM and the
+//! surviving traffic is more row-local (streams). This run repeats one
+//! Table III set under both memory models.
+
+use bap_bench::common::{write_json, Args};
+use bap_bench::detailed::sim_options;
+use bap_bench::mixes::{resolve, table3_sets};
+use bap_core::Policy;
+use bap_system::System;
+use bap_types::config::DramKind;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DramRow {
+    dram: String,
+    policy: String,
+    misses: u64,
+    mean_cpi: f64,
+    row_hit_rate: Option<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let mix = table3_sets(args.seed).remove(0);
+    let cases: Vec<(DramKind, Policy)> = [DramKind::Flat, DramKind::Banked]
+        .into_iter()
+        .flat_map(|d| {
+            [Policy::NoPartition, Policy::Equal, Policy::BankAware]
+                .into_iter()
+                .map(move |p| (d, p))
+        })
+        .collect();
+    let rows: Vec<DramRow> = cases
+        .par_iter()
+        .map(|&(dram, policy)| {
+            let mut opts = sim_options(&args, policy);
+            opts.config.dram_kind = dram;
+            let r = System::new(opts, resolve(&mix)).run();
+            DramRow {
+                dram: format!("{dram:?}"),
+                policy: format!("{policy:?}"),
+                misses: r.total_l2_misses(),
+                mean_cpi: r.mean_cpi(),
+                row_hit_rate: r.dram_rows.as_ref().map(|s| s.hit_rate()),
+            }
+        })
+        .collect();
+
+    println!("Memory-model ablation (mix: {})", mix.join(", "));
+    println!(
+        "{:>7} {:>13} {:>10} {:>8} {:>13}",
+        "dram", "policy", "misses", "CPI", "row hit rate"
+    );
+    for r in &rows {
+        println!(
+            "{:>7} {:>13} {:>10} {:>8.3} {:>13}",
+            r.dram,
+            r.policy,
+            r.misses,
+            r.mean_cpi,
+            r.row_hit_rate.map_or("-".into(), |h| format!("{h:.3}")),
+        );
+    }
+    println!("\nexpected: the policy ordering holds under both models. Note the");
+    println!("near-zero row-hit rate: eight interleaved miss streams destroy row");
+    println!("locality under FCFS scheduling — cache partitioning alone does not");
+    println!("manage memory-side interference, which is exactly the motivation");
+    println!("for the authors' follow-up bandwidth-aware resource management work.");
+    let path = write_json("ablate_dram", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! Design ablation — repartitioning epoch length.
+//!
+//! The paper fixes epochs at 100 M cycles without sensitivity data. This
+//! sweep runs one Table III set under Bank-aware with epochs from very
+//! short (noisy profiles, frequent reconfiguration) to very long (stale
+//! assignments), reporting the miss ratio and CPI.
+
+use bap_bench::common::{write_json, Args};
+use bap_bench::detailed::sim_options;
+use bap_bench::mixes::{resolve, table3_sets};
+use bap_core::Policy;
+use bap_system::System;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EpochRow {
+    epoch_cycles: u64,
+    epochs_fired: u64,
+    miss_ratio: f64,
+    mean_cpi: f64,
+    total_misses: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let mix = table3_sets(args.seed).remove(0);
+    let base = sim_options(&args, Policy::BankAware);
+    let sweep: Vec<u64> = vec![
+        base.config.epoch_cycles / 16,
+        base.config.epoch_cycles / 4,
+        base.config.epoch_cycles,
+        base.config.epoch_cycles * 4,
+        base.config.epoch_cycles * 16,
+    ];
+    let rows: Vec<EpochRow> = sweep
+        .par_iter()
+        .map(|&epoch| {
+            let mut opts = sim_options(&args, Policy::BankAware);
+            opts.config.epoch_cycles = epoch;
+            let r = System::new(opts, resolve(&mix)).run();
+            EpochRow {
+                epoch_cycles: epoch,
+                epochs_fired: r.epochs,
+                miss_ratio: r.l2_miss_ratio(),
+                mean_cpi: r.mean_cpi(),
+                total_misses: r.total_l2_misses(),
+            }
+        })
+        .collect();
+
+    println!("Epoch-length ablation (mix: {})", mix.join(", "));
+    println!(
+        "{:>14} {:>8} {:>11} {:>9} {:>12}",
+        "epoch cycles", "fired", "miss ratio", "CPI", "misses"
+    );
+    for r in &rows {
+        println!(
+            "{:>14} {:>8} {:>11.3} {:>9.3} {:>12}",
+            r.epoch_cycles, r.epochs_fired, r.miss_ratio, r.mean_cpi, r.total_misses
+        );
+    }
+    let path = write_json("ablate_epoch", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Run every experiment in sequence (the full reproduction pass).
+//!
+//! ```sh
+//! cargo run --release -p bap-bench --bin exp_all            # full budgets
+//! cargo run --release -p bap-bench --bin exp_all -- --quick # smoke pass
+//! ```
+//!
+//! Each experiment is spawned as its own binary so their outputs and JSON
+//! artefacts are identical to running them individually.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table2",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig7",
+    "exp_table3",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_ablate_aggregation",
+    "exp_ablate_profiler",
+    "exp_ablate_epoch",
+    "exp_ablate_maxcap",
+    "exp_ablate_replacement",
+    "exp_fairness",
+    "exp_ablate_phases",
+    "exp_scalability",
+    "exp_ablate_floorplan",
+    "exp_ablate_dram",
+    "exp_ablate_isolation",
+    "exp_validation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    for exp in EXPERIMENTS {
+        println!("\n================ {exp} ================");
+        let status = Command::new(bin_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+    println!("\nall experiments complete; see results/ and EXPERIMENTS.md");
+}

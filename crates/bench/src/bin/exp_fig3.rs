@@ -1,0 +1,59 @@
+//! Fig. 3 — cumulative miss-ratio curves of the three exemplar workloads.
+//!
+//! The paper plots `sixtrack` (sharp knee ≈6 ways), `bzip2` (gradual decline
+//! to ≈45 ways) and `applu` (knee ≈10 ways, flat residual after). Each
+//! analogue runs stand-alone; its MSA profile is projected over dedicated
+//! way counts.
+
+use bap_bench::common::{write_json, Args};
+use bap_msa::ProfilerConfig;
+use bap_system::profile_workload;
+use bap_types::SystemConfig;
+use bap_workloads::spec_by_name;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    workload: String,
+    ways: Vec<usize>,
+    cumulative_miss_ratio: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SystemConfig::scaled(args.scale);
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), 72);
+    let budget = if args.quick { 1_000_000 } else { 20_000_000 };
+
+    let mut curves = Vec::new();
+    for name in ["sixtrack", "bzip2", "applu"] {
+        let spec = spec_by_name(name).expect("catalog");
+        let curve = profile_workload(&spec, &cfg, pcfg, budget, args.seed);
+        let ways: Vec<usize> = (1..=56).collect();
+        let ratios: Vec<f64> = ways.iter().map(|&w| curve.miss_ratio_at(w)).collect();
+        curves.push(Curve {
+            workload: name.into(),
+            ways,
+            cumulative_miss_ratio: ratios,
+        });
+    }
+
+    println!("Fig. 3 — cumulative miss ratio vs dedicated cache ways");
+    print!("{:>5}", "ways");
+    for c in &curves {
+        print!("{:>10}", c.workload);
+    }
+    println!();
+    for (i, &w) in curves[0].ways.iter().enumerate() {
+        if w % 4 != 0 && w != 1 {
+            continue;
+        }
+        print!("{w:>5}");
+        for c in &curves {
+            print!("{:>10.3}", c.cumulative_miss_ratio[i]);
+        }
+        println!();
+    }
+    let path = write_json("fig3_curves", &curves);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! Fig. 7 — Monte Carlo comparison of Unrestricted vs Bank-aware
+//! partitioning over 1000 random 8-workload mixes (§IV-A).
+//!
+//! Projected miss rates relative to fixed even shares, sorted by the
+//! Unrestricted reduction, plus the headline averages (paper: Unrestricted
+//! ≈30 % reduction, Bank-aware ≈27 %).
+
+use bap_bench::common::{write_json, Args};
+use bap_bench::mc::{build_library, evaluate_mix, MixOutcome};
+use bap_bench::mixes::monte_carlo_mixes;
+use bap_types::{SystemConfig, Topology};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7 {
+    sorted_unrestricted_relative: Vec<f64>,
+    sorted_bank_aware_relative: Vec<f64>,
+    mean_unrestricted_relative: f64,
+    mean_bank_aware_relative: f64,
+    mixes: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SystemConfig::scaled(args.scale);
+    let profile_instructions = if args.quick { 1_000_000 } else { 20_000_000 };
+    let num_mixes = if args.quick { 100 } else { 1000 };
+
+    eprintln!("profiling 26 workload analogues...");
+    let lib = build_library(&cfg, profile_instructions, args.seed);
+    let topo = Topology::baseline();
+
+    eprintln!("evaluating {num_mixes} random mixes...");
+    let mixes = monte_carlo_mixes(args.seed, num_mixes, 8);
+    let mut outcomes: Vec<MixOutcome> = mixes
+        .par_iter()
+        .map(|m| evaluate_mix(&lib, m, &topo))
+        .collect();
+
+    // Sort by the Unrestricted reduction, as the paper plots it.
+    outcomes.sort_by(|a, b| {
+        a.unrestricted_relative()
+            .partial_cmp(&b.unrestricted_relative())
+            .expect("finite")
+    });
+    let unrestricted: Vec<f64> = outcomes.iter().map(|o| o.unrestricted_relative()).collect();
+    let bank_aware: Vec<f64> = outcomes.iter().map(|o| o.bank_aware_relative()).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    let out = Fig7 {
+        mean_unrestricted_relative: mean(&unrestricted),
+        mean_bank_aware_relative: mean(&bank_aware),
+        sorted_unrestricted_relative: unrestricted,
+        sorted_bank_aware_relative: bank_aware,
+        mixes: outcomes.len(),
+    };
+
+    println!(
+        "Fig. 7 — relative miss ratio to fixed even shares ({} mixes)",
+        out.mixes
+    );
+    println!(
+        "{:>11} {:>14} {:>12}",
+        "percentile", "unrestricted", "bank-aware"
+    );
+    for pct in [0usize, 10, 25, 50, 75, 90, 100] {
+        let idx = (pct * (out.mixes - 1)) / 100;
+        println!(
+            "{pct:>10}% {:>14.3} {:>12.3}",
+            out.sorted_unrestricted_relative[idx], out.sorted_bank_aware_relative[idx]
+        );
+    }
+    println!(
+        "\nmean relative miss ratio: unrestricted {:.3} ({:.1}% reduction, paper ~30%)",
+        out.mean_unrestricted_relative,
+        100.0 * (1.0 - out.mean_unrestricted_relative)
+    );
+    println!(
+        "mean relative miss ratio: bank-aware   {:.3} ({:.1}% reduction, paper ~27%)",
+        out.mean_bank_aware_relative,
+        100.0 * (1.0 - out.mean_bank_aware_relative)
+    );
+    let path = write_json("fig7_monte_carlo", &out);
+    println!("wrote {}", path.display());
+}

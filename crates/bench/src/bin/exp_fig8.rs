@@ -1,0 +1,61 @@
+//! Fig. 8 — relative miss rate of Equal-partitions and Bank-aware over
+//! No-partitions, for the eight Table III sets (detailed simulation).
+
+use bap_bench::common::{write_json, Args};
+use bap_bench::detailed::run_all_cached;
+use bap_types::stats::geometric_mean;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8 {
+    sets: Vec<Vec<String>>,
+    relative_equal: Vec<f64>,
+    relative_bank_aware: Vec<f64>,
+    gm_equal: f64,
+    gm_bank_aware: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let results = run_all_cached(&args);
+
+    let mut rel_eq = Vec::new();
+    let mut rel_ba = Vec::new();
+    for runs in &results.runs {
+        let none = runs[0].misses.max(1) as f64;
+        rel_eq.push(runs[1].misses as f64 / none);
+        rel_ba.push(runs[2].misses as f64 / none);
+    }
+    let out = Fig8 {
+        sets: results.sets.clone(),
+        gm_equal: geometric_mean(&rel_eq),
+        gm_bank_aware: geometric_mean(&rel_ba),
+        relative_equal: rel_eq,
+        relative_bank_aware: rel_ba,
+    };
+
+    println!("Fig. 8 — relative L2 miss rate over the No-partitions scheme");
+    println!("{:>6} {:>14} {:>12}", "set", "equal", "bank-aware");
+    for i in 0..out.relative_equal.len() {
+        println!(
+            "{:>6} {:>14.3} {:>12.3}",
+            format!("Set{}", i + 1),
+            out.relative_equal[i],
+            out.relative_bank_aware[i]
+        );
+    }
+    println!(
+        "{:>6} {:>14.3} {:>12.3}",
+        "GM", out.gm_equal, out.gm_bank_aware
+    );
+    println!(
+        "\nbank-aware vs no-partitions: {:.1}% miss reduction (paper ~70%)",
+        100.0 * (1.0 - out.gm_bank_aware)
+    );
+    println!(
+        "bank-aware vs equal:         {:.1}% miss reduction (paper ~25%)",
+        100.0 * (1.0 - out.gm_bank_aware / out.gm_equal)
+    );
+    let path = write_json("fig8_relative_miss", &out);
+    println!("wrote {}", path.display());
+}

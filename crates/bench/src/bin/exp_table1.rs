@@ -1,0 +1,67 @@
+//! Table I — the baseline DNUCA-CMP parameters, including the derived
+//! NUCA latency table of the floorplan model.
+
+use bap_bench::common::write_json;
+use bap_types::{BankId, CoreId, SystemConfig, Topology};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table1 {
+    config: SystemConfig,
+    latency_core0: Vec<u64>,
+}
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let topo = Topology::baseline();
+
+    println!("Table I — baseline DNUCA-CMP parameters");
+    println!(
+        "  L1 D cache      : {} KB, {}-way, {} cycles, {} B blocks",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.ways,
+        cfg.l1_latency,
+        cfg.l1.block_bytes
+    );
+    println!(
+        "  L2 cache        : {} MB ({} x {} MB banks), {}-way, {}-{} cycles, {} B blocks",
+        cfg.l2.total_bytes() >> 20,
+        cfg.l2.num_banks,
+        cfg.l2.bank.size_bytes >> 20,
+        cfg.l2.bank.ways,
+        cfg.l2_min_latency,
+        cfg.l2_max_latency,
+        cfg.l2.bank.block_bytes
+    );
+    println!("  Memory latency  : {} cycles", cfg.mem_latency);
+    println!(
+        "  Memory bandwidth: {} B/cycle (64 GB/s @ 4 GHz)",
+        cfg.mem_bytes_per_cycle
+    );
+    println!("  Outstanding req : {} / core", cfg.outstanding_per_core);
+    println!(
+        "  Pipeline        : {} stages / {}-wide",
+        cfg.pipeline_stages, cfg.width
+    );
+    println!(
+        "  ROB / scheduler : {} / {} entries",
+        cfg.rob_entries, cfg.scheduler_entries
+    );
+    println!("  Epoch           : {} cycles", cfg.epoch_cycles);
+
+    println!("\nDerived NUCA latencies from core 0 (cycles):");
+    let lat: Vec<u64> = (0..16)
+        .map(|b| topo.latency(CoreId(0), BankId(b)))
+        .collect();
+    println!("  local banks 0..7 : {:?}", &lat[..8]);
+    println!("  center banks 8..15: {:?}", &lat[8..]);
+
+    let path = write_json(
+        "table1_config",
+        &Table1 {
+            config: cfg,
+            latency_core0: lat,
+        },
+    );
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,56 @@
+//! Table II — hardware overhead of the proposed MSA profiler.
+
+use bap_bench::common::write_json;
+use bap_msa::overhead::kbits;
+use bap_msa::OverheadModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2 {
+    model: OverheadModel,
+    partial_tags_kbits: f64,
+    lru_stack_kbits: f64,
+    hit_counters_kbits: f64,
+    total_per_profiler_kbits: f64,
+    fraction_of_16mb_llc: f64,
+}
+
+fn main() {
+    let m = OverheadModel::paper();
+    let out = Table2 {
+        partial_tags_kbits: kbits(m.partial_tag_bits()),
+        lru_stack_kbits: kbits(m.lru_stack_bits()),
+        hit_counters_kbits: kbits(m.hit_counter_bits()),
+        total_per_profiler_kbits: kbits(m.total_bits_per_profiler()),
+        fraction_of_16mb_llc: m.fraction_of_llc(16 * 1024 * 1024),
+        model: m,
+    };
+    println!("Table II — overhead of the proposed MSA profiler");
+    println!(
+        "  {:<28} {:>10}  (paper: 54 kbits)",
+        "Partial tags",
+        format!("{:.2} kbits", out.partial_tags_kbits)
+    );
+    println!(
+        "  {:<28} {:>10}  (paper: 27 kbits)",
+        "LRU stack distance impl.",
+        format!("{:.2} kbits", out.lru_stack_kbits)
+    );
+    println!(
+        "  {:<28} {:>10}  (paper: 2.25 kbits)",
+        "Hit counters",
+        format!("{:.2} kbits", out.hit_counters_kbits)
+    );
+    println!(
+        "  {:<28} {:>10}",
+        "Total per profiler",
+        format!("{:.2} kbits", out.total_per_profiler_kbits)
+    );
+    println!(
+        "  {:<28} {:>9.2}%  (paper: ~0.4%)",
+        "All 8 profilers / 16 MB LLC",
+        100.0 * out.fraction_of_16mb_llc
+    );
+    let path = write_json("table2_overhead", &out);
+    println!("\nwrote {}", path.display());
+}

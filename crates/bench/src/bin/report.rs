@@ -1,0 +1,343 @@
+//! Render `results/*.json` into a single self-contained HTML report with
+//! inline SVG charts — the paper's figures, regenerated.
+//!
+//! ```sh
+//! cargo run --release -p bap-bench --bin report
+//! # → results/report.html
+//! ```
+
+use bap_bench::common::{read_json, results_dir};
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// One chart series: (name, colour, points).
+type Series<'a> = (&'a str, &'a str, Vec<(f64, f64)>);
+/// An owned chart series (name built at run time).
+type OwnedSeries = (String, &'static str, Vec<(f64, f64)>);
+
+const W: f64 = 640.0;
+const H: f64 = 300.0;
+const ML: f64 = 56.0; // left margin
+const MB: f64 = 36.0; // bottom margin
+const MT: f64 = 18.0;
+
+/// Map a data point into the plot area.
+fn xy(x: f64, x_max: f64, y: f64, y_max: f64) -> (f64, f64) {
+    let px = ML + (x / x_max) * (W - ML - 12.0);
+    let py = (H - MB) - (y / y_max).min(1.0) * (H - MB - MT);
+    (px, py)
+}
+
+fn axes(svg: &mut String, y_max: f64, x_label: &str, y_label: &str) {
+    let _ = write!(
+        svg,
+        r##"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{y0}" stroke="#333"/>
+<line x1="{ML}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#333"/>
+<text x="{xm}" y="{ylab}" font-size="11" text-anchor="middle">{x_label}</text>
+<text x="14" y="{ym}" font-size="11" text-anchor="middle" transform="rotate(-90 14 {ym})">{y_label}</text>
+<text x="{tick}" y="{ty}" font-size="10" text-anchor="end">{y_max:.2}</text>
+<text x="{tick}" y="{by}" font-size="10" text-anchor="end">0</text>"##,
+        y0 = H - MB,
+        x1 = W - 8.0,
+        xm = (ML + W) / 2.0,
+        ylab = H - 8.0,
+        ym = H / 2.0,
+        tick = ML - 4.0,
+        ty = MT + 10.0,
+        by = H - MB,
+    );
+}
+
+/// A multi-series line chart.
+fn line_chart(title: &str, series: &[Series], x_label: &str, y_label: &str) -> String {
+    let x_max = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().map(|p| p.0))
+        .fold(1.0f64, f64::max);
+    let y_max = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().map(|p| p.1))
+        .fold(1e-9f64, f64::max)
+        * 1.05;
+    let mut svg = format!(
+        r##"<svg viewBox="0 0 {W} {H}" width="{W}" xmlns="http://www.w3.org/2000/svg">
+<text x="{}" y="12" font-size="13" text-anchor="middle" font-weight="bold">{title}</text>"##,
+        W / 2.0
+    );
+    axes(&mut svg, y_max, x_label, y_label);
+    for (i, (name, colour, pts)) in series.iter().enumerate() {
+        let path: Vec<String> = pts
+            .iter()
+            .enumerate()
+            .map(|(j, &(x, y))| {
+                let (px, py) = xy(x, x_max, y, y_max);
+                format!("{}{px:.1},{py:.1}", if j == 0 { "M" } else { "L" })
+            })
+            .collect();
+        let _ = write!(
+            svg,
+            r##"<path d="{}" fill="none" stroke="{colour}" stroke-width="1.8"/>
+<text x="{}" y="{}" font-size="11" fill="{colour}">{name}</text>"##,
+            path.join(" "),
+            W - 140.0,
+            MT + 14.0 * (i as f64 + 1.0),
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// A grouped bar chart: one group per label, one bar per series.
+fn bar_chart(
+    title: &str,
+    labels: &[String],
+    series: &[(&str, &str, Vec<f64>)],
+    y_label: &str,
+) -> String {
+    let y_max = series
+        .iter()
+        .flat_map(|(_, _, v)| v.iter().copied())
+        .fold(1e-9f64, f64::max)
+        * 1.1;
+    let mut svg = format!(
+        r##"<svg viewBox="0 0 {W} {H}" width="{W}" xmlns="http://www.w3.org/2000/svg">
+<text x="{}" y="12" font-size="13" text-anchor="middle" font-weight="bold">{title}</text>"##,
+        W / 2.0
+    );
+    axes(&mut svg, y_max, "", y_label);
+    let plot_w = W - ML - 12.0;
+    let group_w = plot_w / labels.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+    for (g, label) in labels.iter().enumerate() {
+        let gx = ML + g as f64 * group_w;
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{}" font-size="10" text-anchor="middle">{label}</text>"##,
+            gx + group_w / 2.0,
+            H - MB + 14.0
+        );
+        for (sidx, (_, colour, values)) in series.iter().enumerate() {
+            let v = values.get(g).copied().unwrap_or(0.0);
+            let h = (v / y_max).min(1.0) * (H - MB - MT);
+            let _ = write!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{colour}"/>"##,
+                gx + group_w * 0.1 + sidx as f64 * bar_w,
+                (H - MB) - h,
+                bar_w * 0.92,
+                h
+            );
+        }
+    }
+    for (i, (name, colour, _)) in series.iter().enumerate() {
+        let _ = write!(
+            svg,
+            r##"<text x="{}" y="{}" font-size="11" fill="{colour}">{name}</text>"##,
+            W - 150.0,
+            MT + 14.0 * (i as f64 + 1.0),
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn section(html: &mut String, title: &str, body: &str) {
+    let _ = write!(html, "<h2>{title}</h2>\n{body}\n");
+}
+
+fn main() {
+    let mut html = String::from(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>bankaware — reproduction report</title>\
+         <style>body{font-family:sans-serif;max-width:760px;margin:2em auto;}\
+         h2{border-bottom:1px solid #ccc;padding-bottom:4px;}</style></head><body>\
+         <h1>Bank-aware Dynamic Cache Partitioning — reproduction report</h1>\
+         <p>Charts regenerated from <code>results/*.json</code>. Paper: Kaseridis,\
+         Stuecheli, John, ICPP 2009.</p>",
+    );
+
+    // Fig. 3 — miss-ratio curves.
+    if let Some(curves) = read_json::<Vec<Value>>("fig3_curves") {
+        let colours = ["#1f77b4", "#d62728", "#2ca02c"];
+        let series: Vec<OwnedSeries> = curves
+            .iter()
+            .zip(colours)
+            .map(|(c, colour)| {
+                let name = c["workload"].as_str().unwrap_or("?").to_string();
+                let ways = c["ways"].as_array().cloned().unwrap_or_default();
+                let ratios = c["cumulative_miss_ratio"]
+                    .as_array()
+                    .cloned()
+                    .unwrap_or_default();
+                let pts = ways
+                    .iter()
+                    .zip(&ratios)
+                    .map(|(w, r)| (w.as_f64().unwrap_or(0.0), r.as_f64().unwrap_or(0.0)))
+                    .collect();
+                (name, colour, pts)
+            })
+            .collect();
+        let series_ref: Vec<Series> = series
+            .iter()
+            .map(|(n, c, p)| (n.as_str(), *c, p.clone()))
+            .collect();
+        section(
+            &mut html,
+            "Fig. 3 — cumulative miss ratio vs dedicated ways",
+            &line_chart("", &series_ref, "dedicated cache ways", "miss ratio"),
+        );
+    }
+
+    // Fig. 7 — Monte Carlo curves.
+    if let Some(mc) = read_json::<Value>("fig7_monte_carlo") {
+        let to_pts = |key: &str| -> Vec<(f64, f64)> {
+            mc[key]
+                .as_array()
+                .map(|a| {
+                    a.iter()
+                        .enumerate()
+                        .map(|(i, v)| (i as f64, v.as_f64().unwrap_or(1.0)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let series = vec![
+            (
+                "unrestricted",
+                "#1f77b4",
+                to_pts("sorted_unrestricted_relative"),
+            ),
+            (
+                "bank-aware",
+                "#d62728",
+                to_pts("sorted_bank_aware_relative"),
+            ),
+        ];
+        section(
+            &mut html,
+            "Fig. 7 — relative miss ratio to fixed even shares (1000 mixes)",
+            &line_chart(
+                "",
+                &series,
+                "mix (sorted by unrestricted)",
+                "relative miss ratio",
+            ),
+        );
+    }
+
+    // Figs. 8/9 — relative bars.
+    for (file, title, paper) in [
+        (
+            "fig8_relative_miss",
+            "Fig. 8 — relative L2 miss rate over No-partitions",
+            "paper GM ≈ 0.30",
+        ),
+        (
+            "fig9_relative_cpi",
+            "Fig. 9 — relative CPI over No-partitions",
+            "paper GM ≈ 0.57",
+        ),
+    ] {
+        if let Some(fig) = read_json::<Value>(file) {
+            let eq: Vec<f64> = fig["relative_equal"]
+                .as_array()
+                .map(|a| a.iter().filter_map(Value::as_f64).collect())
+                .unwrap_or_default();
+            let ba: Vec<f64> = fig["relative_bank_aware"]
+                .as_array()
+                .map(|a| a.iter().filter_map(Value::as_f64).collect())
+                .unwrap_or_default();
+            let mut labels: Vec<String> = (1..=eq.len()).map(|i| format!("Set{i}")).collect();
+            let mut eq = eq;
+            let mut ba = ba;
+            eq.push(fig["gm_equal"].as_f64().unwrap_or(0.0));
+            ba.push(fig["gm_bank_aware"].as_f64().unwrap_or(0.0));
+            labels.push("GM".into());
+            let series = vec![("equal", "#7f7f7f", eq), ("bank-aware", "#d62728", ba)];
+            section(
+                &mut html,
+                &format!("{title} ({paper})"),
+                &bar_chart("", &labels, &series, "relative to no-partitions"),
+            );
+        }
+    }
+
+    // Aggregation ablation — migrations and energy bars.
+    if let Some(rows) = read_json::<Vec<Value>>("ablate_aggregation") {
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|r| r["scheme"].as_str().unwrap_or("?").to_string())
+            .collect();
+        let grab = |key: &str| -> Vec<f64> {
+            rows.iter()
+                .map(|r| r[key].as_f64().unwrap_or(0.0))
+                .collect()
+        };
+        section(
+            &mut html,
+            "§III-B — bank-aggregation schemes",
+            &bar_chart(
+                "",
+                &labels,
+                &[
+                    (
+                        "migrations / 1k accesses",
+                        "#d62728",
+                        grab("migrations_per_1k"),
+                    ),
+                    (
+                        "tag probes / 1k ÷ 100",
+                        "#1f77b4",
+                        grab("probes_per_1k").iter().map(|v| v / 100.0).collect(),
+                    ),
+                ],
+                "per 1000 L2 accesses",
+            ),
+        );
+    }
+
+    // Epoch-length sensitivity.
+    if let Some(rows) = read_json::<Vec<Value>>("ablate_epoch") {
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as f64, r["miss_ratio"].as_f64().unwrap_or(0.0)))
+            .collect();
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{}", r["epoch_cycles"].as_u64().unwrap_or(0)))
+            .collect();
+        section(
+            &mut html,
+            &format!("Epoch-length sensitivity (cycles: {})", labels.join(", ")),
+            &line_chart(
+                "",
+                &[("miss ratio", "#2ca02c", pts)],
+                "epoch (index into the sweep)",
+                "L2 miss ratio",
+            ),
+        );
+    }
+
+    // Phase adaptation.
+    if let Some(rows) = read_json::<Vec<Value>>("ablate_phases") {
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|r| r["configuration"].as_str().unwrap_or("?").to_string())
+            .collect();
+        let misses: Vec<f64> = rows
+            .iter()
+            .map(|r| r["misses"].as_f64().unwrap_or(0.0))
+            .collect();
+        section(
+            &mut html,
+            "Phase adaptation — dynamic vs frozen vs equal",
+            &bar_chart("", &labels, &[("L2 misses", "#9467bd", misses)], "misses"),
+        );
+    }
+
+    let _ = write!(html, "</body></html>");
+    let path = results_dir().join("report.html");
+    std::fs::write(&path, html).expect("write report");
+    println!("wrote {}", path.display());
+}

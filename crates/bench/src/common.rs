@@ -1,0 +1,100 @@
+//! Shared experiment plumbing: argument parsing, result persistence.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Common experiment arguments (parsed from `std::env::args`).
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Master seed (`--seed N`), default 42.
+    pub seed: u64,
+    /// Geometry scale divisor for detailed sims (`--scale N`), default 8.
+    pub scale: u64,
+    /// Quick mode (`--quick`): shrink budgets ~10× for smoke runs.
+    pub quick: bool,
+    /// Shared-DNUCA chain depth override (`--chain N`).
+    pub chain: Option<usize>,
+    /// Number of independent seeds for statistics (`--seeds N`, default 1).
+    pub seeds: u64,
+}
+
+impl Args {
+    /// Parse from the process arguments.
+    pub fn parse() -> Args {
+        let mut args = Args {
+            seed: 42,
+            scale: 8,
+            quick: false,
+            chain: None,
+            seeds: 1,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--seed" => {
+                    i += 1;
+                    args.seed = argv[i].parse().expect("--seed takes an integer");
+                }
+                "--scale" => {
+                    i += 1;
+                    args.scale = argv[i].parse().expect("--scale takes an integer");
+                }
+                "--quick" => args.quick = true,
+                "--chain" => {
+                    i += 1;
+                    args.chain = Some(argv[i].parse().expect("--chain takes an integer"));
+                }
+                "--seeds" => {
+                    i += 1;
+                    args.seeds = argv[i].parse().expect("--seeds takes an integer");
+                    assert!(args.seeds >= 1, "--seeds must be at least 1");
+                }
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        args
+    }
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+/// Persist an experiment result as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialisable");
+    std::fs::write(&path, json).expect("write results file");
+    path
+}
+
+/// Load a previously written result, if present.
+pub fn read_json<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
+    let path = results_dir().join(format!("{name}.json"));
+    let data = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+/// Render one row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}

@@ -1,0 +1,138 @@
+//! Detailed-simulation runs shared by the Fig. 8 and Fig. 9 binaries.
+//!
+//! Each Table III set runs under the three policies (No-partitions,
+//! Equal-partitions, Bank-aware); the results are cached in `results/` so
+//! `exp_fig9` can reuse `exp_fig8`'s runs.
+
+use crate::common::Args;
+use crate::mixes::{resolve, table3_sets};
+use bap_core::Policy;
+use bap_system::{SimOptions, System};
+use bap_types::SystemConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Measured outcome of one (set, policy) run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolicyRun {
+    /// Total L2 misses over the measurement slice.
+    pub misses: u64,
+    /// Total L2 accesses.
+    pub accesses: u64,
+    /// Per-core CPI.
+    pub cpi: Vec<f64>,
+    /// Mean CPI across cores.
+    pub mean_cpi: f64,
+    /// Bank-aware way assignment at the end of the run (empty otherwise).
+    pub final_ways: Vec<usize>,
+    /// Repartitioning epochs fired during measurement.
+    pub epochs: u64,
+}
+
+/// All runs for the eight sets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DetailedResults {
+    /// The eight mixes.
+    pub sets: Vec<Vec<String>>,
+    /// Per set: runs under [NoPartition, Equal, BankAware].
+    pub runs: Vec<[PolicyRun; 3]>,
+    /// Provenance.
+    pub seed: u64,
+    /// Scale divisor used.
+    pub scale: u64,
+    /// Whether the run used the reduced quick budgets.
+    #[serde(default)]
+    pub quick: bool,
+}
+
+/// Budgets scaled from the paper's 100 M-warm-up / 200 M-slice / 100 M-epoch
+/// methodology.
+pub fn sim_options(args: &Args, policy: Policy) -> SimOptions {
+    let mut opts = SimOptions::new(SystemConfig::scaled(args.scale), policy);
+    let div = if args.quick { 10 } else { 1 };
+    opts.warmup_instructions = 2_000_000 / div;
+    opts.measure_instructions = 4_000_000 / div;
+    // The paper fires 2–4 100 M-cycle epochs per 200 M-instruction slice;
+    // keep the same proportion (a handful of epochs per slice, with a
+    // couple already during warm-up so a Bank-aware plan is in force when
+    // measurement starts).
+    opts.config.epoch_cycles = 2_000_000 / div;
+    if let Some(chain) = args.chain {
+        opts.shared_chain_limit = chain;
+    }
+    opts.seed = args.seed;
+    opts
+}
+
+fn run_one(args: &Args, mix: &[String], policy: Policy) -> PolicyRun {
+    let opts = sim_options(args, policy);
+    let result = System::new(opts, resolve(mix)).run();
+    PolicyRun {
+        misses: result.total_l2_misses(),
+        accesses: result.total_l2_accesses(),
+        cpi: result.per_core.iter().map(|c| c.cpi()).collect(),
+        mean_cpi: result.mean_cpi(),
+        final_ways: result
+            .final_plan
+            .map(|p| {
+                (0..p.num_cores())
+                    .map(|c| p.ways_of(bap_types::CoreId(c as u8)))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        epochs: result.epochs,
+    }
+}
+
+/// Run (or re-run) all 8 sets × 3 policies in parallel. With `--seeds N`
+/// each (set, policy) cell is run N times with independent seeds and the
+/// counts are averaged (CPI vectors come from the first seed; means carry
+/// the statistics).
+pub fn run_all(args: &Args) -> DetailedResults {
+    let sets = table3_sets(args.seed);
+    let runs: Vec<[PolicyRun; 3]> = sets
+        .par_iter()
+        .map(|mix| {
+            [
+                run_averaged(args, mix, Policy::NoPartition),
+                run_averaged(args, mix, Policy::Equal),
+                run_averaged(args, mix, Policy::BankAware),
+            ]
+        })
+        .collect();
+    DetailedResults {
+        sets,
+        runs,
+        seed: args.seed,
+        scale: args.scale,
+        quick: args.quick,
+    }
+}
+
+fn run_averaged(args: &Args, mix: &[String], policy: Policy) -> PolicyRun {
+    let runs: Vec<PolicyRun> = (0..args.seeds)
+        .map(|i| {
+            let mut a = args.clone();
+            a.seed = args.seed.wrapping_add(i * 7919);
+            run_one(&a, mix, policy)
+        })
+        .collect();
+    let n = runs.len() as u64;
+    let mut avg = runs[0].clone();
+    avg.misses = runs.iter().map(|r| r.misses).sum::<u64>() / n;
+    avg.accesses = runs.iter().map(|r| r.accesses).sum::<u64>() / n;
+    avg.mean_cpi = runs.iter().map(|r| r.mean_cpi).sum::<f64>() / n as f64;
+    avg
+}
+
+/// Load cached detailed results if they match the arguments, else rerun.
+pub fn run_all_cached(args: &Args) -> DetailedResults {
+    if let Some(cached) = crate::common::read_json::<DetailedResults>("detailed_runs") {
+        if cached.seed == args.seed && cached.scale == args.scale && cached.quick == args.quick {
+            return cached;
+        }
+    }
+    let results = run_all(args);
+    crate::common::write_json("detailed_runs", &results);
+    results
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! One binary per artefact (`src/bin/exp_*.rs`), all writing JSON into
+//! `results/` and printing the same rows/series the paper reports:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `exp_fig2` | Fig. 2 — MSA LRU histogram example |
+//! | `exp_fig3` | Fig. 3 — cumulative miss-ratio curves |
+//! | `exp_table1` | Table I — baseline parameters |
+//! | `exp_table2` | Table II — profiler hardware overhead |
+//! | `exp_fig7` | Fig. 7 — Monte Carlo, relative miss ratio |
+//! | `exp_table3` | Table III — 8 sets & way assignments |
+//! | `exp_fig8` | Fig. 8 — relative miss rate (detailed sim) |
+//! | `exp_fig9` | Fig. 9 — relative CPI (detailed sim) |
+//! | `exp_ablate_aggregation` | §III-B — aggregation-scheme migration rates |
+//! | `exp_ablate_profiler` | §III-A — partial-tag/sampling accuracy |
+//! | `exp_ablate_epoch` | design — epoch-length sensitivity |
+//! | `exp_ablate_maxcap` | design — max-assignable-capacity sweep |
+//! | `exp_ablate_replacement` | design — LRU vs PLRU/NRU/Random banks |
+//! | `exp_fairness` | §I motivation — weighted speedup / fairness index |
+//! | `exp_ablate_phases` | dynamic adaptation vs frozen plans under phase changes |
+//! | `exp_scalability` | §I claim — 8-core vs 16-core machines, decision cost |
+//! | `exp_ablate_floorplan` | chain abstraction vs explicit Fig. 1 mesh |
+//! | `exp_ablate_dram` | flat memory pipe vs banked row-buffer DRAM |
+//! | `exp_ablate_isolation` | migrating vs strict way-restricted lookups |
+//! | `exp_validation` | §IV-A projected-vs-simulated cross-check |
+//!
+//! Criterion micro-benchmarks of the substrates live in `benches/`.
+
+pub mod common;
+pub mod detailed;
+pub mod mc;
+pub mod mixes;

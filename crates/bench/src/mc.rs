@@ -1,0 +1,129 @@
+//! The Fig. 7 Monte Carlo evaluation machinery.
+//!
+//! Profiles the 26 analogues stand-alone (once, cached in `results/`), then
+//! projects every random mix's total miss rate under Equal, Unrestricted
+//! and Bank-aware assignments using the MSA inclusion property — exactly
+//! the paper's comparison methodology (§IV-A).
+
+use bap_core::{bank_aware_partition, unrestricted_partition, BankAwareConfig};
+use bap_msa::{MissRatioCurve, ProfilerConfig};
+use bap_system::profile_workloads;
+use bap_types::{CoreId, SystemConfig, Topology, TOTAL_WAYS};
+use bap_workloads::all_workloads;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stand-alone profiles of all 26 analogues, keyed by name.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProfileLibrary {
+    /// Per-workload miss-ratio curves.
+    pub curves: HashMap<String, MissRatioCurve>,
+    /// The seed the library was profiled with.
+    pub seed: u64,
+}
+
+/// Build (or rebuild) the profile library. `instructions` profiled per workload.
+pub fn build_library(cfg: &SystemConfig, instructions: u64, seed: u64) -> ProfileLibrary {
+    let specs = all_workloads();
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), TOTAL_WAYS * 9 / 16);
+    let curves = profile_workloads(&specs, cfg, pcfg, instructions, seed);
+    ProfileLibrary {
+        curves: specs.iter().map(|s| s.name.clone()).zip(curves).collect(),
+        seed,
+    }
+}
+
+/// Projected outcome of one mix under the three assignment policies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixOutcome {
+    /// The mix (workload names, one per core).
+    pub mix: Vec<String>,
+    /// Projected misses under even 16-way shares.
+    pub equal_misses: f64,
+    /// Projected misses under the Unrestricted assignment.
+    pub unrestricted_misses: f64,
+    /// Projected misses under the Bank-aware assignment.
+    pub bank_aware_misses: f64,
+    /// The Bank-aware per-core way counts (Table III rows).
+    pub bank_aware_ways: Vec<usize>,
+    /// The Unrestricted per-core way counts.
+    pub unrestricted_ways: Vec<usize>,
+}
+
+impl MixOutcome {
+    /// Miss ratio of Unrestricted relative to Equal (Fig. 7's y-axis).
+    pub fn unrestricted_relative(&self) -> f64 {
+        bap_types::stats::relative(self.unrestricted_misses, self.equal_misses)
+    }
+
+    /// Miss ratio of Bank-aware relative to Equal.
+    pub fn bank_aware_relative(&self) -> f64 {
+        bap_types::stats::relative(self.bank_aware_misses, self.equal_misses)
+    }
+}
+
+/// Evaluate one mix against the library.
+pub fn evaluate_mix(lib: &ProfileLibrary, mix: &[String], topo: &Topology) -> MixOutcome {
+    let curves: Vec<MissRatioCurve> = mix
+        .iter()
+        .map(|n| {
+            lib.curves
+                .get(n)
+                .unwrap_or_else(|| panic!("no profile for {n}"))
+                .clone()
+        })
+        .collect();
+    let n = curves.len();
+    let bank_ways = 8;
+    let total = topo.num_banks() * bank_ways;
+    let max = total * 9 / 16;
+
+    let equal: Vec<usize> = vec![total / n; n];
+    let unrestricted = unrestricted_partition(&curves, total, 1, max);
+    let plan = bank_aware_partition(&curves, topo, bank_ways, &BankAwareConfig::default());
+    let bank_aware: Vec<usize> = (0..n).map(|c| plan.ways_of(CoreId(c as u8))).collect();
+
+    let project =
+        |alloc: &[usize]| -> f64 { curves.iter().zip(alloc).map(|(c, &w)| c.misses_at(w)).sum() };
+    MixOutcome {
+        mix: mix.to_vec(),
+        equal_misses: project(&equal),
+        unrestricted_misses: project(&unrestricted),
+        bank_aware_misses: project(&bank_aware),
+        bank_aware_ways: bank_aware,
+        unrestricted_ways: unrestricted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library() -> ProfileLibrary {
+        build_library(&SystemConfig::scaled(64), 500_000, 3)
+    }
+
+    #[test]
+    fn library_covers_all_workloads() {
+        let lib = library();
+        assert_eq!(lib.curves.len(), 26);
+    }
+
+    #[test]
+    fn partitioned_projections_never_exceed_equal_by_much() {
+        let lib = library();
+        let topo = Topology::baseline();
+        let mix: Vec<String> = [
+            "mcf", "art", "sixtrack", "eon", "gcc", "swim", "galgel", "gap",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = evaluate_mix(&lib, &mix, &topo);
+        // Utility-driven assignments at least match the static split.
+        assert!(out.unrestricted_misses <= out.equal_misses * 1.02);
+        // Bank restrictions cost little relative to Unrestricted.
+        assert!(out.bank_aware_misses <= out.equal_misses * 1.05);
+        assert_eq!(out.bank_aware_ways.iter().sum::<usize>(), 128);
+    }
+}

@@ -1,0 +1,308 @@
+//! Bank-aggregation schemes (§III-B of the paper).
+//!
+//! When a core's partition spans several banks, something must decide *which*
+//! bank a new line is allocated into and where lookups must search. The
+//! paper discusses three options:
+//!
+//! * **Cascade** — banks form a chain; allocations enter at the head,
+//!   evictions demote down the chain, and hits deep in the chain promote the
+//!   block back to the head. Emulates one big LRU exactly but migrates
+//!   blocks constantly ("prohibitively high" migration rates).
+//! * **Address-Hash** — address bits pick the bank. One lookup per access,
+//!   no migration, but all hashed banks must have equal capacity, and a
+//!   non-power-of-two bank count needs complex modulo hardware.
+//! * **Parallel** — a line may live in any bank of the group; allocation is
+//!   weighted round-robin and lookups must search every bank (wider
+//!   directory/partial-tag lookups cost power, which we count).
+//!
+//! The paper's production configuration (Fig. 4(c)) limits cascading to two
+//! levels, each aggregated with Parallel: level 1 holds the core's *full*
+//! banks, level 2 the fractional allocations in shared Local banks.
+//! [`Partition::from_plan`] reproduces exactly that structure, and the
+//! [`AggregationScheme`] knob switches to pure Cascade or Address-Hash for
+//! the ablation experiment.
+
+use crate::plan::PartitionPlan;
+use bap_types::{BankId, CoreId};
+use serde::{Deserialize, Serialize};
+
+/// How the banks within one aggregation group are used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationScheme {
+    /// Full chain, one bank per cascade level (ablation only).
+    Cascade,
+    /// Address bits select the bank within each level.
+    AddressHash,
+    /// Any bank within the level; weighted round-robin allocation. The
+    /// paper's choice.
+    Parallel,
+}
+
+/// One aggregation level: a group of banks used together.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Level {
+    /// Banks in this level, in plan order.
+    pub banks: Vec<BankId>,
+    /// Weighted round-robin allocation schedule (each bank appears once per
+    /// way the core owns there, interleaved). Non-empty iff `banks` is.
+    schedule: Vec<BankId>,
+    /// Rotating cursor into `schedule`.
+    cursor: usize,
+}
+
+impl Level {
+    fn new(allocs: &[(BankId, usize)]) -> Self {
+        let banks: Vec<BankId> = allocs.iter().map(|&(b, _)| b).collect();
+        // Deal the schedule round-robin so consecutive allocations spread
+        // across banks proportionally to way counts.
+        let mut remaining: Vec<usize> = allocs.iter().map(|&(_, w)| w).collect();
+        let mut schedule = Vec::with_capacity(remaining.iter().sum());
+        while remaining.iter().any(|&r| r > 0) {
+            for (i, r) in remaining.iter_mut().enumerate() {
+                if *r > 0 {
+                    schedule.push(banks[i]);
+                    *r -= 1;
+                }
+            }
+        }
+        Level {
+            banks,
+            schedule,
+            cursor: 0,
+        }
+    }
+
+    /// Pick the allocation bank for a new line under `scheme`.
+    pub fn allocation_bank(&mut self, scheme: AggregationScheme, block_key: u64) -> BankId {
+        match scheme {
+            AggregationScheme::Cascade => self.banks[0],
+            AggregationScheme::AddressHash => self.hash_bank(block_key),
+            AggregationScheme::Parallel => {
+                let b = self.schedule[self.cursor % self.schedule.len()];
+                self.cursor = (self.cursor + 1) % self.schedule.len();
+                b
+            }
+        }
+    }
+
+    /// The single bank an Address-Hash lookup would search.
+    pub fn hash_bank(&self, block_key: u64) -> BankId {
+        self.banks[(block_key % self.banks.len() as u64) as usize]
+    }
+
+    /// Banks a lookup must search under `scheme`.
+    pub fn lookup_banks(&self, scheme: AggregationScheme, block_key: u64) -> Vec<BankId> {
+        match scheme {
+            AggregationScheme::AddressHash => vec![self.hash_bank(block_key)],
+            // Cascade and Parallel both require searching the whole group
+            // (cascade blocks move between banks, parallel blocks may be
+            // anywhere).
+            _ => self.banks.clone(),
+        }
+    }
+
+    /// Whether hashing this level needs a non-power-of-two modulo.
+    pub fn needs_complex_hash(&self) -> bool {
+        !self.banks.len().is_power_of_two()
+    }
+}
+
+/// The runtime aggregation structure of one core's partition: up to two
+/// cascade levels (paper's Fig. 4(c)), or a full per-bank chain under the
+/// pure Cascade ablation scheme.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// The owning core.
+    pub core: CoreId,
+    /// Cascade levels, head first. Never empty for a valid plan.
+    pub levels: Vec<Level>,
+    /// Aggregation scheme within each level.
+    pub scheme: AggregationScheme,
+}
+
+impl Partition {
+    /// Build the runtime structure for `core` from a validated plan.
+    ///
+    /// Under [`AggregationScheme::Cascade`] every bank (in plan order, which
+    /// the partitioning algorithms emit closest-first) becomes its own
+    /// level. Otherwise full banks form level 1 and fractional banks level 2
+    /// — the Fig. 4(c) structure; if the core owns no full bank, the
+    /// fractional group is the only level.
+    pub fn from_plan(plan: &PartitionPlan, core: CoreId, scheme: AggregationScheme) -> Self {
+        let allocs = &plan.per_core[core.index()];
+        assert!(!allocs.is_empty(), "{core} has no allocation");
+        let levels = match scheme {
+            AggregationScheme::Cascade => allocs
+                .iter()
+                .map(|a| Level::new(&[(a.bank, a.ways)]))
+                .collect(),
+            _ => {
+                let full: Vec<(BankId, usize)> = allocs
+                    .iter()
+                    .filter(|a| a.ways == plan.bank_ways)
+                    .map(|a| (a.bank, a.ways))
+                    .collect();
+                let frac: Vec<(BankId, usize)> = allocs
+                    .iter()
+                    .filter(|a| a.ways < plan.bank_ways)
+                    .map(|a| (a.bank, a.ways))
+                    .collect();
+                let mut levels = Vec::new();
+                if !full.is_empty() {
+                    levels.push(Level::new(&full));
+                }
+                if !frac.is_empty() {
+                    levels.push(Level::new(&frac));
+                }
+                levels
+            }
+        };
+        Partition {
+            core,
+            levels,
+            scheme,
+        }
+    }
+
+    /// All banks in the partition, level order.
+    pub fn all_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        self.levels.iter().flat_map(|l| l.banks.iter().copied())
+    }
+
+    /// The level index containing `bank`, if any.
+    pub fn level_of(&self, bank: BankId) -> Option<usize> {
+        self.levels.iter().position(|l| l.banks.contains(&bank))
+    }
+
+    /// Number of cascade levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::BankAllocation;
+
+    fn plan_with(allocs: Vec<BankAllocation>) -> PartitionPlan {
+        let mut p = PartitionPlan::empty(1, 16, 8);
+        p.per_core[0] = allocs;
+        p
+    }
+
+    #[test]
+    fn full_and_fractional_split_into_two_levels() {
+        let p = plan_with(vec![
+            BankAllocation {
+                bank: BankId(0),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(8),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(1),
+                ways: 4,
+            },
+        ]);
+        let part = Partition::from_plan(&p, CoreId(0), AggregationScheme::Parallel);
+        assert_eq!(part.depth(), 2);
+        assert_eq!(part.levels[0].banks, vec![BankId(0), BankId(8)]);
+        assert_eq!(part.levels[1].banks, vec![BankId(1)]);
+        assert_eq!(part.level_of(BankId(8)), Some(0));
+        assert_eq!(part.level_of(BankId(1)), Some(1));
+        assert_eq!(part.level_of(BankId(5)), None);
+    }
+
+    #[test]
+    fn fractional_only_partition_is_single_level() {
+        let p = plan_with(vec![BankAllocation {
+            bank: BankId(2),
+            ways: 3,
+        }]);
+        let part = Partition::from_plan(&p, CoreId(0), AggregationScheme::Parallel);
+        assert_eq!(part.depth(), 1);
+    }
+
+    #[test]
+    fn cascade_gives_one_level_per_bank() {
+        let p = plan_with(vec![
+            BankAllocation {
+                bank: BankId(0),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(8),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(9),
+                ways: 8,
+            },
+        ]);
+        let part = Partition::from_plan(&p, CoreId(0), AggregationScheme::Cascade);
+        assert_eq!(part.depth(), 3);
+        assert_eq!(part.levels[0].banks, vec![BankId(0)]);
+    }
+
+    #[test]
+    fn parallel_schedule_is_weighted() {
+        let mut level = Level::new(&[(BankId(0), 2), (BankId(1), 6)]);
+        let mut counts = [0usize; 2];
+        for i in 0..80 {
+            let b = level.allocation_bank(AggregationScheme::Parallel, i);
+            counts[b.index()] += 1;
+        }
+        // 2:6 ratio over 80 allocations → 20:60.
+        assert_eq!(counts, [20, 60]);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let level = Level::new(&[(BankId(3), 8), (BankId(7), 8)]);
+        for key in 0..100u64 {
+            let b = level.hash_bank(key);
+            assert!(b == BankId(3) || b == BankId(7));
+            assert_eq!(level.hash_bank(key), b);
+        }
+        // Two banks: even keys → first, odd keys → second.
+        assert_eq!(level.hash_bank(0), BankId(3));
+        assert_eq!(level.hash_bank(1), BankId(7));
+    }
+
+    #[test]
+    fn lookup_banks_by_scheme() {
+        let level = Level::new(&[(BankId(0), 8), (BankId(1), 8)]);
+        assert_eq!(
+            level.lookup_banks(AggregationScheme::AddressHash, 0).len(),
+            1
+        );
+        assert_eq!(level.lookup_banks(AggregationScheme::Parallel, 0).len(), 2);
+        assert_eq!(level.lookup_banks(AggregationScheme::Cascade, 0).len(), 2);
+    }
+
+    #[test]
+    fn complex_hash_detection() {
+        assert!(!Level::new(&[(BankId(0), 8), (BankId(1), 8)]).needs_complex_hash());
+        assert!(Level::new(&[(BankId(0), 8), (BankId(1), 8), (BankId(2), 8)]).needs_complex_hash());
+    }
+
+    #[test]
+    fn all_banks_covers_levels_in_order() {
+        let p = plan_with(vec![
+            BankAllocation {
+                bank: BankId(0),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(1),
+                ways: 2,
+            },
+        ]);
+        let part = Partition::from_plan(&p, CoreId(0), AggregationScheme::Parallel);
+        let banks: Vec<_> = part.all_banks().collect();
+        assert_eq!(banks, vec![BankId(0), BankId(1)]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Partition plans: the per-core `(bank, ways)` capacity assignments that
+//! the algorithms in `bap-core` produce and the DNUCA L2 enforces.
+//!
+//! A plan says, for every core, which banks it may allocate into and how
+//! many ways of each. Concrete way *indices* are derived deterministically
+//! ([`PartitionPlan::way_owners`]): cores sharing a bank receive disjoint
+//! contiguous way ranges in core order, mirroring the paper's scheme where
+//! all sets of a bank carry the same vertical way assignment.
+
+use bap_types::{BankId, CoreId, CoreSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A number of ways allocated to one core in one bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankAllocation {
+    /// The bank.
+    pub bank: BankId,
+    /// How many of its ways this core owns (1..=associativity).
+    pub ways: usize,
+}
+
+/// A complete capacity assignment: `per_core[c]` lists core `c`'s bank
+/// allocations.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Allocations indexed by core.
+    pub per_core: Vec<Vec<BankAllocation>>,
+    /// Associativity of each bank (all banks identical).
+    pub bank_ways: usize,
+    /// Total number of banks.
+    pub num_banks: usize,
+}
+
+impl PartitionPlan {
+    /// An empty plan for `num_cores` cores.
+    pub fn empty(num_cores: usize, num_banks: usize, bank_ways: usize) -> Self {
+        PartitionPlan {
+            per_core: vec![Vec::new(); num_cores],
+            bank_ways,
+            num_banks,
+        }
+    }
+
+    /// The *Equal-partitions* baseline: core `i` privately owns its Local
+    /// bank `i` and Center bank `num_cores + i` — 16 ways (2 MB) per core in
+    /// the baseline machine, matching "fixed partitions of 2 MB per core".
+    pub fn equal(num_cores: usize, num_banks: usize, bank_ways: usize) -> Self {
+        assert_eq!(
+            num_banks,
+            2 * num_cores,
+            "equal plan assumes the Fig. 1 floorplan"
+        );
+        let per_core = (0..num_cores)
+            .map(|c| {
+                vec![
+                    BankAllocation {
+                        bank: BankId(c as u8),
+                        ways: bank_ways,
+                    },
+                    BankAllocation {
+                        bank: BankId((num_cores + c) as u8),
+                        ways: bank_ways,
+                    },
+                ]
+            })
+            .collect();
+        PartitionPlan {
+            per_core,
+            bank_ways,
+            num_banks,
+        }
+    }
+
+    /// Number of cores covered by the plan.
+    pub fn num_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Total ways assigned to `core` across all banks.
+    pub fn ways_of(&self, core: CoreId) -> usize {
+        self.per_core[core.index()].iter().map(|a| a.ways).sum()
+    }
+
+    /// Ways `core` owns in `bank` (0 if none).
+    pub fn ways_in_bank(&self, core: CoreId, bank: BankId) -> usize {
+        self.per_core[core.index()]
+            .iter()
+            .filter(|a| a.bank == bank)
+            .map(|a| a.ways)
+            .sum()
+    }
+
+    /// The cores with any allocation in `bank`.
+    pub fn cores_in_bank(&self, bank: BankId) -> CoreSet {
+        let mut s = CoreSet::EMPTY;
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            if allocs.iter().any(|a| a.bank == bank && a.ways > 0) {
+                s.insert(CoreId(c as u8));
+            }
+        }
+        s
+    }
+
+    /// Total ways assigned in `bank` across all cores.
+    pub fn bank_ways_used(&self, bank: BankId) -> usize {
+        self.per_core
+            .iter()
+            .flatten()
+            .filter(|a| a.bank == bank)
+            .map(|a| a.ways)
+            .sum()
+    }
+
+    /// Derive the concrete per-way owner masks for `bank`: cores sharing the
+    /// bank get disjoint contiguous way ranges in ascending core order;
+    /// unassigned ways (if the plan leaves slack) get an empty mask.
+    pub fn way_owners(&self, bank: BankId) -> Vec<CoreSet> {
+        let mut owners = vec![CoreSet::EMPTY; self.bank_ways];
+        let mut next = 0usize;
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            let ways: usize = allocs
+                .iter()
+                .filter(|a| a.bank == bank)
+                .map(|a| a.ways)
+                .sum();
+            for _ in 0..ways {
+                assert!(next < self.bank_ways, "bank {bank} over-allocated");
+                owners[next] = CoreSet::single(CoreId(c as u8));
+                next += 1;
+            }
+        }
+        owners
+    }
+
+    /// Structural validation: every referenced bank exists, no core has a
+    /// zero-way allocation entry, no bank is over-subscribed, every core has
+    /// at least one way. Returns a human-readable error on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            if allocs.iter().map(|a| a.ways).sum::<usize>() == 0 {
+                return Err(format!("core{c} has no capacity"));
+            }
+            for a in allocs {
+                if a.bank.index() >= self.num_banks {
+                    return Err(format!("core{c} references nonexistent {}", a.bank));
+                }
+                if a.ways == 0 {
+                    return Err(format!("core{c} has a zero-way allocation in {}", a.bank));
+                }
+                if a.ways > self.bank_ways {
+                    return Err(format!(
+                        "core{c} wants {} ways of {} (bank has {})",
+                        a.ways, a.bank, self.bank_ways
+                    ));
+                }
+            }
+        }
+        for b in 0..self.num_banks {
+            let used = self.bank_ways_used(BankId(b as u8));
+            if used > self.bank_ways {
+                return Err(format!(
+                    "bank{b} over-subscribed: {used} > {}",
+                    self.bank_ways
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total ways assigned across the whole plan.
+    pub fn total_ways_used(&self) -> usize {
+        self.per_core.iter().flatten().map(|a| a.ways).sum()
+    }
+}
+
+impl fmt::Display for PartitionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            write!(f, "core{c}: {} ways [", self.ways_of(CoreId(c as u8)))?;
+            for (i, a) in allocs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}x{}", a.bank, a.ways)?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_plan_is_16_ways_each() {
+        let p = PartitionPlan::equal(8, 16, 8);
+        p.validate().unwrap();
+        for c in CoreId::all(8) {
+            assert_eq!(p.ways_of(c), 16);
+            assert_eq!(p.per_core[c.index()].len(), 2);
+        }
+        assert_eq!(p.total_ways_used(), 128);
+        // Every bank is used by exactly one core.
+        for b in BankId::all(16) {
+            assert_eq!(p.cores_in_bank(b).len(), 1);
+            assert_eq!(p.bank_ways_used(b), 8);
+        }
+    }
+
+    #[test]
+    fn way_owners_are_disjoint_contiguous() {
+        let mut p = PartitionPlan::empty(2, 2, 8);
+        p.per_core[0].push(BankAllocation {
+            bank: BankId(0),
+            ways: 3,
+        });
+        p.per_core[1].push(BankAllocation {
+            bank: BankId(0),
+            ways: 5,
+        });
+        let owners = p.way_owners(BankId(0));
+        assert_eq!(owners.len(), 8);
+        for owner in &owners[..3] {
+            assert_eq!(*owner, CoreSet::single(CoreId(0)));
+        }
+        for owner in &owners[3..] {
+            assert_eq!(*owner, CoreSet::single(CoreId(1)));
+        }
+    }
+
+    #[test]
+    fn way_owners_leave_slack_empty() {
+        let mut p = PartitionPlan::empty(1, 1, 8);
+        p.per_core[0].push(BankAllocation {
+            bank: BankId(0),
+            ways: 2,
+        });
+        let owners = p.way_owners(BankId(0));
+        assert_eq!(owners[1], CoreSet::single(CoreId(0)));
+        assert!(owners[5].is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_empty_core() {
+        let p = PartitionPlan::empty(2, 2, 8);
+        assert!(p.validate().unwrap_err().contains("no capacity"));
+    }
+
+    #[test]
+    fn validate_rejects_oversubscription() {
+        let mut p = PartitionPlan::empty(2, 1, 8);
+        p.per_core[0].push(BankAllocation {
+            bank: BankId(0),
+            ways: 6,
+        });
+        p.per_core[1].push(BankAllocation {
+            bank: BankId(0),
+            ways: 6,
+        });
+        assert!(p.validate().unwrap_err().contains("over-subscribed"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_bank() {
+        let mut p = PartitionPlan::empty(1, 2, 8);
+        p.per_core[0].push(BankAllocation {
+            bank: BankId(9),
+            ways: 1,
+        });
+        assert!(p.validate().unwrap_err().contains("nonexistent"));
+    }
+
+    #[test]
+    fn ways_in_bank_sums_duplicates() {
+        let mut p = PartitionPlan::empty(1, 2, 8);
+        p.per_core[0].push(BankAllocation {
+            bank: BankId(1),
+            ways: 2,
+        });
+        p.per_core[0].push(BankAllocation {
+            bank: BankId(1),
+            ways: 3,
+        });
+        assert_eq!(p.ways_in_bank(CoreId(0), BankId(1)), 5);
+        assert_eq!(p.ways_in_bank(CoreId(0), BankId(0)), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = PartitionPlan::equal(2, 4, 8);
+        let s = format!("{p}");
+        assert!(s.contains("core0: 16 ways"));
+        assert!(s.contains("bank0x8"));
+    }
+}

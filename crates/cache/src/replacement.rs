@@ -1,0 +1,239 @@
+//! Replacement policies.
+//!
+//! The paper's profiling and partitioning mathematics assume true LRU; real
+//! banks usually implement cheaper approximations. This module provides the
+//! common ones so the ablation experiments can quantify how much of the
+//! scheme's benefit survives a realistic policy:
+//!
+//! * [`Policy::TrueLru`] — exact LRU (the paper's assumption);
+//! * [`Policy::TreePlru`] — binary-tree pseudo-LRU (the classic hardware
+//!   approximation, one bit per tree node);
+//! * [`Policy::Nru`] — not-recently-used (one reference bit per way);
+//! * [`Policy::Random`] — seeded random victims (a lower baseline).
+//!
+//! Every policy supports *restricted* victim selection over an arbitrary
+//! subset of ways, which way-partitioning requires.
+
+use serde::{Deserialize, Serialize};
+
+/// Which replacement policy a cache uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Exact least-recently-used.
+    #[default]
+    TrueLru,
+    /// Binary-tree pseudo-LRU.
+    TreePlru,
+    /// Not-recently-used (reference bits, cleared on exhaustion).
+    Nru,
+    /// Uniformly random among the allowed ways.
+    Random,
+}
+
+/// Per-set policy state (sized for up to 64 ways).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SetState {
+    /// Tree-PLRU node bits (node i's bit: 0 = left half colder).
+    plru: u64,
+    /// NRU reference bits.
+    nru_ref: u64,
+    /// Xorshift state for Random.
+    rng: u64,
+}
+
+impl SetState {
+    /// Fresh state for one set; `seed` only matters for `Random`.
+    pub fn new(seed: u64) -> Self {
+        SetState {
+            plru: 0,
+            nru_ref: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// Record an access to `way` under `policy` (ways = associativity).
+    pub fn touch(&mut self, policy: Policy, way: usize, ways: usize) {
+        match policy {
+            Policy::TrueLru | Policy::Random => {}
+            Policy::TreePlru => {
+                // Flip the path bits away from `way` so the tree points at
+                // the other halves.
+                let mut node = 0usize; // root
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        // Accessed left: point the bit right (1).
+                        self.plru |= 1 << node;
+                        node = 2 * node + 1;
+                        hi = mid;
+                    } else {
+                        self.plru &= !(1 << node);
+                        node = 2 * node + 2;
+                        lo = mid;
+                    }
+                }
+            }
+            Policy::Nru => {
+                self.nru_ref |= 1 << way;
+                // All referenced: clear everyone else (aging).
+                if self.nru_ref.count_ones() as usize >= ways {
+                    self.nru_ref = 1 << way;
+                }
+            }
+        }
+    }
+
+    /// Pick a victim among ways where `allowed` holds, using `lru_order`
+    /// (way indices, least-recent last) for `TrueLru` and as the tie-break
+    /// for the approximations. Returns `None` if nothing is allowed.
+    pub fn victim(
+        &mut self,
+        policy: Policy,
+        ways: usize,
+        allowed: &dyn Fn(usize) -> bool,
+        lru_order: &[u8],
+    ) -> Option<usize> {
+        match policy {
+            Policy::TrueLru => lru_order
+                .iter()
+                .rev()
+                .map(|&w| w as usize)
+                .find(|&w| allowed(w)),
+            Policy::TreePlru => {
+                // Walk the tree towards the cold side, constrained to
+                // subtrees that still contain an allowed way.
+                let any_allowed = |lo: usize, hi: usize| (lo..hi).any(|w| w < ways && allowed(w));
+                if !any_allowed(0, ways) {
+                    return None;
+                }
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = self.plru & (1 << node) != 0;
+                    let (a, b) = if go_right {
+                        ((mid, hi, 2 * node + 2), (lo, mid, 2 * node + 1))
+                    } else {
+                        ((lo, mid, 2 * node + 1), (mid, hi, 2 * node + 2))
+                    };
+                    if any_allowed(a.0, a.1) {
+                        lo = a.0;
+                        hi = a.1;
+                        node = a.2;
+                    } else {
+                        lo = b.0;
+                        hi = b.1;
+                        node = b.2;
+                    }
+                }
+                Some(lo)
+            }
+            Policy::Nru => {
+                // First allowed way with a clear reference bit; age if none.
+                for round in 0..2 {
+                    for w in 0..ways {
+                        if allowed(w) && self.nru_ref & (1 << w) == 0 {
+                            return Some(w);
+                        }
+                    }
+                    if round == 0 {
+                        self.nru_ref = 0;
+                    }
+                }
+                None
+            }
+            Policy::Random => {
+                let candidates: Vec<usize> = (0..ways).filter(|&w| allowed(w)).collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                // Xorshift64.
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                Some(candidates[(self.rng % candidates.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plru_victimises_the_cold_side() {
+        let mut s = SetState::new(1);
+        // Touch ways 0..3 of a 4-way set in order: way 0 is coldest by
+        // PLRU's approximation after 1,2,3 were touched.
+        for w in [0, 1, 2, 3] {
+            s.touch(Policy::TreePlru, w, 4);
+        }
+        // Tree now points away from 3 (and away from 2 at the top): victim
+        // must be in the left half.
+        let v = s
+            .victim(Policy::TreePlru, 4, &|_| true, &[3, 2, 1, 0])
+            .unwrap();
+        assert!(v < 2, "cold side victim: {v}");
+    }
+
+    #[test]
+    fn plru_respects_allowed_mask() {
+        let mut s = SetState::new(1);
+        s.touch(Policy::TreePlru, 0, 8);
+        for _ in 0..10 {
+            let v = s.victim(Policy::TreePlru, 8, &|w| w >= 6, &[]).unwrap();
+            assert!(v >= 6);
+            s.touch(Policy::TreePlru, v, 8);
+        }
+        assert_eq!(s.victim(Policy::TreePlru, 8, &|_| false, &[]), None);
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced_then_ages() {
+        let mut s = SetState::new(1);
+        s.touch(Policy::Nru, 0, 4);
+        s.touch(Policy::Nru, 1, 4);
+        assert_eq!(s.victim(Policy::Nru, 4, &|_| true, &[]), Some(2));
+        // Reference everything: aging clears and way 0 becomes victim...
+        s.touch(Policy::Nru, 2, 4);
+        s.touch(Policy::Nru, 3, 4); // triggers aging, keeps only way 3
+        assert_eq!(s.victim(Policy::Nru, 4, &|_| true, &[]), Some(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_respects_mask() {
+        let mut a = SetState::new(7);
+        let mut b = SetState::new(7);
+        for _ in 0..20 {
+            let va = a.victim(Policy::Random, 8, &|w| w % 2 == 0, &[]).unwrap();
+            let vb = b.victim(Policy::Random, 8, &|w| w % 2 == 0, &[]).unwrap();
+            assert_eq!(va, vb);
+            assert_eq!(va % 2, 0);
+        }
+    }
+
+    #[test]
+    fn true_lru_uses_the_order() {
+        let mut s = SetState::new(1);
+        let order = [2u8, 0, 3, 1]; // LRU = way 1
+        assert_eq!(s.victim(Policy::TrueLru, 4, &|_| true, &order), Some(1));
+        assert_eq!(s.victim(Policy::TrueLru, 4, &|w| w != 1, &order), Some(3));
+    }
+
+    #[test]
+    fn empty_masks_return_none() {
+        let mut s = SetState::new(1);
+        for p in [
+            Policy::TrueLru,
+            Policy::TreePlru,
+            Policy::Nru,
+            Policy::Random,
+        ] {
+            assert_eq!(s.victim(p, 4, &|_| false, &[0, 1, 2, 3]), None, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The Bank-aware allocation algorithm (Fig. 6 and §III-B/C of the paper).
+//!
+//! Capacity is assigned by maximum marginal utility, like the Unrestricted
+//! algorithm, but under the three physical rules of the banked DNUCA:
+//!
+//! 1. **Center banks are assigned whole** to a single core;
+//! 2. a core that receives Center banks also owns its **full Local bank**;
+//! 3. **Local banks may only be way-shared between adjacent cores**, at most
+//!    two sharers (the bank's home core plus one neighbour).
+//!
+//! The flow follows Fig. 6:
+//!
+//! * **Boxes 1–2** — assuming every Local bank belongs to its home core,
+//!   repeatedly give the next Center bank (8 ways at a time) to the core
+//!   with the highest marginal utility, up to the maximum-assignable-
+//!   capacity cap (9/16 of the cache = 72 ways);
+//! * **Box 3** — cores holding Center banks are complete (Rules 1+2);
+//! * **Boxes 4–6** — the remaining cores compete at way granularity over
+//!   their Local banks. Pairing with a neighbour is *deferred* until a
+//!   core's best growth overflows its own bank; the partner is then chosen
+//!   to minimise the pair's total misses, the pair's 16 ways are split
+//!   optimally, and both cores are marked complete.
+
+use bap_cache::{BankAllocation, PartitionPlan};
+use bap_msa::MissRatioCurve;
+use bap_types::{BankId, BankKind, CoreId, Topology};
+
+use crate::unrestricted::unrestricted_partition;
+
+/// Tunables of the Bank-aware algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankAwareConfig {
+    /// Maximum assignable capacity as a fraction of the whole cache
+    /// (paper: 9/16).
+    pub max_capacity_num: usize,
+    /// Denominator of the fraction.
+    pub max_capacity_den: usize,
+    /// Minimum ways any core keeps in its own Local bank.
+    pub min_ways: usize,
+}
+
+impl Default for BankAwareConfig {
+    fn default() -> Self {
+        BankAwareConfig {
+            max_capacity_num: 9,
+            max_capacity_den: 16,
+            min_ways: 1,
+        }
+    }
+}
+
+/// Run the Bank-aware algorithm.
+///
+/// `curves[c]` is core `c`'s MSA miss-ratio curve; `bank_ways` the per-bank
+/// associativity (8). Returns a validated [`PartitionPlan`] whose
+/// allocations are ordered closest-bank-first per core.
+///
+/// ```
+/// use bap_core::{bank_aware_partition, BankAwareConfig};
+/// use bap_msa::MissRatioCurve;
+/// use bap_types::{CoreId, Topology};
+///
+/// // Eight identical workloads split the cache evenly: two banks each.
+/// let curve = MissRatioCurve::from_misses(
+///     (0..=72).map(|w| (1000.0 - 25.0 * w as f64).max(0.0)).collect(), 1000.0);
+/// let curves = vec![curve; 8];
+/// let plan = bank_aware_partition(
+///     &curves, &Topology::baseline(), 8, &BankAwareConfig::default());
+/// assert_eq!(plan.ways_of(CoreId(0)), 16);
+/// assert_eq!(plan.total_ways_used(), 128);
+/// ```
+pub fn bank_aware_partition(
+    curves: &[MissRatioCurve],
+    topo: &Topology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+) -> PartitionPlan {
+    let n = topo.num_cores();
+    assert_eq!(curves.len(), n, "one curve per core");
+    let num_banks = topo.num_banks();
+    let total_ways = num_banks * bank_ways;
+    let max_ways = total_ways * cfg.max_capacity_num / cfg.max_capacity_den;
+    assert!(
+        max_ways >= 2 * bank_ways,
+        "cap must allow at least local + one center"
+    );
+
+    // ---- Boxes 1–2: Center bank assignment at bank granularity. ----
+    // Assume each Local bank belongs to its home core.
+    let mut assumed_ways: Vec<usize> = vec![bank_ways; n];
+    let mut centers_of: Vec<Vec<BankId>> = vec![Vec::new(); n];
+    let mut free_centers: Vec<BankId> = topo.center_banks().collect();
+
+    while !free_centers.is_empty() {
+        // Each core bids its best *bank-granular* lookahead growth: the
+        // utility per way of taking `k` whole banks, maximised over the
+        // feasible `k` (bounded by the cap and the remaining free banks).
+        // Bids must be bank-granular — a single steep way must not win a
+        // whole bank — and committing to the full `k` matters: granting a
+        // cliff-shaped workload fewer banks than its cliff wastes every
+        // bank granted. Ties break towards the core with the smallest
+        // current share so identical workloads spread.
+        let mut best: Option<(usize, usize, f64)> = None; // (core, banks, mu)
+        for (c, curve) in curves.iter().enumerate() {
+            let headroom_banks = ((max_ways - assumed_ways[c]) / bank_ways).min(free_centers.len());
+            if headroom_banks == 0 {
+                continue;
+            }
+            // Strict improvement keeps the smallest committing growth:
+            // smooth curves bid one bank at a time, true cliffs bid the
+            // whole jump.
+            let mut k = 1usize;
+            let mut mu = curve.marginal_utility(assumed_ways[c], bank_ways);
+            for cand in 2..=headroom_banks {
+                let cand_mu = curve.marginal_utility(assumed_ways[c], cand * bank_ways);
+                if cand_mu > mu {
+                    k = cand;
+                    mu = cand_mu;
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((bc, _, bmu)) => {
+                    mu > bmu + 1e-9
+                        || ((mu - bmu).abs() <= 1e-9 && assumed_ways[c] < assumed_ways[bc])
+                }
+            };
+            if better {
+                best = Some((c, k, mu));
+            }
+        }
+        let Some((winner, banks, mu)) = best else {
+            break;
+        };
+        // Once no growth helps anyone, distribute the remaining banks by
+        // (zero-utility) single grants so the whole cache stays assigned.
+        let banks = if mu > 0.0 { banks } else { 1 };
+        for _ in 0..banks {
+            // Give the winner its nearest free Center bank (lowest latency).
+            let (idx, _) = free_centers
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &b)| topo.hops(CoreId(winner as u8), b))
+                .expect("non-empty");
+            let bank = free_centers.swap_remove(idx);
+            centers_of[winner].push(bank);
+            assumed_ways[winner] += bank_ways;
+        }
+    }
+
+    // ---- Box 3: Center-holders are complete. ----
+    let complete: Vec<bool> = centers_of.iter().map(|v| !v.is_empty()).collect();
+
+    // ---- Boxes 4–6: Local banks of the incomplete cores. ----
+    // State per incomplete core: ways claimed so far and ways remaining in
+    // its own Local bank. Complete cores own their Local bank in full
+    // (Rule 2) but may still bid for a fraction of an *adjacent* incomplete
+    // core's Local bank — the paper's Fig. 5 shows such 8+8+4-style
+    // partitions — becoming that bank's single permitted co-owner.
+    let mut claimed: Vec<usize> = vec![0; n];
+    let mut own_remaining: Vec<usize> = vec![0; n];
+    // (partner, ways taken from the partner's bank) once paired.
+    let mut partner: Vec<Option<CoreId>> = vec![None; n];
+    let mut partner_ways: Vec<usize> = vec![0; n];
+    // An incomplete core leaves the pool once paired or finalised.
+    let mut open: Vec<bool> = vec![false; n];
+    // A complete core may take at most one foreign share.
+    let mut took_share: Vec<bool> = vec![false; n];
+
+    for c in 0..n {
+        if !complete[c] {
+            claimed[c] = cfg.min_ways;
+            own_remaining[c] = bank_ways - cfg.min_ways;
+            open[c] = true;
+        }
+    }
+
+    /// What the winning bid proposes.
+    #[derive(Clone, Copy)]
+    enum Bid {
+        /// An incomplete core grows within its own bank.
+        Own { extra: usize },
+        /// An incomplete core overflows into a neighbour's bank (pairing).
+        Pair,
+        /// A complete core takes a share of a neighbour's bank.
+        Share,
+    }
+
+    loop {
+        let mut best: Option<(usize, Bid, f64)> = None;
+        let consider = |best: &mut Option<(usize, Bid, f64)>, c: usize, bid: Bid, mu: f64| {
+            let better = match *best {
+                None => true,
+                Some((bc, _, bmu)) => {
+                    mu > bmu + 1e-9 || ((mu - bmu).abs() <= 1e-9 && claimed[c] < claimed[bc])
+                }
+            };
+            if better {
+                *best = Some((c, bid, mu));
+            }
+        };
+        for c in 0..n {
+            let neighbours = topo.neighbours(CoreId(c as u8));
+            if open[c] {
+                // Budget includes a possible overflow into a legal neighbour.
+                let overflow_budget: usize = neighbours
+                    .iter()
+                    .filter(|d| open[d.index()] && d.index() != c)
+                    .map(|d| own_remaining[d.index()])
+                    .max()
+                    .unwrap_or(0);
+                let budget = own_remaining[c] + overflow_budget;
+                if budget == 0 {
+                    continue;
+                }
+                if let Some((extra, mu)) = curves[c].best_growth(claimed[c], budget) {
+                    let bid = if extra > own_remaining[c] {
+                        Bid::Pair
+                    } else {
+                        Bid::Own { extra }
+                    };
+                    consider(&mut best, c, bid, mu);
+                }
+            } else if complete[c] && !took_share[c] {
+                // Fractional growth beyond the full banks, limited to one
+                // adjacent open Local bank and the 9/16 capacity cap.
+                let budget: usize = neighbours
+                    .iter()
+                    .filter(|d| open[d.index()])
+                    .map(|d| own_remaining[d.index()])
+                    .max()
+                    .unwrap_or(0)
+                    .min(max_ways.saturating_sub(assumed_ways[c]));
+                if budget == 0 {
+                    continue;
+                }
+                if let Some((_, mu)) = curves[c].best_growth(assumed_ways[c], budget) {
+                    consider(&mut best, c, Bid::Share, mu);
+                }
+            }
+        }
+
+        match best {
+            Some((c, Bid::Own { extra }, mu)) if mu > 0.0 => {
+                claimed[c] += extra;
+                own_remaining[c] -= extra;
+            }
+            Some((c, Bid::Pair, mu)) if mu > 0.0 => {
+                // Box 5–6: the best growth overflows c's Local bank — decide
+                // the pairing now, choosing the neighbour that minimises the
+                // pair's total projected misses, then split the pair's two
+                // banks (2 × bank_ways) optimally and close both cores.
+                let candidates: Vec<CoreId> = topo
+                    .neighbours(CoreId(c as u8))
+                    .into_iter()
+                    .filter(|&d| open[d.index()] && d.index() != c)
+                    .collect();
+                assert!(!candidates.is_empty(), "overflow implies a legal neighbour");
+                let pair_total = 2 * bank_ways;
+                let mut best_pair: Option<(CoreId, Vec<usize>, f64)> = None;
+                for d in candidates {
+                    let pair_curves = [curves[c].clone(), curves[d.index()].clone()];
+                    let split = unrestricted_partition(
+                        &pair_curves,
+                        pair_total,
+                        cfg.min_ways,
+                        pair_total - cfg.min_ways,
+                    );
+                    let misses =
+                        pair_curves[0].misses_at(split[0]) + pair_curves[1].misses_at(split[1]);
+                    if best_pair.as_ref().is_none_or(|&(_, _, m)| misses < m) {
+                        best_pair = Some((d, split, misses));
+                    }
+                }
+                let (d, split, _) = best_pair.expect("candidates non-empty");
+                let di = d.index();
+                claimed[c] = split[0];
+                claimed[di] = split[1];
+                // Physical placement: own bank first, overflow into the
+                // partner's bank (at most one side can exceed bank_ways).
+                partner[c] = Some(d);
+                partner[di] = Some(CoreId(c as u8));
+                partner_ways[c] = split[0].saturating_sub(bank_ways);
+                partner_ways[di] = split[1].saturating_sub(bank_ways);
+                own_remaining[c] = 0;
+                own_remaining[di] = 0;
+                open[c] = false;
+                open[di] = false;
+            }
+            Some((c, Bid::Share, mu)) if mu > 0.0 => {
+                // A complete core annexes part of the best adjacent open
+                // bank: split that bank's 8 ways between the two curves.
+                let mut choice: Option<(usize, usize, f64)> = None; // (d, x, misses)
+                let cap = max_ways.saturating_sub(assumed_ways[c]);
+                for d in topo.neighbours(CoreId(c as u8)) {
+                    let di = d.index();
+                    if !open[di] {
+                        continue;
+                    }
+                    for x in 0..=(bank_ways - cfg.min_ways).min(cap) {
+                        let misses = curves[c].misses_at(assumed_ways[c] + x)
+                            + curves[di].misses_at(bank_ways - x);
+                        if choice.is_none_or(|(_, _, m)| misses < m) {
+                            choice = Some((di, x, misses));
+                        }
+                    }
+                }
+                let (di, x, _) = choice.expect("positive share bid implies an open neighbour");
+                claimed[di] = bank_ways - x;
+                own_remaining[di] = 0;
+                open[di] = false;
+                if x > 0 {
+                    partner[c] = Some(CoreId(di as u8));
+                    partner_ways[c] = x;
+                    partner[di] = Some(CoreId(c as u8));
+                }
+                took_share[c] = true;
+                assumed_ways[c] += x;
+            }
+            _ => {
+                // No positive-utility growth left: every open core keeps the
+                // remainder of its own bank (nobody else may use it).
+                for c in 0..n {
+                    if open[c] {
+                        claimed[c] += own_remaining[c];
+                        own_remaining[c] = 0;
+                        open[c] = false;
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    // ---- Emit the plan, closest banks first. ----
+    let mut plan = PartitionPlan::empty(n, num_banks, bank_ways);
+    for c in 0..n {
+        let core = CoreId(c as u8);
+        let own_bank = topo.local_bank(core);
+        let mut allocs = Vec::new();
+        if complete[c] {
+            allocs.push(BankAllocation {
+                bank: own_bank,
+                ways: bank_ways,
+            });
+            let mut centers = centers_of[c].clone();
+            centers.sort_by_key(|&b| topo.hops(core, b));
+            for b in centers {
+                allocs.push(BankAllocation {
+                    bank: b,
+                    ways: bank_ways,
+                });
+            }
+            // An annexed fraction of a neighbour's Local bank (the
+            // fractional second aggregation level of Fig. 4(c)).
+            if partner_ways[c] > 0 {
+                let d = partner[c].expect("partner ways imply a partner");
+                allocs.push(BankAllocation {
+                    bank: topo.local_bank(d),
+                    ways: partner_ways[c],
+                });
+            }
+        } else {
+            let own_ways = claimed[c] - partner_ways[c];
+            if own_ways > 0 {
+                allocs.push(BankAllocation {
+                    bank: own_bank,
+                    ways: own_ways,
+                });
+            }
+            if partner_ways[c] > 0 {
+                let d = partner[c].expect("partner ways imply a partner");
+                allocs.push(BankAllocation {
+                    bank: topo.local_bank(d),
+                    ways: partner_ways[c],
+                });
+            }
+        }
+        plan.per_core[c] = allocs;
+    }
+    plan.validate()
+        .expect("bank-aware plan is structurally valid");
+    debug_assert_eq!(plan.total_ways_used(), total_ways, "all capacity assigned");
+    plan
+}
+
+/// Check the Bank-aware physical rules on a plan. Returns a description of
+/// the first violation.
+pub fn validate_bank_rules(plan: &PartitionPlan, topo: &Topology) -> Result<(), String> {
+    let bank_ways = plan.bank_ways;
+    for b in 0..plan.num_banks {
+        let bank = BankId(b as u8);
+        let owners = plan.cores_in_bank(bank);
+        match topo.bank_kind(bank) {
+            BankKind::Center => {
+                if owners.len() > 1 {
+                    return Err(format!("{bank} (Center) shared by {owners:?}"));
+                }
+                if owners.len() == 1 {
+                    let c = owners.iter().next().expect("non-empty");
+                    if plan.ways_in_bank(c, bank) != bank_ways {
+                        return Err(format!("{bank} (Center) partially assigned to {c}"));
+                    }
+                    // Rule 2: a Center holder owns its full Local bank.
+                    let local = topo.local_bank(c);
+                    if plan.ways_in_bank(c, local) != bank_ways {
+                        return Err(format!("{c} holds {bank} but not its full Local bank"));
+                    }
+                }
+            }
+            BankKind::Local { home } => {
+                if owners.len() > 2 {
+                    return Err(format!("{bank} (Local) has {} sharers", owners.len()));
+                }
+                for c in owners.iter() {
+                    if c != home && !topo.adjacent(c, home) {
+                        return Err(format!(
+                            "{bank} (Local of {home}) shared with non-adjacent {c}"
+                        ));
+                    }
+                }
+            }
+        }
+        if plan.bank_ways_used(bank) != bank_ways {
+            return Err(format!(
+                "{bank} not fully assigned: {} of {bank_ways} ways",
+                plan.bank_ways_used(bank)
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::baseline()
+    }
+
+    /// Linear-to-knee curve.
+    fn knee(base: f64, floor: f64, knee_ways: usize) -> MissRatioCurve {
+        let misses = (0..=128)
+            .map(|w| {
+                if w >= knee_ways {
+                    floor
+                } else {
+                    base - (base - floor) * w as f64 / knee_ways as f64
+                }
+            })
+            .collect();
+        MissRatioCurve::from_misses(misses, base.max(1.0))
+    }
+
+    fn run(curves: Vec<MissRatioCurve>) -> PartitionPlan {
+        bank_aware_partition(&curves, &topo(), 8, &BankAwareConfig::default())
+    }
+
+    #[test]
+    fn equal_workloads_get_two_banks_each() {
+        let plan = run(vec![knee(1000.0, 10.0, 40); 8]);
+        validate_bank_rules(&plan, &topo()).unwrap();
+        for c in CoreId::all(8) {
+            assert_eq!(plan.ways_of(c), 16, "{plan}");
+        }
+    }
+
+    #[test]
+    fn all_capacity_is_always_assigned() {
+        let plan = run(vec![knee(100.0, 1.0, 6); 8]);
+        assert_eq!(plan.total_ways_used(), 128);
+        validate_bank_rules(&plan, &topo()).unwrap();
+    }
+
+    #[test]
+    fn hungry_core_collects_center_banks_up_to_cap() {
+        let mut curves = vec![knee(50.0, 45.0, 4); 8];
+        curves[0] = knee(1_000_000.0, 0.0, 128);
+        let plan = run(curves);
+        validate_bank_rules(&plan, &topo()).unwrap();
+        // 9/16 cap: at most 72 ways (local + 8 centers).
+        assert_eq!(plan.ways_of(CoreId(0)), 72, "{plan}");
+    }
+
+    #[test]
+    fn small_core_cedes_local_ways_to_adjacent_hungry_one() {
+        // Distant center magnets (cores 0, 5, 6, 7) soak up all eight
+        // Center banks; cores 1–4 must settle the Local region way-wise.
+        // Core 2 is tiny, core 3 wants ~12 ways.
+        let mut curves = Vec::new();
+        for c in 0..8 {
+            curves.push(match c {
+                1 | 4 => knee(50_000.0, 100.0, 16), // moderate
+                2 => knee(100.0, 0.0, 2),           // satisfied with 2 ways
+                3 => knee(100_000.0, 100.0, 12),    // wants 12
+                _ => knee(500_000.0, 1000.0, 24),   // center magnets
+            });
+        }
+        let plan = run(curves);
+        validate_bank_rules(&plan, &topo()).unwrap();
+        let w2 = plan.ways_of(CoreId(2));
+        let w3 = plan.ways_of(CoreId(3));
+        assert!(w3 >= 11, "hungry neighbour took the slack: {plan}");
+        assert!(w2 <= 6, "tiny core ceded its bank: {plan}");
+        // Core 3's allocation stays within the Local region around it.
+        for a in &plan.per_core[3] {
+            assert!(
+                [BankId(2), BankId(3), BankId(4)].contains(&a.bank),
+                "{plan}"
+            );
+        }
+    }
+
+    #[test]
+    fn center_banks_always_whole_and_rule2_holds() {
+        let mut curves = vec![knee(1000.0, 10.0, 30); 8];
+        curves[5] = knee(2000.0, 5.0, 50);
+        let plan = run(curves);
+        validate_bank_rules(&plan, &topo()).unwrap();
+        for b in topo().center_banks() {
+            let owners = plan.cores_in_bank(b);
+            assert!(owners.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn local_sharing_is_adjacent_only() {
+        // Alternating hungry/tiny pattern forces lots of local sharing.
+        let curves: Vec<_> = (0..8)
+            .map(|c| {
+                if c % 2 == 0 {
+                    knee(50_000.0, 50.0, 14)
+                } else {
+                    knee(10.0, 0.0, 1)
+                }
+            })
+            .collect();
+        let plan = run(curves);
+        validate_bank_rules(&plan, &topo()).unwrap();
+    }
+
+    #[test]
+    fn every_core_keeps_at_least_min_ways() {
+        let mut curves = vec![knee(0.0, 0.0, 1); 8];
+        curves[0] = knee(1_000_000.0, 0.0, 72);
+        let plan = run(curves);
+        for c in CoreId::all(8) {
+            assert!(plan.ways_of(c) >= 1, "{plan}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let curves: Vec<_> = (0..8)
+            .map(|c| knee(1000.0 + c as f64, 5.0, 10 + c))
+            .collect();
+        let a = run(curves.clone());
+        let b = run(curves);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_order_is_closest_first() {
+        let mut curves = vec![knee(10.0, 9.0, 2); 8];
+        curves[4] = knee(1_000_000.0, 0.0, 40);
+        let plan = run(curves);
+        let allocs = &plan.per_core[4];
+        assert_eq!(allocs[0].bank, BankId(4), "own local bank first");
+        let t = topo();
+        let hops: Vec<u64> = allocs.iter().map(|a| t.hops(CoreId(4), a.bank)).collect();
+        for w in hops.windows(2) {
+            assert!(w[0] <= w[1], "banks ordered by distance: {hops:?}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random monotone miss curves for 8 cores.
+        fn curve_strategy() -> impl Strategy<Value = MissRatioCurve> {
+            (
+                proptest::collection::vec(0.0f64..200.0, 72),
+                1000.0f64..100_000.0,
+            )
+                .prop_map(|(drops, base)| {
+                    let mut misses = vec![base];
+                    for d in drops {
+                        let last = *misses.last().expect("non-empty");
+                        misses.push((last - d).max(0.0));
+                    }
+                    MissRatioCurve::from_misses(misses, base)
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Whatever the curves, the plan is complete, structurally
+            /// valid and obeys all three physical banking rules.
+            #[test]
+            fn plan_always_respects_bank_rules(
+                curves in proptest::collection::vec(curve_strategy(), 8)
+            ) {
+                let topo = Topology::baseline();
+                let plan = bank_aware_partition(&curves, &topo, 8, &BankAwareConfig::default());
+                prop_assert_eq!(plan.total_ways_used(), 128);
+                if let Err(e) = validate_bank_rules(&plan, &topo) {
+                    return Err(TestCaseError::fail(e));
+                }
+                for c in CoreId::all(8) {
+                    prop_assert!(plan.ways_of(c) >= 1);
+                    prop_assert!(plan.ways_of(c) <= 72, "9/16 cap");
+                }
+            }
+
+            /// The bank-aware projection never beats the unrestricted one
+            /// (it solves a strictly more constrained problem), and never
+            /// does worse than the equal split by more than the coarsest
+            /// bank granularity effect allows.
+            #[test]
+            fn bank_aware_between_unrestricted_and_equal_mostly(
+                curves in proptest::collection::vec(curve_strategy(), 8)
+            ) {
+                let topo = Topology::baseline();
+                let plan = bank_aware_partition(&curves, &topo, 8, &BankAwareConfig::default());
+                let unres = crate::unrestricted::unrestricted_partition(&curves, 128, 1, 72);
+                let project = |alloc: &[usize]| -> f64 {
+                    curves.iter().zip(alloc).map(|(c, &w)| c.misses_at(w)).sum()
+                };
+                let ba: Vec<usize> =
+                    (0..8).map(|c| plan.ways_of(CoreId(c as u8))).collect();
+                prop_assert!(project(&unres) <= project(&ba) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_bank_rules_catches_violations() {
+        // Hand-build a plan sharing a Center bank: must be rejected.
+        let mut plan = PartitionPlan::empty(8, 16, 8);
+        for c in 0..8 {
+            plan.per_core[c].push(BankAllocation {
+                bank: BankId(c as u8),
+                ways: 8,
+            });
+        }
+        for c in 0..6 {
+            plan.per_core[c].push(BankAllocation {
+                bank: BankId(8 + c as u8),
+                ways: 8,
+            });
+        }
+        plan.per_core[6].push(BankAllocation {
+            bank: BankId(14),
+            ways: 4,
+        });
+        plan.per_core[7].push(BankAllocation {
+            bank: BankId(14),
+            ways: 4,
+        });
+        plan.per_core[7].push(BankAllocation {
+            bank: BankId(15),
+            ways: 8,
+        });
+        let err = validate_bank_rules(&plan, &topo()).unwrap_err();
+        assert!(err.contains("Center"), "{err}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The epoch-driven dynamic repartitioning controller.
+//!
+//! Per the paper's methodology (§IV): L2 accesses stream through per-core
+//! MSA profilers; every `epoch_cycles` (100 M in the paper) the controller
+//! reads the histograms, recomputes the partition with the configured
+//! policy and applies it, then decays the histograms so the profile tracks
+//! phase changes.
+
+use crate::bank_aware::{bank_aware_partition, BankAwareConfig};
+use bap_cache::PartitionPlan;
+use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+use bap_types::{BlockAddr, CoreId, Topology};
+
+/// Which partitioning policy the system runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Fully shared LRU cache (the *No-partitions* baseline).
+    NoPartition,
+    /// Static private halves: 2 banks (16 ways) per core.
+    Equal,
+    /// The paper's dynamic Bank-aware partitioning.
+    BankAware,
+}
+
+/// The controller: per-core profilers plus the repartitioning logic.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    policy: Policy,
+    profilers: Vec<StackProfiler>,
+    topo: Topology,
+    bank_ways: usize,
+    cfg: BankAwareConfig,
+    epochs: u64,
+}
+
+impl Controller {
+    /// Build a controller. `profiler_cfg` is applied per core (use
+    /// [`ProfilerConfig::paper_hardware`] for the 12-bit/1-in-32
+    /// configuration, or a reference profiler in experiments that isolate
+    /// the algorithm from profiling error).
+    pub fn new(
+        policy: Policy,
+        topo: Topology,
+        bank_ways: usize,
+        profiler_cfg: ProfilerConfig,
+        cfg: BankAwareConfig,
+    ) -> Self {
+        let profilers = (0..topo.num_cores())
+            .map(|_| StackProfiler::new(profiler_cfg))
+            .collect();
+        Controller {
+            policy,
+            profilers,
+            topo,
+            bank_ways,
+            cfg,
+            epochs: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Epochs elapsed.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Feed one L2 access into `core`'s profiler (called on every L2
+    /// access, hit or miss — MSA monitors the access stream).
+    #[inline]
+    pub fn observe(&mut self, core: CoreId, block: BlockAddr) {
+        self.profilers[core.index()].observe(block);
+    }
+
+    /// Direct access to a profiler (experiments).
+    pub fn profiler(&self, core: CoreId) -> &StackProfiler {
+        &self.profilers[core.index()]
+    }
+
+    /// Current miss-ratio curves, scaled for set sampling.
+    pub fn curves(&self) -> Vec<MissRatioCurve> {
+        self.profilers
+            .iter()
+            .map(|p| MissRatioCurve::from_histogram(p.histogram(), p.scale()))
+            .collect()
+    }
+
+    /// Close an epoch: compute the new plan (if the policy is dynamic) and
+    /// decay the profilers. Returns `None` when the policy keeps whatever
+    /// configuration is already in force (NoPartition always; Equal after
+    /// the first epoch).
+    pub fn epoch_boundary(&mut self) -> Option<PartitionPlan> {
+        self.epochs += 1;
+        let plan = match self.policy {
+            Policy::NoPartition => None,
+            Policy::Equal => {
+                if self.epochs == 1 {
+                    Some(PartitionPlan::equal(
+                        self.topo.num_cores(),
+                        self.topo.num_banks(),
+                        self.bank_ways,
+                    ))
+                } else {
+                    None
+                }
+            }
+            Policy::BankAware => {
+                let curves = self.curves();
+                Some(bank_aware_partition(
+                    &curves,
+                    &self.topo,
+                    self.bank_ways,
+                    &self.cfg,
+                ))
+            }
+        };
+        for p in &mut self.profilers {
+            p.decay();
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bap_core_test_util::feed_knee_profile;
+
+    /// Local helper module so the feeding logic is shared across tests.
+    mod bap_core_test_util {
+        use super::*;
+
+        /// Feed `core`'s profiler a stream whose MSA curve has a knee at
+        /// roughly `knee_ways` (per-set distances 0..knee_ways uniformly).
+        pub fn feed_knee_profile(
+            ctl: &mut Controller,
+            core: CoreId,
+            knee_ways: usize,
+            accesses: u64,
+        ) {
+            // Round-robin sets, cycling block tags to produce uniform stack
+            // distances within 0..knee_ways.
+            let sets = 64u64;
+            for i in 0..accesses {
+                let set = i % sets;
+                let tag = (i / sets) % knee_ways as u64;
+                ctl.observe(core, BlockAddr(tag * sets + set));
+            }
+        }
+    }
+
+    fn controller(policy: Policy) -> Controller {
+        Controller::new(
+            policy,
+            Topology::baseline(),
+            8,
+            ProfilerConfig::reference(64, 72),
+            BankAwareConfig::default(),
+        )
+    }
+
+    #[test]
+    fn no_partition_never_emits_plans() {
+        let mut c = controller(Policy::NoPartition);
+        assert_eq!(c.epoch_boundary(), None);
+        assert_eq!(c.epoch_boundary(), None);
+        assert_eq!(c.epochs(), 2);
+    }
+
+    #[test]
+    fn equal_emits_once() {
+        let mut c = controller(Policy::Equal);
+        let p = c.epoch_boundary().expect("first epoch applies the plan");
+        assert_eq!(p.ways_of(CoreId(0)), 16);
+        assert_eq!(c.epoch_boundary(), None);
+    }
+
+    #[test]
+    fn bank_aware_adapts_to_observed_appetites() {
+        let mut c = controller(Policy::BankAware);
+        // Core 0 shows a deep working set; others shallow.
+        feed_knee_profile(&mut c, CoreId(0), 60, 60_000);
+        for i in 1..8 {
+            feed_knee_profile(&mut c, CoreId(i), 3, 20_000);
+        }
+        let plan = c.epoch_boundary().expect("bank-aware emits every epoch");
+        assert!(
+            plan.ways_of(CoreId(0)) >= 32,
+            "deep-reuse core gets a large share: {plan}"
+        );
+        assert_eq!(plan.total_ways_used(), 128);
+    }
+
+    #[test]
+    fn decay_lets_the_profile_track_phases() {
+        let mut c = controller(Policy::BankAware);
+        feed_knee_profile(&mut c, CoreId(0), 60, 60_000);
+        for i in 1..8 {
+            feed_knee_profile(&mut c, CoreId(i), 3, 20_000);
+        }
+        let first = c.epoch_boundary().unwrap();
+        assert!(first.ways_of(CoreId(0)) >= 32);
+        // Phase change: core 0 goes quiet, core 1 becomes hungry. After a
+        // few decayed epochs the assignment follows.
+        for _ in 0..6 {
+            feed_knee_profile(&mut c, CoreId(1), 60, 60_000);
+            c.epoch_boundary();
+        }
+        feed_knee_profile(&mut c, CoreId(1), 60, 60_000);
+        let later = c.epoch_boundary().unwrap();
+        assert!(
+            later.ways_of(CoreId(1)) > later.ways_of(CoreId(0)),
+            "assignment follows the phase change: {later}"
+        );
+    }
+
+    #[test]
+    fn curves_are_scaled_by_sampling() {
+        let mut c = Controller::new(
+            Policy::BankAware,
+            Topology::baseline(),
+            8,
+            ProfilerConfig {
+                num_sets: 64,
+                max_ways: 72,
+                sample_ratio: 4,
+                tag_bits: None,
+            },
+            BankAwareConfig::default(),
+        );
+        for i in 0..1000u64 {
+            c.observe(CoreId(0), BlockAddr(i));
+        }
+        let curves = c.curves();
+        // Sampled 1-in-4 but scaled back up: ~1000 accesses.
+        assert!((curves[0].accesses() - 1000.0).abs() < 120.0);
+    }
+}

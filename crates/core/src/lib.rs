@@ -1,0 +1,24 @@
+//! Dynamic cache-partitioning algorithms — the paper's core contribution.
+//!
+//! Everything here consumes per-core [`bap_msa::MissRatioCurve`]s and
+//! produces capacity assignments:
+//!
+//! * [`unrestricted`] — UCP-style greedy marginal-utility partitioning with
+//!   lookahead, ignoring all physical structure ("Unrestricted" in §IV-A);
+//! * [`bank_aware`] — the paper's Bank-aware allocation algorithm (Fig. 6),
+//!   which respects the three banking rules of §III-B and emits a
+//!   physically realisable [`bap_cache::PartitionPlan`];
+//! * [`controller`] — the epoch-driven dynamic controller: profile an
+//!   epoch, repartition, decay, repeat (100 M-cycle epochs in the paper);
+//! * [`projection`] — MSA-projected system miss rates for whole assignments
+//!   (the Monte Carlo evaluator of Fig. 7 is built on this).
+
+pub mod bank_aware;
+pub mod controller;
+pub mod projection;
+pub mod unrestricted;
+
+pub use bank_aware::{bank_aware_partition, BankAwareConfig};
+pub use controller::{Controller, Policy};
+pub use projection::{projected_misses, projected_total_misses};
+pub use unrestricted::unrestricted_partition;

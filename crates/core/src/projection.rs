@@ -1,0 +1,83 @@
+//! MSA-projected system miss rates.
+//!
+//! The Monte Carlo evaluation of Fig. 7 never simulates: it *projects* the
+//! total miss count of a workload mix under a candidate assignment straight
+//! from the per-workload MSA curves (the LRU inclusion property makes the
+//! projection exact for LRU caches). These helpers are that projection.
+
+use bap_cache::PartitionPlan;
+use bap_msa::MissRatioCurve;
+use bap_types::CoreId;
+
+/// Projected misses of one core given its way allocation.
+pub fn projected_misses(curve: &MissRatioCurve, ways: usize) -> f64 {
+    curve.misses_at(ways)
+}
+
+/// Projected total misses of a whole assignment (one way count per core).
+pub fn projected_total_misses(curves: &[MissRatioCurve], alloc: &[usize]) -> f64 {
+    assert_eq!(curves.len(), alloc.len());
+    curves.iter().zip(alloc).map(|(c, &w)| c.misses_at(w)).sum()
+}
+
+/// Projected total misses under a partition plan (way counts read from the
+/// plan).
+pub fn projected_plan_misses(curves: &[MissRatioCurve], plan: &PartitionPlan) -> f64 {
+    assert_eq!(curves.len(), plan.num_cores());
+    curves
+        .iter()
+        .enumerate()
+        .map(|(c, curve)| curve.misses_at(plan.ways_of(CoreId(c as u8))))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bap_cache::BankAllocation;
+    use bap_types::BankId;
+
+    fn curve() -> MissRatioCurve {
+        // 100 misses at 0 ways, −10 per way down to 0 at 10 ways.
+        MissRatioCurve::from_misses(
+            (0..=16)
+                .map(|w| (100.0 - 10.0 * w as f64).max(0.0))
+                .collect(),
+            100.0,
+        )
+    }
+
+    #[test]
+    fn single_core_projection() {
+        assert_eq!(projected_misses(&curve(), 0), 100.0);
+        assert_eq!(projected_misses(&curve(), 5), 50.0);
+        assert_eq!(projected_misses(&curve(), 16), 0.0);
+    }
+
+    #[test]
+    fn total_over_assignment() {
+        let curves = vec![curve(), curve()];
+        assert_eq!(projected_total_misses(&curves, &[5, 10]), 50.0);
+    }
+
+    #[test]
+    fn plan_projection_matches_way_counts() {
+        let curves = vec![curve(), curve()];
+        let mut plan = PartitionPlan::empty(2, 4, 8);
+        plan.per_core[0] = vec![BankAllocation {
+            bank: BankId(0),
+            ways: 5,
+        }];
+        plan.per_core[1] = vec![
+            BankAllocation {
+                bank: BankId(1),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(2),
+                ways: 2,
+            },
+        ];
+        assert_eq!(projected_plan_misses(&curves, &plan), 50.0);
+    }
+}

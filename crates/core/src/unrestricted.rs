@@ -1,0 +1,219 @@
+//! Unrestricted (UCP-style) marginal-utility partitioning.
+//!
+//! This is the algorithm of Qureshi & Patt's utility-based cache
+//! partitioning, used by the paper as the no-physical-constraints upper
+//! baseline (§IV-A): capacity may be split at single-way granularity with
+//! no regard for banks.
+//!
+//! Greedy with *lookahead*: at each step every core reports the best
+//! marginal utility it can achieve by growing its allocation by any
+//! feasible amount (`MissRatioCurve::best_growth`), and the global maximum
+//! wins. Lookahead matters because miss-ratio curves are not convex —
+//! plateau-then-cliff workloads (e.g. `art`) look worthless to single-way
+//! greedy until the whole cliff is in reach.
+
+use bap_msa::MissRatioCurve;
+
+/// Compute an unrestricted per-core way assignment.
+///
+/// ```
+/// use bap_core::unrestricted_partition;
+/// use bap_msa::MissRatioCurve;
+///
+/// // Core 0 saturates at 2 ways; core 1 keeps benefitting to 12.
+/// let flat = MissRatioCurve::from_misses(
+///     (0..=16).map(|w| if w >= 2 { 10.0 } else { 100.0 }).collect(), 100.0);
+/// let deep = MissRatioCurve::from_misses(
+///     (0..=16).map(|w| (1000.0 - 80.0 * w as f64).max(40.0)).collect(), 1000.0);
+/// let alloc = unrestricted_partition(&[flat, deep], 16, 1, 15);
+/// assert!(alloc[1] >= 12, "{alloc:?}");
+/// assert_eq!(alloc.iter().sum::<usize>(), 16);
+/// ```
+///
+/// * `curves` — one miss-ratio curve per core;
+/// * `total_ways` — capacity to distribute (128 in the baseline);
+/// * `min_ways` — floor per core (≥1 keeps every core runnable);
+/// * `max_ways` — cap per core (the paper's 9/16 restriction = 72).
+///
+/// Returns one way count per core, summing exactly to `total_ways`.
+pub fn unrestricted_partition(
+    curves: &[MissRatioCurve],
+    total_ways: usize,
+    min_ways: usize,
+    max_ways: usize,
+) -> Vec<usize> {
+    let n = curves.len();
+    assert!(n > 0, "need at least one core");
+    assert!(min_ways >= 1);
+    assert!(max_ways >= min_ways);
+    assert!(
+        n * min_ways <= total_ways,
+        "not enough ways for the per-core minimum"
+    );
+    assert!(
+        n * max_ways >= total_ways,
+        "cap too small to place all capacity"
+    );
+
+    let mut alloc = vec![min_ways; n];
+    let mut remaining = total_ways - n * min_ways;
+
+    while remaining > 0 {
+        // Each core's best utility-per-way growth within budget and cap.
+        let mut best: Option<(usize, usize, f64)> = None; // (core, extra, mu)
+        for (c, curve) in curves.iter().enumerate() {
+            let headroom = max_ways - alloc[c];
+            let budget = headroom.min(remaining);
+            if budget == 0 {
+                continue;
+            }
+            if let Some((extra, mu)) = curve.best_growth(alloc[c], budget) {
+                // Ties break towards the smallest current allocation so
+                // identical workloads share evenly.
+                let better = match best {
+                    None => true,
+                    Some((bc, _, bmu)) => {
+                        mu > bmu + 1e-9 || ((mu - bmu).abs() <= 1e-9 && alloc[c] < alloc[bc])
+                    }
+                };
+                if better {
+                    best = Some((c, extra, mu));
+                }
+            }
+        }
+        match best {
+            Some((c, extra, mu)) if mu > 0.0 => {
+                alloc[c] += extra;
+                remaining -= extra;
+            }
+            _ => {
+                // No workload benefits any more: spread the slack round-
+                // robin over uncapped cores (it must live somewhere).
+                let mut progressed = false;
+                for (c, a) in alloc.iter_mut().enumerate() {
+                    let _ = c;
+                    if remaining == 0 {
+                        break;
+                    }
+                    if *a < max_ways {
+                        *a += 1;
+                        remaining -= 1;
+                        progressed = true;
+                    }
+                }
+                assert!(progressed, "caps verified above: slack must be placeable");
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A curve that drops linearly from `base` misses to `floor` at `knee`
+    /// ways, flat after.
+    fn knee(base: f64, floor: f64, knee: usize, max_ways: usize) -> MissRatioCurve {
+        let misses = (0..=max_ways)
+            .map(|w| {
+                if w >= knee {
+                    floor
+                } else {
+                    base - (base - floor) * w as f64 / knee as f64
+                }
+            })
+            .collect();
+        MissRatioCurve::from_misses(misses, base)
+    }
+
+    /// A cliff curve: `base` misses until `cliff − 1`, `floor` at `cliff`.
+    fn cliff(base: f64, floor: f64, cliff: usize, max_ways: usize) -> MissRatioCurve {
+        let misses = (0..=max_ways)
+            .map(|w| if w >= cliff { floor } else { base })
+            .collect();
+        MissRatioCurve::from_misses(misses, base)
+    }
+
+    #[test]
+    fn sums_to_total() {
+        let curves = vec![knee(1000.0, 10.0, 20, 128); 8];
+        let a = unrestricted_partition(&curves, 128, 1, 72);
+        assert_eq!(a.iter().sum::<usize>(), 128);
+    }
+
+    #[test]
+    fn identical_workloads_get_similar_shares() {
+        let curves = vec![knee(1000.0, 10.0, 16, 128); 8];
+        let a = unrestricted_partition(&curves, 128, 1, 72);
+        for &w in &a {
+            assert!((12..=20).contains(&w), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn hungry_workload_wins_capacity() {
+        // Core 0 keeps benefitting to 60 ways; others saturate at 4.
+        let mut curves = vec![knee(200.0, 5.0, 4, 128); 8];
+        curves[0] = knee(5000.0, 10.0, 60, 128);
+        let a = unrestricted_partition(&curves, 128, 1, 72);
+        assert!(a[0] >= 50, "{a:?}");
+        for &w in &a[1..] {
+            assert!(w >= 4, "saturated cores keep their knees: {a:?}");
+        }
+    }
+
+    #[test]
+    fn lookahead_sees_cliffs() {
+        // Core 0's curve is a pure cliff at 30 ways: single-way greedy sees
+        // zero utility everywhere; lookahead must still give it 30.
+        let mut curves = vec![knee(100.0, 50.0, 100, 128); 4];
+        curves[0] = cliff(10_000.0, 0.0, 30, 128);
+        let a = unrestricted_partition(&curves, 128, 1, 72);
+        assert!(a[0] >= 30, "cliff workload starved: {a:?}");
+    }
+
+    #[test]
+    fn respects_caps() {
+        let mut curves = vec![knee(10.0, 9.0, 2, 128); 8];
+        curves[0] = knee(1_000_000.0, 0.0, 128, 128);
+        let a = unrestricted_partition(&curves, 128, 1, 72);
+        assert_eq!(a[0], 72, "hungry core hits the 9/16 cap: {a:?}");
+        assert_eq!(a.iter().sum::<usize>(), 128);
+    }
+
+    #[test]
+    fn respects_minimum() {
+        let mut curves = vec![knee(0.0, 0.0, 1, 128); 8];
+        curves[0] = knee(1000.0, 0.0, 64, 128);
+        let a = unrestricted_partition(&curves, 128, 2, 72);
+        for &w in &a {
+            assert!(w >= 2);
+        }
+    }
+
+    #[test]
+    fn flat_curves_spread_slack() {
+        let curves = vec![knee(100.0, 100.0, 1, 128); 8];
+        let a = unrestricted_partition(&curves, 128, 1, 72);
+        assert_eq!(a.iter().sum::<usize>(), 128);
+        // Nobody benefits, so round-robin slack: allocations near-equal.
+        for &w in &a {
+            assert!((15..=17).contains(&w), "{a:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough ways")]
+    fn rejects_infeasible_minimum() {
+        let curves = vec![knee(1.0, 0.0, 1, 8); 4];
+        unrestricted_partition(&curves, 2, 1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap too small")]
+    fn rejects_infeasible_cap() {
+        let curves = vec![knee(1.0, 0.0, 1, 8); 2];
+        unrestricted_partition(&curves, 128, 1, 8);
+    }
+}

@@ -1,0 +1,240 @@
+//! Miss-ratio curves and marginal utility.
+//!
+//! A [`MissRatioCurve`] is the projection of an MSA histogram onto "misses
+//! as a function of allocated ways" (the curves of Fig. 3). The allocation
+//! algorithms consume it through [`MissRatioCurve::marginal_utility`]:
+//!
+//! ```text
+//! MU(c, n) = (misses(c) − misses(c + n)) / n
+//! ```
+//!
+//! the reduction in misses per extra way when growing an allocation of `c`
+//! ways by `n` (§III-C, after Wieser's marginal-utility concept).
+
+use crate::histogram::MsaHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Projected misses for every possible way allocation `0..=max_ways`.
+///
+/// ```
+/// use bap_msa::MissRatioCurve;
+///
+/// // 100 misses with no cache, linearly down to 20 at 4 ways.
+/// let curve = MissRatioCurve::from_misses(vec![100.0, 80.0, 60.0, 40.0, 20.0], 100.0);
+/// assert_eq!(curve.misses_at(2), 60.0);
+/// // Growing from 1 way by 2 saves (80 − 40) / 2 = 20 misses per way.
+/// assert_eq!(curve.marginal_utility(1, 2), 20.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// `misses[w]` = projected misses with `w` ways, scaled to whole-cache
+    /// estimates (sampling already compensated).
+    misses: Vec<f64>,
+    /// Total accesses (scaled), the denominator for ratios.
+    accesses: f64,
+}
+
+impl MissRatioCurve {
+    /// Build from a histogram, scaling counts by `scale` (the profiler's
+    /// set-sampling ratio, 1.0 for a reference profiler).
+    pub fn from_histogram(h: &MsaHistogram, scale: f64) -> Self {
+        let misses = (0..=h.ways())
+            .map(|w| h.misses_at(w) as f64 * scale)
+            .collect();
+        MissRatioCurve {
+            misses,
+            accesses: h.accesses() as f64 * scale,
+        }
+    }
+
+    /// Build directly from projected miss counts (used by synthetic
+    /// workload specifications and tests).
+    pub fn from_misses(misses: Vec<f64>, accesses: f64) -> Self {
+        assert!(!misses.is_empty());
+        MissRatioCurve { misses, accesses }
+    }
+
+    /// Maximum ways the curve covers.
+    pub fn max_ways(&self) -> usize {
+        self.misses.len() - 1
+    }
+
+    /// Projected misses at `ways` (clamped to the curve's depth: the paper's
+    /// maximum-assignable-capacity restriction means deeper allocations are
+    /// *assumed* to give no further benefit).
+    pub fn misses_at(&self, ways: usize) -> f64 {
+        self.misses[ways.min(self.max_ways())]
+    }
+
+    /// Projected miss ratio at `ways`.
+    pub fn miss_ratio_at(&self, ways: usize) -> f64 {
+        if self.accesses == 0.0 {
+            0.0
+        } else {
+            self.misses_at(ways) / self.accesses
+        }
+    }
+
+    /// Total accesses behind the curve.
+    pub fn accesses(&self) -> f64 {
+        self.accesses
+    }
+
+    /// Marginal utility of growing an allocation of `current` ways by
+    /// `extra` ways: misses saved per way. Zero when `extra` is zero.
+    pub fn marginal_utility(&self, current: usize, extra: usize) -> f64 {
+        if extra == 0 {
+            return 0.0;
+        }
+        (self.misses_at(current) - self.misses_at(current + extra)) / extra as f64
+    }
+
+    /// The largest marginal utility achievable from `current` ways with any
+    /// `extra ∈ 1..=budget`, and the `extra` achieving it. This is UCP's
+    /// *lookahead* device: plain greedy single-way steps are blind to
+    /// plateau-then-cliff curves; scanning all reachable growths is not.
+    pub fn best_growth(&self, current: usize, budget: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for n in 1..=budget {
+            let mu = self.marginal_utility(current, n);
+            // Strictly greater: ties keep the smallest growth, so callers
+            // never over-commit capacity for no additional utility.
+            if best.is_none_or(|(_, b)| mu > b) {
+                best = Some((n, mu));
+            }
+        }
+        best
+    }
+
+    /// Smallest allocation achieving (almost) the minimum attainable misses
+    /// — a convenient summary of a workload's appetite ("knee").
+    pub fn saturation_ways(&self, tolerance: f64) -> usize {
+        let floor = self.misses_at(self.max_ways());
+        let span = self.misses_at(0) - floor;
+        if span <= 0.0 {
+            return 0;
+        }
+        (0..=self.max_ways())
+            .find(|&w| self.misses_at(w) - floor <= tolerance * span)
+            .unwrap_or(self.max_ways())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn knee_curve() -> MissRatioCurve {
+        // 1000 accesses; misses drop linearly to a floor of 50 at 6 ways.
+        let misses: Vec<f64> = (0..=16)
+            .map(|w| {
+                if w < 6 {
+                    1000.0 - w as f64 * 158.0
+                } else {
+                    52.0
+                }
+            })
+            .collect();
+        MissRatioCurve::from_misses(misses, 1000.0)
+    }
+
+    #[test]
+    fn from_histogram_projects() {
+        let mut h = MsaHistogram::new(4);
+        for _ in 0..10 {
+            h.record(Some(0));
+        }
+        for _ in 0..6 {
+            h.record(Some(2));
+        }
+        for _ in 0..4 {
+            h.record(None);
+        }
+        let c = MissRatioCurve::from_histogram(&h, 1.0);
+        assert_eq!(c.misses_at(0), 20.0);
+        assert_eq!(c.misses_at(1), 10.0);
+        assert_eq!(c.misses_at(2), 10.0);
+        assert_eq!(c.misses_at(3), 4.0);
+        assert_eq!(c.misses_at(4), 4.0);
+        assert!((c.miss_ratio_at(4) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_multiplies_counts() {
+        let mut h = MsaHistogram::new(2);
+        h.record(Some(0));
+        h.record(None);
+        let c = MissRatioCurve::from_histogram(&h, 32.0);
+        assert_eq!(c.misses_at(0), 64.0);
+        assert_eq!(c.accesses(), 64.0);
+        // Ratios are invariant under scaling.
+        assert!((c.miss_ratio_at(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_allocations_clamp() {
+        let c = knee_curve();
+        assert_eq!(c.misses_at(100), c.misses_at(16));
+    }
+
+    #[test]
+    fn marginal_utility_definition() {
+        let c = knee_curve();
+        let mu = c.marginal_utility(0, 2);
+        assert!((mu - (1000.0 - 684.0) / 2.0).abs() < 1e-9);
+        assert_eq!(
+            c.marginal_utility(8, 4),
+            0.0,
+            "flat region has zero utility"
+        );
+        assert_eq!(c.marginal_utility(3, 0), 0.0);
+    }
+
+    #[test]
+    fn best_growth_sees_past_plateaus() {
+        // Plateau then cliff: no gain for 3 ways, everything at the 4th.
+        let misses = vec![100.0, 100.0, 100.0, 100.0, 0.0];
+        let c = MissRatioCurve::from_misses(misses, 100.0);
+        let (n, mu) = c.best_growth(0, 4).unwrap();
+        assert_eq!(n, 4);
+        assert!((mu - 25.0).abs() < 1e-12);
+        // Greedy one-way scanning would have seen zero utility.
+        assert_eq!(c.marginal_utility(0, 1), 0.0);
+    }
+
+    #[test]
+    fn best_growth_respects_budget() {
+        let misses = vec![100.0, 100.0, 100.0, 100.0, 0.0];
+        let c = MissRatioCurve::from_misses(misses, 100.0);
+        let (_, mu) = c.best_growth(0, 3).unwrap();
+        assert_eq!(mu, 0.0, "the cliff at 4 is out of budget");
+    }
+
+    #[test]
+    fn saturation_ways_finds_the_knee() {
+        let c = knee_curve();
+        assert_eq!(c.saturation_ways(0.01), 6);
+        // A flat curve saturates immediately.
+        let flat = MissRatioCurve::from_misses(vec![10.0; 9], 100.0);
+        assert_eq!(flat.saturation_ways(0.01), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn marginal_utility_nonnegative_for_monotone_curves(
+            drops in proptest::collection::vec(0.0f64..10.0, 8),
+            current in 0usize..8,
+            extra in 1usize..8,
+        ) {
+            // Build a monotone non-increasing curve from random drops.
+            let mut misses = vec![100.0];
+            for d in &drops {
+                let last = *misses.last().unwrap();
+                misses.push((last - d).max(0.0));
+            }
+            let c = MissRatioCurve::from_misses(misses, 100.0);
+            prop_assert!(c.marginal_utility(current, extra) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The MSA histogram: `K+1` counters over LRU stack distances (Fig. 2).
+//!
+//! `counter[d]` for `d < K` counts accesses that hit at stack distance `d`
+//! (0 = MRU); `counter[K]` counts accesses beyond the monitored depth —
+//! misses of a `K`-way cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Stack-distance histogram for a `K`-way monitored depth.
+///
+/// ```
+/// use bap_msa::MsaHistogram;
+///
+/// let mut h = MsaHistogram::new(4);
+/// h.record(Some(0)); // an MRU hit
+/// h.record(Some(3)); // a hit at the LRU edge
+/// h.record(None);    // a miss
+/// // A 4-way cache hits twice; a 2-way cache loses the distance-3 hit.
+/// assert_eq!(h.misses_at(4), 1);
+/// assert_eq!(h.misses_at(2), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsaHistogram {
+    /// `K+1` counters; the last is the miss counter.
+    counters: Vec<u64>,
+}
+
+impl MsaHistogram {
+    /// A zeroed histogram with monitored depth `ways`.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways >= 1);
+        MsaHistogram {
+            counters: vec![0; ways + 1],
+        }
+    }
+
+    /// Monitored depth `K`.
+    pub fn ways(&self) -> usize {
+        self.counters.len() - 1
+    }
+
+    /// Record an access at stack distance `distance` (`None` = beyond depth,
+    /// i.e. a miss of the `K`-way cache).
+    #[inline]
+    pub fn record(&mut self, distance: Option<usize>) {
+        match distance {
+            Some(d) if d < self.ways() => self.counters[d] += 1,
+            _ => *self.counters.last_mut().expect("non-empty") += 1,
+        }
+    }
+
+    /// Raw counter values (`K+1` entries, miss counter last).
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Total recorded accesses.
+    pub fn accesses(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+
+    /// Hits at distance strictly less than `ways` — the hits of a cache with
+    /// that many ways (LRU inclusion property).
+    pub fn hits_within(&self, ways: usize) -> u64 {
+        self.counters[..ways.min(self.ways())].iter().sum()
+    }
+
+    /// Projected misses of a cache with `ways` ways: everything that did not
+    /// hit within the first `ways` stack positions.
+    pub fn misses_at(&self, ways: usize) -> u64 {
+        self.accesses() - self.hits_within(ways)
+    }
+
+    /// Misses of the full monitored depth (the raw miss counter).
+    pub fn misses(&self) -> u64 {
+        *self.counters.last().expect("non-empty")
+    }
+
+    /// Halve every counter — the exponential decay applied at epoch
+    /// boundaries so the profile tracks phase changes without forgetting
+    /// everything.
+    pub fn decay(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+    }
+
+    /// Element-wise accumulate another histogram of the same depth.
+    pub fn merge(&mut self, other: &MsaHistogram) {
+        assert_eq!(self.ways(), other.ways(), "histogram depths must match");
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn record_and_project() {
+        let mut h = MsaHistogram::new(8);
+        // Fig. 2-style: heavy MRU reuse.
+        for _ in 0..50 {
+            h.record(Some(0));
+        }
+        for _ in 0..10 {
+            h.record(Some(5));
+        }
+        for _ in 0..5 {
+            h.record(None);
+        }
+        assert_eq!(h.accesses(), 65);
+        assert_eq!(h.misses(), 5);
+        // A 8-way cache misses 5; a 4-way cache additionally misses the
+        // distance-5 hits.
+        assert_eq!(h.misses_at(8), 5);
+        assert_eq!(h.misses_at(4), 15);
+        assert_eq!(h.misses_at(0), 65);
+    }
+
+    #[test]
+    fn distances_beyond_depth_count_as_misses() {
+        let mut h = MsaHistogram::new(4);
+        h.record(Some(4));
+        h.record(Some(100));
+        h.record(None);
+        assert_eq!(h.misses(), 3);
+    }
+
+    #[test]
+    fn decay_halves() {
+        let mut h = MsaHistogram::new(2);
+        for _ in 0..10 {
+            h.record(Some(0));
+        }
+        h.record(None);
+        h.decay();
+        assert_eq!(h.counters(), &[5, 0, 0]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MsaHistogram::new(2);
+        let mut b = MsaHistogram::new(2);
+        a.record(Some(0));
+        b.record(Some(0));
+        b.record(None);
+        a.merge(&b);
+        assert_eq!(a.counters(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut h = MsaHistogram::new(2);
+        h.record(Some(1));
+        h.reset();
+        assert_eq!(h.accesses(), 0);
+    }
+
+    proptest! {
+        /// Misses must be monotonically non-increasing in allocated ways —
+        /// the fundamental property the whole mechanism relies on.
+        #[test]
+        fn misses_monotone_in_ways(counts in proptest::collection::vec(0u64..1000, 9)) {
+            let mut h = MsaHistogram::new(8);
+            for (d, &n) in counts.iter().enumerate() {
+                for _ in 0..n.min(50) {
+                    h.record(if d < 8 { Some(d) } else { None });
+                }
+            }
+            for w in 0..8 {
+                prop_assert!(h.misses_at(w) >= h.misses_at(w + 1));
+            }
+        }
+
+        /// hits_within + misses_at always partition the accesses.
+        #[test]
+        fn hits_and_misses_partition(counts in proptest::collection::vec(0u64..100, 9), w in 0usize..=8) {
+            let mut h = MsaHistogram::new(8);
+            for (d, &n) in counts.iter().enumerate() {
+                for _ in 0..n {
+                    h.record(if d < 8 { Some(d) } else { None });
+                }
+            }
+            prop_assert_eq!(h.hits_within(w) + h.misses_at(w), h.accesses());
+        }
+    }
+}

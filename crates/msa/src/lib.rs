@@ -1,0 +1,27 @@
+//! Mattson stack-distance (MSA) cache profiling (§III-A of the paper).
+//!
+//! The partitioning mechanism never inspects the cache itself: it consumes
+//! per-core LRU *stack-distance histograms* collected by small hardware
+//! profilers on the L2 access stream. By the LRU inclusion property, one
+//! histogram predicts the miss count of *every* cache size at once, which is
+//! what makes utility-based partitioning cheap.
+//!
+//! * [`histogram::MsaHistogram`] — the `K+1` counters of Fig. 2.
+//! * [`profiler::StackProfiler`] — the profiler itself: per-set LRU tag
+//!   stacks, optionally with *partial tags* (Kessler et al.) and *set
+//!   sampling*, the two hardware-overhead reductions the paper adopts, plus
+//!   the *maximum assignable capacity* cap (9/16 of the cache).
+//! * [`curve::MissRatioCurve`] — projected misses as a function of allocated
+//!   ways (Fig. 3), and the marginal-utility computation the allocation
+//!   algorithm consumes.
+//! * [`overhead::OverheadModel`] — the Table II storage equations.
+
+pub mod curve;
+pub mod histogram;
+pub mod overhead;
+pub mod profiler;
+
+pub use curve::MissRatioCurve;
+pub use histogram::MsaHistogram;
+pub use overhead::OverheadModel;
+pub use profiler::{ProfilerConfig, StackProfiler};

@@ -1,0 +1,67 @@
+//! Interconnect statistics.
+
+/// Accumulated NoC counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Requests routed.
+    pub requests: u64,
+    /// Total wire cycles (uncontended component).
+    pub wire_cycles: u64,
+    /// Total cycles spent queued on links or bank ports.
+    pub queued_cycles: u64,
+    /// Worst single-request queuing delay observed.
+    pub max_queued: u64,
+}
+
+impl NocStats {
+    /// Record one routed request.
+    pub fn record(&mut self, wire: u64, queued: u64) {
+        self.requests += 1;
+        self.wire_cycles += wire;
+        self.queued_cycles += queued;
+        if queued > self.max_queued {
+            self.max_queued = queued;
+        }
+    }
+
+    /// Mean total latency per request.
+    pub fn avg_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.wire_cycles + self.queued_cycles) as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean queuing delay per request.
+    pub fn avg_queued(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queued_cycles as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_averages() {
+        let mut s = NocStats::default();
+        s.record(10, 0);
+        s.record(70, 6);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.max_queued, 6);
+        assert!((s.avg_latency() - 43.0).abs() < 1e-12);
+        assert!((s.avg_queued() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = NocStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_queued(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The integrated 8-core CMP-DNUCA system simulator.
+//!
+//! Composes every substrate into the paper's testbed:
+//!
+//! ```text
+//!  AddressStream ─▶ CoreModel (ROB/MSHR + L1) ─▶ SharedMemory
+//!                                                 ├─ DnucaL2 (16 banks, way-partitioned)
+//!                                                 ├─ NocModel (10–70-cycle NUCA + contention)
+//!                                                 ├─ DramModel (260 cycles, 64 GB/s)
+//!                                                 ├─ MOESI directory (shared segments)
+//!                                                 └─ Controller (MSA profilers + repartitioning)
+//! ```
+//!
+//! * [`sim::System`] — the detailed simulator behind Figs. 8/9: epoch-driven
+//!   dynamic repartitioning, multiprogrammed workload mixes, per-core CPI
+//!   and miss statistics.
+//! * [`analytic`] — the projection-based evaluator behind Fig. 7's Monte
+//!   Carlo: profiles workloads stand-alone and projects mix miss rates
+//!   without simulating.
+
+pub mod analytic;
+pub mod memory;
+pub mod metrics;
+pub mod sim;
+
+pub use analytic::{profile_workload, profile_workloads};
+pub use memory::SharedMemory;
+pub use sim::{RunResult, SimOptions, System};

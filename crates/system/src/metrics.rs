@@ -1,0 +1,94 @@
+//! Multiprogrammed performance and fairness metrics.
+//!
+//! The paper's introduction motivates partitioning with *fair* resource use
+//! under consolidation; these are the standard metrics that quantify it:
+//!
+//! * **weighted speedup** — Σ IPC_shared / IPC_alone (system throughput in
+//!   "jobs' worth of progress");
+//! * **harmonic mean of normalised IPCs** — balances throughput and
+//!   fairness (Luo et al.);
+//! * **fairness index** — min/max of the normalised IPCs (1.0 = perfectly
+//!   even slowdowns, → 0 = someone is starved).
+
+/// Per-core normalised progress: `ipc_shared[i] / ipc_alone[i]`.
+pub fn normalised_ipcs(ipc_shared: &[f64], ipc_alone: &[f64]) -> Vec<f64> {
+    assert_eq!(ipc_shared.len(), ipc_alone.len());
+    ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .map(|(&s, &a)| if a <= 0.0 { 0.0 } else { s / a })
+        .collect()
+}
+
+/// Weighted speedup: Σ normalised IPCs.
+pub fn weighted_speedup(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    normalised_ipcs(ipc_shared, ipc_alone).iter().sum()
+}
+
+/// Harmonic mean of the normalised IPCs.
+pub fn harmonic_mean_speedup(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    let norm = normalised_ipcs(ipc_shared, ipc_alone);
+    let inv_sum: f64 = norm
+        .iter()
+        .map(|&v| if v <= 0.0 { f64::INFINITY } else { 1.0 / v })
+        .sum();
+    if inv_sum.is_finite() {
+        norm.len() as f64 / inv_sum
+    } else {
+        0.0
+    }
+}
+
+/// Fairness index: `min / max` of the normalised IPCs.
+pub fn fairness_index(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    let norm = normalised_ipcs(ipc_shared, ipc_alone);
+    let min = norm.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = norm.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unshared_system_scores_perfectly() {
+        let alone = [2.0, 1.0, 0.5];
+        let ws = weighted_speedup(&alone, &alone);
+        assert!((ws - 3.0).abs() < 1e-12);
+        assert!((harmonic_mean_speedup(&alone, &alone) - 1.0).abs() < 1e-12);
+        assert!((fairness_index(&alone, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_slowdown_is_fair() {
+        let alone = [2.0, 1.0];
+        let shared = [1.0, 0.5]; // everyone at 50%
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+        assert!((fairness_index(&shared, &alone) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean_speedup(&shared, &alone) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_tanks_fairness_before_throughput() {
+        let alone = [1.0, 1.0, 1.0, 1.0];
+        let shared = [1.0, 1.0, 1.0, 0.1]; // one core starved
+        assert!(weighted_speedup(&shared, &alone) > 3.0);
+        assert!(fairness_index(&shared, &alone) < 0.2);
+        // The harmonic mean punishes the starved core harder than the
+        // arithmetic view.
+        assert!(harmonic_mean_speedup(&shared, &alone) < 0.31);
+    }
+
+    #[test]
+    fn zero_alone_ipc_is_handled() {
+        let norm = normalised_ipcs(&[1.0], &[0.0]);
+        assert_eq!(norm, vec![0.0]);
+        assert_eq!(fairness_index(&[1.0], &[0.0]), 0.0);
+        assert_eq!(harmonic_mean_speedup(&[1.0], &[0.0]), 0.0);
+    }
+}

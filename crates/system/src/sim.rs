@@ -1,0 +1,452 @@
+//! The detailed multiprogrammed simulation driver (Figs. 8/9 testbed).
+//!
+//! Eight [`bap_cpu::CoreModel`]s consume eight [`AddressStream`]s over one
+//! [`SharedMemory`]. Cores are interleaved by advancing whichever core's
+//! issue frontier is furthest behind, in fixed quanta, so the contention
+//! models (bank ports, links, DRAM channel) see time-aligned traffic.
+//! Repartitioning epochs fire on the global (minimum) frontier, mirroring
+//! the paper's 100 M-cycle epochs.
+//!
+//! A run has a warm-up slice (statistics discarded) followed by a
+//! measurement slice, as in the paper's methodology (§IV).
+
+use crate::memory::{SharedMemory, SHARED_SEGMENT_BIT};
+use bap_cache::dnuca::DnucaStats;
+use bap_cache::{AggregationScheme, PartitionPlan};
+use bap_core::Policy;
+use bap_cpu::CoreModel;
+use bap_dram::DramStats;
+use bap_noc::NocStats;
+use bap_types::stats::{geometric_mean, CoreStats};
+use bap_types::{Addr, CoreId, Cycle, Op, SystemConfig};
+use bap_workloads::{AddressStream, WorkloadSpec};
+
+/// Options of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    /// Machine configuration (Table I, possibly scaled).
+    pub config: SystemConfig,
+    /// Partitioning policy under test.
+    pub policy: Policy,
+    /// Bank-aggregation scheme.
+    pub scheme: AggregationScheme,
+    /// Instructions per core whose statistics are discarded (cache warm-up).
+    pub warmup_instructions: u64,
+    /// Instructions per core measured after warm-up.
+    pub measure_instructions: u64,
+    /// Fraction of memory accesses redirected into the coherent shared
+    /// segment (0.0 = pure multiprogrammed, as in the paper).
+    pub shared_fraction: f64,
+    /// Number of distinct blocks in the shared segment.
+    pub shared_blocks: u64,
+    /// Shared-DNUCA chain depth for the No-partitions baseline.
+    pub shared_chain_limit: usize,
+    /// Per-bank replacement policy (TrueLru is the paper's assumption; the
+    /// ablation sweeps hardware approximations).
+    pub replacement: bap_cache::ReplacementPolicy,
+    /// Stop repartitioning after this many plans (None = fully dynamic).
+    /// `Some(1)` turns Bank-aware into a static one-shot assignment — the
+    /// baseline the phase-adaptation ablation compares against.
+    pub freeze_plan_after: Option<u64>,
+    /// Strict lookup isolation: partitioned lookups never search other
+    /// partitions, and repartitions flush stranded lines (§III-B's literal
+    /// access restriction). Off by default (DNUCA migration semantics).
+    pub lookup_isolation: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimOptions {
+    /// Defaults for a given machine/policy: pure multiprogrammed mix with
+    /// paper-proportional warm-up.
+    pub fn new(config: SystemConfig, policy: Policy) -> Self {
+        SimOptions {
+            config,
+            policy,
+            scheme: AggregationScheme::Parallel,
+            warmup_instructions: 200_000,
+            measure_instructions: 1_000_000,
+            shared_fraction: 0.0,
+            shared_blocks: 4096,
+            shared_chain_limit: crate::memory::DEFAULT_SHARED_CHAIN,
+            replacement: bap_cache::ReplacementPolicy::TrueLru,
+            freeze_plan_after: None,
+            lookup_isolation: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-core statistics over the measurement slice.
+    pub per_core: Vec<CoreStats>,
+    /// L2 traffic counters.
+    pub l2: DnucaStats,
+    /// Interconnect counters.
+    pub noc: NocStats,
+    /// Memory counters.
+    pub dram: DramStats,
+    /// Row-buffer behaviour (banked-DRAM runs only).
+    pub dram_rows: Option<bap_dram::RowStats>,
+    /// Coherence-protocol traffic (shared-segment runs).
+    pub coherence: bap_coherence::directory::DirectoryStats,
+    /// The plan in force at the end (None in shared mode).
+    pub final_plan: Option<PartitionPlan>,
+    /// Repartitioning epochs that fired during measurement.
+    pub epochs: u64,
+    /// Way assignment after each epoch boundary across the whole run
+    /// (warm-up included) — the adaptation timeline.
+    pub epoch_history: Vec<Vec<usize>>,
+}
+
+impl RunResult {
+    /// Total L2 misses across cores.
+    pub fn total_l2_misses(&self) -> u64 {
+        self.per_core.iter().map(|c| c.l2.misses).sum()
+    }
+
+    /// Total L2 accesses across cores.
+    pub fn total_l2_accesses(&self) -> u64 {
+        self.per_core.iter().map(|c| c.l2.accesses()).sum()
+    }
+
+    /// System miss ratio over L2 accesses.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        let a = self.total_l2_accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.total_l2_misses() as f64 / a as f64
+        }
+    }
+
+    /// Geometric-mean CPI across cores.
+    pub fn gm_cpi(&self) -> f64 {
+        let cpis: Vec<f64> = self.per_core.iter().map(|c| c.cpi()).collect();
+        geometric_mean(&cpis)
+    }
+
+    /// Arithmetic-mean CPI across cores.
+    pub fn mean_cpi(&self) -> f64 {
+        let cpis: Vec<f64> = self.per_core.iter().map(|c| c.cpi()).collect();
+        bap_types::stats::mean(&cpis)
+    }
+}
+
+/// A per-core instruction source: anything that yields [`Op`]s forever
+/// (generated streams, phased streams, replayed traces).
+pub type OpStream = Box<dyn Iterator<Item = Op> + Send>;
+
+/// The simulation driver.
+///
+/// ```no_run
+/// use bap_core::Policy;
+/// use bap_system::{SimOptions, System};
+/// use bap_types::SystemConfig;
+/// use bap_workloads::spec_by_name;
+///
+/// let specs: Vec<_> = ["mcf", "twolf", "art", "sixtrack", "gcc", "gap", "vpr", "eon"]
+///     .iter().map(|n| spec_by_name(n).unwrap()).collect();
+/// let opts = SimOptions::new(SystemConfig::scaled(8), Policy::BankAware);
+/// let result = System::new(opts, specs).run();
+/// println!("misses: {}", result.total_l2_misses());
+/// ```
+pub struct System {
+    opts: SimOptions,
+    cores: Vec<CoreModel>,
+    streams: Vec<OpStream>,
+    mem: SharedMemory,
+}
+
+impl System {
+    /// Build a system running one workload per core (`specs.len()` must
+    /// equal the configured core count).
+    pub fn new(opts: SimOptions, specs: Vec<WorkloadSpec>) -> Self {
+        let blocks_per_way = opts.config.l2_bank_sets() as u64;
+        let seed = opts.seed;
+        let streams = specs
+            .into_iter()
+            .enumerate()
+            .map(|(c, spec)| {
+                Box::new(AddressStream::new(
+                    spec,
+                    blocks_per_way,
+                    c as u64 + 1,
+                    seed ^ (c as u64) << 8,
+                )) as OpStream
+            })
+            .collect();
+        Self::with_streams(opts, streams)
+    }
+
+    /// Build a system over arbitrary per-core op streams (phased workloads,
+    /// replayed traces, hand-written generators).
+    pub fn with_streams(opts: SimOptions, streams: Vec<OpStream>) -> Self {
+        assert_eq!(streams.len(), opts.config.num_cores, "one stream per core");
+        let cores = (0..opts.config.num_cores)
+            .map(|c| CoreModel::new(CoreId(c as u8), &opts.config))
+            .collect();
+        let mut mem = SharedMemory::with_options(
+            &opts.config,
+            opts.policy,
+            opts.scheme,
+            opts.shared_chain_limit,
+            opts.replacement,
+        );
+        mem.l2.set_lookup_isolation(opts.lookup_isolation);
+        System {
+            opts,
+            cores,
+            streams,
+            mem,
+        }
+    }
+
+    /// Remap a fraction of accesses into the coherent shared segment.
+    fn remap_shared(&self, op: Op) -> Op {
+        if self.opts.shared_fraction <= 0.0 {
+            return op;
+        }
+        let Some(addr) = op.addr() else { return op };
+        let block = addr.block().0;
+        // Deterministic per-block hash decides membership.
+        let h = block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        if (h % 10_000) as f64 >= self.opts.shared_fraction * 10_000.0 {
+            return op;
+        }
+        let shared = Addr(((block % self.opts.shared_blocks) | SHARED_SEGMENT_BIT) << 6);
+        match op {
+            Op::Load(_) => Op::Load(shared),
+            Op::DependentLoad(_) => Op::DependentLoad(shared),
+            Op::Store(_) => Op::Store(shared),
+            Op::Compute(n) => Op::Compute(n),
+        }
+    }
+
+    /// Advance `core` until it has retired `target` instructions (since its
+    /// last stats reset) or its frontier passes `until`.
+    fn advance_core(&mut self, core: usize, target: u64, until: Cycle) {
+        while self.cores[core].stats().instructions < target && self.cores[core].now() < until {
+            let op = self.streams[core].next().expect("streams are infinite");
+            let op = self.remap_shared(op);
+            self.cores[core].step(op, &mut self.mem);
+        }
+    }
+
+    /// Run one phase: every core retires `instructions`; epochs fire on the
+    /// global frontier. Returns the number of epoch boundaries crossed.
+    fn run_phase(&mut self, instructions: u64) -> u64 {
+        // Small quantum keeps the cores' local clocks tightly aligned so the
+        // reservation-based contention models see near-causal traffic.
+        let quantum: Cycle = 500;
+        let epoch = self.opts.config.epoch_cycles;
+        let mut epochs = 0u64;
+        let mut next_epoch: Cycle = self.cores.iter().map(|c| c.now()).min().unwrap_or(0) + epoch;
+        loop {
+            // The laggard unfinished core advances next.
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.stats().instructions < instructions)
+                .min_by_key(|(_, c)| c.now())
+                .map(|(i, _)| i);
+            let Some(core) = next else { break };
+            let until = self.cores[core].now() + quantum;
+            self.advance_core(core, instructions, until);
+
+            // Epochs fire on the slowest unfinished core's clock (finished
+            // cores stop participating, matching a fixed-slice methodology).
+            let global = self
+                .cores
+                .iter()
+                .filter(|c| c.stats().instructions < instructions)
+                .map(|c| c.now())
+                .min();
+            if let Some(g) = global {
+                if g >= next_epoch {
+                    let frozen = self
+                        .opts
+                        .freeze_plan_after
+                        .is_some_and(|n| self.mem.plans_applied() >= n);
+                    if !frozen {
+                        self.mem.epoch_boundary();
+                    }
+                    next_epoch += epoch;
+                    epochs += 1;
+                }
+            }
+        }
+        for c in &mut self.cores {
+            c.finish();
+        }
+        epochs
+    }
+
+    /// Execute warm-up + measurement and return the results.
+    pub fn run(mut self) -> RunResult {
+        if self.opts.warmup_instructions > 0 {
+            self.run_phase(self.opts.warmup_instructions);
+        }
+        // Reset measurement state; caches, profilers and plans stay warm.
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.mem.reset_stats();
+
+        let epochs = self.run_phase(self.opts.measure_instructions);
+
+        let per_core: Vec<CoreStats> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut s = c.stats().clone();
+                let id = CoreId(i as u8);
+                s.l2 = self.mem.l2_stats(id);
+                s.l2_latency_sum = self.mem.l2_latency_sum(id);
+                s.mem_accesses = s.l2.misses;
+                s
+            })
+            .collect();
+        RunResult {
+            per_core,
+            l2: self.mem.l2.stats().clone(),
+            noc: self.mem.noc.stats().clone(),
+            dram: self.mem.dram.stats().clone(),
+            dram_rows: self.mem.dram.row_stats().cloned(),
+            coherence: self.mem.coherence.directory().stats().clone(),
+            final_plan: self.mem.l2.plan().cloned(),
+            epochs,
+            epoch_history: self.mem.epoch_history().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bap_workloads::spec_by_name;
+
+    fn opts(policy: Policy) -> SimOptions {
+        let mut o = SimOptions::new(SystemConfig::scaled(64), policy);
+        o.config.epoch_cycles = 20_000;
+        o.warmup_instructions = 60_000;
+        o.measure_instructions = 150_000;
+        o
+    }
+
+    /// An oversubscribed mix (aggregate appetite ≈ 2× the cache): under
+    /// shared LRU the deep workloads thrash the small working sets; the
+    /// Bank-aware algorithm triages capacity by marginal utility.
+    fn mix() -> Vec<WorkloadSpec> {
+        [
+            "bzip2", "twolf", "facerec", "mgrid", "art", "swim", "mcf", "sixtrack",
+        ]
+        .iter()
+        .map(|n| spec_by_name(n).expect("catalog"))
+        .collect()
+    }
+
+    #[test]
+    fn runs_and_counts_instructions() {
+        let r = System::new(opts(Policy::NoPartition), mix()).run();
+        for c in &r.per_core {
+            assert!(c.instructions >= 120_000);
+            assert!(c.cycles > 0);
+            assert!(c.cpi() > 0.2, "cpi {}", c.cpi());
+        }
+        assert!(r.total_l2_accesses() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = System::new(opts(Policy::BankAware), mix()).run();
+        let b = System::new(opts(Policy::BankAware), mix()).run();
+        assert_eq!(a.total_l2_misses(), b.total_l2_misses());
+        assert_eq!(a.per_core[0].cycles, b.per_core[0].cycles);
+    }
+
+    #[test]
+    fn bank_aware_beats_no_partitioning_on_a_skewed_mix() {
+        let none = System::new(opts(Policy::NoPartition), mix()).run();
+        let ba = System::new(opts(Policy::BankAware), mix()).run();
+        assert!(
+            ba.total_l2_misses() < none.total_l2_misses(),
+            "bank-aware {} vs none {}",
+            ba.total_l2_misses(),
+            none.total_l2_misses()
+        );
+    }
+
+    #[test]
+    fn epochs_fire_under_bank_aware() {
+        let mut o = opts(Policy::BankAware);
+        o.config.epoch_cycles = 50_000;
+        let r = System::new(o, mix()).run();
+        assert!(r.epochs >= 1, "epochs {}", r.epochs);
+        assert!(r.final_plan.is_some());
+        assert_eq!(r.final_plan.as_ref().unwrap().total_ways_used(), 128);
+        // The adaptation timeline covers every boundary and stays complete.
+        assert!(!r.epoch_history.is_empty());
+        for ways in &r.epoch_history {
+            assert_eq!(ways.iter().sum::<usize>(), 128);
+        }
+    }
+
+    #[test]
+    fn mesh_floorplan_runs_end_to_end() {
+        let mut o = opts(Policy::BankAware);
+        o.config.floorplan = bap_types::topology::Floorplan::Mesh;
+        let r = System::new(o, mix()).run();
+        assert!(r.total_l2_accesses() > 0);
+        let plan = r.final_plan.expect("partitioned");
+        assert_eq!(plan.total_ways_used(), 128);
+        // Mesh adjacency (two edge chains) still yields a rule-valid plan.
+        bap_core::bank_aware::validate_bank_rules(
+            &plan,
+            &bap_types::Topology::mesh_baseline(),
+        )
+        .expect("mesh bank rules hold");
+    }
+
+    #[test]
+    fn replacement_policy_changes_outcomes_but_not_validity() {
+        let lru = System::new(opts(Policy::BankAware), mix()).run();
+        let mut o = opts(Policy::BankAware);
+        o.replacement = bap_cache::ReplacementPolicy::TreePlru;
+        let plru = System::new(o, mix()).run();
+        assert_ne!(lru.total_l2_misses(), plru.total_l2_misses());
+        // PLRU approximates LRU: within a modest band, never wildly off.
+        let ratio = plru.total_l2_misses() as f64 / lru.total_l2_misses() as f64;
+        assert!((0.8..1.6).contains(&ratio), "PLRU/LRU miss ratio {ratio}");
+    }
+
+    #[test]
+    fn frozen_plans_stop_adapting() {
+        let mut o = opts(Policy::BankAware);
+        o.freeze_plan_after = Some(1);
+        let r = System::new(o, mix()).run();
+        // Exactly the initial (equal) plan remains in force forever.
+        let plan = r.final_plan.expect("partitioned");
+        for c in 0..8 {
+            assert_eq!(plan.ways_of(CoreId(c)), 16, "frozen at the initial equal split");
+        }
+    }
+
+    #[test]
+    fn shared_segment_exercises_coherence() {
+        let mut o = opts(Policy::NoPartition);
+        o.shared_fraction = 0.2;
+        o.shared_blocks = 256;
+        let r = System::new(o, mix()).run();
+        assert!(r.coherence.transactions > 0, "directory saw traffic");
+        assert!(
+            r.coherence.forwards + r.coherence.invalidations > 0,
+            "cross-core sharing produced protocol traffic: {:?}",
+            r.coherence
+        );
+    }
+}

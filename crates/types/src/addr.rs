@@ -1,0 +1,153 @@
+//! Byte and cache-block addresses.
+//!
+//! The simulator works almost exclusively on 64-byte cache blocks (Table I),
+//! so [`BlockAddr`] is the workhorse type; [`Addr`] exists for the boundary
+//! with workload generators, which think in bytes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// log2 of the cache block size (64 bytes, Table I).
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// Cache block size in bytes (Table I).
+pub const BLOCK_BYTES: u64 = 1 << BLOCK_SHIFT;
+
+/// A byte-granularity physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache block containing this byte address.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Offset of this byte within its cache block.
+    #[inline]
+    pub fn block_offset(self) -> u64 {
+        self.0 & (BLOCK_BYTES - 1)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+/// A block-granularity address: the byte address shifted right by
+/// [`BLOCK_SHIFT`]. All cache structures key on this.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The first byte address of this block.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// Set index within a cache of `num_sets` sets (power of two).
+    ///
+    /// Uses the low-order block-address bits, the conventional set hash.
+    #[inline]
+    pub fn set_index(self, num_sets: usize) -> usize {
+        debug_assert!(num_sets.is_power_of_two());
+        (self.0 as usize) & (num_sets - 1)
+    }
+
+    /// Tag bits above the set index for a cache of `num_sets` sets.
+    #[inline]
+    pub fn tag(self, num_sets: usize) -> u64 {
+        debug_assert!(num_sets.is_power_of_two());
+        self.0 >> num_sets.trailing_zeros()
+    }
+
+    /// Truncate a tag to `bits` low-order bits, modelling the *partial tag*
+    /// technique (Kessler et al.) used by the hardware MSA profiler.
+    /// Distinct blocks may alias under truncation — that is the point of
+    /// modelling it.
+    #[inline]
+    pub fn partial_tag(self, num_sets: usize, bits: u32) -> u64 {
+        debug_assert!(bits <= 64);
+        let full = self.tag(num_sets);
+        if bits == 64 {
+            full
+        } else {
+            full & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_of_byte_address() {
+        assert_eq!(Addr(0).block(), BlockAddr(0));
+        assert_eq!(Addr(63).block(), BlockAddr(0));
+        assert_eq!(Addr(64).block(), BlockAddr(1));
+        assert_eq!(Addr(64 * 10 + 5).block(), BlockAddr(10));
+    }
+
+    #[test]
+    fn block_offset_in_range() {
+        assert_eq!(Addr(0).block_offset(), 0);
+        assert_eq!(Addr(65).block_offset(), 1);
+        assert_eq!(Addr(127).block_offset(), 63);
+    }
+
+    #[test]
+    fn base_inverts_block() {
+        assert_eq!(BlockAddr(10).base(), Addr(640));
+        assert_eq!(Addr(640).block(), BlockAddr(10));
+    }
+
+    #[test]
+    fn set_index_and_tag_partition_the_bits() {
+        let b = BlockAddr(0b1011_0110_1101);
+        let sets = 16;
+        assert_eq!(b.set_index(sets), 0b1101);
+        assert_eq!(b.tag(sets), 0b1011_0110);
+    }
+
+    #[test]
+    fn partial_tag_truncates() {
+        let b = BlockAddr(0xFFFF_FFFF);
+        assert_eq!(b.partial_tag(16, 12), 0xFFF);
+        assert_eq!(b.partial_tag(16, 64), b.tag(16));
+    }
+
+    proptest! {
+        #[test]
+        fn tag_and_set_reconstruct_block(raw in 0u64..(1 << 40), sets_log2 in 1u32..16) {
+            let sets = 1usize << sets_log2;
+            let b = BlockAddr(raw);
+            let rebuilt = (b.tag(sets) << sets_log2) | b.set_index(sets) as u64;
+            prop_assert_eq!(rebuilt, raw);
+        }
+
+        #[test]
+        fn partial_tag_is_prefix_consistent(raw in any::<u64>(), bits in 1u32..64) {
+            let b = BlockAddr(raw);
+            let partial = b.partial_tag(64, bits);
+            prop_assert_eq!(partial, b.tag(64) & ((1u64 << bits) - 1));
+        }
+
+        #[test]
+        fn block_roundtrip(raw in any::<u64>()) {
+            let addr = Addr(raw & !(BLOCK_BYTES - 1));
+            prop_assert_eq!(addr.block().base(), addr);
+        }
+    }
+}

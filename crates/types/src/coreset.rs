@@ -1,0 +1,190 @@
+//! Small bit-set of cores, used as the per-way owner mask of the vertical
+//! fine-grain way-partitioning scheme (Section III-B of the paper).
+//!
+//! Each cache way in a bank carries a [`CoreSet`] naming the cores allowed to
+//! allocate into it; a way shared between adjacent cores carries both bits.
+
+use crate::ids::CoreId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign};
+
+/// A set of cores represented as a 16-bit mask (the workspace supports up to
+/// 16 cores; the paper's baseline uses 8).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreSet(pub u16);
+
+impl CoreSet {
+    /// The empty set.
+    pub const EMPTY: CoreSet = CoreSet(0);
+
+    /// A set containing exactly one core.
+    #[inline]
+    pub fn single(core: CoreId) -> Self {
+        CoreSet(1 << core.0)
+    }
+
+    /// A set containing all of the first `n` cores.
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        debug_assert!(n <= 16);
+        if n == 16 {
+            CoreSet(u16::MAX)
+        } else {
+            CoreSet((1u16 << n) - 1)
+        }
+    }
+
+    /// Whether `core` is a member.
+    #[inline]
+    pub fn contains(self, core: CoreId) -> bool {
+        self.0 & (1 << core.0) != 0
+    }
+
+    /// Insert a core.
+    #[inline]
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1 << core.0;
+    }
+
+    /// Remove a core.
+    #[inline]
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1 << core.0);
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of member cores.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over member cores in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        (0..16u8)
+            .filter(move |&i| self.0 & (1 << i) != 0)
+            .map(CoreId)
+    }
+}
+
+impl BitOr for CoreSet {
+    type Output = CoreSet;
+    fn bitor(self, rhs: Self) -> Self {
+        CoreSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for CoreSet {
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for CoreSet {
+    type Output = CoreSet;
+    fn bitand(self, rhs: Self) -> Self {
+        CoreSet(self.0 & rhs.0)
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<T: IntoIterator<Item = CoreId>>(iter: T) -> Self {
+        let mut s = CoreSet::EMPTY;
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for CoreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_contains_only_its_core() {
+        let s = CoreSet::single(CoreId(3));
+        assert!(s.contains(CoreId(3)));
+        assert!(!s.contains(CoreId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        let s = CoreSet::all(8);
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(CoreId(0)));
+        assert!(s.contains(CoreId(7)));
+        assert!(!s.contains(CoreId(8)));
+        assert_eq!(CoreSet::all(16).len(), 16);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = CoreSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(CoreId(5));
+        assert!(s.contains(CoreId(5)));
+        s.remove(CoreId(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = CoreSet::single(CoreId(1)) | CoreSet::single(CoreId(2));
+        let b = CoreSet::single(CoreId(2)) | CoreSet::single(CoreId(3));
+        assert_eq!(a & b, CoreSet::single(CoreId(2)));
+        assert_eq!((a | b).len(), 3);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: CoreSet = [CoreId(4), CoreId(0), CoreId(9)].into_iter().collect();
+        let v: Vec<_> = s.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![0, 4, 9]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s: CoreSet = [CoreId(0), CoreId(2)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{0,2}");
+    }
+
+    proptest! {
+        #[test]
+        fn len_matches_iter_count(mask in any::<u16>()) {
+            let s = CoreSet(mask);
+            prop_assert_eq!(s.len(), s.iter().count());
+        }
+
+        #[test]
+        fn from_iter_contains_all(cores in proptest::collection::vec(0u8..16, 0..10)) {
+            let s: CoreSet = cores.iter().map(|&c| CoreId(c)).collect();
+            for &c in &cores {
+                prop_assert!(s.contains(CoreId(c)));
+            }
+        }
+    }
+}

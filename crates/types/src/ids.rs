@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers for cores, banks and cache ways.
+//!
+//! Newtypes rather than bare integers: mixing up a core index and a bank
+//! index is an easy and expensive bug in a simulator, and the types cost
+//! nothing at run time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one processor core (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// The core index as a `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` core identifiers.
+    pub fn all(n: usize) -> impl Iterator<Item = CoreId> {
+        (0..n).map(|i| CoreId(i as u8))
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifier of one physical L2 cache bank (0-based).
+///
+/// In the baseline floorplan banks `0..8` are *Local* banks (one adjacent to
+/// each core) and banks `8..16` are *Center* banks; see
+/// [`crate::topology::Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId(pub u8);
+
+impl BankId {
+    /// The bank index as a `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` bank identifiers.
+    pub fn all(n: usize) -> impl Iterator<Item = BankId> {
+        (0..n).map(|i| BankId(i as u8))
+    }
+}
+
+impl fmt::Debug for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+/// Index of a way within one set-associative cache bank.
+pub type WayIdx = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c = CoreId(5);
+        assert_eq!(c.index(), 5);
+        assert_eq!(format!("{c}"), "core5");
+        assert_eq!(format!("{c:?}"), "core5");
+    }
+
+    #[test]
+    fn bank_id_roundtrip() {
+        let b = BankId(12);
+        assert_eq!(b.index(), 12);
+        assert_eq!(format!("{b}"), "bank12");
+    }
+
+    #[test]
+    fn all_iterators_cover_range() {
+        let cores: Vec<_> = CoreId::all(8).collect();
+        assert_eq!(cores.len(), 8);
+        assert_eq!(cores[0], CoreId(0));
+        assert_eq!(cores[7], CoreId(7));
+        let banks: Vec<_> = BankId::all(16).collect();
+        assert_eq!(banks.len(), 16);
+        assert_eq!(banks[15], BankId(15));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CoreId(1) < CoreId(2));
+        assert!(BankId(0) < BankId(15));
+    }
+}

@@ -1,0 +1,87 @@
+//! The instruction-level trace vocabulary shared between workload
+//! generators (`bap-workloads`) and the core timing model (`bap-cpu`).
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+
+/// One traced operation. Non-memory work is run-length encoded: a single
+/// [`Op::Compute`] stands for `n` ALU/branch instructions that never touch
+/// the data memory hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `n` non-memory instructions.
+    Compute(u32),
+    /// An independent load from the given byte address (overlappable with
+    /// other misses up to the ROB/MSHR limits).
+    Load(Addr),
+    /// A *dependent* load: subsequent instructions need its value
+    /// (pointer chasing), so it serialises the pipeline until completion.
+    DependentLoad(Addr),
+    /// A store to the given byte address.
+    Store(Addr),
+}
+
+impl Op {
+    /// How many instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => *n as u64,
+            _ => 1,
+        }
+    }
+
+    /// The memory address touched, if any.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Op::Compute(_) => None,
+            Op::Load(a) | Op::DependentLoad(a) | Op::Store(a) => Some(*a),
+        }
+    }
+
+    /// Whether this is a serialising (dependent) load.
+    pub fn is_dependent(&self) -> bool {
+        matches!(self, Op::DependentLoad(_))
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Op::Store(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(Op::Compute(7).instructions(), 7);
+        assert_eq!(Op::Load(Addr(0)).instructions(), 1);
+        assert_eq!(Op::Store(Addr(0)).instructions(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for op in [
+            Op::Compute(9),
+            Op::Load(Addr(64)),
+            Op::DependentLoad(Addr(128)),
+            Op::Store(Addr(192)),
+        ] {
+            let json = serde_json::to_string(&op).expect("serialise");
+            let back: Op = serde_json::from_str(&json).expect("parse");
+            assert_eq!(op, back);
+        }
+    }
+
+    #[test]
+    fn addr_extraction() {
+        assert_eq!(Op::Compute(1).addr(), None);
+        assert_eq!(Op::Load(Addr(64)).addr(), Some(Addr(64)));
+        assert_eq!(Op::DependentLoad(Addr(64)).addr(), Some(Addr(64)));
+        assert!(Op::Store(Addr(0)).is_store());
+        assert!(!Op::Load(Addr(0)).is_store());
+        assert!(Op::DependentLoad(Addr(0)).is_dependent());
+        assert!(!Op::Load(Addr(0)).is_dependent());
+    }
+}

@@ -1,0 +1,199 @@
+//! Statistics containers shared across the simulator, plus the small
+//! numeric helpers the evaluation uses (relative ratios, geometric mean).
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Hit/miss counters for one cache level as seen by one core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+
+    /// Record a hit.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+    }
+}
+
+/// End-to-end per-core statistics reported by a detailed simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// L1 data-cache behaviour.
+    pub l1: CacheStats,
+    /// L2 behaviour for this core's requests.
+    pub l2: CacheStats,
+    /// Requests that went to main memory.
+    pub mem_accesses: u64,
+    /// Cumulative L2 round-trip latency (cycles), for average-latency reports.
+    pub l2_latency_sum: u64,
+}
+
+impl CoreStats {
+    /// Cycles per instruction; `0` before any instruction retires.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// L2 misses per kilo-instruction.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Mean L2 round-trip latency over all L2 accesses.
+    pub fn avg_l2_latency(&self) -> f64 {
+        let a = self.l2.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.l2_latency_sum as f64 / a as f64
+        }
+    }
+}
+
+/// Ratio of `value` to `baseline`, the paper's "relative miss rate" /
+/// "relative CPI" metric (1.0 = no change, 0.3 = 70 % reduction).
+///
+/// Returns 1.0 when the baseline is zero, so that a workload with no misses
+/// under either scheme reads as "unchanged" rather than dividing by zero.
+pub fn relative(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        1.0
+    } else {
+        value / baseline
+    }
+}
+
+/// Geometric mean of a slice of positive values ("GM" columns in Figs. 8/9).
+/// Zero entries are clamped to a tiny positive value so a single perfect
+/// result does not collapse the mean to zero.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; `0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_basics() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_stats_accumulate() {
+        let mut a = CacheStats { hits: 1, misses: 2 };
+        a += CacheStats { hits: 3, misses: 4 };
+        assert_eq!(a, CacheStats { hits: 4, misses: 6 });
+    }
+
+    #[test]
+    fn core_stats_cpi_and_mpki() {
+        let s = CoreStats {
+            instructions: 1000,
+            cycles: 1500,
+            l2: CacheStats {
+                hits: 10,
+                misses: 5,
+            },
+            ..Default::default()
+        };
+        assert!((s.cpi() - 1.5).abs() < 1e-12);
+        assert!((s.l2_mpki() - 5.0).abs() < 1e-12);
+        assert_eq!(CoreStats::default().cpi(), 0.0);
+    }
+
+    #[test]
+    fn avg_l2_latency() {
+        let s = CoreStats {
+            l2: CacheStats { hits: 3, misses: 1 },
+            l2_latency_sum: 100,
+            ..Default::default()
+        };
+        assert!((s.avg_l2_latency() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_handles_zero_baseline() {
+        assert_eq!(relative(5.0, 0.0), 1.0);
+        assert!((relative(3.0, 6.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let gm = geometric_mean(&[1.0, 4.0]);
+        assert!((gm - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        // A zero entry is clamped, not propagated as total collapse.
+        assert!(geometric_mean(&[0.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,402 @@
+//! Physical floorplan of the baseline CMP (Fig. 1 of the paper).
+//!
+//! The baseline chip has 8 cores and 16 L2 banks. The eight banks physically
+//! adjacent to the cores are *Local* banks; the remaining eight are *Center*
+//! banks. Access latency ranges from 10 cycles (a core hitting its own Local
+//! bank) to 70 cycles (core 0 reaching the Local bank next to core 7 — seven
+//! hops).
+//!
+//! Two floorplan models are provided:
+//!
+//! * [`Floorplan::Chain`] — a 1-D abstraction:
+//!   `hops(core i, Local_j) = |i − j|` (exactly the paper's 0-to-7-hop Local
+//!   range) and `hops(core i, Center_j) = 1 + ⌈|i − j| / 2⌉` (Center banks
+//!   sit in the middle: never adjacent, smaller spread). Every core is
+//!   adjacent to its index neighbours.
+//! * [`Floorplan::Mesh`] — the explicit Fig. 1 layout: half the cores along
+//!   the top edge, half along the bottom, and the banks in a
+//!   `(cores/2) × 4` grid between them (Local rows facing the cores, two
+//!   Center rows in the middle). Hops are Manhattan distances; core 0 to
+//!   the Local bank of the last top-row neighbour's diagonal opposite is
+//!   again 7 hops on the 8-core die. Adjacency (who may share a Local
+//!   bank) follows the physical rows, so the top and bottom halves form
+//!   two separate chains.
+//!
+//! Bank numbering convention used throughout the workspace: banks `0..n`
+//! are Local (bank *i* local to core *i*), banks `n..2n` are Center.
+
+use crate::ids::{BankId, CoreId};
+use serde::{Deserialize, Serialize};
+
+/// Classification of an L2 bank in the floorplan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankKind {
+    /// Physically adjacent to one core; may be way-shared between that core
+    /// and an adjacent core (Rule 3 of the bank-aware scheme).
+    Local {
+        /// The core this bank sits next to.
+        home: CoreId,
+    },
+    /// In the middle of the die; always assigned wholly to a single core
+    /// (Rule 1).
+    Center,
+}
+
+/// Which physical layout model computes distances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Floorplan {
+    /// 1-D core-chain abstraction (the workspace default).
+    Chain,
+    /// Explicit Fig. 1 grid: cores on the top/bottom edges, banks in a
+    /// `(cores/2) × 4` grid between them, Manhattan-distance hops.
+    Mesh,
+}
+
+/// The floorplan: bank classification, hop distances and NUCA latencies.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    num_cores: usize,
+    /// Latency of a zero-hop access (own Local bank).
+    min_latency: u64,
+    /// Latency of the farthest access (`max_hops()` hops).
+    max_latency: u64,
+    /// Layout model.
+    kind: Floorplan,
+}
+
+impl Topology {
+    /// Build the baseline chain topology: `num_cores` cores,
+    /// `2 × num_cores` banks, latencies spanning
+    /// `min_latency..=max_latency` (paper: 10..=70).
+    pub fn new(num_cores: usize, min_latency: u64, max_latency: u64) -> Self {
+        assert!(num_cores >= 2, "topology needs at least two cores");
+        assert!(max_latency >= min_latency);
+        Topology {
+            num_cores,
+            min_latency,
+            max_latency,
+            kind: Floorplan::Chain,
+        }
+    }
+
+    /// Build the explicit Fig. 1 mesh: `num_cores` must be even (half on
+    /// each die edge).
+    pub fn new_mesh(num_cores: usize, min_latency: u64, max_latency: u64) -> Self {
+        assert!(
+            num_cores >= 4 && num_cores.is_multiple_of(2),
+            "mesh needs an even core count ≥ 4"
+        );
+        assert!(max_latency >= min_latency);
+        Topology {
+            num_cores,
+            min_latency,
+            max_latency,
+            kind: Floorplan::Mesh,
+        }
+    }
+
+    /// The paper's baseline: 8 cores, 10–70 cycles, chain model.
+    pub fn baseline() -> Self {
+        Topology::new(8, 10, 70)
+    }
+
+    /// The explicit-grid variant of the baseline.
+    pub fn mesh_baseline() -> Self {
+        Topology::new_mesh(8, 10, 70)
+    }
+
+    /// The layout model in use.
+    pub fn floorplan(&self) -> Floorplan {
+        self.kind
+    }
+
+    /// Grid position of a core (mesh model): top row at `y = 0`, bottom row
+    /// at `y = 6`; columns `0..cores/2`.
+    pub fn core_position(&self, core: CoreId) -> (i64, i64) {
+        let cols = (self.num_cores / 2) as i64;
+        let c = core.index() as i64;
+        if c < cols {
+            (c, 0)
+        } else {
+            (c - cols, 6)
+        }
+    }
+
+    /// Grid position of a bank (mesh model): Local banks on rows 1 and 5
+    /// (facing their cores), Center banks on rows 2 and 4 (the middle of
+    /// the die).
+    pub fn bank_position(&self, bank: BankId) -> (i64, i64) {
+        let cols = (self.num_cores / 2) as i64;
+        let b = bank.index() as i64;
+        let n = self.num_cores as i64;
+        if b < cols {
+            (b, 1) // Local banks of the top cores
+        } else if b < n {
+            (b - cols, 5) // Local banks of the bottom cores
+        } else if b < n + cols {
+            (b - n, 2) // Center row facing the top
+        } else {
+            (b - n - cols, 4) // Center row facing the bottom
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Number of banks (`2 × cores`: one Local per core plus as many Center).
+    pub fn num_banks(&self) -> usize {
+        self.num_cores * 2
+    }
+
+    /// Classify a bank.
+    pub fn bank_kind(&self, bank: BankId) -> BankKind {
+        let b = bank.index();
+        assert!(b < self.num_banks(), "bank {bank} out of range");
+        if b < self.num_cores {
+            BankKind::Local {
+                home: CoreId(b as u8),
+            }
+        } else {
+            BankKind::Center
+        }
+    }
+
+    /// The Local bank belonging to `core`.
+    pub fn local_bank(&self, core: CoreId) -> BankId {
+        assert!(core.index() < self.num_cores);
+        BankId(core.0)
+    }
+
+    /// Iterator over all Center banks.
+    pub fn center_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        (self.num_cores..self.num_banks()).map(|b| BankId(b as u8))
+    }
+
+    /// Iterator over all Local banks.
+    pub fn local_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        (0..self.num_cores).map(|b| BankId(b as u8))
+    }
+
+    /// Hop count between a core and a bank (see module docs for the model).
+    pub fn hops(&self, core: CoreId, bank: BankId) -> u64 {
+        let c = core.index();
+        assert!(c < self.num_cores, "core {core} out of range");
+        match self.kind {
+            Floorplan::Chain => match self.bank_kind(bank) {
+                BankKind::Local { home } => c.abs_diff(home.index()) as u64,
+                BankKind::Center => {
+                    let j = bank.index() - self.num_cores;
+                    1 + (c.abs_diff(j) as u64).div_ceil(2)
+                }
+            },
+            Floorplan::Mesh => {
+                let (cx, cy) = self.core_position(core);
+                let (bx, by) = self.bank_position(bank);
+                // Manhattan distance, normalised so the closest (own Local)
+                // bank is zero hops.
+                cx.abs_diff(bx) + cy.abs_diff(by) - 1
+            }
+        }
+    }
+
+    /// Maximum possible hop count.
+    pub fn max_hops(&self) -> u64 {
+        match self.kind {
+            Floorplan::Chain => (self.num_cores - 1) as u64,
+            // Corner core to the far corner's Local bank:
+            // (cols − 1) columns + 5 rows, minus the normalisation.
+            Floorplan::Mesh => (self.num_cores / 2 - 1) as u64 + 4,
+        }
+    }
+
+    /// Uncontended access latency from `core` to `bank`: linear in hops,
+    /// spanning `min_latency..=max_latency`.
+    pub fn latency(&self, core: CoreId, bank: BankId) -> u64 {
+        let hops = self.hops(core, bank);
+        let span = self.max_latency - self.min_latency;
+        self.min_latency + (hops * span + self.max_hops() / 2) / self.max_hops()
+    }
+
+    /// Whether two cores are adjacent in the floorplan (may share a Local
+    /// bank under Rule 3). In the chain model `|a − b| == 1`; in the mesh,
+    /// neighbours along the same die edge.
+    pub fn adjacent(&self, a: CoreId, b: CoreId) -> bool {
+        match self.kind {
+            Floorplan::Chain => a.index().abs_diff(b.index()) == 1,
+            Floorplan::Mesh => {
+                let cols = self.num_cores / 2;
+                let same_edge = (a.index() < cols) == (b.index() < cols);
+                same_edge && a.index().abs_diff(b.index()) == 1
+            }
+        }
+    }
+
+    /// The cores adjacent to `core` (one or two).
+    pub fn neighbours(&self, core: CoreId) -> Vec<CoreId> {
+        (0..self.num_cores)
+            .map(|i| CoreId(i as u8))
+            .filter(|&d| self.adjacent(core, d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t() -> Topology {
+        Topology::baseline()
+    }
+
+    #[test]
+    fn bank_partitioning_into_local_and_center() {
+        let t = t();
+        assert_eq!(t.num_banks(), 16);
+        assert_eq!(t.bank_kind(BankId(0)), BankKind::Local { home: CoreId(0) });
+        assert_eq!(t.bank_kind(BankId(7)), BankKind::Local { home: CoreId(7) });
+        assert_eq!(t.bank_kind(BankId(8)), BankKind::Center);
+        assert_eq!(t.bank_kind(BankId(15)), BankKind::Center);
+        assert_eq!(t.local_banks().count(), 8);
+        assert_eq!(t.center_banks().count(), 8);
+    }
+
+    #[test]
+    fn own_local_bank_is_minimum_latency() {
+        let t = t();
+        for c in CoreId::all(8) {
+            assert_eq!(t.hops(c, t.local_bank(c)), 0);
+            assert_eq!(t.latency(c, t.local_bank(c)), 10);
+        }
+    }
+
+    #[test]
+    fn farthest_local_bank_is_maximum_latency() {
+        let t = t();
+        // "core 0 to access the Local bank next to core 7 ... requires 7 hops"
+        assert_eq!(t.hops(CoreId(0), BankId(7)), 7);
+        assert_eq!(t.latency(CoreId(0), BankId(7)), 70);
+        assert_eq!(t.latency(CoreId(7), BankId(0)), 70);
+    }
+
+    #[test]
+    fn center_banks_have_smaller_latency_spread() {
+        let t = t();
+        let spread = |bank_ids: Vec<BankId>| -> u64 {
+            let lats: Vec<u64> = CoreId::all(8)
+                .flat_map(|c| bank_ids.iter().map(move |&b| (c, b)))
+                .map(|(c, b)| t.latency(c, b))
+                .collect();
+            lats.iter().max().unwrap() - lats.iter().min().unwrap()
+        };
+        let local_spread = spread(t.local_banks().collect());
+        let center_spread = spread(t.center_banks().collect());
+        assert!(
+            center_spread < local_spread,
+            "center {center_spread} vs local {local_spread}"
+        );
+    }
+
+    #[test]
+    fn center_banks_never_adjacent() {
+        let t = t();
+        for c in CoreId::all(8) {
+            for b in t.center_banks() {
+                assert!(t.hops(c, b) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_chain() {
+        let t = t();
+        assert!(t.adjacent(CoreId(0), CoreId(1)));
+        assert!(t.adjacent(CoreId(4), CoreId(3)));
+        assert!(!t.adjacent(CoreId(0), CoreId(2)));
+        assert!(!t.adjacent(CoreId(3), CoreId(3)));
+        assert_eq!(t.neighbours(CoreId(0)), vec![CoreId(1)]);
+        assert_eq!(t.neighbours(CoreId(7)), vec![CoreId(6)]);
+        assert_eq!(t.neighbours(CoreId(3)), vec![CoreId(2), CoreId(4)]);
+    }
+
+    #[test]
+    fn mesh_matches_fig1_geometry() {
+        let t = Topology::mesh_baseline();
+        assert_eq!(t.floorplan(), Floorplan::Mesh);
+        // Own Local bank: zero hops, minimum latency.
+        for c in CoreId::all(8) {
+            assert_eq!(t.hops(c, t.local_bank(c)), 0, "{c}");
+            assert_eq!(t.latency(c, t.local_bank(c)), 10);
+        }
+        // Corner-to-far-corner Local is the 7-hop maximum.
+        assert_eq!(t.hops(CoreId(0), BankId(7)), 7);
+        assert_eq!(t.latency(CoreId(0), BankId(7)), 70);
+        assert_eq!(t.max_hops(), 7);
+        // Center banks are 1–2 hops from their facing cores.
+        assert_eq!(t.hops(CoreId(0), BankId(8)), 1);
+        assert_eq!(t.hops(CoreId(4), BankId(12)), 1);
+    }
+
+    #[test]
+    fn mesh_adjacency_is_two_edge_chains() {
+        let t = Topology::mesh_baseline();
+        assert!(t.adjacent(CoreId(0), CoreId(1)));
+        assert!(t.adjacent(CoreId(4), CoreId(5)));
+        // Across the die: cores 3 (top) and 4 (bottom) are NOT adjacent.
+        assert!(!t.adjacent(CoreId(3), CoreId(4)));
+        assert_eq!(t.neighbours(CoreId(0)), vec![CoreId(1)]);
+        assert_eq!(t.neighbours(CoreId(5)), vec![CoreId(4), CoreId(6)]);
+    }
+
+    #[test]
+    fn mesh_latencies_stay_in_band() {
+        let t = Topology::mesh_baseline();
+        for c in CoreId::all(8) {
+            for b in BankId::all(16) {
+                let l = t.latency(c, b);
+                assert!((10..=70).contains(&l), "{c} {b}: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_core_floorplan_generalises() {
+        let t = Topology::new(16, 10, 70);
+        assert_eq!(t.num_banks(), 32);
+        assert_eq!(t.max_hops(), 15);
+        for c in CoreId::all(16) {
+            assert_eq!(t.latency(c, t.local_bank(c)), 10);
+        }
+        assert_eq!(t.latency(CoreId(0), BankId(15)), 70);
+        assert_eq!(t.center_banks().count(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn latency_always_within_table1_range(core in 0u8..8, bank in 0u8..16) {
+            let t = Topology::baseline();
+            let l = t.latency(CoreId(core), BankId(bank));
+            prop_assert!((10..=70).contains(&l));
+        }
+
+        #[test]
+        fn latency_monotone_in_hops(core in 0u8..8, a in 0u8..16, b in 0u8..16) {
+            let t = Topology::baseline();
+            let (c, a, b) = (CoreId(core), BankId(a), BankId(b));
+            if t.hops(c, a) <= t.hops(c, b) {
+                prop_assert!(t.latency(c, a) <= t.latency(c, b));
+            }
+        }
+
+        #[test]
+        fn local_hops_symmetric(i in 0u8..8, j in 0u8..8) {
+            let t = Topology::baseline();
+            prop_assert_eq!(
+                t.hops(CoreId(i), BankId(j)),
+                t.hops(CoreId(j), BankId(i))
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The 26 SPEC CPU2000 workload analogues.
+//!
+//! Shapes are calibrated against what the paper shows or implies:
+//!
+//! * Fig. 3 — `sixtrack` has a sharp knee at ≈6 ways, `applu` saturates at
+//!   ≈10 ways but keeps a residual (streaming) miss floor, `bzip2` improves
+//!   gradually out to ≈45 ways;
+//! * Table III — per-workload appetites under the Bank-aware assignment
+//!   (e.g. `facerec` 56, `twolf` 56, `mgrid` 40, `mcf` 24, `art` 16,
+//!   `eon` 3, `galgel` 4);
+//! * general SPEC CPU2000 folklore — `mcf`/`swim`/`lucas` are memory-bound
+//!   *polluters*: their miss mass is mostly inelastic (working sets far
+//!   beyond any L2), so they gain little from extra capacity but flood the
+//!   shared cache with insertions (compulsory rates sized to the published
+//!   L2 MPKI ranges); `art`/`twolf`/`facerec`/`mgrid`/`bzip2` are the
+//!   elastic *victims* whose reuse partitioning protects;
+//!   `eon`/`crafty`/`sixtrack` are cache-friendly.
+//!
+//! Every analogue gets a large L1-resident component (realistic L1 hit
+//! rates) plus the L2-visible plateaus listed here. Weights are the
+//! fraction of *all* memory accesses.
+
+use crate::spec::{ReuseComponent, ScanComponent, WorkloadSpec};
+
+/// Build one spec. `plateaus` are `(lo_ways, hi_ways, weight)` irregular
+/// reuse components beyond the standard L1-resident one; `scans` are
+/// `(ways, weight)` cyclic loop regions (the fp loop nests).
+fn spec(
+    name: &str,
+    plateaus: &[(f64, f64, f64)],
+    scans: &[(f64, f64)],
+    compulsory: f64,
+    mem_fraction: f64,
+    write_fraction: f64,
+    dependent_fraction: f64,
+) -> WorkloadSpec {
+    let mut components = vec![
+        // L1-resident working set: filtered before the L2.
+        ReuseComponent {
+            lo_ways: 0.0,
+            hi_ways: 0.25,
+            weight: 0.85,
+        },
+    ];
+    components.extend(
+        plateaus
+            .iter()
+            .map(|&(lo_ways, hi_ways, weight)| ReuseComponent {
+                lo_ways,
+                hi_ways,
+                weight,
+            }),
+    );
+    // A scan's *measured* stack distance is inflated by the workload's own
+    // interleaved L2 traffic (compulsory stream + irregular reuse): between
+    // two touches of a scan block, those accesses deposit distinct blocks
+    // in the same sets. Shrink the generated region so the measured knee
+    // lands at the published value.
+    let l2_uniform: f64 = plateaus
+        .iter()
+        .filter(|&&(_, hi, _)| hi > 0.5)
+        .map(|&(_, _, w)| w)
+        .sum();
+    let scans: Vec<ScanComponent> = scans
+        .iter()
+        .map(|&(ways, weight)| ScanComponent {
+            ways: ways * weight / (weight + compulsory + l2_uniform),
+            weight,
+        })
+        .collect();
+    let deepest = components
+        .iter()
+        .map(|c| c.hi_ways)
+        .chain(scans.iter().map(|s| s.ways))
+        .fold(1.0f64, f64::max);
+    let s = WorkloadSpec {
+        name: name.into(),
+        components,
+        scans,
+        compulsory,
+        mem_fraction,
+        write_fraction,
+        dependent_fraction,
+        // Room for the reuse structure plus a compulsory tail wide enough
+        // that streamed blocks never accidentally re-hit (heavy streamers
+        // get footprints beyond the 72-way assignable maximum).
+        footprint_ways: deepest * 1.5 + 8.0 + (compulsory * 800.0).min(100.0),
+    };
+    s.validate().expect("catalog spec valid");
+    s
+}
+
+/// All 26 analogues: 12 SPECint + 14 SPECfp, in suite order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        // ---- SPECint: irregular (pointer-style) reuse ----
+        spec("gzip", &[(0.0, 8.0, 0.030)], &[], 0.004, 0.28, 0.30, 0.20),
+        spec("vpr", &[(2.0, 12.0, 0.045)], &[], 0.007, 0.30, 0.30, 0.30),
+        spec("gcc", &[(0.0, 8.0, 0.055)], &[], 0.007, 0.30, 0.35, 0.25),
+        spec("mcf", &[(0.0, 24.0, 0.060)], &[], 0.150, 0.40, 0.25, 0.70),
+        spec(
+            "crafty",
+            &[(4.0, 12.0, 0.035)],
+            &[],
+            0.002,
+            0.30,
+            0.30,
+            0.25,
+        ),
+        spec(
+            "parser",
+            &[(0.0, 14.0, 0.065)],
+            &[],
+            0.006,
+            0.32,
+            0.30,
+            0.35,
+        ),
+        spec("eon", &[(0.0, 1.0, 0.020)], &[], 0.0007, 0.28, 0.35, 0.20),
+        spec(
+            "perlbmk",
+            &[(0.0, 10.0, 0.035)],
+            &[],
+            0.005,
+            0.30,
+            0.35,
+            0.30,
+        ),
+        spec("gap", &[(1.0, 5.0, 0.045)], &[], 0.005, 0.30, 0.30, 0.30),
+        spec(
+            "vortex",
+            &[(2.0, 12.0, 0.040)],
+            &[],
+            0.007,
+            0.30,
+            0.32,
+            0.30,
+        ),
+        spec("bzip2", &[(0.0, 45.0, 0.090)], &[], 0.010, 0.30, 0.32, 0.20),
+        spec("twolf", &[(0.0, 56.0, 0.085)], &[], 0.009, 0.32, 0.28, 0.40),
+        // ---- SPECfp: loop nests (cyclic scans) + streaming ----
+        spec("wupwise", &[], &[(6.0, 0.030)], 0.007, 0.28, 0.25, 0.05),
+        spec("swim", &[], &[(11.0, 0.035)], 0.070, 0.36, 0.30, 0.02),
+        spec("mgrid", &[], &[(40.0, 0.085)], 0.021, 0.34, 0.25, 0.05),
+        spec("applu", &[], &[(10.0, 0.050)], 0.036, 0.33, 0.28, 0.05),
+        spec("mesa", &[(0.0, 24.0, 0.050)], &[], 0.005, 0.28, 0.30, 0.10),
+        spec("galgel", &[], &[(4.0, 0.055)], 0.009, 0.32, 0.25, 0.05),
+        spec("art", &[], &[(16.0, 0.130)], 0.013, 0.38, 0.20, 0.10),
+        spec(
+            "equake",
+            &[(0.0, 4.0, 0.020)],
+            &[(10.0, 0.030)],
+            0.045,
+            0.33,
+            0.25,
+            0.20,
+        ),
+        spec(
+            "facerec",
+            &[(0.0, 8.0, 0.015)],
+            &[(56.0, 0.070)],
+            0.013,
+            0.30,
+            0.25,
+            0.05,
+        ),
+        spec("ammp", &[(2.0, 13.0, 0.050)], &[], 0.013, 0.31, 0.28, 0.30),
+        spec("lucas", &[], &[(16.0, 0.030)], 0.031, 0.32, 0.25, 0.05),
+        spec(
+            "fma3d",
+            &[(0.0, 4.0, 0.015)],
+            &[(8.0, 0.025)],
+            0.017,
+            0.30,
+            0.28,
+            0.10,
+        ),
+        spec("sixtrack", &[], &[(6.0, 0.060)], 0.0017, 0.30, 0.25, 0.05),
+        spec("apsi", &[], &[(16.0, 0.055)], 0.013, 0.31, 0.28, 0.10),
+    ]
+}
+
+/// Names of all analogues, suite order.
+pub fn workload_names() -> Vec<String> {
+    all_workloads().into_iter().map(|w| w.name).collect()
+}
+
+/// Look up one analogue by name.
+pub fn spec_by_name(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_workloads() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 26, "SPEC CPU2000 has 26 components");
+        let mut names: Vec<_> = all.iter().map(|w| w.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 26, "names unique");
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for w in all_workloads() {
+            w.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec_by_name("sixtrack").is_some());
+        assert!(spec_by_name("doom").is_none());
+        assert_eq!(workload_names().len(), 26);
+    }
+
+    /// Fig. 3's three exemplars must have their published shapes.
+    #[test]
+    fn fig3_shapes() {
+        let l1 = 0.5;
+        let sixtrack = spec_by_name("sixtrack").unwrap();
+        let applu = spec_by_name("applu").unwrap();
+        let bzip2 = spec_by_name("bzip2").unwrap();
+
+        // sixtrack: terrible below 4 ways, near zero after 6.
+        assert!(sixtrack.analytic_l2_miss_ratio(3.0, l1) > 0.9);
+        assert!(sixtrack.analytic_l2_miss_ratio(6.0, l1) < 0.05);
+
+        // applu: improves to 10 ways, flat (but nonzero) after.
+        let a10 = applu.analytic_l2_miss_ratio(10.0, l1);
+        let a40 = applu.analytic_l2_miss_ratio(40.0, l1);
+        assert!(applu.analytic_l2_miss_ratio(2.0, l1) > 2.0 * a10);
+        assert!((a10 - a40).abs() < 1e-9, "flat after the knee");
+        assert!(a40 > 0.15, "residual streaming misses remain");
+
+        // bzip2: gradual improvement out to 45 ways.
+        let b = |w: f64| bzip2.analytic_l2_miss_ratio(w, l1);
+        assert!(b(10.0) > b(20.0) && b(20.0) > b(30.0) && b(30.0) > b(44.0));
+        // Only the (calibrated) streaming floor remains past the knee.
+        assert!(b(45.0) < 0.2);
+    }
+
+    /// Appetites (saturation points) follow Table III's ordering hints.
+    #[test]
+    fn appetites_ordered_as_in_table3() {
+        let l1 = 0.5;
+        let sat = |name: &str| {
+            let w = spec_by_name(name).unwrap();
+            let floor = w.analytic_l2_miss_ratio(128.0, l1);
+            (0..=128)
+                .find(|&c| w.analytic_l2_miss_ratio(c as f64, l1) - floor < 0.01)
+                .unwrap_or(128)
+        };
+        assert!(sat("eon") <= 2);
+        assert!(sat("galgel") <= 5);
+        assert!(sat("gap") <= 6);
+        assert!(sat("sixtrack") <= 7);
+        assert!((6..=12).contains(&sat("gcc")));
+        assert!((18..=28).contains(&sat("mcf")));
+        assert!((12..=18).contains(&sat("art")));
+        // mgrid's generated region is deflated (the measured knee re-inflates
+        // to ≈40 through self-interleaving; see the builder comment).
+        assert!((26..=40).contains(&sat("mgrid")));
+        assert!(sat("bzip2") >= 40);
+        assert!(sat("facerec") >= 36); // generated region; measured knee ≈56
+        assert!(sat("twolf") >= 50);
+    }
+
+    /// Memory-bound analogues press the L2 harder than friendly ones.
+    #[test]
+    fn pressure_ordering() {
+        let l1 = 0.5;
+        let apki = |n: &str| spec_by_name(n).unwrap().l2_apki(l1);
+        assert!(apki("mcf") > 3.0 * apki("eon"));
+        assert!(apki("art") > apki("crafty"));
+        assert!(apki("swim") > apki("wupwise"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic SPEC CPU2000 workload analogues.
+//!
+//! The paper profiles the 26 SPEC CPU2000 workloads; we cannot ship them, so
+//! this crate generates address streams whose *LRU stack-distance
+//! distributions* — the only thing any algorithm in the paper consumes —
+//! reproduce the published shapes (Fig. 3 knees/plateaus, Table III
+//! appetites). See DESIGN.md §3 for the substitution argument.
+//!
+//! Pipeline:
+//!
+//! * [`lru_gen::LruStack`] — an order-statistic treap holding the generator's
+//!   global recency order; `O(log n)` "touch the block at LRU depth `d`".
+//! * [`spec::WorkloadSpec`] — a mixture distribution over reuse depths
+//!   (plateau components in units of *equivalent L2 ways*), plus memory
+//!   instruction fraction, write fraction and compulsory-miss rate.
+//! * [`stream::AddressStream`] — the deterministic [`bap_types::Op`]
+//!   iterator a core consumes.
+//! * [`catalog`] — the 26 named analogues (`sixtrack`, `bzip2`, `applu`, …)
+//!   with shapes calibrated against the paper.
+
+pub mod catalog;
+pub mod lru_gen;
+pub mod phased;
+pub mod spec;
+pub mod stream;
+pub mod trace;
+
+pub use catalog::{all_workloads, spec_by_name, workload_names};
+pub use lru_gen::LruStack;
+pub use phased::{Phase, PhasedStream};
+pub use spec::{ReuseComponent, ScanComponent, WorkloadSpec};
+pub use stream::AddressStream;

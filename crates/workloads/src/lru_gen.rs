@@ -1,0 +1,339 @@
+//! An order-statistic recency stack for address-stream generation.
+//!
+//! The generator's core operation is "touch the block currently at LRU
+//! depth `d`", which needs select-by-rank plus move-to-front. A naive list
+//! is `O(n)` per access; this implicit treap (rank-ordered, heap-balanced by
+//! deterministic pseudo-random priorities) does both in `O(log n)`.
+//!
+//! Rank 0 is the most recently used block.
+
+/// Sentinel for "no child".
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    left: u32,
+    right: u32,
+    size: u32,
+    prio: u64,
+    value: u64,
+}
+
+/// The recency stack: a sequence of distinct block identifiers ordered from
+/// most to least recently used.
+///
+/// ```
+/// use bap_workloads::LruStack;
+///
+/// let mut stack = LruStack::new(1);
+/// stack.push_front(10);
+/// stack.push_front(20);
+/// // Touching rank 1 (block 10) moves it to the front.
+/// assert_eq!(stack.touch_at(1), 10);
+/// assert_eq!(stack.peek_at(0), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruStack {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    /// SplitMix64 state for treap priorities; seeded for determinism.
+    rng_state: u64,
+}
+
+impl LruStack {
+    /// An empty stack. `seed` only affects internal tree balance, never the
+    /// sequence semantics.
+    pub fn new(seed: u64) -> Self {
+        LruStack {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.size(self.root) as usize
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        // SplitMix64.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    fn update(&mut self, n: u32) {
+        if n != NIL {
+            let l = self.nodes[n as usize].left;
+            let r = self.nodes[n as usize].right;
+            self.nodes[n as usize].size = 1 + self.size(l) + self.size(r);
+        }
+    }
+
+    /// Split into (first `k` elements, rest).
+    fn split(&mut self, n: u32, k: u32) -> (u32, u32) {
+        if n == NIL {
+            return (NIL, NIL);
+        }
+        let left = self.nodes[n as usize].left;
+        let left_size = self.size(left);
+        if k <= left_size {
+            let (a, b) = self.split(left, k);
+            self.nodes[n as usize].left = b;
+            self.update(n);
+            (a, n)
+        } else {
+            let right = self.nodes[n as usize].right;
+            let (a, b) = self.split(right, k - left_size - 1);
+            self.nodes[n as usize].right = a;
+            self.update(n);
+            (n, b)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let m = self.merge(ar, b);
+            self.nodes[a as usize].right = m;
+            self.update(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let m = self.merge(a, bl);
+            self.nodes[b as usize].left = m;
+            self.update(b);
+            b
+        }
+    }
+
+    fn alloc(&mut self, value: u64) -> u32 {
+        let prio = self.next_prio();
+        let node = Node {
+            left: NIL,
+            right: NIL,
+            size: 1,
+            prio,
+            value,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Push a new block at the front (most recently used).
+    pub fn push_front(&mut self, value: u64) {
+        let n = self.alloc(value);
+        self.root = self.merge(n, self.root);
+    }
+
+    /// Remove and return the block at `rank` (0 = MRU). Panics if out of
+    /// range.
+    pub fn remove_at(&mut self, rank: usize) -> u64 {
+        assert!(
+            rank < self.len(),
+            "rank {rank} out of range (len {})",
+            self.len()
+        );
+        let (l, rest) = self.split(self.root, rank as u32);
+        let (mid, r) = self.split(rest, 1);
+        let value = self.nodes[mid as usize].value;
+        self.free.push(mid);
+        self.root = self.merge(l, r);
+        value
+    }
+
+    /// Read the block at `rank` without modifying the order.
+    pub fn peek_at(&self, rank: usize) -> u64 {
+        assert!(rank < self.len());
+        let mut n = self.root;
+        let mut k = rank as u32;
+        loop {
+            let node = &self.nodes[n as usize];
+            let ls = self.size(node.left);
+            if k < ls {
+                n = node.left;
+            } else if k == ls {
+                return node.value;
+            } else {
+                k -= ls + 1;
+                n = node.right;
+            }
+        }
+    }
+
+    /// Touch the block at `rank`: move it to the front and return it.
+    pub fn touch_at(&mut self, rank: usize) -> u64 {
+        let v = self.remove_at(rank);
+        self.push_front(v);
+        v
+    }
+
+    /// Remove and return the least recently used block.
+    pub fn pop_back(&mut self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.remove_at(self.len() - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_and_peek_order() {
+        let mut s = LruStack::new(1);
+        s.push_front(10);
+        s.push_front(20);
+        s.push_front(30);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.peek_at(0), 30);
+        assert_eq!(s.peek_at(1), 20);
+        assert_eq!(s.peek_at(2), 10);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut s = LruStack::new(1);
+        for v in [1, 2, 3, 4] {
+            s.push_front(v);
+        }
+        // Order: 4 3 2 1. Touch rank 2 (block 2).
+        assert_eq!(s.touch_at(2), 2);
+        assert_eq!(s.peek_at(0), 2);
+        assert_eq!(s.peek_at(1), 4);
+        assert_eq!(s.peek_at(2), 3);
+        assert_eq!(s.peek_at(3), 1);
+    }
+
+    #[test]
+    fn remove_at_deletes() {
+        let mut s = LruStack::new(1);
+        for v in [1, 2, 3] {
+            s.push_front(v);
+        }
+        assert_eq!(s.remove_at(1), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek_at(0), 3);
+        assert_eq!(s.peek_at(1), 1);
+    }
+
+    #[test]
+    fn pop_back_returns_lru() {
+        let mut s = LruStack::new(1);
+        for v in [1, 2, 3] {
+            s.push_front(v);
+        }
+        assert_eq!(s.pop_back(), Some(1));
+        assert_eq!(s.pop_back(), Some(2));
+        assert_eq!(s.pop_back(), Some(3));
+        assert_eq!(s.pop_back(), None);
+    }
+
+    #[test]
+    fn freelist_reuses_slots() {
+        let mut s = LruStack::new(1);
+        for v in 0..100 {
+            s.push_front(v);
+        }
+        for _ in 0..50 {
+            s.pop_back();
+        }
+        let nodes_before = s.nodes.len();
+        for v in 100..150 {
+            s.push_front(v);
+        }
+        assert_eq!(s.nodes.len(), nodes_before, "freed slots are reused");
+    }
+
+    /// Model-based test against a plain Vec.
+    #[derive(Clone, Debug)]
+    enum Cmd {
+        Push(u64),
+        Touch(usize),
+        Remove(usize),
+        PopBack,
+    }
+
+    fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+        prop_oneof![
+            any::<u64>().prop_map(Cmd::Push),
+            (0usize..64).prop_map(Cmd::Touch),
+            (0usize..64).prop_map(Cmd::Remove),
+            Just(Cmd::PopBack),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_vec_model(cmds in proptest::collection::vec(cmd_strategy(), 1..400), seed in any::<u64>()) {
+            let mut treap = LruStack::new(seed);
+            let mut model: Vec<u64> = Vec::new();
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Push(v) => {
+                        treap.push_front(v);
+                        model.insert(0, v);
+                    }
+                    Cmd::Touch(r) => {
+                        if r < model.len() {
+                            let expected = model.remove(r);
+                            model.insert(0, expected);
+                            prop_assert_eq!(treap.touch_at(r), expected);
+                        }
+                    }
+                    Cmd::Remove(r) => {
+                        if r < model.len() {
+                            let expected = model.remove(r);
+                            prop_assert_eq!(treap.remove_at(r), expected);
+                        }
+                    }
+                    Cmd::PopBack => {
+                        prop_assert_eq!(treap.pop_back(), model.pop());
+                    }
+                }
+                prop_assert_eq!(treap.len(), model.len());
+            }
+            // Final order check.
+            for (r, &v) in model.iter().enumerate() {
+                prop_assert_eq!(treap.peek_at(r), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Phase-changing workloads.
+//!
+//! Real programs move between phases with different cache appetites; the
+//! paper's epoch-plus-decay controller exists to track them. A
+//! [`PhasedStream`] cycles through `(spec, instructions)` phases, switching
+//! generator state at each boundary (the new phase starts cold, as a real
+//! phase change does).
+
+use crate::spec::WorkloadSpec;
+use crate::stream::AddressStream;
+use bap_types::Op;
+
+/// One phase: a workload personality and how long it lasts.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// The workload behaviour during this phase.
+    pub spec: WorkloadSpec,
+    /// Phase length in instructions.
+    pub instructions: u64,
+}
+
+/// An infinite stream cycling through phases.
+#[derive(Clone, Debug)]
+pub struct PhasedStream {
+    streams: Vec<AddressStream>,
+    budgets: Vec<u64>,
+    current: usize,
+    executed_in_phase: u64,
+}
+
+impl PhasedStream {
+    /// Build from phases (≥1). `blocks_per_way`, `tag` and `seed` as in
+    /// [`AddressStream::new`]; each phase gets a distinct derived seed.
+    pub fn new(phases: Vec<Phase>, blocks_per_way: u64, tag: u64, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let budgets = phases.iter().map(|p| p.instructions.max(1)).collect();
+        let streams = phases
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                AddressStream::new(p.spec, blocks_per_way, tag, seed ^ ((i as u64) << 16))
+            })
+            .collect();
+        PhasedStream {
+            streams,
+            budgets,
+            current: 0,
+            executed_in_phase: 0,
+        }
+    }
+
+    /// Index of the active phase.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Iterator for PhasedStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.executed_in_phase >= self.budgets[self.current] {
+            self.current = (self.current + 1) % self.streams.len();
+            self.executed_in_phase = 0;
+        }
+        let op = self.streams[self.current]
+            .next()
+            .expect("streams are infinite");
+        self.executed_in_phase += op.instructions();
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec_by_name;
+
+    fn phases() -> Vec<Phase> {
+        vec![
+            Phase {
+                spec: spec_by_name("art").expect("catalog"),
+                instructions: 10_000,
+            },
+            Phase {
+                spec: spec_by_name("eon").expect("catalog"),
+                instructions: 5_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn switches_and_cycles() {
+        let mut s = PhasedStream::new(phases(), 64, 1, 3);
+        assert_eq!(s.current_phase(), 0);
+        let mut executed = 0u64;
+        while executed < 10_100 {
+            executed += s.next().expect("infinite").instructions();
+        }
+        assert_eq!(s.current_phase(), 1, "switched after the art phase");
+        while executed < 15_200 {
+            executed += s.next().expect("infinite").instructions();
+        }
+        assert_eq!(s.current_phase(), 0, "cycled back");
+    }
+
+    #[test]
+    fn phases_have_distinct_behaviour() {
+        // art phase produces far more memory traffic than eon phase.
+        let mut s = PhasedStream::new(phases(), 64, 1, 3);
+        let mut mem = [0u64; 2];
+        let mut inst = [0u64; 2];
+        for _ in 0..20_000 {
+            let phase = s.current_phase();
+            let op = s.next().expect("infinite");
+            inst[phase] += op.instructions();
+            if op.addr().is_some() {
+                mem[phase] += 1;
+            }
+        }
+        let rate = |p: usize| mem[p] as f64 / inst[p].max(1) as f64;
+        assert!(
+            rate(0) > rate(1),
+            "art presses memory harder: {:?} vs {:?}",
+            rate(0),
+            rate(1)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Op> = PhasedStream::new(phases(), 64, 1, 3).take(1000).collect();
+        let b: Vec<Op> = PhasedStream::new(phases(), 64, 1, 3).take(1000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phase_list_rejected() {
+        PhasedStream::new(Vec::new(), 64, 1, 3);
+    }
+}

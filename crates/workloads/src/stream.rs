@@ -1,0 +1,362 @@
+//! Deterministic address-stream generation from a [`WorkloadSpec`].
+//!
+//! Each memory access samples a reuse depth from the spec's mixture and
+//! touches the block currently at that depth of the generator's global
+//! recency stack (or a brand-new block for compulsory mass). Because the
+//! stream's stack-distance distribution *is* the sampled distribution, the
+//! L2 MSA profile of the stream matches the spec's analytic curve by
+//! construction — the property the whole reproduction rests on, and one the
+//! tests verify against a reference profiler.
+
+use crate::lru_gen::LruStack;
+use crate::spec::WorkloadSpec;
+
+/// Base block-id of the scan regions (disjoint from treap-managed ids).
+/// Bit 43 separates the (contiguous) scan space from the scrambled
+/// irregular space below it.
+const SCAN_BASE: u64 = 1 << 43;
+/// Id stride between scan regions.
+const SCAN_STRIDE: u64 = 1 << 36;
+use bap_types::{Addr, BlockAddr, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite, deterministic [`Op`] stream for one workload.
+///
+/// ```
+/// use bap_workloads::{spec_by_name, AddressStream};
+///
+/// let spec = spec_by_name("gcc").expect("in the catalog");
+/// let ops: Vec<_> = AddressStream::new(spec, 2048, 1, 42).take(100).collect();
+/// assert_eq!(ops.len(), 100);
+/// // Same seed, same trace.
+/// let spec = spec_by_name("gcc").unwrap();
+/// let again: Vec<_> = AddressStream::new(spec, 2048, 1, 42).take(100).collect();
+/// assert_eq!(ops, again);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressStream {
+    spec: WorkloadSpec,
+    /// Blocks per equivalent L2 way (baseline: 2048 = one way across the
+    /// 128-way-equivalent cache's sets).
+    blocks_per_way: u64,
+    /// Footprint bound in blocks.
+    footprint_blocks: usize,
+    /// High-bits tag isolating this stream's address space.
+    tag: u64,
+    stack: LruStack,
+    next_block: u64,
+    /// Per-scan-component cursors and region sizes in blocks.
+    scan_state: Vec<(u64, u64)>,
+    rng: StdRng,
+    /// Total mixture weight, cached.
+    total_weight: f64,
+    /// A memory op generated together with its preceding compute run,
+    /// delivered on the next `next()` call.
+    pending: Option<Op>,
+}
+
+impl AddressStream {
+    /// Build a stream. `blocks_per_way` converts the spec's way-denominated
+    /// depths into block counts (pass the L2's sets-per-bank × banks ÷
+    /// bank-ways product — `bank_sets` in the baseline). `tag` is ORed into
+    /// address bit 44 upward so different cores never collide.
+    pub fn new(spec: WorkloadSpec, blocks_per_way: u64, tag: u64, seed: u64) -> Self {
+        spec.validate().expect("workload spec must be valid");
+        let footprint_blocks =
+            ((spec.footprint_ways * blocks_per_way as f64).ceil() as usize).max(16);
+        let total_weight = spec.total_weight();
+        let scan_state = spec
+            .scans
+            .iter()
+            .map(|sc| {
+                (
+                    0u64,
+                    ((sc.ways * blocks_per_way as f64).ceil() as u64).max(4),
+                )
+            })
+            .collect();
+        AddressStream {
+            spec,
+            blocks_per_way,
+            footprint_blocks,
+            tag,
+            stack: LruStack::new(seed ^ 0xDEAD_BEEF),
+            next_block: 0,
+            scan_state,
+            rng: StdRng::seed_from_u64(seed),
+            total_weight,
+            pending: None,
+        }
+    }
+
+    /// The spec driving this stream.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Current distinct-block footprint.
+    pub fn footprint(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn block_to_addr(&self, block_id: u64) -> Addr {
+        // Irregular (treap/compulsory) ids are dense internally; scramble
+        // them into a sparse 43-bit space (bijective odd-multiplier hash) —
+        // real heap data is scattered, and partial-tag aliasing in the MSA
+        // profiler is only meaningful over realistic tag entropy. Scan ids
+        // (bit 43 set) stay contiguous: loop arrays really are consecutive
+        // blocks, which is what gives them their uniform per-set occupancy
+        // and sharp thrash cliff.
+        let spread = if block_id & SCAN_BASE != 0 {
+            block_id
+        } else {
+            block_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) & (SCAN_BASE - 1)
+        };
+        BlockAddr(spread | (self.tag << 44)).base()
+    }
+
+    /// Sample the next memory access's block id. The weight range is laid
+    /// out as [uniform components | scans | compulsory].
+    fn next_block_id(&mut self) -> u64 {
+        let r = self.rng.gen::<f64>() * self.total_weight;
+        let mut acc = 0.0;
+        // Uniform (irregular) reuse components.
+        for i in 0..self.spec.components.len() {
+            acc += self.spec.components[i].weight;
+            if r < acc {
+                let c = self.spec.components[i];
+                if self.stack.is_empty() {
+                    return self.fresh_block();
+                }
+                let depth_ways = self.rng.gen_range(c.lo_ways..c.hi_ways);
+                let depth_blocks = (depth_ways * self.blocks_per_way as f64) as usize;
+                if depth_blocks >= self.stack.len() {
+                    // Deeper than anything generated yet (cold start).
+                    return self.fresh_block();
+                }
+                return self.stack.touch_at(depth_blocks);
+            }
+        }
+        // Cyclic scans: walk the region in order, forever.
+        for (i, state) in self.scan_state.iter_mut().enumerate() {
+            acc += self.spec.scans[i].weight;
+            if r < acc {
+                let (cursor, size) = state;
+                let id = SCAN_BASE + i as u64 * SCAN_STRIDE + *cursor;
+                *cursor = (*cursor + 1) % *size;
+                return id;
+            }
+        }
+        // Compulsory: a brand-new block.
+        self.fresh_block()
+    }
+
+    fn fresh_block(&mut self) -> u64 {
+        if self.stack.len() >= self.footprint_blocks {
+            // Recycle the coldest block to bound state (streaming re-walks
+            // its footprint).
+            self.stack.pop_back();
+        }
+        let id = self.next_block;
+        self.next_block += 1;
+        self.stack.push_front(id);
+        id
+    }
+}
+
+impl Iterator for AddressStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if let Some(op) = self.pending.take() {
+            return Some(op);
+        }
+        // Every instruction is a memory op with probability `mem_fraction`:
+        // draw the geometric run of compute instructions preceding the next
+        // memory op, then the memory op itself.
+        let mut computes = 0u32;
+        while !self.rng.gen_bool(self.spec.mem_fraction) {
+            computes += 1;
+        }
+        let block = self.next_block_id();
+        let addr = self.block_to_addr(block);
+        let mem_op = if self.rng.gen_bool(self.spec.write_fraction) {
+            Op::Store(addr)
+        } else if self.rng.gen_bool(self.spec.dependent_fraction) {
+            Op::DependentLoad(addr)
+        } else {
+            Op::Load(addr)
+        };
+        if computes > 0 {
+            self.pending = Some(mem_op);
+            Some(Op::Compute(computes))
+        } else {
+            Some(mem_op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ReuseComponent;
+    use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            scans: vec![],
+            components: vec![
+                ReuseComponent {
+                    lo_ways: 0.0,
+                    hi_ways: 0.25,
+                    weight: 0.80,
+                },
+                ReuseComponent {
+                    lo_ways: 4.0,
+                    hi_ways: 8.0,
+                    weight: 0.15,
+                },
+            ],
+            compulsory: 0.05,
+            mem_fraction: 0.3,
+            write_fraction: 0.3,
+            dependent_fraction: 0.2,
+            footprint_ways: 16.0,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<Op> = AddressStream::new(spec(), 64, 1, 42).take(2000).collect();
+        let b: Vec<Op> = AddressStream::new(spec(), 64, 1, 42).take(2000).collect();
+        assert_eq!(a, b);
+        let c: Vec<Op> = AddressStream::new(spec(), 64, 1, 43).take(2000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mem_fraction_is_respected() {
+        let ops: Vec<Op> = AddressStream::new(spec(), 64, 0, 1).take(60_000).collect();
+        let insts: u64 = ops.iter().map(|o| o.instructions()).sum();
+        let mems = ops.iter().filter(|o| o.addr().is_some()).count() as f64;
+        let frac = mems / insts as f64;
+        assert!((frac - 0.3).abs() < 0.02, "mem fraction {frac}");
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let ops: Vec<Op> = AddressStream::new(spec(), 64, 0, 1).take(60_000).collect();
+        let mems = ops.iter().filter(|o| o.addr().is_some()).count() as f64;
+        let writes = ops.iter().filter(|o| o.is_store()).count() as f64;
+        assert!((writes / mems - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn footprint_is_bounded() {
+        let mut s = AddressStream::new(spec(), 64, 0, 1);
+        for _ in 0..200_000 {
+            s.next();
+        }
+        assert!(s.footprint() <= (16.0 * 64.0) as usize + 1);
+    }
+
+    #[test]
+    fn address_spaces_are_disjoint() {
+        let a: Vec<u64> = AddressStream::new(spec(), 64, 1, 5)
+            .filter_map(|o| o.addr())
+            .take(100)
+            .map(|a| a.0)
+            .collect();
+        let b: Vec<u64> = AddressStream::new(spec(), 64, 2, 5)
+            .filter_map(|o| o.addr())
+            .take(100)
+            .map(|a| a.0)
+            .collect();
+        for x in &a {
+            assert!(!b.contains(x));
+        }
+    }
+
+    /// The heart of the substitution argument: the measured MSA curve of a
+    /// generated stream must match the spec's analytic curve.
+    #[test]
+    fn measured_msa_curve_matches_analytic() {
+        let blocks_per_way = 128u64;
+        let spec = spec();
+        // Profile the block stream with a reference profiler whose set
+        // count equals blocks_per_way: stack distance in "ways" units.
+        let mut profiler =
+            StackProfiler::new(ProfilerConfig::reference(blocks_per_way as usize, 16));
+        let stream = AddressStream::new(spec.clone(), blocks_per_way, 0, 9);
+        // Feed only the accesses that would reach the L2 (depth ≥ L1): here
+        // we profile the raw stream and compare at ways ≥ 1, where the L1-
+        // local component no longer matters.
+        let mut fed = 0u64;
+        for op in stream {
+            if let Some(addr) = op.addr() {
+                profiler.observe(addr.block());
+                fed += 1;
+                if fed >= 400_000 {
+                    break;
+                }
+            }
+        }
+        let curve = MissRatioCurve::from_histogram(profiler.histogram(), 1.0);
+        // Compare measured vs analytic at the interesting allocations. The
+        // analytic curve is conditioned on L2 accesses; the measured one on
+        // all accesses — so compare *shapes* via the miss ratio normalised
+        // to its value at 1 way.
+        // A block at global depth D maps to a per-set stack distance that is
+        // Binomial(D, 1/sets)-distributed around D/sets, so the measured
+        // curve is the analytic curve smeared by ≈ ±2 ways near the 4–8-way
+        // knee. Compare where the smearing has died out, plus the overall
+        // knee structure.
+        let measured = |w: usize| curve.miss_ratio_at(w) / curve.miss_ratio_at(1);
+        let analytic = |w: usize| {
+            spec.analytic_l2_miss_ratio(w as f64, 1.0) / spec.analytic_l2_miss_ratio(1.0, 1.0)
+        };
+        // Well past the knee the curves must agree pointwise.
+        for w in [13usize, 16] {
+            let (m, a) = (measured(w), analytic(w));
+            assert!(
+                (m - a).abs() < 0.10,
+                "way {w}: measured {m:.3} vs analytic {a:.3}"
+            );
+        }
+        // The knee: most of the decline happens across 2..=11 ways, and the
+        // mid-knee point sits strictly between the plateau and the floor.
+        assert!(measured(2) > 0.60, "plateau region: {}", measured(2));
+        assert!(measured(11) < 0.45, "post-knee region: {}", measured(11));
+        let mid = measured(6);
+        assert!(mid < measured(2) && mid > measured(11), "mid-knee ordering");
+    }
+
+    #[test]
+    fn compulsory_heavy_stream_never_stops_missing() {
+        let s = WorkloadSpec {
+            name: "stream".into(),
+            scans: vec![],
+            components: vec![ReuseComponent {
+                lo_ways: 0.0,
+                hi_ways: 0.1,
+                weight: 0.5,
+            }],
+            compulsory: 0.5,
+            mem_fraction: 0.3,
+            write_fraction: 0.2,
+            dependent_fraction: 0.0,
+            footprint_ways: 64.0,
+        };
+        let mut profiler = StackProfiler::new(ProfilerConfig::reference(64, 32));
+        for op in AddressStream::new(s, 64, 0, 3).take(300_000) {
+            if let Some(a) = op.addr() {
+                profiler.observe(a.block());
+            }
+        }
+        let curve = MissRatioCurve::from_histogram(profiler.histogram(), 1.0);
+        // Even a 32-way allocation keeps missing on the compulsory stream.
+        assert!(curve.miss_ratio_at(32) > 0.3);
+    }
+}

@@ -1,0 +1,96 @@
+//! A tour of the MSA profiling machinery (§III-A of the paper).
+//!
+//! Profiles one workload with both the idealised full-tag profiler and the
+//! paper's hardware configuration (12-bit partial tags, 1-in-32 set
+//! sampling), prints the LRU histogram (Fig. 2), the projected miss-ratio
+//! curve (Fig. 3), the marginal-utility numbers the allocator consumes, and
+//! the Table II storage overhead.
+//!
+//! ```sh
+//! cargo run --release --example profiler_tour
+//! ```
+
+use bankaware::msa::overhead::kbits;
+use bankaware::msa::{MissRatioCurve, OverheadModel, ProfilerConfig, StackProfiler};
+use bankaware::workloads::{spec_by_name, AddressStream};
+
+fn main() {
+    let spec = spec_by_name("bzip2").expect("catalog");
+    let sets = 256usize;
+
+    // Two profilers observing the same access stream.
+    let mut reference = StackProfiler::new(ProfilerConfig::reference(sets, 72));
+    let mut hardware = StackProfiler::new(ProfilerConfig {
+        num_sets: sets,
+        max_ways: 72,
+        sample_ratio: 32,
+        tag_bits: Some(12),
+    });
+
+    println!("profiling the {} analogue...", spec.name);
+    let stream = AddressStream::new(spec, sets as u64, 1, 7);
+    let mut fed = 0u64;
+    for op in stream {
+        if let Some(addr) = op.addr() {
+            reference.observe(addr.block());
+            hardware.observe(addr.block());
+            fed += 1;
+            if fed >= 2_000_000 {
+                break;
+            }
+        }
+    }
+
+    // Fig. 2: the first few histogram counters.
+    let h = reference.histogram();
+    println!("\nLRU stack-distance histogram (first 8 counters + deep tail):");
+    for d in 0..8 {
+        let share = h.counters()[d] as f64 / h.accesses() as f64;
+        println!("  C{} (distance {d}): {:>6.2}%", d + 1, share * 100.0);
+    }
+    let deep: u64 = h.counters()[8..].iter().sum();
+    println!(
+        "  deeper + misses : {:>6.2}%",
+        100.0 * deep as f64 / h.accesses() as f64
+    );
+
+    // Fig. 3: the projected cumulative miss-ratio curve.
+    let ref_curve = MissRatioCurve::from_histogram(reference.histogram(), reference.scale());
+    let hw_curve = MissRatioCurve::from_histogram(hardware.histogram(), hardware.scale());
+    println!("\nprojected miss ratio vs dedicated ways (reference | hardware profiler):");
+    for ways in [1usize, 2, 4, 8, 16, 24, 32, 48, 64] {
+        println!(
+            "  {ways:>3} ways: {:.3} | {:.3}",
+            ref_curve.miss_ratio_at(ways),
+            hw_curve.miss_ratio_at(ways)
+        );
+    }
+
+    // What the allocator sees: marginal utility of growing an allocation.
+    println!("\nmarginal utility (misses saved per extra way), from 16 ways:");
+    for extra in [1usize, 8, 16, 32] {
+        println!(
+            "  +{extra:>2} ways: {:>10.1}",
+            ref_curve.marginal_utility(16, extra)
+        );
+    }
+    let (best_n, best_mu) = ref_curve.best_growth(16, 56).expect("curve non-empty");
+    println!("  best growth: +{best_n} ways at {best_mu:.1} misses/way");
+
+    // Table II: what the hardware profiler costs.
+    let m = OverheadModel::paper();
+    println!("\nhardware cost (Table II, baseline 16 MB machine):");
+    println!(
+        "  partial tags : {:>7.2} kbits",
+        kbits(m.partial_tag_bits())
+    );
+    println!("  LRU stacks   : {:>7.2} kbits", kbits(m.lru_stack_bits()));
+    println!(
+        "  hit counters : {:>7.2} kbits",
+        kbits(m.hit_counter_bits())
+    );
+    println!(
+        "  all profilers: {:.2}% of the LLC",
+        100.0 * m.fraction_of_llc(16 * 1024 * 1024)
+    );
+}

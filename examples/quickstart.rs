@@ -1,0 +1,59 @@
+//! Quickstart: simulate an 8-core CMP with bank-aware dynamic cache
+//! partitioning and compare it against the unpartitioned baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bankaware::partitioning::Policy;
+use bankaware::system::{SimOptions, System};
+use bankaware::types::SystemConfig;
+use bankaware::workloads::spec_by_name;
+
+fn main() {
+    // A geometrically scaled-down machine (1/8 of the paper's Table I
+    // baseline) so the example finishes in seconds.
+    let config = SystemConfig::scaled(8);
+
+    // One SPEC CPU2000 analogue per core: a streaming polluter (mcf), two
+    // cache-hungry victims (twolf, art) and assorted small workloads.
+    let mix = [
+        "mcf", "twolf", "art", "sixtrack", "gcc", "gap", "vpr", "eon",
+    ];
+    let specs: Vec<_> = mix
+        .iter()
+        .map(|n| spec_by_name(n).expect("in catalog"))
+        .collect();
+
+    println!("workloads: {}\n", mix.join(", "));
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "policy", "L2 misses", "miss ratio", "mean CPI"
+    );
+    for (name, policy) in [
+        ("no-partitions", Policy::NoPartition),
+        ("equal", Policy::Equal),
+        ("bank-aware", Policy::BankAware),
+    ] {
+        let mut opts = SimOptions::new(config.clone(), policy);
+        opts.warmup_instructions = 300_000;
+        opts.measure_instructions = 600_000;
+        opts.config.epoch_cycles = 2_000_000;
+        let result = System::new(opts, specs.clone()).run();
+        println!(
+            "{name:<14} {:>12} {:>12.3} {:>10.2}",
+            result.total_l2_misses(),
+            result.l2_miss_ratio(),
+            result.mean_cpi()
+        );
+        if policy == Policy::BankAware {
+            if let Some(plan) = &result.final_plan {
+                println!("\nfinal bank-aware assignment:");
+                for (c, name) in mix.iter().enumerate() {
+                    let ways = plan.ways_of(bankaware::types::CoreId(c as u8));
+                    println!("  core{c} ({name:<9}): {ways:>3} ways");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # bankaware — Bank-aware Dynamic Cache Partitioning
+//!
+//! Facade crate for the reproduction of Kaseridis, Stuecheli and John,
+//! *Bank-aware Dynamic Cache Partitioning for Multicore Architectures*
+//! (ICPP 2009). Re-exports the workspace crates under stable module names:
+//!
+//! * [`types`] — identifiers, Table I configuration, Fig. 1 topology;
+//! * [`cache`] — set-associative banks, way-partitioned LRU, DNUCA L2,
+//!   bank-aggregation schemes;
+//! * [`msa`] — Mattson stack-distance profilers and miss-ratio curves;
+//! * [`noc`] — on-chip network latency/contention model;
+//! * [`dram`] — main-memory model;
+//! * [`energy`] — event-based dynamic-energy model;
+//! * [`coherence`] — MOESI directory protocol;
+//! * [`cpu`] — out-of-order core timing model with L1;
+//! * [`workloads`] — synthetic SPEC CPU2000 analogues;
+//! * [`partitioning`] — marginal utility, Unrestricted (UCP-style) and the
+//!   paper's Bank-aware allocation algorithm plus the epoch controller;
+//! * [`system`] — the integrated 8-core CMP simulator and the analytic
+//!   Monte Carlo evaluator.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use bap_cache as cache;
+pub use bap_coherence as coherence;
+pub use bap_core as partitioning;
+pub use bap_cpu as cpu;
+pub use bap_dram as dram;
+pub use bap_energy as energy;
+pub use bap_msa as msa;
+pub use bap_noc as noc;
+pub use bap_system as system;
+pub use bap_types as types;
+pub use bap_workloads as workloads;

@@ -1,0 +1,63 @@
+//! Whole-catalogue consistency: every analogue's *measured* behaviour must
+//! match its specification's analytic predictions — access rates, write
+//! mix and L2 pressure. Catches calibration drift whenever the catalogue
+//! or the generator changes.
+
+use bankaware::cpu::L1Cache;
+use bankaware::types::SystemConfig;
+use bankaware::workloads::{all_workloads, AddressStream};
+
+#[test]
+fn every_analogue_matches_its_spec_rates() {
+    // Scale 8 keeps the L1 large enough (128 blocks) to hold each
+    // analogue's L1-resident component, as the full-size machine would.
+    let cfg = SystemConfig::scaled(8);
+    let blocks_per_way = cfg.l2_bank_sets() as u64;
+    for spec in all_workloads() {
+        let mut stream = AddressStream::new(spec.clone(), blocks_per_way, 1, 1234);
+        let mut l1 = L1Cache::new(cfg.l1);
+        let (mut insts, mut mems, mut writes, mut l2_accesses) = (0u64, 0u64, 0u64, 0u64);
+        while insts < 600_000 {
+            let op = stream.next().expect("infinite");
+            insts += op.instructions();
+            if let Some(addr) = op.addr() {
+                mems += 1;
+                if op.is_store() {
+                    writes += 1;
+                }
+                let block = addr.block();
+                if !l1.access(block, op.is_store()) {
+                    l1.fill(block, op.is_store());
+                    l2_accesses += 1;
+                }
+            }
+        }
+        let name = &spec.name;
+
+        let mem_frac = mems as f64 / insts as f64;
+        assert!(
+            (mem_frac - spec.mem_fraction).abs() < 0.02,
+            "{name}: measured mem fraction {mem_frac:.3} vs spec {:.3}",
+            spec.mem_fraction
+        );
+
+        let write_frac = writes as f64 / mems as f64;
+        assert!(
+            (write_frac - spec.write_fraction).abs() < 0.03,
+            "{name}: measured write fraction {write_frac:.3} vs spec {:.3}",
+            spec.write_fraction
+        );
+
+        // L2 pressure: measured accesses-per-kilo-instruction within a
+        // factor band of the analytic prediction. The band is generous
+        // upward because every deep access churns the L1 (it evicts an
+        // L1-resident block whose next touch then also reaches the L2) —
+        // an amplification the closed form deliberately ignores.
+        let measured_apki = l2_accesses as f64 * 1000.0 / insts as f64;
+        let predicted_apki = spec.l2_apki(0.5);
+        assert!(
+            measured_apki > 0.5 * predicted_apki && measured_apki < 4.0 * predicted_apki + 12.0,
+            "{name}: measured L2 APKI {measured_apki:.1} vs predicted {predicted_apki:.1}"
+        );
+    }
+}

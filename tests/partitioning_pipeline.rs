@@ -1,0 +1,105 @@
+//! Integration of the partitioning pipeline: stand-alone MSA profiles →
+//! miss-ratio curves → assignment algorithms → physical plan → enforced
+//! behaviour in the DNUCA L2.
+
+use bankaware::cache::{AccessKind, AggregationScheme, DnucaL2};
+use bankaware::msa::ProfilerConfig;
+use bankaware::partitioning::bank_aware::validate_bank_rules;
+use bankaware::partitioning::{bank_aware_partition, unrestricted_partition, BankAwareConfig};
+use bankaware::system::profile_workloads;
+use bankaware::types::{BlockAddr, CoreId, SystemConfig, Topology};
+use bankaware::workloads::spec_by_name;
+
+fn curves() -> Vec<bankaware::msa::MissRatioCurve> {
+    let cfg = SystemConfig::scaled(64);
+    let specs: Vec<_> = [
+        "mcf", "twolf", "art", "sixtrack", "gcc", "gap", "vpr", "eon",
+    ]
+    .iter()
+    .map(|n| spec_by_name(n).expect("catalog"))
+    .collect();
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), 72);
+    profile_workloads(&specs, &cfg, pcfg, 400_000, 11)
+}
+
+#[test]
+fn profiles_feed_both_algorithms_consistently() {
+    let curves = curves();
+    let topo = Topology::baseline();
+
+    let unres = unrestricted_partition(&curves, 128, 1, 72);
+    let plan = bank_aware_partition(&curves, &topo, 8, &BankAwareConfig::default());
+    validate_bank_rules(&plan, &topo).expect("physical rules hold");
+
+    // Both algorithms agree on the big picture: the deep-reuse core (twolf,
+    // index 1) ranks near the top in both assignments.
+    let ba: Vec<usize> = (0..8).map(|c| plan.ways_of(CoreId(c as u8))).collect();
+    assert!(unres[1] >= 24, "unrestricted twolf share: {unres:?}");
+    assert!(ba[1] >= 24, "bank-aware twolf share: {ba:?}");
+    // And the restricted projection can never beat the unrestricted one.
+    let project =
+        |alloc: &[usize]| -> f64 { curves.iter().zip(alloc).map(|(c, &w)| c.misses_at(w)).sum() };
+    assert!(project(&unres) <= project(&ba) * 1.001);
+}
+
+#[test]
+fn plan_enforcement_isolates_partitions_under_traffic() {
+    let curves = curves();
+    let topo = Topology::baseline();
+    let plan = bank_aware_partition(&curves, &topo, 8, &BankAwareConfig::default());
+
+    let cfg = SystemConfig::scaled(64);
+    let mut l2 = DnucaL2::new(cfg.l2.num_banks, cfg.l2.bank, 8);
+    l2.apply_plan(plan.clone(), AggregationScheme::Parallel);
+
+    // Core 7 (eon, small share) parks a working set sized to its partition.
+    let eon_ways = plan.ways_of(CoreId(7));
+    let eon_blocks = (eon_ways * cfg.l2_bank_sets() / 2) as u64;
+    let eon_block = |i: u64| BlockAddr((7 << 50) | i);
+    for i in 0..eon_blocks {
+        l2.access(eon_block(i), CoreId(7), AccessKind::Read);
+    }
+    // Core 0 (mcf) streams far more than the whole cache.
+    for i in 0..200_000u64 {
+        l2.access(BlockAddr((1 << 50) | i), CoreId(0), AccessKind::Read);
+    }
+    // Core 7 still hits its working set: isolation held.
+    let mut hits = 0;
+    for i in 0..eon_blocks {
+        if l2.access(eon_block(i), CoreId(7), AccessKind::Read).hit {
+            hits += 1;
+        }
+    }
+    let ratio = hits as f64 / eon_blocks as f64;
+    assert!(
+        ratio > 0.9,
+        "partition isolation: {ratio:.2} of eon's set survived"
+    );
+}
+
+#[test]
+fn curve_projection_predicts_isolated_miss_ratio() {
+    // The MSA curve projected at W ways must predict the measured miss
+    // ratio of the same workload running alone in a W-way partition.
+    let cfg = SystemConfig::scaled(64);
+    let spec = spec_by_name("vpr").expect("catalog");
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), 72);
+    let curve = profile_workloads(std::slice::from_ref(&spec), &cfg, pcfg, 400_000, 3).remove(0);
+
+    // Simulate vpr alone with a 16-way partition (2 full banks).
+    use bankaware::partitioning::Policy;
+    use bankaware::system::{SimOptions, System};
+    let mut opts = SimOptions::new(cfg, Policy::Equal);
+    opts.warmup_instructions = 150_000;
+    opts.measure_instructions = 250_000;
+    let mix: Vec<_> = std::iter::once(spec)
+        .chain(["eon"; 7].iter().map(|n| spec_by_name(n).unwrap()))
+        .collect();
+    let r = System::new(opts, mix).run();
+    let measured = r.per_core[0].l2.miss_ratio();
+    let projected = curve.miss_ratio_at(16);
+    assert!(
+        (measured - projected).abs() < 0.12,
+        "measured {measured:.3} vs projected {projected:.3}"
+    );
+}
