@@ -42,7 +42,7 @@ fn bench_dnuca_modes(c: &mut Criterion) {
     for mode in ["dnuca", "static", "partitioned"] {
         let mut l2 = dnuca(mode);
         let mut i = 0u64;
-        c.bench_function(&format!("l2_access_{mode}"), |b| {
+        c.bench_function(format!("l2_access_{mode}"), |b| {
             b.iter(|| {
                 i = i.wrapping_add(0x9E37_79B9);
                 let core = CoreId((i % 8) as u8);
@@ -76,7 +76,8 @@ criterion_group!(
     benches,
     bench_bank_access,
     bench_dnuca_modes,
-    bench_plan_application
+    bench_plan_application,
+    coherence_bench::bench_directory
 );
 criterion_main!(benches);
 

@@ -12,7 +12,7 @@ fn bench_observe(c: &mut Criterion) {
     ] {
         let mut p = StackProfiler::new(cfg);
         let mut i = 0u64;
-        c.bench_function(&format!("profiler_observe_{label}"), |b| {
+        c.bench_function(format!("profiler_observe_{label}"), |b| {
             b.iter(|| {
                 i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 p.observe(black_box(BlockAddr(i % 300_000)));

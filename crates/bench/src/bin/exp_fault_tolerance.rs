@@ -1,0 +1,176 @@
+//! Fault-tolerance experiment: graceful degradation under injected faults.
+//!
+//! Runs one Table III mix under Bank-aware partitioning, healthy and under
+//! a battery of fault campaigns (bank losses, bank churn, dropped
+//! repartitioning epochs, corrupted MSA curves, everything at once), and
+//! reports the miss-ratio/CPI degradation relative to the healthy run plus
+//! the degradation-ladder accounting: how the system absorbed each fault
+//! class without crashing, and how quickly capacity recovered after a bank
+//! loss.
+
+use bap_bench::common::{row, write_json, Args};
+use bap_bench::detailed::sim_options;
+use bap_bench::mixes::{resolve, table3_sets};
+use bap_core::Policy;
+use bap_fault::FaultConfig;
+use bap_system::{RunResult, System};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FaultRow {
+    scenario: String,
+    miss_ratio: f64,
+    mean_cpi: f64,
+    /// Relative miss-ratio increase over the healthy run (percent).
+    miss_degradation_pct: f64,
+    /// Relative mean-CPI increase over the healthy run (percent).
+    cpi_degradation_pct: f64,
+    banks_failed: u64,
+    banks_restored: u64,
+    epochs_dropped: u64,
+    curves_corrupted: u64,
+    curves_repaired: u64,
+    solver_failures: u64,
+    plans_rejected: u64,
+    plan_repairs: u64,
+    plan_reuses: u64,
+    equal_fallbacks: u64,
+    /// Epoch boundaries after the first bank loss during which the
+    /// installed plan used less capacity than the surviving banks offer
+    /// (None when no bank was ever lost). 0 = replanned within the same
+    /// boundary that killed the bank.
+    recovery_epochs: Option<u64>,
+}
+
+fn scenarios(seed: u64) -> Vec<(&'static str, FaultConfig)> {
+    let base = FaultConfig::with_seed(seed);
+    let mut center_loss = base.clone();
+    center_loss.forced_offline = vec![(2, 9)];
+    let mut local_loss = base.clone();
+    local_loss.forced_offline = vec![(2, 0)];
+    let mut churn = base.clone();
+    churn.bank_offline_prob = 0.05;
+    churn.bank_repair_prob = 0.3;
+    churn.max_offline_banks = 2;
+    let mut drops = base.clone();
+    drops.epoch_drop_prob = 0.3;
+    let mut garbage = base.clone();
+    garbage.curve_corruption_prob = 0.5;
+    let combined = FaultConfig {
+        seed,
+        bank_offline_prob: 0.05,
+        bank_repair_prob: 0.3,
+        max_offline_banks: 2,
+        epoch_drop_prob: 0.3,
+        curve_corruption_prob: 0.5,
+        forced_offline: vec![(2, 9)],
+    };
+    vec![
+        ("center_bank_offline", center_loss),
+        ("local_bank_offline", local_loss),
+        ("bank_churn", churn),
+        ("epoch_drops", drops),
+        ("curve_corruption", garbage),
+        ("combined", combined),
+    ]
+}
+
+/// Epochs (after the first capacity drop) during which the plan assigned
+/// less than the best subsequent assignment ever reached — i.e. how long
+/// the system ran under-provisioned before the ladder converged.
+fn recovery_epochs(r: &RunResult) -> Option<u64> {
+    let sums: Vec<usize> = r
+        .epoch_history
+        .iter()
+        .map(|ways| ways.iter().sum())
+        .collect();
+    let first_drop = sums.windows(2).position(|w| w[1] < w[0])? + 1;
+    let recovered_at = *sums[first_drop..].iter().max()?;
+    Some(
+        sums[first_drop..]
+            .iter()
+            .take_while(|&&s| s < recovered_at)
+            .count() as u64,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let mix = table3_sets(args.seed).remove(0);
+
+    let healthy = System::new(sim_options(&args, Policy::BankAware), resolve(&mix)).run();
+    assert!(healthy.fault.is_zero(), "healthy run injected nothing");
+    let (h_miss, h_cpi) = (healthy.l2_miss_ratio(), healthy.mean_cpi());
+
+    let rows: Vec<FaultRow> = scenarios(args.seed)
+        .par_iter()
+        .map(|(name, cfg)| {
+            let mut opts = sim_options(&args, Policy::BankAware);
+            opts.fault = Some(cfg.clone());
+            let r = System::new(opts, resolve(&mix)).run();
+            let f = r.fault;
+            FaultRow {
+                scenario: name.to_string(),
+                miss_ratio: r.l2_miss_ratio(),
+                mean_cpi: r.mean_cpi(),
+                miss_degradation_pct: (r.l2_miss_ratio() / h_miss - 1.0) * 100.0,
+                cpi_degradation_pct: (r.mean_cpi() / h_cpi - 1.0) * 100.0,
+                banks_failed: f.banks_failed,
+                banks_restored: f.banks_restored,
+                epochs_dropped: f.epochs_dropped,
+                curves_corrupted: f.curves_corrupted,
+                curves_repaired: f.curves_repaired,
+                solver_failures: f.solver_failures,
+                plans_rejected: f.plans_rejected,
+                plan_repairs: f.plan_repairs,
+                plan_reuses: f.plan_reuses,
+                equal_fallbacks: f.equal_fallbacks,
+                recovery_epochs: recovery_epochs(&r),
+            }
+        })
+        .collect();
+
+    println!("Fault tolerance (mix: {})", mix.join(", "));
+    println!(
+        "healthy: miss ratio {h_miss:.3}, mean CPI {h_cpi:.3}, {} epochs",
+        healthy.epochs
+    );
+    let widths = [20, 10, 8, 9, 8, 7, 7, 7, 7, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario", "miss", "Δmiss%", "CPI", "ΔCPI%", "failed", "drops", "corr", "ladder",
+                "recovery"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+    for r in &rows {
+        let ladder = r.plan_repairs + r.plan_reuses + r.equal_fallbacks;
+        println!(
+            "{}",
+            row(
+                &[
+                    r.scenario.clone(),
+                    format!("{:.3}", r.miss_ratio),
+                    format!("{:+.1}", r.miss_degradation_pct),
+                    format!("{:.3}", r.mean_cpi),
+                    format!("{:+.1}", r.cpi_degradation_pct),
+                    format!("{}", r.banks_failed),
+                    format!("{}", r.epochs_dropped),
+                    format!("{}", r.curves_corrupted),
+                    format!("{ladder}"),
+                    r.recovery_epochs
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                ],
+                &widths
+            )
+        );
+    }
+    let path = write_json("fault_tolerance", &rows);
+    println!("wrote {}", path.display());
+}

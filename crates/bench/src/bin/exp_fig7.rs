@@ -6,7 +6,7 @@
 //! ≈30 % reduction, Bank-aware ≈27 %).
 
 use bap_bench::common::{write_json, Args};
-use bap_bench::mc::{build_library, evaluate_mix, MixOutcome};
+use bap_bench::mc::{evaluate_mix, load_or_build_library, MixOutcome};
 use bap_bench::mixes::monte_carlo_mixes;
 use bap_types::{SystemConfig, Topology};
 use rayon::prelude::*;
@@ -27,8 +27,8 @@ fn main() {
     let profile_instructions = if args.quick { 1_000_000 } else { 20_000_000 };
     let num_mixes = if args.quick { 100 } else { 1000 };
 
-    eprintln!("profiling 26 workload analogues...");
-    let lib = build_library(&cfg, profile_instructions, args.seed);
+    eprintln!("profiling 26 workload analogues (cached when intact)...");
+    let lib = load_or_build_library(&cfg, profile_instructions, args.seed);
     let topo = Topology::baseline();
 
     eprintln!("evaluating {num_mixes} random mixes...");

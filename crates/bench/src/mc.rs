@@ -20,6 +20,10 @@ pub struct ProfileLibrary {
     pub curves: HashMap<String, MissRatioCurve>,
     /// The seed the library was profiled with.
     pub seed: u64,
+    /// Instructions profiled per workload (0 in pre-versioned caches,
+    /// which therefore never match and are rebuilt).
+    #[serde(default)]
+    pub instructions: u64,
 }
 
 /// Build (or rebuild) the profile library. `instructions` profiled per workload.
@@ -30,7 +34,42 @@ pub fn build_library(cfg: &SystemConfig, instructions: u64, seed: u64) -> Profil
     ProfileLibrary {
         curves: specs.iter().map(|s| s.name.clone()).zip(curves).collect(),
         seed,
+        instructions,
     }
+}
+
+/// Load the cached profile library from `results/` if it is intact and was
+/// built for the same `(seed, instructions)` request, else (re)build and
+/// cache it. A cache that deserialises but fails validation — wrong
+/// provenance, missing workloads, non-finite or non-monotone curves — is
+/// discarded and rebuilt rather than silently poisoning every projection
+/// downstream.
+pub fn load_or_build_library(cfg: &SystemConfig, instructions: u64, seed: u64) -> ProfileLibrary {
+    if let Some(lib) = crate::common::read_json::<ProfileLibrary>("profile_library") {
+        if library_is_valid(&lib, instructions, seed) {
+            return lib;
+        }
+        eprintln!("cached profile library is stale or corrupt; rebuilding");
+    }
+    let lib = build_library(cfg, instructions, seed);
+    crate::common::write_json("profile_library", &lib);
+    lib
+}
+
+/// Whether a deserialised library is trustworthy for this request.
+fn library_is_valid(lib: &ProfileLibrary, instructions: u64, seed: u64) -> bool {
+    if lib.seed != seed || lib.instructions != instructions {
+        return false;
+    }
+    let specs = all_workloads();
+    if lib.curves.len() != specs.len() {
+        return false;
+    }
+    specs.iter().all(|s| {
+        lib.curves
+            .get(&s.name)
+            .is_some_and(|c| c.health().is_clean() && c.accesses() > 0.0)
+    })
 }
 
 /// Projected outcome of one mix under the three assignment policies.
@@ -107,6 +146,58 @@ mod tests {
     fn library_covers_all_workloads() {
         let lib = library();
         assert_eq!(lib.curves.len(), 26);
+    }
+
+    /// A synthetic, structurally valid library (no profiling cost).
+    fn synthetic_library(seed: u64, instructions: u64) -> ProfileLibrary {
+        let curves = all_workloads()
+            .iter()
+            .map(|s| {
+                let c = MissRatioCurve::from_misses(
+                    (0..=72).map(|w| (1000 - w * 10) as f64).collect(),
+                    5000.0,
+                );
+                (s.name.clone(), c)
+            })
+            .collect();
+        ProfileLibrary {
+            curves,
+            seed,
+            instructions,
+        }
+    }
+
+    #[test]
+    fn cache_validation_accepts_an_intact_library() {
+        let lib = synthetic_library(3, 1000);
+        assert!(library_is_valid(&lib, 1000, 3));
+    }
+
+    #[test]
+    fn cache_validation_rejects_wrong_provenance() {
+        let lib = synthetic_library(3, 1000);
+        assert!(!library_is_valid(&lib, 1000, 4), "seed mismatch");
+        assert!(!library_is_valid(&lib, 2000, 3), "budget mismatch");
+    }
+
+    #[test]
+    fn cache_validation_rejects_missing_and_corrupt_curves() {
+        let mut lib = synthetic_library(3, 1000);
+        let victim = all_workloads()[0].name.clone();
+        lib.curves.remove(&victim);
+        assert!(!library_is_valid(&lib, 1000, 3), "missing workload");
+
+        let mut lib = synthetic_library(3, 1000);
+        lib.curves.insert(
+            victim.clone(),
+            MissRatioCurve::from_misses(vec![100.0, f64::NAN, 50.0], 500.0),
+        );
+        assert!(!library_is_valid(&lib, 1000, 3), "NaN-laced curve");
+
+        let mut lib = synthetic_library(3, 1000);
+        lib.curves
+            .insert(victim, MissRatioCurve::from_misses(vec![10.0, 50.0], 500.0));
+        assert!(!library_is_valid(&lib, 1000, 3), "non-monotone curve");
     }
 
     #[test]

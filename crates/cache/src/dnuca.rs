@@ -26,10 +26,10 @@
 
 use crate::aggregation::{AggregationScheme, Partition};
 use crate::bank::{BankAccess, CacheBank};
-use crate::plan::PartitionPlan;
+use crate::plan::{PartitionPlan, PlanError};
 use crate::set_assoc::{AccessKind, EvictedLine};
 use bap_types::stats::CacheStats;
-use bap_types::{BankId, BlockAddr, CacheGeometry, CoreId};
+use bap_types::{BankId, BankMask, BlockAddr, CacheGeometry, CoreId};
 use serde::{Deserialize, Serialize};
 
 /// Operating mode of the L2.
@@ -107,6 +107,8 @@ pub struct DnucaL2 {
     /// Deepest chain position a demoted block may occupy before leaving the
     /// cache (shared-DNUCA mode); defaults to the full chain.
     chain_limit: usize,
+    /// Live bank health: plans are only installable against healthy banks.
+    bank_mask: BankMask,
 }
 
 impl DnucaL2 {
@@ -149,6 +151,7 @@ impl DnucaL2 {
                 .collect(),
             chain_limit: num_banks,
             lookup_isolation: false,
+            bank_mask: BankMask::all_healthy(num_banks),
         }
     }
 
@@ -234,9 +237,24 @@ impl DnucaL2 {
 
     /// Apply a partition plan (validated) with the given aggregation scheme.
     /// Bank way-owner masks are rewritten; resident lines stay put and age
-    /// out naturally.
+    /// out naturally. Panics on an invalid plan — the fault-tolerant
+    /// installation path is [`DnucaL2::try_apply_plan`].
     pub fn apply_plan(&mut self, plan: PartitionPlan, scheme: AggregationScheme) {
-        plan.validate().expect("partition plan must be valid");
+        self.try_apply_plan(plan, scheme)
+            .expect("partition plan must be valid");
+    }
+
+    /// Validate `plan` against the plan's own structure *and* the live bank
+    /// mask, then install it. The check happens entirely before any state
+    /// is touched, so a rejected plan leaves the cache exactly as it was
+    /// (atomic install). On success behaves exactly like
+    /// [`DnucaL2::apply_plan`].
+    pub fn try_apply_plan(
+        &mut self,
+        plan: PartitionPlan,
+        scheme: AggregationScheme,
+    ) -> Result<(), PlanError> {
+        plan.validate_against_mask(&self.bank_mask)?;
         assert_eq!(plan.num_banks, self.banks.len());
         assert_eq!(plan.num_cores(), self.num_cores);
         for b in 0..self.banks.len() {
@@ -257,6 +275,49 @@ impl DnucaL2 {
                     self.evict_out_counted(ev);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// The live bank-health mask.
+    pub fn bank_mask(&self) -> &BankMask {
+        &self.bank_mask
+    }
+
+    /// Take `bank` offline: every resident line is flushed (stranded data
+    /// is unreachable on dead hardware; dirty lines are returned for
+    /// write-back accounting) and its ways are disowned so no plan touching
+    /// it can be installed until [`DnucaL2::restore_bank`]. Returns the
+    /// dirty blocks that must go to memory.
+    ///
+    /// In partitioned mode the caller must install a mask-valid plan before
+    /// the next access: partitions of the old plan may still route fills
+    /// into the dead bank.
+    pub fn take_bank_offline(&mut self, bank: BankId) -> Vec<BlockAddr> {
+        self.bank_mask.disable(bank);
+        let ways = self.banks[bank.index()].geometry().ways;
+        self.banks[bank.index()].set_way_owners(vec![bap_types::CoreSet::EMPTY; ways]);
+        let flushed = self.banks[bank.index()].flush_disowned();
+        let mut dirty = Vec::new();
+        for ev in flushed {
+            if ev.dirty {
+                self.stats.writebacks += 1;
+                dirty.push(ev.block);
+            }
+        }
+        dirty
+    }
+
+    /// Bring `bank` back online. Its ways stay disowned until the next plan
+    /// installation (or mode switch) reassigns them, so restored capacity
+    /// becomes usable at the next repartition — never mid-epoch.
+    pub fn restore_bank(&mut self, bank: BankId) {
+        self.bank_mask.enable(bank);
+        if !matches!(self.mode, L2Mode::Partitioned(_)) {
+            // Shared modes have no plan to wait for: reopen the ways now.
+            let ways = self.banks[bank.index()].geometry().ways;
+            self.banks[bank.index()]
+                .set_way_owners(vec![bap_types::CoreSet::all(self.num_cores); ways]);
         }
     }
 
@@ -1011,6 +1072,114 @@ mod tests {
         l2.reset_stats();
         assert_eq!(l2.stats().per_core[0].accesses(), 0);
         assert!(l2.access(b, CoreId(0), AccessKind::Read).hit);
+    }
+
+    /// Deterministic replay of the historical proptest regression
+    /// (`proptest-regressions/dnuca.txt`): an access in shared-DNUCA mode,
+    /// a switch to the statically-hashed mode, then the same access again.
+    /// The static hash may home the block in a different bank than the
+    /// DNUCA fill chose; the S-NUCA path must migrate the stranded copy
+    /// home instead of creating a duplicate.
+    #[test]
+    fn mode_switch_does_not_duplicate_blocks() {
+        let mut l2 = DnucaL2::new(4, CacheGeometry::new(4 * 4 * 64, 4, 64), 2);
+        let topo = bap_types::Topology::new(2, 10, 70);
+        l2.set_shared_dnuca(&topo, 4);
+        let b = BlockAddr(446);
+        l2.access(b, CoreId(0), AccessKind::Read);
+        l2.set_shared_static();
+        l2.access(b, CoreId(0), AccessKind::Read);
+        let copies = (0..4).filter(|&i| l2.bank(BankId(i)).probe(b)).count();
+        assert_eq!(copies, 1, "block resides in exactly one bank");
+        assert_eq!(l2.stats().per_core[0].accesses(), 2, "hit+miss accounting");
+    }
+
+    #[test]
+    fn offline_bank_flushes_contents_and_counts_dirty() {
+        let mut l2 = l2();
+        l2.apply_plan(plan_two_cores(), AggregationScheme::Parallel);
+        // A dirty line in core 0's partition writes back on bank loss.
+        let dirty = BlockAddr(0x40);
+        l2.access(dirty, CoreId(0), AccessKind::Write);
+        let home = (0..4u8)
+            .map(BankId)
+            .find(|&b| l2.bank(b).probe(dirty))
+            .expect("block resident somewhere");
+        let wbs = l2.take_bank_offline(home);
+        assert_eq!(wbs, vec![dirty], "the dirty line writes back");
+        assert_eq!(l2.bank(home).occupancy(), 0, "bank fully flushed");
+        assert!(!l2.bank_mask().is_healthy(home));
+        // A clean line flushes silently: no writeback reported.
+        let clean = BlockAddr(0x81);
+        l2.access(clean, CoreId(1), AccessKind::Read);
+        let home = (0..4u8)
+            .map(BankId)
+            .find(|&b| l2.bank(b).probe(clean))
+            .expect("block resident somewhere");
+        assert!(l2.take_bank_offline(home).is_empty());
+        assert_eq!(l2.bank(home).occupancy(), 0);
+    }
+
+    #[test]
+    fn try_apply_plan_rejects_offline_banks_atomically() {
+        let mut l2 = l2();
+        let healthy_plan = plan_two_cores();
+        l2.apply_plan(healthy_plan.clone(), AggregationScheme::Parallel);
+        let owners_before: Vec<_> = (0..4)
+            .map(|b| l2.bank(BankId(b)).way_owners().to_vec())
+            .collect();
+        l2.take_bank_offline(BankId(2));
+        // Reinstalling the old plan must fail: it allocates bank 2.
+        let err = l2
+            .try_apply_plan(healthy_plan.clone(), AggregationScheme::Parallel)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::plan::PlanError::DisabledBank {
+                core: 0,
+                bank: BankId(2)
+            }
+        );
+        // Atomicity: the rejected install changed nothing except the
+        // offline bank's own (already disowned) ways.
+        assert_eq!(l2.plan(), Some(&healthy_plan));
+        for b in [0usize, 1, 3] {
+            assert_eq!(
+                l2.bank(BankId(b as u8)).way_owners(),
+                &owners_before[b][..],
+                "bank {b} untouched by the failed install"
+            );
+        }
+        // A plan avoiding the dead bank installs fine.
+        let mut p = PartitionPlan::empty(2, 4, 4);
+        p.per_core[0] = vec![BankAllocation {
+            bank: BankId(0),
+            ways: 4,
+        }];
+        p.per_core[1] = vec![
+            BankAllocation {
+                bank: BankId(1),
+                ways: 4,
+            },
+            BankAllocation {
+                bank: BankId(3),
+                ways: 4,
+            },
+        ];
+        l2.try_apply_plan(p, AggregationScheme::Parallel).unwrap();
+    }
+
+    #[test]
+    fn restore_bank_reopens_capacity_at_next_plan() {
+        let mut l2 = l2();
+        l2.apply_plan(plan_two_cores(), AggregationScheme::Parallel);
+        l2.take_bank_offline(BankId(2));
+        l2.restore_bank(BankId(2));
+        assert!(l2.bank_mask().is_full());
+        // Still disowned until a plan reassigns it.
+        assert_eq!(l2.bank(BankId(2)).ways_of(CoreId(0)), 0);
+        l2.apply_plan(plan_two_cores(), AggregationScheme::Parallel);
+        assert_eq!(l2.bank(BankId(2)).ways_of(CoreId(0)), 4);
     }
 }
 

@@ -7,9 +7,124 @@
 //! contiguous way ranges in core order, mirroring the paper's scheme where
 //! all sets of a bank carry the same vertical way assignment.
 
-use bap_types::{BankId, CoreId, CoreSet};
+use bap_types::{BankId, BankMask, CoreId, CoreSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Why a [`PartitionPlan`] is unusable. Produced by
+/// [`PartitionPlan::validate`] (structural checks), the bank-rule validator
+/// in `bap-core` and the mask-aware installation path in
+/// [`crate::dnuca::DnucaL2`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// A core ends up with zero ways anywhere.
+    CoreWithoutCapacity {
+        /// The starved core.
+        core: usize,
+    },
+    /// An allocation references a bank beyond `num_banks`.
+    NonexistentBank {
+        /// The referencing core.
+        core: usize,
+        /// The bad bank.
+        bank: BankId,
+    },
+    /// An allocation entry carries zero ways (must be omitted instead).
+    ZeroWayAllocation {
+        /// The offending core.
+        core: usize,
+        /// The bank of the empty entry.
+        bank: BankId,
+    },
+    /// A single allocation exceeds the bank's associativity.
+    OversizedAllocation {
+        /// The offending core.
+        core: usize,
+        /// The bank.
+        bank: BankId,
+        /// Ways requested.
+        ways: usize,
+        /// Ways the bank has.
+        bank_ways: usize,
+    },
+    /// A bank's allocations sum beyond its associativity (overcommitted).
+    OverSubscribedBank {
+        /// The bank.
+        bank: BankId,
+        /// Ways assigned in total.
+        used: usize,
+        /// Ways the bank has.
+        bank_ways: usize,
+    },
+    /// An allocation references a bank that is currently offline.
+    DisabledBank {
+        /// The referencing core.
+        core: usize,
+        /// The offline bank.
+        bank: BankId,
+    },
+    /// The plan does not assign exactly the expected total capacity.
+    CapacityMismatch {
+        /// Ways the plan assigns.
+        assigned: usize,
+        /// Ways it must assign.
+        expected: usize,
+    },
+    /// One of the paper's physical banking rules (§III-B) is violated.
+    RuleViolation {
+        /// Which rule (1 = whole Center banks, 2 = Center holders own their
+        /// Local bank, 3 = Local sharing only between adjacent cores, 0 =
+        /// bank not fully assigned).
+        rule: u8,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::CoreWithoutCapacity { core } => {
+                write!(f, "core{core} has no capacity")
+            }
+            PlanError::NonexistentBank { core, bank } => {
+                write!(f, "core{core} references nonexistent {bank}")
+            }
+            PlanError::ZeroWayAllocation { core, bank } => {
+                write!(f, "core{core} has a zero-way allocation in {bank}")
+            }
+            PlanError::OversizedAllocation {
+                core,
+                bank,
+                ways,
+                bank_ways,
+            } => write!(
+                f,
+                "core{core} wants {ways} ways of {bank} (bank has {bank_ways})"
+            ),
+            PlanError::OverSubscribedBank {
+                bank,
+                used,
+                bank_ways,
+            } => write!(
+                f,
+                "bank{} over-subscribed: {used} > {bank_ways}",
+                bank.index()
+            ),
+            PlanError::DisabledBank { core, bank } => {
+                write!(f, "core{core} references offline {bank}")
+            }
+            PlanError::CapacityMismatch { assigned, expected } => {
+                write!(f, "plan assigns {assigned} ways, expected {expected}")
+            }
+            PlanError::RuleViolation { rule, detail } => {
+                write!(f, "banking rule {rule} violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A number of ways allocated to one core in one bank.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,37 +250,87 @@ impl PartitionPlan {
 
     /// Structural validation: every referenced bank exists, no core has a
     /// zero-way allocation entry, no bank is over-subscribed, every core has
-    /// at least one way. Returns a human-readable error on failure.
-    pub fn validate(&self) -> Result<(), String> {
+    /// at least one way.
+    pub fn validate(&self) -> Result<(), PlanError> {
         for (c, allocs) in self.per_core.iter().enumerate() {
             if allocs.iter().map(|a| a.ways).sum::<usize>() == 0 {
-                return Err(format!("core{c} has no capacity"));
+                return Err(PlanError::CoreWithoutCapacity { core: c });
             }
             for a in allocs {
                 if a.bank.index() >= self.num_banks {
-                    return Err(format!("core{c} references nonexistent {}", a.bank));
+                    return Err(PlanError::NonexistentBank {
+                        core: c,
+                        bank: a.bank,
+                    });
                 }
                 if a.ways == 0 {
-                    return Err(format!("core{c} has a zero-way allocation in {}", a.bank));
+                    return Err(PlanError::ZeroWayAllocation {
+                        core: c,
+                        bank: a.bank,
+                    });
                 }
                 if a.ways > self.bank_ways {
-                    return Err(format!(
-                        "core{c} wants {} ways of {} (bank has {})",
-                        a.ways, a.bank, self.bank_ways
-                    ));
+                    return Err(PlanError::OversizedAllocation {
+                        core: c,
+                        bank: a.bank,
+                        ways: a.ways,
+                        bank_ways: self.bank_ways,
+                    });
                 }
             }
         }
         for b in 0..self.num_banks {
             let used = self.bank_ways_used(BankId(b as u8));
             if used > self.bank_ways {
-                return Err(format!(
-                    "bank{b} over-subscribed: {used} > {}",
-                    self.bank_ways
-                ));
+                return Err(PlanError::OverSubscribedBank {
+                    bank: BankId(b as u8),
+                    used,
+                    bank_ways: self.bank_ways,
+                });
             }
         }
         Ok(())
+    }
+
+    /// Validation against the live bank mask: structural validity plus no
+    /// allocation may touch an offline bank. This is the precondition for
+    /// installing a plan on degraded hardware.
+    pub fn validate_against_mask(&self, mask: &BankMask) -> Result<(), PlanError> {
+        self.validate()?;
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            for a in allocs {
+                if !mask.is_healthy(a.bank) {
+                    return Err(PlanError::DisabledBank {
+                        core: c,
+                        bank: a.bank,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Derive a repaired copy with every allocation on an offline bank
+    /// removed (the degradation ladder's "repair previous plan" rung).
+    /// The result may still fail [`PartitionPlan::validate`] — a core whose
+    /// entire allocation sat on dead banks ends up with no capacity.
+    pub fn restricted_to_mask(&self, mask: &BankMask) -> PartitionPlan {
+        let per_core = self
+            .per_core
+            .iter()
+            .map(|allocs| {
+                allocs
+                    .iter()
+                    .filter(|a| mask.is_healthy(a.bank))
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        PartitionPlan {
+            per_core,
+            bank_ways: self.bank_ways,
+            num_banks: self.num_banks,
+        }
     }
 
     /// Total ways assigned across the whole plan.
@@ -246,7 +411,9 @@ mod tests {
     #[test]
     fn validate_rejects_empty_core() {
         let p = PartitionPlan::empty(2, 2, 8);
-        assert!(p.validate().unwrap_err().contains("no capacity"));
+        let err = p.validate().unwrap_err();
+        assert_eq!(err, PlanError::CoreWithoutCapacity { core: 0 });
+        assert!(err.to_string().contains("no capacity"));
     }
 
     #[test]
@@ -260,7 +427,16 @@ mod tests {
             bank: BankId(0),
             ways: 6,
         });
-        assert!(p.validate().unwrap_err().contains("over-subscribed"));
+        let err = p.validate().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::OverSubscribedBank {
+                bank: BankId(0),
+                used: 12,
+                bank_ways: 8
+            }
+        );
+        assert!(err.to_string().contains("over-subscribed"));
     }
 
     #[test]
@@ -270,7 +446,51 @@ mod tests {
             bank: BankId(9),
             ways: 1,
         });
-        assert!(p.validate().unwrap_err().contains("nonexistent"));
+        let err = p.validate().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NonexistentBank {
+                core: 0,
+                bank: BankId(9)
+            }
+        );
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn mask_validation_flags_offline_banks() {
+        let p = PartitionPlan::equal(8, 16, 8);
+        let mut mask = BankMask::all_healthy(16);
+        assert!(p.validate_against_mask(&mask).is_ok());
+        mask.disable(BankId(9));
+        let err = p.validate_against_mask(&mask).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::DisabledBank {
+                core: 1,
+                bank: BankId(9)
+            }
+        );
+    }
+
+    #[test]
+    fn restriction_strips_only_dead_allocations() {
+        let p = PartitionPlan::equal(8, 16, 8);
+        let mut mask = BankMask::all_healthy(16);
+        mask.disable(BankId(9));
+        let r = p.restricted_to_mask(&mask);
+        assert_eq!(r.ways_of(CoreId(1)), 8, "lost only the dead Center bank");
+        assert_eq!(r.ways_of(CoreId(0)), 16, "other cores untouched");
+        assert!(r.validate_against_mask(&mask).is_ok());
+        // Kill core 2's whole share: the repair becomes structurally invalid
+        // (and the ladder must fall through to the next rung).
+        mask.disable(BankId(2));
+        mask.disable(BankId(10));
+        let r = p.restricted_to_mask(&mask);
+        assert_eq!(
+            r.validate().unwrap_err(),
+            PlanError::CoreWithoutCapacity { core: 2 }
+        );
     }
 
     #[test]

@@ -470,7 +470,8 @@ impl ShardedDirectory {
     /// Check every shard's invariants.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, s) in self.shards.iter().enumerate() {
-            s.check_invariants().map_err(|e| format!("shard {i}: {e}"))?;
+            s.check_invariants()
+                .map_err(|e| format!("shard {i}: {e}"))?;
         }
         Ok(())
     }

@@ -20,10 +20,24 @@
 //!   core's best growth overflows its own bank; the partner is then chosen
 //!   to minimise the pair's total misses, the pair's 16 ways are split
 //!   optimally, and both cores are marked complete.
+//!
+//! # Degraded machines
+//!
+//! [`try_bank_aware_partition`] is the fault-tolerant entry point: it takes
+//! a [`DegradedTopology`] (floorplan + live bank-health mask) and returns a
+//! typed [`Result`]. Offline banks simply vanish from the allocator's view:
+//! their capacity is not assigned, a core whose Local bank died starts from
+//! zero assumed ways (it may still win Center banks, overflow into a
+//! neighbour's Local bank, or be rescued with a minimum share), and Rule 2
+//! is waived for a Center-holder whose Local bank is offline — there is
+//! nothing left to own. On a fully-healthy mask the degraded path is
+//! bit-identical to the classic [`bank_aware_partition`], which is now a
+//! thin wrapper that unwraps the `Result` (a healthy machine with one curve
+//! per core cannot fail).
 
-use bap_cache::{BankAllocation, PartitionPlan};
+use bap_cache::{BankAllocation, PartitionPlan, PlanError};
 use bap_msa::MissRatioCurve;
-use bap_types::{BankId, BankKind, CoreId, Topology};
+use bap_types::{BankId, BankKind, CoreId, DegradedTopology, Topology};
 
 use crate::unrestricted::unrestricted_partition;
 
@@ -49,11 +63,90 @@ impl Default for BankAwareConfig {
     }
 }
 
-/// Run the Bank-aware algorithm.
+/// Why the Bank-aware solver could not produce a plan. Every variant is a
+/// recoverable event: the controller's degradation ladder catches it and
+/// falls back to a previously-valid or equal-share plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionError {
+    /// `curves.len()` does not match the number of cores.
+    CurveCountMismatch {
+        /// Curves supplied.
+        curves: usize,
+        /// Cores in the topology.
+        cores: usize,
+    },
+    /// A miss-ratio curve carries no points at all (corrupted state).
+    UnusableCurve {
+        /// The core whose curve is empty.
+        core: usize,
+    },
+    /// The healthy banks cannot give every core its minimum share.
+    InsufficientCapacity {
+        /// Ways available across healthy banks.
+        healthy_ways: usize,
+        /// Ways the minimum shares require.
+        required: usize,
+    },
+    /// A core ended with zero capacity and no rescue donor exists (its
+    /// Local bank and every adjacent Local bank are offline or exhausted).
+    NoUsableCapacity {
+        /// The stranded core.
+        core: usize,
+    },
+    /// A solver invariant failed — the pre-fault-tolerance code would have
+    /// panicked here.
+    Internal(&'static str),
+    /// The emitted plan failed structural or rule validation.
+    InvalidPlan(PlanError),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::CurveCountMismatch { curves, cores } => {
+                write!(f, "{curves} curves for {cores} cores")
+            }
+            PartitionError::UnusableCurve { core } => {
+                write!(f, "core{core}'s miss-ratio curve is empty")
+            }
+            PartitionError::InsufficientCapacity {
+                healthy_ways,
+                required,
+            } => write!(
+                f,
+                "only {healthy_ways} healthy ways, {required} required for minimum shares"
+            ),
+            PartitionError::NoUsableCapacity { core } => {
+                write!(f, "core{core} has no reachable healthy capacity")
+            }
+            PartitionError::Internal(what) => write!(f, "solver invariant failed: {what}"),
+            PartitionError::InvalidPlan(e) => write!(f, "emitted plan invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for PartitionError {
+    fn from(e: PlanError) -> Self {
+        PartitionError::InvalidPlan(e)
+    }
+}
+
+/// Run the Bank-aware algorithm on a healthy machine.
 ///
 /// `curves[c]` is core `c`'s MSA miss-ratio curve; `bank_ways` the per-bank
 /// associativity (8). Returns a validated [`PartitionPlan`] whose
-/// allocations are ordered closest-bank-first per core.
+/// allocations are ordered closest-bank-first per core. Panics if the
+/// inputs are malformed (wrong curve count, empty curve) — the fallible,
+/// degradation-aware entry point is [`try_bank_aware_partition`].
 ///
 /// ```
 /// use bap_core::{bank_aware_partition, BankAwareConfig};
@@ -75,21 +168,74 @@ pub fn bank_aware_partition(
     bank_ways: usize,
     cfg: &BankAwareConfig,
 ) -> PartitionPlan {
+    try_bank_aware_partition(
+        curves,
+        &DegradedTopology::healthy(topo.clone()),
+        bank_ways,
+        cfg,
+    )
+    .expect("bank-aware allocation cannot fail on a healthy machine")
+}
+
+/// Run the Bank-aware algorithm on a possibly-degraded machine.
+///
+/// Identical to [`bank_aware_partition`] when `machine`'s mask is full (the
+/// emitted plan is bit-for-bit the same); with banks offline, their capacity
+/// disappears from the solve and the returned plan allocates healthy banks
+/// only, summing to `healthy_banks × bank_ways`. Every former panic path is
+/// a typed [`PartitionError`].
+pub fn try_bank_aware_partition(
+    curves: &[MissRatioCurve],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+) -> Result<PartitionPlan, PartitionError> {
+    let topo = machine.topology();
     let n = topo.num_cores();
-    assert_eq!(curves.len(), n, "one curve per core");
+    if curves.len() != n {
+        return Err(PartitionError::CurveCountMismatch {
+            curves: curves.len(),
+            cores: n,
+        });
+    }
+    for (c, curve) in curves.iter().enumerate() {
+        if curve.health().empty {
+            return Err(PartitionError::UnusableCurve { core: c });
+        }
+    }
     let num_banks = topo.num_banks();
-    let total_ways = num_banks * bank_ways;
-    let max_ways = total_ways * cfg.max_capacity_num / cfg.max_capacity_den;
-    assert!(
-        max_ways >= 2 * bank_ways,
-        "cap must allow at least local + one center"
-    );
+    let healthy_ways = machine.num_healthy_banks() * bank_ways;
+    let required = n * cfg.min_ways.max(1);
+    if healthy_ways < required {
+        return Err(PartitionError::InsufficientCapacity {
+            healthy_ways,
+            required,
+        });
+    }
+    // The 9/16 cap, over *healthy* capacity. On a degraded machine the cap
+    // is clamped into `[2 banks, healthy total]` so the Boxes 1–2 grant
+    // granularity stays meaningful; on the healthy baseline both clamps are
+    // inactive and the cap is exactly the classic 72 ways.
+    let max_ways = (healthy_ways * cfg.max_capacity_num / cfg.max_capacity_den)
+        .max(2 * bank_ways)
+        .min(healthy_ways);
+
+    // Per-core usable capacity of its own Local bank (0 if offline).
+    let avail_local: Vec<usize> = (0..n)
+        .map(|c| {
+            if machine.is_healthy(topo.local_bank(CoreId(c as u8))) {
+                bank_ways
+            } else {
+                0
+            }
+        })
+        .collect();
 
     // ---- Boxes 1–2: Center bank assignment at bank granularity. ----
-    // Assume each Local bank belongs to its home core.
-    let mut assumed_ways: Vec<usize> = vec![bank_ways; n];
+    // Assume each healthy Local bank belongs to its home core.
+    let mut assumed_ways: Vec<usize> = avail_local.clone();
     let mut centers_of: Vec<Vec<BankId>> = vec![Vec::new(); n];
-    let mut free_centers: Vec<BankId> = topo.center_banks().collect();
+    let mut free_centers: Vec<BankId> = machine.healthy_center_banks().collect();
 
     while !free_centers.is_empty() {
         // Each core bids its best *bank-granular* lookahead growth: the
@@ -102,7 +248,8 @@ pub fn bank_aware_partition(
         // current share so identical workloads spread.
         let mut best: Option<(usize, usize, f64)> = None; // (core, banks, mu)
         for (c, curve) in curves.iter().enumerate() {
-            let headroom_banks = ((max_ways - assumed_ways[c]) / bank_ways).min(free_centers.len());
+            let headroom_banks =
+                (max_ways.saturating_sub(assumed_ways[c]) / bank_ways).min(free_centers.len());
             if headroom_banks == 0 {
                 continue;
             }
@@ -137,11 +284,13 @@ pub fn bank_aware_partition(
         let banks = if mu > 0.0 { banks } else { 1 };
         for _ in 0..banks {
             // Give the winner its nearest free Center bank (lowest latency).
-            let (idx, _) = free_centers
+            let Some((idx, _)) = free_centers
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &b)| topo.hops(CoreId(winner as u8), b))
-                .expect("non-empty");
+            else {
+                return Err(PartitionError::Internal("free centers exhausted mid-grant"));
+            };
             let bank = free_centers.swap_remove(idx);
             centers_of[winner].push(bank);
             assumed_ways[winner] += bank_ways;
@@ -149,7 +298,62 @@ pub fn bank_aware_partition(
     }
 
     // ---- Box 3: Center-holders are complete. ----
-    let complete: Vec<bool> = centers_of.iter().map(|v| !v.is_empty()).collect();
+    let mut complete: Vec<bool> = centers_of.iter().map(|v| !v.is_empty()).collect();
+
+    // ---- Rescue stranded cores (degraded machines only). ----
+    // A core whose Local bank is offline and that won no Center bank would
+    // end with zero capacity. Rule 3 still admits it into an *adjacent*
+    // Local bank, so reserve its minimum share there; failing that,
+    // transfer one whole Center bank from the richest holder (Rule 1 is
+    // preserved — the bank moves whole — and Rule 2 is waived for the
+    // rescued core, whose Local bank no longer exists). On a healthy
+    // machine every core has its Local bank and this pass is a no-op.
+    let min_share = cfg.min_ways.max(1);
+    // Ways of core d's Local bank pre-reserved for a rescued neighbour.
+    // A bank carrying a reservation already has its one permitted foreign
+    // sharer, so the bidding below must never route a second one into it.
+    let mut reserved: Vec<usize> = vec![0; n];
+    let mut rescue_host: Vec<Option<CoreId>> = vec![None; n];
+    for c in 0..n {
+        if complete[c] || avail_local[c] > 0 {
+            continue;
+        }
+        let core = CoreId(c as u8);
+        let donor = topo.neighbours(core).into_iter().find(|d| {
+            let di = d.index();
+            di != c && !complete[di] && avail_local[di] >= 2 * min_share && reserved[di] == 0
+        });
+        if let Some(d) = donor {
+            reserved[d.index()] = min_share;
+            rescue_host[c] = Some(d);
+            continue;
+        }
+        // No adjacent Local capacity: take a Center bank. The donor must
+        // keep capacity of its own — another Center bank or a healthy
+        // Local bank.
+        let donor = (0..n)
+            .filter(|&d| {
+                centers_of[d].len() > 1 || (centers_of[d].len() == 1 && avail_local[d] > 0)
+            })
+            .max_by_key(|&d| (centers_of[d].len(), std::cmp::Reverse(d)));
+        let Some(donor) = donor else {
+            return Err(PartitionError::NoUsableCapacity { core: c });
+        };
+        let Some((idx, _)) = centers_of[donor]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| topo.hops(core, b))
+        else {
+            return Err(PartitionError::Internal("center donor without centers"));
+        };
+        let bank = centers_of[donor].remove(idx);
+        centers_of[c].push(bank);
+        assumed_ways[donor] -= bank_ways;
+        assumed_ways[c] += bank_ways;
+        complete[c] = true;
+        // The donor stays complete: it either kept a Center bank or owns
+        // its full healthy Local bank.
+    }
 
     // ---- Boxes 4–6: Local banks of the incomplete cores. ----
     // State per incomplete core: ways claimed so far and ways remaining in
@@ -168,11 +372,20 @@ pub fn bank_aware_partition(
     let mut took_share: Vec<bool> = vec![false; n];
 
     for c in 0..n {
-        if !complete[c] {
-            claimed[c] = cfg.min_ways;
-            own_remaining[c] = bank_ways - cfg.min_ways;
-            open[c] = true;
+        if complete[c] {
+            continue;
         }
+        if let Some(d) = rescue_host[c] {
+            // Finalised at the minimum share inside the host's bank.
+            claimed[c] = min_share;
+            partner[c] = Some(d);
+            partner_ways[c] = min_share;
+            continue;
+        }
+        let usable = avail_local[c] - reserved[c];
+        claimed[c] = cfg.min_ways.min(usable);
+        own_remaining[c] = usable - claimed[c];
+        open[c] = true;
     }
 
     /// What the winning bid proposes.
@@ -202,13 +415,20 @@ pub fn bank_aware_partition(
         for c in 0..n {
             let neighbours = topo.neighbours(CoreId(c as u8));
             if open[c] {
-                // Budget includes a possible overflow into a legal neighbour.
-                let overflow_budget: usize = neighbours
-                    .iter()
-                    .filter(|d| open[d.index()] && d.index() != c)
-                    .map(|d| own_remaining[d.index()])
-                    .max()
-                    .unwrap_or(0);
+                // Budget includes a possible overflow into a legal
+                // neighbour. A bank carrying a rescue reservation (its own
+                // or the neighbour's) is closed to pairing: its single
+                // permitted foreign sharer is already spoken for.
+                let overflow_budget: usize = if reserved[c] > 0 {
+                    0
+                } else {
+                    neighbours
+                        .iter()
+                        .filter(|d| open[d.index()] && d.index() != c && reserved[d.index()] == 0)
+                        .map(|d| own_remaining[d.index()])
+                        .max()
+                        .unwrap_or(0)
+                };
                 let budget = own_remaining[c] + overflow_budget;
                 if budget == 0 {
                     continue;
@@ -226,7 +446,7 @@ pub fn bank_aware_partition(
                 // adjacent open Local bank and the 9/16 capacity cap.
                 let budget: usize = neighbours
                     .iter()
-                    .filter(|d| open[d.index()])
+                    .filter(|d| open[d.index()] && reserved[d.index()] == 0)
                     .map(|d| own_remaining[d.index()])
                     .max()
                     .unwrap_or(0)
@@ -249,16 +469,23 @@ pub fn bank_aware_partition(
                 // Box 5–6: the best growth overflows c's Local bank — decide
                 // the pairing now, choosing the neighbour that minimises the
                 // pair's total projected misses, then split the pair's two
-                // banks (2 × bank_ways) optimally and close both cores.
+                // banks' joint healthy capacity optimally and close both.
                 let candidates: Vec<CoreId> = topo
                     .neighbours(CoreId(c as u8))
                     .into_iter()
-                    .filter(|&d| open[d.index()] && d.index() != c)
+                    .filter(|&d| open[d.index()] && d.index() != c && reserved[d.index()] == 0)
                     .collect();
-                assert!(!candidates.is_empty(), "overflow implies a legal neighbour");
-                let pair_total = 2 * bank_ways;
+                if candidates.is_empty() {
+                    return Err(PartitionError::Internal(
+                        "overflow bid without a legal neighbour",
+                    ));
+                }
                 let mut best_pair: Option<(CoreId, Vec<usize>, f64)> = None;
                 for d in candidates {
+                    let pair_total = avail_local[c] + avail_local[d.index()];
+                    if pair_total < 2 * cfg.min_ways || pair_total == 0 {
+                        continue;
+                    }
                     let pair_curves = [curves[c].clone(), curves[d.index()].clone()];
                     let split = unrestricted_partition(
                         &pair_curves,
@@ -272,16 +499,22 @@ pub fn bank_aware_partition(
                         best_pair = Some((d, split, misses));
                     }
                 }
-                let (d, split, _) = best_pair.expect("candidates non-empty");
+                let Some((d, split, _)) = best_pair else {
+                    return Err(PartitionError::Internal(
+                        "pairing found no capable neighbour",
+                    ));
+                };
                 let di = d.index();
                 claimed[c] = split[0];
                 claimed[di] = split[1];
                 // Physical placement: own bank first, overflow into the
-                // partner's bank (at most one side can exceed bank_ways).
+                // partner's bank (at most one side can exceed its own
+                // bank's capacity — the split sums to exactly the pair's
+                // joint capacity).
                 partner[c] = Some(d);
                 partner[di] = Some(CoreId(c as u8));
-                partner_ways[c] = split[0].saturating_sub(bank_ways);
-                partner_ways[di] = split[1].saturating_sub(bank_ways);
+                partner_ways[c] = split[0].saturating_sub(avail_local[c]);
+                partner_ways[di] = split[1].saturating_sub(avail_local[di]);
                 own_remaining[c] = 0;
                 own_remaining[di] = 0;
                 open[c] = false;
@@ -289,24 +522,29 @@ pub fn bank_aware_partition(
             }
             Some((c, Bid::Share, mu)) if mu > 0.0 => {
                 // A complete core annexes part of the best adjacent open
-                // bank: split that bank's 8 ways between the two curves.
+                // bank: split that bank's healthy ways between the two.
                 let mut choice: Option<(usize, usize, f64)> = None; // (d, x, misses)
                 let cap = max_ways.saturating_sub(assumed_ways[c]);
                 for d in topo.neighbours(CoreId(c as u8)) {
                     let di = d.index();
-                    if !open[di] {
+                    if !open[di] || avail_local[di] == 0 || reserved[di] > 0 {
                         continue;
                     }
-                    for x in 0..=(bank_ways - cfg.min_ways).min(cap) {
+                    let avail = avail_local[di];
+                    for x in 0..=avail.saturating_sub(cfg.min_ways).min(cap) {
                         let misses = curves[c].misses_at(assumed_ways[c] + x)
-                            + curves[di].misses_at(bank_ways - x);
+                            + curves[di].misses_at(avail - x);
                         if choice.is_none_or(|(_, _, m)| misses < m) {
                             choice = Some((di, x, misses));
                         }
                     }
                 }
-                let (di, x, _) = choice.expect("positive share bid implies an open neighbour");
-                claimed[di] = bank_ways - x;
+                let Some((di, x, _)) = choice else {
+                    return Err(PartitionError::Internal(
+                        "positive share bid without an open neighbour",
+                    ));
+                };
+                claimed[di] = avail_local[di] - x;
                 own_remaining[di] = 0;
                 open[di] = false;
                 if x > 0 {
@@ -332,6 +570,17 @@ pub fn bank_aware_partition(
         }
     }
 
+    // ---- Defensive check: nobody may leave with zero capacity. ----
+    // The pre-bid rescue pass guarantees every core either owns usable Local
+    // ways, a reserved share in a neighbour's bank, or a transferred Center
+    // bank; if that invariant ever breaks, fail typed rather than emit an
+    // invalid plan.
+    for c in 0..n {
+        if !complete[c] && claimed[c] == 0 {
+            return Err(PartitionError::NoUsableCapacity { core: c });
+        }
+    }
+
     // ---- Emit the plan, closest banks first. ----
     let mut plan = PartitionPlan::empty(n, num_banks, bank_ways);
     for c in 0..n {
@@ -339,10 +588,12 @@ pub fn bank_aware_partition(
         let own_bank = topo.local_bank(core);
         let mut allocs = Vec::new();
         if complete[c] {
-            allocs.push(BankAllocation {
-                bank: own_bank,
-                ways: bank_ways,
-            });
+            if avail_local[c] > 0 {
+                allocs.push(BankAllocation {
+                    bank: own_bank,
+                    ways: bank_ways,
+                });
+            }
             let mut centers = centers_of[c].clone();
             centers.sort_by_key(|&b| topo.hops(core, b));
             for b in centers {
@@ -354,7 +605,9 @@ pub fn bank_aware_partition(
             // An annexed fraction of a neighbour's Local bank (the
             // fractional second aggregation level of Fig. 4(c)).
             if partner_ways[c] > 0 {
-                let d = partner[c].expect("partner ways imply a partner");
+                let Some(d) = partner[c] else {
+                    return Err(PartitionError::Internal("partner ways without a partner"));
+                };
                 allocs.push(BankAllocation {
                     bank: topo.local_bank(d),
                     ways: partner_ways[c],
@@ -369,7 +622,9 @@ pub fn bank_aware_partition(
                 });
             }
             if partner_ways[c] > 0 {
-                let d = partner[c].expect("partner ways imply a partner");
+                let Some(d) = partner[c] else {
+                    return Err(PartitionError::Internal("partner ways without a partner"));
+                };
                 allocs.push(BankAllocation {
                     bank: topo.local_bank(d),
                     ways: partner_ways[c],
@@ -378,53 +633,95 @@ pub fn bank_aware_partition(
         }
         plan.per_core[c] = allocs;
     }
-    plan.validate()
-        .expect("bank-aware plan is structurally valid");
-    debug_assert_eq!(plan.total_ways_used(), total_ways, "all capacity assigned");
-    plan
+    plan.validate()?;
+    validate_bank_rules_masked(&plan, machine)?;
+    if plan.total_ways_used() != healthy_ways {
+        return Err(PartitionError::InvalidPlan(PlanError::CapacityMismatch {
+            assigned: plan.total_ways_used(),
+            expected: healthy_ways,
+        }));
+    }
+    Ok(plan)
 }
 
-/// Check the Bank-aware physical rules on a plan. Returns a description of
-/// the first violation.
-pub fn validate_bank_rules(plan: &PartitionPlan, topo: &Topology) -> Result<(), String> {
+/// Check the Bank-aware physical rules on a plan for a healthy machine.
+/// Returns the first violation as a typed [`PlanError`].
+pub fn validate_bank_rules(plan: &PartitionPlan, topo: &Topology) -> Result<(), PlanError> {
+    validate_bank_rules_masked(plan, &DegradedTopology::healthy(topo.clone()))
+}
+
+/// Check the Bank-aware physical rules against a degraded machine:
+///
+/// * offline banks must carry **no** allocations;
+/// * healthy banks obey Rules 1–3 and are fully assigned;
+/// * Rule 2 (a Center-holder owns its full Local bank) is waived when the
+///   holder's Local bank is itself offline.
+///
+/// With a full mask this is exactly the healthy [`validate_bank_rules`].
+pub fn validate_bank_rules_masked(
+    plan: &PartitionPlan,
+    machine: &DegradedTopology,
+) -> Result<(), PlanError> {
+    let topo = machine.topology();
     let bank_ways = plan.bank_ways;
+    let rule = |rule: u8, detail: String| PlanError::RuleViolation { rule, detail };
     for b in 0..plan.num_banks {
         let bank = BankId(b as u8);
+        if !machine.is_healthy(bank) {
+            if plan.bank_ways_used(bank) != 0 {
+                return Err(rule(0, format!("offline {bank} has allocations")));
+            }
+            continue;
+        }
         let owners = plan.cores_in_bank(bank);
         match topo.bank_kind(bank) {
             BankKind::Center => {
                 if owners.len() > 1 {
-                    return Err(format!("{bank} (Center) shared by {owners:?}"));
+                    return Err(rule(1, format!("{bank} (Center) shared by {owners:?}")));
                 }
                 if owners.len() == 1 {
                     let c = owners.iter().next().expect("non-empty");
                     if plan.ways_in_bank(c, bank) != bank_ways {
-                        return Err(format!("{bank} (Center) partially assigned to {c}"));
+                        return Err(rule(
+                            1,
+                            format!("{bank} (Center) partially assigned to {c}"),
+                        ));
                     }
-                    // Rule 2: a Center holder owns its full Local bank.
+                    // Rule 2: a Center holder owns its full Local bank —
+                    // unless that bank is offline.
                     let local = topo.local_bank(c);
-                    if plan.ways_in_bank(c, local) != bank_ways {
-                        return Err(format!("{c} holds {bank} but not its full Local bank"));
+                    if machine.is_healthy(local) && plan.ways_in_bank(c, local) != bank_ways {
+                        return Err(rule(
+                            2,
+                            format!("{c} holds {bank} but not its full Local bank"),
+                        ));
                     }
                 }
             }
             BankKind::Local { home } => {
                 if owners.len() > 2 {
-                    return Err(format!("{bank} (Local) has {} sharers", owners.len()));
+                    return Err(rule(
+                        3,
+                        format!("{bank} (Local) has {} sharers", owners.len()),
+                    ));
                 }
                 for c in owners.iter() {
                     if c != home && !topo.adjacent(c, home) {
-                        return Err(format!(
-                            "{bank} (Local of {home}) shared with non-adjacent {c}"
+                        return Err(rule(
+                            3,
+                            format!("{bank} (Local of {home}) shared with non-adjacent {c}"),
                         ));
                     }
                 }
             }
         }
         if plan.bank_ways_used(bank) != bank_ways {
-            return Err(format!(
-                "{bank} not fully assigned: {} of {bank_ways} ways",
-                plan.bank_ways_used(bank)
+            return Err(rule(
+                0,
+                format!(
+                    "{bank} not fully assigned: {} of {bank_ways} ways",
+                    plan.bank_ways_used(bank)
+                ),
             ));
         }
     }
@@ -434,6 +731,7 @@ pub fn validate_bank_rules(plan: &PartitionPlan, topo: &Topology) -> Result<(), 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bap_types::BankMask;
 
     fn topo() -> Topology {
         Topology::baseline()
@@ -455,6 +753,14 @@ mod tests {
 
     fn run(curves: Vec<MissRatioCurve>) -> PartitionPlan {
         bank_aware_partition(&curves, &topo(), 8, &BankAwareConfig::default())
+    }
+
+    fn degraded(disabled: &[u8]) -> DegradedTopology {
+        let mut mask = BankMask::all_healthy(16);
+        for &b in disabled {
+            mask.disable(BankId(b));
+        }
+        DegradedTopology::new(topo(), mask)
     }
 
     #[test]
@@ -574,6 +880,120 @@ mod tests {
         }
     }
 
+    #[test]
+    fn full_mask_is_bit_identical_to_healthy_solver() {
+        let curves: Vec<_> = (0..8)
+            .map(|c| knee(1000.0 + 37.0 * c as f64, 5.0, 8 + 3 * c))
+            .collect();
+        let healthy = run(curves.clone());
+        let via_mask =
+            try_bank_aware_partition(&curves, &degraded(&[]), 8, &BankAwareConfig::default())
+                .unwrap();
+        assert_eq!(healthy, via_mask, "degraded path is zero-cost when healthy");
+    }
+
+    #[test]
+    fn single_center_bank_offline() {
+        let machine = degraded(&[9]);
+        let curves = vec![knee(1000.0, 10.0, 40); 8];
+        let plan =
+            try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default()).unwrap();
+        validate_bank_rules_masked(&plan, &machine).unwrap();
+        assert_eq!(plan.total_ways_used(), 15 * 8);
+        assert!(plan.validate_against_mask(machine.mask()).is_ok());
+    }
+
+    #[test]
+    fn single_local_bank_offline_rescues_home_core() {
+        // Bank 0 is core 0's Local bank. With a modest curve core 0 wins no
+        // Center bank, so it must reach capacity through its neighbour.
+        let machine = degraded(&[0]);
+        let mut curves = vec![knee(1000.0, 10.0, 40); 8];
+        curves[0] = knee(100.0, 90.0, 2); // too small to win a Center
+        let plan =
+            try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default()).unwrap();
+        validate_bank_rules_masked(&plan, &machine).unwrap();
+        assert_eq!(plan.total_ways_used(), 15 * 8);
+        assert!(plan.ways_of(CoreId(0)) >= 1, "rescued: {plan}");
+        for a in &plan.per_core[0] {
+            assert_ne!(a.bank, BankId(0), "nothing allocated on the dead bank");
+        }
+    }
+
+    #[test]
+    fn dead_local_core_may_still_win_centers() {
+        let machine = degraded(&[3]);
+        let mut curves = vec![knee(100.0, 90.0, 2); 8];
+        curves[3] = knee(1_000_000.0, 0.0, 128); // hungry, dead Local bank
+        let plan =
+            try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default()).unwrap();
+        validate_bank_rules_masked(&plan, &machine).unwrap();
+        // Rule 2 waived: core 3 holds Centers without a Local bank.
+        assert!(plan.ways_of(CoreId(3)) >= 8, "{plan}");
+        assert_eq!(plan.total_ways_used(), 15 * 8);
+    }
+
+    #[test]
+    fn multiple_banks_offline() {
+        let machine = degraded(&[1, 9, 14]);
+        let curves: Vec<_> = (0..8)
+            .map(|c| knee(1000.0 + 10.0 * c as f64, 5.0, 10 + c))
+            .collect();
+        let plan =
+            try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default()).unwrap();
+        validate_bank_rules_masked(&plan, &machine).unwrap();
+        assert_eq!(plan.total_ways_used(), 13 * 8);
+        for c in CoreId::all(8) {
+            assert!(plan.ways_of(c) >= 1, "{plan}");
+        }
+    }
+
+    #[test]
+    fn stranded_core_is_a_typed_error_not_a_panic() {
+        // Core 0's Local bank and its only neighbour's are both dead; with
+        // a tiny curve core 0 cannot win a Center either.
+        let machine = degraded(&[0, 1]);
+        let mut curves = vec![knee(1000.0, 10.0, 40); 8];
+        curves[0] = knee(1.0, 0.0, 1);
+        curves[1] = knee(1.0, 0.0, 1);
+        let r = try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default());
+        match r {
+            Ok(plan) => {
+                // If the solver still found a legal home (via Centers),
+                // the plan must be fully valid.
+                validate_bank_rules_masked(&plan, &machine).unwrap();
+            }
+            Err(e) => assert!(
+                matches!(e, PartitionError::NoUsableCapacity { .. }),
+                "unexpected error: {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn curve_count_mismatch_is_typed() {
+        let curves = vec![knee(10.0, 1.0, 4); 3];
+        let err = try_bank_aware_partition(&curves, &degraded(&[]), 8, &BankAwareConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::CurveCountMismatch {
+                curves: 3,
+                cores: 8
+            }
+        );
+        assert!(err.to_string().contains("3 curves"));
+    }
+
+    #[test]
+    fn no_healthy_capacity_is_typed() {
+        let machine = degraded(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        let curves = vec![knee(10.0, 1.0, 4); 8];
+        let err = try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::InsufficientCapacity { .. }));
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -594,6 +1014,20 @@ mod tests {
                 })
         }
 
+        /// Possibly-hostile curves: monotone, flat, non-monotone spikes,
+        /// NaN-laced.
+        fn adversarial_curve_strategy() -> impl Strategy<Value = MissRatioCurve> {
+            proptest::collection::vec(
+                prop_oneof![
+                    6 => 0.0f64..10_000.0,
+                    1 => Just(f64::NAN),
+                    1 => Just(f64::INFINITY),
+                ],
+                1..100,
+            )
+            .prop_map(|misses| MissRatioCurve::from_misses(misses, 1000.0))
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -607,7 +1041,7 @@ mod tests {
                 let plan = bank_aware_partition(&curves, &topo, 8, &BankAwareConfig::default());
                 prop_assert_eq!(plan.total_ways_used(), 128);
                 if let Err(e) = validate_bank_rules(&plan, &topo) {
-                    return Err(TestCaseError::fail(e));
+                    return Err(TestCaseError::fail(e.to_string()));
                 }
                 for c in CoreId::all(8) {
                     prop_assert!(plan.ways_of(c) >= 1);
@@ -632,6 +1066,67 @@ mod tests {
                 let ba: Vec<usize> =
                     (0..8).map(|c| plan.ways_of(CoreId(c as u8))).collect();
                 prop_assert!(project(&unres) <= project(&ba) + 1e-6);
+            }
+
+            /// Over random degraded machines (0–8 banks offline) the solver
+            /// never panics; whenever it yields a plan, the plan allocates
+            /// healthy banks only, obeys the masked rules and conserves
+            /// exactly the healthy capacity.
+            #[test]
+            fn degraded_solver_never_panics_and_plans_stay_valid(
+                curves in proptest::collection::vec(curve_strategy(), 8),
+                dead in proptest::collection::vec(0u8..16, 0..=8),
+            ) {
+                let mut mask = BankMask::all_healthy(16);
+                for &b in &dead {
+                    mask.disable(BankId(b));
+                }
+                let machine = DegradedTopology::new(Topology::baseline(), mask);
+                match try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default()) {
+                    Ok(plan) => {
+                        if let Err(e) = validate_bank_rules_masked(&plan, &machine) {
+                            return Err(TestCaseError::fail(e.to_string()));
+                        }
+                        prop_assert!(plan.validate_against_mask(machine.mask()).is_ok());
+                        prop_assert_eq!(
+                            plan.total_ways_used(),
+                            machine.num_healthy_banks() * 8,
+                            "healthy capacity conserved"
+                        );
+                    }
+                    Err(_) => {
+                        // A typed refusal is acceptable under degradation —
+                        // the controller's ladder handles it. It must only
+                        // happen with banks actually offline.
+                        prop_assert!(!dead.is_empty(), "healthy solve cannot fail");
+                    }
+                }
+            }
+
+            /// Hostile curves (NaN-laced, spiked, flat) never panic the
+            /// solver, and sanitized curves always solve on a healthy
+            /// machine.
+            #[test]
+            fn adversarial_curves_never_panic(
+                curves in proptest::collection::vec(adversarial_curve_strategy(), 8),
+            ) {
+                let machine = DegradedTopology::healthy(Topology::baseline());
+                let cfg = BankAwareConfig::default();
+                if let Ok(plan) = try_bank_aware_partition(&curves, &machine, 8, &cfg) {
+                    prop_assert!(validate_bank_rules_masked(&plan, &machine).is_ok());
+                }
+                // The controller's path: sanitize first, then solve.
+                let mut cleaned = curves.clone();
+                for c in &mut cleaned {
+                    c.sanitize();
+                }
+                let plan = try_bank_aware_partition(&cleaned, &machine, 8, &cfg);
+                prop_assert!(plan.is_ok(), "sanitized curves always solve: {:?}", plan.err());
+                let plan = plan.expect("checked");
+                if let Err(e) = validate_bank_rules_masked(&plan, &machine) {
+                    return Err(TestCaseError::fail(e.to_string()));
+                }
+                prop_assert_eq!(plan.total_ways_used(), 128);
             }
         }
     }
@@ -665,6 +1160,16 @@ mod tests {
             ways: 8,
         });
         let err = validate_bank_rules(&plan, &topo()).unwrap_err();
-        assert!(err.contains("Center"), "{err}");
+        assert!(err.to_string().contains("Center"), "{err}");
+        assert!(matches!(err, PlanError::RuleViolation { rule: 1, .. }));
+    }
+
+    #[test]
+    fn masked_rules_reject_allocations_on_offline_banks() {
+        let plan = PartitionPlan::equal(8, 16, 8);
+        let machine = degraded(&[5]);
+        let err = validate_bank_rules_masked(&plan, &machine).unwrap_err();
+        assert!(matches!(err, PlanError::RuleViolation { rule: 0, .. }));
+        assert!(err.to_string().contains("offline"), "{err}");
     }
 }

@@ -5,11 +5,28 @@
 //! reads the histograms, recomputes the partition with the configured
 //! policy and applies it, then decays the histograms so the profile tracks
 //! phase changes.
+//!
+//! # Graceful degradation
+//!
+//! The controller tracks the live [`BankMask`] and survives bank losses,
+//! corrupted profiles and solver failures. Curves are sanitised before any
+//! solve, and when the Bank-aware solver cannot produce a plan the
+//! controller walks a **degradation ladder** instead of panicking:
+//!
+//! 1. if the currently-installed plan is still valid on the surviving
+//!    banks, keep it (no repartition this epoch);
+//! 2. else strip the dead banks from it ([`PartitionPlan::restricted_to_mask`])
+//!    and install the repaired plan if it remains structurally valid;
+//! 3. else fall back to an equal split of the *healthy* capacity.
+//!
+//! Every rung taken is counted in [`FaultCounters`] so experiments can
+//! report how often the system ran degraded.
 
-use crate::bank_aware::{bank_aware_partition, BankAwareConfig};
-use bap_cache::PartitionPlan;
+use crate::bank_aware::{try_bank_aware_partition, BankAwareConfig};
+use bap_cache::{BankAllocation, PartitionPlan};
+use bap_fault::FaultCounters;
 use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
-use bap_types::{BlockAddr, CoreId, Topology};
+use bap_types::{BankId, BankMask, BlockAddr, CoreId, DegradedTopology, Topology};
 
 /// Which partitioning policy the system runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,9 +45,12 @@ pub struct Controller {
     policy: Policy,
     profilers: Vec<StackProfiler>,
     topo: Topology,
+    mask: BankMask,
     bank_ways: usize,
     cfg: BankAwareConfig,
     epochs: u64,
+    last_plan: Option<PartitionPlan>,
+    counters: FaultCounters,
 }
 
 impl Controller {
@@ -48,13 +68,17 @@ impl Controller {
         let profilers = (0..topo.num_cores())
             .map(|_| StackProfiler::new(profiler_cfg))
             .collect();
+        let mask = BankMask::all_healthy(topo.num_banks());
         Controller {
             policy,
             profilers,
             topo,
+            mask,
             bank_ways,
             cfg,
             epochs: 0,
+            last_plan: None,
+            counters: FaultCounters::default(),
         }
     }
 
@@ -66,6 +90,21 @@ impl Controller {
     /// Epochs elapsed.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// The controller's view of bank health.
+    pub fn mask(&self) -> &BankMask {
+        &self.mask
+    }
+
+    /// Fault-handling counters accumulated so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// The plan most recently produced (and presumed installed).
+    pub fn last_plan(&self) -> Option<&PartitionPlan> {
+        self.last_plan.as_ref()
     }
 
     /// Feed one L2 access into `core`'s profiler (called on every L2
@@ -88,39 +127,178 @@ impl Controller {
             .collect()
     }
 
+    /// Record that `bank` went offline. The *next* plan (from
+    /// [`Controller::replan_for_mask`] or the next epoch boundary) excludes
+    /// it; callers flush the bank itself.
+    pub fn bank_failed(&mut self, bank: BankId) {
+        if self.mask.disable(bank) {
+            self.counters.banks_failed += 1;
+        }
+    }
+
+    /// Record that `bank` is usable again.
+    pub fn bank_restored(&mut self, bank: BankId) {
+        if self.mask.enable(bank) {
+            self.counters.banks_restored += 1;
+        }
+    }
+
+    /// An epoch boundary whose repartitioning trigger was lost (injected
+    /// fault): time passes but no profile is read, no plan is computed and
+    /// no decay happens.
+    pub fn skip_epoch(&mut self) {
+        self.epochs += 1;
+    }
+
     /// Close an epoch: compute the new plan (if the policy is dynamic) and
     /// decay the profilers. Returns `None` when the policy keeps whatever
     /// configuration is already in force (NoPartition always; Equal after
-    /// the first epoch).
+    /// the first epoch; BankAware when the degradation ladder decides the
+    /// installed plan is still the best available).
     pub fn epoch_boundary(&mut self) -> Option<PartitionPlan> {
+        let curves = self.curves();
+        self.epoch_boundary_with_curves(curves)
+    }
+
+    /// [`Controller::epoch_boundary`] with externally supplied curves —
+    /// the fault-injection path, where the transport from the profilers may
+    /// have corrupted them. Curves are sanitised before use.
+    pub fn epoch_boundary_with_curves(
+        &mut self,
+        mut curves: Vec<MissRatioCurve>,
+    ) -> Option<PartitionPlan> {
         self.epochs += 1;
         let plan = match self.policy {
             Policy::NoPartition => None,
             Policy::Equal => {
                 if self.epochs == 1 {
-                    Some(PartitionPlan::equal(
-                        self.topo.num_cores(),
-                        self.topo.num_banks(),
-                        self.bank_ways,
-                    ))
+                    let p = self.equal_plan();
+                    self.last_plan = p.clone();
+                    p
                 } else {
                     None
                 }
             }
             Policy::BankAware => {
-                let curves = self.curves();
-                Some(bank_aware_partition(
-                    &curves,
-                    &self.topo,
-                    self.bank_ways,
-                    &self.cfg,
-                ))
+                self.sanitize_curves(&mut curves);
+                self.solve_bank_aware(&curves)
             }
         };
         for p in &mut self.profilers {
             p.decay();
         }
         plan
+    }
+
+    /// Recompute a plan for the *current* mask outside the epoch cadence —
+    /// called right after a bank transition so the system is not left
+    /// running an invalid assignment until the next boundary. Does not
+    /// advance the epoch count or decay the profilers.
+    pub fn replan_for_mask(&mut self) -> Option<PartitionPlan> {
+        match self.policy {
+            Policy::NoPartition => None,
+            Policy::Equal => {
+                let p = self.equal_plan();
+                self.last_plan = p.clone();
+                p
+            }
+            Policy::BankAware => {
+                let mut curves = self.curves();
+                self.sanitize_curves(&mut curves);
+                self.solve_bank_aware(&curves)
+            }
+        }
+    }
+
+    fn sanitize_curves(&mut self, curves: &mut [MissRatioCurve]) {
+        for c in curves.iter_mut() {
+            if !c.sanitize().is_clean() {
+                self.counters.curves_repaired += 1;
+            }
+        }
+    }
+
+    fn solve_bank_aware(&mut self, curves: &[MissRatioCurve]) -> Option<PartitionPlan> {
+        let machine = DegradedTopology::new(self.topo.clone(), self.mask);
+        match try_bank_aware_partition(curves, &machine, self.bank_ways, &self.cfg) {
+            Ok(plan) => {
+                self.last_plan = Some(plan.clone());
+                Some(plan)
+            }
+            Err(_) => {
+                self.counters.solver_failures += 1;
+                self.degraded_fallback()
+            }
+        }
+    }
+
+    /// The degradation ladder, walked when the solver fails.
+    fn degraded_fallback(&mut self) -> Option<PartitionPlan> {
+        if let Some(prev) = &self.last_plan {
+            // Rung 1: the installed plan survived the damage — keep it.
+            if prev.validate_against_mask(&self.mask).is_ok() {
+                self.counters.plan_reuses += 1;
+                return None;
+            }
+            // Rung 2: strip dead banks from it; if every core still has
+            // capacity, run the repaired plan.
+            let repaired = prev.restricted_to_mask(&self.mask);
+            if repaired.validate_against_mask(&self.mask).is_ok() {
+                self.counters.plan_repairs += 1;
+                self.last_plan = Some(repaired.clone());
+                return Some(repaired);
+            }
+        }
+        // Rung 3: equal split of whatever capacity is left.
+        self.counters.equal_fallbacks += 1;
+        let p = self.equal_plan();
+        if p.is_some() {
+            self.last_plan = p.clone();
+        }
+        p
+    }
+
+    /// The Equal policy's plan for the current mask: the paper's private
+    /// 2-banks-per-core split when everything is healthy, otherwise an
+    /// even division of the healthy ways (each core a contiguous run of
+    /// healthy-bank ways; no physical-rule aspirations — this is the
+    /// last-resort safety net).
+    fn equal_plan(&self) -> Option<PartitionPlan> {
+        let n = self.topo.num_cores();
+        if self.mask.is_full() {
+            return Some(PartitionPlan::equal(
+                n,
+                self.topo.num_banks(),
+                self.bank_ways,
+            ));
+        }
+        let healthy: Vec<BankId> = self.mask.healthy_banks().collect();
+        let total = healthy.len() * self.bank_ways;
+        if total < n {
+            return None; // fewer ways than cores: nothing sane to install
+        }
+        let base = total / n;
+        let extra = total % n;
+        let mut plan = PartitionPlan::empty(n, self.topo.num_banks(), self.bank_ways);
+        let mut bi = 0usize;
+        let mut left = self.bank_ways;
+        for c in 0..n {
+            let mut need = base + usize::from(c < extra);
+            while need > 0 {
+                let take = need.min(left);
+                plan.per_core[c].push(BankAllocation {
+                    bank: healthy[bi],
+                    ways: take,
+                });
+                need -= take;
+                left -= take;
+                if left == 0 && bi + 1 < healthy.len() {
+                    bi += 1;
+                    left = self.bank_ways;
+                }
+            }
+        }
+        Some(plan)
     }
 }
 
@@ -237,5 +415,111 @@ mod tests {
         let curves = c.curves();
         // Sampled 1-in-4 but scaled back up: ~1000 accesses.
         assert!((curves[0].accesses() - 1000.0).abs() < 120.0);
+    }
+
+    #[test]
+    fn bank_failure_replan_avoids_the_dead_bank() {
+        let mut c = controller(Policy::BankAware);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        c.epoch_boundary().unwrap();
+        c.bank_failed(BankId(9));
+        let plan = c.replan_for_mask().expect("replan after a bank loss");
+        assert_eq!(plan.bank_ways_used(BankId(9)), 0);
+        assert_eq!(plan.total_ways_used(), 15 * 8);
+        assert_eq!(c.counters().banks_failed, 1);
+        assert_eq!(c.epochs(), 1, "replan is outside the epoch cadence");
+    }
+
+    #[test]
+    fn restore_reopens_the_bank() {
+        let mut c = controller(Policy::BankAware);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        c.bank_failed(BankId(9));
+        c.replan_for_mask().unwrap();
+        c.bank_restored(BankId(9));
+        let plan = c.replan_for_mask().unwrap();
+        assert_eq!(plan.total_ways_used(), 128, "full capacity is back");
+        let ctrs = c.counters();
+        assert_eq!((ctrs.banks_failed, ctrs.banks_restored), (1, 1));
+    }
+
+    #[test]
+    fn corrupted_curves_are_repaired_not_fatal() {
+        let mut c = controller(Policy::BankAware);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        let mut curves = c.curves();
+        let poisoned: Vec<f64> = (0..=curves[0].max_ways())
+            .map(|w| {
+                if w % 3 == 0 {
+                    f64::NAN
+                } else {
+                    500.0 - w as f64
+                }
+            })
+            .collect();
+        curves[2] = MissRatioCurve::from_misses(poisoned, f64::NAN);
+        let plan = c
+            .epoch_boundary_with_curves(curves)
+            .expect("solve survives a corrupted curve");
+        assert_eq!(plan.total_ways_used(), 128);
+        assert_eq!(c.counters().curves_repaired, 1);
+    }
+
+    #[test]
+    fn skip_epoch_keeps_the_plan_and_profiles() {
+        let mut c = controller(Policy::BankAware);
+        feed_knee_profile(&mut c, CoreId(0), 10, 10_000);
+        let before = c.curves();
+        c.skip_epoch();
+        assert_eq!(c.epochs(), 1);
+        assert_eq!(
+            c.curves()[0].accesses(),
+            before[0].accesses(),
+            "no decay on a dropped epoch"
+        );
+    }
+
+    #[test]
+    fn equal_policy_falls_back_to_healthy_split() {
+        let mut c = controller(Policy::Equal);
+        c.bank_failed(BankId(0));
+        c.bank_failed(BankId(12));
+        let plan = c.replan_for_mask().expect("equal-on-healthy plan");
+        plan.validate_against_mask(c.mask()).unwrap();
+        assert_eq!(plan.total_ways_used(), 14 * 8);
+        // Even split: every core within one way of the others.
+        let shares: Vec<usize> = (0..8).map(|i| plan.ways_of(CoreId(i))).collect();
+        let (lo, hi) = (*shares.iter().min().unwrap(), *shares.iter().max().unwrap());
+        assert!(hi - lo <= 1, "shares {shares:?}");
+    }
+
+    #[test]
+    fn ladder_reuses_a_surviving_plan_when_the_solver_fails() {
+        let mut c = controller(Policy::BankAware);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        let installed = c.epoch_boundary().unwrap();
+        // Force an unsolvable machine: min_ways demand above healthy
+        // capacity. 15 dead banks leave 8 ways for 8 cores at min 4 each.
+        for b in 1..16 {
+            c.bank_failed(BankId(b));
+        }
+        let next = c.epoch_boundary();
+        let ctrs = c.counters();
+        assert_eq!(ctrs.solver_failures, 1);
+        // The installed plan is also dead (it used the lost banks), so the
+        // ladder lands on repair or equal-fallback — never a panic.
+        assert!(ctrs.plan_repairs + ctrs.equal_fallbacks + ctrs.plan_reuses == 1);
+        if let Some(p) = next {
+            p.validate_against_mask(c.mask()).unwrap();
+            assert_ne!(p, installed);
+        }
     }
 }

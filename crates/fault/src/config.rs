@@ -1,0 +1,98 @@
+//! Fault-injection campaign description.
+
+use serde::{Deserialize, Serialize};
+
+/// What to inject, and how often. All probabilities are per epoch; a config
+/// with every knob at zero and no forced events injects nothing, which is
+/// the [`FaultConfig::disabled`] default carried by healthy runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the fault streams. Independent of the workload seed: the
+    /// same workload can be replayed under different fault histories and
+    /// vice versa.
+    pub seed: u64,
+    /// Per-epoch, per-healthy-bank probability of going offline.
+    pub bank_offline_prob: f64,
+    /// Per-epoch, per-offline-bank probability of being repaired.
+    pub bank_repair_prob: f64,
+    /// Cap on simultaneously offline banks for the *probabilistic* stream
+    /// (forced events ignore the cap — they are explicit scenario script).
+    pub max_offline_banks: usize,
+    /// Per-epoch probability that the repartitioning trigger is lost.
+    pub epoch_drop_prob: f64,
+    /// Per-epoch, per-core probability that a miss-ratio curve reaches the
+    /// allocator corrupted.
+    pub curve_corruption_prob: f64,
+    /// Scripted bank losses: at epoch `.0`, take bank `.1` offline. Fires
+    /// exactly once per entry (when the bank is healthy at that epoch).
+    pub forced_offline: Vec<(u64, u8)>,
+}
+
+impl FaultConfig {
+    /// The no-faults configuration: every probability zero, no script.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            bank_offline_prob: 0.0,
+            bank_repair_prob: 0.0,
+            max_offline_banks: 0,
+            epoch_drop_prob: 0.0,
+            curve_corruption_prob: 0.0,
+            forced_offline: Vec::new(),
+        }
+    }
+
+    /// A disabled config carrying a seed, ready for knobs to be set.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// Whether this config can ever inject anything.
+    pub fn is_enabled(&self) -> bool {
+        self.bank_offline_prob > 0.0
+            || self.bank_repair_prob > 0.0
+            || self.epoch_drop_prob > 0.0
+            || self.curve_corruption_prob > 0.0
+            || !self.forced_offline.is_empty()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_is_inert() {
+        assert!(!FaultConfig::disabled().is_enabled());
+        assert!(!FaultConfig::with_seed(42).is_enabled());
+    }
+
+    #[test]
+    fn any_knob_enables() {
+        let mut c = FaultConfig::disabled();
+        c.epoch_drop_prob = 0.1;
+        assert!(c.is_enabled());
+        let mut c = FaultConfig::disabled();
+        c.forced_offline.push((3, 0));
+        assert!(c.is_enabled());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = FaultConfig::with_seed(7);
+        c.bank_offline_prob = 0.05;
+        c.forced_offline = vec![(2, 11)];
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,77 @@
+//! The shared fault ledger.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of injected faults and of the degradation-ladder rungs taken in
+/// response. Incremented by both the injector's consumers (`bap-system`)
+/// and the controller (`bap-core`); [`FaultCounters::merge`] folds the two
+/// halves into the run result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Banks taken offline (forced + probabilistic).
+    pub banks_failed: u64,
+    /// Banks repaired and returned to service.
+    pub banks_restored: u64,
+    /// Repartitioning epochs whose trigger was dropped.
+    pub epochs_dropped: u64,
+    /// Miss-ratio curves corrupted before reaching the allocator.
+    pub curves_corrupted: u64,
+    /// Curves the controller's sanitizer had to repair.
+    pub curves_repaired: u64,
+    /// Solver invocations that returned an error instead of a plan.
+    pub solver_failures: u64,
+    /// Plans the cache refused to install (validated against the live mask).
+    pub plans_rejected: u64,
+    /// Ladder rung 1: previous plan restricted to healthy banks and reused.
+    pub plan_repairs: u64,
+    /// Ladder rung 2: previous plan kept verbatim (already mask-valid).
+    pub plan_reuses: u64,
+    /// Ladder rung 3: equal-share fallback over the healthy banks.
+    pub equal_fallbacks: u64,
+}
+
+impl FaultCounters {
+    /// Fold another ledger into this one (plain sums).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.banks_failed += other.banks_failed;
+        self.banks_restored += other.banks_restored;
+        self.epochs_dropped += other.epochs_dropped;
+        self.curves_corrupted += other.curves_corrupted;
+        self.curves_repaired += other.curves_repaired;
+        self.solver_failures += other.solver_failures;
+        self.plans_rejected += other.plans_rejected;
+        self.plan_repairs += other.plan_repairs;
+        self.plan_reuses += other.plan_reuses;
+        self.equal_fallbacks += other.equal_fallbacks;
+    }
+
+    /// Whether anything at all was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = FaultCounters {
+            banks_failed: 1,
+            plan_repairs: 2,
+            ..Default::default()
+        };
+        let b = FaultCounters {
+            banks_failed: 3,
+            equal_fallbacks: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.banks_failed, 4);
+        assert_eq!(a.plan_repairs, 2);
+        assert_eq!(a.equal_fallbacks, 1);
+        assert!(!a.is_zero());
+        assert!(FaultCounters::default().is_zero());
+    }
+}

@@ -1,0 +1,322 @@
+//! The fault injector: deterministic, stateless per epoch.
+
+use crate::config::FaultConfig;
+use bap_msa::MissRatioCurve;
+use bap_types::{BankId, BankMask};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What happened to a bank at an epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BankEventKind {
+    /// The bank died: flush it and replan without it.
+    Offline,
+    /// The bank came back: it may be reallocated from the next plan on.
+    Restore,
+}
+
+/// One bank state transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankEvent {
+    /// The affected bank.
+    pub bank: BankId,
+    /// Death or repair.
+    pub kind: BankEventKind,
+}
+
+/// Draws faults from streams keyed on `(seed, fault class, epoch)` so every
+/// decision is a pure function of those three values: query order between
+/// components cannot change the injected history, and any epoch can be
+/// re-derived in isolation.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+}
+
+/// Distinct stream keys per fault class (arbitrary odd constants).
+const CLASS_BANK: u64 = 0x9E37_79B9_7F4A_7C15;
+const CLASS_EPOCH: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const CLASS_CURVE: u64 = 0x1656_67B1_9E37_79F9;
+
+impl FaultInjector {
+    /// Build an injector for `cfg`. A disabled config yields an injector
+    /// that never injects (all queries are cheap early-outs).
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector { cfg }
+    }
+
+    /// The campaign being injected.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether this injector can ever do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.is_enabled()
+    }
+
+    fn stream(&self, class: u64, epoch: u64) -> StdRng {
+        // SplitMix-style combine; StdRng's own seeding scrambles further.
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+            .wrapping_add(class)
+            .rotate_left(31)
+            .wrapping_add(epoch.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        StdRng::seed_from_u64(key)
+    }
+
+    /// The bank transitions for `epoch`, given the current health mask.
+    /// Scripted (`forced_offline`) losses come first, then probabilistic
+    /// losses over the remaining healthy banks (capped at
+    /// `max_offline_banks` simultaneously offline), then probabilistic
+    /// repairs of previously-offline banks.
+    pub fn bank_events(&self, epoch: u64, mask: &BankMask) -> Vec<BankEvent> {
+        let mut events = Vec::new();
+        if !self.is_enabled() {
+            return events;
+        }
+        let mut offline: Vec<BankId> = mask.disabled_banks().collect();
+        let mut died_now: Vec<BankId> = Vec::new();
+        for &(at, bank) in &self.cfg.forced_offline {
+            let bank = BankId(bank);
+            if at == epoch && mask.is_healthy(bank) && !died_now.contains(&bank) {
+                events.push(BankEvent {
+                    bank,
+                    kind: BankEventKind::Offline,
+                });
+                died_now.push(bank);
+            }
+        }
+        let mut rng = self.stream(CLASS_BANK, epoch);
+        if self.cfg.bank_offline_prob > 0.0 {
+            for bank in mask.healthy_banks() {
+                if died_now.contains(&bank) {
+                    continue;
+                }
+                if offline.len() + died_now.len() >= self.cfg.max_offline_banks {
+                    break;
+                }
+                if rng.gen_bool(self.cfg.bank_offline_prob) {
+                    events.push(BankEvent {
+                        bank,
+                        kind: BankEventKind::Offline,
+                    });
+                    died_now.push(bank);
+                }
+            }
+        }
+        if self.cfg.bank_repair_prob > 0.0 {
+            offline.retain(|b| !died_now.contains(b));
+            for bank in offline {
+                if rng.gen_bool(self.cfg.bank_repair_prob) {
+                    events.push(BankEvent {
+                        bank,
+                        kind: BankEventKind::Restore,
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// Whether `epoch`'s repartitioning trigger is lost.
+    pub fn drop_epoch(&self, epoch: u64) -> bool {
+        self.cfg.epoch_drop_prob > 0.0
+            && self
+                .stream(CLASS_EPOCH, epoch)
+                .gen_bool(self.cfg.epoch_drop_prob)
+    }
+
+    /// Corrupt a random subset of `curves` in place (NaN-lacing, spikes
+    /// breaking monotonicity, or a poisoned accesses denominator). Returns
+    /// how many curves were touched. The damage is exactly what
+    /// `MissRatioCurve::sanitize` knows how to repair — by design: this is
+    /// the adversary that module defends against.
+    pub fn corrupt_curves(&self, epoch: u64, curves: &mut [MissRatioCurve]) -> u64 {
+        if self.cfg.curve_corruption_prob <= 0.0 {
+            return 0;
+        }
+        let mut rng = self.stream(CLASS_CURVE, epoch);
+        let mut corrupted = 0;
+        for curve in curves.iter_mut() {
+            if !rng.gen_bool(self.cfg.curve_corruption_prob) {
+                continue;
+            }
+            let ways = curve.max_ways();
+            let mut misses: Vec<f64> = (0..=ways).map(|w| curve.misses_at(w)).collect();
+            let mut accesses = curve.accesses();
+            match rng.gen_range(0u8..3) {
+                0 => {
+                    // NaN-lace a few entries.
+                    for _ in 0..=(ways / 4) {
+                        let i = rng.gen_range(0..misses.len());
+                        misses[i] = f64::NAN;
+                    }
+                }
+                1 if misses.len() > 1 => {
+                    // A spike: one entry far above its predecessor, breaking
+                    // monotonicity (index 0 cannot — it has no predecessor).
+                    let i = rng.gen_range(1..misses.len());
+                    misses[i] = misses[i - 1].abs().max(1.0) * 16.0 + 1.0;
+                }
+                1 => misses[0] = f64::NAN,
+                _ => {
+                    // Poison the denominator and flip one entry's sign.
+                    accesses = f64::NAN;
+                    let i = rng.gen_range(0..misses.len());
+                    misses[i] = -misses[i].abs() - 1.0;
+                }
+            }
+            *curve = MissRatioCurve::from_misses(misses, accesses);
+            corrupted += 1;
+        }
+        corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign() -> FaultConfig {
+        FaultConfig {
+            seed: 11,
+            bank_offline_prob: 0.2,
+            bank_repair_prob: 0.3,
+            max_offline_banks: 3,
+            epoch_drop_prob: 0.15,
+            curve_corruption_prob: 0.5,
+            forced_offline: vec![(4, 2)],
+        }
+    }
+
+    #[test]
+    fn disabled_injector_does_nothing() {
+        let inj = FaultInjector::new(FaultConfig::disabled());
+        let mask = BankMask::all_healthy(16);
+        for epoch in 0..50 {
+            assert!(inj.bank_events(epoch, &mask).is_empty());
+            assert!(!inj.drop_epoch(epoch));
+        }
+        let mut curves = vec![MissRatioCurve::from_misses(vec![10.0, 5.0], 20.0)];
+        assert_eq!(inj.corrupt_curves(3, &mut curves), 0);
+        assert!(curves[0].health().is_clean());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_order_free() {
+        let a = FaultInjector::new(campaign());
+        let b = FaultInjector::new(campaign());
+        let mask = BankMask::all_healthy(16);
+        // Query b in reverse order: per-epoch results must still agree.
+        let from_a: Vec<_> = (0..20).map(|e| a.bank_events(e, &mask)).collect();
+        let from_b: Vec<_> = (0..20).rev().map(|e| b.bank_events(e, &mask)).collect();
+        for (e, ev) in from_a.iter().enumerate() {
+            assert_eq!(*ev, from_b[19 - e], "epoch {e}");
+            assert_eq!(a.drop_epoch(e as u64), b.drop_epoch(e as u64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_histories() {
+        let mut cfg2 = campaign();
+        cfg2.seed = 12;
+        let a = FaultInjector::new(campaign());
+        let b = FaultInjector::new(cfg2);
+        let ha: Vec<_> = (0..200).map(|e| a.drop_epoch(e)).collect();
+        let hb: Vec<_> = (0..200).map(|e| b.drop_epoch(e)).collect();
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn forced_offline_fires_exactly_at_its_epoch() {
+        let mut cfg = FaultConfig::with_seed(5);
+        cfg.forced_offline = vec![(4, 2)];
+        let inj = FaultInjector::new(cfg);
+        let mask = BankMask::all_healthy(16);
+        for epoch in 0..10 {
+            let events = inj.bank_events(epoch, &mask);
+            if epoch == 4 {
+                assert_eq!(
+                    events,
+                    vec![BankEvent {
+                        bank: BankId(2),
+                        kind: BankEventKind::Offline
+                    }]
+                );
+            } else {
+                assert!(events.is_empty(), "epoch {epoch}: {events:?}");
+            }
+        }
+        // Already offline → the script entry is a no-op.
+        let mut dead = BankMask::all_healthy(16);
+        dead.disable(BankId(2));
+        assert!(inj.bank_events(4, &dead).is_empty());
+    }
+
+    #[test]
+    fn probabilistic_losses_respect_the_cap() {
+        let cfg = FaultConfig {
+            seed: 3,
+            bank_offline_prob: 1.0,
+            max_offline_banks: 2,
+            ..FaultConfig::disabled()
+        };
+        let inj = FaultInjector::new(cfg);
+        let mask = BankMask::all_healthy(16);
+        let events = inj.bank_events(0, &mask);
+        assert_eq!(events.len(), 2, "cap limits simultaneous losses");
+        let mut one_dead = BankMask::all_healthy(16);
+        one_dead.disable(BankId(7));
+        assert_eq!(inj.bank_events(0, &one_dead).len(), 1);
+    }
+
+    #[test]
+    fn repairs_only_touch_offline_banks() {
+        let cfg = FaultConfig {
+            seed: 9,
+            bank_repair_prob: 1.0,
+            ..FaultConfig::disabled()
+        };
+        let inj = FaultInjector::new(cfg);
+        let mut mask = BankMask::all_healthy(16);
+        mask.disable(BankId(3));
+        mask.disable(BankId(12));
+        let events = inj.bank_events(7, &mask);
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            assert_eq!(ev.kind, BankEventKind::Restore);
+            assert!(!mask.is_healthy(ev.bank));
+        }
+    }
+
+    #[test]
+    fn corrupt_curves_damages_what_sanitize_repairs() {
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 21,
+            curve_corruption_prob: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let mut curves: Vec<MissRatioCurve> = (0..8)
+            .map(|i| {
+                MissRatioCurve::from_misses(
+                    (0..=16).map(|w| (200 - i * 10 - w * 5) as f64).collect(),
+                    1000.0,
+                )
+            })
+            .collect();
+        let n = inj.corrupt_curves(0, &mut curves);
+        assert_eq!(n, 8);
+        let mut dirty = 0;
+        for c in &mut curves {
+            let before = c.sanitize();
+            if !before.is_clean() {
+                dirty += 1;
+            }
+            assert!(c.health().is_clean(), "sanitize repaired the damage");
+        }
+        assert_eq!(dirty, 8, "every corruption is observable");
+    }
+}

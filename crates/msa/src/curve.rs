@@ -106,6 +106,75 @@ impl MissRatioCurve {
         best
     }
 
+    /// Diagnose the curve without modifying it. A curve straight out of
+    /// [`MissRatioCurve::from_histogram`] is always clean; defects only
+    /// appear through deserialization of corrupted state or fault
+    /// injection.
+    pub fn health(&self) -> CurveHealth {
+        let mut h = CurveHealth {
+            empty: self.misses.is_empty(),
+            ..CurveHealth::default()
+        };
+        let mut running_min = f64::INFINITY;
+        for &m in &self.misses {
+            if !m.is_finite() {
+                h.non_finite += 1;
+                continue;
+            }
+            if m < 0.0 {
+                h.negative += 1;
+            }
+            if m > running_min {
+                h.non_monotone += 1;
+            }
+            running_min = running_min.min(m.max(0.0));
+        }
+        h.bad_accesses = !self.accesses.is_finite() || self.accesses < 0.0;
+        h
+    }
+
+    /// Repair the curve in place so every consumer invariant holds again:
+    /// misses finite, non-negative and non-increasing in ways; accesses
+    /// finite and non-negative. Non-finite entries inherit the running
+    /// minimum (no utility, rather than inventing some); an empty curve is
+    /// patched to a single zero but reported unusable. Returns the health
+    /// *before* repair so callers can count what they fixed. A clean curve
+    /// is left bit-identical.
+    pub fn sanitize(&mut self) -> CurveHealth {
+        let health = self.health();
+        if health.is_clean() {
+            return health;
+        }
+        if self.misses.is_empty() {
+            self.misses.push(0.0);
+        }
+        // Pass 1: make every entry finite and non-negative. Negatives clamp
+        // to zero; a non-finite entry inherits its predecessor (zero utility
+        // across that step, rather than inventing some), and a non-finite
+        // *prefix* inherits the first usable value to its right.
+        let mut prev = self
+            .misses
+            .iter()
+            .copied()
+            .find(|m| m.is_finite())
+            .unwrap_or(0.0)
+            .max(0.0);
+        for m in &mut self.misses {
+            prev = if m.is_finite() { m.max(0.0) } else { prev };
+            *m = prev;
+        }
+        // Pass 2: restore monotonicity (misses never grow with more ways).
+        let mut running_min = f64::INFINITY;
+        for m in &mut self.misses {
+            running_min = running_min.min(*m);
+            *m = running_min;
+        }
+        if !self.accesses.is_finite() || self.accesses < 0.0 {
+            self.accesses = 0.0;
+        }
+        health
+    }
+
     /// Smallest allocation achieving (almost) the minimum attainable misses
     /// — a convenient summary of a workload's appetite ("knee").
     pub fn saturation_ways(&self, tolerance: f64) -> usize {
@@ -117,6 +186,52 @@ impl MissRatioCurve {
         (0..=self.max_ways())
             .find(|&w| self.misses_at(w) - floor <= tolerance * span)
             .unwrap_or(self.max_ways())
+    }
+}
+
+/// Defect report for a [`MissRatioCurve`], produced by
+/// [`MissRatioCurve::health`] and returned (pre-repair) by
+/// [`MissRatioCurve::sanitize`]. Each field counts one class of violated
+/// consumer invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurveHealth {
+    /// The curve has no points at all (not even the 0-way projection).
+    pub empty: bool,
+    /// Entries that are NaN or infinite.
+    pub non_finite: usize,
+    /// Entries below zero (misses cannot be negative).
+    pub negative: usize,
+    /// Entries strictly above the running minimum to their left
+    /// (misses must be non-increasing in ways).
+    pub non_monotone: usize,
+    /// The accesses denominator is NaN, infinite or negative.
+    pub bad_accesses: bool,
+}
+
+impl CurveHealth {
+    /// No defects at all: [`MissRatioCurve::sanitize`] would be a no-op.
+    pub fn is_clean(&self) -> bool {
+        !self.empty
+            && self.non_finite == 0
+            && self.negative == 0
+            && self.non_monotone == 0
+            && !self.bad_accesses
+    }
+
+    /// Whether the (possibly repaired) curve carries any signal. An empty
+    /// curve is patched to a single zero point, which consumers can read
+    /// but should not trust.
+    pub fn usable(&self) -> bool {
+        !self.empty
+    }
+
+    /// Total defective entries (for fault-injection accounting).
+    pub fn defects(&self) -> usize {
+        self.non_finite
+            + self.negative
+            + self.non_monotone
+            + usize::from(self.empty)
+            + usize::from(self.bad_accesses)
     }
 }
 
@@ -218,6 +333,91 @@ mod tests {
         // A flat curve saturates immediately.
         let flat = MissRatioCurve::from_misses(vec![10.0; 9], 100.0);
         assert_eq!(flat.saturation_ways(0.01), 0);
+    }
+
+    #[test]
+    fn health_is_clean_for_histogram_curves() {
+        let mut h = MsaHistogram::new(4);
+        h.record(Some(0));
+        h.record(None);
+        let c = MissRatioCurve::from_histogram(&h, 16.0);
+        assert!(c.health().is_clean());
+        let mut c2 = c.clone();
+        assert!(c2.sanitize().is_clean());
+        assert_eq!(c2, c, "sanitizing a clean curve is bit-identical");
+    }
+
+    #[test]
+    fn sanitize_repairs_nan_and_spikes() {
+        let mut c = MissRatioCurve::from_misses(vec![100.0, f64::NAN, 150.0, -3.0, 40.0], 1000.0);
+        let before = c.sanitize();
+        assert_eq!(before.non_finite, 1);
+        assert_eq!(before.negative, 1);
+        assert!(before.non_monotone >= 1, "the 150 spike");
+        assert!(before.usable());
+        // NaN inherited its predecessor, the spike flattened, the negative
+        // clamped — and monotone thereafter.
+        assert_eq!(c.misses_at(0), 100.0);
+        assert_eq!(c.misses_at(1), 100.0);
+        assert_eq!(c.misses_at(2), 100.0);
+        assert_eq!(c.misses_at(3), 0.0);
+        assert_eq!(c.misses_at(4), 0.0);
+        assert!(c.health().is_clean());
+    }
+
+    #[test]
+    fn sanitize_handles_nan_prefix_and_bad_accesses() {
+        let mut c = MissRatioCurve::from_misses(vec![f64::NAN, 80.0, 60.0], f64::NAN);
+        let before = c.sanitize();
+        assert_eq!(before.non_finite, 1);
+        assert!(before.bad_accesses);
+        // The prefix inherits the first usable value: no fabricated cliff
+        // between 0 and 1 ways.
+        assert_eq!(c.misses_at(0), 80.0);
+        assert_eq!(c.marginal_utility(0, 1), 0.0);
+        assert_eq!(c.accesses(), 0.0);
+        assert_eq!(c.miss_ratio_at(0), 0.0, "zero accesses ⇒ zero ratio");
+        assert!(c.health().is_clean());
+    }
+
+    #[test]
+    fn sanitize_patches_empty_curve_but_reports_unusable() {
+        // `from_misses` refuses empty input, but corrupted serialized state
+        // can smuggle one in.
+        let mut c: MissRatioCurve =
+            serde_json::from_str(r#"{"misses":[],"accesses":0.0}"#).unwrap();
+        assert!(c.health().empty);
+        let before = c.sanitize();
+        assert!(!before.usable());
+        assert_eq!(c.max_ways(), 0);
+        assert_eq!(c.misses_at(0), 0.0);
+        assert!(c.health().is_clean());
+    }
+
+    proptest! {
+        #[test]
+        fn sanitized_curves_always_satisfy_consumer_invariants(
+            raw in proptest::collection::vec(
+                prop_oneof![
+                    4 => -50.0f64..2000.0,
+                    1 => Just(f64::NAN),
+                    1 => Just(f64::INFINITY),
+                    1 => Just(f64::NEG_INFINITY),
+                ],
+                1..20,
+            ),
+            accesses in prop_oneof![3 => 0.0f64..1e6, 1 => Just(f64::NAN)],
+        ) {
+            let mut c = MissRatioCurve::from_misses(raw, accesses);
+            c.sanitize();
+            prop_assert!(c.health().is_clean());
+            for w in 0..c.max_ways() {
+                prop_assert!(c.misses_at(w).is_finite());
+                prop_assert!(c.misses_at(w) >= c.misses_at(w + 1));
+                prop_assert!(c.marginal_utility(w, 1) >= 0.0);
+            }
+            prop_assert!(c.miss_ratio_at(0).is_finite());
+        }
     }
 
     proptest! {

@@ -21,7 +21,7 @@ pub mod histogram;
 pub mod overhead;
 pub mod profiler;
 
-pub use curve::MissRatioCurve;
+pub use curve::{CurveHealth, MissRatioCurve};
 pub use histogram::MsaHistogram;
 pub use overhead::OverheadModel;
 pub use profiler::{ProfilerConfig, StackProfiler};

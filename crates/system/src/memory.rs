@@ -13,6 +13,7 @@ use bap_coherence::CoherentCluster;
 use bap_core::{Controller, Policy};
 use bap_cpu::MemorySystem;
 use bap_dram::{BankedDram, BankedDramConfig, DramModel};
+use bap_fault::{BankEventKind, FaultConfig, FaultCounters, FaultInjector};
 use bap_noc::NocModel;
 use bap_types::stats::CacheStats;
 use bap_types::{BlockAddr, CoreId, Cycle, SystemConfig, Topology};
@@ -114,6 +115,16 @@ pub struct SharedMemory {
     /// Per-epoch adaptation history: the way assignment after each epoch
     /// boundary (empty entries while unpartitioned).
     epoch_history: Vec<Vec<usize>>,
+    /// Fault injector (None = no campaign; healthy behaviour untouched).
+    injector: Option<FaultInjector>,
+    /// System-side fault accounting (merged with the controller's in
+    /// [`SharedMemory::fault_counters`]).
+    fault_counters: FaultCounters,
+    /// Epoch index fed to the injector's deterministic streams.
+    fault_epoch: u64,
+    /// Latest cycle observed on the access path — the timestamp used when
+    /// a bank flush pushes write-backs to DRAM outside any access.
+    clock: Cycle,
 }
 
 impl SharedMemory {
@@ -215,15 +226,99 @@ impl SharedMemory {
                 _ => 1,
             },
             epoch_history: Vec::new(),
+            injector: None,
+            fault_counters: FaultCounters::default(),
+            fault_epoch: 0,
+            clock: 0,
         }
     }
 
-    /// Close an epoch: repartition if the policy calls for it.
+    /// Arm a fault-injection campaign. With a disabled config (or without
+    /// this call) every fault path is a cheap early-out and behaviour is
+    /// bit-identical to the healthy system.
+    pub fn set_fault_injection(&mut self, cfg: FaultConfig) {
+        self.injector = Some(FaultInjector::new(cfg));
+    }
+
+    /// Fault accounting so far: injection events seen by the memory system
+    /// merged with the controller's degradation-ladder counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut c = self.fault_counters;
+        c.merge(&self.controller.counters());
+        c
+    }
+
+    /// Close an epoch: inject any scheduled faults, then repartition if the
+    /// policy calls for it.
+    ///
+    /// Fault ordering per boundary: bank transitions first (dead banks are
+    /// flushed, their dirty lines charged to DRAM, and an out-of-cadence
+    /// replan installs a valid plan immediately); then a dropped-epoch
+    /// fault may swallow the repartitioning trigger entirely; otherwise the
+    /// controller runs on curves that may have been corrupted in flight.
     pub fn epoch_boundary(&mut self) {
-        if let Some(plan) = self.controller.epoch_boundary() {
-            self.l2.apply_plan(plan, self.scheme);
-            self.plans_applied += 1;
+        let epoch = self.fault_epoch;
+        self.fault_epoch += 1;
+        let Some(inj) = self.injector.clone() else {
+            if let Some(plan) = self.controller.epoch_boundary() {
+                self.l2.apply_plan(plan, self.scheme);
+                self.plans_applied += 1;
+            }
+            self.push_epoch_history();
+            return;
+        };
+
+        let events = inj.bank_events(epoch, self.l2.bank_mask());
+        for ev in &events {
+            match ev.kind {
+                BankEventKind::Offline => {
+                    // Counted by the controller's own mask transition.
+                    let dirty = self.l2.take_bank_offline(ev.bank);
+                    for wb in dirty {
+                        self.dram.writeback(wb, self.clock);
+                    }
+                    self.controller.bank_failed(ev.bank);
+                }
+                BankEventKind::Restore => {
+                    self.l2.restore_bank(ev.bank);
+                    self.controller.bank_restored(ev.bank);
+                }
+            }
         }
+        // A bank transition invalidates the installed plan right now, not
+        // at the next cadence: replan immediately so no access window runs
+        // on a dead assignment.
+        if !events.is_empty() {
+            if let Some(plan) = self.controller.replan_for_mask() {
+                self.install(plan);
+            }
+        }
+
+        if inj.drop_epoch(epoch) {
+            self.fault_counters.epochs_dropped += 1;
+            self.controller.skip_epoch();
+            self.push_epoch_history();
+            return;
+        }
+
+        let mut curves = self.controller.curves();
+        self.fault_counters.curves_corrupted += inj.corrupt_curves(epoch, &mut curves);
+        if let Some(plan) = self.controller.epoch_boundary_with_curves(curves) {
+            self.install(plan);
+        }
+        self.push_epoch_history();
+    }
+
+    /// Install a plan atomically; a rejected plan leaves the previous
+    /// configuration in force and is only counted.
+    fn install(&mut self, plan: bap_cache::PartitionPlan) {
+        match self.l2.try_apply_plan(plan, self.scheme) {
+            Ok(()) => self.plans_applied += 1,
+            Err(_) => self.fault_counters.plans_rejected += 1,
+        }
+    }
+
+    fn push_epoch_history(&mut self) {
         let ways = match self.l2.plan() {
             Some(p) => (0..p.num_cores())
                 .map(|c| p.ways_of(bap_types::CoreId(c as u8)))
@@ -305,6 +400,7 @@ impl MemorySystem for SharedMemory {
         }
         self.l2_stats[core.index()].record(outcome.hit);
         self.l2_latency_sum[core.index()] += latency;
+        self.clock = self.clock.max(cycle + latency);
         latency
     }
 
@@ -319,6 +415,7 @@ impl MemorySystem for SharedMemory {
         if is_shared(block) {
             self.coherence.evict(core, block);
         }
+        self.clock = self.clock.max(cycle);
     }
 }
 
@@ -397,8 +494,7 @@ mod tests {
     fn banked_dram_integration_reports_row_stats() {
         let mut cfg = SystemConfig::scaled(64);
         cfg.dram_kind = bap_types::config::DramKind::Banked;
-        let mut m =
-            SharedMemory::new(&cfg, Policy::NoPartition, AggregationScheme::Parallel);
+        let mut m = SharedMemory::new(&cfg, Policy::NoPartition, AggregationScheme::Parallel);
         // Stream misses: contiguous blocks share DRAM rows.
         for i in 0..2000u64 {
             m.request(CoreId(0), BlockAddr(i), false, i * 400);

@@ -52,6 +52,9 @@ pub struct SimOptions {
     /// partitions, and repartitions flush stranded lines (§III-B's literal
     /// access restriction). Off by default (DNUCA migration semantics).
     pub lookup_isolation: bool,
+    /// Fault-injection campaign (None = healthy run, bit-identical to the
+    /// pre-fault-subsystem behaviour).
+    pub fault: Option<bap_fault::FaultConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -72,6 +75,7 @@ impl SimOptions {
             replacement: bap_cache::ReplacementPolicy::TrueLru,
             freeze_plan_after: None,
             lookup_isolation: false,
+            fault: None,
             seed: 1,
         }
     }
@@ -99,6 +103,9 @@ pub struct RunResult {
     /// Way assignment after each epoch boundary across the whole run
     /// (warm-up included) — the adaptation timeline.
     pub epoch_history: Vec<Vec<usize>>,
+    /// Fault-injection and degradation-ladder accounting (all zero on a
+    /// healthy run).
+    pub fault: bap_fault::FaultCounters,
 }
 
 impl RunResult {
@@ -196,6 +203,9 @@ impl System {
             opts.replacement,
         );
         mem.l2.set_lookup_isolation(opts.lookup_isolation);
+        if let Some(f) = opts.fault.clone() {
+            mem.set_fault_injection(f);
+        }
         System {
             opts,
             cores,
@@ -321,6 +331,7 @@ impl System {
             final_plan: self.mem.l2.plan().cloned(),
             epochs,
             epoch_history: self.mem.epoch_history().to_vec(),
+            fault: self.mem.fault_counters(),
         }
     }
 }
@@ -405,11 +416,8 @@ mod tests {
         let plan = r.final_plan.expect("partitioned");
         assert_eq!(plan.total_ways_used(), 128);
         // Mesh adjacency (two edge chains) still yields a rule-valid plan.
-        bap_core::bank_aware::validate_bank_rules(
-            &plan,
-            &bap_types::Topology::mesh_baseline(),
-        )
-        .expect("mesh bank rules hold");
+        bap_core::bank_aware::validate_bank_rules(&plan, &bap_types::Topology::mesh_baseline())
+            .expect("mesh bank rules hold");
     }
 
     #[test]
@@ -432,7 +440,68 @@ mod tests {
         // Exactly the initial (equal) plan remains in force forever.
         let plan = r.final_plan.expect("partitioned");
         for c in 0..8 {
-            assert_eq!(plan.ways_of(CoreId(c)), 16, "frozen at the initial equal split");
+            assert_eq!(
+                plan.ways_of(CoreId(c)),
+                16,
+                "frozen at the initial equal split"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_fault_config_changes_nothing() {
+        let healthy = System::new(opts(Policy::BankAware), mix()).run();
+        let mut o = opts(Policy::BankAware);
+        o.fault = Some(bap_fault::FaultConfig::disabled());
+        let armed = System::new(o, mix()).run();
+        assert_eq!(healthy.total_l2_misses(), armed.total_l2_misses());
+        assert_eq!(healthy.final_plan, armed.final_plan);
+        assert!(armed.fault.is_zero());
+    }
+
+    #[test]
+    fn survives_a_forced_bank_loss() {
+        let mut o = opts(Policy::BankAware);
+        // Kill Center bank 9 at the second epoch boundary.
+        let mut f = bap_fault::FaultConfig::with_seed(7);
+        f.forced_offline = vec![(1, 9)];
+        o.fault = Some(f);
+        o.config.epoch_cycles = 20_000;
+        let r = System::new(o, mix()).run();
+        assert_eq!(r.fault.banks_failed, 1);
+        let plan = r.final_plan.expect("still partitioned");
+        assert_eq!(
+            plan.bank_ways_used(bap_types::BankId(9)),
+            0,
+            "final plan avoids the dead bank: {plan}"
+        );
+        assert_eq!(plan.total_ways_used(), 15 * 8, "healthy capacity in use");
+        for c in &r.per_core {
+            assert!(c.instructions >= 150_000, "every core completed");
+        }
+    }
+
+    #[test]
+    fn survives_a_full_fault_campaign() {
+        let mut o = opts(Policy::BankAware);
+        o.fault = Some(bap_fault::FaultConfig {
+            seed: 13,
+            bank_offline_prob: 0.3,
+            bank_repair_prob: 0.3,
+            max_offline_banks: 3,
+            epoch_drop_prob: 0.3,
+            curve_corruption_prob: 0.5,
+            forced_offline: vec![(0, 3)],
+        });
+        o.config.epoch_cycles = 15_000;
+        let r = System::new(o, mix()).run();
+        assert!(r.fault.banks_failed >= 1);
+        for c in &r.per_core {
+            assert!(c.instructions >= 150_000, "every core completed");
+        }
+        if let Some(plan) = &r.final_plan {
+            plan.validate()
+                .expect("installed plan is structurally valid");
         }
     }
 

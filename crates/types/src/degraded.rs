@@ -1,0 +1,216 @@
+//! Degraded-machine views: which banks are physically usable right now.
+//!
+//! The partitioning pipeline normally assumes all `2 × cores` banks of the
+//! Fig. 1 floorplan are alive. Under fault injection (or on a real part with
+//! a disabled bank) that assumption breaks, so every consumer that used to
+//! take a bare [`Topology`] can instead take a [`DegradedTopology`]: the
+//! same floorplan plus a [`BankMask`] of currently-healthy banks. A full
+//! mask reproduces the healthy behaviour exactly — the degraded view is
+//! zero-cost when nothing is wrong.
+
+use crate::ids::BankId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A bitmask over the physical banks: bit `b` set means bank `b` is healthy
+/// (online and usable). Supports up to 64 banks, far beyond the 16-bank
+/// baseline and the 32-bank scalability machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankMask {
+    bits: u64,
+    num_banks: usize,
+}
+
+impl BankMask {
+    /// All `num_banks` banks healthy.
+    pub fn all_healthy(num_banks: usize) -> Self {
+        assert!(num_banks <= 64, "BankMask supports at most 64 banks");
+        let bits = if num_banks == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_banks) - 1
+        };
+        BankMask { bits, num_banks }
+    }
+
+    /// Number of banks the mask covers (healthy or not).
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Whether `bank` is healthy.
+    pub fn is_healthy(&self, bank: BankId) -> bool {
+        bank.index() < self.num_banks && self.bits & (1 << bank.index()) != 0
+    }
+
+    /// Mark `bank` offline. Returns whether the mask changed.
+    pub fn disable(&mut self, bank: BankId) -> bool {
+        assert!(bank.index() < self.num_banks, "bank {bank} out of range");
+        let was = self.is_healthy(bank);
+        self.bits &= !(1 << bank.index());
+        was
+    }
+
+    /// Mark `bank` healthy again. Returns whether the mask changed.
+    pub fn enable(&mut self, bank: BankId) -> bool {
+        assert!(bank.index() < self.num_banks, "bank {bank} out of range");
+        let was = self.is_healthy(bank);
+        self.bits |= 1 << bank.index();
+        !was
+    }
+
+    /// Number of healthy banks.
+    pub fn healthy_count(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Number of offline banks.
+    pub fn disabled_count(&self) -> usize {
+        self.num_banks - self.healthy_count()
+    }
+
+    /// Whether every bank is healthy.
+    pub fn is_full(&self) -> bool {
+        self.healthy_count() == self.num_banks
+    }
+
+    /// The offline banks, in ascending order.
+    pub fn disabled_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        (0..self.num_banks)
+            .map(|b| BankId(b as u8))
+            .filter(|&b| !self.is_healthy(b))
+    }
+
+    /// The healthy banks, in ascending order.
+    pub fn healthy_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        (0..self.num_banks)
+            .map(|b| BankId(b as u8))
+            .filter(|&b| self.is_healthy(b))
+    }
+}
+
+/// A [`Topology`] together with the live [`BankMask`]: the machine as the
+/// allocator must currently see it. All floorplan queries (distances,
+/// adjacency, bank classification) delegate to the underlying topology;
+/// the bank *iterators* are filtered to healthy banks only.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradedTopology {
+    topo: Topology,
+    mask: BankMask,
+}
+
+impl DegradedTopology {
+    /// Wrap a topology with an explicit health mask.
+    pub fn new(topo: Topology, mask: BankMask) -> Self {
+        assert_eq!(
+            mask.num_banks(),
+            topo.num_banks(),
+            "mask must cover every bank"
+        );
+        DegradedTopology { topo, mask }
+    }
+
+    /// The healthy view: every bank online (behaves exactly like the bare
+    /// topology).
+    pub fn healthy(topo: Topology) -> Self {
+        let mask = BankMask::all_healthy(topo.num_banks());
+        DegradedTopology { topo, mask }
+    }
+
+    /// The underlying floorplan.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The live health mask.
+    pub fn mask(&self) -> &BankMask {
+        &self.mask
+    }
+
+    /// Whether `bank` is currently usable.
+    pub fn is_healthy(&self, bank: BankId) -> bool {
+        self.mask.is_healthy(bank)
+    }
+
+    /// Number of cores (unaffected by bank health).
+    pub fn num_cores(&self) -> usize {
+        self.topo.num_cores()
+    }
+
+    /// Number of physical banks, healthy or not.
+    pub fn num_banks(&self) -> usize {
+        self.topo.num_banks()
+    }
+
+    /// Number of currently-healthy banks.
+    pub fn num_healthy_banks(&self) -> usize {
+        self.mask.healthy_count()
+    }
+
+    /// Healthy Center banks, in the topology's order.
+    pub fn healthy_center_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        self.topo
+            .center_banks()
+            .filter(move |&b| self.mask.is_healthy(b))
+    }
+
+    /// Healthy Local banks, in the topology's order.
+    pub fn healthy_local_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        self.topo
+            .local_banks()
+            .filter(move |&b| self.mask.is_healthy(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CoreId;
+
+    #[test]
+    fn full_mask_is_transparent() {
+        let dt = DegradedTopology::healthy(Topology::baseline());
+        assert!(dt.mask().is_full());
+        assert_eq!(dt.num_healthy_banks(), 16);
+        let centers: Vec<BankId> = dt.healthy_center_banks().collect();
+        let raw: Vec<BankId> = dt.topology().center_banks().collect();
+        assert_eq!(centers, raw, "healthy view preserves order and content");
+        assert_eq!(dt.healthy_local_banks().count(), 8);
+    }
+
+    #[test]
+    fn disable_and_enable_round_trip() {
+        let mut mask = BankMask::all_healthy(16);
+        assert!(mask.disable(BankId(3)));
+        assert!(!mask.disable(BankId(3)), "already offline");
+        assert!(!mask.is_healthy(BankId(3)));
+        assert_eq!(mask.healthy_count(), 15);
+        assert_eq!(mask.disabled_count(), 1);
+        assert_eq!(mask.disabled_banks().collect::<Vec<_>>(), vec![BankId(3)]);
+        assert!(mask.enable(BankId(3)));
+        assert!(mask.is_full());
+    }
+
+    #[test]
+    fn degraded_view_filters_iterators() {
+        let mut mask = BankMask::all_healthy(16);
+        mask.disable(BankId(0)); // Local bank of core 0
+        mask.disable(BankId(9)); // a Center bank
+        let dt = DegradedTopology::new(Topology::baseline(), mask);
+        assert_eq!(dt.num_healthy_banks(), 14);
+        assert_eq!(dt.healthy_local_banks().count(), 7);
+        assert_eq!(dt.healthy_center_banks().count(), 7);
+        assert!(!dt.is_healthy(BankId(9)));
+        // Floorplan queries still work for offline banks (wiring exists).
+        assert_eq!(dt.topology().local_bank(CoreId(0)), BankId(0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut mask = BankMask::all_healthy(16);
+        mask.disable(BankId(7));
+        let json = serde_json::to_string(&mask).unwrap();
+        let back: BankMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(mask, back);
+    }
+}

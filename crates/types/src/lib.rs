@@ -13,6 +13,7 @@
 pub mod addr;
 pub mod config;
 pub mod coreset;
+pub mod degraded;
 pub mod ids;
 pub mod ops;
 pub mod stats;
@@ -21,6 +22,7 @@ pub mod topology;
 pub use addr::{Addr, BlockAddr};
 pub use config::{CacheGeometry, L2Geometry, SystemConfig};
 pub use coreset::CoreSet;
+pub use degraded::{BankMask, DegradedTopology};
 pub use ids::{BankId, CoreId, WayIdx};
 pub use ops::Op;
 pub use topology::{BankKind, Topology};

@@ -1,0 +1,166 @@
+//! Offline shim of the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — as a small wall-clock
+//! harness: each benchmark runs a short calibration pass, then a measured
+//! pass, and prints mean time per iteration. No statistics machinery, no
+//! HTML reports; enough to compare runs by eye and to keep `cargo bench`
+//! compiling offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        run_bench(name.as_ref(), &mut f, DEFAULT_MEASURE);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            measure: DEFAULT_MEASURE,
+        }
+    }
+}
+
+const DEFAULT_MEASURE: Duration = Duration::from_millis(300);
+
+/// A group of related benchmarks (shares the group name as a prefix).
+pub struct BenchmarkGroup {
+    name: String,
+    measure: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Criterion's `sample_size` tunes statistics; here it scales the
+    /// measurement window (small sizes → heavy per-iteration work).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measure = Duration::from_millis(30 * n.clamp(1, 100) as u64);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_bench(&full, &mut f, self.measure);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F, measure: Duration) {
+    // Calibration: find an iteration count that fills the window.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= measure / 10 || iters >= 1 << 30 {
+            let scale = if b.elapsed.is_zero() {
+                10.0
+            } else {
+                measure.as_secs_f64() / b.elapsed.as_secs_f64()
+            };
+            iters = ((iters as f64 * scale).ceil() as u64).max(1);
+            break;
+        }
+        iters *= 8;
+    }
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+    println!("{name:<50} {:>12} iters  {}", iters, format_time(per_iter));
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}
+
+/// Collect benchmark functions under one name, as Criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($bench:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($bench),+);
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1);
+        let mut ran = false;
+        g.bench_function("inner", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline shim of the `rayon` crate.
+//!
+//! The workspace only uses `slice.par_iter().map(f).collect()`, so this shim
+//! implements exactly that shape on top of `std::thread::scope`: the input
+//! is split into contiguous chunks, one worker per available core, and the
+//! per-chunk results are concatenated in order — the same ordered semantics
+//! `rayon` guarantees for indexed parallel iterators.
+
+use std::num::NonZeroUsize;
+
+/// The traits user code imports.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+    /// Start a parallel iteration over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Minimal parallel-iterator interface (satisfied by [`ParIter`] through
+/// its inherent methods; the trait exists so `use rayon::prelude::*` keeps
+/// its usual meaning).
+pub trait ParallelIterator {}
+impl<T> ParallelIterator for ParIter<'_, T> {}
+impl<I, F> ParallelIterator for ParMap<I, F> {}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f` (evaluated in parallel at `collect`).
+    pub fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap { base: self, f }
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<ParIter<'a, T>, F> {
+    /// Evaluate the map in parallel, preserving input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        parallel_map(self.base.items, self.f).into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map: contiguous chunks, one thread each.
+fn parallel_map<'a, T: Sync, U: Send>(items: &'a [T], f: impl Fn(&'a T) -> U + Sync) -> Vec<U> {
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -14,8 +14,11 @@
 //! * [`coherence`] — MOESI directory protocol;
 //! * [`cpu`] — out-of-order core timing model with L1;
 //! * [`workloads`] — synthetic SPEC CPU2000 analogues;
+//! * [`fault`] — deterministic fault injection (bank loss/repair, dropped
+//!   epochs, corrupted curves) and fault counters;
 //! * [`partitioning`] — marginal utility, Unrestricted (UCP-style) and the
-//!   paper's Bank-aware allocation algorithm plus the epoch controller;
+//!   paper's Bank-aware allocation algorithm plus the epoch controller and
+//!   its degradation ladder;
 //! * [`system`] — the integrated 8-core CMP simulator and the analytic
 //!   Monte Carlo evaluator.
 //!
@@ -27,6 +30,7 @@ pub use bap_core as partitioning;
 pub use bap_cpu as cpu;
 pub use bap_dram as dram;
 pub use bap_energy as energy;
+pub use bap_fault as fault;
 pub use bap_msa as msa;
 pub use bap_noc as noc;
 pub use bap_system as system;
