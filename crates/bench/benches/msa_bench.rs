@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the MSA profiler: observe throughput for
 //! the reference and hardware configurations, and curve construction.
 
-use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+use bap_msa::{EngineKind, MissRatioCurve, ProfilerConfig, StackProfiler};
 use bap_types::BlockAddr;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -10,14 +10,50 @@ fn bench_observe(c: &mut Criterion) {
         ("reference", ProfilerConfig::reference(2048, 72)),
         ("hardware", ProfilerConfig::paper_hardware(2048)),
     ] {
-        let mut p = StackProfiler::new(cfg);
-        let mut i = 0u64;
-        c.bench_function(format!("profiler_observe_{label}"), |b| {
-            b.iter(|| {
-                i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                p.observe(black_box(BlockAddr(i % 300_000)));
-            })
-        });
+        for engine in [EngineKind::Naive, EngineKind::Fenwick] {
+            let mut p = StackProfiler::new(cfg.with_engine(engine));
+            let mut i = 0u64;
+            c.bench_function(format!("profiler_observe_{label}_{engine:?}"), |b| {
+                b.iter(|| {
+                    i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    p.observe(black_box(BlockAddr(i % 300_000)));
+                })
+            });
+        }
+    }
+}
+
+/// Deep-reuse pattern: every set holds `K` resident tags and each access
+/// hits the deepest (distance K − 1), isolating engine compute cost — the
+/// case the Fenwick engine's O(log K) prefix sum accelerates over the
+/// naive O(K) scan. `bench_baseline` records the same pattern in
+/// `BENCH_profiler.json`; this is the interactive view of it.
+fn bench_observe_deep(c: &mut Criterion) {
+    let sets = 2048usize;
+    for k in [72u64, 128] {
+        for engine in [EngineKind::Naive, EngineKind::Fenwick] {
+            let cfg = ProfilerConfig::reference(sets, k as usize).with_engine(engine);
+            let mut p = StackProfiler::new(cfg);
+            let block = |t: u64, s: usize| BlockAddr((t << sets.trailing_zeros()) | s as u64);
+            // Tag-major population leaves tag k−1 on top of every stack,
+            // so cycling t = 0, 1, … afterwards always hits the bottom.
+            for t in 0..k {
+                for s in 0..sets {
+                    p.observe(block(t, s));
+                }
+            }
+            let (mut t, mut s) = (0u64, 0usize);
+            c.bench_function(format!("profiler_observe_deep_k{k}_{engine:?}"), |b| {
+                b.iter(|| {
+                    p.observe(black_box(block(t, s)));
+                    t += 1;
+                    if t == k {
+                        t = 0;
+                        s = (s + 1) % sets;
+                    }
+                })
+            });
+        }
     }
 }
 
@@ -45,5 +81,11 @@ fn bench_banked_dram(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_observe, bench_curve_build, bench_banked_dram);
+criterion_group!(
+    benches,
+    bench_observe,
+    bench_observe_deep,
+    bench_curve_build,
+    bench_banked_dram
+);
 criterion_main!(benches);

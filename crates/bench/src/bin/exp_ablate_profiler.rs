@@ -7,7 +7,7 @@
 
 use bap_bench::common::{write_json, Args};
 use bap_msa::overhead::kbits;
-use bap_msa::{MissRatioCurve, OverheadModel, ProfilerConfig, StackProfiler};
+use bap_msa::{EngineKind, MissRatioCurve, OverheadModel, ProfilerConfig, StackProfiler};
 use bap_types::SystemConfig;
 use bap_workloads::{spec_by_name, AddressStream};
 use serde::Serialize;
@@ -57,6 +57,7 @@ fn main() {
                 max_ways: 72,
                 sample_ratio,
                 tag_bits,
+                engine: EngineKind::default(),
             };
             let curve = curve_of(cfg, &blocks);
             let mut errs = Vec::new();

@@ -101,15 +101,16 @@ impl MixOutcome {
     }
 }
 
-/// Evaluate one mix against the library.
+/// Evaluate one mix against the library. Curves are borrowed straight from
+/// the library — 1000 mixes × 8 curves × 73-entry vectors of per-mix clones
+/// would be pure allocator churn on the Monte Carlo hot loop.
 pub fn evaluate_mix(lib: &ProfileLibrary, mix: &[String], topo: &Topology) -> MixOutcome {
-    let curves: Vec<MissRatioCurve> = mix
+    let curves: Vec<&MissRatioCurve> = mix
         .iter()
         .map(|n| {
             lib.curves
                 .get(n)
                 .unwrap_or_else(|| panic!("no profile for {n}"))
-                .clone()
         })
         .collect();
     let n = curves.len();

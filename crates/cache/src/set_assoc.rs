@@ -162,6 +162,7 @@ impl<M: Clone> SetAssocCache<M> {
     /// Access a block: on a hit, update recency and the dirty bit and return
     /// the way. On a miss return `None` (the caller decides whether and
     /// where to fill).
+    #[inline]
     pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> Option<usize> {
         let way = self.probe(block)?;
         let set_idx = self.set_of(block);

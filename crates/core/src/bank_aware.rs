@@ -38,6 +38,7 @@
 use bap_cache::{BankAllocation, PartitionPlan, PlanError};
 use bap_msa::MissRatioCurve;
 use bap_types::{BankId, BankKind, CoreId, DegradedTopology, Topology};
+use std::borrow::Borrow;
 
 use crate::unrestricted::unrestricted_partition;
 
@@ -162,8 +163,8 @@ impl From<PlanError> for PartitionError {
 /// assert_eq!(plan.ways_of(CoreId(0)), 16);
 /// assert_eq!(plan.total_ways_used(), 128);
 /// ```
-pub fn bank_aware_partition(
-    curves: &[MissRatioCurve],
+pub fn bank_aware_partition<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
     topo: &Topology,
     bank_ways: usize,
     cfg: &BankAwareConfig,
@@ -184,8 +185,8 @@ pub fn bank_aware_partition(
 /// disappears from the solve and the returned plan allocates healthy banks
 /// only, summing to `healthy_banks × bank_ways`. Every former panic path is
 /// a typed [`PartitionError`].
-pub fn try_bank_aware_partition(
-    curves: &[MissRatioCurve],
+pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
     machine: &DegradedTopology,
     bank_ways: usize,
     cfg: &BankAwareConfig,
@@ -199,7 +200,7 @@ pub fn try_bank_aware_partition(
         });
     }
     for (c, curve) in curves.iter().enumerate() {
-        if curve.health().empty {
+        if curve.borrow().health().empty {
             return Err(PartitionError::UnusableCurve { core: c });
         }
     }
@@ -248,6 +249,7 @@ pub fn try_bank_aware_partition(
         // current share so identical workloads spread.
         let mut best: Option<(usize, usize, f64)> = None; // (core, banks, mu)
         for (c, curve) in curves.iter().enumerate() {
+            let curve = curve.borrow();
             let headroom_banks =
                 (max_ways.saturating_sub(assumed_ways[c]) / bank_ways).min(free_centers.len());
             if headroom_banks == 0 {
@@ -433,7 +435,7 @@ pub fn try_bank_aware_partition(
                 if budget == 0 {
                     continue;
                 }
-                if let Some((extra, mu)) = curves[c].best_growth(claimed[c], budget) {
+                if let Some((extra, mu)) = curves[c].borrow().best_growth(claimed[c], budget) {
                     let bid = if extra > own_remaining[c] {
                         Bid::Pair
                     } else {
@@ -454,7 +456,7 @@ pub fn try_bank_aware_partition(
                 if budget == 0 {
                     continue;
                 }
-                if let Some((_, mu)) = curves[c].best_growth(assumed_ways[c], budget) {
+                if let Some((_, mu)) = curves[c].borrow().best_growth(assumed_ways[c], budget) {
                     consider(&mut best, c, Bid::Share, mu);
                 }
             }
@@ -486,7 +488,7 @@ pub fn try_bank_aware_partition(
                     if pair_total < 2 * cfg.min_ways || pair_total == 0 {
                         continue;
                     }
-                    let pair_curves = [curves[c].clone(), curves[d.index()].clone()];
+                    let pair_curves = [curves[c].borrow(), curves[d.index()].borrow()];
                     let split = unrestricted_partition(
                         &pair_curves,
                         pair_total,
@@ -532,8 +534,8 @@ pub fn try_bank_aware_partition(
                     }
                     let avail = avail_local[di];
                     for x in 0..=avail.saturating_sub(cfg.min_ways).min(cap) {
-                        let misses = curves[c].misses_at(assumed_ways[c] + x)
-                            + curves[di].misses_at(avail - x);
+                        let misses = curves[c].borrow().misses_at(assumed_ways[c] + x)
+                            + curves[di].borrow().misses_at(avail - x);
                         if choice.is_none_or(|(_, _, m)| misses < m) {
                             choice = Some((di, x, misses));
                         }

@@ -306,6 +306,7 @@ impl Controller {
 mod tests {
     use super::*;
     use bap_core_test_util::feed_knee_profile;
+    use bap_msa::EngineKind;
 
     /// Local helper module so the feeding logic is shared across tests.
     mod bap_core_test_util {
@@ -406,6 +407,7 @@ mod tests {
                 max_ways: 72,
                 sample_ratio: 4,
                 tag_bits: None,
+                engine: EngineKind::default(),
             },
             BankAwareConfig::default(),
         );

@@ -13,6 +13,7 @@
 //! greedy until the whole cliff is in reach.
 
 use bap_msa::MissRatioCurve;
+use std::borrow::Borrow;
 
 /// Compute an unrestricted per-core way assignment.
 ///
@@ -30,14 +31,16 @@ use bap_msa::MissRatioCurve;
 /// assert_eq!(alloc.iter().sum::<usize>(), 16);
 /// ```
 ///
-/// * `curves` — one miss-ratio curve per core;
+/// * `curves` — one miss-ratio curve per core, owned or borrowed (the
+///   Monte Carlo hot loop passes `&[&MissRatioCurve]` straight out of the
+///   profile library instead of cloning per mix);
 /// * `total_ways` — capacity to distribute (128 in the baseline);
 /// * `min_ways` — floor per core (≥1 keeps every core runnable);
 /// * `max_ways` — cap per core (the paper's 9/16 restriction = 72).
 ///
 /// Returns one way count per core, summing exactly to `total_ways`.
-pub fn unrestricted_partition(
-    curves: &[MissRatioCurve],
+pub fn unrestricted_partition<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
     total_ways: usize,
     min_ways: usize,
     max_ways: usize,
@@ -67,7 +70,7 @@ pub fn unrestricted_partition(
             if budget == 0 {
                 continue;
             }
-            if let Some((extra, mu)) = curve.best_growth(alloc[c], budget) {
+            if let Some((extra, mu)) = curve.borrow().best_growth(alloc[c], budget) {
                 // Ties break towards the smallest current allocation so
                 // identical workloads share evenly.
                 let better = match best {

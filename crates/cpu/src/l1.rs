@@ -25,6 +25,7 @@ impl L1Cache {
     }
 
     /// Access `block`; returns whether it hit. Writes mark the line dirty.
+    #[inline]
     pub fn access(&mut self, block: BlockAddr, write: bool) -> bool {
         let kind = if write {
             AccessKind::Write
@@ -38,6 +39,7 @@ impl L1Cache {
 
     /// Fill `block` after a miss (write-allocate). Returns the evicted
     /// block if it was dirty and must be written back.
+    #[inline]
     pub fn fill(&mut self, block: BlockAddr, write: bool) -> Option<BlockAddr> {
         let ev = self.cache.fill(block, CoreId(0), write, (), |_| true)?;
         ev.dirty.then_some(ev.block)

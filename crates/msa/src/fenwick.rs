@@ -1,0 +1,442 @@
+//! The O(log K) stack-distance engine.
+//!
+//! The naive engine walks a per-set LRU list on every access — O(K) at the
+//! paper's K = 72 monitored depth, which dominates the Fig. 7 library
+//! build (26 workloads × 20 M instructions). This engine computes the same
+//! *exact* stack distance from three per-set structures:
+//!
+//! * a flat open-addressed index from (possibly partial) tag → timestamp
+//!   of its last access;
+//! * a bitmap over timestamps, one bit per still-live block;
+//! * a Fenwick (binary-indexed) tree over the bitmap's 64-timestamp
+//!   words, counting live blocks per word.
+//!
+//! The stack distance of a re-accessed block is the number of *distinct*
+//! blocks touched since its last access — exactly the count of live
+//! timestamps newer than its own, i.e. `live − prefix(ts)`, where
+//! `prefix` is an O(log n) Fenwick sum over complete words plus one
+//! popcount of the partial word. Evicting beyond the depth cap K is
+//! "clear the lowest live timestamp": a binary-indexed descent to the
+//! first word with a live bit, then trailing-zeros, and an O(1) hop
+//! through the timestamp → slot index to delete the victim's table entry.
+//!
+//! Being asymptotically fast is not enough to beat an O(K) scan of
+//! contiguous memory that the hardware prefetcher hides — the layout has
+//! to match the asymptotics, so every array is sized by the *live* block
+//! count (≤ K + 1), not by some larger universe:
+//!
+//! * tags live inside the probe table (`slot_tag`/`slot_ts` parallel
+//!   arrays indexed by the same probe slot, fetched in parallel), so a
+//!   lookup costs one dependent cache line, not a probe plus a detour
+//!   through a timestamp-indexed tag array;
+//! * bitmap and tree share one allocation ([`FenwickSet::ws`]): at
+//!   K = 72 the whole recency state outside the table is ~90 bytes, one
+//!   or two cache lines;
+//! * the whole per-set footprint is ~2 KB — the same order as the naive
+//!   engine's `VecDeque` — where a hash map + per-timestamp tree costs
+//!   kilobytes more and loses its asymptotic win to cache misses.
+//!
+//! Timestamps grow without bound, so when the space fills up the set is
+//! *compacted*: live blocks are renumbered `0..live` in recency order,
+//! which preserves every relative order and therefore every future
+//! distance. Partial-tag aliasing is preserved exactly because the index
+//! is keyed on the same truncated tag the naive engine stores in its
+//! list.
+
+/// Timestamp slack factor: each set's timestamp space holds
+/// `COMPACT_SLACK × K` slots (min [`MIN_CAPACITY`], rounded up to whole
+/// 64-bit words) before a compaction renumbers the live blocks. Larger
+/// values amortise compaction further at the cost of a wider bitmap and
+/// timestamp → slot index.
+const COMPACT_SLACK: usize = 4;
+
+/// Floor on the per-set timestamp capacity, so tiny depth caps still
+/// compact rarely.
+const MIN_CAPACITY: usize = 64;
+
+/// Slot markers of the open-addressed tag index. Real timestamps stay
+/// below both (capacity is asserted to fit).
+const EMPTY: u16 = u16::MAX;
+const TOMB: u16 = u16::MAX - 1;
+
+/// One monitored set's fast stack-distance state.
+#[derive(Clone, Debug)]
+pub(crate) struct FenwickSet {
+    /// Tag of each probe slot (valid only where `slot_ts` holds a live
+    /// timestamp). Linear probing, power-of-two length.
+    slot_tag: Vec<u64>,
+    /// Timestamp of each probe slot, or [`EMPTY`]/[`TOMB`].
+    slot_ts: Vec<u16>,
+    /// Bitmap words `[0, nw)` then 1-based Fenwick nodes `[nw, 2·nw]`
+    /// (node `i` at `ws[nw + i]`; `ws[nw]` is the unused node 0).
+    ws: Vec<u64>,
+    /// Number of bitmap words (= capacity / 64).
+    nw: usize,
+    /// Top-bits-of-hash shift for the probe start.
+    hash_shift: u32,
+    /// Tombstoned slots (table-rebuild trigger).
+    tombs: usize,
+    /// Timestamp slots before the next compaction (multiple of 64).
+    capacity: u32,
+    /// Live blocks (≤ the depth cap).
+    live: u32,
+    /// Next timestamp to hand out.
+    next_ts: u32,
+}
+
+impl FenwickSet {
+    /// An empty set sized for depth cap `max_ways`.
+    pub(crate) fn new(max_ways: usize) -> Self {
+        let capacity = (max_ways * COMPACT_SLACK)
+            .max(MIN_CAPACITY)
+            .div_ceil(64)
+            * 64;
+        assert!(capacity < TOMB as usize, "depth cap too large for u16 slots");
+        let slot_count = ((max_ways + 2) * 3 / 2).next_power_of_two();
+        let nw = capacity / 64;
+        FenwickSet {
+            slot_tag: vec![0; slot_count],
+            slot_ts: vec![EMPTY; slot_count],
+            ws: vec![0; 2 * nw + 1],
+            nw,
+            hash_shift: 64 - slot_count.trailing_zeros(),
+            tombs: 0,
+            capacity: capacity as u32,
+            live: 0,
+            next_ts: 0,
+        }
+    }
+
+    /// Observe one access of `tag` under depth cap `max_ways`. Returns the
+    /// exact LRU stack distance (`None` = not on the stack: a miss of the
+    /// `max_ways`-deep monitored cache), identical to the naive engine's
+    /// linear scan.
+    #[inline]
+    pub(crate) fn observe(&mut self, tag: u64, max_ways: usize) -> Option<usize> {
+        if self.next_ts == self.capacity {
+            self.compact();
+        }
+        // One probe serves lookup, in-place update and insert. The hit
+        // test folds tag equality and slot liveness into one branch —
+        // the overwhelmingly common first-probe hit takes it immediately
+        // (an EMPTY/TOMB slot holds a stale tag, hence the `ts < TOMB`
+        // guard inside the same predicate).
+        let mask = self.slot_ts.len() - 1;
+        let mut idx = self.probe_start(tag);
+        let mut insert_at = usize::MAX;
+        let hit = loop {
+            let ts = self.slot_ts[idx];
+            if self.slot_tag[idx] == tag && ts < TOMB {
+                break true;
+            }
+            if ts == EMPTY {
+                break false;
+            }
+            if ts == TOMB && insert_at == usize::MAX {
+                insert_at = idx;
+            }
+            idx = (idx + 1) & mask;
+        };
+        let new_ts = self.next_ts;
+        self.next_ts += 1;
+        if hit {
+            // Blocks touched since `tag`'s last access = live blocks with
+            // a newer timestamp. `prefix` includes `tag` itself, still
+            // live at this point, so the subtraction is exact.
+            let old_ts = self.slot_ts[idx] as u32;
+            let d = self.live - self.prefix(old_ts);
+            self.clear_bit(old_ts);
+            self.set_bit(new_ts);
+            self.slot_ts[idx] = new_ts as u16;
+            Some(d as usize)
+        } else {
+            let slot = if insert_at != usize::MAX {
+                self.tombs -= 1;
+                insert_at
+            } else {
+                idx
+            };
+            self.slot_tag[slot] = tag;
+            self.slot_ts[slot] = new_ts as u16;
+            self.set_bit(new_ts);
+            self.live += 1;
+            if self.live as usize > max_ways {
+                // Depth cap: drop the LRU block — the lowest live
+                // timestamp. Its slot comes from one vectorizable scan
+                // of the small timestamp array; keeping a timestamp →
+                // slot index up to date instead would cost a write on
+                // *every* access to pay only on misses.
+                let victim = self.first_live();
+                self.clear_bit(victim);
+                self.live -= 1;
+                let vslot = self.slot_of(victim);
+                self.slot_ts[vslot] = TOMB;
+                self.tombs += 1;
+                if self.live as usize + self.tombs > self.slot_ts.len() * 3 / 4 {
+                    self.rebuild_table();
+                }
+            }
+            None
+        }
+    }
+
+    /// Forget everything (the profiler's full reset).
+    pub(crate) fn clear(&mut self) {
+        self.slot_ts.fill(EMPTY);
+        self.ws.fill(0);
+        self.tombs = 0;
+        self.live = 0;
+        self.next_ts = 0;
+    }
+
+    /// Live tags in MRU-first order — the logical LRU stack, as the naive
+    /// engine would store it. Used for serialization and cross-engine
+    /// checks.
+    pub(crate) fn stack(&self) -> Vec<u64> {
+        let ts_to_slot = self.timestamp_slots();
+        let mut tags: Vec<u64> = self
+            .live_timestamps()
+            .map(|ts| self.slot_tag[ts_to_slot[ts] as usize])
+            .collect();
+        tags.reverse();
+        tags
+    }
+
+    /// Rebuild a set from a logical MRU-first stack (deserialization).
+    pub(crate) fn from_stack(tags: &[u64], max_ways: usize) -> Self {
+        let mut set = FenwickSet::new(max_ways.max(tags.len()));
+        // Oldest first, so recency order (and every future distance)
+        // matches the serialized stack.
+        for &tag in tags.iter().rev() {
+            let ts = set.next_ts;
+            set.next_ts += 1;
+            set.insert_fresh(tag, ts);
+            set.set_bit(ts);
+            set.live += 1;
+        }
+        set
+    }
+
+    /// Iterate the live timestamps in ascending (LRU → MRU) order.
+    fn live_timestamps(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ws[..self.nw]
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                std::iter::successors(
+                    (word != 0).then_some(word),
+                    |b| {
+                        let b = b & (b - 1);
+                        (b != 0).then_some(b)
+                    },
+                )
+                .map(move |b| w * 64 + b.trailing_zeros() as usize)
+            })
+    }
+
+    /// Renumber live blocks `0..live` in recency order. Relative order is
+    /// untouched, so distances are too; everything stale is dropped.
+    fn compact(&mut self) {
+        let ts_to_slot = self.timestamp_slots();
+        let order: Vec<usize> = self
+            .live_timestamps()
+            .map(|ts| ts_to_slot[ts] as usize)
+            .collect();
+        for w in self.ws.iter_mut() {
+            *w = 0;
+        }
+        self.next_ts = 0;
+        for &slot in &order {
+            let ts = self.next_ts;
+            self.next_ts += 1;
+            self.slot_ts[slot] = ts as u16;
+            self.set_bit(ts);
+        }
+    }
+
+    /// Purge tombstones by re-inserting every live block (insertion order
+    /// only changes probe layout, never semantics).
+    fn rebuild_table(&mut self) {
+        let entries: Vec<(u64, u16)> = self
+            .slot_ts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ts)| ts < TOMB)
+            .map(|(slot, &ts)| (self.slot_tag[slot], ts))
+            .collect();
+        self.slot_ts.fill(EMPTY);
+        self.tombs = 0;
+        for (tag, ts) in entries {
+            self.insert_fresh(tag, ts as u32);
+        }
+    }
+
+    /// Probe slot currently holding live timestamp `ts` — one linear pass
+    /// over the compact timestamp array (eviction path only).
+    fn slot_of(&self, ts: u32) -> usize {
+        self.slot_ts
+            .iter()
+            .position(|&t| t == ts as u16)
+            .expect("live timestamp has a slot")
+    }
+
+    /// Transient timestamp → slot map (compaction / serialization only;
+    /// entries outside live timestamps are garbage).
+    fn timestamp_slots(&self) -> Vec<u16> {
+        let mut map = vec![0u16; self.capacity as usize];
+        for (slot, &ts) in self.slot_ts.iter().enumerate() {
+            if ts < TOMB {
+                map[ts as usize] = slot as u16;
+            }
+        }
+        map
+    }
+
+    /// First probe slot of `tag` (top bits of a multiplicative hash — the
+    /// tags are block addresses, already well spread by one odd multiply).
+    #[inline]
+    fn probe_start(&self, tag: u64) -> usize {
+        (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.hash_shift) as usize
+    }
+
+    /// Insert into a table known not to contain `tag` (compaction,
+    /// rebuild, deserialization): first free slot wins.
+    fn insert_fresh(&mut self, tag: u64, ts: u32) {
+        let mask = self.slot_ts.len() - 1;
+        let mut idx = self.probe_start(tag);
+        while self.slot_ts[idx] != EMPTY && self.slot_ts[idx] != TOMB {
+            idx = (idx + 1) & mask;
+        }
+        self.slot_tag[idx] = tag;
+        self.slot_ts[idx] = ts as u16;
+    }
+
+    #[inline]
+    fn set_bit(&mut self, ts: u32) {
+        let w = (ts / 64) as usize;
+        self.ws[w] |= 1 << (ts % 64);
+        let mut i = w + 1;
+        while i <= self.nw {
+            self.ws[self.nw + i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, ts: u32) {
+        let w = (ts / 64) as usize;
+        self.ws[w] &= !(1 << (ts % 64));
+        let mut i = w + 1;
+        while i <= self.nw {
+            self.ws[self.nw + i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Live blocks with timestamp ≤ `ts`: Fenwick prefix over the
+    /// complete words below, plus a popcount of the partial word.
+    #[inline]
+    fn prefix(&self, ts: u32) -> u32 {
+        let w = (ts / 64) as usize;
+        let mut sum = (self.ws[w] & (u64::MAX >> (63 - ts % 64))).count_ones();
+        let mut i = w;
+        while i > 0 {
+            sum += self.ws[self.nw + i] as u32;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The lowest live timestamp: binary-indexed descent to the first
+    /// word holding a live block, then trailing-zeros within it (caller
+    /// guarantees at least one live block).
+    fn first_live(&self) -> u32 {
+        let mut pos = 0usize;
+        let mut step = (self.nw + 1).next_power_of_two() / 2;
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.nw && self.ws[self.nw + next] == 0 {
+                pos = next;
+            }
+            step >>= 1;
+        }
+        debug_assert!(pos < self.nw, "no live block to evict");
+        (pos * 64) as u32 + self.ws[pos].trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_a_hand_worked_sequence() {
+        let mut s = FenwickSet::new(8);
+        assert_eq!(s.observe(1, 8), None);
+        assert_eq!(s.observe(2, 8), None);
+        assert_eq!(s.observe(3, 8), None);
+        assert_eq!(s.observe(1, 8), Some(2)); // 2 and 3 in between
+        assert_eq!(s.observe(1, 8), Some(0)); // MRU hit
+        assert_eq!(s.observe(2, 8), Some(2)); // 1 and 3 more recent
+    }
+
+    #[test]
+    fn depth_cap_evicts_lru() {
+        let mut s = FenwickSet::new(2);
+        s.observe(1, 2);
+        s.observe(2, 2);
+        s.observe(3, 2); // evicts 1
+        assert_eq!(s.observe(1, 2), None, "evicted block is a miss again");
+        assert_eq!(s.stack().len(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        let mut s = FenwickSet::new(4);
+        // Enough traffic to force several compactions (capacity = 64).
+        for _round in 0..50 {
+            for t in 0..4u64 {
+                s.observe(t, 4);
+            }
+        }
+        // 0,1,2,3 cycled: each re-access sees the 3 others in between.
+        assert_eq!(s.observe(0, 4), Some(3));
+        assert_eq!(s.stack(), vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn tombstones_are_purged_under_eviction_pressure() {
+        // A long all-miss stream over a tiny cap piles up tombstones and
+        // forces both table rebuilds and compactions; hits must still
+        // resolve afterwards.
+        let mut s = FenwickSet::new(3);
+        for t in 0..500u64 {
+            assert_eq!(s.observe(t, 3), None, "all-distinct stream only misses");
+        }
+        assert_eq!(s.stack(), vec![499, 498, 497]);
+        assert_eq!(s.observe(498, 3), Some(1));
+    }
+
+    #[test]
+    fn stack_roundtrip() {
+        let mut s = FenwickSet::new(8);
+        for t in [5u64, 9, 5, 2, 7] {
+            s.observe(t, 8);
+        }
+        let stack = s.stack();
+        assert_eq!(stack, vec![7, 2, 5, 9]);
+        let mut rebuilt = FenwickSet::from_stack(&stack, 8);
+        // Same distances after the roundtrip.
+        assert_eq!(rebuilt.observe(9, 8), Some(3));
+        assert_eq!(s.observe(9, 8), Some(3));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut s = FenwickSet::new(4);
+        s.observe(1, 4);
+        s.clear();
+        assert_eq!(s.observe(1, 4), None);
+        assert_eq!(s.stack(), vec![1]);
+    }
+}

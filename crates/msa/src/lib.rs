@@ -17,6 +17,7 @@
 //! * [`overhead::OverheadModel`] — the Table II storage equations.
 
 pub mod curve;
+pub mod fenwick;
 pub mod histogram;
 pub mod overhead;
 pub mod profiler;
@@ -24,4 +25,4 @@ pub mod profiler;
 pub use curve::{CurveHealth, MissRatioCurve};
 pub use histogram::MsaHistogram;
 pub use overhead::OverheadModel;
-pub use profiler::{ProfilerConfig, StackProfiler};
+pub use profiler::{EngineKind, ProfilerConfig, StackProfiler};

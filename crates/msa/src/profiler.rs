@@ -1,9 +1,22 @@
 //! The hardware stack-distance profiler.
 //!
 //! A [`StackProfiler`] shadows the tag state of the monitored cache: for
-//! each *sampled* set it keeps an LRU stack of (possibly partial) tags up to
-//! the maximum assignable depth `K`, and per access it increments the
-//! histogram counter of the stack position touched (Fig. 2).
+//! each *sampled* set it tracks the LRU recency order of (possibly
+//! partial) tags up to the maximum assignable depth `K`, and per access it
+//! increments the histogram counter of the stack position touched
+//! (Fig. 2).
+//!
+//! Two interchangeable engines compute the stack distance
+//! ([`EngineKind`]):
+//!
+//! * **Naive** — a literal per-set LRU list, scanned linearly: O(K) per
+//!   access. This models the hardware most directly and serves as the
+//!   oracle in tests.
+//! * **Fenwick** (default) — the [`crate::fenwick`] timestamp engine:
+//!   hash map + binary-indexed tree, O(log K) per access, bit-identical
+//!   histograms (property-tested against the naive engine over random
+//!   streams, partial tags, sampling, depth caps and decay/reset
+//!   interleavings).
 //!
 //! Three hardware-overhead reductions from §III-A are modelled faithfully,
 //! including their error sources:
@@ -14,10 +27,21 @@
 //! * **maximum assignable capacity** — the stack depth is capped at `K`
 //!   (the paper uses 72 = 9/16 of the 128-way-equivalent cache).
 
+use crate::fenwick::FenwickSet;
 use crate::histogram::MsaHistogram;
 use bap_types::BlockAddr;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Which stack-distance engine a profiler runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Literal LRU list, O(K) per access — the test oracle.
+    Naive,
+    /// Timestamp hash map + Fenwick tree, O(log K) per access.
+    #[default]
+    Fenwick,
+}
 
 /// Profiler configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +54,9 @@ pub struct ProfilerConfig {
     pub sample_ratio: usize,
     /// Tag truncation in bits; `None` = full tags.
     pub tag_bits: Option<u32>,
+    /// Stack-distance engine (distances are bit-identical either way).
+    #[serde(default)]
+    pub engine: EngineKind,
 }
 
 impl ProfilerConfig {
@@ -42,6 +69,7 @@ impl ProfilerConfig {
             max_ways: 72,
             sample_ratio: 32,
             tag_bits: Some(12),
+            engine: EngineKind::default(),
         }
     }
 
@@ -52,7 +80,14 @@ impl ProfilerConfig {
             max_ways,
             sample_ratio: 1,
             tag_bits: None,
+            engine: EngineKind::default(),
         }
+    }
+
+    /// The same configuration running the given engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Number of monitored sets.
@@ -61,15 +96,140 @@ impl ProfilerConfig {
     }
 }
 
+/// Per-set stack-distance state of one engine family.
+#[derive(Clone, Debug)]
+enum Engine {
+    /// One LRU tag list per sampled set, MRU first, length ≤ `max_ways`.
+    Naive(Vec<VecDeque<u64>>),
+    /// One timestamp/Fenwick structure per sampled set.
+    Fenwick(Vec<FenwickSet>),
+}
+
+impl Engine {
+    fn new(kind: EngineKind, sampled_sets: usize, max_ways: usize) -> Self {
+        match kind {
+            EngineKind::Naive => Engine::Naive(vec![VecDeque::new(); sampled_sets]),
+            EngineKind::Fenwick => {
+                Engine::Fenwick((0..sampled_sets).map(|_| FenwickSet::new(max_ways)).collect())
+            }
+        }
+    }
+
+    fn kind(&self) -> EngineKind {
+        match self {
+            Engine::Naive(_) => EngineKind::Naive,
+            Engine::Fenwick(_) => EngineKind::Fenwick,
+        }
+    }
+
+    /// Record one access; returns the stack distance (`None` = miss).
+    #[inline]
+    fn observe(&mut self, set: usize, tag: u64, max_ways: usize) -> Option<usize> {
+        match self {
+            Engine::Naive(stacks) => {
+                let stack = &mut stacks[set];
+                match stack.iter().position(|&t| t == tag) {
+                    Some(pos) => {
+                        let t = stack.remove(pos).expect("position valid");
+                        stack.push_front(t);
+                        Some(pos)
+                    }
+                    None => {
+                        stack.push_front(tag);
+                        if stack.len() > max_ways {
+                            stack.pop_back();
+                        }
+                        None
+                    }
+                }
+            }
+            Engine::Fenwick(sets) => sets[set].observe(tag, max_ways),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Engine::Naive(stacks) => stacks.iter_mut().for_each(VecDeque::clear),
+            Engine::Fenwick(sets) => sets.iter_mut().for_each(FenwickSet::clear),
+        }
+    }
+
+    /// The logical LRU stacks (MRU first) — engine-independent state.
+    fn stacks(&self) -> Vec<Vec<u64>> {
+        match self {
+            Engine::Naive(stacks) => stacks.iter().map(|s| s.iter().copied().collect()).collect(),
+            Engine::Fenwick(sets) => sets.iter().map(FenwickSet::stack).collect(),
+        }
+    }
+
+    fn from_stacks(kind: EngineKind, stacks: Vec<Vec<u64>>, max_ways: usize) -> Self {
+        match kind {
+            EngineKind::Naive => {
+                Engine::Naive(stacks.into_iter().map(VecDeque::from_iter).collect())
+            }
+            EngineKind::Fenwick => Engine::Fenwick(
+                stacks
+                    .iter()
+                    .map(|s| FenwickSet::from_stack(s, max_ways))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+// Both engines serialize as the *logical* LRU stacks plus the engine tag,
+// so serialized profilers are engine-portable and the Fenwick internals
+// (hash map, tree, stale timestamp slots) never leak into persisted state.
+impl Serialize for Engine {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kind".to_string(), self.kind().to_value()),
+            ("stacks".to_string(), self.stacks().to_value()),
+        ])
+    }
+}
+
+/// Deserialization helper: the engine alone cannot know `max_ways`, so
+/// [`StackProfiler`]'s `Deserialize` impl rebuilds the engine itself from
+/// this intermediate form.
+#[derive(Deserialize)]
+struct EngineRepr {
+    kind: EngineKind,
+    stacks: Vec<Vec<u64>>,
+}
+
 /// A per-core stack-distance profiler.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StackProfiler {
     cfg: ProfilerConfig,
-    /// One LRU tag stack per sampled set, MRU first, length ≤ `max_ways`.
-    stacks: Vec<VecDeque<u64>>,
+    engine: Engine,
     histogram: MsaHistogram,
     /// Accesses presented to the profiler (sampled or not).
     total_accesses: u64,
+}
+
+impl Serialize for StackProfiler {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("cfg".to_string(), self.cfg.to_value()),
+            ("engine".to_string(), self.engine.to_value()),
+            ("histogram".to_string(), self.histogram.to_value()),
+            ("total_accesses".to_string(), self.total_accesses.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StackProfiler {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let cfg: ProfilerConfig = serde::from_field(v, "cfg")?;
+        let repr: EngineRepr = serde::from_field(v, "engine")?;
+        Ok(StackProfiler {
+            engine: Engine::from_stacks(repr.kind, repr.stacks, cfg.max_ways),
+            cfg,
+            histogram: serde::from_field(v, "histogram")?,
+            total_accesses: serde::from_field(v, "total_accesses")?,
+        })
+    }
 }
 
 impl StackProfiler {
@@ -79,7 +239,7 @@ impl StackProfiler {
         assert!(cfg.sample_ratio >= 1);
         assert!(cfg.max_ways >= 1);
         StackProfiler {
-            stacks: (0..cfg.sampled_sets()).map(|_| VecDeque::new()).collect(),
+            engine: Engine::new(cfg.engine, cfg.sampled_sets(), cfg.max_ways),
             histogram: MsaHistogram::new(cfg.max_ways),
             cfg,
             total_accesses: 0,
@@ -91,8 +251,14 @@ impl StackProfiler {
         &self.cfg
     }
 
+    /// The engine in use.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
     /// Observe one access of the monitored stream. Non-sampled sets are
     /// ignored (that is the sampling).
+    #[inline]
     pub fn observe(&mut self, block: BlockAddr) {
         self.total_accesses += 1;
         let set = block.set_index(self.cfg.num_sets);
@@ -104,21 +270,8 @@ impl StackProfiler {
             Some(bits) => block.partial_tag(self.cfg.num_sets, bits),
             None => block.tag(self.cfg.num_sets),
         };
-        let stack = &mut self.stacks[stack_idx];
-        match stack.iter().position(|&t| t == tag) {
-            Some(pos) => {
-                self.histogram.record(Some(pos));
-                let t = stack.remove(pos).expect("position valid");
-                stack.push_front(t);
-            }
-            None => {
-                self.histogram.record(None);
-                stack.push_front(tag);
-                if stack.len() > self.cfg.max_ways {
-                    stack.pop_back();
-                }
-            }
-        }
+        let distance = self.engine.observe(stack_idx, tag, self.cfg.max_ways);
+        self.histogram.record(distance);
     }
 
     /// The histogram accumulated so far.
@@ -146,9 +299,7 @@ impl StackProfiler {
     /// Full reset: counters and tag stacks.
     pub fn reset(&mut self) {
         self.histogram.reset();
-        for s in &mut self.stacks {
-            s.clear();
-        }
+        self.engine.clear();
         self.total_accesses = 0;
     }
 }
@@ -221,6 +372,7 @@ mod tests {
             max_ways: 4,
             sample_ratio: 4,
             tag_bits: None,
+            engine: EngineKind::default(),
         };
         let mut p = StackProfiler::new(cfg);
         // Set 1 is not sampled (1 % 4 != 0).
@@ -240,6 +392,7 @@ mod tests {
             max_ways: 8,
             sample_ratio: 1,
             tag_bits: Some(2),
+            engine: EngineKind::default(),
         };
         let mut p = StackProfiler::new(cfg);
         // Two different blocks in set 0 whose tags agree in the low 2 bits:
@@ -278,6 +431,7 @@ mod tests {
             max_ways: 16,
             sample_ratio: 8,
             tag_bits: Some(16),
+            engine: EngineKind::default(),
         });
         let mut rng = StdRng::seed_from_u64(7);
         let footprint = 4096u64;
@@ -318,45 +472,147 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let mut p = reference(16, 4);
-        p.observe(BlockAddr(0));
-        p.reset();
-        assert_eq!(p.histogram().accesses(), 0);
-        p.observe(BlockAddr(0));
-        assert_eq!(
-            p.histogram().misses(),
-            1,
-            "stack was cleared: cold miss again"
-        );
+        for engine in [EngineKind::Naive, EngineKind::Fenwick] {
+            let mut p = StackProfiler::new(ProfilerConfig::reference(16, 4).with_engine(engine));
+            p.observe(BlockAddr(0));
+            p.reset();
+            assert_eq!(p.histogram().accesses(), 0);
+            p.observe(BlockAddr(0));
+            assert_eq!(
+                p.histogram().misses(),
+                1,
+                "stack was cleared: cold miss again"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_stack_state() {
+        for engine in [EngineKind::Naive, EngineKind::Fenwick] {
+            let mut p = StackProfiler::new(ProfilerConfig::reference(16, 4).with_engine(engine));
+            for i in [3u64, 7, 3, 11, 19, 7] {
+                p.observe(BlockAddr(i << 4));
+            }
+            let json = serde_json::to_string(&p).expect("serializable");
+            let mut q: StackProfiler = serde_json::from_str(&json).expect("roundtrip");
+            assert_eq!(q.engine_kind(), engine);
+            assert_eq!(q.histogram(), p.histogram());
+            // Distances continue identically after the roundtrip.
+            for i in [3u64, 19, 42, 7] {
+                p.observe(BlockAddr(i << 4));
+                q.observe(BlockAddr(i << 4));
+            }
+            assert_eq!(q.histogram(), p.histogram());
+        }
+    }
+
+    /// One step of a cross-engine equivalence stream.
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        Observe(u64),
+        Decay,
+        Reset,
+    }
+
+    fn step_strategy(addr_space: u64) -> impl Strategy<Value = Step> {
+        prop_oneof![
+            40 => (0..addr_space).prop_map(Step::Observe),
+            1 => Just(Step::Decay),
+            1 => Just(Step::Reset),
+        ]
     }
 
     proptest! {
+        /// The defining equivalence of this PR's engine work: over random
+        /// streams with partial tags, set sampling, small depth caps and
+        /// interleaved decay/reset, the Fenwick engine's histogram is
+        /// bit-identical to the naive oracle's at every step.
+        #[test]
+        fn engines_produce_bit_identical_histograms(
+            steps in proptest::collection::vec(step_strategy(1 << 12), 1..400),
+            sets_log in 2u32..5,
+            max_ways in 1usize..9,
+            sample_ratio in 1usize..4,
+            tag_bits in prop_oneof![
+                1 => Just(None),
+                3 => (2u32..8).prop_map(Some),
+            ],
+        ) {
+            let cfg = ProfilerConfig {
+                num_sets: 1 << sets_log,
+                max_ways,
+                sample_ratio,
+                tag_bits,
+                engine: EngineKind::Naive,
+            };
+            let mut naive = StackProfiler::new(cfg);
+            let mut fenwick = StackProfiler::new(cfg.with_engine(EngineKind::Fenwick));
+            for step in steps {
+                match step {
+                    Step::Observe(b) => {
+                        naive.observe(BlockAddr(b));
+                        fenwick.observe(BlockAddr(b));
+                    }
+                    Step::Decay => {
+                        naive.decay();
+                        fenwick.decay();
+                    }
+                    Step::Reset => {
+                        naive.reset();
+                        fenwick.reset();
+                    }
+                }
+                prop_assert_eq!(naive.histogram(), fenwick.histogram());
+            }
+            prop_assert_eq!(naive.total_accesses(), fenwick.total_accesses());
+        }
+
+        /// Long single-set streams with a tight address space force many
+        /// Fenwick compactions (capacity 64 at small K): distances must
+        /// survive every renumbering.
+        #[test]
+        fn engines_agree_across_compactions(
+            blocks in proptest::collection::vec(0u64..24, 200..1200),
+        ) {
+            let cfg = ProfilerConfig::reference(1, 6).with_engine(EngineKind::Naive);
+            let mut naive = StackProfiler::new(cfg);
+            let mut fenwick = StackProfiler::new(cfg.with_engine(EngineKind::Fenwick));
+            for &b in &blocks {
+                naive.observe(BlockAddr(b));
+                fenwick.observe(BlockAddr(b));
+            }
+            prop_assert_eq!(naive.histogram(), fenwick.histogram());
+        }
+
         /// The profiler's projected misses at the monitored cache's true
         /// associativity must exactly match a real LRU cache of that
         /// associativity simulated on the same stream (full tags, no
-        /// sampling) — MSA's defining property.
+        /// sampling) — MSA's defining property. Checked for both engines.
         #[test]
         fn projection_matches_real_lru_cache(blocks in proptest::collection::vec(0u64..256, 1..500)) {
             use std::collections::VecDeque;
             let sets = 8usize;
             let ways = 4usize;
-            let mut p = StackProfiler::new(ProfilerConfig::reference(sets, 8));
-            let mut cache: Vec<VecDeque<u64>> = vec![VecDeque::new(); sets];
-            let mut real_misses = 0u64;
-            for &raw in &blocks {
-                let b = BlockAddr(raw);
-                p.observe(b);
-                let set = &mut cache[b.set_index(sets)];
-                if let Some(pos) = set.iter().position(|&t| t == raw) {
-                    set.remove(pos);
-                    set.push_front(raw);
-                } else {
-                    real_misses += 1;
-                    set.push_front(raw);
-                    set.truncate(ways);
+            for engine in [EngineKind::Naive, EngineKind::Fenwick] {
+                let mut p = StackProfiler::new(
+                    ProfilerConfig::reference(sets, 8).with_engine(engine));
+                let mut cache: Vec<VecDeque<u64>> = vec![VecDeque::new(); sets];
+                let mut real_misses = 0u64;
+                for &raw in &blocks {
+                    let b = BlockAddr(raw);
+                    p.observe(b);
+                    let set = &mut cache[b.set_index(sets)];
+                    if let Some(pos) = set.iter().position(|&t| t == raw) {
+                        set.remove(pos);
+                        set.push_front(raw);
+                    } else {
+                        real_misses += 1;
+                        set.push_front(raw);
+                        set.truncate(ways);
+                    }
                 }
+                prop_assert_eq!(p.histogram().misses_at(ways), real_misses);
             }
-            prop_assert_eq!(p.histogram().misses_at(ways), real_misses);
         }
     }
 }

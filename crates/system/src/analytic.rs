@@ -10,6 +10,7 @@ use bap_cpu::L1Cache;
 use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
 use bap_types::SystemConfig;
 use bap_workloads::{AddressStream, WorkloadSpec};
+use rayon::prelude::*;
 
 /// Profile one workload stand-alone: returns its L2 miss-ratio curve.
 ///
@@ -42,9 +43,29 @@ pub fn profile_workload(
     MissRatioCurve::from_histogram(profiler.histogram(), profiler.scale())
 }
 
-/// Profile a set of workloads with a common configuration. Curves come
-/// back in input order.
+/// Profile a set of workloads with a common configuration, fanning the
+/// independent stand-alone profiles across cores. Curves come back in
+/// input order and are bit-identical to the serial path: each workload's
+/// stream is seeded only by its input position (`seed ^ (i+1)`), so the
+/// execution order of the batch cannot influence any curve.
 pub fn profile_workloads(
+    specs: &[WorkloadSpec],
+    cfg: &SystemConfig,
+    profiler_cfg: ProfilerConfig,
+    instructions: u64,
+    seed: u64,
+) -> Vec<MissRatioCurve> {
+    let indexed: Vec<(usize, &WorkloadSpec)> = specs.iter().enumerate().collect();
+    indexed
+        .par_iter()
+        .map(|&(i, s)| profile_workload(s, cfg, profiler_cfg, instructions, seed ^ (i as u64 + 1)))
+        .collect()
+}
+
+/// The serial reference path of [`profile_workloads`], kept for the
+/// parallel-equivalence regression test and for callers that must not
+/// spawn threads.
+pub fn profile_workloads_serial(
     specs: &[WorkloadSpec],
     cfg: &SystemConfig,
     profiler_cfg: ProfilerConfig,
@@ -141,5 +162,20 @@ mod tests {
         assert_eq!(curves.len(), 2);
         // eon (tiny) stops missing with a few ways; mcf does not.
         assert!(curves[0].miss_ratio_at(8) < curves[1].miss_ratio_at(8));
+    }
+
+    #[test]
+    fn parallel_profiling_is_bit_identical_to_serial() {
+        // More workloads than cores on small hosts, with visibly uneven
+        // per-workload cost, so the dynamic scheduler actually reorders
+        // execution — the curves must not care.
+        let specs: Vec<_> = ["eon", "mcf", "art", "sixtrack", "bzip2", "gcc"]
+            .iter()
+            .map(|n| spec_by_name(n).unwrap())
+            .collect();
+        let pcfg = ProfilerConfig::reference(cfg().l2_bank_sets(), 72);
+        let parallel = profile_workloads(&specs, &cfg(), pcfg, 500_000, 42);
+        let serial = profile_workloads_serial(&specs, &cfg(), pcfg, 500_000, 42);
+        assert_eq!(parallel, serial);
     }
 }

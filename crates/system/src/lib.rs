@@ -23,6 +23,6 @@ pub mod memory;
 pub mod metrics;
 pub mod sim;
 
-pub use analytic::{profile_workload, profile_workloads};
+pub use analytic::{profile_workload, profile_workloads, profile_workloads_serial};
 pub use memory::SharedMemory;
 pub use sim::{RunResult, SimOptions, System};

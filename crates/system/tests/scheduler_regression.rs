@@ -1,0 +1,49 @@
+//! Scheduler-equivalence regression.
+//!
+//! `System::run_phase` replaced its O(cores) laggard scan per 500-cycle
+//! quantum with a min-heap keyed on (clock, core index). The heap must
+//! reproduce the scan's schedule *exactly* — same advance order, same
+//! epoch firings — or the contention models see different traffic and
+//! every simulated number moves. These constants were captured from the
+//! scan-based scheduler on the seed mix immediately before the swap; any
+//! drift here means the schedule changed.
+
+use bap_core::Policy;
+use bap_system::{SimOptions, System};
+use bap_types::SystemConfig;
+use bap_workloads::spec_by_name;
+
+fn run(policy: Policy) -> (u64, u64, u64, u64) {
+    let mix: Vec<_> = [
+        "bzip2", "twolf", "facerec", "mgrid", "art", "swim", "mcf", "sixtrack",
+    ]
+    .iter()
+    .map(|n| spec_by_name(n).unwrap())
+    .collect();
+    let mut o = SimOptions::new(SystemConfig::scaled(64), policy);
+    o.config.epoch_cycles = 20_000;
+    o.warmup_instructions = 60_000;
+    o.measure_instructions = 150_000;
+    let r = System::new(o, mix).run();
+    (
+        r.total_l2_misses(),
+        r.total_l2_accesses(),
+        r.per_core[0].cycles,
+        r.epochs,
+    )
+}
+
+#[test]
+fn heap_scheduler_matches_scan_scheduler_no_partition() {
+    assert_eq!(run(Policy::NoPartition), (39434, 63946, 917833, 171));
+}
+
+#[test]
+fn heap_scheduler_matches_scan_scheduler_equal() {
+    assert_eq!(run(Policy::Equal), (33740, 63833, 832734, 168));
+}
+
+#[test]
+fn heap_scheduler_matches_scan_scheduler_bank_aware() {
+    assert_eq!(run(Policy::BankAware), (27990, 63540, 746246, 156));
+}

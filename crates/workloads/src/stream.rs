@@ -168,6 +168,7 @@ impl AddressStream {
 impl Iterator for AddressStream {
     type Item = Op;
 
+    #[inline]
     fn next(&mut self) -> Option<Op> {
         if let Some(op) = self.pending.take() {
             return Some(op);

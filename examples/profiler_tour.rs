@@ -11,7 +11,7 @@
 //! ```
 
 use bankaware::msa::overhead::kbits;
-use bankaware::msa::{MissRatioCurve, OverheadModel, ProfilerConfig, StackProfiler};
+use bankaware::msa::{EngineKind, MissRatioCurve, OverheadModel, ProfilerConfig, StackProfiler};
 use bankaware::workloads::{spec_by_name, AddressStream};
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
         max_ways: 72,
         sample_ratio: 32,
         tag_bits: Some(12),
+        engine: EngineKind::default(),
     });
 
     println!("profiling the {} analogue...", spec.name);

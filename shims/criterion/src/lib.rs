@@ -77,6 +77,13 @@ impl Bencher {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F, measure: Duration) {
+    // `BAP_BENCH_MS` overrides every measurement window — CI smoke runs
+    // set it low so `cargo bench` just proves the benches execute.
+    let measure = std::env::var("BAP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(measure);
     // Calibration: find an iteration count that fills the window.
     let mut iters = 1u64;
     loop {

@@ -16,16 +16,21 @@ pub trait SeedableRng: Sized {
 }
 
 /// Types samplable uniformly from a `Range` via [`Rng::gen_range`].
+///
+/// The methods are generic over the generator (not `dyn`) so the xoshiro
+/// core inlines into sampling loops; through a trait object every
+/// `next_u64` was an indirect call, which showed up as several ns per
+/// generated address in the workload streams.
 pub trait SampleUniform: Copy {
     /// Sample uniformly from `lo..hi` (`hi` exclusive; `lo < hi`).
-    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
 }
 
 /// Types samplable from the "standard" distribution via [`Rng::gen`]:
 /// uniform over the full domain (floats: `[0, 1)`).
 pub trait Standard: Sized {
     /// Draw one sample.
-    fn sample(rng: &mut dyn RngCore) -> Self;
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
 /// Object-safe raw generator core.
@@ -91,6 +96,9 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        // Cross-crate callers sit in sampling loops; without the hint this
+        // stays an outlined call and dominates cheap draws like `gen_bool`.
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
@@ -106,20 +114,20 @@ pub mod rngs {
 }
 
 impl Standard for f64 {
-    fn sample(rng: &mut dyn RngCore) -> f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
         // 53 uniform mantissa bits → [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
 impl Standard for f32 {
-    fn sample(rng: &mut dyn RngCore) -> f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
         (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 }
 
 impl Standard for bool {
-    fn sample(rng: &mut dyn RngCore) -> bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
         rng.next_u64() & 1 == 1
     }
 }
@@ -127,7 +135,7 @@ impl Standard for bool {
 macro_rules! standard_uint {
     ($($t:ty),*) => {$(
         impl Standard for $t {
-            fn sample(rng: &mut dyn RngCore) -> $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
                 rng.next_u64() as $t
             }
         }
@@ -138,7 +146,7 @@ standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 macro_rules! uniform_uint {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
-            fn sample_range(rng: &mut dyn RngCore, lo: $t, hi: $t) -> $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
                 assert!(lo < hi, "gen_range: empty range");
                 let span = (hi as u128) - (lo as u128);
                 // Widening-multiply rejection-free mapping; the modulo bias
@@ -154,7 +162,7 @@ uniform_uint!(u8, u16, u32, u64, usize);
 macro_rules! uniform_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
-            fn sample_range(rng: &mut dyn RngCore, lo: $t, hi: $t) -> $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
                 assert!(lo < hi, "gen_range: empty range");
                 let span = (hi as i128 - lo as i128) as u128;
                 let draw = rng.next_u64() as u128;
@@ -166,7 +174,7 @@ macro_rules! uniform_int {
 uniform_int!(i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_range(rng: &mut dyn RngCore, lo: f64, hi: f64) -> f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "gen_range: empty range");
         lo + f64::sample(rng) * (hi - lo)
     }

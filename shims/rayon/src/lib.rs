@@ -1,12 +1,16 @@
 //! Offline shim of the `rayon` crate.
 //!
 //! The workspace only uses `slice.par_iter().map(f).collect()`, so this shim
-//! implements exactly that shape on top of `std::thread::scope`: the input
-//! is split into contiguous chunks, one worker per available core, and the
-//! per-chunk results are concatenated in order — the same ordered semantics
-//! `rayon` guarantees for indexed parallel iterators.
+//! implements exactly that shape on top of `std::thread::scope`: workers
+//! pull the next unclaimed index from a shared atomic counter (dynamic
+//! scheduling, so a few slow items — e.g. the long-running workloads of a
+//! profiling batch — do not serialise behind a static chunk split) and tag
+//! each result with its index, then results are merged back in input
+//! order — the same ordered semantics `rayon` guarantees for indexed
+//! parallel iterators.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The traits user code imports.
 pub mod prelude {
@@ -71,7 +75,9 @@ impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<ParIter<'a, T>, F> {
     }
 }
 
-/// Order-preserving parallel map: contiguous chunks, one thread each.
+/// Order-preserving parallel map with dynamic scheduling: workers pull the
+/// next unclaimed index from a shared counter, so uneven per-item cost
+/// balances automatically.
 fn parallel_map<'a, T: Sync, U: Send>(items: &'a [T], f: impl Fn(&'a T) -> U + Sync) -> Vec<U> {
     let workers = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
@@ -80,18 +86,30 @@ fn parallel_map<'a, T: Sync, U: Send>(items: &'a [T], f: impl Fn(&'a T) -> U + S
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+    let next = AtomicUsize::new(0);
+    let (next, f) = (&next, &f);
+    let mut tagged: Vec<(usize, U)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("parallel map worker panicked"))
             .collect()
-    })
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, u)| u).collect()
 }
 
 #[cfg(test)]
