@@ -145,12 +145,7 @@ fn time_partition_decision(iterations: u64) -> f64 {
     let cfg = BankAwareConfig::default();
     let start = Instant::now();
     for _ in 0..iterations {
-        black_box(bank_aware_partition(
-            black_box(&curves),
-            &topo,
-            8,
-            &cfg,
-        ));
+        black_box(bank_aware_partition(black_box(&curves), &topo, 8, &cfg));
     }
     start.elapsed().as_nanos() as f64 / iterations as f64 / 1000.0
 }
@@ -171,7 +166,10 @@ fn main() {
     .into_iter()
     .enumerate()
     {
-        for (e, engine) in [EngineKind::Naive, EngineKind::Fenwick].into_iter().enumerate() {
+        for (e, engine) in [EngineKind::Naive, EngineKind::Fenwick]
+            .into_iter()
+            .enumerate()
+        {
             let ns = time_observe_deep(cfg.with_engine(engine), rounds, reps);
             println!("{label:<16} {engine:?}: {ns:8.2} ns/access");
             deep[d][e] = ns;

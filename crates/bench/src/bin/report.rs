@@ -336,6 +336,56 @@ fn main() {
         );
     }
 
+    // Decision-trace summary (exp_trace).
+    if let Some(tr) = read_json::<Value>("trace_summary") {
+        let s = &tr["summary"];
+        let grab = |k: &str| s[k].as_f64().unwrap_or(0.0);
+        let labels: Vec<String> = [
+            "center grants",
+            "local grants",
+            "pairs",
+            "shares",
+            "rules applied",
+            "rules rejected",
+            "plans installed",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let values = vec![
+            grab("center_grants"),
+            grab("local_grants"),
+            grab("pairs_formed"),
+            grab("shares_taken"),
+            grab("rules_applied"),
+            grab("rules_rejected"),
+            grab("plans_installed"),
+        ];
+        let verdict = if tr["replayed_exactly"].as_bool().unwrap_or(false) {
+            "reproduced every installed plan exactly"
+        } else {
+            "DIVERGED"
+        };
+        let body = format!(
+            "<p>{} events over {} epochs; offline replay of {} Bank-aware solves {}.</p>{}",
+            s["events"].as_u64().unwrap_or(0),
+            s["epochs"].as_u64().unwrap_or(0),
+            tr["solves_replayed"].as_u64().unwrap_or(0),
+            verdict,
+            bar_chart(
+                "",
+                &labels,
+                &[("decisions", "#8c564b", values)],
+                "events per run",
+            )
+        );
+        section(
+            &mut html,
+            "Decision trace — Bank-aware allocation events (exp_trace)",
+            &body,
+        );
+    }
+
     let _ = write!(html, "</body></html>");
     let path = results_dir().join("report.html");
     std::fs::write(&path, html).expect("write report");

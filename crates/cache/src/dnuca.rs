@@ -28,6 +28,7 @@ use crate::aggregation::{AggregationScheme, Partition};
 use crate::bank::{BankAccess, CacheBank};
 use crate::plan::{PartitionPlan, PlanError};
 use crate::set_assoc::{AccessKind, EvictedLine};
+use bap_trace::{EventKind, Tracer};
 use bap_types::stats::CacheStats;
 use bap_types::{BankId, BankMask, BlockAddr, CacheGeometry, CoreId};
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,9 @@ pub struct DnucaL2 {
     chain_limit: usize,
     /// Live bank health: plans are only installable against healthy banks.
     bank_mask: BankMask,
+    /// Decision-trace handle (off by default; plan installs/rejections and
+    /// bank transitions are emitted through it).
+    tracer: Tracer,
 }
 
 impl DnucaL2 {
@@ -152,7 +156,14 @@ impl DnucaL2 {
             chain_limit: num_banks,
             lookup_isolation: false,
             bank_mask: BankMask::all_healthy(num_banks),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a trace handle; plan installs/rejections and bank offline/
+    /// restore transitions are emitted through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Enable or disable strict lookup isolation (see the field docs).
@@ -254,7 +265,12 @@ impl DnucaL2 {
         plan: PartitionPlan,
         scheme: AggregationScheme,
     ) -> Result<(), PlanError> {
-        plan.validate_against_mask(&self.bank_mask)?;
+        if let Err(e) = plan.validate_against_mask(&self.bank_mask) {
+            self.tracer.emit(|| EventKind::PlanRejected {
+                error: e.to_string(),
+            });
+            return Err(e);
+        }
         assert_eq!(plan.num_banks, self.banks.len());
         assert_eq!(plan.num_cores(), self.num_cores);
         for b in 0..self.banks.len() {
@@ -264,6 +280,12 @@ impl DnucaL2 {
         self.partitions = (0..self.num_cores)
             .map(|c| Some(Partition::from_plan(&plan, CoreId(c as u8), scheme)))
             .collect();
+        self.tracer.emit(|| EventKind::PlanInstalled {
+            ways: (0..self.num_cores)
+                .map(|c| plan.ways_of(CoreId(c as u8)))
+                .collect(),
+            total_ways: plan.total_ways_used(),
+        });
         self.plan = Some(plan);
         self.mode = L2Mode::Partitioned(scheme);
         if self.lookup_isolation {
@@ -298,6 +320,7 @@ impl DnucaL2 {
         let ways = self.banks[bank.index()].geometry().ways;
         self.banks[bank.index()].set_way_owners(vec![bap_types::CoreSet::EMPTY; ways]);
         let flushed = self.banks[bank.index()].flush_disowned();
+        let total = flushed.len();
         let mut dirty = Vec::new();
         for ev in flushed {
             if ev.dirty {
@@ -305,6 +328,10 @@ impl DnucaL2 {
                 dirty.push(ev.block);
             }
         }
+        self.tracer.emit(|| EventKind::BankOffline {
+            bank: bank.index(),
+            flushed: total,
+        });
         dirty
     }
 
@@ -313,6 +340,8 @@ impl DnucaL2 {
     /// becomes usable at the next repartition — never mid-epoch.
     pub fn restore_bank(&mut self, bank: BankId) {
         self.bank_mask.enable(bank);
+        self.tracer
+            .emit(|| EventKind::BankRestored { bank: bank.index() });
         if !matches!(self.mode, L2Mode::Partitioned(_)) {
             // Shared modes have no plan to wait for: reopen the ways now.
             let ways = self.banks[bank.index()].geometry().ways;

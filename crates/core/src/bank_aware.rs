@@ -37,6 +37,7 @@
 
 use bap_cache::{BankAllocation, PartitionPlan, PlanError};
 use bap_msa::MissRatioCurve;
+use bap_trace::{EventKind, Tracer};
 use bap_types::{BankId, BankKind, CoreId, DegradedTopology, Topology};
 use std::borrow::Borrow;
 
@@ -191,6 +192,23 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
     bank_ways: usize,
     cfg: &BankAwareConfig,
 ) -> Result<PartitionPlan, PartitionError> {
+    try_bank_aware_partition_traced(curves, machine, bank_ways, cfg, &Tracer::off())
+}
+
+/// [`try_bank_aware_partition`] with decision-trace emission.
+///
+/// Every grant, pairing, share, physical-rule application *and rejection*
+/// made while walking Fig. 6 is emitted through `tracer`, closing with one
+/// [`EventKind::AssignmentComputed`] carrying the final per-core way vector.
+/// With [`Tracer::off`] the emission sites cost one branch each and the
+/// solve is bit-identical to the untraced entry point.
+pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+    tracer: &Tracer,
+) -> Result<PartitionPlan, PartitionError> {
     let topo = machine.topology();
     let n = topo.num_cores();
     if curves.len() != n {
@@ -238,6 +256,8 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
     let mut centers_of: Vec<Vec<BankId>> = vec![Vec::new(); n];
     let mut free_centers: Vec<BankId> = machine.healthy_center_banks().collect();
 
+    // One Rule-1 rejection per core, however many bidding rounds it loses.
+    let mut rule1_rejected: Vec<bool> = vec![false; n];
     while !free_centers.is_empty() {
         // Each core bids its best *bank-granular* lookahead growth: the
         // utility per way of taking `k` whole banks, maximised over the
@@ -250,9 +270,23 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
         let mut best: Option<(usize, usize, f64)> = None; // (core, banks, mu)
         for (c, curve) in curves.iter().enumerate() {
             let curve = curve.borrow();
-            let headroom_banks =
-                (max_ways.saturating_sub(assumed_ways[c]) / bank_ways).min(free_centers.len());
+            let headroom_ways = max_ways.saturating_sub(assumed_ways[c]);
+            let headroom_banks = (headroom_ways / bank_ways).min(free_centers.len());
             if headroom_banks == 0 {
+                // Rule 1: the core still has sub-bank headroom under the
+                // capacity cap, but Center banks only move whole.
+                if headroom_ways > 0 && !rule1_rejected[c] {
+                    rule1_rejected[c] = true;
+                    let bank = free_centers[0];
+                    tracer.emit(|| EventKind::RuleRejected {
+                        rule: 1,
+                        core: c,
+                        bank: bank.index(),
+                        why: format!(
+                            "{headroom_ways} ways of cap headroom < one whole bank ({bank_ways})"
+                        ),
+                    });
+                }
                 continue;
             }
             // Strict improvement keeps the smallest committing growth:
@@ -296,11 +330,33 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
             let bank = free_centers.swap_remove(idx);
             centers_of[winner].push(bank);
             assumed_ways[winner] += bank_ways;
+            tracer.emit(|| EventKind::CenterGrant {
+                core: winner,
+                bank: bank.index(),
+                lookahead_banks: banks,
+                mu,
+            });
+            tracer.emit(|| EventKind::RuleApplied {
+                rule: 1,
+                core: winner,
+                bank: bank.index(),
+            });
         }
     }
 
     // ---- Box 3: Center-holders are complete. ----
     let mut complete: Vec<bool> = centers_of.iter().map(|v| !v.is_empty()).collect();
+    for (c, done) in complete.iter().enumerate() {
+        // Rule 2: completing a Center-holder grants it its full Local bank
+        // (waived when that bank is offline — nothing left to own).
+        if *done && avail_local[c] > 0 {
+            tracer.emit(|| EventKind::RuleApplied {
+                rule: 2,
+                core: c,
+                bank: topo.local_bank(CoreId(c as u8)).index(),
+            });
+        }
+    }
 
     // ---- Rescue stranded cores (degraded machines only). ----
     // A core whose Local bank is offline and that won no Center bank would
@@ -328,6 +384,11 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
         if let Some(d) = donor {
             reserved[d.index()] = min_share;
             rescue_host[c] = Some(d);
+            tracer.emit(|| EventKind::RuleApplied {
+                rule: 3,
+                core: c,
+                bank: topo.local_bank(d).index(),
+            });
             continue;
         }
         // No adjacent Local capacity: take a Center bank. The donor must
@@ -353,6 +414,18 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
         assumed_ways[donor] -= bank_ways;
         assumed_ways[c] += bank_ways;
         complete[c] = true;
+        // A rescue transfer is still a whole-bank (Rule 1) Center grant.
+        tracer.emit(|| EventKind::CenterGrant {
+            core: c,
+            bank: bank.index(),
+            lookahead_banks: 1,
+            mu: 0.0,
+        });
+        tracer.emit(|| EventKind::RuleApplied {
+            rule: 1,
+            core: c,
+            bank: bank.index(),
+        });
         // The donor stays complete: it either kept a Center bank or owns
         // its full healthy Local bank.
     }
@@ -466,12 +539,49 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
             Some((c, Bid::Own { extra }, mu)) if mu > 0.0 => {
                 claimed[c] += extra;
                 own_remaining[c] -= extra;
+                tracer.emit(|| EventKind::LocalGrant { core: c, extra, mu });
             }
             Some((c, Bid::Pair, mu)) if mu > 0.0 => {
                 // Box 5–6: the best growth overflows c's Local bank — decide
                 // the pairing now, choosing the neighbour that minimises the
                 // pair's total projected misses, then split the pair's two
                 // banks' joint healthy capacity optimally and close both.
+                // Record which banks the physical rules keep the overflow
+                // out of before committing to a partner.
+                if tracer.is_enabled() {
+                    let neighbours = topo.neighbours(CoreId(c as u8));
+                    for d in 0..n {
+                        if d == c {
+                            continue;
+                        }
+                        let core_d = CoreId(d as u8);
+                        let bank = topo.local_bank(core_d).index();
+                        if open[d] && !neighbours.contains(&core_d) {
+                            tracer.emit(|| EventKind::RuleRejected {
+                                rule: 3,
+                                core: c,
+                                bank,
+                                why: format!("core{d}'s Local bank is not adjacent to core{c}"),
+                            });
+                        } else if neighbours.contains(&core_d) && complete[d] && avail_local[d] > 0
+                        {
+                            tracer.emit(|| EventKind::RuleRejected {
+                                rule: 2,
+                                core: c,
+                                bank,
+                                why: format!("core{d} holds Centers and owns its Local bank whole"),
+                            });
+                        } else if neighbours.contains(&core_d) && open[d] && reserved[d] > 0 {
+                            tracer.emit(|| EventKind::RuleRejected {
+                                rule: 3,
+                                core: c,
+                                bank,
+                                why: "bank's single foreign share is reserved for a rescue"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
                 let candidates: Vec<CoreId> = topo
                     .neighbours(CoreId(c as u8))
                     .into_iter()
@@ -507,6 +617,13 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
                     ));
                 };
                 let di = d.index();
+                tracer.emit(|| EventKind::PairFormed {
+                    core: c,
+                    partner: di,
+                    core_ways: split[0],
+                    partner_ways: split[1],
+                    mu,
+                });
                 claimed[c] = split[0];
                 claimed[di] = split[1];
                 // Physical placement: own bank first, overflow into the
@@ -517,6 +634,20 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
                 partner[di] = Some(CoreId(c as u8));
                 partner_ways[c] = split[0].saturating_sub(avail_local[c]);
                 partner_ways[di] = split[1].saturating_sub(avail_local[di]);
+                if partner_ways[c] > 0 {
+                    tracer.emit(|| EventKind::RuleApplied {
+                        rule: 3,
+                        core: c,
+                        bank: topo.local_bank(d).index(),
+                    });
+                }
+                if partner_ways[di] > 0 {
+                    tracer.emit(|| EventKind::RuleApplied {
+                        rule: 3,
+                        core: di,
+                        bank: topo.local_bank(CoreId(c as u8)).index(),
+                    });
+                }
                 own_remaining[c] = 0;
                 own_remaining[di] = 0;
                 open[c] = false;
@@ -529,6 +660,14 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
                 let cap = max_ways.saturating_sub(assumed_ways[c]);
                 for d in topo.neighbours(CoreId(c as u8)) {
                     let di = d.index();
+                    if open[di] && reserved[di] > 0 {
+                        tracer.emit(|| EventKind::RuleRejected {
+                            rule: 3,
+                            core: c,
+                            bank: topo.local_bank(d).index(),
+                            why: "bank's single foreign share is reserved for a rescue".to_string(),
+                        });
+                    }
                     if !open[di] || avail_local[di] == 0 || reserved[di] > 0 {
                         continue;
                     }
@@ -553,6 +692,17 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
                     partner[c] = Some(CoreId(di as u8));
                     partner_ways[c] = x;
                     partner[di] = Some(CoreId(c as u8));
+                    tracer.emit(|| EventKind::ShareTaken {
+                        core: c,
+                        bank: topo.local_bank(CoreId(di as u8)).index(),
+                        ways: x,
+                        mu,
+                    });
+                    tracer.emit(|| EventKind::RuleApplied {
+                        rule: 3,
+                        core: c,
+                        bank: topo.local_bank(CoreId(di as u8)).index(),
+                    });
                 }
                 took_share[c] = true;
                 assumed_ways[c] += x;
@@ -643,6 +793,10 @@ pub fn try_bank_aware_partition<C: Borrow<MissRatioCurve>>(
             expected: healthy_ways,
         }));
     }
+    tracer.emit(|| EventKind::AssignmentComputed {
+        policy: "bank_aware".to_string(),
+        ways: (0..n).map(|c| plan.ways_of(CoreId(c as u8))).collect(),
+    });
     Ok(plan)
 }
 

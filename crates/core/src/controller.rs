@@ -22,10 +22,11 @@
 //! Every rung taken is counted in [`FaultCounters`] so experiments can
 //! report how often the system ran degraded.
 
-use crate::bank_aware::{try_bank_aware_partition, BankAwareConfig};
+use crate::bank_aware::{try_bank_aware_partition_traced, BankAwareConfig};
 use bap_cache::{BankAllocation, PartitionPlan};
 use bap_fault::FaultCounters;
 use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+use bap_trace::{EventKind, Tracer};
 use bap_types::{BankId, BankMask, BlockAddr, CoreId, DegradedTopology, Topology};
 
 /// Which partitioning policy the system runs.
@@ -51,6 +52,7 @@ pub struct Controller {
     epochs: u64,
     last_plan: Option<PartitionPlan>,
     counters: FaultCounters,
+    tracer: Tracer,
 }
 
 impl Controller {
@@ -79,7 +81,14 @@ impl Controller {
             epochs: 0,
             last_plan: None,
             counters: FaultCounters::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a trace handle; all subsequent solves, ladder decisions and
+    /// curve repairs are emitted through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The active policy.
@@ -173,6 +182,7 @@ impl Controller {
             Policy::Equal => {
                 if self.epochs == 1 {
                     let p = self.equal_plan();
+                    self.emit_assignment("equal", p.as_ref());
                     self.last_plan = p.clone();
                     p
                 } else {
@@ -181,6 +191,7 @@ impl Controller {
             }
             Policy::BankAware => {
                 self.sanitize_curves(&mut curves);
+                self.snapshot_curves(&curves);
                 self.solve_bank_aware(&curves)
             }
         };
@@ -199,33 +210,72 @@ impl Controller {
             Policy::NoPartition => None,
             Policy::Equal => {
                 let p = self.equal_plan();
+                self.emit_assignment("equal", p.as_ref());
                 self.last_plan = p.clone();
                 p
             }
             Policy::BankAware => {
                 let mut curves = self.curves();
                 self.sanitize_curves(&mut curves);
+                self.snapshot_curves(&curves);
                 self.solve_bank_aware(&curves)
             }
         }
     }
 
     fn sanitize_curves(&mut self, curves: &mut [MissRatioCurve]) {
-        for c in curves.iter_mut() {
-            if !c.sanitize().is_clean() {
+        for (i, c) in curves.iter_mut().enumerate() {
+            if !c.sanitize_traced(i, &self.tracer).is_clean() {
                 self.counters.curves_repaired += 1;
             }
         }
     }
 
+    /// Emit the post-sanitize curves the solver is about to see — the
+    /// replay contract: rebuilding these snapshots and re-solving must
+    /// reproduce the [`EventKind::AssignmentComputed`] that follows.
+    fn snapshot_curves(&self, curves: &[MissRatioCurve]) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for (i, c) in curves.iter().enumerate() {
+            c.emit_snapshot(i, &self.tracer);
+        }
+    }
+
+    fn emit_assignment(&self, policy: &str, plan: Option<&PartitionPlan>) {
+        if let Some(plan) = plan {
+            self.tracer.emit(|| EventKind::AssignmentComputed {
+                policy: policy.to_string(),
+                ways: (0..self.topo.num_cores())
+                    .map(|c| plan.ways_of(CoreId(c as u8)))
+                    .collect(),
+            });
+        }
+    }
+
     fn solve_bank_aware(&mut self, curves: &[MissRatioCurve]) -> Option<PartitionPlan> {
         let machine = DegradedTopology::new(self.topo.clone(), self.mask);
-        match try_bank_aware_partition(curves, &machine, self.bank_ways, &self.cfg) {
+        let t0 = self.tracer.is_enabled().then(std::time::Instant::now);
+        let solved = try_bank_aware_partition_traced(
+            curves,
+            &machine,
+            self.bank_ways,
+            &self.cfg,
+            &self.tracer,
+        );
+        if let Some(t0) = t0 {
+            self.tracer.timing("solve", t0.elapsed().as_nanos() as u64);
+        }
+        match solved {
             Ok(plan) => {
                 self.last_plan = Some(plan.clone());
                 Some(plan)
             }
-            Err(_) => {
+            Err(e) => {
+                self.tracer.emit(|| EventKind::SolverFailed {
+                    error: e.to_string(),
+                });
                 self.counters.solver_failures += 1;
                 self.degraded_fallback()
             }
@@ -238,6 +288,7 @@ impl Controller {
             // Rung 1: the installed plan survived the damage — keep it.
             if prev.validate_against_mask(&self.mask).is_ok() {
                 self.counters.plan_reuses += 1;
+                self.tracer.emit(|| EventKind::DegradationRung { rung: 1 });
                 return None;
             }
             // Rung 2: strip dead banks from it; if every core still has
@@ -245,13 +296,17 @@ impl Controller {
             let repaired = prev.restricted_to_mask(&self.mask);
             if repaired.validate_against_mask(&self.mask).is_ok() {
                 self.counters.plan_repairs += 1;
+                self.tracer.emit(|| EventKind::DegradationRung { rung: 2 });
+                self.emit_assignment("plan_repair", Some(&repaired));
                 self.last_plan = Some(repaired.clone());
                 return Some(repaired);
             }
         }
         // Rung 3: equal split of whatever capacity is left.
         self.counters.equal_fallbacks += 1;
+        self.tracer.emit(|| EventKind::DegradationRung { rung: 3 });
         let p = self.equal_plan();
+        self.emit_assignment("equal_fallback", p.as_ref());
         if p.is_some() {
             self.last_plan = p.clone();
         }

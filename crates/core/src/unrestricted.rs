@@ -13,6 +13,7 @@
 //! greedy until the whole cliff is in reach.
 
 use bap_msa::MissRatioCurve;
+use bap_trace::{EventKind, Tracer};
 use std::borrow::Borrow;
 
 /// Compute an unrestricted per-core way assignment.
@@ -44,6 +45,20 @@ pub fn unrestricted_partition<C: Borrow<MissRatioCurve>>(
     total_ways: usize,
     min_ways: usize,
     max_ways: usize,
+) -> Vec<usize> {
+    unrestricted_partition_traced(curves, total_ways, min_ways, max_ways, &Tracer::off())
+}
+
+/// [`unrestricted_partition`] with decision-trace emission: every greedy
+/// growth is an [`EventKind::LocalGrant`] (the unrestricted baseline has no
+/// banks, so every grant is way-granular), closed by one
+/// [`EventKind::AssignmentComputed`] with policy `"unrestricted"`.
+pub fn unrestricted_partition_traced<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
+    total_ways: usize,
+    min_ways: usize,
+    max_ways: usize,
+    tracer: &Tracer,
 ) -> Vec<usize> {
     let n = curves.len();
     assert!(n > 0, "need at least one core");
@@ -88,6 +103,7 @@ pub fn unrestricted_partition<C: Borrow<MissRatioCurve>>(
             Some((c, extra, mu)) if mu > 0.0 => {
                 alloc[c] += extra;
                 remaining -= extra;
+                tracer.emit(|| EventKind::LocalGrant { core: c, extra, mu });
             }
             _ => {
                 // No workload benefits any more: spread the slack round-
@@ -108,6 +124,10 @@ pub fn unrestricted_partition<C: Borrow<MissRatioCurve>>(
             }
         }
     }
+    tracer.emit(|| EventKind::AssignmentComputed {
+        policy: "unrestricted".to_string(),
+        ways: alloc.clone(),
+    });
     alloc
 }
 

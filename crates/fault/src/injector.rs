@@ -2,6 +2,7 @@
 
 use crate::config::FaultConfig;
 use bap_msa::MissRatioCurve;
+use bap_trace::{EventKind, Tracer};
 use bap_types::{BankId, BankMask};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +32,7 @@ pub struct BankEvent {
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     cfg: FaultConfig,
+    tracer: Tracer,
 }
 
 /// Distinct stream keys per fault class (arbitrary odd constants).
@@ -42,7 +44,17 @@ impl FaultInjector {
     /// Build an injector for `cfg`. A disabled config yields an injector
     /// that never injects (all queries are cheap early-outs).
     pub fn new(cfg: FaultConfig) -> Self {
-        FaultInjector { cfg }
+        FaultInjector {
+            cfg,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Attach a trace handle; injected epoch drops and curve corruptions
+    /// are emitted through it (bank transitions are traced by the cache,
+    /// which owns the flush).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The campaign being injected.
@@ -123,10 +135,14 @@ impl FaultInjector {
 
     /// Whether `epoch`'s repartitioning trigger is lost.
     pub fn drop_epoch(&self, epoch: u64) -> bool {
-        self.cfg.epoch_drop_prob > 0.0
+        let dropped = self.cfg.epoch_drop_prob > 0.0
             && self
                 .stream(CLASS_EPOCH, epoch)
-                .gen_bool(self.cfg.epoch_drop_prob)
+                .gen_bool(self.cfg.epoch_drop_prob);
+        if dropped {
+            self.tracer.emit(|| EventKind::EpochDropped);
+        }
+        dropped
     }
 
     /// Corrupt a random subset of `curves` in place (NaN-lacing, spikes
@@ -140,10 +156,11 @@ impl FaultInjector {
         }
         let mut rng = self.stream(CLASS_CURVE, epoch);
         let mut corrupted = 0;
-        for curve in curves.iter_mut() {
+        for (ci, curve) in curves.iter_mut().enumerate() {
             if !rng.gen_bool(self.cfg.curve_corruption_prob) {
                 continue;
             }
+            self.tracer.emit(|| EventKind::CurveCorrupted { core: ci });
             let ways = curve.max_ways();
             let mut misses: Vec<f64> = (0..=ways).map(|w| curve.misses_at(w)).collect();
             let mut accesses = curve.accesses();

@@ -12,6 +12,7 @@
 //! ways by `n` (§III-C, after Wieser's marginal-utility concept).
 
 use crate::histogram::MsaHistogram;
+use bap_trace::{EventKind, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Projected misses for every possible way allocation `0..=max_ways`.
@@ -173,6 +174,31 @@ impl MissRatioCurve {
             self.accesses = 0.0;
         }
         health
+    }
+
+    /// [`MissRatioCurve::sanitize`] with trace emission: when the curve
+    /// arrived dirty, a [`EventKind::CurveSanitized`] event records the
+    /// defect count for `core`.
+    pub fn sanitize_traced(&mut self, core: usize, tracer: &Tracer) -> CurveHealth {
+        let health = self.sanitize();
+        if !health.is_clean() {
+            let defects = health.defects();
+            tracer.emit(|| EventKind::CurveSanitized { core, defects });
+        }
+        health
+    }
+
+    /// Emit this curve as a [`EventKind::CurveSnapshot`] for `core`. The
+    /// payload is the raw `(accesses, misses[0..=max_ways])` pair, so
+    /// offline tooling rebuilds the exact curve with
+    /// [`MissRatioCurve::from_misses`] — the replay contract `exp_trace`
+    /// checks. Free when the tracer is off (the vector is never built).
+    pub fn emit_snapshot(&self, core: usize, tracer: &Tracer) {
+        tracer.emit(|| EventKind::CurveSnapshot {
+            core,
+            accesses: self.accesses,
+            misses: self.misses.clone(),
+        });
     }
 
     /// Smallest allocation achieving (almost) the minimum attainable misses

@@ -87,11 +87,11 @@ pub(crate) struct FenwickSet {
 impl FenwickSet {
     /// An empty set sized for depth cap `max_ways`.
     pub(crate) fn new(max_ways: usize) -> Self {
-        let capacity = (max_ways * COMPACT_SLACK)
-            .max(MIN_CAPACITY)
-            .div_ceil(64)
-            * 64;
-        assert!(capacity < TOMB as usize, "depth cap too large for u16 slots");
+        let capacity = (max_ways * COMPACT_SLACK).max(MIN_CAPACITY).div_ceil(64) * 64;
+        assert!(
+            capacity < TOMB as usize,
+            "depth cap too large for u16 slots"
+        );
         let slot_count = ((max_ways + 2) * 3 / 2).next_power_of_two();
         let nw = capacity / 64;
         FenwickSet {
@@ -223,13 +223,10 @@ impl FenwickSet {
             .iter()
             .enumerate()
             .flat_map(|(w, &word)| {
-                std::iter::successors(
-                    (word != 0).then_some(word),
-                    |b| {
-                        let b = b & (b - 1);
-                        (b != 0).then_some(b)
-                    },
-                )
+                std::iter::successors((word != 0).then_some(word), |b| {
+                    let b = b & (b - 1);
+                    (b != 0).then_some(b)
+                })
                 .map(move |b| w * 64 + b.trailing_zeros() as usize)
             })
     }

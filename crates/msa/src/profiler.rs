@@ -109,9 +109,11 @@ impl Engine {
     fn new(kind: EngineKind, sampled_sets: usize, max_ways: usize) -> Self {
         match kind {
             EngineKind::Naive => Engine::Naive(vec![VecDeque::new(); sampled_sets]),
-            EngineKind::Fenwick => {
-                Engine::Fenwick((0..sampled_sets).map(|_| FenwickSet::new(max_ways)).collect())
-            }
+            EngineKind::Fenwick => Engine::Fenwick(
+                (0..sampled_sets)
+                    .map(|_| FenwickSet::new(max_ways))
+                    .collect(),
+            ),
         }
     }
 

@@ -8,6 +8,7 @@
 
 use bap_cpu::L1Cache;
 use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+use bap_trace::{EventKind, Tracer};
 use bap_types::SystemConfig;
 use bap_workloads::{AddressStream, WorkloadSpec};
 use rayon::prelude::*;
@@ -77,6 +78,63 @@ pub fn profile_workloads_serial(
         .enumerate()
         .map(|(i, s)| profile_workload(s, cfg, profiler_cfg, instructions, seed ^ (i as u64 + 1)))
         .collect()
+}
+
+/// Emit the per-workload trace record for a finished batch, in input
+/// order. Emission happens *after* the batch completes so the parallel
+/// and serial paths produce byte-identical traces: profiling itself never
+/// touches the tracer, only this deterministic loop does.
+fn emit_profiles(specs: &[WorkloadSpec], curves: &[MissRatioCurve], tracer: &Tracer) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    for (i, (spec, curve)) in specs.iter().zip(curves).enumerate() {
+        tracer.emit(|| EventKind::WorkloadProfiled {
+            index: i,
+            name: spec.name.clone(),
+            accesses: curve.accesses(),
+        });
+        curve.emit_snapshot(i, tracer);
+    }
+}
+
+/// [`profile_workloads`] with a decision trace: one
+/// [`EventKind::WorkloadProfiled`] plus a curve snapshot per workload, in
+/// input order regardless of parallel scheduling.
+pub fn profile_workloads_traced(
+    specs: &[WorkloadSpec],
+    cfg: &SystemConfig,
+    profiler_cfg: ProfilerConfig,
+    instructions: u64,
+    seed: u64,
+    tracer: &Tracer,
+) -> Vec<MissRatioCurve> {
+    let t0 = tracer.is_enabled().then(std::time::Instant::now);
+    let curves = profile_workloads(specs, cfg, profiler_cfg, instructions, seed);
+    emit_profiles(specs, &curves, tracer);
+    if let Some(t0) = t0 {
+        tracer.timing("profile", t0.elapsed().as_nanos() as u64);
+    }
+    curves
+}
+
+/// The serial reference path of [`profile_workloads_traced`]; emits the
+/// identical event stream.
+pub fn profile_workloads_serial_traced(
+    specs: &[WorkloadSpec],
+    cfg: &SystemConfig,
+    profiler_cfg: ProfilerConfig,
+    instructions: u64,
+    seed: u64,
+    tracer: &Tracer,
+) -> Vec<MissRatioCurve> {
+    let t0 = tracer.is_enabled().then(std::time::Instant::now);
+    let curves = profile_workloads_serial(specs, cfg, profiler_cfg, instructions, seed);
+    emit_profiles(specs, &curves, tracer);
+    if let Some(t0) = t0 {
+        tracer.timing("profile", t0.elapsed().as_nanos() as u64);
+    }
+    curves
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ pub mod memory;
 pub mod metrics;
 pub mod sim;
 
-pub use analytic::{profile_workload, profile_workloads, profile_workloads_serial};
+pub use analytic::{
+    profile_workload, profile_workloads, profile_workloads_serial, profile_workloads_serial_traced,
+    profile_workloads_traced,
+};
 pub use memory::SharedMemory;
 pub use sim::{RunResult, SimOptions, System};

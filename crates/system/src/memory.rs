@@ -15,6 +15,7 @@ use bap_cpu::MemorySystem;
 use bap_dram::{BankedDram, BankedDramConfig, DramModel};
 use bap_fault::{BankEventKind, FaultConfig, FaultCounters, FaultInjector};
 use bap_noc::NocModel;
+use bap_trace::Tracer;
 use bap_types::stats::CacheStats;
 use bap_types::{BlockAddr, CoreId, Cycle, SystemConfig, Topology};
 
@@ -125,6 +126,8 @@ pub struct SharedMemory {
     /// Latest cycle observed on the access path — the timestamp used when
     /// a bank flush pushes write-backs to DRAM outside any access.
     clock: Cycle,
+    /// Decision-trace handle shared with the controller, L2 and injector.
+    tracer: Tracer,
 }
 
 impl SharedMemory {
@@ -230,14 +233,38 @@ impl SharedMemory {
             fault_counters: FaultCounters::default(),
             fault_epoch: 0,
             clock: 0,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a decision-trace handle to the whole hierarchy: the
+    /// controller (solves, ladder), the L2 (plan installs, bank
+    /// transitions) and any armed fault injector (drops, corruptions)
+    /// share the one totally-ordered stream. The initial plan installed at
+    /// construction is deliberately untraced — a trace always starts with
+    /// the first epoch boundary after attachment.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.controller.set_tracer(tracer.clone());
+        self.l2.set_tracer(tracer.clone());
+        if let Some(inj) = &mut self.injector {
+            inj.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// The attached trace handle (disabled unless
+    /// [`SharedMemory::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Arm a fault-injection campaign. With a disabled config (or without
     /// this call) every fault path is a cheap early-out and behaviour is
     /// bit-identical to the healthy system.
     pub fn set_fault_injection(&mut self, cfg: FaultConfig) {
-        self.injector = Some(FaultInjector::new(cfg));
+        let mut inj = FaultInjector::new(cfg);
+        inj.set_tracer(self.tracer.clone());
+        self.injector = Some(inj);
     }
 
     /// Fault accounting so far: injection events seen by the memory system
@@ -259,6 +286,18 @@ impl SharedMemory {
     pub fn epoch_boundary(&mut self) {
         let epoch = self.fault_epoch;
         self.fault_epoch += 1;
+        // Trace epochs are 1-based: epoch 0 holds whatever was emitted
+        // before the first boundary (e.g. workload profiling).
+        self.tracer.begin_epoch(epoch + 1);
+        let t0 = self.tracer.is_enabled().then(std::time::Instant::now);
+        self.epoch_boundary_inner(epoch);
+        if let Some(t0) = t0 {
+            self.tracer
+                .timing("epoch_boundary", t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn epoch_boundary_inner(&mut self, epoch: u64) {
         let Some(inj) = self.injector.clone() else {
             if let Some(plan) = self.controller.epoch_boundary() {
                 self.l2.apply_plan(plan, self.scheme);

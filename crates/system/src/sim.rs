@@ -17,6 +17,7 @@ use bap_core::Policy;
 use bap_cpu::CoreModel;
 use bap_dram::DramStats;
 use bap_noc::NocStats;
+use bap_trace::{TraceSummary, Tracer};
 use bap_types::stats::{geometric_mean, CoreStats};
 use bap_types::{Addr, CoreId, Cycle, Op, SystemConfig};
 use bap_workloads::{AddressStream, WorkloadSpec};
@@ -108,6 +109,9 @@ pub struct RunResult {
     /// Fault-injection and degradation-ladder accounting (all zero on a
     /// healthy run).
     pub fault: bap_fault::FaultCounters,
+    /// Decision-trace summary (None unless a tracer was attached with
+    /// [`System::set_tracer`]).
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunResult {
@@ -214,6 +218,13 @@ impl System {
             streams,
             mem,
         }
+    }
+
+    /// Attach a decision-trace handle to the memory hierarchy (controller,
+    /// L2, fault injector). The run's [`RunResult::trace`] summary comes
+    /// from the same handle; keep a clone to drain events or JSONL output.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mem.set_tracer(tracer);
     }
 
     /// Remap a fraction of accesses into the coherent shared segment.
@@ -335,6 +346,7 @@ impl System {
             epochs,
             epoch_history: self.mem.epoch_history().to_vec(),
             fault: self.mem.fault_counters(),
+            trace: self.mem.tracer().summary(),
         }
     }
 }

@@ -1,0 +1,278 @@
+//! The trace event model.
+//!
+//! One [`TraceEvent`] is one pipeline decision (or fault) at one epoch.
+//! Events are self-describing: the curve snapshots carry the exact float
+//! payload the solver consumed (finite `f64`s round-trip exactly through
+//! the JSON writer), so an offline reader can re-run the assignment and
+//! check it against the [`EventKind::AssignmentComputed`] /
+//! [`EventKind::PlanInstalled`] events that follow — the replay gate
+//! `exp_trace` enforces.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded pipeline event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Logical sequence number, strictly increasing across the whole run
+    /// (the trace's timestamp — deliberately *not* wall-clock, so traces
+    /// are deterministic).
+    pub seq: u64,
+    /// The repartitioning epoch this event belongs to.
+    pub epoch: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Every decision the pipeline can record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An epoch boundary opened (emitted by [`crate::Tracer::begin_epoch`]).
+    EpochBegin,
+    /// The miss-ratio curve a solve consumed for one core: `misses[w]` is
+    /// the projected miss count at `w` ways, `accesses` the denominator.
+    /// Snapshots are taken *after* sanitisation, so
+    /// `MissRatioCurve::from_misses(misses, accesses)` rebuilds the exact
+    /// solver input.
+    CurveSnapshot {
+        /// The profiled core.
+        core: usize,
+        /// Curve denominator (total profiled accesses).
+        accesses: f64,
+        /// Projected misses per allocated-way count, index 0..=max_ways.
+        misses: Vec<f64>,
+    },
+    /// A curve arrived dirty and was repaired before the solve.
+    CurveSanitized {
+        /// The affected core.
+        core: usize,
+        /// Defect classes found (see `CurveHealth::defects`).
+        defects: usize,
+    },
+    /// Boxes 1–2: a whole Center bank granted to one core (Rule 1).
+    CenterGrant {
+        /// The winning core.
+        core: usize,
+        /// The granted Center bank.
+        bank: usize,
+        /// How many banks the winning lookahead bid committed to.
+        lookahead_banks: usize,
+        /// The bid's marginal utility per way.
+        mu: f64,
+    },
+    /// Boxes 4–6: an incomplete core grew within its own Local bank.
+    LocalGrant {
+        /// The growing core.
+        core: usize,
+        /// Ways added.
+        extra: usize,
+        /// Marginal utility per way of the growth.
+        mu: f64,
+    },
+    /// Boxes 5–6: an overflow bid paired two adjacent cores (Rule 3).
+    PairFormed {
+        /// The overflowing core.
+        core: usize,
+        /// The chosen neighbour.
+        partner: usize,
+        /// Ways the overflowing core ends with.
+        core_ways: usize,
+        /// Ways the partner ends with.
+        partner_ways: usize,
+        /// Marginal utility of the winning overflow bid.
+        mu: f64,
+    },
+    /// A complete core annexed ways of an adjacent open Local bank.
+    ShareTaken {
+        /// The annexing (complete) core.
+        core: usize,
+        /// The neighbour's Local bank.
+        bank: usize,
+        /// Ways annexed.
+        ways: usize,
+        /// Marginal utility of the share bid.
+        mu: f64,
+    },
+    /// A physical rule shaped the plan: rule 1 (whole Center banks), 2
+    /// (Center holder owns its full Local bank) or 3 (Local sharing only
+    /// between adjacent cores).
+    RuleApplied {
+        /// The rule (1–3).
+        rule: u8,
+        /// The core the rule applied to.
+        core: usize,
+        /// The bank it governed.
+        bank: usize,
+    },
+    /// A physical rule *rejected* a candidate the utility greedy wanted.
+    RuleRejected {
+        /// The rule (1–3).
+        rule: u8,
+        /// The core whose candidate was refused.
+        core: usize,
+        /// The bank the candidate targeted.
+        bank: usize,
+        /// Why the rule said no.
+        why: String,
+    },
+    /// A capacity assignment was computed (`policy` names the producer:
+    /// `bank_aware`, `unrestricted`, `equal`, `plan_repair`,
+    /// `equal_fallback`).
+    AssignmentComputed {
+        /// Which algorithm or ladder rung produced it.
+        policy: String,
+        /// Ways per core.
+        ways: Vec<usize>,
+    },
+    /// The Bank-aware solver refused to produce a plan.
+    SolverFailed {
+        /// The typed error, rendered.
+        error: String,
+    },
+    /// The controller walked its degradation ladder to this rung (1 = keep
+    /// the installed plan, 2 = strip dead banks, 3 = equal fallback).
+    DegradationRung {
+        /// The rung taken.
+        rung: u8,
+    },
+    /// A plan was installed into the cache.
+    PlanInstalled {
+        /// Ways per core.
+        ways: Vec<usize>,
+        /// Total ways the plan assigns.
+        total_ways: usize,
+    },
+    /// A plan failed installation-time validation and was discarded.
+    PlanRejected {
+        /// The rendered `PlanError`.
+        error: String,
+    },
+    /// A bank went offline and was flushed.
+    BankOffline {
+        /// The dead bank.
+        bank: usize,
+        /// Resident lines flushed out.
+        flushed: usize,
+    },
+    /// A bank came back online.
+    BankRestored {
+        /// The repaired bank.
+        bank: usize,
+    },
+    /// An injected fault swallowed the epoch's repartitioning trigger.
+    EpochDropped,
+    /// An injected fault corrupted one core's curve in flight.
+    CurveCorrupted {
+        /// The affected core.
+        core: usize,
+    },
+    /// A stand-alone workload profile completed (analytic pipeline).
+    WorkloadProfiled {
+        /// Input position of the workload.
+        index: usize,
+        /// Workload name.
+        name: String,
+        /// Profiled L2 accesses (curve denominator).
+        accesses: f64,
+    },
+    /// Wall-clock timing of one pipeline stage. Only recorded when the
+    /// sink opts in ([`crate::TraceSink::wants_timings`]) — timing values
+    /// are non-deterministic by nature and would break byte-identical
+    /// trace comparison.
+    StageTiming {
+        /// Stage label (`profile`, `solve`, `epoch_boundary`, …).
+        stage: String,
+        /// Elapsed nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable label of the event class (summary and display keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::EpochBegin => "epoch_begin",
+            EventKind::CurveSnapshot { .. } => "curve_snapshot",
+            EventKind::CurveSanitized { .. } => "curve_sanitized",
+            EventKind::CenterGrant { .. } => "center_grant",
+            EventKind::LocalGrant { .. } => "local_grant",
+            EventKind::PairFormed { .. } => "pair_formed",
+            EventKind::ShareTaken { .. } => "share_taken",
+            EventKind::RuleApplied { .. } => "rule_applied",
+            EventKind::RuleRejected { .. } => "rule_rejected",
+            EventKind::AssignmentComputed { .. } => "assignment_computed",
+            EventKind::SolverFailed { .. } => "solver_failed",
+            EventKind::DegradationRung { .. } => "degradation_rung",
+            EventKind::PlanInstalled { .. } => "plan_installed",
+            EventKind::PlanRejected { .. } => "plan_rejected",
+            EventKind::BankOffline { .. } => "bank_offline",
+            EventKind::BankRestored { .. } => "bank_restored",
+            EventKind::EpochDropped => "epoch_dropped",
+            EventKind::CurveCorrupted { .. } => "curve_corrupted",
+            EventKind::WorkloadProfiled { .. } => "workload_profiled",
+            EventKind::StageTiming { .. } => "stage_timing",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_externally_tagged() {
+        let ev = TraceEvent {
+            seq: 7,
+            epoch: 2,
+            kind: EventKind::RuleRejected {
+                rule: 3,
+                core: 1,
+                bank: 5,
+                why: "not adjacent".to_string(),
+            },
+        };
+        let text = serde_json::to_string(&ev).unwrap();
+        assert!(text.contains("\"RuleRejected\""), "{text}");
+        let back: TraceEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn float_payloads_round_trip_exactly() {
+        let misses: Vec<f64> = (0..16).map(|w| 1000.0 / (w as f64 + 0.3)).collect();
+        let ev = TraceEvent {
+            seq: 1,
+            epoch: 0,
+            kind: EventKind::CurveSnapshot {
+                core: 0,
+                accesses: 12_345.678_901_234,
+                misses: misses.clone(),
+            },
+        };
+        let text = serde_json::to_string(&ev).unwrap();
+        let back: TraceEvent = serde_json::from_str(&text).unwrap();
+        let EventKind::CurveSnapshot {
+            misses: back_misses,
+            accesses,
+            ..
+        } = back.kind
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back_misses, misses, "bit-exact float round trip");
+        assert_eq!(accesses, 12_345.678_901_234);
+    }
+
+    #[test]
+    fn unit_variants_round_trip() {
+        for kind in [EventKind::EpochBegin, EventKind::EpochDropped] {
+            let ev = TraceEvent {
+                seq: 0,
+                epoch: 0,
+                kind: kind.clone(),
+            };
+            let text = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(back.kind, kind);
+        }
+    }
+}

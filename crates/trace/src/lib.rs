@@ -1,0 +1,118 @@
+//! Decision-trace observability for the partitioning pipeline.
+//!
+//! The paper's contribution is a *control loop* — per-epoch MSA profiling →
+//! marginal-utility assignment → bank-aware placement (Rules 1–3) → plan
+//! installation — yet aggregate results only show the loop's end state.
+//! This crate records the loop's *decisions* as a structured event ledger:
+//!
+//! * per-core miss-ratio-curve snapshots ([`EventKind::CurveSnapshot`],
+//!   exact enough to replay the solve offline);
+//! * every greedy step of the allocation algorithms with its marginal
+//!   utility ([`EventKind::CenterGrant`], [`EventKind::LocalGrant`],
+//!   [`EventKind::PairFormed`], [`EventKind::ShareTaken`]);
+//! * bank-rule applications *and rejections* — which rule, which bank,
+//!   which core ([`EventKind::RuleApplied`], [`EventKind::RuleRejected`]);
+//! * plan installs, rejections, bank offline/restore transitions and the
+//!   degradation-ladder rungs taken under faults;
+//! * per-stage wall-clock timings (opt-in, kept out of the deterministic
+//!   event stream).
+//!
+//! Events flow through a [`TraceSink`] chosen by the caller: the default
+//! [`Tracer::off`] handle costs one branch per emission site (the event is
+//! never even constructed), [`RingSink`] buffers events for tests, and
+//! [`JsonlSink`] serialises one JSON object per line for offline analysis
+//! (`exp_trace` dumps and replays a traced Fig. 7 mix).
+//!
+//! Determinism: events carry a logical sequence number, never wall-clock
+//! time, so identical runs produce byte-identical JSONL. Timings travel on
+//! a separate channel ([`Tracer::timing`]) that sinks must opt into.
+
+pub mod event;
+pub mod sink;
+pub mod summary;
+pub mod tracer;
+
+pub use event::{EventKind, TraceEvent};
+pub use sink::{JsonlSink, NoopSink, RingSink, TraceSink};
+pub use summary::TraceSummary;
+pub use tracer::Tracer;
+
+/// Parse a JSONL trace, enforcing the schema: every non-empty line is a
+/// [`TraceEvent`], sequence numbers are strictly increasing and epoch
+/// indices never decrease. Returns the parsed events or a message naming
+/// the first offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    let mut last_epoch = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: schema-invalid event: {e}", i + 1))?;
+        if let Some(prev) = last_seq {
+            if ev.seq <= prev {
+                return Err(format!(
+                    "line {}: sequence number {} not after {prev}",
+                    i + 1,
+                    ev.seq
+                ));
+            }
+        }
+        if ev.epoch < last_epoch {
+            return Err(format!(
+                "line {}: epoch {} ran backwards from {last_epoch}",
+                i + 1,
+                ev.epoch
+            ));
+        }
+        last_seq = Some(ev.seq);
+        last_epoch = ev.epoch;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip_parses() {
+        let tracer = Tracer::jsonl(false);
+        tracer.begin_epoch(0);
+        tracer.emit(|| EventKind::LocalGrant {
+            core: 1,
+            extra: 4,
+            mu: 0.25,
+        });
+        tracer.begin_epoch(1);
+        tracer.emit(|| EventKind::PlanInstalled {
+            ways: vec![16; 8],
+            total_ways: 128,
+        });
+        let text = tracer.take_output().expect("jsonl sink buffers text");
+        let events = parse_jsonl(&text).expect("valid trace");
+        assert_eq!(events.len(), 4, "two epoch markers + two events");
+        assert_eq!(events[1].epoch, 0);
+        assert!(matches!(events[3].kind, EventKind::PlanInstalled { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_reordered_sequences() {
+        assert!(parse_jsonl("{\"not\":\"an event\"}").is_err());
+        let good = "{\"seq\":1,\"epoch\":0,\"kind\":\"EpochDropped\"}";
+        let bad = format!("{good}\n{good}");
+        let err = parse_jsonl(&bad).unwrap_err();
+        assert!(err.contains("sequence"), "{err}");
+    }
+
+    #[test]
+    fn epoch_regression_is_rejected() {
+        let text = "{\"seq\":1,\"epoch\":3,\"kind\":\"EpochDropped\"}\n\
+                    {\"seq\":2,\"epoch\":2,\"kind\":\"EpochDropped\"}";
+        let err = parse_jsonl(text).unwrap_err();
+        assert!(err.contains("epoch"), "{err}");
+    }
+}

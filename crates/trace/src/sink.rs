@@ -1,0 +1,148 @@
+//! Trace sinks: where emitted events go.
+//!
+//! The sink decides the cost/fidelity trade-off:
+//!
+//! * [`NoopSink`] — swallow everything (the enabled-but-silent middle
+//!   ground; a fully *disabled* tracer never reaches the sink at all);
+//! * [`RingSink`] — keep the last `capacity` events in memory, for tests
+//!   and interactive inspection;
+//! * [`JsonlSink`] — serialise one JSON object per line into an in-memory
+//!   buffer the caller persists (offline analysis, the `exp_trace` dump).
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// Receives every event an enabled [`crate::Tracer`] emits.
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Whether this sink wants wall-clock [`crate::EventKind::StageTiming`]
+    /// events. Off by default: timings are non-deterministic and would
+    /// break byte-identical trace comparison.
+    fn wants_timings(&self) -> bool {
+        false
+    }
+
+    /// Drain buffered events (ring sinks; empty elsewhere).
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Take serialised output (JSONL sinks; `None` elsewhere).
+    fn take_output(&mut self) -> Option<String> {
+        None
+    }
+}
+
+/// Swallows every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A ring large enough that no realistic test run wraps (2^20 events).
+    pub fn generous() -> Self {
+        RingSink::new(1 << 20)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event.clone());
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+/// Serialises events as one JSON object per line into an internal buffer.
+#[derive(Clone, Debug)]
+pub struct JsonlSink {
+    out: String,
+    timings: bool,
+}
+
+impl JsonlSink {
+    /// A JSONL buffer; `timings` opts into wall-clock stage timings (which
+    /// make the output non-deterministic).
+    pub fn new(timings: bool) -> Self {
+        JsonlSink {
+            out: String::new(),
+            timings,
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("trace events always serialise");
+        self.out.push_str(&line);
+        self.out.push('\n');
+    }
+
+    fn wants_timings(&self) -> bool {
+        self.timings
+    }
+
+    fn take_output(&mut self) -> Option<String> {
+        Some(std::mem::take(&mut self.out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            epoch: 0,
+            kind: EventKind::EpochBegin,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let mut ring = RingSink::new(3);
+        for s in 0..5 {
+            ring.record(&ev(s));
+        }
+        let got = ring.drain();
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(ring.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let mut sink = JsonlSink::new(false);
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        let text = sink.take_output().unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(sink.take_output().unwrap().is_empty(), "buffer was taken");
+    }
+}

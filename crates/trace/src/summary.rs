@@ -1,0 +1,114 @@
+//! The per-run trace summary.
+//!
+//! An enabled [`crate::Tracer`] counts every event class as it passes, so a
+//! run's decision story is available as a handful of integers without
+//! retaining the event stream — this is what `RunResult` carries and the
+//! HTML report renders.
+
+use crate::event::EventKind;
+use serde::Serialize;
+
+/// Event-class counters accumulated over one traced run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct TraceSummary {
+    /// Every event recorded (timings excluded).
+    pub events: u64,
+    /// Epoch boundaries opened.
+    pub epochs: u64,
+    /// Curve snapshots taken for solves.
+    pub curve_snapshots: u64,
+    /// Curves repaired before a solve.
+    pub curves_sanitized: u64,
+    /// Whole Center banks granted (Rule 1 applications via Boxes 1–2).
+    pub center_grants: u64,
+    /// Way-granular growths inside a core's own Local bank.
+    pub local_grants: u64,
+    /// Adjacent pairs formed by overflow bids.
+    pub pairs_formed: u64,
+    /// Shares of open Local banks annexed by complete cores.
+    pub shares_taken: u64,
+    /// Physical-rule applications recorded.
+    pub rules_applied: u64,
+    /// Candidates the physical rules refused.
+    pub rules_rejected: u64,
+    /// Capacity assignments computed (any policy).
+    pub assignments: u64,
+    /// Bank-aware solver refusals.
+    pub solver_failures: u64,
+    /// Degradation-ladder rungs taken.
+    pub degradation_rungs: u64,
+    /// Plans installed into the cache.
+    pub plans_installed: u64,
+    /// Plans rejected at installation.
+    pub plans_rejected: u64,
+    /// Banks taken offline.
+    pub banks_offline: u64,
+    /// Banks restored.
+    pub banks_restored: u64,
+    /// Epoch triggers lost to injected faults.
+    pub epochs_dropped: u64,
+    /// Curves corrupted in flight by injected faults.
+    pub curves_corrupted: u64,
+    /// Stand-alone workload profiles completed.
+    pub workloads_profiled: u64,
+    /// Stage timings recorded (only with a timing-hungry sink).
+    pub stage_timings: u64,
+}
+
+impl TraceSummary {
+    /// Count one event.
+    pub fn count(&mut self, kind: &EventKind) {
+        self.events += 1;
+        match kind {
+            EventKind::EpochBegin => self.epochs += 1,
+            EventKind::CurveSnapshot { .. } => self.curve_snapshots += 1,
+            EventKind::CurveSanitized { .. } => self.curves_sanitized += 1,
+            EventKind::CenterGrant { .. } => self.center_grants += 1,
+            EventKind::LocalGrant { .. } => self.local_grants += 1,
+            EventKind::PairFormed { .. } => self.pairs_formed += 1,
+            EventKind::ShareTaken { .. } => self.shares_taken += 1,
+            EventKind::RuleApplied { .. } => self.rules_applied += 1,
+            EventKind::RuleRejected { .. } => self.rules_rejected += 1,
+            EventKind::AssignmentComputed { .. } => self.assignments += 1,
+            EventKind::SolverFailed { .. } => self.solver_failures += 1,
+            EventKind::DegradationRung { .. } => self.degradation_rungs += 1,
+            EventKind::PlanInstalled { .. } => self.plans_installed += 1,
+            EventKind::PlanRejected { .. } => self.plans_rejected += 1,
+            EventKind::BankOffline { .. } => self.banks_offline += 1,
+            EventKind::BankRestored { .. } => self.banks_restored += 1,
+            EventKind::EpochDropped => self.epochs_dropped += 1,
+            EventKind::CurveCorrupted { .. } => self.curves_corrupted += 1,
+            EventKind::WorkloadProfiled { .. } => self.workloads_profiled += 1,
+            EventKind::StageTiming { .. } => {
+                // Timings are bookkeeping, not pipeline decisions.
+                self.events -= 1;
+                self.stage_timings += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_event_classes() {
+        let mut s = TraceSummary::default();
+        s.count(&EventKind::EpochBegin);
+        s.count(&EventKind::CenterGrant {
+            core: 0,
+            bank: 9,
+            lookahead_banks: 2,
+            mu: 1.0,
+        });
+        s.count(&EventKind::StageTiming {
+            stage: "solve".to_string(),
+            nanos: 10,
+        });
+        assert_eq!(s.events, 2, "timings stay out of the decision count");
+        assert_eq!(s.epochs, 1);
+        assert_eq!(s.center_grants, 1);
+        assert_eq!(s.stage_timings, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The [`Tracer`] handle the pipeline components carry.
+//!
+//! A `Tracer` is a cheap, cloneable capability: components hold one and
+//! call [`Tracer::emit`] at decision points. The disabled handle
+//! ([`Tracer::off`]) is a `None` — one branch per emission site, the event
+//! closure is never run, no allocation, no lock. Enabled handles share one
+//! sink, sequence counter and [`TraceSummary`] behind an `Arc<Mutex<_>>`,
+//! so clones distributed across the controller, cache, injector and system
+//! all write one totally-ordered stream.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::sink::TraceSink;
+use crate::summary::TraceSummary;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    sink: Box<dyn TraceSink>,
+    seq: u64,
+    epoch: u64,
+    summary: TraceSummary,
+}
+
+/// A shared handle for emitting trace events (disabled by default).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Tracer {
+    /// The disabled tracer: every emission is a single `None` check.
+    pub fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer writing into `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                sink,
+                seq: 0,
+                epoch: 0,
+                summary: TraceSummary::default(),
+            }))),
+        }
+    }
+
+    /// An enabled tracer over a generous in-memory ring (tests).
+    pub fn ring() -> Self {
+        Tracer::new(Box::new(crate::sink::RingSink::generous()))
+    }
+
+    /// An enabled tracer over a JSONL buffer; `timings` opts into
+    /// wall-clock stage timings.
+    pub fn jsonl(timings: bool) -> Self {
+        Tracer::new(Box::new(crate::sink::JsonlSink::new(timings)))
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event. The closure only runs when the tracer is enabled,
+    /// so payload construction (vectors, strings) costs nothing when off.
+    #[inline]
+    pub fn emit<F: FnOnce() -> EventKind>(&self, build: F) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = inner.lock().expect("tracer lock");
+        let kind = build();
+        g.summary.count(&kind);
+        g.seq += 1;
+        let event = TraceEvent {
+            seq: g.seq,
+            epoch: g.epoch,
+            kind,
+        };
+        g.sink.record(&event);
+    }
+
+    /// Open epoch `epoch`: subsequent events carry it, and an
+    /// [`EventKind::EpochBegin`] marker is recorded.
+    pub fn begin_epoch(&self, epoch: u64) {
+        let Some(inner) = &self.inner else { return };
+        {
+            let mut g = inner.lock().expect("tracer lock");
+            g.epoch = epoch;
+        }
+        self.emit(|| EventKind::EpochBegin);
+    }
+
+    /// Record a wall-clock stage timing — dropped unless the sink opted in
+    /// ([`TraceSink::wants_timings`]), keeping deterministic traces clean.
+    pub fn timing(&self, stage: &str, nanos: u64) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.lock().expect("tracer lock").sink.wants_timings() {
+            return;
+        }
+        self.emit(|| EventKind::StageTiming {
+            stage: stage.to_string(),
+            nanos,
+        });
+    }
+
+    /// The accumulated per-run summary (`None` when disabled).
+    pub fn summary(&self) -> Option<TraceSummary> {
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().expect("tracer lock").summary)
+    }
+
+    /// Drain buffered events from a ring-backed tracer.
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(i) => i.lock().expect("tracer lock").sink.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Take the serialised output of a JSONL-backed tracer.
+    pub fn take_output(&self) -> Option<String> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.lock().expect("tracer lock").sink.take_output())
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "Tracer(on)"
+        } else {
+            "Tracer(off)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_never_runs_the_closure() {
+        let t = Tracer::off();
+        let mut ran = false;
+        t.emit(|| {
+            ran = true;
+            EventKind::EpochBegin
+        });
+        assert!(!ran);
+        assert!(t.summary().is_none());
+        assert!(t.drain_events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_ordered_stream() {
+        let a = Tracer::ring();
+        let b = a.clone();
+        a.begin_epoch(0);
+        b.emit(|| EventKind::EpochDropped);
+        a.emit(|| EventKind::BankRestored { bank: 3 });
+        let events = a.drain_events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "one shared sequence");
+        assert_eq!(a.summary().unwrap().events, 3);
+    }
+
+    #[test]
+    fn timings_are_dropped_unless_the_sink_opts_in() {
+        let silent = Tracer::jsonl(false);
+        silent.timing("solve", 123);
+        assert_eq!(silent.take_output().unwrap(), "");
+
+        let chatty = Tracer::jsonl(true);
+        chatty.timing("solve", 123);
+        let out = chatty.take_output().unwrap();
+        assert!(out.contains("StageTiming"), "{out}");
+        assert_eq!(chatty.summary().unwrap().stage_timings, 1);
+        assert_eq!(chatty.summary().unwrap().events, 0);
+    }
+
+    #[test]
+    fn begin_epoch_stamps_following_events() {
+        let t = Tracer::ring();
+        t.begin_epoch(4);
+        t.emit(|| EventKind::EpochDropped);
+        let events = t.drain_events();
+        assert!(events.iter().all(|e| e.epoch == 4));
+    }
+}

@@ -446,6 +446,29 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Already sorted by key.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(o) => o
+                .iter()
+                .map(|(k, m)| Ok((k.clone(), V::from_value(m)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
 macro_rules! impl_tuples {
     ($(($($t:ident : $i:tt),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {

@@ -16,6 +16,9 @@
 //! * [`workloads`] — synthetic SPEC CPU2000 analogues;
 //! * [`fault`] — deterministic fault injection (bank loss/repair, dropped
 //!   epochs, corrupted curves) and fault counters;
+//! * [`trace`] — the decision-trace observability layer: structured
+//!   epoch-level events (grants, rule applications/rejections, plan
+//!   installs, ladder transitions) behind a zero-cost-when-off tracer;
 //! * [`partitioning`] — marginal utility, Unrestricted (UCP-style) and the
 //!   paper's Bank-aware allocation algorithm plus the epoch controller and
 //!   its degradation ladder;
@@ -34,5 +37,6 @@ pub use bap_fault as fault;
 pub use bap_msa as msa;
 pub use bap_noc as noc;
 pub use bap_system as system;
+pub use bap_trace as trace;
 pub use bap_types as types;
 pub use bap_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Golden-figure regression suite.
+//!
+//! Pins the headline aggregates of the committed `results/*.json` artifacts
+//! against the values produced by the current code's last full experiment
+//! run. These tests do NOT re-run the experiments (too slow for tier 1);
+//! they guard the *committed* artifacts against silent drift — a refactor
+//! that changes solver behaviour must regenerate them deliberately.
+//!
+//! Refresh procedure (see `tests/README.md`): re-run the experiment binary,
+//! eyeball the diff against the paper's numbers, update the constants here
+//! in the same commit as the regenerated JSON.
+
+use serde_json::Value;
+use std::path::PathBuf;
+
+/// Absolute tolerance for pinned float aggregates. Wide enough for minor
+/// cross-platform float noise, tight enough to catch any behavioural
+/// change (historical policy regressions moved these by >0.05).
+const TOL: f64 = 0.01;
+
+fn golden(name: &str) -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden artifact {} missing: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+fn assert_close(value: &Value, key: &str, expected: f64) {
+    let got = value[key]
+        .as_f64()
+        .unwrap_or_else(|| panic!("{key} missing or not a number"));
+    assert!(
+        (got - expected).abs() <= TOL,
+        "{key} drifted: got {got}, golden {expected} (tol {TOL})"
+    );
+}
+
+#[test]
+fn fig7_monte_carlo_headlines_hold() {
+    let fig = golden("fig7_monte_carlo.json");
+    assert_eq!(fig["mixes"].as_u64(), Some(1000), "full 1000-mix run");
+    assert_close(&fig, "mean_unrestricted_relative", 0.7485709873153211);
+    assert_close(&fig, "mean_bank_aware_relative", 0.8087125294152684);
+    // Structural sanity: both sorted series cover every mix and both
+    // algorithms beat the fixed even shares on average.
+    for key in ["sorted_unrestricted_relative", "sorted_bank_aware_relative"] {
+        let series = fig[key].as_array().expect("sorted series present");
+        assert_eq!(series.len(), 1000, "{key} covers every mix");
+    }
+    assert!(fig["mean_unrestricted_relative"].as_f64().unwrap() < 1.0);
+    assert!(fig["mean_bank_aware_relative"].as_f64().unwrap() < 1.0);
+}
+
+#[test]
+fn fig8_relative_miss_headlines_hold() {
+    let fig = golden("fig8_relative_miss.json");
+    assert_close(&fig, "gm_equal", 0.8723808937522333);
+    assert_close(&fig, "gm_bank_aware", 0.6671039685534322);
+    let equal = fig["relative_equal"].as_array().expect("per-set series");
+    let ba = fig["relative_bank_aware"]
+        .as_array()
+        .expect("per-set series");
+    assert_eq!(equal.len(), ba.len(), "one bar per workload set");
+    assert!(!equal.is_empty());
+    // The paper's qualitative claim: Bank-aware beats the static equal
+    // split on the geometric mean.
+    assert!(
+        fig["gm_bank_aware"].as_f64().unwrap() < fig["gm_equal"].as_f64().unwrap(),
+        "bank-aware must beat equal on GM miss rate"
+    );
+}
+
+#[test]
+fn fig9_relative_cpi_headlines_hold() {
+    let fig = golden("fig9_relative_cpi.json");
+    assert_close(&fig, "gm_equal", 0.9058207062250021);
+    assert_close(&fig, "gm_bank_aware", 0.8016303434878941);
+    let equal = fig["relative_equal"].as_array().expect("per-set series");
+    let ba = fig["relative_bank_aware"]
+        .as_array()
+        .expect("per-set series");
+    assert_eq!(equal.len(), ba.len());
+    assert!(
+        fig["gm_bank_aware"].as_f64().unwrap() < fig["gm_equal"].as_f64().unwrap(),
+        "bank-aware must beat equal on GM CPI"
+    );
+}
+
+#[test]
+fn fig8_and_fig9_cover_the_same_sets() {
+    let fig8 = golden("fig8_relative_miss.json");
+    let fig9 = golden("fig9_relative_cpi.json");
+    assert_eq!(
+        fig8["sets"].as_array().map(Vec::len),
+        fig9["sets"].as_array().map(Vec::len),
+        "miss-rate and CPI figures describe the same workload sets"
+    );
+}

@@ -1,0 +1,106 @@
+//! Trace determinism: identical inputs must yield byte-identical JSONL.
+//!
+//! The trace's sequence numbers are logical, not wall-clock, and the
+//! profiling pipeline emits its events *after* the batch completes in
+//! input order — so neither rayon's scheduling nor run-to-run timing may
+//! leave a fingerprint in the ledger.
+
+use bankaware::msa::ProfilerConfig;
+use bankaware::partitioning::Policy;
+use bankaware::system::{
+    profile_workloads_serial_traced, profile_workloads_traced, SimOptions, System,
+};
+use bankaware::trace::{parse_jsonl, Tracer};
+use bankaware::types::SystemConfig;
+use bankaware::workloads::{spec_by_name, WorkloadSpec};
+
+fn mix(names: &[&str]) -> Vec<WorkloadSpec> {
+    names
+        .iter()
+        .map(|n| spec_by_name(n).expect("catalog"))
+        .collect()
+}
+
+#[test]
+fn parallel_and_serial_profiling_traces_are_byte_identical() {
+    // More workloads than most hosts have cores, with visibly uneven
+    // per-workload cost, so the parallel scheduler genuinely reorders
+    // execution — the emitted ledger must not care.
+    let specs = mix(&["eon", "mcf", "art", "sixtrack", "bzip2", "gcc"]);
+    let cfg = SystemConfig::scaled(64);
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), 72);
+
+    let par_tracer = Tracer::jsonl(false);
+    let par_curves = profile_workloads_traced(&specs, &cfg, pcfg, 500_000, 42, &par_tracer);
+    let ser_tracer = Tracer::jsonl(false);
+    let ser_curves = profile_workloads_serial_traced(&specs, &cfg, pcfg, 500_000, 42, &ser_tracer);
+
+    assert_eq!(par_curves, ser_curves, "curves are scheduling-independent");
+    let par = par_tracer.take_output().expect("jsonl buffered");
+    let ser = ser_tracer.take_output().expect("jsonl buffered");
+    assert!(!par.is_empty(), "traced profiling emits events");
+    assert_eq!(par, ser, "byte-identical JSONL across serial and rayon");
+    // And the shared stream is schema-valid.
+    let events = parse_jsonl(&par).expect("valid trace");
+    assert_eq!(
+        events.len(),
+        2 * specs.len(),
+        "one WorkloadProfiled + one CurveSnapshot per workload"
+    );
+}
+
+#[test]
+fn repeated_profiling_runs_trace_identically() {
+    let specs = mix(&["swim", "vpr", "gap"]);
+    let cfg = SystemConfig::scaled(64);
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), 72);
+    let outputs: Vec<String> = (0..2)
+        .map(|_| {
+            let tracer = Tracer::jsonl(false);
+            profile_workloads_traced(&specs, &cfg, pcfg, 300_000, 7, &tracer);
+            tracer.take_output().expect("jsonl buffered")
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn full_system_runs_trace_identically_given_a_seed() {
+    let run = || {
+        let mut opts = SimOptions::new(SystemConfig::scaled(64), Policy::BankAware);
+        opts.config.epoch_cycles = 20_000;
+        opts.warmup_instructions = 30_000;
+        opts.measure_instructions = 80_000;
+        opts.seed = 11;
+        let specs = mix(&[
+            "bzip2", "twolf", "facerec", "mgrid", "art", "swim", "mcf", "sixtrack",
+        ]);
+        let tracer = Tracer::jsonl(false);
+        let mut system = System::new(opts, specs);
+        system.set_tracer(tracer.clone());
+        let result = system.run();
+        (tracer.take_output().expect("jsonl buffered"), result)
+    };
+    let (a, ra) = run();
+    let (b, rb) = run();
+    assert!(!a.is_empty(), "traced run emits events");
+    assert_eq!(a, b, "byte-identical JSONL for identical seeds");
+    assert_eq!(ra.trace, rb.trace, "identical decision summaries");
+    let summary = ra.trace.expect("traced run carries a summary");
+    assert!(summary.epochs >= 1, "epoch boundaries were traced");
+    assert!(summary.plans_installed >= 1, "plan installs were traced");
+    parse_jsonl(&a).expect("system trace is schema-valid");
+}
+
+#[test]
+fn untraced_runs_carry_no_summary() {
+    let mut opts = SimOptions::new(SystemConfig::scaled(64), Policy::BankAware);
+    opts.config.epoch_cycles = 20_000;
+    opts.warmup_instructions = 20_000;
+    opts.measure_instructions = 40_000;
+    let specs = mix(&[
+        "bzip2", "twolf", "facerec", "mgrid", "art", "swim", "mcf", "sixtrack",
+    ]);
+    let result = System::new(opts, specs).run();
+    assert!(result.trace.is_none(), "tracing is strictly opt-in");
+}

@@ -1,0 +1,212 @@
+//! Property tests over the decision-trace event stream.
+//!
+//! Whatever the workload curves and fault campaign, a trace must obey:
+//!
+//! * sequence numbers strictly increase, epoch indices never decrease;
+//! * every `PlanInstalled` is preceded by an `AssignmentComputed` with the
+//!   identical per-core way vector (the install never invents capacity);
+//! * rule events only ever reference banks and cores that exist in the
+//!   topology, and rejections name banks of the right kind (Rule 1 governs
+//!   Center banks, Rules 2–3 govern Local banks).
+
+use bankaware::fault::FaultConfig;
+use bankaware::msa::MissRatioCurve;
+use bankaware::partitioning::{try_bank_aware_partition_traced, BankAwareConfig, Policy};
+use bankaware::system::{SimOptions, System};
+use bankaware::trace::{EventKind, TraceEvent, Tracer};
+use bankaware::types::{DegradedTopology, SystemConfig, Topology};
+use bankaware::workloads::spec_by_name;
+use proptest::prelude::*;
+
+const NUM_CORES: usize = 8;
+const NUM_BANKS: usize = 16;
+
+/// Sequence numbers strictly increase; epochs never run backwards.
+fn check_stream_order(events: &[TraceEvent]) -> Result<(), TestCaseError> {
+    for pair in events.windows(2) {
+        prop_assert!(
+            pair[1].seq > pair[0].seq,
+            "seq {} does not follow {}",
+            pair[1].seq,
+            pair[0].seq
+        );
+        prop_assert!(
+            pair[1].epoch >= pair[0].epoch,
+            "epoch ran backwards at seq {}",
+            pair[1].seq
+        );
+    }
+    Ok(())
+}
+
+/// Every install matches the most recent computed assignment.
+fn check_installs_follow_assignments(events: &[TraceEvent]) -> Result<(), TestCaseError> {
+    let mut last_assignment: Option<&Vec<usize>> = None;
+    for ev in events {
+        match &ev.kind {
+            EventKind::AssignmentComputed { ways, .. } => last_assignment = Some(ways),
+            EventKind::PlanInstalled { ways, total_ways } => {
+                let expected = last_assignment.ok_or_else(|| {
+                    TestCaseError::fail(format!(
+                        "seq {}: PlanInstalled with no prior AssignmentComputed",
+                        ev.seq
+                    ))
+                })?;
+                prop_assert_eq!(
+                    ways,
+                    expected,
+                    "seq {}: installed ways diverge from the computed assignment",
+                    ev.seq
+                );
+                prop_assert_eq!(ways.iter().sum::<usize>(), *total_ways);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Rule events stay inside the machine: valid rule numbers, existing cores
+/// and banks, and bank kinds matching the rule (baseline floorplan: Local
+/// banks 0..8 in front of their cores, Center banks 8..16).
+fn check_rule_events_in_topology(events: &[TraceEvent]) -> Result<(), TestCaseError> {
+    for ev in events {
+        let (rule, core, bank, rejected) = match &ev.kind {
+            EventKind::RuleApplied { rule, core, bank } => (*rule, *core, *bank, false),
+            EventKind::RuleRejected {
+                rule, core, bank, ..
+            } => (*rule, *core, *bank, true),
+            EventKind::CenterGrant { core, bank, .. } => (1, *core, *bank, false),
+            EventKind::ShareTaken { core, bank, .. } => (3, *core, *bank, false),
+            _ => continue,
+        };
+        prop_assert!((1..=3).contains(&rule), "seq {}: rule {rule}", ev.seq);
+        prop_assert!(core < NUM_CORES, "seq {}: core{core} out of range", ev.seq);
+        prop_assert!(bank < NUM_BANKS, "seq {}: bank{bank} out of range", ev.seq);
+        if rule == 1 {
+            prop_assert!(
+                (NUM_CORES..NUM_BANKS).contains(&bank),
+                "seq {}: rule 1 {} names Local bank{bank}",
+                ev.seq,
+                if rejected { "rejection" } else { "grant" },
+            );
+        } else {
+            prop_assert!(
+                bank < NUM_CORES,
+                "seq {}: rule {rule} event names Center bank{bank}",
+                ev.seq
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Random monotone miss curves.
+fn curve_strategy() -> impl Strategy<Value = MissRatioCurve> {
+    (
+        proptest::collection::vec(0.0f64..500.0, 72),
+        10_000.0f64..100_000.0,
+    )
+        .prop_map(|(drops, base)| {
+            let mut misses = vec![base];
+            for d in drops {
+                let last = *misses.last().expect("non-empty");
+                misses.push((last - d).max(0.0));
+            }
+            MissRatioCurve::from_misses(misses, base)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solver's own event stream obeys every invariant on random
+    /// curve sets, and its closing assignment matches the emitted plan.
+    #[test]
+    fn solver_traces_stay_inside_the_machine(
+        curves in proptest::collection::vec(curve_strategy(), NUM_CORES)
+    ) {
+        let machine = DegradedTopology::healthy(Topology::baseline());
+        let tracer = Tracer::ring();
+        let plan = try_bank_aware_partition_traced(
+            &curves, &machine, 8, &BankAwareConfig::default(), &tracer,
+        );
+        prop_assert!(plan.is_ok(), "healthy solve cannot fail: {:?}", plan.err());
+        let plan = plan.expect("checked");
+        let events = tracer.drain_events();
+        check_stream_order(&events)?;
+        check_rule_events_in_topology(&events)?;
+        // The closing AssignmentComputed is the plan, exactly.
+        let closing = events.iter().rev().find_map(|ev| match &ev.kind {
+            EventKind::AssignmentComputed { policy, ways } if policy == "bank_aware" => {
+                Some(ways.clone())
+            }
+            _ => None,
+        });
+        let expected: Vec<usize> = (0..NUM_CORES)
+            .map(|c| plan.ways_of(bankaware::types::CoreId(c as u8)))
+            .collect();
+        prop_assert_eq!(closing, Some(expected));
+    }
+}
+
+proptest! {
+    // Full-system runs are expensive; a handful of cases over a wide seed
+    // space still exercises every fault path (the campaign probabilities
+    // below make drops, corruptions and bank losses near-certain per run).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end: traced simulator runs under a randomized fault campaign
+    /// keep every stream invariant, including plan installs matching their
+    /// assignments across the degradation ladder.
+    #[test]
+    fn system_traces_hold_invariants_under_faults(
+        seed in 0u64..1_000_000,
+        bank_offline_prob in 0.0f64..0.3,
+        epoch_drop_prob in 0.0f64..0.3,
+        curve_corruption_prob in 0.0f64..0.5,
+        forced_bank in 0u8..16,
+    ) {
+        let mut opts = SimOptions::new(SystemConfig::scaled(64), Policy::BankAware);
+        opts.config.epoch_cycles = 15_000;
+        opts.warmup_instructions = 20_000;
+        opts.measure_instructions = 60_000;
+        opts.seed = seed;
+        opts.fault = Some(FaultConfig {
+            seed,
+            bank_offline_prob,
+            bank_repair_prob: 0.3,
+            max_offline_banks: 3,
+            epoch_drop_prob,
+            curve_corruption_prob,
+            forced_offline: vec![(1, forced_bank)],
+        });
+        let specs: Vec<_> = [
+            "bzip2", "twolf", "facerec", "mgrid", "art", "swim", "mcf", "sixtrack",
+        ]
+        .iter()
+        .map(|n| spec_by_name(n).expect("catalog"))
+        .collect();
+        let tracer = Tracer::ring();
+        let mut system = System::new(opts, specs);
+        system.set_tracer(tracer.clone());
+        let result = system.run();
+        let events = tracer.drain_events();
+        prop_assert!(!events.is_empty(), "traced run emits events");
+        check_stream_order(&events)?;
+        check_installs_follow_assignments(&events)?;
+        check_rule_events_in_topology(&events)?;
+        // The summary's counters agree with the stream it describes.
+        let summary = result.trace.expect("traced run carries a summary");
+        let installs = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PlanInstalled { .. }))
+            .count() as u64;
+        prop_assert_eq!(summary.plans_installed, installs);
+        let rejections = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RuleRejected { .. }))
+            .count() as u64;
+        prop_assert_eq!(summary.rules_rejected, rejections);
+    }
+}

@@ -1,0 +1,289 @@
+//! Rule 1/2/3 unit tests driven by the decision trace.
+//!
+//! Each test crafts miss-ratio curves that force the Bank-aware solver
+//! into a specific physical-rule decision, then asserts on the observed
+//! `RuleApplied` / `RuleRejected` events rather than only the final plan —
+//! the trace is the solver's testimony about *why* the plan looks the way
+//! it does.
+//!
+//! Baseline floorplan reminder: Local bank `c` sits in front of core `c`
+//! (banks 0..8), Center banks are 8..16, cores are chain-adjacent.
+
+use bankaware::msa::MissRatioCurve;
+use bankaware::partitioning::{
+    try_bank_aware_partition, try_bank_aware_partition_traced, BankAwareConfig,
+};
+use bankaware::trace::{EventKind, TraceEvent, Tracer};
+use bankaware::types::{BankId, BankMask, CoreId, DegradedTopology, Topology};
+
+/// Linear-to-knee curve: misses fall from `base` to `floor` over
+/// `knee_ways` ways, then stay flat.
+fn knee(base: f64, floor: f64, knee_ways: usize) -> MissRatioCurve {
+    let misses = (0..=128)
+        .map(|w| {
+            if w >= knee_ways {
+                floor
+            } else {
+                base - (base - floor) * w as f64 / knee_ways as f64
+            }
+        })
+        .collect();
+    MissRatioCurve::from_misses(misses, base.max(1.0))
+}
+
+fn solve_traced(
+    curves: &[MissRatioCurve],
+    machine: &DegradedTopology,
+    cfg: &BankAwareConfig,
+) -> (bankaware::cache::PartitionPlan, Vec<TraceEvent>) {
+    let tracer = Tracer::ring();
+    let plan = try_bank_aware_partition_traced(curves, machine, 8, cfg, &tracer)
+        .expect("crafted curves must solve");
+    (plan, tracer.drain_events())
+}
+
+fn healthy() -> DegradedTopology {
+    DegradedTopology::healthy(Topology::baseline())
+}
+
+#[test]
+fn rule1_rejects_sub_bank_center_growth_under_the_cap() {
+    // A 5/9 capacity cap puts the ceiling at 71 ways: a hungry core
+    // reaches 64 (Local + 7 Centers) with 7 ways of headroom left — less
+    // than one whole bank, so Rule 1 must refuse further Center growth
+    // even though the greedy still wants it.
+    let cfg = BankAwareConfig {
+        max_capacity_num: 5,
+        max_capacity_den: 9,
+        min_ways: 1,
+    };
+    let mut curves = vec![knee(50.0, 45.0, 4); 8];
+    curves[0] = knee(1_000_000.0, 0.0, 128);
+    let (plan, events) = solve_traced(&curves, &healthy(), &cfg);
+
+    let rejection = events
+        .iter()
+        .find_map(|ev| match &ev.kind {
+            EventKind::RuleRejected {
+                rule: 1,
+                core: 0,
+                bank,
+                why,
+            } => Some((*bank, why.clone())),
+            _ => None,
+        })
+        .expect("Rule 1 rejection for the capped hungry core");
+    assert!(
+        (8..16).contains(&rejection.0),
+        "Rule 1 rejection names a Center bank: bank{}",
+        rejection.0
+    );
+    assert!(
+        rejection.1.contains("whole bank"),
+        "rejection explains the granularity: {}",
+        rejection.1
+    );
+    // The plan honours what the trace reports: 64 bank-granular ways plus
+    // at most the sub-bank headroom via a Local share.
+    let w0 = plan.ways_of(CoreId(0));
+    assert!((64..=71).contains(&w0), "capped at 71: {w0}");
+    let centers = events
+        .iter()
+        .filter(|ev| matches!(ev.kind, EventKind::CenterGrant { core: 0, .. }))
+        .count();
+    assert_eq!(
+        centers, 7,
+        "seven whole Center banks granted before the cap"
+    );
+}
+
+#[test]
+fn rule2_and_rule3_rejections_shape_an_overflow_pairing() {
+    // Center magnets on cores 0, 4, 5, 6, 7 soak up all eight Center
+    // banks and complete; cores 1 and 2 are tiny; core 3 wants ~12 ways
+    // and must overflow its 8-way Local bank. Its neighbours are core 2
+    // (open, tiny — the legal partner) and core 4 (complete — Rule 2
+    // forbids touching its Local bank); core 1's bank is off-limits by
+    // Rule 3 (not adjacent).
+    let curves: Vec<MissRatioCurve> = (0..8)
+        .map(|c| match c {
+            1 | 2 => knee(100.0, 0.0, 2),
+            3 => knee(100_000.0, 100.0, 12),
+            _ => knee(500_000.0, 1000.0, 24),
+        })
+        .collect();
+    let (plan, events) = solve_traced(&curves, &healthy(), &BankAwareConfig::default());
+
+    let rejected: Vec<(u8, usize, usize, &str)> = events
+        .iter()
+        .filter_map(|ev| match &ev.kind {
+            EventKind::RuleRejected {
+                rule,
+                core,
+                bank,
+                why,
+            } => Some((*rule, *core, *bank, why.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        rejected
+            .iter()
+            .any(|&(r, c, b, why)| r == 3 && c == 3 && b == 1 && why.contains("not adjacent")),
+        "Rule 3 rejects core 1's non-adjacent bank: {rejected:?}"
+    );
+    assert!(
+        rejected
+            .iter()
+            .any(|&(r, c, b, why)| r == 2 && c == 3 && b == 4 && why.contains("owns its Local")),
+        "Rule 2 rejects the complete neighbour's bank: {rejected:?}"
+    );
+
+    // The pairing the rules leave open: core 3 with core 2.
+    let pair = events
+        .iter()
+        .find_map(|ev| match ev.kind {
+            EventKind::PairFormed { core, partner, .. } => Some((core, partner)),
+            _ => None,
+        })
+        .expect("overflow formed a pair");
+    assert_eq!(pair, (3, 2), "only core 2 is a legal partner");
+    assert!(
+        events.iter().any(|ev| matches!(
+            ev.kind,
+            EventKind::RuleApplied {
+                rule: 3,
+                core: 3,
+                bank: 2
+            }
+        )),
+        "the committed overflow is a Rule 3 application on bank 2"
+    );
+    assert!(plan.ways_of(CoreId(3)) >= 11, "{plan}");
+    assert!(plan.ways_of(CoreId(2)) <= 5, "{plan}");
+}
+
+#[test]
+fn rule3_rejects_banks_reserved_for_a_rescue() {
+    // Core 0's Local bank is dead and its curve too small to win a Center:
+    // its minimum share is reserved inside core 1's bank (a Rule 3
+    // application). That bank now has its one permitted foreign sharer, so
+    // core 2's overflow must be refused there and pair with core 3 instead.
+    let mut mask = BankMask::all_healthy(16);
+    mask.disable(BankId(0));
+    let machine = DegradedTopology::new(Topology::baseline(), mask);
+    let curves: Vec<MissRatioCurve> = (0..8)
+        .map(|c| match c {
+            0 => knee(100.0, 90.0, 2),
+            1 | 3 => knee(100.0, 0.0, 2),
+            2 => knee(100_000.0, 100.0, 12),
+            _ => knee(500_000.0, 1000.0, 24),
+        })
+        .collect();
+    let (plan, events) = solve_traced(&curves, &machine, &BankAwareConfig::default());
+
+    assert!(
+        events.iter().any(|ev| matches!(
+            ev.kind,
+            EventKind::RuleApplied {
+                rule: 3,
+                core: 0,
+                bank: 1
+            }
+        )),
+        "the rescue reservation is itself a Rule 3 application"
+    );
+    assert!(
+        events.iter().any(|ev| matches!(
+            &ev.kind,
+            EventKind::RuleRejected {
+                rule: 3,
+                core: 2,
+                bank: 1,
+                why
+            } if why.contains("reserved")
+        )),
+        "the reserved bank is closed to further sharing"
+    );
+    let pair = events
+        .iter()
+        .find_map(|ev| match ev.kind {
+            EventKind::PairFormed { core, partner, .. } => Some((core, partner)),
+            _ => None,
+        })
+        .expect("core 2 still pairs");
+    assert_eq!(pair, (2, 3), "overflow routed to the unreserved neighbour");
+    assert!(plan.ways_of(CoreId(0)) >= 1, "rescued core keeps its share");
+}
+
+#[test]
+fn every_center_grant_carries_a_rule1_application_and_rule2_completion() {
+    // Uniform appetites: each core takes one Center bank and completes.
+    let curves = vec![knee(1000.0, 10.0, 40); 8];
+    let (plan, events) = solve_traced(&curves, &healthy(), &BankAwareConfig::default());
+    for c in 0..8 {
+        assert_eq!(plan.ways_of(CoreId(c as u8)), 16);
+    }
+    let grants: Vec<(usize, usize)> = events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::CenterGrant { core, bank, .. } => Some((core, bank)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(grants.len(), 8, "one Center bank per core");
+    for &(core, bank) in &grants {
+        assert!(
+            events.iter().any(|ev| matches!(
+                ev.kind,
+                EventKind::RuleApplied { rule: 1, core: c, bank: b } if c == core && b == bank
+            )),
+            "grant of bank{bank} to core{core} recorded as a Rule 1 application"
+        );
+        assert!(
+            events.iter().any(|ev| matches!(
+                ev.kind,
+                EventKind::RuleApplied { rule: 2, core: c, bank: b } if c == core && b == core
+            )),
+            "completion of core{core} recorded as a Rule 2 application on its Local bank"
+        );
+    }
+    // Nothing was refused on this easy instance.
+    assert!(
+        !events
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::RuleRejected { .. })),
+        "uniform appetites trigger no rule rejections"
+    );
+}
+
+#[test]
+fn tracing_never_changes_the_plan() {
+    // The wrapper contract: a traced solve is bit-identical to the
+    // untraced one on the same inputs.
+    let cases: Vec<Vec<MissRatioCurve>> = vec![
+        (0..8)
+            .map(|c| knee(1000.0 + c as f64 * 37.0, 5.0, 8 + 3 * c))
+            .collect(),
+        {
+            let mut v = vec![knee(50.0, 45.0, 4); 8];
+            v[0] = knee(1_000_000.0, 0.0, 128);
+            v
+        },
+        (0..8)
+            .map(|c| match c {
+                1 | 2 => knee(100.0, 0.0, 2),
+                3 => knee(100_000.0, 100.0, 12),
+                _ => knee(500_000.0, 1000.0, 24),
+            })
+            .collect(),
+    ];
+    for curves in cases {
+        let machine = healthy();
+        let cfg = BankAwareConfig::default();
+        let untraced = try_bank_aware_partition(&curves, &machine, 8, &cfg).expect("solves");
+        let (traced, events) = solve_traced(&curves, &machine, &cfg);
+        assert_eq!(untraced, traced, "tracing is observation, not interference");
+        assert!(!events.is_empty());
+    }
+}
