@@ -265,17 +265,37 @@ impl DnucaL2 {
         plan: PartitionPlan,
         scheme: AggregationScheme,
     ) -> Result<(), PlanError> {
-        if let Err(e) = plan.validate_against_mask(&self.bank_mask) {
-            self.tracer.emit(|| EventKind::PlanRejected {
+        let reject = |tracer: &Tracer, e: PlanError| {
+            tracer.emit(|| EventKind::PlanRejected {
                 error: e.to_string(),
             });
-            return Err(e);
+            Err(e)
+        };
+        if let Err(e) = plan.validate_against_mask(&self.bank_mask) {
+            return reject(&self.tracer, e);
         }
-        assert_eq!(plan.num_banks, self.banks.len());
-        assert_eq!(plan.num_cores(), self.num_cores);
+        if plan.num_banks != self.banks.len() || plan.num_cores() != self.num_cores {
+            return reject(
+                &self.tracer,
+                PlanError::GeometryMismatch {
+                    plan_banks: plan.num_banks,
+                    cache_banks: self.banks.len(),
+                    plan_cores: plan.num_cores(),
+                    cache_cores: self.num_cores,
+                },
+            );
+        }
+        // Derive every bank's owner masks *before* touching any bank, so a
+        // plan rejected here leaves the cache untouched (atomic install).
+        let mut owners = Vec::with_capacity(self.banks.len());
         for b in 0..self.banks.len() {
-            let owners = plan.way_owners(BankId(b as u8));
-            self.banks[b].set_way_owners(owners);
+            match plan.try_way_owners(BankId(b as u8)) {
+                Ok(o) => owners.push(o),
+                Err(e) => return reject(&self.tracer, e),
+            }
+        }
+        for (b, o) in owners.into_iter().enumerate() {
+            self.banks[b].set_way_owners(o);
         }
         self.partitions = (0..self.num_cores)
             .map(|c| Some(Partition::from_plan(&plan, CoreId(c as u8), scheme)))
@@ -315,7 +335,17 @@ impl DnucaL2 {
     /// In partitioned mode the caller must install a mask-valid plan before
     /// the next access: partitions of the old plan may still route fills
     /// into the dead bank.
-    pub fn take_bank_offline(&mut self, bank: BankId) -> Vec<BlockAddr> {
+    ///
+    /// A bank index beyond the machine is a typed error, not an abort —
+    /// fault campaigns and crash-recovery drive this path with externally
+    /// supplied bank ids.
+    pub fn take_bank_offline(&mut self, bank: BankId) -> Result<Vec<BlockAddr>, PlanError> {
+        if bank.index() >= self.banks.len() {
+            return Err(PlanError::UnknownBank {
+                bank,
+                num_banks: self.banks.len(),
+            });
+        }
         self.bank_mask.disable(bank);
         let ways = self.banks[bank.index()].geometry().ways;
         self.banks[bank.index()].set_way_owners(vec![bap_types::CoreSet::EMPTY; ways]);
@@ -332,13 +362,22 @@ impl DnucaL2 {
             bank: bank.index(),
             flushed: total,
         });
-        dirty
+        Ok(dirty)
     }
 
     /// Bring `bank` back online. Its ways stay disowned until the next plan
     /// installation (or mode switch) reassigns them, so restored capacity
     /// becomes usable at the next repartition — never mid-epoch.
-    pub fn restore_bank(&mut self, bank: BankId) {
+    ///
+    /// An unknown bank is a typed error, mirroring
+    /// [`DnucaL2::take_bank_offline`].
+    pub fn restore_bank(&mut self, bank: BankId) -> Result<(), PlanError> {
+        if bank.index() >= self.banks.len() {
+            return Err(PlanError::UnknownBank {
+                bank,
+                num_banks: self.banks.len(),
+            });
+        }
         self.bank_mask.enable(bank);
         self.tracer
             .emit(|| EventKind::BankRestored { bank: bank.index() });
@@ -348,12 +387,70 @@ impl DnucaL2 {
             self.banks[bank.index()]
                 .set_way_owners(vec![bap_types::CoreSet::all(self.num_cores); ways]);
         }
+        Ok(())
     }
 
     fn evict_out_counted(&mut self, ev: EvictedLine<()>) {
         if ev.dirty {
             self.stats.writebacks += 1;
         }
+    }
+
+    /// Serialize the full L2 state (bank contents, mode, partitions, plan,
+    /// chains, mask, counters) for checkpointing. The tracer handle is not
+    /// part of the state; restore keeps whatever tracer is attached.
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("banks".to_string(), serde::Serialize::to_value(&self.banks)),
+            ("mode".to_string(), serde::Serialize::to_value(&self.mode)),
+            (
+                "partitions".to_string(),
+                serde::Serialize::to_value(&self.partitions),
+            ),
+            ("plan".to_string(), serde::Serialize::to_value(&self.plan)),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+            (
+                "chains".to_string(),
+                serde::Serialize::to_value(&self.chains),
+            ),
+            (
+                "chain_limit".to_string(),
+                serde::Serialize::to_value(&self.chain_limit),
+            ),
+            (
+                "lookup_isolation".to_string(),
+                serde::Serialize::to_value(&self.lookup_isolation),
+            ),
+            (
+                "bank_mask".to_string(),
+                serde::Serialize::to_value(&self.bank_mask),
+            ),
+        ])
+    }
+
+    /// Overwrite the L2 state from a [`DnucaL2::snapshot`] payload taken on
+    /// an identically-configured cache. Geometry mismatches are typed
+    /// errors and leave the cache in a partially-restored state — callers
+    /// must discard it on failure.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let banks: Vec<CacheBank> = serde::from_field(v, "banks")?;
+        if banks.len() != self.banks.len() {
+            return Err(serde::Error::msg("L2 bank count mismatch"));
+        }
+        let partitions: Vec<Option<Partition>> = serde::from_field(v, "partitions")?;
+        if partitions.len() != self.num_cores {
+            return Err(serde::Error::msg("L2 core count mismatch"));
+        }
+        self.banks = banks;
+        self.partitions = partitions;
+        self.mode = serde::from_field(v, "mode")?;
+        self.plan = serde::from_field(v, "plan")?;
+        self.stats = serde::from_field(v, "stats")?;
+        self.chains = serde::from_field(v, "chains")?;
+        self.chain_limit = serde::from_field(v, "chain_limit")?;
+        self.lookup_isolation = serde::from_field(v, "lookup_isolation")?;
+        self.bank_mask = serde::from_field(v, "bank_mask")?;
+        Ok(())
     }
 
     /// The key used for bank selection: address bits above the set index.
@@ -1134,7 +1231,7 @@ mod tests {
             .map(BankId)
             .find(|&b| l2.bank(b).probe(dirty))
             .expect("block resident somewhere");
-        let wbs = l2.take_bank_offline(home);
+        let wbs = l2.take_bank_offline(home).unwrap();
         assert_eq!(wbs, vec![dirty], "the dirty line writes back");
         assert_eq!(l2.bank(home).occupancy(), 0, "bank fully flushed");
         assert!(!l2.bank_mask().is_healthy(home));
@@ -1145,7 +1242,7 @@ mod tests {
             .map(BankId)
             .find(|&b| l2.bank(b).probe(clean))
             .expect("block resident somewhere");
-        assert!(l2.take_bank_offline(home).is_empty());
+        assert!(l2.take_bank_offline(home).unwrap().is_empty());
         assert_eq!(l2.bank(home).occupancy(), 0);
     }
 
@@ -1157,7 +1254,7 @@ mod tests {
         let owners_before: Vec<_> = (0..4)
             .map(|b| l2.bank(BankId(b)).way_owners().to_vec())
             .collect();
-        l2.take_bank_offline(BankId(2));
+        l2.take_bank_offline(BankId(2)).unwrap();
         // Reinstalling the old plan must fail: it allocates bank 2.
         let err = l2
             .try_apply_plan(healthy_plan.clone(), AggregationScheme::Parallel)
@@ -1202,8 +1299,8 @@ mod tests {
     fn restore_bank_reopens_capacity_at_next_plan() {
         let mut l2 = l2();
         l2.apply_plan(plan_two_cores(), AggregationScheme::Parallel);
-        l2.take_bank_offline(BankId(2));
-        l2.restore_bank(BankId(2));
+        l2.take_bank_offline(BankId(2)).unwrap();
+        l2.restore_bank(BankId(2)).unwrap();
         assert!(l2.bank_mask().is_full());
         // Still disowned until a plan reassigns it.
         assert_eq!(l2.bank(BankId(2)).ways_of(CoreId(0)), 0);

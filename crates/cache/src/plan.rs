@@ -70,6 +70,26 @@ pub enum PlanError {
         /// Ways it must assign.
         expected: usize,
     },
+    /// A bank operation (offline/restore flush) named a bank the machine
+    /// does not have.
+    UnknownBank {
+        /// The bad bank.
+        bank: BankId,
+        /// Banks the machine has.
+        num_banks: usize,
+    },
+    /// The plan was built for a different machine shape than the cache it
+    /// is being installed into.
+    GeometryMismatch {
+        /// Banks the plan covers.
+        plan_banks: usize,
+        /// Banks the cache has.
+        cache_banks: usize,
+        /// Cores the plan covers.
+        plan_cores: usize,
+        /// Cores the cache serves.
+        cache_cores: usize,
+    },
     /// One of the paper's physical banking rules (§III-B) is violated.
     RuleViolation {
         /// Which rule (1 = whole Center banks, 2 = Center holders own their
@@ -117,6 +137,19 @@ impl fmt::Display for PlanError {
             PlanError::CapacityMismatch { assigned, expected } => {
                 write!(f, "plan assigns {assigned} ways, expected {expected}")
             }
+            PlanError::UnknownBank { bank, num_banks } => {
+                write!(f, "{bank} does not exist (machine has {num_banks} banks)")
+            }
+            PlanError::GeometryMismatch {
+                plan_banks,
+                cache_banks,
+                plan_cores,
+                cache_cores,
+            } => write!(
+                f,
+                "plan shaped for {plan_banks} banks / {plan_cores} cores, \
+                 cache has {cache_banks} banks / {cache_cores} cores"
+            ),
             PlanError::RuleViolation { rule, detail } => {
                 write!(f, "banking rule {rule} violated: {detail}")
             }
@@ -230,7 +263,16 @@ impl PartitionPlan {
     /// Derive the concrete per-way owner masks for `bank`: cores sharing the
     /// bank get disjoint contiguous way ranges in ascending core order;
     /// unassigned ways (if the plan leaves slack) get an empty mask.
+    ///
+    /// Panics on an over-allocated bank; the fallible installation path is
+    /// [`PartitionPlan::try_way_owners`].
     pub fn way_owners(&self, bank: BankId) -> Vec<CoreSet> {
+        self.try_way_owners(bank).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`PartitionPlan::way_owners`], but an over-allocated bank is a
+    /// typed [`PlanError::OverSubscribedBank`] instead of an abort.
+    pub fn try_way_owners(&self, bank: BankId) -> Result<Vec<CoreSet>, PlanError> {
         let mut owners = vec![CoreSet::EMPTY; self.bank_ways];
         let mut next = 0usize;
         for (c, allocs) in self.per_core.iter().enumerate() {
@@ -240,12 +282,18 @@ impl PartitionPlan {
                 .map(|a| a.ways)
                 .sum();
             for _ in 0..ways {
-                assert!(next < self.bank_ways, "bank {bank} over-allocated");
+                if next >= self.bank_ways {
+                    return Err(PlanError::OverSubscribedBank {
+                        bank,
+                        used: self.bank_ways_used(bank),
+                        bank_ways: self.bank_ways,
+                    });
+                }
                 owners[next] = CoreSet::single(CoreId(c as u8));
                 next += 1;
             }
         }
-        owners
+        Ok(owners)
     }
 
     /// Structural validation: every referenced bank exists, no core has a

@@ -201,6 +201,70 @@ impl CoherentCluster {
         self.latest.get(&block).copied().unwrap_or(0)
     }
 
+    /// Serialize the full cluster state (directory, per-core line states and
+    /// data versions, memory image) for checkpointing. All maps are sorted
+    /// by block so identical states produce byte-identical snapshots.
+    pub fn snapshot(&self) -> serde::Value {
+        fn sorted<T: Copy + serde::Serialize>(m: &HashMap<BlockAddr, T>) -> serde::Value {
+            let mut v: Vec<(BlockAddr, T)> = m.iter().map(|(&b, &x)| (b, x)).collect();
+            v.sort_unstable_by_key(|&(b, _)| b);
+            serde::Serialize::to_value(&v)
+        }
+        serde::Value::Object(vec![
+            ("directory".to_string(), self.directory.snapshot()),
+            (
+                "states".to_string(),
+                serde::Value::Array(self.states.iter().map(sorted).collect()),
+            ),
+            (
+                "versions".to_string(),
+                serde::Value::Array(self.versions.iter().map(sorted).collect()),
+            ),
+            ("memory".to_string(), sorted(&self.memory)),
+            ("latest".to_string(), sorted(&self.latest)),
+        ])
+    }
+
+    /// Overwrite the cluster state from a [`CoherentCluster::snapshot`]
+    /// payload taken on a cluster of the same core count.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        fn unsorted<T: serde::Deserialize>(
+            v: &serde::Value,
+        ) -> Result<HashMap<BlockAddr, T>, serde::Error> {
+            let pairs: Vec<(BlockAddr, T)> = serde::Deserialize::from_value(v)?;
+            Ok(pairs.into_iter().collect())
+        }
+        fn per_core<T: serde::Deserialize>(
+            v: &serde::Value,
+            name: &str,
+            n: usize,
+        ) -> Result<Vec<HashMap<BlockAddr, T>>, serde::Error> {
+            let arr = v
+                .get(name)
+                .and_then(serde::Value::as_array)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))?;
+            if arr.len() != n {
+                return Err(serde::Error::msg(format!("{name}: core count mismatch")));
+            }
+            arr.iter().map(unsorted).collect()
+        }
+        self.directory.restore(
+            v.get("directory")
+                .ok_or_else(|| serde::Error::msg("missing field `directory`"))?,
+        )?;
+        self.states = per_core(v, "states", self.num_cores)?;
+        self.versions = per_core(v, "versions", self.num_cores)?;
+        self.memory = unsorted(
+            v.get("memory")
+                .ok_or_else(|| serde::Error::msg("missing field `memory`"))?,
+        )?;
+        self.latest = unsorted(
+            v.get("latest")
+                .ok_or_else(|| serde::Error::msg("missing field `latest`"))?,
+        )?;
+        Ok(())
+    }
+
     /// Check all cross-cache invariants; returns a description on violation.
     pub fn check_invariants(&self) -> Result<(), String> {
         self.directory.check_invariants()?;

@@ -68,7 +68,7 @@ struct Entry {
 }
 
 /// Protocol traffic counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DirectoryStats {
     /// GetS/GetM transactions processed.
     pub transactions: u64,
@@ -96,6 +96,32 @@ impl Directory {
     /// Statistics so far.
     pub fn stats(&self) -> &DirectoryStats {
         &self.stats
+    }
+
+    /// Serialize the directory state for checkpointing. Entries are sorted
+    /// by block so identical states produce byte-identical snapshots.
+    pub fn snapshot(&self) -> serde::Value {
+        let mut entries: Vec<(BlockAddr, Option<CoreId>, CoreSet)> = self
+            .entries
+            .iter()
+            .map(|(&block, e)| (block, e.owner, e.sharers))
+            .collect();
+        entries.sort_unstable_by_key(|&(block, _, _)| block);
+        serde::Value::Object(vec![
+            ("entries".to_string(), serde::Serialize::to_value(&entries)),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+        ])
+    }
+
+    /// Overwrite the directory state from a [`Directory::snapshot`] payload.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let entries: Vec<(BlockAddr, Option<CoreId>, CoreSet)> = serde::from_field(v, "entries")?;
+        self.entries = entries
+            .into_iter()
+            .map(|(block, owner, sharers)| (block, Entry { owner, sharers }))
+            .collect();
+        self.stats = serde::from_field(v, "stats")?;
+        Ok(())
     }
 
     /// Cores the directory believes hold `block` (owner + sharers).

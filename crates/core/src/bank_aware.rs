@@ -836,7 +836,9 @@ pub fn validate_bank_rules_masked(
                     return Err(rule(1, format!("{bank} (Center) shared by {owners:?}")));
                 }
                 if owners.len() == 1 {
-                    let c = owners.iter().next().expect("non-empty");
+                    let Some(c) = owners.iter().next() else {
+                        continue;
+                    };
                     if plan.ways_in_bank(c, bank) != bank_ways {
                         return Err(rule(
                             1,

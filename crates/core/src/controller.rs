@@ -116,6 +116,53 @@ impl Controller {
         self.last_plan.as_ref()
     }
 
+    /// Zero the fault-handling counters. Called at run start so counters in
+    /// a `RunResult` describe that run only, not earlier runs of a reused
+    /// controller.
+    pub fn reset_counters(&mut self) {
+        self.counters = FaultCounters::default();
+    }
+
+    /// Serialize the controller's dynamic state (profilers, mask, epoch
+    /// count, last plan, fault counters) for checkpointing. Policy,
+    /// topology and solver configuration are rebuilt from the run options.
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "profilers".to_string(),
+                serde::Serialize::to_value(&self.profilers),
+            ),
+            ("mask".to_string(), serde::Serialize::to_value(&self.mask)),
+            (
+                "epochs".to_string(),
+                serde::Serialize::to_value(&self.epochs),
+            ),
+            (
+                "last_plan".to_string(),
+                serde::Serialize::to_value(&self.last_plan),
+            ),
+            (
+                "counters".to_string(),
+                serde::Serialize::to_value(&self.counters),
+            ),
+        ])
+    }
+
+    /// Overwrite the dynamic state from a [`Controller::snapshot`] payload
+    /// taken on an identically-configured controller.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let profilers: Vec<StackProfiler> = serde::from_field(v, "profilers")?;
+        if profilers.len() != self.profilers.len() {
+            return Err(serde::Error::msg("controller core count mismatch"));
+        }
+        self.profilers = profilers;
+        self.mask = serde::from_field(v, "mask")?;
+        self.epochs = serde::from_field(v, "epochs")?;
+        self.last_plan = serde::from_field(v, "last_plan")?;
+        self.counters = serde::from_field(v, "counters")?;
+        Ok(())
+    }
+
     /// Feed one L2 access into `core`'s profiler (called on every L2
     /// access, hit or miss — MSA monitors the access stream).
     #[inline]

@@ -65,6 +65,22 @@ impl L1Cache {
     pub fn occupancy(&self) -> usize {
         self.cache.occupancy()
     }
+
+    /// Serialize the full L1 state (contents + counters) for checkpointing.
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("cache".to_string(), serde::Serialize::to_value(&self.cache)),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+        ])
+    }
+
+    /// Overwrite this L1's state from a [`L1Cache::snapshot`] payload taken
+    /// on an identically-configured cache.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        self.cache = serde::from_field(v, "cache")?;
+        self.stats = serde::from_field(v, "stats")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -120,6 +120,52 @@ impl CoreModel {
         self.l1.invalidate(block)
     }
 
+    /// Serialize the core's dynamic state (L1, pipeline frontier, ROB,
+    /// MSHRs, statistics) for checkpointing. Configuration fields (width,
+    /// capacities, latencies) are *not* included — restore rebuilds them
+    /// from the same [`SystemConfig`].
+    pub fn snapshot(&self) -> serde::Value {
+        let rob: Vec<(u64, u32)> = self.rob.iter().map(|e| (e.completion, e.count)).collect();
+        serde::Value::Object(vec![
+            ("l1".to_string(), self.l1.snapshot()),
+            (
+                "frontier_ticks".to_string(),
+                serde::Serialize::to_value(&self.frontier_ticks),
+            ),
+            (
+                "cycle_base".to_string(),
+                serde::Serialize::to_value(&self.cycle_base),
+            ),
+            ("rob".to_string(), serde::Serialize::to_value(&rob)),
+            (
+                "rob_occupancy".to_string(),
+                serde::Serialize::to_value(&self.rob_occupancy),
+            ),
+            ("mshrs".to_string(), serde::Serialize::to_value(&self.mshrs)),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+        ])
+    }
+
+    /// Overwrite this core's dynamic state from a [`CoreModel::snapshot`]
+    /// payload taken on an identically-configured core.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        self.l1.restore(
+            v.get("l1")
+                .ok_or_else(|| serde::Error::msg("missing field `l1`"))?,
+        )?;
+        self.frontier_ticks = serde::from_field(v, "frontier_ticks")?;
+        self.cycle_base = serde::from_field(v, "cycle_base")?;
+        let rob: Vec<(u64, u32)> = serde::from_field(v, "rob")?;
+        self.rob = rob
+            .into_iter()
+            .map(|(completion, count)| RobEntry { completion, count })
+            .collect();
+        self.rob_occupancy = serde::from_field(v, "rob_occupancy")?;
+        self.mshrs = serde::from_field(v, "mshrs")?;
+        self.stats = serde::from_field(v, "stats")?;
+        Ok(())
+    }
+
     #[inline]
     fn frontier_cycle(&self) -> Cycle {
         self.frontier_ticks / self.width

@@ -14,6 +14,7 @@
 
 use crate::DramStats;
 use bap_types::{BlockAddr, Cycle};
+use serde::{Deserialize, Serialize};
 
 /// Banked-DRAM geometry and timing (all times in core cycles).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,7 +59,7 @@ struct BankState {
 }
 
 /// Row-buffer statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RowStats {
     /// Accesses hitting the open row.
     pub row_hits: u64,
@@ -184,6 +185,45 @@ impl BankedDram {
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
         self.rows = RowStats::default();
+    }
+
+    /// Serialize the dynamic state (open rows, bank/channel reservations,
+    /// counters) for checkpointing. Geometry and timings are configuration.
+    pub fn snapshot(&self) -> serde::Value {
+        let banks: Vec<(Option<u64>, Cycle)> = self
+            .banks
+            .iter()
+            .map(|b| (b.open_row, b.busy_until))
+            .collect();
+        serde::Value::Object(vec![
+            ("banks".to_string(), serde::Serialize::to_value(&banks)),
+            (
+                "channel_free_at".to_string(),
+                serde::Serialize::to_value(&self.channel_free_at),
+            ),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+            ("rows".to_string(), serde::Serialize::to_value(&self.rows)),
+        ])
+    }
+
+    /// Overwrite the dynamic state from a [`BankedDram::snapshot`] payload
+    /// taken on an identically-configured device.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let banks: Vec<(Option<u64>, Cycle)> = serde::from_field(v, "banks")?;
+        if banks.len() != self.banks.len() {
+            return Err(serde::Error::msg("banked-DRAM geometry mismatch"));
+        }
+        self.banks = banks
+            .into_iter()
+            .map(|(open_row, busy_until)| BankState {
+                open_row,
+                busy_until,
+            })
+            .collect();
+        self.channel_free_at = serde::from_field(v, "channel_free_at")?;
+        self.stats = serde::from_field(v, "stats")?;
+        self.rows = serde::from_field(v, "rows")?;
+        Ok(())
     }
 }
 

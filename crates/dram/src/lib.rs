@@ -11,9 +11,10 @@ pub mod banked;
 pub use banked::{BankedDram, BankedDramConfig, RowStats};
 
 use bap_types::Cycle;
+use serde::{Deserialize, Serialize};
 
 /// Accumulated DRAM counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramStats {
     /// Block requests serviced (reads + write-backs).
     pub requests: u64,
@@ -101,6 +102,25 @@ impl DramModel {
     /// Reset statistics (channel reservation state is kept).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+    }
+
+    /// Serialize the dynamic state (channel reservation + counters) for
+    /// checkpointing. Timing parameters are configuration.
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "channel_free_at".to_string(),
+                serde::Serialize::to_value(&self.channel_free_at),
+            ),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+        ])
+    }
+
+    /// Overwrite the dynamic state from a [`DramModel::snapshot`] payload.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        self.channel_free_at = serde::from_field(v, "channel_free_at")?;
+        self.stats = serde::from_field(v, "stats")?;
+        Ok(())
     }
 }
 

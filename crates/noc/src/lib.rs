@@ -167,6 +167,49 @@ impl NocModel {
     pub fn reset_stats(&mut self) {
         self.stats = NocStats::default();
     }
+
+    /// Serialize the dynamic state (reservations + counters) for
+    /// checkpointing. Topology and occupancy parameters are configuration
+    /// and are rebuilt by the restoring side.
+    pub fn snapshot(&self) -> serde::Value {
+        // HashMap keyed by grid edge: encode as a sorted list so snapshots
+        // of identical states are byte-identical.
+        let mut edges: Vec<(i64, i64, i64, i64, Cycle)> = self
+            .edge_free_at
+            .iter()
+            .map(|(&((ax, ay), (bx, by)), &free)| (ax, ay, bx, by, free))
+            .collect();
+        edges.sort_unstable();
+        serde::Value::Object(vec![
+            (
+                "bank_free_at".to_string(),
+                serde::Serialize::to_value(&self.bank_free_at),
+            ),
+            (
+                "link_free_at".to_string(),
+                serde::Serialize::to_value(&self.link_free_at),
+            ),
+            (
+                "edge_free_at".to_string(),
+                serde::Serialize::to_value(&edges),
+            ),
+            ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+        ])
+    }
+
+    /// Overwrite the dynamic state from a [`NocModel::snapshot`] payload
+    /// taken on an identically-configured model.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        self.bank_free_at = serde::from_field(v, "bank_free_at")?;
+        self.link_free_at = serde::from_field(v, "link_free_at")?;
+        let edges: Vec<(i64, i64, i64, i64, Cycle)> = serde::from_field(v, "edge_free_at")?;
+        self.edge_free_at = edges
+            .into_iter()
+            .map(|(ax, ay, bx, by, free)| (((ax, ay), (bx, by)), free))
+            .collect();
+        self.stats = serde::from_field(v, "stats")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

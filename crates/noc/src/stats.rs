@@ -1,7 +1,9 @@
 //! Interconnect statistics.
 
+use serde::{Deserialize, Serialize};
+
 /// Accumulated NoC counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NocStats {
     /// Requests routed.
     pub requests: u64,

@@ -21,6 +21,7 @@
 pub mod analytic;
 pub mod memory;
 pub mod metrics;
+pub mod recovery;
 pub mod sim;
 
 pub use analytic::{
@@ -28,4 +29,5 @@ pub use analytic::{
     profile_workloads_traced,
 };
 pub use memory::SharedMemory;
-pub use sim::{RunResult, SimOptions, System};
+pub use recovery::{restore_with_recovery, Recovered};
+pub use sim::{EpochControl, Phase, ResumePoint, RunOutcome, RunResult, SimOptions, System};

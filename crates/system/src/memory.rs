@@ -87,6 +87,33 @@ impl MemoryModel {
             MemoryModel::Banked(d) => d.reset_stats(),
         }
     }
+
+    /// Dynamic state as a tagged checkpoint value.
+    pub fn snapshot(&self) -> serde::Value {
+        let (kind, state) = match self {
+            MemoryModel::Flat(d) => ("flat", d.snapshot()),
+            MemoryModel::Banked(d) => ("banked", d.snapshot()),
+        };
+        serde::Value::Object(vec![
+            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            ("state".to_string(), state),
+        ])
+    }
+
+    /// Restore dynamic state; the model kind must match the configured one.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let kind: String = serde::from_field(v, "kind")?;
+        let state = v
+            .get("state")
+            .ok_or_else(|| serde::Error::msg("missing field `state`"))?;
+        match (self, kind.as_str()) {
+            (MemoryModel::Flat(d), "flat") => d.restore(state),
+            (MemoryModel::Banked(d), "banked") => d.restore(state),
+            _ => Err(serde::Error::msg(format!(
+                "DRAM model kind mismatch: checkpoint has `{kind}`"
+            ))),
+        }
+    }
 }
 
 /// The L2 + NoC + DRAM + coherence + controller complex.
@@ -300,8 +327,7 @@ impl SharedMemory {
     fn epoch_boundary_inner(&mut self, epoch: u64) {
         let Some(inj) = self.injector.clone() else {
             if let Some(plan) = self.controller.epoch_boundary() {
-                self.l2.apply_plan(plan, self.scheme);
-                self.plans_applied += 1;
+                self.install(plan);
             }
             self.push_epoch_history();
             return;
@@ -311,17 +337,24 @@ impl SharedMemory {
         for ev in &events {
             match ev.kind {
                 BankEventKind::Offline => {
-                    // Counted by the controller's own mask transition.
-                    let dirty = self.l2.take_bank_offline(ev.bank);
-                    for wb in dirty {
-                        self.dram.writeback(wb, self.clock);
+                    // Counted by the controller's own mask transition. The
+                    // injector draws banks from the live mask, so an
+                    // unknown bank means campaign and topology disagree —
+                    // drop the event rather than corrupt state.
+                    match self.l2.take_bank_offline(ev.bank) {
+                        Ok(dirty) => {
+                            for wb in dirty {
+                                self.dram.writeback(wb, self.clock);
+                            }
+                            self.controller.bank_failed(ev.bank);
+                        }
+                        Err(_) => self.fault_counters.plans_rejected += 1,
                     }
-                    self.controller.bank_failed(ev.bank);
                 }
-                BankEventKind::Restore => {
-                    self.l2.restore_bank(ev.bank);
-                    self.controller.bank_restored(ev.bank);
-                }
+                BankEventKind::Restore => match self.l2.restore_bank(ev.bank) {
+                    Ok(()) => self.controller.bank_restored(ev.bank),
+                    Err(_) => self.fault_counters.plans_rejected += 1,
+                },
             }
         }
         // A bank transition invalidates the installed plan right now, not
@@ -399,6 +432,84 @@ impl SharedMemory {
     /// Whether the L2 currently runs partitioned.
     pub fn mode(&self) -> L2Mode {
         self.l2.mode()
+    }
+
+    /// Zero all fault accounting (system-side counters and the
+    /// controller's ladder counters). The fault-epoch index is *not*
+    /// reset: the injector's deterministic schedule keeps advancing across
+    /// runs on the same system.
+    pub fn reset_fault_counters(&mut self) {
+        self.fault_counters = FaultCounters::default();
+        self.controller.reset_counters();
+    }
+
+    /// Full dynamic state of the hierarchy (everything a resumed run needs
+    /// that is not rebuilt from the configuration: caches, interconnect and
+    /// DRAM timing state, profilers, coherence, accounting). The tracer,
+    /// injector and latency constants are configuration and stay out.
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("l2".to_string(), self.l2.snapshot()),
+            ("noc".to_string(), self.noc.snapshot()),
+            ("dram".to_string(), self.dram.snapshot()),
+            ("controller".to_string(), self.controller.snapshot()),
+            ("coherence".to_string(), self.coherence.snapshot()),
+            (
+                "l2_stats".to_string(),
+                serde::Serialize::to_value(&self.l2_stats),
+            ),
+            (
+                "l2_latency_sum".to_string(),
+                serde::Serialize::to_value(&self.l2_latency_sum),
+            ),
+            (
+                "plans_applied".to_string(),
+                serde::Serialize::to_value(&self.plans_applied),
+            ),
+            (
+                "epoch_history".to_string(),
+                serde::Serialize::to_value(&self.epoch_history),
+            ),
+            (
+                "fault_counters".to_string(),
+                serde::Serialize::to_value(&self.fault_counters),
+            ),
+            (
+                "fault_epoch".to_string(),
+                serde::Serialize::to_value(&self.fault_epoch),
+            ),
+            ("clock".to_string(), serde::Serialize::to_value(&self.clock)),
+        ])
+    }
+
+    /// Restore dynamic state into a freshly constructed hierarchy of the
+    /// same configuration. Geometry mismatches are rejected.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))
+        };
+        self.l2.restore(field("l2")?)?;
+        self.noc.restore(field("noc")?)?;
+        self.dram.restore(field("dram")?)?;
+        self.controller.restore(field("controller")?)?;
+        self.coherence.restore(field("coherence")?)?;
+        let l2_stats: Vec<CacheStats> = serde::from_field(v, "l2_stats")?;
+        if l2_stats.len() != self.l2_stats.len() {
+            return Err(serde::Error::msg("per-core L2 stats count mismatch"));
+        }
+        let l2_latency_sum: Vec<u64> = serde::from_field(v, "l2_latency_sum")?;
+        if l2_latency_sum.len() != self.l2_latency_sum.len() {
+            return Err(serde::Error::msg("per-core L2 latency count mismatch"));
+        }
+        self.l2_stats = l2_stats;
+        self.l2_latency_sum = l2_latency_sum;
+        self.plans_applied = serde::from_field(v, "plans_applied")?;
+        self.epoch_history = serde::from_field(v, "epoch_history")?;
+        self.fault_counters = serde::from_field(v, "fault_counters")?;
+        self.fault_epoch = serde::from_field(v, "fault_epoch")?;
+        self.clock = serde::from_field(v, "clock")?;
+        Ok(())
     }
 }
 

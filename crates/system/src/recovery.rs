@@ -1,0 +1,217 @@
+//! The self-healing restart ladder.
+//!
+//! A crashed run comes back through [`restore_with_recovery`], which walks
+//! the retained checkpoint history newest-first and degrades gracefully
+//! when state turns out to be untrustworthy:
+//!
+//! 1. **Newest checkpoint** decodes, passes its checksum and the restored
+//!    state validates (curve health, plan-vs-mask consistency) — resume.
+//! 2. **An older checkpoint** survives after newer candidates were
+//!    rejected — resume from further back (some progress is replayed).
+//! 3. **No checkpoint exists** (crash before the first boundary) — cold
+//!    start under the original policy; profiling begins from scratch.
+//! 4. **Checkpoints existed but every one was rejected** — the storage or
+//!    state path is systemically untrustworthy, so the ladder lands on the
+//!    most conservative configuration: a cold start under
+//!    [`Policy::Equal`], giving up adaptive repartitioning rather than
+//!    trusting any recovered profiling state.
+//!
+//! Every rejection and the final rung are emitted as `bap-trace` recovery
+//! events, so a post-mortem can read exactly how a run came back.
+
+use crate::sim::{ResumePoint, SimOptions, System};
+use bap_core::Policy;
+use bap_recovery::{RecoveryError, RecoveryManager};
+use bap_trace::{EventKind, Tracer};
+use bap_workloads::WorkloadSpec;
+
+/// A runnable system produced by the recovery ladder.
+pub struct Recovered {
+    /// The system to run.
+    pub system: System,
+    /// Where to resume (`None` = rungs 3/4: start from scratch).
+    pub resume: Option<ResumePoint>,
+    /// The ladder rung taken (1–4, see the module docs).
+    pub rung: u8,
+}
+
+/// Validate a restored system beyond the checkpoint's own checksum: every
+/// profiler curve must be healthy and any installed plan consistent with
+/// the live bank mask.
+fn validate_restored(sys: &System) -> Result<(), RecoveryError> {
+    for (core, curve) in sys.memory().controller.curves().iter().enumerate() {
+        let health = curve.health();
+        if !health.is_clean() {
+            return Err(RecoveryError::Rejected(format!(
+                "core {core} curve unhealthy after restore ({} defects)",
+                health.defects()
+            )));
+        }
+    }
+    if let Some(plan) = sys.memory().l2.plan() {
+        plan.validate_against_mask(sys.memory().l2.bank_mask())
+            .map_err(|e| RecoveryError::Rejected(format!("restored plan invalid: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Bring a crashed run back from its checkpoint history (see the module
+/// docs for the ladder). Infallible by construction: the worst case is a
+/// conservative cold start. The returned system has no tracer attached —
+/// reattach with [`System::set_tracer`] before resuming if the run was
+/// traced.
+pub fn restore_with_recovery(
+    opts: &SimOptions,
+    specs: &[WorkloadSpec],
+    mgr: &RecoveryManager,
+    tracer: &Tracer,
+) -> Recovered {
+    let outcome = mgr.recover(|cp| {
+        let mut sys = System::new(opts.clone(), specs.to_vec());
+        let at = sys
+            .restore_from(cp)
+            .map_err(|e| RecoveryError::Rejected(e.to_string()))?;
+        validate_restored(&sys)?;
+        Ok((sys, at))
+    });
+    match outcome {
+        Ok(out) => {
+            for r in &out.rejected {
+                let reason = r.to_string();
+                tracer.emit(|| EventKind::RestoreRejected { reason });
+            }
+            let rung = out.rung.number();
+            let epoch = out.epoch;
+            tracer.emit(|| EventKind::CheckpointRestored { epoch, rung });
+            let (system, at) = out.value;
+            Recovered {
+                system,
+                resume: Some(at),
+                rung,
+            }
+        }
+        Err(rejections) => {
+            let had_candidates = !rejections.is_empty();
+            for r in &rejections {
+                let reason = r.to_string();
+                tracer.emit(|| EventKind::RestoreRejected { reason });
+            }
+            if had_candidates {
+                tracer.emit(|| EventKind::RecoveryFallback { rung: 4 });
+                let mut conservative = opts.clone();
+                conservative.policy = Policy::Equal;
+                Recovered {
+                    system: System::new(conservative, specs.to_vec()),
+                    resume: None,
+                    rung: 4,
+                }
+            } else {
+                tracer.emit(|| EventKind::RecoveryFallback { rung: 3 });
+                Recovered {
+                    system: System::new(opts.clone(), specs.to_vec()),
+                    resume: None,
+                    rung: 3,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{EpochControl, Phase, SimOptions};
+    use bap_types::SystemConfig;
+    use bap_workloads::spec_by_name;
+
+    fn opts() -> SimOptions {
+        let mut o = SimOptions::new(SystemConfig::scaled(64), Policy::BankAware);
+        o.config.epoch_cycles = 20_000;
+        o.warmup_instructions = 60_000;
+        o.measure_instructions = 150_000;
+        o
+    }
+
+    fn mix() -> Vec<WorkloadSpec> {
+        [
+            "bzip2", "twolf", "facerec", "mgrid", "art", "swim", "mcf", "sixtrack",
+        ]
+        .iter()
+        .map(|n| spec_by_name(n).expect("catalog"))
+        .collect()
+    }
+
+    /// Run until two measurement checkpoints are banked, then stop.
+    fn two_checkpoints() -> RecoveryManager {
+        let mut mgr = RecoveryManager::new(4);
+        let mut sys = System::new(opts(), mix());
+        let mut taken = 0u32;
+        sys.run_with_hook(&mut |s, at| {
+            if at.phase == Phase::Measure {
+                mgr.push(&s.checkpoint(at));
+                taken += 1;
+                if taken == 2 {
+                    return EpochControl::Halt;
+                }
+            }
+            EpochControl::Continue
+        });
+        assert_eq!(mgr.len(), 2, "two checkpoints banked");
+        mgr
+    }
+
+    #[test]
+    fn rung_1_resumes_the_newest_checkpoint_to_the_same_result() {
+        let uninterrupted = System::new(opts(), mix()).run();
+        let mgr = two_checkpoints();
+        let rec = restore_with_recovery(&opts(), &mix(), &mgr, &Tracer::off());
+        assert_eq!(rec.rung, 1);
+        let at = rec.resume.expect("resumable");
+        let mut sys = rec.system;
+        let r = sys
+            .resume_with_hook(at, &mut |_, _| EpochControl::Continue)
+            .into_result();
+        assert_eq!(r.epoch_history, uninterrupted.epoch_history);
+        assert_eq!(r.final_plan, uninterrupted.final_plan);
+    }
+
+    #[test]
+    fn rung_2_falls_back_to_the_older_checkpoint_and_still_converges() {
+        let uninterrupted = System::new(opts(), mix()).run();
+        let mut mgr = two_checkpoints();
+        assert!(mgr.corrupt_newest(40));
+        let rec = restore_with_recovery(&opts(), &mix(), &mgr, &Tracer::off());
+        assert_eq!(rec.rung, 2);
+        let at = rec.resume.expect("resumable");
+        let mut sys = rec.system;
+        // Determinism makes the replayed epochs land on the same plans.
+        let r = sys
+            .resume_with_hook(at, &mut |_, _| EpochControl::Continue)
+            .into_result();
+        assert_eq!(r.epoch_history, uninterrupted.epoch_history);
+        assert_eq!(r.final_plan, uninterrupted.final_plan);
+    }
+
+    #[test]
+    fn rung_3_cold_starts_when_no_checkpoint_exists() {
+        let mgr = RecoveryManager::new(4);
+        let rec = restore_with_recovery(&opts(), &mix(), &mgr, &Tracer::off());
+        assert_eq!(rec.rung, 3);
+        assert!(rec.resume.is_none());
+        assert_eq!(rec.system.options().policy, Policy::BankAware);
+    }
+
+    #[test]
+    fn rung_4_degrades_to_equal_when_every_checkpoint_is_corrupt() {
+        let mut mgr = two_checkpoints();
+        assert_eq!(mgr.corrupt_all(40), 2, "both slots corrupted");
+        let rec = restore_with_recovery(&opts(), &mix(), &mgr, &Tracer::off());
+        assert_eq!(rec.rung, 4);
+        assert!(rec.resume.is_none());
+        assert_eq!(
+            rec.system.options().policy,
+            Policy::Equal,
+            "systemic corruption lands on the conservative policy"
+        );
+    }
+}

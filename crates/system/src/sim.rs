@@ -170,8 +170,111 @@ pub struct System {
     opts: SimOptions,
     cores: Vec<CoreModel>,
     streams: Vec<OpStream>,
+    /// Ops drawn from each stream so far. Checkpoints record these counts
+    /// instead of serializing generator internals: restore rebuilds the
+    /// streams from the seed and fast-forwards by re-drawing.
+    ops_drawn: Vec<u64>,
     mem: SharedMemory,
 }
+
+/// Which slice of a run an epoch boundary fired in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Cache warm-up (statistics discarded at its end).
+    Warmup,
+    /// The measured slice.
+    Measure,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Warmup => "warmup",
+            Phase::Measure => "measure",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, serde::Error> {
+        match s {
+            "warmup" => Ok(Phase::Warmup),
+            "measure" => Ok(Phase::Measure),
+            other => Err(serde::Error::msg(format!("unknown phase `{other}`"))),
+        }
+    }
+}
+
+/// Where a run stands at an epoch boundary — together with a
+/// [`System::checkpoint`] snapshot, enough to resume the run mid-flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumePoint {
+    /// The phase the boundary fired in.
+    pub phase: Phase,
+    /// Epoch boundaries fired so far in this phase.
+    pub epochs: u64,
+    /// The cycle at which the next boundary fires.
+    pub next_epoch: Cycle,
+}
+
+impl ResumePoint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "phase".to_string(),
+                serde::Value::Str(self.phase.name().to_string()),
+            ),
+            (
+                "epochs".to_string(),
+                serde::Serialize::to_value(&self.epochs),
+            ),
+            (
+                "next_epoch".to_string(),
+                serde::Serialize::to_value(&self.next_epoch),
+            ),
+        ])
+    }
+
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let phase: String = serde::from_field(v, "phase")?;
+        Ok(ResumePoint {
+            phase: Phase::parse(&phase)?,
+            epochs: serde::from_field(v, "epochs")?,
+            next_epoch: serde::from_field(v, "next_epoch")?,
+        })
+    }
+}
+
+/// What an epoch hook tells the driver to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochControl {
+    /// Keep running.
+    Continue,
+    /// Stop right here — a simulated crash (or an external kill point).
+    Halt,
+}
+
+/// How a hooked run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Both phases ran to completion.
+    Completed(Box<RunResult>),
+    /// The hook halted the run at this epoch boundary.
+    Halted(ResumePoint),
+}
+
+impl RunOutcome {
+    /// The completed result, panicking on a halt (test convenience).
+    pub fn into_result(self) -> RunResult {
+        match self {
+            RunOutcome::Completed(r) => *r,
+            RunOutcome::Halted(at) => panic!("run halted at {at:?}"),
+        }
+    }
+}
+
+/// An epoch-boundary observer: called right after each boundary fires with
+/// the system state and the exact resume point a checkpoint taken now
+/// would resume from.
+pub type EpochHook<'a> = &'a mut dyn FnMut(&System, &ResumePoint) -> EpochControl;
 
 impl System {
     /// Build a system running one workload per core (`specs.len()` must
@@ -198,7 +301,7 @@ impl System {
     /// replayed traces, hand-written generators).
     pub fn with_streams(opts: SimOptions, streams: Vec<OpStream>) -> Self {
         assert_eq!(streams.len(), opts.config.num_cores, "one stream per core");
-        let cores = (0..opts.config.num_cores)
+        let cores: Vec<CoreModel> = (0..opts.config.num_cores)
             .map(|c| CoreModel::new(CoreId(c as u8), &opts.config))
             .collect();
         let mut mem = SharedMemory::with_options(
@@ -212,12 +315,25 @@ impl System {
         if let Some(f) = opts.fault.clone() {
             mem.set_fault_injection(f);
         }
+        let ops_drawn = vec![0; cores.len()];
         System {
             opts,
             cores,
             streams,
+            ops_drawn,
             mem,
         }
+    }
+
+    /// The options this system was built with.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// The shared memory hierarchy (read access for invariant checks and
+    /// checkpoint consumers).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.mem
     }
 
     /// Attach a decision-trace handle to the memory hierarchy (controller,
@@ -253,6 +369,7 @@ impl System {
     fn advance_core(&mut self, core: usize, target: u64, until: Cycle) {
         while self.cores[core].stats().instructions < target && self.cores[core].now() < until {
             let op = self.streams[core].next().expect("streams are infinite");
+            self.ops_drawn[core] += 1;
             let op = self.remap_shared(op);
             self.cores[core].step(op, &mut self.mem);
         }
@@ -267,13 +384,33 @@ impl System {
     /// quantum instead of an O(cores) scan — the term that made
     /// `exp_scalability` quadratic at 16–32 cores. The (clock, index) key
     /// reproduces the old scan's first-minimal-index tie-break exactly.
-    fn run_phase(&mut self, instructions: u64) -> u64 {
+    ///
+    /// `resume` carries a prior boundary's `(epochs, next_epoch)` when the
+    /// phase continues from a restored checkpoint; `hook` observes every
+    /// boundary and may halt the run (simulated crash). The work heap is
+    /// rebuilt from the cores' clocks on entry — valid because every live
+    /// entry equals its core's `now()` at push time, so a rebuild
+    /// reproduces the exact heap contents (and (clock, index) keys are
+    /// unique, so the pop order too) that the uninterrupted run had at the
+    /// same boundary.
+    fn run_phase_from(
+        &mut self,
+        phase: Phase,
+        instructions: u64,
+        resume: Option<(u64, Cycle)>,
+        hook: EpochHook<'_>,
+    ) -> Result<u64, ResumePoint> {
         // Small quantum keeps the cores' local clocks tightly aligned so the
         // reservation-based contention models see near-causal traffic.
         let quantum: Cycle = 500;
         let epoch = self.opts.config.epoch_cycles;
-        let mut epochs = 0u64;
-        let mut next_epoch: Cycle = self.cores.iter().map(|c| c.now()).min().unwrap_or(0) + epoch;
+        let (mut epochs, mut next_epoch) = match resume {
+            Some(at) => at,
+            None => (
+                0,
+                self.cores.iter().map(|c| c.now()).min().unwrap_or(0) + epoch,
+            ),
+        };
         // Unfinished cores, laggard on top.
         let mut ready: BinaryHeap<Reverse<(Cycle, usize)>> = self
             .cores
@@ -300,28 +437,101 @@ impl System {
                     }
                     next_epoch += epoch;
                     epochs += 1;
+                    let at = ResumePoint {
+                        phase,
+                        epochs,
+                        next_epoch,
+                    };
+                    if hook(self, &at) == EpochControl::Halt {
+                        return Err(at);
+                    }
                 }
             }
         }
         for c in &mut self.cores {
             c.finish();
         }
-        epochs
+        Ok(epochs)
     }
 
-    /// Execute warm-up + measurement and return the results.
-    pub fn run(mut self) -> RunResult {
-        if self.opts.warmup_instructions > 0 {
-            self.run_phase(self.opts.warmup_instructions);
-        }
-        // Reset measurement state; caches, profilers and plans stay warm.
+    /// Reset measurement state; caches, profilers and plans stay warm.
+    fn begin_measurement(&mut self) {
         for c in &mut self.cores {
             c.reset_stats();
         }
         self.mem.reset_stats();
+    }
 
-        let epochs = self.run_phase(self.opts.measure_instructions);
+    /// Execute warm-up + measurement and return the results.
+    pub fn run(mut self) -> RunResult {
+        self.run_in_place()
+    }
 
+    /// [`System::run`] without consuming the system, so one machine can run
+    /// several slices back to back (warm state carries over; all counters —
+    /// including fault accounting — start from zero each run).
+    pub fn run_in_place(&mut self) -> RunResult {
+        self.run_with_hook(&mut |_, _| EpochControl::Continue)
+            .into_result()
+    }
+
+    /// Run warm-up + measurement with an epoch-boundary hook. On a fresh
+    /// system this is bit-identical to [`System::run`] when the hook always
+    /// continues; a halting hook ends the run early with the resume point a
+    /// checkpoint taken at that boundary resumes from.
+    pub fn run_with_hook(&mut self, hook: EpochHook<'_>) -> RunOutcome {
+        // A reused system must not leak statistics or fault accounting from
+        // a previous run into this one's result (on a fresh system every
+        // counter is already zero, so these resets change nothing). The
+        // injector's deterministic epoch schedule is *not* rewound.
+        self.begin_measurement();
+        self.mem.reset_fault_counters();
+        if self.opts.warmup_instructions > 0 {
+            if let Err(at) =
+                self.run_phase_from(Phase::Warmup, self.opts.warmup_instructions, None, hook)
+            {
+                return RunOutcome::Halted(at);
+            }
+        }
+        self.begin_measurement();
+        match self.run_phase_from(Phase::Measure, self.opts.measure_instructions, None, hook) {
+            Ok(epochs) => RunOutcome::Completed(Box::new(self.collect(epochs))),
+            Err(at) => RunOutcome::Halted(at),
+        }
+    }
+
+    /// Continue a run from a restored checkpoint's resume point. Counters
+    /// are *not* reset — the restored state already carries the run's
+    /// accumulated statistics.
+    pub fn resume_with_hook(&mut self, at: ResumePoint, hook: EpochHook<'_>) -> RunOutcome {
+        let measure_resume = match at.phase {
+            Phase::Warmup => {
+                if let Err(p) = self.run_phase_from(
+                    Phase::Warmup,
+                    self.opts.warmup_instructions,
+                    Some((at.epochs, at.next_epoch)),
+                    hook,
+                ) {
+                    return RunOutcome::Halted(p);
+                }
+                self.begin_measurement();
+                None
+            }
+            Phase::Measure => Some((at.epochs, at.next_epoch)),
+        };
+        match self.run_phase_from(
+            Phase::Measure,
+            self.opts.measure_instructions,
+            measure_resume,
+            hook,
+        ) {
+            Ok(epochs) => RunOutcome::Completed(Box::new(self.collect(epochs))),
+            Err(p) => RunOutcome::Halted(p),
+        }
+    }
+
+    /// Assemble the run result after the measurement phase.
+    fn collect(&self, epochs: u64) -> RunResult {
         let per_core: Vec<CoreStats> = self
             .cores
             .iter()
@@ -348,6 +558,124 @@ impl System {
             fault: self.mem.fault_counters(),
             trace: self.mem.tracer().summary(),
         }
+    }
+
+    /// Capture the full dynamic state of the run at an epoch boundary.
+    ///
+    /// The payload holds a configuration fingerprint (core count, seed,
+    /// policy — restore refuses a checkpoint taken under different ones),
+    /// every core model, the per-stream op counts (streams are rebuilt from
+    /// the seed and fast-forwarded, not serialized), the whole memory
+    /// hierarchy and the resume point. Tracer and injector are
+    /// configuration and are reattached by the caller.
+    pub fn checkpoint(&self, at: &ResumePoint) -> bap_recovery::Checkpoint {
+        let payload = serde::Value::Object(vec![
+            (
+                "num_cores".to_string(),
+                serde::Serialize::to_value(&self.opts.config.num_cores),
+            ),
+            (
+                "seed".to_string(),
+                serde::Serialize::to_value(&self.opts.seed),
+            ),
+            (
+                "policy".to_string(),
+                serde::Value::Str(format!("{:?}", self.opts.policy)),
+            ),
+            (
+                "cores".to_string(),
+                serde::Value::Array(self.cores.iter().map(|c| c.snapshot()).collect()),
+            ),
+            (
+                "ops_drawn".to_string(),
+                serde::Serialize::to_value(&self.ops_drawn),
+            ),
+            ("mem".to_string(), self.mem.snapshot()),
+            ("resume".to_string(), at.to_value()),
+        ]);
+        bap_recovery::Checkpoint::new(self.mem.epoch_history().len() as u64, payload)
+    }
+
+    /// Restore a checkpoint into this freshly built system and return the
+    /// point to resume from.
+    ///
+    /// On error the system is left partially restored — discard it and
+    /// build a fresh one (the recovery ladder does exactly that per
+    /// attempt).
+    pub fn restore_from(
+        &mut self,
+        cp: &bap_recovery::Checkpoint,
+    ) -> Result<ResumePoint, serde::Error> {
+        let v = &cp.payload;
+        let num_cores: usize = serde::from_field(v, "num_cores")?;
+        if num_cores != self.opts.config.num_cores {
+            return Err(serde::Error::msg(format!(
+                "checkpoint is for {num_cores} cores, system has {}",
+                self.opts.config.num_cores
+            )));
+        }
+        let seed: u64 = serde::from_field(v, "seed")?;
+        if seed != self.opts.seed {
+            return Err(serde::Error::msg(format!(
+                "checkpoint seed {seed} != system seed {}",
+                self.opts.seed
+            )));
+        }
+        let policy: String = serde::from_field(v, "policy")?;
+        if policy != format!("{:?}", self.opts.policy) {
+            return Err(serde::Error::msg(format!(
+                "checkpoint policy `{policy}` != system policy `{:?}`",
+                self.opts.policy
+            )));
+        }
+        // Fast-forward the freshly seeded streams to where the checkpointed
+        // run had drawn them.
+        let ops_drawn: Vec<u64> = serde::from_field(v, "ops_drawn")?;
+        if ops_drawn.len() != self.streams.len() {
+            return Err(serde::Error::msg("per-core op-count length mismatch"));
+        }
+        for (c, &n) in ops_drawn.iter().enumerate() {
+            let already = self.ops_drawn[c];
+            if n < already {
+                return Err(serde::Error::msg(
+                    "stream already drawn past the checkpoint — restore into a fresh system",
+                ));
+            }
+            for _ in already..n {
+                self.streams[c].next();
+            }
+        }
+        self.ops_drawn = ops_drawn;
+        let cores = v
+            .get("cores")
+            .and_then(|c| c.as_array())
+            .ok_or_else(|| serde::Error::msg("missing field `cores`"))?;
+        if cores.len() != self.cores.len() {
+            return Err(serde::Error::msg("core-model count mismatch"));
+        }
+        for (core, cv) in self.cores.iter_mut().zip(cores) {
+            core.restore(cv)?;
+        }
+        self.mem.restore(
+            v.get("mem")
+                .ok_or_else(|| serde::Error::msg("missing field `mem`"))?,
+        )?;
+        ResumePoint::from_value(
+            v.get("resume")
+                .ok_or_else(|| serde::Error::msg("missing field `resume`"))?,
+        )
+    }
+
+    /// Build a system from options + specs and restore a checkpoint into
+    /// it: the one-call path a restarted process takes.
+    pub fn restore(
+        opts: SimOptions,
+        specs: Vec<WorkloadSpec>,
+        cp: &bap_recovery::Checkpoint,
+    ) -> Result<(System, ResumePoint), serde::Error> {
+        let mut sys = System::new(opts, specs);
+        let at = sys.restore_from(cp)?;
+        Ok((sys, at))
     }
 }
 
@@ -517,6 +845,105 @@ mod tests {
         if let Some(plan) = &r.final_plan {
             plan.validate()
                 .expect("installed plan is structurally valid");
+        }
+    }
+
+    #[test]
+    fn kill_and_restore_reproduces_the_uninterrupted_run() {
+        let uninterrupted = System::new(opts(Policy::BankAware), mix()).run();
+
+        // Kill at the second measurement boundary, checkpointing there.
+        let mut cp = None;
+        let mut sys = System::new(opts(Policy::BankAware), mix());
+        let outcome = sys.run_with_hook(&mut |s, at| {
+            if at.phase == Phase::Measure && at.epochs == 2 {
+                cp = Some(s.checkpoint(at));
+                EpochControl::Halt
+            } else {
+                EpochControl::Continue
+            }
+        });
+        assert!(matches!(outcome, RunOutcome::Halted(_)), "crash simulated");
+        drop(sys);
+
+        // Round-trip through the encoded byte form — exactly what a real
+        // restart would read back off stable storage.
+        let bytes = cp.expect("checkpoint taken").encode();
+        let cp = bap_recovery::Checkpoint::decode(&bytes).expect("clean checkpoint");
+        let (mut resumed, at) = System::restore(opts(Policy::BankAware), mix(), &cp).unwrap();
+        let r = resumed
+            .resume_with_hook(at, &mut |_, _| EpochControl::Continue)
+            .into_result();
+
+        assert_eq!(r.epoch_history, uninterrupted.epoch_history);
+        assert_eq!(r.final_plan, uninterrupted.final_plan);
+        assert_eq!(r.epochs, uninterrupted.epochs);
+        assert_eq!(r.total_l2_misses(), uninterrupted.total_l2_misses());
+        for (a, b) in r.per_core.iter().zip(&uninterrupted.per_core) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.l2, b.l2);
+        }
+    }
+
+    #[test]
+    fn kill_and_restore_during_warmup_also_converges() {
+        let uninterrupted = System::new(opts(Policy::BankAware), mix()).run();
+        let mut cp = None;
+        let mut sys = System::new(opts(Policy::BankAware), mix());
+        let outcome = sys.run_with_hook(&mut |s, at| {
+            if at.phase == Phase::Warmup && at.epochs == 1 {
+                cp = Some(s.checkpoint(at));
+                EpochControl::Halt
+            } else {
+                EpochControl::Continue
+            }
+        });
+        assert!(matches!(outcome, RunOutcome::Halted(_)));
+        let (mut resumed, at) =
+            System::restore(opts(Policy::BankAware), mix(), &cp.unwrap()).unwrap();
+        let r = resumed
+            .resume_with_hook(at, &mut |_, _| EpochControl::Continue)
+            .into_result();
+        assert_eq!(r.epoch_history, uninterrupted.epoch_history);
+        assert_eq!(r.final_plan, uninterrupted.final_plan);
+        assert_eq!(r.total_l2_misses(), uninterrupted.total_l2_misses());
+    }
+
+    #[test]
+    fn restore_refuses_a_mismatched_configuration() {
+        let mut sys = System::new(opts(Policy::BankAware), mix());
+        let mut cp = None;
+        sys.run_with_hook(&mut |s, at| {
+            cp = Some(s.checkpoint(at));
+            EpochControl::Halt
+        });
+        let cp = cp.expect("at least one epoch fired");
+        let mut wrong_seed = opts(Policy::BankAware);
+        wrong_seed.seed += 1;
+        assert!(System::restore(wrong_seed, mix(), &cp).is_err());
+        assert!(System::restore(opts(Policy::Equal), mix(), &cp).is_err());
+    }
+
+    #[test]
+    fn fault_counters_do_not_leak_across_reuse_runs() {
+        let mut o = opts(Policy::BankAware);
+        let mut f = bap_fault::FaultConfig::with_seed(7);
+        f.forced_offline = vec![(1, 9)];
+        o.fault = Some(f);
+        let mut sys = System::new(o, mix());
+        let first = sys.run_in_place();
+        assert_eq!(first.fault.banks_failed, 1, "the forced fault fired");
+        // The second run sees a degraded but stable machine: no new fault
+        // events, so its accounting must start from (and stay at) zero.
+        let second = sys.run_in_place();
+        assert_eq!(
+            second.fault.banks_failed, 0,
+            "accounting leaked across runs"
+        );
+        assert!(second.fault.is_zero(), "{:?}", second.fault);
+        for c in &second.per_core {
+            assert!(c.instructions >= 150_000, "reused run completed");
         }
     }
 

@@ -174,6 +174,33 @@ pub enum EventKind {
         /// Profiled L2 accesses (curve denominator).
         accesses: f64,
     },
+    /// An epoch-boundary checkpoint of the full pipeline state was taken.
+    CheckpointTaken {
+        /// Encoded checkpoint size in bytes.
+        bytes: usize,
+    },
+    /// A checkpoint was decoded, validated and restored into a fresh
+    /// system.
+    CheckpointRestored {
+        /// The epoch the restored state had reached.
+        epoch: u64,
+        /// Recovery-ladder rung that produced the restore (1 = newest
+        /// checkpoint, 2 = an older checkpoint).
+        rung: u8,
+    },
+    /// A checkpoint candidate was rejected during recovery (checksum or
+    /// version mismatch, undecodable payload, unhealthy restored curves).
+    RestoreRejected {
+        /// Why the candidate was refused.
+        reason: String,
+    },
+    /// The recovery ladder fell past the checkpoint rungs: 3 = cold
+    /// re-profile (all state lost), 4 = equal-partition fallback (re-profile
+    /// impossible or pointless under the active policy).
+    RecoveryFallback {
+        /// The rung taken (3 or 4).
+        rung: u8,
+    },
     /// Wall-clock timing of one pipeline stage. Only recorded when the
     /// sink opts in ([`crate::TraceSink::wants_timings`]) — timing values
     /// are non-deterministic by nature and would break byte-identical
@@ -209,6 +236,10 @@ impl EventKind {
             EventKind::EpochDropped => "epoch_dropped",
             EventKind::CurveCorrupted { .. } => "curve_corrupted",
             EventKind::WorkloadProfiled { .. } => "workload_profiled",
+            EventKind::CheckpointTaken { .. } => "checkpoint_taken",
+            EventKind::CheckpointRestored { .. } => "checkpoint_restored",
+            EventKind::RestoreRejected { .. } => "restore_rejected",
+            EventKind::RecoveryFallback { .. } => "recovery_fallback",
             EventKind::StageTiming { .. } => "stage_timing",
         }
     }

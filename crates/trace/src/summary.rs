@@ -51,6 +51,14 @@ pub struct TraceSummary {
     pub curves_corrupted: u64,
     /// Stand-alone workload profiles completed.
     pub workloads_profiled: u64,
+    /// Epoch-boundary checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Checkpoints successfully restored.
+    pub checkpoints_restored: u64,
+    /// Checkpoint candidates rejected during recovery.
+    pub restores_rejected: u64,
+    /// Recovery-ladder fallbacks past the checkpoint rungs.
+    pub recovery_fallbacks: u64,
     /// Stage timings recorded (only with a timing-hungry sink).
     pub stage_timings: u64,
 }
@@ -79,6 +87,10 @@ impl TraceSummary {
             EventKind::EpochDropped => self.epochs_dropped += 1,
             EventKind::CurveCorrupted { .. } => self.curves_corrupted += 1,
             EventKind::WorkloadProfiled { .. } => self.workloads_profiled += 1,
+            EventKind::CheckpointTaken { .. } => self.checkpoints_taken += 1,
+            EventKind::CheckpointRestored { .. } => self.checkpoints_restored += 1,
+            EventKind::RestoreRejected { .. } => self.restores_rejected += 1,
+            EventKind::RecoveryFallback { .. } => self.recovery_fallbacks += 1,
             EventKind::StageTiming { .. } => {
                 // Timings are bookkeeping, not pipeline decisions.
                 self.events -= 1;

@@ -22,6 +22,8 @@
 //! * [`partitioning`] — marginal utility, Unrestricted (UCP-style) and the
 //!   paper's Bank-aware allocation algorithm plus the epoch controller and
 //!   its degradation ladder;
+//! * [`recovery`] — versioned, checksummed epoch-boundary checkpoints and
+//!   the bounded checkpoint history behind crash recovery;
 //! * [`system`] — the integrated 8-core CMP simulator and the analytic
 //!   Monte Carlo evaluator.
 //!
@@ -36,6 +38,7 @@ pub use bap_energy as energy;
 pub use bap_fault as fault;
 pub use bap_msa as msa;
 pub use bap_noc as noc;
+pub use bap_recovery as recovery;
 pub use bap_system as system;
 pub use bap_trace as trace;
 pub use bap_types as types;
