@@ -385,6 +385,37 @@ impl PartitionPlan {
     pub fn total_ways_used(&self) -> usize {
         self.per_core.iter().flatten().map(|a| a.ways).sum()
     }
+
+    /// How many concrete `(bank, way)` slots change owner when switching
+    /// from `other` to `self` — the migration cost the hysteresis gate
+    /// weighs against a candidate plan's projected miss reduction. Each
+    /// counted way implies flushing/refilling one way of one bank.
+    ///
+    /// Owners are compared on the derived [`PartitionPlan::way_owners`]
+    /// layout, so two plans that assign the same totals through different
+    /// allocation entries cost zero. Plans shaped for different machines,
+    /// or with an over-subscribed bank, count as total churn (every way of
+    /// `self` moves).
+    pub fn way_churn(&self, other: &PartitionPlan) -> usize {
+        let total = self.num_banks * self.bank_ways;
+        if self.num_banks != other.num_banks
+            || self.bank_ways != other.bank_ways
+            || self.num_cores() != other.num_cores()
+        {
+            return total;
+        }
+        let mut churn = 0;
+        for b in 0..self.num_banks {
+            let bank = BankId(b as u8);
+            match (self.try_way_owners(bank), other.try_way_owners(bank)) {
+                (Ok(now), Ok(then)) => {
+                    churn += now.iter().zip(then.iter()).filter(|(a, b)| a != b).count();
+                }
+                _ => return total,
+            }
+        }
+        churn
+    }
 }
 
 impl fmt::Display for PartitionPlan {
@@ -554,6 +585,63 @@ mod tests {
         });
         assert_eq!(p.ways_in_bank(CoreId(0), BankId(1)), 5);
         assert_eq!(p.ways_in_bank(CoreId(0), BankId(0)), 0);
+    }
+
+    #[test]
+    fn way_churn_zero_for_identical_and_equivalent_plans() {
+        let p = PartitionPlan::equal(8, 16, 8);
+        assert_eq!(p.way_churn(&p), 0);
+        // Same totals expressed through split allocation entries still derive
+        // the same way-owner layout, so churn stays zero.
+        let mut q = PartitionPlan::empty(8, 16, 8);
+        for c in 0..8 {
+            q.per_core[c].push(BankAllocation {
+                bank: BankId(c as u8),
+                ways: 5,
+            });
+            q.per_core[c].push(BankAllocation {
+                bank: BankId(c as u8),
+                ways: 3,
+            });
+            q.per_core[c].push(BankAllocation {
+                bank: BankId((8 + c) as u8),
+                ways: 8,
+            });
+        }
+        assert_eq!(p.way_churn(&q), 0);
+    }
+
+    #[test]
+    fn way_churn_counts_moved_ways() {
+        // Two cores share one bank; moving the boundary by two ways churns
+        // exactly the two ways that change owner.
+        let mut a = PartitionPlan::empty(2, 1, 8);
+        a.per_core[0].push(BankAllocation {
+            bank: BankId(0),
+            ways: 4,
+        });
+        a.per_core[1].push(BankAllocation {
+            bank: BankId(0),
+            ways: 4,
+        });
+        let mut b = PartitionPlan::empty(2, 1, 8);
+        b.per_core[0].push(BankAllocation {
+            bank: BankId(0),
+            ways: 6,
+        });
+        b.per_core[1].push(BankAllocation {
+            bank: BankId(0),
+            ways: 2,
+        });
+        assert_eq!(b.way_churn(&a), 2);
+        assert_eq!(a.way_churn(&b), 2, "churn is symmetric for equal totals");
+    }
+
+    #[test]
+    fn way_churn_geometry_mismatch_is_total() {
+        let p = PartitionPlan::equal(8, 16, 8);
+        let q = PartitionPlan::equal(4, 8, 8);
+        assert_eq!(p.way_churn(&q), 16 * 8);
     }
 
     #[test]

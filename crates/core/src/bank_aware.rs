@@ -65,6 +65,47 @@ impl Default for BankAwareConfig {
     }
 }
 
+/// Deterministic step budget for one solve (the epoch decision budget of
+/// the control-loop robustness layer).
+///
+/// A *step* is one marginal-utility bid evaluation in the solver's bidding
+/// loops, so the budget bounds decision latency in machine-independent
+/// units. `max_steps == 0` means unlimited. Exhaustion behaves differently
+/// by phase:
+///
+/// * during **Boxes 1–2** (Center bidding) the allocation cannot be closed
+///   out consistently — free Center banks would stay unassigned — so the
+///   solve fails typed with [`PartitionError::BudgetExhausted`] and the
+///   controller keeps the last-good plan;
+/// * during **Boxes 4–6** (Local bidding) every intermediate state is a
+///   consistent checkpoint: the solver closes out early (each open core
+///   keeps the remainder of its own Local bank — the same closure as the
+///   no-positive-utility exit), emits [`EventKind::SolverCheckpoint`] and
+///   still returns a complete, rule-valid plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Maximum bid evaluations (0 = unlimited).
+    pub max_steps: u64,
+}
+
+impl SolveBudget {
+    /// No limit — the classic solver behaviour.
+    pub fn unlimited() -> Self {
+        SolveBudget { max_steps: 0 }
+    }
+
+    /// Limit the solve to `max_steps` bid evaluations.
+    pub fn steps(max_steps: u64) -> Self {
+        SolveBudget { max_steps }
+    }
+
+    /// Whether `steps` consumed so far exhaust this budget.
+    #[inline]
+    fn exhausted(&self, steps: u64) -> bool {
+        self.max_steps > 0 && steps >= self.max_steps
+    }
+}
+
 /// Why the Bank-aware solver could not produce a plan. Every variant is a
 /// recoverable event: the controller's degradation ladder catches it and
 /// falls back to a previously-valid or equal-share plan.
@@ -95,6 +136,13 @@ pub enum PartitionError {
         /// The stranded core.
         core: usize,
     },
+    /// The step budget ran out during the Center phase, where no consistent
+    /// early close-out exists. The controller sheds the decision and keeps
+    /// the last-good plan.
+    BudgetExhausted {
+        /// Bid evaluations consumed when the budget tripped.
+        steps: u64,
+    },
     /// A solver invariant failed — the pre-fault-tolerance code would have
     /// panicked here.
     Internal(&'static str),
@@ -120,6 +168,9 @@ impl std::fmt::Display for PartitionError {
             ),
             PartitionError::NoUsableCapacity { core } => {
                 write!(f, "core{core} has no reachable healthy capacity")
+            }
+            PartitionError::BudgetExhausted { steps } => {
+                write!(f, "decision budget exhausted after {steps} solver steps")
             }
             PartitionError::Internal(what) => write!(f, "solver invariant failed: {what}"),
             PartitionError::InvalidPlan(e) => write!(f, "emitted plan invalid: {e}"),
@@ -170,6 +221,11 @@ pub fn bank_aware_partition<C: Borrow<MissRatioCurve>>(
     bank_ways: usize,
     cfg: &BankAwareConfig,
 ) -> PartitionPlan {
+    // INVARIANT: this wrapper's documented contract is panic-on-malformed-
+    // input; every failure mode needs either bad inputs (checked above the
+    // solve) or a degraded mask/budget, and this call passes a fully
+    // healthy machine with an unlimited budget. Fallible callers use
+    // `try_bank_aware_partition`.
     try_bank_aware_partition(
         curves,
         &DegradedTopology::healthy(topo.clone()),
@@ -209,6 +265,30 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
     cfg: &BankAwareConfig,
     tracer: &Tracer,
 ) -> Result<PartitionPlan, PartitionError> {
+    try_bank_aware_partition_budgeted(
+        curves,
+        machine,
+        bank_ways,
+        cfg,
+        tracer,
+        SolveBudget::unlimited(),
+    )
+}
+
+/// [`try_bank_aware_partition_traced`] under a deterministic step budget
+/// (see [`SolveBudget`] for the exhaustion semantics per phase). With
+/// [`SolveBudget::unlimited`] the solve — and the emitted trace — is
+/// bit-identical to the unbudgeted entry point.
+pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+    tracer: &Tracer,
+    budget: SolveBudget,
+) -> Result<PartitionPlan, PartitionError> {
+    // Bid evaluations consumed so far — the budget's clock.
+    let mut steps: u64 = 0;
     let topo = machine.topology();
     let n = topo.num_cores();
     if curves.len() != n {
@@ -259,6 +339,12 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
     // One Rule-1 rejection per core, however many bidding rounds it loses.
     let mut rule1_rejected: Vec<bool> = vec![false; n];
     while !free_centers.is_empty() {
+        // Budget check at round granularity. Mid-Center exhaustion has no
+        // consistent close-out (free Center banks would go unassigned), so
+        // the whole decision is shed.
+        if budget.exhausted(steps) {
+            return Err(PartitionError::BudgetExhausted { steps });
+        }
         // Each core bids its best *bank-granular* lookahead growth: the
         // utility per way of taking `k` whole banks, maximised over the
         // feasible `k` (bounded by the cap and the remaining free banks).
@@ -292,6 +378,7 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
             // Strict improvement keeps the smallest committing growth:
             // smooth curves bid one bank at a time, true cliffs bid the
             // whole jump.
+            steps += headroom_banks as u64;
             let mut k = 1usize;
             let mut mu = curve.marginal_utility(assumed_ways[c], bank_ways);
             for cand in 2..=headroom_banks {
@@ -475,6 +562,15 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
     }
 
     loop {
+        // Budget check: every Local-phase state is a consistent checkpoint,
+        // so exhaustion here closes out early instead of shedding — the
+        // bidding is skipped, `best` stays empty, and the no-growth arm
+        // below finalises every open core with the remainder of its own
+        // Local bank, yielding a complete rule-valid plan.
+        let checkpointed = budget.exhausted(steps);
+        if checkpointed {
+            tracer.emit(|| EventKind::SolverCheckpoint { steps });
+        }
         let mut best: Option<(usize, Bid, f64)> = None;
         let consider = |best: &mut Option<(usize, Bid, f64)>, c: usize, bid: Bid, mu: f64| {
             let better = match *best {
@@ -488,6 +584,9 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
             }
         };
         for c in 0..n {
+            if checkpointed {
+                break;
+            }
             let neighbours = topo.neighbours(CoreId(c as u8));
             if open[c] {
                 // Budget includes a possible overflow into a legal
@@ -508,6 +607,8 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
                 if budget == 0 {
                     continue;
                 }
+                // One step per candidate growth the lookahead scans.
+                steps += budget as u64;
                 if let Some((extra, mu)) = curves[c].borrow().best_growth(claimed[c], budget) {
                     let bid = if extra > own_remaining[c] {
                         Bid::Pair
@@ -529,6 +630,7 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
                 if budget == 0 {
                     continue;
                 }
+                steps += budget as u64;
                 if let Some((_, mu)) = curves[c].borrow().best_growth(assumed_ways[c], budget) {
                     consider(&mut best, c, Bid::Share, mu);
                 }
@@ -1329,5 +1431,104 @@ mod tests {
         let err = validate_bank_rules_masked(&plan, &machine).unwrap_err();
         assert!(matches!(err, PlanError::RuleViolation { rule: 0, .. }));
         assert!(err.to_string().contains("offline"), "{err}");
+    }
+
+    fn budgeted(
+        curves: &[MissRatioCurve],
+        budget: SolveBudget,
+        tracer: &bap_trace::Tracer,
+    ) -> Result<PartitionPlan, PartitionError> {
+        try_bank_aware_partition_budgeted(
+            curves,
+            &DegradedTopology::healthy(topo()),
+            8,
+            &BankAwareConfig::default(),
+            tracer,
+            budget,
+        )
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical() {
+        let curves: Vec<MissRatioCurve> = (0..8)
+            .map(|c| knee(1000.0 + 37.0 * c as f64, 10.0, 8 + 4 * c))
+            .collect();
+        let classic = run(curves.clone());
+        let budgeted_plan = budgeted(&curves, SolveBudget::unlimited(), &Tracer::off()).unwrap();
+        assert_eq!(classic, budgeted_plan);
+    }
+
+    #[test]
+    fn center_phase_exhaustion_sheds_typed() {
+        // Eight equal hungry workloads: Center banks are granted one per
+        // round, so a one-step budget trips at the top of round two with
+        // free Centers still on the table.
+        let curves = vec![knee(1000.0, 10.0, 40); 8];
+        let err = budgeted(&curves, SolveBudget::steps(1), &Tracer::off()).unwrap_err();
+        assert!(
+            matches!(err, PartitionError::BudgetExhausted { steps } if steps >= 1),
+            "unexpected: {err:?}"
+        );
+        assert!(err.to_string().contains("budget exhausted"), "{err}");
+    }
+
+    #[test]
+    fn local_phase_exhaustion_checkpoints_to_a_valid_plan() {
+        // Find a budget that clears the Center phase but trips during the
+        // Local bidding: scan upward until the solve stops failing typed;
+        // the first success must be a checkpointed close-out or the real
+        // fixed point, and in both cases a complete rule-valid plan.
+        let curves: Vec<MissRatioCurve> = (0..8)
+            .map(|c| knee(1000.0 + 37.0 * c as f64, 10.0, 8 + 4 * c))
+            .collect();
+        let full = run(curves.clone());
+        let mut saw_checkpoint = false;
+        for max_steps in (50..5000).step_by(50) {
+            let tracer = Tracer::ring();
+            match budgeted(&curves, SolveBudget::steps(max_steps), &tracer) {
+                Err(PartitionError::BudgetExhausted { .. }) => continue,
+                Err(e) => panic!("budget must not corrupt the solve: {e:?}"),
+                Ok(plan) => {
+                    validate_bank_rules(&plan, &topo()).unwrap();
+                    assert_eq!(plan.total_ways_used(), 128);
+                    let events = tracer.drain_events();
+                    let checkpointed = events
+                        .iter()
+                        .any(|e| matches!(e.kind, EventKind::SolverCheckpoint { .. }));
+                    if checkpointed {
+                        // A checkpointed plan may even coincide with the
+                        // converged one (an Own grant only moves ways the
+                        // closure would hand the same core anyway); what
+                        // matters is that it is complete and rule-valid,
+                        // asserted above.
+                        saw_checkpoint = true;
+                    } else {
+                        // Once the budget covers the whole solve the plan is
+                        // the classic one.
+                        assert_eq!(plan, full);
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(saw_checkpoint, "no budget value hit the Local phase");
+    }
+
+    #[test]
+    fn checkpoint_emits_exactly_once() {
+        let curves: Vec<MissRatioCurve> = (0..8)
+            .map(|c| knee(1000.0 + 37.0 * c as f64, 10.0, 8 + 4 * c))
+            .collect();
+        for max_steps in (50..5000).step_by(50) {
+            let tracer = Tracer::ring();
+            if budgeted(&curves, SolveBudget::steps(max_steps), &tracer).is_ok() {
+                let events = tracer.drain_events();
+                let checkpoints = events
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::SolverCheckpoint { .. }))
+                    .count();
+                assert!(checkpoints <= 1, "checkpoint close-out must emit once");
+            }
+        }
     }
 }

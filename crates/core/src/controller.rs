@@ -21,13 +21,37 @@
 //!
 //! Every rung taken is counted in [`FaultCounters`] so experiments can
 //! report how often the system ran degraded.
+//!
+//! # Temporal stability
+//!
+//! On top of the spatial ladder, the controller carries the control-loop
+//! robustness layer configured by [`bap_types::ControlConfig`]:
+//!
+//! * **decision budget** — the solve runs under a deterministic
+//!   [`SolveBudget`]; Center-phase exhaustion (and an expired wall-clock
+//!   stage deadline) *sheds* the decision — the last-good plan stays in
+//!   force and `FaultCounters::budget_sheds` counts it — while Local-phase
+//!   exhaustion closes out early from a consistent checkpoint inside the
+//!   solver itself;
+//! * **anti-thrash hysteresis** — a candidate plan is installed only when
+//!   its projected miss reduction clears a migration-cost threshold;
+//!   repeated A↔B flip-flops trigger an exponential hold-off during which
+//!   solves are skipped entirely, and a curve-delta phase detector bypasses
+//!   both the gate and the hold-off when the workload genuinely shifts.
+//!
+//! With the default (disabled) hysteresis and unlimited budget this layer
+//! is behaviour-neutral: plans, counters and traces are bit-identical to
+//! the classic controller.
 
-use crate::bank_aware::{try_bank_aware_partition_traced, BankAwareConfig};
+use crate::bank_aware::{
+    try_bank_aware_partition_budgeted, BankAwareConfig, PartitionError, SolveBudget,
+};
+use crate::projection::projected_plan_misses;
 use bap_cache::{BankAllocation, PartitionPlan};
 use bap_fault::FaultCounters;
-use bap_msa::{MissRatioCurve, ProfilerConfig, StackProfiler};
+use bap_msa::{curves_delta, MissRatioCurve, ProfilerConfig, StackProfiler};
 use bap_trace::{EventKind, Tracer};
-use bap_types::{BankId, BankMask, BlockAddr, CoreId, DegradedTopology, Topology};
+use bap_types::{BankId, BankMask, BlockAddr, ControlConfig, CoreId, DegradedTopology, Topology};
 
 /// Which partitioning policy the system runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +64,58 @@ pub enum Policy {
     BankAware,
 }
 
+/// Which path produced the currently installed plan. The online invariant
+/// guard keys its rule checks off this: only solver-produced plans promise
+/// the full Bank-aware Rules 1–3 (the ladder's repair and equal-fallback
+/// rungs trade rule conformance for survival, by design).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PlanSource {
+    /// No plan installed yet.
+    #[default]
+    None,
+    /// The Equal policy's static split.
+    Equal,
+    /// The Bank-aware solver (rule-conforming by construction).
+    Solver,
+    /// Ladder rung 2: a previous solver plan with dead banks stripped.
+    Repair,
+    /// Ladder rung 3: equal split of the healthy capacity.
+    EqualFallback,
+}
+
+/// The mutable hysteresis state machine (serialized with the controller so
+/// checkpoint/restore resumes hold-offs and flip histories exactly).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+struct HysteresisState {
+    /// Signatures of recently *installed* plans, oldest first.
+    plan_sigs: Vec<u64>,
+    /// Consecutive A↔B alternations observed.
+    flips: u32,
+    /// Solves are skipped while `epochs <= holdoff_until`.
+    holdoff_until: u64,
+    /// Hold-off re-entry level (drives the exponential back-off).
+    holdoff_level: u32,
+    /// The curves at the last install — the phase detector's baseline.
+    curves_at_install: Option<Vec<MissRatioCurve>>,
+}
+
+/// Deterministic FNV-1a signature of a plan's physical shape, for flip-flop
+/// detection. (`DefaultHasher` is randomly keyed per process and would make
+/// hold-off behaviour non-reproducible.)
+fn plan_signature(plan: &PartitionPlan) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for (c, allocs) in plan.per_core.iter().enumerate() {
+        h = (h ^ (c as u64 | 0x8000_0000_0000_0000)).wrapping_mul(PRIME);
+        for a in allocs {
+            h = (h ^ a.bank.index() as u64).wrapping_mul(PRIME);
+            h = (h ^ a.ways as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
 /// The controller: per-core profilers plus the repartitioning logic.
 #[derive(Clone, Debug)]
 pub struct Controller {
@@ -49,8 +125,11 @@ pub struct Controller {
     mask: BankMask,
     bank_ways: usize,
     cfg: BankAwareConfig,
+    control: ControlConfig,
     epochs: u64,
     last_plan: Option<PartitionPlan>,
+    plan_source: PlanSource,
+    hyst: HysteresisState,
     counters: FaultCounters,
     tracer: Tracer,
 }
@@ -78,8 +157,11 @@ impl Controller {
             mask,
             bank_ways,
             cfg,
+            control: ControlConfig::default(),
             epochs: 0,
             last_plan: None,
+            plan_source: PlanSource::None,
+            hyst: HysteresisState::default(),
             counters: FaultCounters::default(),
             tracer: Tracer::off(),
         }
@@ -89,6 +171,29 @@ impl Controller {
     /// curve repairs are emitted through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Configure the control-loop robustness layer (decision budget +
+    /// hysteresis). Defaults are behaviour-neutral; call before the run
+    /// starts — changing thresholds mid-flight is legal but resets no
+    /// state.
+    pub fn set_control(&mut self, control: ControlConfig) {
+        self.control = control;
+    }
+
+    /// The active control-loop configuration.
+    pub fn control(&self) -> &ControlConfig {
+        &self.control
+    }
+
+    /// Which path produced the currently installed plan.
+    pub fn plan_source(&self) -> PlanSource {
+        self.plan_source
+    }
+
+    /// Whether a flip-flop hold-off is active at the current epoch.
+    pub fn in_holdoff(&self) -> bool {
+        self.control.hysteresis.enabled && self.epochs <= self.hyst.holdoff_until
     }
 
     /// The active policy.
@@ -145,6 +250,14 @@ impl Controller {
                 "counters".to_string(),
                 serde::Serialize::to_value(&self.counters),
             ),
+            (
+                "plan_source".to_string(),
+                serde::Serialize::to_value(&self.plan_source),
+            ),
+            (
+                "hysteresis".to_string(),
+                serde::Serialize::to_value(&self.hyst),
+            ),
         ])
     }
 
@@ -160,6 +273,8 @@ impl Controller {
         self.epochs = serde::from_field(v, "epochs")?;
         self.last_plan = serde::from_field(v, "last_plan")?;
         self.counters = serde::from_field(v, "counters")?;
+        self.plan_source = serde::from_field(v, "plan_source")?;
+        self.hyst = serde::from_field(v, "hysteresis")?;
         Ok(())
     }
 
@@ -221,7 +336,20 @@ impl Controller {
     /// have corrupted them. Curves are sanitised before use.
     pub fn epoch_boundary_with_curves(
         &mut self,
-        mut curves: Vec<MissRatioCurve>,
+        curves: Vec<MissRatioCurve>,
+    ) -> Option<PartitionPlan> {
+        self.epoch_boundary_with_curves_deadline(curves, None)
+    }
+
+    /// [`Controller::epoch_boundary_with_curves`] under a wall-clock stage
+    /// deadline (the `max_epoch_nanos` half of the decision budget). The
+    /// deadline is checked at the stage boundary between curve sanitisation
+    /// and the solve: an overrun sheds the decision to the last-good plan.
+    /// `None` — the deterministic default — never sheds.
+    pub fn epoch_boundary_with_curves_deadline(
+        &mut self,
+        curves: Vec<MissRatioCurve>,
+        deadline: Option<std::time::Instant>,
     ) -> Option<PartitionPlan> {
         self.epochs += 1;
         let plan = match self.policy {
@@ -230,22 +358,74 @@ impl Controller {
                 if self.epochs == 1 {
                     let p = self.equal_plan();
                     self.emit_assignment("equal", p.as_ref());
+                    if p.is_some() {
+                        self.plan_source = PlanSource::Equal;
+                    }
                     self.last_plan = p.clone();
                     p
                 } else {
                     None
                 }
             }
-            Policy::BankAware => {
-                self.sanitize_curves(&mut curves);
-                self.snapshot_curves(&curves);
-                self.solve_bank_aware(&curves)
-            }
+            Policy::BankAware => self.bank_aware_epoch(curves, deadline),
         };
         for p in &mut self.profilers {
             p.decay();
         }
         plan
+    }
+
+    /// One Bank-aware epoch decision: sanitise, check the stage deadline,
+    /// honour an active hold-off (unless the phase detector overrides it),
+    /// then solve under the step budget and run the candidate through the
+    /// hysteresis gate.
+    fn bank_aware_epoch(
+        &mut self,
+        mut curves: Vec<MissRatioCurve>,
+        deadline: Option<std::time::Instant>,
+    ) -> Option<PartitionPlan> {
+        self.sanitize_curves(&mut curves);
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return self.shed_decision(0, "deadline");
+            }
+        }
+        let h = self.control.hysteresis;
+        if h.enabled && self.epochs <= self.hyst.holdoff_until {
+            // In hold-off the solve is skipped outright — that is the
+            // damping — unless the curves have genuinely changed phase
+            // since the last install.
+            let delta = self
+                .hyst
+                .curves_at_install
+                .as_ref()
+                .map(|prev| curves_delta(&curves, prev))
+                .unwrap_or(f64::INFINITY);
+            if delta > h.phase_delta_threshold {
+                self.tracer.emit(|| EventKind::PhaseChange { delta });
+                self.counters.phase_bypasses += 1;
+                self.reset_flip_state();
+                // The workload moved: follow it unconditionally. Solving
+                // gated here would re-detect (and double-count) the same
+                // phase change inside the install gate.
+                self.snapshot_curves(&curves);
+                return self.solve_bank_aware(&curves, false);
+            }
+            let remaining = self.hyst.holdoff_until - self.epochs;
+            self.tracer.emit(|| EventKind::HoldOffSkipped { remaining });
+            return None;
+        }
+        self.snapshot_curves(&curves);
+        self.solve_bank_aware(&curves, true)
+    }
+
+    /// Forget the flip history after a genuine phase change: the new phase
+    /// starts with a clean slate (including the exponential back-off level).
+    fn reset_flip_state(&mut self) {
+        self.hyst.plan_sigs.clear();
+        self.hyst.flips = 0;
+        self.hyst.holdoff_until = 0;
+        self.hyst.holdoff_level = 0;
     }
 
     /// Recompute a plan for the *current* mask outside the epoch cadence —
@@ -258,6 +438,9 @@ impl Controller {
             Policy::Equal => {
                 let p = self.equal_plan();
                 self.emit_assignment("equal", p.as_ref());
+                if p.is_some() {
+                    self.plan_source = PlanSource::Equal;
+                }
                 self.last_plan = p.clone();
                 p
             }
@@ -265,7 +448,9 @@ impl Controller {
                 let mut curves = self.curves();
                 self.sanitize_curves(&mut curves);
                 self.snapshot_curves(&curves);
-                self.solve_bank_aware(&curves)
+                // Ungated: the mask changed, so the installed plan is stale
+                // by construction — hysteresis must not dampen a correction.
+                self.solve_bank_aware(&curves, false)
             }
         }
     }
@@ -301,24 +486,27 @@ impl Controller {
         }
     }
 
-    fn solve_bank_aware(&mut self, curves: &[MissRatioCurve]) -> Option<PartitionPlan> {
+    fn solve_bank_aware(
+        &mut self,
+        curves: &[MissRatioCurve],
+        gated: bool,
+    ) -> Option<PartitionPlan> {
         let machine = DegradedTopology::new(self.topo.clone(), self.mask);
         let t0 = self.tracer.is_enabled().then(std::time::Instant::now);
-        let solved = try_bank_aware_partition_traced(
+        let solved = try_bank_aware_partition_budgeted(
             curves,
             &machine,
             self.bank_ways,
             &self.cfg,
             &self.tracer,
+            SolveBudget::steps(self.control.budget.max_solver_steps),
         );
         if let Some(t0) = t0 {
             self.tracer.timing("solve", t0.elapsed().as_nanos() as u64);
         }
         match solved {
-            Ok(plan) => {
-                self.last_plan = Some(plan.clone());
-                Some(plan)
-            }
+            Ok(plan) => self.consider_install(plan, curves, gated),
+            Err(PartitionError::BudgetExhausted { steps }) => self.shed_decision(steps, "steps"),
             Err(e) => {
                 self.tracer.emit(|| EventKind::SolverFailed {
                     error: e.to_string(),
@@ -329,32 +517,147 @@ impl Controller {
         }
     }
 
+    /// Shed this epoch's decision on budget exhaustion: the last-good plan
+    /// stays in force when it is still valid on the surviving banks;
+    /// otherwise (a shed colliding with fresh damage) the degradation
+    /// ladder finds the best surviving configuration.
+    fn shed_decision(&mut self, steps: u64, limit: &'static str) -> Option<PartitionPlan> {
+        self.tracer.emit(|| EventKind::BudgetShed {
+            steps,
+            limit: limit.to_string(),
+        });
+        self.counters.budget_sheds += 1;
+        match &self.last_plan {
+            Some(prev) if prev.validate_against_mask(&self.mask).is_ok() => None,
+            _ => self.degraded_fallback(),
+        }
+    }
+
+    /// Run a solver-produced candidate through the anti-thrash gate (when
+    /// `gated` and hysteresis is enabled), then install it and update the
+    /// flip-flop state machine.
+    fn consider_install(
+        &mut self,
+        plan: PartitionPlan,
+        curves: &[MissRatioCurve],
+        gated: bool,
+    ) -> Option<PartitionPlan> {
+        let h = self.control.hysteresis;
+        if !(gated && h.enabled) {
+            if h.enabled {
+                self.note_install(&plan, curves);
+            }
+            self.plan_source = PlanSource::Solver;
+            self.last_plan = Some(plan.clone());
+            return Some(plan);
+        }
+        if let Some(prev) = &self.last_plan {
+            if *prev == plan {
+                // The solver re-derived the installed plan: nothing to do,
+                // and nothing the gate needs to count.
+                return None;
+            }
+            let keep = projected_plan_misses(curves, prev);
+            let gain = keep - projected_plan_misses(curves, &plan);
+            let churn = plan.way_churn(prev);
+            let threshold = h.min_improvement_frac * keep + h.migration_cost_per_way * churn as f64;
+            let delta = self
+                .hyst
+                .curves_at_install
+                .as_ref()
+                .map(|p| curves_delta(curves, p))
+                .unwrap_or(f64::INFINITY);
+            if delta > h.phase_delta_threshold {
+                // Genuine workload shift: follow it, and give the new phase
+                // a clean flip history.
+                self.tracer.emit(|| EventKind::PhaseChange { delta });
+                self.counters.phase_bypasses += 1;
+                self.reset_flip_state();
+            } else if gain <= threshold {
+                self.tracer.emit(|| EventKind::PlanHeld {
+                    projected_gain: gain,
+                    threshold,
+                    churn_ways: churn,
+                });
+                self.counters.plans_held += 1;
+                return None;
+            }
+        }
+        self.note_install(&plan, curves);
+        self.plan_source = PlanSource::Solver;
+        self.last_plan = Some(plan.clone());
+        Some(plan)
+    }
+
+    /// Record an install into the flip-flop state machine and arm the
+    /// exponential hold-off when the A↔B pattern crosses the threshold.
+    fn note_install(&mut self, plan: &PartitionPlan, curves: &[MissRatioCurve]) {
+        let h = self.control.hysteresis;
+        let sig = plan_signature(plan);
+        let sigs = &mut self.hyst.plan_sigs;
+        let n = sigs.len();
+        // A flip is A→B→A: the new plan equals the one before last but not
+        // the last. Anything else breaks the alternation pattern.
+        let flip = n >= 2 && sigs[n - 2] == sig && sigs[n - 1] != sig;
+        self.hyst.flips = if flip { self.hyst.flips + 1 } else { 0 };
+        sigs.push(sig);
+        let window = h.flip_window.max(2);
+        while sigs.len() > window {
+            sigs.remove(0);
+        }
+        self.hyst.curves_at_install = Some(curves.to_vec());
+        if self.hyst.flips >= h.flip_threshold && h.flip_threshold > 0 {
+            self.hyst.holdoff_level += 1;
+            let level = self.hyst.holdoff_level;
+            let epochs = h.holdoff_epochs(level);
+            self.hyst.holdoff_until = self.epochs + epochs;
+            self.hyst.flips = 0;
+            self.tracer
+                .emit(|| EventKind::HoldOffStarted { epochs, level });
+            self.counters.holdoffs += 1;
+        }
+    }
+
+    /// Escalation entry point for the online invariant guard: walk the
+    /// degradation ladder exactly as if a solve had failed, returning a
+    /// repaired plan to install when the ladder produces one.
+    pub fn guard_escalate(&mut self) -> Option<PartitionPlan> {
+        self.degraded_fallback()
+    }
+
     /// The degradation ladder, walked when the solver fails.
+    ///
+    /// Each rung emits its trace event *before* touching the counters:
+    /// replaying a trace must observe rung decisions in exactly the order
+    /// the ledger accumulated them, so the event is the primary record and
+    /// the counter mutation follows it.
     fn degraded_fallback(&mut self) -> Option<PartitionPlan> {
         if let Some(prev) = &self.last_plan {
             // Rung 1: the installed plan survived the damage — keep it.
             if prev.validate_against_mask(&self.mask).is_ok() {
-                self.counters.plan_reuses += 1;
                 self.tracer.emit(|| EventKind::DegradationRung { rung: 1 });
+                self.counters.plan_reuses += 1;
                 return None;
             }
             // Rung 2: strip dead banks from it; if every core still has
             // capacity, run the repaired plan.
             let repaired = prev.restricted_to_mask(&self.mask);
             if repaired.validate_against_mask(&self.mask).is_ok() {
-                self.counters.plan_repairs += 1;
                 self.tracer.emit(|| EventKind::DegradationRung { rung: 2 });
+                self.counters.plan_repairs += 1;
                 self.emit_assignment("plan_repair", Some(&repaired));
+                self.plan_source = PlanSource::Repair;
                 self.last_plan = Some(repaired.clone());
                 return Some(repaired);
             }
         }
         // Rung 3: equal split of whatever capacity is left.
-        self.counters.equal_fallbacks += 1;
         self.tracer.emit(|| EventKind::DegradationRung { rung: 3 });
+        self.counters.equal_fallbacks += 1;
         let p = self.equal_plan();
         self.emit_assignment("equal_fallback", p.as_ref());
         if p.is_some() {
+            self.plan_source = PlanSource::EqualFallback;
             self.last_plan = p.clone();
         }
         p
@@ -601,6 +904,214 @@ mod tests {
         let shares: Vec<usize> = (0..8).map(|i| plan.ways_of(CoreId(i))).collect();
         let (lo, hi) = (*shares.iter().min().unwrap(), *shares.iter().max().unwrap());
         assert!(hi - lo <= 1, "shares {shares:?}");
+    }
+
+    /// Synthetic monotone curves: core `i` has a knee at `knees[i]` ways
+    /// with `amp` misses saved per way before the knee.
+    fn knee_curves(knees: &[usize], amp: f64) -> Vec<MissRatioCurve> {
+        knees
+            .iter()
+            .map(|&k| {
+                let misses: Vec<f64> = (0..=72)
+                    .map(|w| {
+                        if w < k {
+                            amp * (k - w) as f64 + 100.0
+                        } else {
+                            100.0
+                        }
+                    })
+                    .collect();
+                MissRatioCurve::from_misses(misses, 100_000.0)
+            })
+            .collect()
+    }
+
+    /// Hysteresis tuned for flip detection only: no improvement gate and a
+    /// phase threshold no realistic delta reaches.
+    fn flip_only_hysteresis() -> bap_types::HysteresisConfig {
+        bap_types::HysteresisConfig {
+            enabled: true,
+            min_improvement_frac: 0.0,
+            migration_cost_per_way: 0.0,
+            phase_delta_threshold: 1e18,
+            ..bap_types::HysteresisConfig::tuned()
+        }
+    }
+
+    #[test]
+    fn default_control_layer_is_inert() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig::default());
+        for round in 0..6 {
+            feed_knee_profile(&mut c, CoreId(round % 8), 20, 30_000);
+            c.epoch_boundary();
+        }
+        let ctrs = c.counters();
+        assert_eq!(
+            (
+                ctrs.plans_held,
+                ctrs.holdoffs,
+                ctrs.phase_bypasses,
+                ctrs.budget_sheds
+            ),
+            (0, 0, 0, 0),
+            "defaults must never gate, hold off, bypass or shed"
+        );
+        assert_eq!(c.plan_source(), PlanSource::Solver);
+    }
+
+    #[test]
+    fn flip_flop_arms_an_exponential_holdoff() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig {
+            hysteresis: flip_only_hysteresis(),
+            ..ControlConfig::default()
+        });
+        let a = knee_curves(&[40, 4, 4, 4, 4, 4, 4, 4], 1_000.0);
+        let b = knee_curves(&[4, 40, 4, 4, 4, 4, 4, 4], 1_000.0);
+        let mut installs = 0;
+        for epoch in 0..12 {
+            let curves = if epoch % 2 == 0 { a.clone() } else { b.clone() };
+            if c.epoch_boundary_with_curves(curves).is_some() {
+                installs += 1;
+            }
+        }
+        let ctrs = c.counters();
+        assert!(
+            ctrs.holdoffs >= 1,
+            "A↔B alternation must arm a hold-off: {ctrs:?}"
+        );
+        // flip_threshold = 2 arms the first hold-off on the 4th install
+        // (A, B, A=flip1, B=flip2) — within K = 4 epochs of the onset —
+        // and each re-arm doubles the damping window.
+        assert!(
+            installs <= 6,
+            "hold-off caps the churn at the flip threshold: {installs} installs"
+        );
+        assert!(c.in_holdoff() || ctrs.holdoffs >= 2);
+    }
+
+    #[test]
+    fn phase_change_bypasses_an_active_holdoff() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig {
+            hysteresis: bap_types::HysteresisConfig {
+                enabled: true,
+                ..bap_types::HysteresisConfig::tuned()
+            },
+            ..ControlConfig::default()
+        });
+        let a = knee_curves(&[40, 4, 4, 4, 4, 4, 4, 4], 1_000.0);
+        // Install once so the phase baseline exists, then force a hold-off.
+        assert!(c.epoch_boundary_with_curves(a.clone()).is_some());
+        c.hyst.holdoff_until = 1_000;
+        // Same curves: the hold-off damps the epoch.
+        assert_eq!(c.epoch_boundary_with_curves(a.clone()), None);
+        assert!(c.in_holdoff());
+        // A genuinely different phase: the detector overrides the hold-off
+        // and the controller repartitions immediately.
+        let shifted = knee_curves(&[4, 4, 4, 4, 4, 4, 4, 72], 1_000.0);
+        let plan = c
+            .epoch_boundary_with_curves(shifted)
+            .expect("phase change must break through the hold-off");
+        assert!(plan.ways_of(CoreId(7)) > plan.ways_of(CoreId(0)));
+        let ctrs = c.counters();
+        assert_eq!(ctrs.phase_bypasses, 1);
+        assert!(!c.in_holdoff(), "bypass resets the hold-off");
+    }
+
+    #[test]
+    fn improvement_gate_holds_marginal_plans() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig {
+            hysteresis: bap_types::HysteresisConfig {
+                enabled: true,
+                // An absurd bar: every non-identical candidate is marginal.
+                min_improvement_frac: 10.0,
+                phase_delta_threshold: 1e18,
+                ..bap_types::HysteresisConfig::tuned()
+            },
+            ..ControlConfig::default()
+        });
+        let a = knee_curves(&[40, 4, 4, 4, 4, 4, 4, 4], 1_000.0);
+        let installed = c
+            .epoch_boundary_with_curves(a)
+            .expect("first plan always installs");
+        // A moderately different profile yields a different candidate, but
+        // the gate judges the gain marginal and keeps the installed plan.
+        let b = knee_curves(&[30, 12, 4, 4, 4, 4, 4, 4], 1_000.0);
+        assert_eq!(c.epoch_boundary_with_curves(b), None);
+        assert_eq!(c.counters().plans_held, 1);
+        assert_eq!(c.last_plan(), Some(&installed), "last-good stays in force");
+    }
+
+    #[test]
+    fn budget_exhaustion_sheds_to_the_last_good_plan() {
+        let mut c = controller(Policy::BankAware);
+        c.set_tracer(Tracer::ring());
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        let installed = c.epoch_boundary().expect("unbudgeted install");
+        // Starve the solver: one step cannot finish Center bidding.
+        c.set_control(ControlConfig::default().with_step_budget(1));
+        assert_eq!(c.epoch_boundary(), None, "shed epoch changes nothing");
+        let ctrs = c.counters();
+        assert_eq!(ctrs.budget_sheds, 1);
+        assert_eq!(
+            (ctrs.solver_failures, ctrs.plan_reuses, ctrs.equal_fallbacks),
+            (0, 0, 0),
+            "a shed is budget accounting, not degradation"
+        );
+        assert_eq!(c.last_plan(), Some(&installed));
+        let events = c.tracer.drain_events();
+        let shed = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::BudgetShed { steps, limit } => Some((*steps, limit.clone())),
+                _ => None,
+            })
+            .expect("the shed must be on the trace");
+        assert!(shed.0 >= 1, "exhaustion reports the steps spent");
+        assert_eq!(shed.1, "steps");
+    }
+
+    #[test]
+    fn expired_deadline_sheds_before_the_solve() {
+        let mut c = controller(Policy::BankAware);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        let installed = c.epoch_boundary().expect("install under no deadline");
+        let curves = c.curves();
+        // A deadline of "now" has always expired by the time it is checked.
+        let out = c.epoch_boundary_with_curves_deadline(curves, Some(std::time::Instant::now()));
+        assert_eq!(out, None);
+        assert_eq!(c.counters().budget_sheds, 1);
+        assert_eq!(c.last_plan(), Some(&installed));
+    }
+
+    #[test]
+    fn snapshot_round_trips_hysteresis_state() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig {
+            hysteresis: flip_only_hysteresis(),
+            ..ControlConfig::default()
+        });
+        let a = knee_curves(&[40, 4, 4, 4, 4, 4, 4, 4], 1_000.0);
+        let b = knee_curves(&[4, 40, 4, 4, 4, 4, 4, 4], 1_000.0);
+        for epoch in 0..6 {
+            let curves = if epoch % 2 == 0 { a.clone() } else { b.clone() };
+            c.epoch_boundary_with_curves(curves);
+        }
+        let snap = c.snapshot();
+        let mut r = controller(Policy::BankAware);
+        r.set_control(*c.control());
+        r.restore(&snap).unwrap();
+        assert_eq!(r.plan_source(), c.plan_source());
+        assert_eq!(r.hyst, c.hyst, "flip history and hold-off survive restore");
+        assert_eq!(r.in_holdoff(), c.in_holdoff());
+        assert_eq!(r.last_plan(), c.last_plan());
     }
 
     #[test]

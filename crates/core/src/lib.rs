@@ -19,9 +19,10 @@ pub mod projection;
 pub mod unrestricted;
 
 pub use bank_aware::{
-    bank_aware_partition, try_bank_aware_partition, try_bank_aware_partition_traced,
-    validate_bank_rules, validate_bank_rules_masked, BankAwareConfig, PartitionError,
+    bank_aware_partition, try_bank_aware_partition, try_bank_aware_partition_budgeted,
+    try_bank_aware_partition_traced, validate_bank_rules, validate_bank_rules_masked,
+    BankAwareConfig, PartitionError, SolveBudget,
 };
-pub use controller::{Controller, Policy};
-pub use projection::{projected_misses, projected_total_misses};
+pub use controller::{Controller, PlanSource, Policy};
+pub use projection::{projected_misses, projected_plan_misses, projected_total_misses};
 pub use unrestricted::{unrestricted_partition, unrestricted_partition_traced};

@@ -28,6 +28,18 @@ pub struct FaultCounters {
     pub plan_reuses: u64,
     /// Ladder rung 3: equal-share fallback over the healthy banks.
     pub equal_fallbacks: u64,
+    /// Epoch decisions shed on budget exhaustion (last-good plan kept).
+    pub budget_sheds: u64,
+    /// Candidate plans held back by the anti-thrash hysteresis gate.
+    pub plans_held: u64,
+    /// Hold-offs entered after flip-flop detection.
+    pub holdoffs: u64,
+    /// Phase-change bypasses of the hysteresis gate or a hold-off.
+    pub phase_bypasses: u64,
+    /// Invariant violations caught by the online guard.
+    pub guard_trips: u64,
+    /// Guard escalations into the degradation ladder.
+    pub guard_escalations: u64,
 }
 
 impl FaultCounters {
@@ -43,6 +55,12 @@ impl FaultCounters {
         self.plan_repairs += other.plan_repairs;
         self.plan_reuses += other.plan_reuses;
         self.equal_fallbacks += other.equal_fallbacks;
+        self.budget_sheds += other.budget_sheds;
+        self.plans_held += other.plans_held;
+        self.holdoffs += other.holdoffs;
+        self.phase_bypasses += other.phase_bypasses;
+        self.guard_trips += other.guard_trips;
+        self.guard_escalations += other.guard_escalations;
     }
 
     /// Whether anything at all was recorded.
@@ -73,5 +91,27 @@ mod tests {
         assert_eq!(a.equal_fallbacks, 1);
         assert!(!a.is_zero());
         assert!(FaultCounters::default().is_zero());
+    }
+
+    #[test]
+    fn stability_fields_merge_and_break_is_zero() {
+        let mut a = FaultCounters::default();
+        let b = FaultCounters {
+            budget_sheds: 2,
+            plans_held: 5,
+            holdoffs: 1,
+            phase_bypasses: 3,
+            guard_trips: 4,
+            guard_escalations: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.budget_sheds, 2);
+        assert_eq!(a.plans_held, 5);
+        assert_eq!(a.holdoffs, 1);
+        assert_eq!(a.phase_bypasses, 3);
+        assert_eq!(a.guard_trips, 4);
+        assert_eq!(a.guard_escalations, 1);
+        assert!(!a.is_zero());
     }
 }

@@ -1,0 +1,442 @@
+//! The online invariant guard: a watchdog for the partitioning control loop.
+//!
+//! Every epoch the controller installs (or keeps) a [`PartitionPlan`]; this
+//! crate re-validates that plan — and the state around it — against the
+//! invariants the rest of the system silently assumes:
+//!
+//! * **mask consistency** — the controller's view of bank health must match
+//!   the cache's live mask (a desync means plans are being solved for a
+//!   machine that no longer exists);
+//! * **plan validity** — the installed plan must be installable: structurally
+//!   sound and touching no offline bank;
+//! * **capacity conservation** — no plan may assign more ways than the
+//!   healthy banks physically have, and a solver-produced plan must assign
+//!   *exactly* the healthy capacity (the Bank-aware close-out hands every
+//!   remaining way to some core);
+//! * **banking rules** — solver-produced plans promise the paper's physical
+//!   Rules 1–3 (§III-B); the degradation ladder's repair and equal-fallback
+//!   plans are exempt by design ([`PlanSource`] tells them apart);
+//! * **curve health** — the profile feeding the next decision must be
+//!   finite, non-negative and monotone.
+//!
+//! A violation is *reported*, never panicked on: the system escalates into
+//! the same graceful-degradation ladder that absorbs bank failures, so a
+//! latent bug (or bit-flipped state) degrades service instead of ending it.
+
+use bap_cache::PartitionPlan;
+use bap_core::{validate_bank_rules_masked, PlanSource};
+use bap_msa::MissRatioCurve;
+use bap_trace::{EventKind, Tracer};
+use bap_types::{BankMask, DegradedTopology, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The invariant classes the guard monitors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Invariant {
+    /// Controller bank mask and cache bank mask disagree.
+    MaskSync,
+    /// The installed plan fails structural/mask validation.
+    PlanValid,
+    /// The plan assigns more ways than exist, or a solver plan leaves
+    /// healthy capacity unassigned.
+    CapacityConserved,
+    /// A solver-produced plan violates the paper's physical Rules 1–3.
+    BankRules,
+    /// A profiler curve is empty, non-finite, negative or non-monotone.
+    CurveHealth,
+}
+
+impl Invariant {
+    /// Stable label, used in trace events and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Invariant::MaskSync => "mask_sync",
+            Invariant::PlanValid => "plan_valid",
+            Invariant::CapacityConserved => "capacity_conserved",
+            Invariant::BankRules => "bank_rules",
+            Invariant::CurveHealth => "curve_health",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violated invariant class.
+    pub invariant: Invariant,
+    /// Human-readable specifics (which bank, which core, which rule).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Which invariant classes to check. Everything defaults on; individual
+/// checks exist so experiments can isolate the cost or noise of one class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Check Rules 1–3 on solver-produced plans.
+    pub check_rules: bool,
+    /// Check profiler-curve health.
+    pub check_curves: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            check_rules: true,
+            check_curves: true,
+        }
+    }
+}
+
+/// The result of one epoch-boundary check.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GuardReport {
+    /// Everything that failed, in check order. Empty means healthy.
+    pub violations: Vec<Violation>,
+}
+
+impl GuardReport {
+    /// No violations observed.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Emit every violation through `tracer` as
+    /// [`EventKind::GuardViolation`] events.
+    pub fn emit(&self, tracer: &Tracer) {
+        for v in &self.violations {
+            tracer.emit(|| EventKind::GuardViolation {
+                invariant: v.invariant.as_str().to_string(),
+                detail: v.detail.clone(),
+            });
+        }
+    }
+}
+
+/// The guard itself: holds the machine shape the invariants are judged
+/// against. Stateless between epochs — every check is a pure function of
+/// the state handed in, so the guard can never itself drift.
+#[derive(Clone, Debug)]
+pub struct InvariantGuard {
+    cfg: GuardConfig,
+    topo: Topology,
+    bank_ways: usize,
+}
+
+impl InvariantGuard {
+    /// A guard for the given machine with the default (full) check set.
+    pub fn new(topo: Topology, bank_ways: usize) -> Self {
+        InvariantGuard {
+            cfg: GuardConfig::default(),
+            topo,
+            bank_ways,
+        }
+    }
+
+    /// A guard with an explicit check selection.
+    pub fn with_config(topo: Topology, bank_ways: usize, cfg: GuardConfig) -> Self {
+        InvariantGuard {
+            cfg,
+            topo,
+            bank_ways,
+        }
+    }
+
+    /// The active check selection.
+    pub fn config(&self) -> &GuardConfig {
+        &self.cfg
+    }
+
+    /// Validate one epoch's installed state.
+    ///
+    /// * `controller_mask` / `cache_mask` — the two views of bank health;
+    /// * `plan` — the plan in force (`None` before the first install, which
+    ///   is legal);
+    /// * `source` — which path produced it (rules apply to solver plans
+    ///   only);
+    /// * `curves` — the profile that will feed the next decision.
+    pub fn check_epoch(
+        &self,
+        controller_mask: &BankMask,
+        cache_mask: &BankMask,
+        plan: Option<&PartitionPlan>,
+        source: PlanSource,
+        curves: &[MissRatioCurve],
+    ) -> GuardReport {
+        let mut violations = Vec::new();
+        if controller_mask != cache_mask {
+            violations.push(Violation {
+                invariant: Invariant::MaskSync,
+                detail: format!(
+                    "controller sees {} healthy banks, cache has {}",
+                    controller_mask.healthy_count(),
+                    cache_mask.healthy_count()
+                ),
+            });
+        }
+        if let Some(plan) = plan {
+            self.check_plan(plan, cache_mask, source, &mut violations);
+        }
+        if self.cfg.check_curves {
+            for (core, c) in curves.iter().enumerate() {
+                let health = c.health();
+                if !health.is_clean() {
+                    violations.push(Violation {
+                        invariant: Invariant::CurveHealth,
+                        detail: format!("core{core} curve has {} defects", health.defects()),
+                    });
+                }
+            }
+        }
+        GuardReport { violations }
+    }
+
+    fn check_plan(
+        &self,
+        plan: &PartitionPlan,
+        cache_mask: &BankMask,
+        source: PlanSource,
+        violations: &mut Vec<Violation>,
+    ) {
+        if let Err(e) = plan.validate_against_mask(cache_mask) {
+            violations.push(Violation {
+                invariant: Invariant::PlanValid,
+                detail: e.to_string(),
+            });
+            // A structurally broken plan makes the remaining plan checks
+            // redundant noise; one actionable report beats three.
+            return;
+        }
+        let healthy_ways = cache_mask.healthy_count() * self.bank_ways;
+        let used = plan.total_ways_used();
+        if used > healthy_ways {
+            violations.push(Violation {
+                invariant: Invariant::CapacityConserved,
+                detail: format!("plan assigns {used} ways, only {healthy_ways} exist"),
+            });
+        } else if source == PlanSource::Solver && used != healthy_ways {
+            violations.push(Violation {
+                invariant: Invariant::CapacityConserved,
+                detail: format!(
+                    "solver plan assigns {used} of {healthy_ways} healthy ways \
+                     (the close-out must assign them all)"
+                ),
+            });
+        }
+        if self.cfg.check_rules && source == PlanSource::Solver {
+            let machine = DegradedTopology::new(self.topo.clone(), *cache_mask);
+            if let Err(e) = validate_bank_rules_masked(plan, &machine) {
+                violations.push(Violation {
+                    invariant: Invariant::BankRules,
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bap_cache::BankAllocation;
+    use bap_types::BankId;
+
+    fn guard() -> InvariantGuard {
+        InvariantGuard::new(Topology::baseline(), 8)
+    }
+
+    fn flat_curves(n: usize) -> Vec<MissRatioCurve> {
+        (0..n)
+            .map(|_| MissRatioCurve::from_misses(vec![100.0; 73], 1_000.0))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_equal_plan_passes() {
+        let g = guard();
+        let mask = BankMask::all_healthy(16);
+        let plan = PartitionPlan::equal(8, 16, 8);
+        let report = g.check_epoch(
+            &mask,
+            &mask,
+            Some(&plan),
+            PlanSource::Equal,
+            &flat_curves(8),
+        );
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_plan_is_legal() {
+        let g = guard();
+        let mask = BankMask::all_healthy(16);
+        let report = g.check_epoch(&mask, &mask, None, PlanSource::None, &flat_curves(8));
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn mask_desync_is_flagged() {
+        let g = guard();
+        let ctl = BankMask::all_healthy(16);
+        let mut cache = BankMask::all_healthy(16);
+        cache.disable(BankId(3));
+        let report = g.check_epoch(&ctl, &cache, None, PlanSource::None, &[]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::MaskSync);
+        assert!(report.violations[0].to_string().contains("15"));
+    }
+
+    #[test]
+    fn plan_on_offline_bank_is_flagged_once() {
+        let g = guard();
+        let ctl_and_cache = {
+            let mut m = BankMask::all_healthy(16);
+            m.disable(BankId(0));
+            m
+        };
+        // The equal plan touches bank 0, which is now offline — only the
+        // PlanValid violation fires (follow-on checks are suppressed).
+        let plan = PartitionPlan::equal(8, 16, 8);
+        let report = g.check_epoch(
+            &ctl_and_cache,
+            &ctl_and_cache,
+            Some(&plan),
+            PlanSource::Solver,
+            &[],
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant, Invariant::PlanValid);
+    }
+
+    #[test]
+    fn solver_plan_must_use_all_healthy_capacity() {
+        let g = guard();
+        let mask = BankMask::all_healthy(16);
+        let mut plan = PartitionPlan::empty(8, 16, 8);
+        // Valid but half-empty: each core one way in its Local bank.
+        for c in 0..8 {
+            plan.per_core[c].push(BankAllocation {
+                bank: BankId(c as u8),
+                ways: 1,
+            });
+        }
+        let report = g.check_epoch(&mask, &mask, Some(&plan), PlanSource::Solver, &[]);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::CapacityConserved));
+        // The same plan from the repair rung is legal — repairs shrink.
+        let report = g.check_epoch(&mask, &mask, Some(&plan), PlanSource::Repair, &[]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn split_center_bank_violates_rules_for_solver_plans_only() {
+        let g = guard();
+        let mask = BankMask::all_healthy(16);
+        // Start from the rule-conforming equal plan, then split the Center
+        // banks of cores 0 and 1 between them (Rule 1 forbids sharing a
+        // Center bank). Capacity stays exactly conserved.
+        let mut plan = PartitionPlan::equal(8, 16, 8);
+        plan.per_core[0] = vec![
+            BankAllocation {
+                bank: BankId(0),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(8),
+                ways: 4,
+            },
+            BankAllocation {
+                bank: BankId(9),
+                ways: 4,
+            },
+        ];
+        plan.per_core[1] = vec![
+            BankAllocation {
+                bank: BankId(1),
+                ways: 8,
+            },
+            BankAllocation {
+                bank: BankId(8),
+                ways: 4,
+            },
+            BankAllocation {
+                bank: BankId(9),
+                ways: 4,
+            },
+        ];
+        let report = g.check_epoch(&mask, &mask, Some(&plan), PlanSource::Solver, &[]);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::BankRules),
+            "{:?}",
+            report.violations
+        );
+        // The ladder's outputs trade rule conformance for survival.
+        let report = g.check_epoch(&mask, &mask, Some(&plan), PlanSource::EqualFallback, &[]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn sick_curves_are_flagged_per_core() {
+        let g = guard();
+        let mask = BankMask::all_healthy(16);
+        let mut curves = flat_curves(8);
+        curves[2] = MissRatioCurve::from_misses(vec![f64::NAN; 73], 1_000.0);
+        curves[5] = MissRatioCurve::from_misses(vec![1.0, 5.0, 3.0], 10.0);
+        let report = g.check_epoch(&mask, &mask, None, PlanSource::None, &curves);
+        let sick: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant == Invariant::CurveHealth)
+            .collect();
+        assert_eq!(sick.len(), 2);
+        assert!(sick[0].detail.contains("core2"));
+        assert!(sick[1].detail.contains("core5"));
+    }
+
+    #[test]
+    fn disabled_checks_stay_silent() {
+        let g = InvariantGuard::with_config(
+            Topology::baseline(),
+            8,
+            GuardConfig {
+                check_rules: false,
+                check_curves: false,
+            },
+        );
+        let mask = BankMask::all_healthy(16);
+        let mut curves = flat_curves(8);
+        curves[0] = MissRatioCurve::from_misses(vec![f64::NAN; 73], 1_000.0);
+        let report = g.check_epoch(&mask, &mask, None, PlanSource::None, &curves);
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = GuardReport {
+            violations: vec![Violation {
+                invariant: Invariant::MaskSync,
+                detail: "x".to_string(),
+            }],
+        };
+        let v = serde::Serialize::to_value(&report);
+        let s = serde_json::to_string(&v).unwrap();
+        assert!(s.contains("MaskSync") || s.contains("mask_sync"), "{s}");
+    }
+}

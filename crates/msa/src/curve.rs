@@ -201,6 +201,33 @@ impl MissRatioCurve {
         });
     }
 
+    /// Mean absolute miss-*ratio* difference against another curve — the
+    /// phase-change signal of the anti-thrash hysteresis layer.
+    ///
+    /// Both curves are sampled over the union of their way ranges
+    /// ([`MissRatioCurve::misses_at`] clamps, so differing depths compare
+    /// sensibly), and the comparison is on *ratios*, which makes the signal
+    /// invariant to profiler decay and access-volume drift: only a change
+    /// in the curve's **shape** — the workload's cache appetite — moves it.
+    /// Returns 0.0 when either curve carries no accesses (no evidence of
+    /// change is not evidence of change).
+    pub fn relative_delta(&self, other: &MissRatioCurve) -> f64 {
+        if self.accesses == 0.0 || other.accesses == 0.0 {
+            return 0.0;
+        }
+        let ways = self.max_ways().max(other.max_ways());
+        let mut sum = 0.0;
+        for w in 0..=ways {
+            let d = self.miss_ratio_at(w) - other.miss_ratio_at(w);
+            // Corrupted inputs are sanitized upstream, but a NaN here must
+            // not poison the whole signal: skip the sample instead.
+            if d.is_finite() {
+                sum += d.abs();
+            }
+        }
+        sum / (ways + 1) as f64
+    }
+
     /// Smallest allocation achieving (almost) the minimum attainable misses
     /// — a convenient summary of a workload's appetite ("knee").
     pub fn saturation_ways(&self, tolerance: f64) -> usize {
@@ -213,6 +240,25 @@ impl MissRatioCurve {
             .find(|&w| self.misses_at(w) - floor <= tolerance * span)
             .unwrap_or(self.max_ways())
     }
+}
+
+/// The per-epoch phase signal over a whole core set: the **maximum**
+/// [`MissRatioCurve::relative_delta`] across paired curves. Max, not mean —
+/// one core genuinely changing phase is reason enough to re-decide, and a
+/// mean would let seven stationary cores mask it. Length mismatches
+/// compare only the common prefix (a topology change has its own,
+/// stronger signal: the bank mask).
+pub fn curves_delta<
+    A: std::borrow::Borrow<MissRatioCurve>,
+    B: std::borrow::Borrow<MissRatioCurve>,
+>(
+    now: &[A],
+    then: &[B],
+) -> f64 {
+    now.iter()
+        .zip(then.iter())
+        .map(|(a, b)| a.borrow().relative_delta(b.borrow()))
+        .fold(0.0, f64::max)
 }
 
 /// Defect report for a [`MissRatioCurve`], produced by
@@ -418,6 +464,78 @@ mod tests {
         assert_eq!(c.max_ways(), 0);
         assert_eq!(c.misses_at(0), 0.0);
         assert!(c.health().is_clean());
+    }
+
+    #[test]
+    fn relative_delta_is_zero_for_identical_shapes() {
+        let c = knee_curve();
+        assert_eq!(c.relative_delta(&c), 0.0);
+        // Decay scales misses and accesses together: the ratio shape — and
+        // therefore the phase signal — is untouched.
+        let decayed = MissRatioCurve::from_misses(
+            (0..=c.max_ways()).map(|w| c.misses_at(w) * 0.5).collect(),
+            c.accesses() * 0.5,
+        );
+        assert!(c.relative_delta(&decayed) < 1e-12);
+    }
+
+    #[test]
+    fn relative_delta_sees_a_phase_flip() {
+        // Hungry phase: misses fall steeply with ways. Streaming phase:
+        // flat, cache-insensitive.
+        let hungry = knee_curve();
+        let streaming = MissRatioCurve::from_misses(vec![900.0; 17], 1000.0);
+        let delta = hungry.relative_delta(&streaming);
+        assert!(delta > 0.3, "phase flip must be loud: {delta}");
+        assert_eq!(
+            hungry.relative_delta(&streaming),
+            streaming.relative_delta(&hungry),
+            "the signal is symmetric"
+        );
+    }
+
+    #[test]
+    fn relative_delta_handles_empty_and_mismatched_depths() {
+        let c = knee_curve();
+        let silent = MissRatioCurve::from_misses(vec![0.0], 0.0);
+        assert_eq!(c.relative_delta(&silent), 0.0, "no accesses ⇒ no signal");
+        // Different depths clamp rather than panic.
+        let shallow = MissRatioCurve::from_misses(vec![1000.0, 52.0], 1000.0);
+        assert!(c.relative_delta(&shallow).is_finite());
+    }
+
+    #[test]
+    fn curves_delta_takes_the_loudest_core() {
+        let a = knee_curve();
+        let b = MissRatioCurve::from_misses(vec![900.0; 17], 1000.0);
+        let now = vec![a.clone(), b.clone()];
+        let then = vec![a.clone(), a.clone()];
+        let d = curves_delta(&now, &then);
+        assert!((d - b.relative_delta(&a)).abs() < 1e-12);
+        // All-stationary set is silent.
+        assert_eq!(curves_delta(&now, &now), 0.0);
+        // Empty sets are silent, not panicking.
+        let none: Vec<MissRatioCurve> = vec![];
+        assert_eq!(curves_delta(&none, &none), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn relative_delta_bounded_for_sanitized_curves(
+            raw_a in proptest::collection::vec(0.0f64..2000.0, 1..20),
+            raw_b in proptest::collection::vec(0.0f64..2000.0, 1..20),
+            acc_a in 1.0f64..1e6,
+            acc_b in 1.0f64..1e6,
+        ) {
+            let mut a = MissRatioCurve::from_misses(raw_a, acc_a);
+            let mut b = MissRatioCurve::from_misses(raw_b, acc_b);
+            a.sanitize();
+            b.sanitize();
+            let d = a.relative_delta(&b);
+            prop_assert!(d.is_finite());
+            prop_assert!(d >= 0.0);
+            prop_assert!(a.relative_delta(&a) == 0.0);
+        }
     }
 
     proptest! {

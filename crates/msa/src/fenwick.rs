@@ -271,6 +271,12 @@ impl FenwickSet {
     /// Probe slot currently holding live timestamp `ts` — one linear pass
     /// over the compact timestamp array (eviction path only).
     fn slot_of(&self, ts: u32) -> usize {
+        // INVARIANT: callers pass a timestamp read out of the live bitmap,
+        // and every live bit is set exactly when `insert_fresh` wrote that
+        // timestamp into `slot_ts` (cleared again in lockstep on evict /
+        // compact), so the scan always finds it. Not reachable from
+        // deserialized state either: restore rebuilds the bitmap from
+        // `slot_ts` itself.
         self.slot_ts
             .iter()
             .position(|&t| t == ts as u16)

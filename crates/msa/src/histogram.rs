@@ -45,6 +45,8 @@ impl MsaHistogram {
     pub fn record(&mut self, distance: Option<usize>) {
         match distance {
             Some(d) if d < self.ways() => self.counters[d] += 1,
+            // INVARIANT: `new(ways)` allocates `ways + 1` counters and no
+            // path ever shrinks the vector, so the miss counter exists.
             _ => *self.counters.last_mut().expect("non-empty") += 1,
         }
     }
@@ -73,6 +75,7 @@ impl MsaHistogram {
 
     /// Misses of the full monitored depth (the raw miss counter).
     pub fn misses(&self) -> u64 {
+        // INVARIANT: see `record` — the counter vector is never empty.
         *self.counters.last().expect("non-empty")
     }
 

@@ -22,7 +22,7 @@ pub mod histogram;
 pub mod overhead;
 pub mod profiler;
 
-pub use curve::{CurveHealth, MissRatioCurve};
+pub use curve::{curves_delta, CurveHealth, MissRatioCurve};
 pub use histogram::MsaHistogram;
 pub use overhead::OverheadModel;
 pub use profiler::{EngineKind, ProfilerConfig, StackProfiler};

@@ -132,6 +132,9 @@ impl Engine {
                 let stack = &mut stacks[set];
                 match stack.iter().position(|&t| t == tag) {
                     Some(pos) => {
+                        // INVARIANT: `pos` came from `position()` over this
+                        // very stack one line up, with `&mut self` held
+                        // throughout, so the index is in bounds.
                         let t = stack.remove(pos).expect("position valid");
                         stack.push_front(t);
                         Some(pos)

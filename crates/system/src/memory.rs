@@ -14,10 +14,11 @@ use bap_core::{Controller, Policy};
 use bap_cpu::MemorySystem;
 use bap_dram::{BankedDram, BankedDramConfig, DramModel};
 use bap_fault::{BankEventKind, FaultConfig, FaultCounters, FaultInjector};
+use bap_guard::InvariantGuard;
 use bap_noc::NocModel;
-use bap_trace::Tracer;
+use bap_trace::{EventKind, Tracer};
 use bap_types::stats::CacheStats;
-use bap_types::{BlockAddr, CoreId, Cycle, SystemConfig, Topology};
+use bap_types::{BankId, BlockAddr, ControlConfig, CoreId, Cycle, SystemConfig, Topology};
 
 /// Addresses with this bit set (block-address bit 40) belong to the shared
 /// segment and run the coherence protocol.
@@ -153,6 +154,9 @@ pub struct SharedMemory {
     /// Latest cycle observed on the access path — the timestamp used when
     /// a bank flush pushes write-backs to DRAM outside any access.
     clock: Cycle,
+    /// Online invariant monitor, run at the end of every epoch boundary
+    /// (enabled/disabled through [`ControlConfig::guard`]).
+    guard: InvariantGuard,
     /// Decision-trace handle shared with the controller, L2 and injector.
     tracer: Tracer,
 }
@@ -240,6 +244,7 @@ impl SharedMemory {
                 MemoryModel::Banked(BankedDram::new(BankedDramConfig::default()))
             }
         };
+        let guard = InvariantGuard::new(topo.clone(), cfg.l2.bank.ways);
         SharedMemory {
             l2,
             noc: NocModel::new(topo, cfg.bank_occupancy, 1),
@@ -260,8 +265,16 @@ impl SharedMemory {
             fault_counters: FaultCounters::default(),
             fault_epoch: 0,
             clock: 0,
+            guard,
             tracer: Tracer::off(),
         }
+    }
+
+    /// Configure the control-loop robustness layer (decision budget,
+    /// anti-thrash hysteresis, invariant guard). Defaults are
+    /// behaviour-neutral; call before the run starts.
+    pub fn set_control(&mut self, control: ControlConfig) {
+        self.controller.set_control(control);
     }
 
     /// Attach a decision-trace handle to the whole hierarchy: the
@@ -325,8 +338,27 @@ impl SharedMemory {
     }
 
     fn epoch_boundary_inner(&mut self, epoch: u64) {
+        self.decide_epoch(epoch);
+        self.guard_check();
+    }
+
+    /// The wall-clock deadline for this epoch's decision, from the
+    /// configured budget (`None` — the default — never sheds).
+    fn epoch_deadline(&self) -> Option<std::time::Instant> {
+        let nanos = self.controller.control().budget.max_epoch_nanos;
+        (nanos > 0).then(|| std::time::Instant::now() + std::time::Duration::from_nanos(nanos))
+    }
+
+    fn decide_epoch(&mut self, epoch: u64) {
+        // The deadline covers the whole profile→assign→plan pipeline, so it
+        // starts before fault handling and curve transport.
+        let deadline = self.epoch_deadline();
         let Some(inj) = self.injector.clone() else {
-            if let Some(plan) = self.controller.epoch_boundary() {
+            let curves = self.controller.curves();
+            if let Some(plan) = self
+                .controller
+                .epoch_boundary_with_curves_deadline(curves, deadline)
+            {
                 self.install(plan);
             }
             self.push_epoch_history();
@@ -375,10 +407,59 @@ impl SharedMemory {
 
         let mut curves = self.controller.curves();
         self.fault_counters.curves_corrupted += inj.corrupt_curves(epoch, &mut curves);
-        if let Some(plan) = self.controller.epoch_boundary_with_curves(curves) {
+        if let Some(plan) = self
+            .controller
+            .epoch_boundary_with_curves_deadline(curves, deadline)
+        {
             self.install(plan);
         }
         self.push_epoch_history();
+    }
+
+    /// Run the online invariant guard over the state this boundary leaves
+    /// behind. Violations are traced and counted, then escalated into the
+    /// controller's degradation ladder — after re-syncing the controller's
+    /// bank mask to the cache's live mask, so the ladder judges plans
+    /// against the hardware truth.
+    fn guard_check(&mut self) {
+        if !self.controller.control().guard {
+            return;
+        }
+        let curves = self.controller.curves();
+        let report = self.guard.check_epoch(
+            self.controller.mask(),
+            self.l2.bank_mask(),
+            self.l2.plan(),
+            self.controller.plan_source(),
+            &curves,
+        );
+        if report.is_ok() {
+            return;
+        }
+        report.emit(&self.tracer);
+        self.fault_counters.guard_trips += report.violations.len() as u64;
+        for b in 0..self.l2.num_banks() {
+            let bank = BankId(b as u8);
+            let live = self.l2.bank_mask().is_healthy(bank);
+            if live != self.controller.mask().is_healthy(bank) {
+                if live {
+                    self.controller.bank_restored(bank);
+                } else {
+                    self.controller.bank_failed(bank);
+                }
+            }
+        }
+        let plan = self.controller.guard_escalate();
+        let violations = report.violations.len();
+        let repaired = plan.is_some();
+        self.tracer.emit(|| EventKind::GuardEscalated {
+            violations,
+            repaired,
+        });
+        self.fault_counters.guard_escalations += 1;
+        if let Some(plan) = plan {
+            self.install(plan);
+        }
     }
 
     /// Install a plan atomically; a rejected plan leaves the previous
@@ -652,6 +733,72 @@ mod tests {
         let rows = m.dram.row_stats().expect("banked model");
         assert!(rows.row_hits + rows.row_empty + rows.row_conflicts > 0);
         assert!(m.dram.stats().requests > 0);
+    }
+
+    #[test]
+    fn guard_heals_a_mask_desync() {
+        let mut m = shared(Policy::BankAware);
+        for i in 0..20_000u64 {
+            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+        }
+        m.epoch_boundary();
+        assert!(
+            m.fault_counters().guard_trips == 0,
+            "healthy epoch is quiet"
+        );
+        // Knock a bank offline behind the controller's back — the cache
+        // knows, the controller does not. The guard catches the desync at
+        // the next boundary, re-syncs the mask and escalates the ladder
+        // into a plan that avoids the dead bank.
+        m.l2.take_bank_offline(bap_types::BankId(3))
+            .expect("bank exists");
+        m.epoch_boundary();
+        let ctrs = m.fault_counters();
+        assert!(ctrs.guard_trips >= 1, "desync detected: {ctrs:?}");
+        assert_eq!(ctrs.guard_escalations, 1);
+        assert!(
+            !m.controller.mask().is_healthy(bap_types::BankId(3)),
+            "controller mask re-synced to the hardware truth"
+        );
+        // The following boundary is healthy again: the controller replans
+        // around the dead bank and the guard stays quiet.
+        m.epoch_boundary();
+        let after = m.fault_counters();
+        assert_eq!(after.guard_escalations, 1, "no repeated escalation");
+        let plan = m.l2.plan().expect("partitioned");
+        assert_eq!(plan.bank_ways_used(bap_types::BankId(3)), 0);
+    }
+
+    #[test]
+    fn guard_can_be_disabled() {
+        let mut m = shared(Policy::BankAware);
+        m.set_control(bap_types::ControlConfig {
+            guard: false,
+            ..Default::default()
+        });
+        m.l2.take_bank_offline(bap_types::BankId(3))
+            .expect("bank exists");
+        m.epoch_boundary();
+        assert_eq!(m.fault_counters().guard_trips, 0, "guard off = no checks");
+    }
+
+    #[test]
+    fn step_budget_sheds_in_the_full_hierarchy() {
+        let mut m = shared(Policy::BankAware);
+        for i in 0..20_000u64 {
+            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+        }
+        m.epoch_boundary();
+        let installed = m.l2.plan().cloned();
+        m.set_control(bap_types::ControlConfig::default().with_step_budget(1));
+        m.epoch_boundary();
+        let ctrs = m.fault_counters();
+        assert_eq!(ctrs.budget_sheds, 1, "starved solve shed: {ctrs:?}");
+        assert_eq!(m.l2.plan().cloned(), installed, "last-good plan in force");
+        assert_eq!(
+            ctrs.guard_trips, 0,
+            "a shed epoch still satisfies every invariant"
+        );
     }
 
     #[test]

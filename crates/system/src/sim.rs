@@ -58,6 +58,9 @@ pub struct SimOptions {
     /// Fault-injection campaign (None = healthy run, bit-identical to the
     /// pre-fault-subsystem behaviour).
     pub fault: Option<bap_fault::FaultConfig>,
+    /// Control-loop robustness layer: decision budget, anti-thrash
+    /// hysteresis and the invariant guard. Defaults are behaviour-neutral.
+    pub control: bap_types::ControlConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -79,6 +82,7 @@ impl SimOptions {
             freeze_plan_after: None,
             lookup_isolation: false,
             fault: None,
+            control: bap_types::ControlConfig::default(),
             seed: 1,
         }
     }
@@ -312,6 +316,7 @@ impl System {
             opts.replacement,
         );
         mem.l2.set_lookup_isolation(opts.lookup_isolation);
+        mem.set_control(opts.control);
         if let Some(f) = opts.fault.clone() {
             mem.set_fault_injection(f);
         }

@@ -201,6 +201,69 @@ pub enum EventKind {
         /// The rung taken (3 or 4).
         rung: u8,
     },
+    /// The hysteresis gate held a candidate plan back: its projected gain
+    /// did not clear the migration-cost threshold.
+    PlanHeld {
+        /// Projected miss reduction of the candidate over the installed
+        /// plan (may be negative).
+        projected_gain: f64,
+        /// The threshold the gain failed to clear
+        /// (`min_improvement_frac × projected_keep + cost_per_way × churn`).
+        threshold: f64,
+        /// (bank, way) slots that would have changed owner.
+        churn_ways: usize,
+    },
+    /// Flip-flop detection tripped: the controller entered (or re-entered)
+    /// an exponential hold-off and will skip solves until it expires.
+    HoldOffStarted {
+        /// Hold-off length in epochs.
+        epochs: u64,
+        /// Re-entry level (1 = first hold-off; doubles the length).
+        level: u32,
+    },
+    /// An epoch's solve was skipped because a hold-off is active.
+    HoldOffSkipped {
+        /// Epochs left before the hold-off expires.
+        remaining: u64,
+    },
+    /// The curve-delta phase detector saw a genuine workload shift and
+    /// bypassed the hysteresis gate (and any active hold-off).
+    PhaseChange {
+        /// Mean absolute miss-ratio delta vs the curves at the last
+        /// install (maximum over cores).
+        delta: f64,
+    },
+    /// The epoch decision budget ran out before the solver finished its
+    /// Center phase: the decision was shed and the last-good plan kept.
+    BudgetShed {
+        /// Solver steps consumed when the budget tripped (0 when the
+        /// wall-clock stage deadline tripped instead).
+        steps: u64,
+        /// Which limit tripped: `steps` or `deadline`.
+        limit: String,
+    },
+    /// The step budget ran out during the Local phase: the solver closed
+    /// out from its last consistent checkpoint (open cores keep their
+    /// remaining own-bank ways) and still produced a valid plan.
+    SolverCheckpoint {
+        /// Steps consumed when the early close-out triggered.
+        steps: u64,
+    },
+    /// The online invariant guard found an installed-state violation.
+    GuardViolation {
+        /// Stable invariant label (`capacity`, `bank_rules`, `mask`,
+        /// `curve_health`).
+        invariant: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The guard escalated violations into the degradation ladder.
+    GuardEscalated {
+        /// Violations that triggered the escalation.
+        violations: usize,
+        /// Whether the escalation managed to install a repaired plan.
+        repaired: bool,
+    },
     /// Wall-clock timing of one pipeline stage. Only recorded when the
     /// sink opts in ([`crate::TraceSink::wants_timings`]) — timing values
     /// are non-deterministic by nature and would break byte-identical
@@ -240,6 +303,14 @@ impl EventKind {
             EventKind::CheckpointRestored { .. } => "checkpoint_restored",
             EventKind::RestoreRejected { .. } => "restore_rejected",
             EventKind::RecoveryFallback { .. } => "recovery_fallback",
+            EventKind::PlanHeld { .. } => "plan_held",
+            EventKind::HoldOffStarted { .. } => "holdoff_started",
+            EventKind::HoldOffSkipped { .. } => "holdoff_skipped",
+            EventKind::PhaseChange { .. } => "phase_change",
+            EventKind::BudgetShed { .. } => "budget_shed",
+            EventKind::SolverCheckpoint { .. } => "solver_checkpoint",
+            EventKind::GuardViolation { .. } => "guard_violation",
+            EventKind::GuardEscalated { .. } => "guard_escalated",
             EventKind::StageTiming { .. } => "stage_timing",
         }
     }
@@ -291,6 +362,47 @@ mod tests {
         };
         assert_eq!(back_misses, misses, "bit-exact float round trip");
         assert_eq!(accesses, 12_345.678_901_234);
+    }
+
+    #[test]
+    fn stability_variants_round_trip() {
+        let kinds = vec![
+            EventKind::PlanHeld {
+                projected_gain: 12.5,
+                threshold: 40.0,
+                churn_ways: 17,
+            },
+            EventKind::HoldOffStarted {
+                epochs: 8,
+                level: 2,
+            },
+            EventKind::HoldOffSkipped { remaining: 3 },
+            EventKind::PhaseChange { delta: 0.31 },
+            EventKind::BudgetShed {
+                steps: 500,
+                limit: "steps".to_string(),
+            },
+            EventKind::SolverCheckpoint { steps: 1200 },
+            EventKind::GuardViolation {
+                invariant: "capacity".to_string(),
+                detail: "plan uses 130/128 ways".to_string(),
+            },
+            EventKind::GuardEscalated {
+                violations: 2,
+                repaired: true,
+            },
+        ];
+        for kind in kinds {
+            let ev = TraceEvent {
+                seq: 9,
+                epoch: 4,
+                kind: kind.clone(),
+            };
+            let text = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(back.kind, kind, "{text}");
+            assert!(!kind.label().is_empty());
+        }
     }
 
     #[test]

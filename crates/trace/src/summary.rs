@@ -59,6 +59,22 @@ pub struct TraceSummary {
     pub restores_rejected: u64,
     /// Recovery-ladder fallbacks past the checkpoint rungs.
     pub recovery_fallbacks: u64,
+    /// Candidate plans held back by the hysteresis gate.
+    pub plans_held: u64,
+    /// Hold-offs entered after flip-flop detection.
+    pub holdoffs_started: u64,
+    /// Epoch solves skipped inside an active hold-off.
+    pub holdoffs_skipped: u64,
+    /// Phase changes that bypassed the gate or a hold-off.
+    pub phase_changes: u64,
+    /// Epoch decisions shed to the last-good plan on budget exhaustion.
+    pub budget_sheds: u64,
+    /// Solver early close-outs from a consistent checkpoint.
+    pub solver_checkpoints: u64,
+    /// Invariant violations the online guard caught.
+    pub guard_violations: u64,
+    /// Guard escalations into the degradation ladder.
+    pub guard_escalations: u64,
     /// Stage timings recorded (only with a timing-hungry sink).
     pub stage_timings: u64,
 }
@@ -91,6 +107,14 @@ impl TraceSummary {
             EventKind::CheckpointRestored { .. } => self.checkpoints_restored += 1,
             EventKind::RestoreRejected { .. } => self.restores_rejected += 1,
             EventKind::RecoveryFallback { .. } => self.recovery_fallbacks += 1,
+            EventKind::PlanHeld { .. } => self.plans_held += 1,
+            EventKind::HoldOffStarted { .. } => self.holdoffs_started += 1,
+            EventKind::HoldOffSkipped { .. } => self.holdoffs_skipped += 1,
+            EventKind::PhaseChange { .. } => self.phase_changes += 1,
+            EventKind::BudgetShed { .. } => self.budget_sheds += 1,
+            EventKind::SolverCheckpoint { .. } => self.solver_checkpoints += 1,
+            EventKind::GuardViolation { .. } => self.guard_violations += 1,
+            EventKind::GuardEscalated { .. } => self.guard_escalations += 1,
             EventKind::StageTiming { .. } => {
                 // Timings are bookkeeping, not pipeline decisions.
                 self.events -= 1;

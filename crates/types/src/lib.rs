@@ -12,6 +12,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod control;
 pub mod coreset;
 pub mod degraded;
 pub mod ids;
@@ -21,6 +22,7 @@ pub mod topology;
 
 pub use addr::{Addr, BlockAddr};
 pub use config::{CacheGeometry, L2Geometry, SystemConfig};
+pub use control::{ControlConfig, DecisionBudget, HysteresisConfig};
 pub use coreset::CoreSet;
 pub use degraded::{BankMask, DegradedTopology};
 pub use ids::{BankId, CoreId, WayIdx};

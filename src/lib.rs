@@ -20,8 +20,13 @@
 //!   epoch-level events (grants, rule applications/rejections, plan
 //!   installs, ladder transitions) behind a zero-cost-when-off tracer;
 //! * [`partitioning`] — marginal utility, Unrestricted (UCP-style) and the
-//!   paper's Bank-aware allocation algorithm plus the epoch controller and
-//!   its degradation ladder;
+//!   paper's Bank-aware allocation algorithm plus the epoch controller, its
+//!   degradation ladder, the epoch decision budget and the anti-thrash
+//!   hysteresis gate;
+//! * [`guard`] — the online invariant guard that re-validates every
+//!   installed plan (capacity conservation, Rules 1–3, mask consistency,
+//!   curve health) at epoch boundaries and escalates violations into the
+//!   degradation ladder;
 //! * [`recovery`] — versioned, checksummed epoch-boundary checkpoints and
 //!   the bounded checkpoint history behind crash recovery;
 //! * [`system`] — the integrated 8-core CMP simulator and the analytic
@@ -36,6 +41,7 @@ pub use bap_cpu as cpu;
 pub use bap_dram as dram;
 pub use bap_energy as energy;
 pub use bap_fault as fault;
+pub use bap_guard as guard;
 pub use bap_msa as msa;
 pub use bap_noc as noc;
 pub use bap_recovery as recovery;

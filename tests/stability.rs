@@ -1,0 +1,246 @@
+//! Control-loop stability: the anti-thrash hysteresis gate, the epoch
+//! decision budget and the online invariant guard.
+//!
+//! The contracts under test:
+//!
+//! * a stationary workload installs at most one plan once the tuned gate
+//!   is on — the solver re-deriving the same answer is not churn;
+//! * a marginally oscillating A↔B mix arms the flip-flop hold-off within a
+//!   handful of epochs, whatever the pair of hot cores;
+//! * a budget-exhausted epoch provably falls back to the last-good plan —
+//!   the `BudgetShed` trace event is the regression anchor, and the
+//!   degradation ladder stays untouched;
+//! * the whole control layer is behaviour-neutral at defaults: a full
+//!   system run with the guard on is byte-identical to one with it off.
+
+use bankaware::msa::{MissRatioCurve, ProfilerConfig};
+use bankaware::partitioning::{BankAwareConfig, Controller, Policy};
+use bankaware::system::{SimOptions, System};
+use bankaware::trace::{EventKind, Tracer};
+use bankaware::types::{ControlConfig, HysteresisConfig, SystemConfig, Topology};
+use bankaware::workloads::spec_by_name;
+use proptest::prelude::*;
+
+/// Synthetic curves with a sharp utility knee per core: steep gains up to
+/// `knee` ways, flat afterwards.
+fn knee_curves(knees: &[usize], amp: f64) -> Vec<MissRatioCurve> {
+    knees
+        .iter()
+        .map(|&k| {
+            let misses: Vec<f64> = (0..=72)
+                .map(|w| {
+                    if w < k {
+                        amp * (k - w) as f64 + 100.0
+                    } else {
+                        100.0
+                    }
+                })
+                .collect();
+            MissRatioCurve::from_misses(misses, 100_000.0)
+        })
+        .collect()
+}
+
+fn controller(control: ControlConfig) -> Controller {
+    let mut c = Controller::new(
+        Policy::BankAware,
+        Topology::baseline(),
+        8,
+        ProfilerConfig::reference(64, 72),
+        BankAwareConfig::default(),
+    );
+    c.set_control(control);
+    c
+}
+
+/// Hysteresis with the improvement gate and phase detector neutralised —
+/// isolates the flip-flop machinery for the oscillation property.
+fn flip_only() -> ControlConfig {
+    ControlConfig {
+        hysteresis: HysteresisConfig {
+            enabled: true,
+            min_improvement_frac: 0.0,
+            migration_cost_per_way: 0.0,
+            phase_delta_threshold: 1e18,
+            ..HysteresisConfig::tuned()
+        },
+        ..ControlConfig::tuned()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the (stationary) demand profile, the tuned gate admits at
+    /// most one install: every later epoch either re-derives the same plan
+    /// or is held below the improvement threshold.
+    #[test]
+    fn stationary_workload_installs_at_most_once(
+        hot in 0usize..8,
+        hot_knee in 16usize..56,
+        cold_knee in 2usize..8,
+        amp in 200.0f64..2000.0,
+    ) {
+        let mut knees = [cold_knee; 8];
+        knees[hot] = hot_knee;
+        let curves = knee_curves(&knees, amp);
+        let mut c = controller(ControlConfig::tuned());
+        let mut installs = 0u32;
+        for _ in 0..30 {
+            if c.epoch_boundary_with_curves(curves.clone()).is_some() {
+                installs += 1;
+            }
+        }
+        prop_assert!(installs <= 1, "stationary workload installed {installs} plans");
+        prop_assert_eq!(c.counters().budget_sheds, 0);
+    }
+
+    /// An A↔B oscillation between any two distinct hot cores arms a
+    /// hold-off within a dozen epochs, and the churn stays bounded: the
+    /// controller follows at most the flips needed for detection plus the
+    /// post-hold-off re-probes.
+    #[test]
+    fn oscillating_mix_arms_holdoff_within_k_epochs(
+        a in 0usize..8,
+        b in 0usize..8,
+        amp in 500.0f64..2000.0,
+    ) {
+        prop_assume!(a != b);
+        let mut ka = [4usize; 8];
+        ka[a] = 40;
+        let mut kb = [4usize; 8];
+        kb[b] = 40;
+        let (mix_a, mix_b) = (knee_curves(&ka, amp), knee_curves(&kb, amp));
+        let mut c = controller(flip_only());
+        let mut installs = 0u32;
+        for e in 0..12 {
+            let curves = if e % 2 == 0 { mix_a.clone() } else { mix_b.clone() };
+            if c.epoch_boundary_with_curves(curves).is_some() {
+                installs += 1;
+            }
+        }
+        prop_assert!(
+            c.counters().holdoffs >= 1,
+            "12 oscillating epochs never armed a hold-off"
+        );
+        prop_assert!(installs <= 6, "hold-off failed to damp churn: {installs} installs");
+        prop_assert!(c.in_holdoff() || c.counters().holdoffs >= 2);
+    }
+}
+
+/// The budget-shed regression anchor: exhaustion emits `BudgetShed`, keeps
+/// the last-good plan in force and never walks the degradation ladder.
+#[test]
+fn budget_exhaustion_falls_back_to_last_good_plan() {
+    let tracer = Tracer::ring();
+    let mut c = controller(ControlConfig::default());
+    c.set_tracer(tracer.clone());
+    let curves = knee_curves(&[40, 4, 4, 4, 4, 4, 4, 4], 1000.0);
+    let installed = c
+        .epoch_boundary_with_curves(curves.clone())
+        .expect("unlimited first epoch installs");
+    tracer.drain_events();
+
+    c.set_control(ControlConfig::default().with_step_budget(1));
+    for _ in 0..3 {
+        assert_eq!(
+            c.epoch_boundary_with_curves(curves.clone()),
+            None,
+            "a shed epoch must not emit a plan"
+        );
+    }
+
+    let f = c.counters();
+    assert_eq!(f.budget_sheds, 3);
+    assert_eq!(f.solver_failures, 0, "a shed is not a solver failure");
+    assert_eq!(
+        f.plan_reuses + f.plan_repairs + f.equal_fallbacks,
+        0,
+        "ladder untouched"
+    );
+    assert_eq!(
+        c.last_plan(),
+        Some(&installed),
+        "last-good plan stays in force"
+    );
+
+    let events = tracer.drain_events();
+    let sheds: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::BudgetShed { steps, limit } => Some((*steps, limit.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sheds.len(), 3, "every shed epoch emits one BudgetShed");
+    for (steps, limit) in sheds {
+        assert!(steps >= 1, "step-budget shed reports the steps consumed");
+        assert_eq!(limit, "steps");
+    }
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DegradationRung { .. })),
+        "budget accounting must not masquerade as degradation"
+    );
+}
+
+fn opts(policy: Policy) -> SimOptions {
+    let mut o = SimOptions::new(SystemConfig::scaled(32), policy);
+    o.warmup_instructions = 80_000;
+    o.measure_instructions = 160_000;
+    o.config.epoch_cycles = 600_000;
+    o
+}
+
+fn mix() -> Vec<bankaware::workloads::WorkloadSpec> {
+    [
+        "mcf", "twolf", "art", "sixtrack", "gcc", "gap", "vpr", "eon",
+    ]
+    .iter()
+    .map(|n| spec_by_name(n).expect("catalog"))
+    .collect()
+}
+
+/// `ControlConfig::default()` is behaviour-neutral end to end: the guard
+/// watching every epoch boundary changes nothing on a healthy run, and
+/// turning it off changes nothing either.
+#[test]
+fn default_control_layer_is_behaviour_neutral() {
+    let baseline = System::new(opts(Policy::BankAware), mix()).run();
+
+    let mut explicit = opts(Policy::BankAware);
+    explicit.control = ControlConfig::default();
+    let with_guard = System::new(explicit, mix()).run();
+
+    let mut off = opts(Policy::BankAware);
+    off.control.guard = false;
+    let without_guard = System::new(off, mix()).run();
+
+    for r in [&with_guard, &without_guard] {
+        assert_eq!(r.total_l2_misses(), baseline.total_l2_misses());
+        assert_eq!(r.epoch_history, baseline.epoch_history);
+        assert_eq!(r.final_plan, baseline.final_plan);
+    }
+    assert_eq!(
+        with_guard.fault.guard_trips, 0,
+        "healthy run never trips the guard"
+    );
+    assert_eq!(
+        with_guard.fault.budget_sheds, 0,
+        "unlimited budget never sheds"
+    );
+}
+
+/// The tuned production preset on a real mix: the gate may hold plans but
+/// never sheds, never trips the guard and still converges on a plan.
+#[test]
+fn tuned_preset_stays_stable_on_a_real_mix() {
+    let mut o = opts(Policy::BankAware);
+    o.control = ControlConfig::tuned();
+    let r = System::new(o, mix()).run();
+    assert!(r.final_plan.is_some(), "tuned run still installs a plan");
+    assert_eq!(r.fault.budget_sheds, 0);
+    assert_eq!(r.fault.guard_trips, 0);
+    assert_eq!(r.fault.equal_fallbacks, 0);
+}
