@@ -8,10 +8,10 @@
 
 use bap_bench::common::{write_json, Args};
 use bap_bench::mixes::monte_carlo_mixes;
-use bap_core::{bank_aware_partition, BankAwareConfig, Policy};
+use bap_core::{bank_aware_partition, try_bank_aware_partition, BankAwareConfig, Policy};
 use bap_msa::ProfilerConfig;
 use bap_system::{profile_workloads, SimOptions, System};
-use bap_types::{SystemConfig, Topology};
+use bap_types::{BankMask, DegradedTopology, SystemConfig, Topology};
 use bap_workloads::spec_by_name;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -21,9 +21,14 @@ use std::time::Instant;
 struct ScaleRow {
     cores: usize,
     banks: usize,
+    /// The healthy-bank mask the timed solves ran under.
+    bank_mask: u64,
     ba_relative_to_none: f64,
     ba_relative_to_equal: f64,
     partition_decision_us: f64,
+    /// Decision cost with two banks offline — the degraded-solve overhead
+    /// the fault path pays at a bank-death boundary.
+    degraded_decision_us: f64,
 }
 
 fn config_for(cores: usize, scale: u64) -> SystemConfig {
@@ -72,29 +77,45 @@ fn main() {
         }
         let decision_us = t0.elapsed().as_secs_f64() * 1e6 / iterations as f64;
 
+        // Same solve with two banks dead — the cost the degradation path
+        // pays when a bank-death boundary forces an out-of-cadence replan.
+        let mut mask = BankMask::all_healthy(2 * cores);
+        mask.disable(bap_types::BankId(0));
+        mask.disable(bap_types::BankId(cores as u8));
+        let degraded = DegradedTopology::new(topo.clone(), mask);
+        let t1 = Instant::now();
+        for _ in 0..iterations {
+            let _ = try_bank_aware_partition(&curves, &degraded, 8, &BankAwareConfig::default())
+                .expect("degraded solve stays feasible");
+        }
+        let degraded_us = t1.elapsed().as_secs_f64() * 1e6 / iterations as f64;
+
         rows.push(ScaleRow {
             cores,
             banks: 2 * cores,
+            bank_mask: BankMask::all_healthy(2 * cores).bits(),
             ba_relative_to_none: ba.total_l2_misses() as f64 / none.total_l2_misses().max(1) as f64,
             ba_relative_to_equal: ba.total_l2_misses() as f64
                 / equal.total_l2_misses().max(1) as f64,
             partition_decision_us: decision_us,
+            degraded_decision_us: degraded_us,
         });
     }
 
     println!("Scalability: 8-core/16-bank vs 16-core/32-bank");
     println!(
-        "{:>6} {:>6} {:>14} {:>15} {:>14}",
-        "cores", "banks", "BA/none miss", "BA/equal miss", "decision (us)"
+        "{:>6} {:>6} {:>14} {:>15} {:>14} {:>14}",
+        "cores", "banks", "BA/none miss", "BA/equal miss", "decision (us)", "degraded (us)"
     );
     for r in &rows {
         println!(
-            "{:>6} {:>6} {:>14.3} {:>15.3} {:>14.1}",
+            "{:>6} {:>6} {:>14.3} {:>15.3} {:>14.1} {:>14.1}",
             r.cores,
             r.banks,
             r.ba_relative_to_none,
             r.ba_relative_to_equal,
-            r.partition_decision_us
+            r.partition_decision_us,
+            r.degraded_decision_us
         );
     }
     println!("\nexpected: benefits persist at 16 cores and the decision stays");

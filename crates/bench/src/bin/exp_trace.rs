@@ -178,15 +178,23 @@ fn main() {
     };
     println!("replayed {solves} Bank-aware solves exactly");
 
-    // Per-stage wall-clock totals out of the timing channel.
+    // Per-stage wall-clock totals out of the timing channel, plus the bank
+    // masks the solver was timed under (stamped on every solve event).
     let mut stage_nanos: BTreeMap<String, u64> = BTreeMap::new();
+    let mut masks_seen: Vec<u64> = Vec::new();
     for ev in &events {
-        if let EventKind::StageTiming { stage, nanos } = &ev.kind {
+        if let EventKind::StageTiming { stage, nanos, mask } = &ev.kind {
             *stage_nanos.entry(stage.clone()).or_insert(0) += nanos;
+            if *stage == "solve" && *mask != 0 && !masks_seen.contains(mask) {
+                masks_seen.push(*mask);
+            }
         }
     }
     for (stage, nanos) in &stage_nanos {
         println!("stage {stage:>16}: {:.3} ms total", *nanos as f64 / 1e6);
+    }
+    for mask in &masks_seen {
+        println!("solve timed under bank mask {mask:#06x}");
     }
 
     let summary = result.trace.expect("traced run carries a summary");

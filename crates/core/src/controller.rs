@@ -47,11 +47,15 @@ use crate::bank_aware::{
     try_bank_aware_partition_budgeted, BankAwareConfig, PartitionError, SolveBudget,
 };
 use crate::projection::projected_plan_misses;
+use crate::qos::{self, QosState};
 use bap_cache::{BankAllocation, PartitionPlan};
-use bap_fault::FaultCounters;
+use bap_fault::{CoreDegradeLedger, FaultCounters};
 use bap_msa::{curves_delta, MissRatioCurve, ProfilerConfig, StackProfiler};
 use bap_trace::{EventKind, Tracer};
-use bap_types::{BankId, BankMask, BlockAddr, ControlConfig, CoreId, DegradedTopology, Topology};
+use bap_types::{
+    BankId, BankMask, BlockAddr, ControlConfig, CoreId, Cycle, DegradedTopology, SloSpec, Topology,
+    WclParams,
+};
 
 /// Which partitioning policy the system runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +85,9 @@ pub enum PlanSource {
     Repair,
     /// Ladder rung 3: equal split of the healthy capacity.
     EqualFallback,
+    /// The SLO enforcement pass replaced a violating candidate (exempt from
+    /// the solver-only rule checks, like the ladder's outputs).
+    Slo,
 }
 
 /// The mutable hysteresis state machine (serialized with the controller so
@@ -131,6 +138,8 @@ pub struct Controller {
     plan_source: PlanSource,
     hyst: HysteresisState,
     counters: FaultCounters,
+    ledger: CoreDegradeLedger,
+    qos: Option<QosState>,
     tracer: Tracer,
 }
 
@@ -150,6 +159,7 @@ impl Controller {
             .map(|_| StackProfiler::new(profiler_cfg))
             .collect();
         let mask = BankMask::all_healthy(topo.num_banks());
+        let num_cores = topo.num_cores();
         Controller {
             policy,
             profilers,
@@ -163,6 +173,8 @@ impl Controller {
             plan_source: PlanSource::None,
             hyst: HysteresisState::default(),
             counters: FaultCounters::default(),
+            ledger: CoreDegradeLedger::new(num_cores),
+            qos: None,
             tracer: Tracer::off(),
         }
     }
@@ -221,11 +233,195 @@ impl Controller {
         self.last_plan.as_ref()
     }
 
-    /// Zero the fault-handling counters. Called at run start so counters in
-    /// a `RunResult` describe that run only, not earlier runs of a reused
-    /// controller.
+    /// Zero the fault-handling counters (and the per-core capacity-loss
+    /// ledger). Called at run start so counters in a `RunResult` describe
+    /// that run only, not earlier runs of a reused controller.
     pub fn reset_counters(&mut self) {
         self.counters = FaultCounters::default();
+        self.ledger = CoreDegradeLedger::new(self.topo.num_cores());
+    }
+
+    /// The per-core capacity-loss ledger: which cores the degradation
+    /// ladder and the SLO enforcement pass took ways from.
+    pub fn core_degrades(&self) -> &CoreDegradeLedger {
+        &self.ledger
+    }
+
+    /// Declare the QoS tier: per-core SLOs, the machine constants of the
+    /// analytic WCL bound and the smallest armed regulator budget (`None`
+    /// when no regulator is armed). Runs the initial admission pass
+    /// immediately — every verdict is emitted and rejected SLOs counted.
+    /// An empty `slos` (the default [`bap_types::QosConfig`]) leaves the
+    /// controller bit-identical to a QoS-free run.
+    pub fn set_qos(
+        &mut self,
+        slos: Vec<Option<SloSpec>>,
+        params: WclParams,
+        min_budget: Option<u64>,
+    ) {
+        let state = QosState::new(slos, params, min_budget, self.topo.num_cores());
+        if !state.has_slos() {
+            self.qos = None;
+            return;
+        }
+        self.qos = Some(state);
+        self.readmit();
+    }
+
+    /// The QoS state, when SLOs are declared (the guard's `SloWcl` check
+    /// reads the admitted set and WCL parameters through this).
+    pub fn qos(&self) -> Option<&QosState> {
+        self.qos.as_ref()
+    }
+
+    /// Whether `core`'s declared SLO is currently admitted.
+    pub fn slo_admitted(&self, core: CoreId) -> bool {
+        self.qos
+            .as_ref()
+            .map(|q| q.admitted.get(core.index()).copied().unwrap_or(false))
+            .unwrap_or(false)
+    }
+
+    /// The live analytic WCL bound per core (`None` for best-effort or
+    /// rejected cores) — what an admitted core is *guaranteed*, given the
+    /// installed plan and the current mask.
+    pub fn slo_bounds(&self) -> Vec<Option<Cycle>> {
+        let n = self.topo.num_cores();
+        let Some(q) = &self.qos else {
+            return vec![None; n];
+        };
+        (0..n)
+            .map(|c| {
+                if q.admitted.get(c).copied().unwrap_or(false) {
+                    Some(qos::core_bound(
+                        &q.params,
+                        &self.topo,
+                        &self.mask,
+                        CoreId(c as u8),
+                        self.last_plan.as_ref(),
+                    ))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Re-run admission under the current mask, reporting verdicts. The
+    /// first pass reports everything; later passes report (and count) only
+    /// status changes, so a stable run stays quiet.
+    fn readmit(&mut self) {
+        let Some(mut q) = self.qos.take() else { return };
+        let outcomes = qos::admit_cores(
+            &self.topo,
+            &self.mask,
+            self.bank_ways,
+            &q.slos,
+            &q.params,
+            q.min_budget,
+        );
+        let first = !q.evaluated;
+        q.evaluated = true;
+        for o in outcomes {
+            let was = q.admitted[o.core];
+            if o.admitted && (first || !was) {
+                let bound = o.bound.unwrap_or(0);
+                self.tracer.emit(|| EventKind::SloAdmitted {
+                    core: o.core,
+                    bound,
+                });
+            } else if !o.admitted && (first || was) {
+                let reason = o.reason.clone().unwrap_or_default();
+                self.tracer.emit(|| EventKind::SloRejected {
+                    core: o.core,
+                    reason,
+                });
+                self.counters.slo_rejections += 1;
+            }
+            q.admitted[o.core] = o.admitted;
+        }
+        self.qos = Some(q);
+    }
+
+    /// The SLO choke point every plan decision flows through: re-admit
+    /// under the current mask, then verify the would-be-effective plan
+    /// honours every admitted SLO (capacity floor + WCL ceiling). A
+    /// violating decision is replaced by the deterministic QoS plan,
+    /// demoting best-effort cores; the demotions are recorded per core in
+    /// the capacity-loss ledger. A no-op without declared SLOs.
+    fn enforce_slo(&mut self, candidate: Option<PartitionPlan>) -> Option<PartitionPlan> {
+        if self.qos.as_ref().is_none_or(|q| !q.has_slos()) {
+            return candidate;
+        }
+        self.readmit();
+        let q = self.qos.clone().expect("qos state present");
+        let effective: Option<PartitionPlan> = candidate.clone().or_else(|| self.last_plan.clone());
+        let mut violated = 0usize;
+        for c in 0..self.topo.num_cores() {
+            if !q.admitted.get(c).copied().unwrap_or(false) {
+                continue;
+            }
+            let slo = q.slos[c].as_ref().expect("admitted implies declared");
+            let ok = match &effective {
+                Some(p) => {
+                    p.ways_of(CoreId(c as u8)) >= slo.min_ways
+                        && qos::core_bound(
+                            &q.params,
+                            &self.topo,
+                            &self.mask,
+                            CoreId(c as u8),
+                            Some(p),
+                        ) <= slo.max_wcl_cycles
+                }
+                None => {
+                    slo.min_ways == 0
+                        && qos::core_bound(&q.params, &self.topo, &self.mask, CoreId(c as u8), None)
+                            <= slo.max_wcl_cycles
+                }
+            };
+            if !ok {
+                violated += 1;
+            }
+        }
+        if violated == 0 {
+            return candidate;
+        }
+        let Some(plan) =
+            qos::build_qos_plan(&self.topo, &self.mask, self.bank_ways, &q.slos, &q.admitted)
+        else {
+            // Admission guaranteed feasibility for the admitted set; if the
+            // build still fails the candidate is the best we have.
+            return candidate;
+        };
+        let mut demoted = 0usize;
+        if let Some(prev) = &effective {
+            for c in 0..self.topo.num_cores() {
+                let before = prev.ways_of(CoreId(c as u8));
+                let after = plan.ways_of(CoreId(c as u8));
+                if after < before {
+                    self.ledger.record(c, (before - after) as u64);
+                    demoted += 1;
+                }
+            }
+        }
+        self.counters.slo_enforcements += 1;
+        self.tracer.emit(|| EventKind::SloEnforced {
+            violations: violated,
+            demoted,
+        });
+        self.emit_assignment("slo_enforce", Some(&plan));
+        self.plan_source = PlanSource::Slo;
+        self.last_plan = Some(plan.clone());
+        Some(plan)
+    }
+
+    /// Run SLO enforcement immediately against the current state, outside
+    /// any epoch boundary. Used right after SLO declaration so admitted
+    /// cores hold their capacity floor from the very first access, not
+    /// from the first repartitioning. Returns a plan to install when the
+    /// state in force violates an admitted SLO.
+    pub fn enforce_slo_now(&mut self) -> Option<PartitionPlan> {
+        self.enforce_slo(None)
     }
 
     /// Serialize the controller's dynamic state (profilers, mask, epoch
@@ -258,6 +454,20 @@ impl Controller {
                 "hysteresis".to_string(),
                 serde::Serialize::to_value(&self.hyst),
             ),
+            (
+                "ledger".to_string(),
+                serde::Serialize::to_value(&self.ledger),
+            ),
+            (
+                "slo_admitted".to_string(),
+                serde::Serialize::to_value(
+                    &self
+                        .qos
+                        .as_ref()
+                        .map(|q| q.admitted.clone())
+                        .unwrap_or_default(),
+                ),
+            ),
         ])
     }
 
@@ -275,6 +485,15 @@ impl Controller {
         self.counters = serde::from_field(v, "counters")?;
         self.plan_source = serde::from_field(v, "plan_source")?;
         self.hyst = serde::from_field(v, "hysteresis")?;
+        // QoS state is absent from pre-QoS snapshots; default to empty.
+        self.ledger = serde::from_field_or_default(v, "ledger")?;
+        let admitted: Vec<bool> = serde::from_field_or_default(v, "slo_admitted")?;
+        if let Some(q) = &mut self.qos {
+            if admitted.len() == q.admitted.len() {
+                q.admitted = admitted;
+                q.evaluated = true;
+            }
+        }
         Ok(())
     }
 
@@ -369,6 +588,7 @@ impl Controller {
             }
             Policy::BankAware => self.bank_aware_epoch(curves, deadline),
         };
+        let plan = self.enforce_slo(plan);
         for p in &mut self.profilers {
             p.decay();
         }
@@ -433,7 +653,7 @@ impl Controller {
     /// running an invalid assignment until the next boundary. Does not
     /// advance the epoch count or decay the profilers.
     pub fn replan_for_mask(&mut self) -> Option<PartitionPlan> {
-        match self.policy {
+        let plan = match self.policy {
             Policy::NoPartition => None,
             Policy::Equal => {
                 let p = self.equal_plan();
@@ -452,7 +672,8 @@ impl Controller {
                 // by construction — hysteresis must not dampen a correction.
                 self.solve_bank_aware(&curves, false)
             }
-        }
+        };
+        self.enforce_slo(plan)
     }
 
     fn sanitize_curves(&mut self, curves: &mut [MissRatioCurve]) {
@@ -502,7 +723,8 @@ impl Controller {
             SolveBudget::steps(self.control.budget.max_solver_steps),
         );
         if let Some(t0) = t0 {
-            self.tracer.timing("solve", t0.elapsed().as_nanos() as u64);
+            self.tracer
+                .timing_masked("solve", t0.elapsed().as_nanos() as u64, self.mask.bits());
         }
         match solved {
             Ok(plan) => self.consider_install(plan, curves, gated),
@@ -622,7 +844,8 @@ impl Controller {
     /// degradation ladder exactly as if a solve had failed, returning a
     /// repaired plan to install when the ladder produces one.
     pub fn guard_escalate(&mut self) -> Option<PartitionPlan> {
-        self.degraded_fallback()
+        let plan = self.degraded_fallback();
+        self.enforce_slo(plan)
     }
 
     /// The degradation ladder, walked when the solver fails.
@@ -632,6 +855,11 @@ impl Controller {
     /// the ledger accumulated them, so the event is the primary record and
     /// the counter mutation follows it.
     fn degraded_fallback(&mut self) -> Option<PartitionPlan> {
+        let prev_ways: Option<Vec<usize>> = self.last_plan.as_ref().map(|p| {
+            (0..self.topo.num_cores())
+                .map(|c| p.ways_of(CoreId(c as u8)))
+                .collect()
+        });
         if let Some(prev) = &self.last_plan {
             // Rung 1: the installed plan survived the damage — keep it.
             if prev.validate_against_mask(&self.mask).is_ok() {
@@ -645,6 +873,7 @@ impl Controller {
             if repaired.validate_against_mask(&self.mask).is_ok() {
                 self.tracer.emit(|| EventKind::DegradationRung { rung: 2 });
                 self.counters.plan_repairs += 1;
+                self.record_capacity_losses(prev_ways.as_deref(), &repaired);
                 self.emit_assignment("plan_repair", Some(&repaired));
                 self.plan_source = PlanSource::Repair;
                 self.last_plan = Some(repaired.clone());
@@ -656,11 +885,24 @@ impl Controller {
         self.counters.equal_fallbacks += 1;
         let p = self.equal_plan();
         self.emit_assignment("equal_fallback", p.as_ref());
-        if p.is_some() {
+        if let Some(plan) = &p {
+            self.record_capacity_losses(prev_ways.as_deref(), plan);
             self.plan_source = PlanSource::EqualFallback;
             self.last_plan = p.clone();
         }
         p
+    }
+
+    /// Ledger the per-core damage of swapping the previous plan for `new`:
+    /// every core whose total shrinks is charged the difference.
+    fn record_capacity_losses(&mut self, prev_ways: Option<&[usize]>, new: &PartitionPlan) {
+        let Some(prev_ways) = prev_ways else { return };
+        for (c, &before) in prev_ways.iter().enumerate() {
+            let after = new.ways_of(CoreId(c as u8));
+            if after < before {
+                self.ledger.record(c, (before - after) as u64);
+            }
+        }
     }
 
     /// The Equal policy's plan for the current mask: the paper's private
@@ -1112,6 +1354,157 @@ mod tests {
         assert_eq!(r.hyst, c.hyst, "flip history and hold-off survive restore");
         assert_eq!(r.in_holdoff(), c.in_holdoff());
         assert_eq!(r.last_plan(), c.last_plan());
+    }
+
+    fn slo(max_wcl: Cycle, min_ways: usize) -> bap_types::SloSpec {
+        bap_types::SloSpec {
+            max_wcl_cycles: max_wcl,
+            min_ways,
+            bandwidth_floor: 0,
+        }
+    }
+
+    fn wcl_params() -> WclParams {
+        WclParams {
+            noc_queue_bound: 64,
+            noc_reg_stall: 0,
+            dram_worst: 772,
+            dram_reg_stall: 0,
+            coherence_extra: 0,
+            isolated_lookup: true,
+        }
+    }
+
+    #[test]
+    fn slo_enforcement_replaces_violating_solver_plans() {
+        let mut c = controller(Policy::BankAware);
+        c.set_tracer(Tracer::ring());
+        // Core 7 shows no appetite, so the solver starves it — but it
+        // declared a 24-way floor.
+        let mut slos = vec![None; 8];
+        slos[7] = Some(slo(10_000, 24));
+        c.set_qos(slos, wcl_params(), None);
+        assert!(c.slo_admitted(CoreId(7)));
+        feed_knee_profile(&mut c, CoreId(0), 60, 60_000);
+        for i in 1..8 {
+            feed_knee_profile(&mut c, CoreId(i), 3, 20_000);
+        }
+        let plan = c.epoch_boundary().expect("enforcement installs a plan");
+        assert!(plan.ways_of(CoreId(7)) >= 24, "{plan}");
+        assert_eq!(c.plan_source(), PlanSource::Slo);
+        assert!(c.counters().slo_enforcements >= 1);
+        assert!(
+            !c.core_degrades().is_zero(),
+            "some best-effort core paid for the floor"
+        );
+        let bounds = c.slo_bounds();
+        assert!(bounds[7].is_some() && bounds[0].is_none());
+        let events = c.tracer.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SloAdmitted { core: 7, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SloEnforced { .. })));
+    }
+
+    #[test]
+    fn compliant_plans_pass_through_enforcement_untouched() {
+        let mut a = controller(Policy::BankAware);
+        let mut b = controller(Policy::BankAware);
+        // A trivially satisfiable SLO: 1 way, enormous ceiling.
+        let mut slos = vec![None; 8];
+        slos[0] = Some(slo(1_000_000, 1));
+        b.set_qos(slos, wcl_params(), None);
+        for i in 0..8 {
+            feed_knee_profile(&mut a, CoreId(i), 10, 20_000);
+            feed_knee_profile(&mut b, CoreId(i), 10, 20_000);
+        }
+        let pa = a.epoch_boundary().unwrap();
+        let pb = b.epoch_boundary().unwrap();
+        assert_eq!(pa, pb, "a met SLO never changes the decision");
+        assert_eq!(b.plan_source(), PlanSource::Solver);
+        assert_eq!(b.counters().slo_enforcements, 0);
+    }
+
+    #[test]
+    fn bank_loss_triggers_re_admission() {
+        let mut c = controller(Policy::BankAware);
+        c.set_tracer(Tracer::ring());
+        let mut slos = vec![None; 8];
+        slos[0] = Some(slo(10_000, 120));
+        c.set_qos(slos, wcl_params(), None);
+        assert!(c.slo_admitted(CoreId(0)), "feasible on the healthy machine");
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        c.epoch_boundary();
+        // Losing two banks leaves 112 ways: the 120-way floor is infeasible
+        // and the SLO must be demoted, not silently breached.
+        c.bank_failed(BankId(3));
+        c.bank_failed(BankId(11));
+        c.replan_for_mask();
+        assert!(!c.slo_admitted(CoreId(0)));
+        assert!(c.counters().slo_rejections >= 1);
+        let events = c.tracer.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SloRejected { core: 0, .. })));
+        assert_eq!(c.slo_bounds()[0], None, "no bound is promised any more");
+    }
+
+    #[test]
+    fn qos_free_controller_is_bit_identical() {
+        let mut a = controller(Policy::BankAware);
+        let mut b = controller(Policy::BankAware);
+        b.set_qos(Vec::new(), wcl_params(), Some(4));
+        for i in 0..8 {
+            feed_knee_profile(&mut a, CoreId(i), 12, 30_000);
+            feed_knee_profile(&mut b, CoreId(i), 12, 30_000);
+        }
+        assert_eq!(a.epoch_boundary(), b.epoch_boundary());
+        assert_eq!(a.counters(), b.counters());
+        assert!(b.slo_bounds().iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn ladder_fallback_records_per_core_losses() {
+        let mut c = controller(Policy::BankAware);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        c.epoch_boundary().unwrap();
+        // Kill core 2's banks and starve the solver so the ladder runs.
+        for b in 1..16 {
+            c.bank_failed(BankId(b));
+        }
+        c.epoch_boundary();
+        let ctrs = c.counters();
+        assert!(ctrs.plan_repairs + ctrs.equal_fallbacks >= 1);
+        let ledger = c.core_degrades();
+        assert!(
+            !ledger.is_zero(),
+            "massive bank loss must cost someone ways: {ledger:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_qos_state() {
+        let mut c = controller(Policy::BankAware);
+        let mut slos = vec![None; 8];
+        slos[1] = Some(slo(10_000, 24));
+        c.set_qos(slos.clone(), wcl_params(), None);
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        c.epoch_boundary();
+        let snap = c.snapshot();
+        let mut r = controller(Policy::BankAware);
+        r.set_qos(slos, wcl_params(), None);
+        r.restore(&snap).unwrap();
+        assert_eq!(r.slo_admitted(CoreId(1)), c.slo_admitted(CoreId(1)));
+        assert_eq!(r.core_degrades(), c.core_degrades());
+        assert_eq!(r.slo_bounds(), c.slo_bounds());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod bank_aware;
 pub mod controller;
 pub mod projection;
+pub mod qos;
 pub mod unrestricted;
 
 pub use bank_aware::{
@@ -25,4 +26,5 @@ pub use bank_aware::{
 };
 pub use controller::{Controller, PlanSource, Policy};
 pub use projection::{projected_misses, projected_plan_misses, projected_total_misses};
+pub use qos::{admit_cores, build_qos_plan, core_bound, AdmissionOutcome, QosState};
 pub use unrestricted::{unrestricted_partition, unrestricted_partition_traced};

@@ -1,0 +1,442 @@
+//! SLO admission control and enforcement for the partitioning controller.
+//!
+//! The paper's allocator optimises *average* miss rates; this module layers
+//! hard guarantees on top of it (DESIGN.md §12). Cores may declare a
+//! [`SloSpec`] — a worst-case-latency ceiling, a capacity floor and a
+//! bandwidth floor — and the controller runs two passes around every plan
+//! decision:
+//!
+//! * **admission** ([`admit_cores`]) — before anything is installed, each
+//!   declared SLO is tested against the *analytic* WCL bound achievable on
+//!   the surviving banks. Admission is a deterministic sequential
+//!   simulation of [`build_qos_plan`]: cores are considered in ascending
+//!   id order, each taking its `min_ways` from the nearest healthy banks,
+//!   so an earlier core's placement (and therefore its bound) never changes
+//!   when a later core is admitted.
+//! * **enforcement** — every candidate plan (solver, ladder, replan) is
+//!   checked against the admitted SLOs; a violating candidate is replaced
+//!   by the plan [`build_qos_plan`] derives, demoting best-effort cores to
+//!   whatever capacity remains.
+//!
+//! Both passes are pure functions of `(topology, mask, slos, params)` —
+//! re-running them after a bank fault *is* re-admission, which is exactly
+//! how mid-run degradation is escalated instead of silently breaching.
+
+use bap_cache::{BankAllocation, PartitionPlan};
+use bap_types::{wcl_bound, BankId, BankMask, CoreId, Cycle, SloSpec, Topology, WclParams};
+
+/// The controller's QoS state: the declared objectives, the machine
+/// constants of the WCL bound, and the current admission verdicts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QosState {
+    /// Declared SLO per core (index = core id, length = num_cores).
+    pub slos: Vec<Option<SloSpec>>,
+    /// Machine constants of the analytic WCL bound.
+    pub params: WclParams,
+    /// Smallest armed regulator budget (None = no regulator armed, so any
+    /// bandwidth floor is trivially met).
+    pub min_budget: Option<u64>,
+    /// Current admission verdict per core.
+    pub admitted: Vec<bool>,
+    /// Whether the first admission pass has run (the first pass reports
+    /// every verdict; later passes report only status changes).
+    pub evaluated: bool,
+}
+
+impl QosState {
+    /// Fresh state over `num_cores` cores; nothing admitted yet.
+    pub fn new(
+        mut slos: Vec<Option<SloSpec>>,
+        params: WclParams,
+        min_budget: Option<u64>,
+        num_cores: usize,
+    ) -> Self {
+        slos.resize(num_cores, None);
+        QosState {
+            slos,
+            params,
+            min_budget,
+            admitted: vec![false; num_cores],
+            evaluated: false,
+        }
+    }
+
+    /// Whether any core declared an SLO.
+    pub fn has_slos(&self) -> bool {
+        self.slos.iter().any(|s| s.is_some())
+    }
+}
+
+/// One core's admission verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdmissionOutcome {
+    /// The core that declared an SLO.
+    pub core: usize,
+    /// Whether the SLO is admitted under the current mask.
+    pub admitted: bool,
+    /// The realized analytic WCL bound (admitted cores only).
+    pub bound: Option<Cycle>,
+    /// Why admission failed (rejected cores only).
+    pub reason: Option<String>,
+}
+
+/// The analytic WCL bound for `core` under the current placement. With
+/// strict lookup isolation the wire term ranges over the core's *allocated*
+/// banks; otherwise a lookup may probe any healthy bank, so the bound must
+/// too. A core with no allocation (or no plan at all) falls back to the
+/// all-healthy-banks bound.
+pub fn core_bound(
+    params: &WclParams,
+    topo: &Topology,
+    mask: &BankMask,
+    core: CoreId,
+    plan: Option<&PartitionPlan>,
+) -> Cycle {
+    let allocated: Vec<BankId> = match plan {
+        Some(p) if params.isolated_lookup => {
+            p.per_core[core.index()].iter().map(|a| a.bank).collect()
+        }
+        _ => Vec::new(),
+    };
+    if allocated.is_empty() {
+        let healthy: Vec<BankId> = mask.healthy_banks().collect();
+        wcl_bound(params, topo, core, &healthy)
+    } else {
+        wcl_bound(params, topo, core, &allocated)
+    }
+}
+
+/// Allocate every admitted core its `min_ways` from the nearest healthy
+/// banks (ascending core order; ties broken by bank index), leaving at
+/// least one way per best-effort core. `None` when the surviving capacity
+/// cannot satisfy the admitted set.
+fn allocate_admitted(
+    topo: &Topology,
+    mask: &BankMask,
+    bank_ways: usize,
+    slos: &[Option<SloSpec>],
+    admitted: &[bool],
+) -> Option<Vec<Vec<BankAllocation>>> {
+    let num_cores = topo.num_cores();
+    let mut remaining: Vec<usize> = (0..topo.num_banks())
+        .map(|b| {
+            if mask.is_healthy(BankId(b as u8)) {
+                bank_ways
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut per_core = vec![Vec::new(); num_cores];
+    for (c, allocs) in per_core.iter_mut().enumerate() {
+        if !admitted.get(c).copied().unwrap_or(false) {
+            continue;
+        }
+        let slo = slos.get(c).and_then(|s| s.as_ref())?;
+        let mut need = slo.min_ways.max(1);
+        let mut banks: Vec<BankId> = mask.healthy_banks().collect();
+        banks.sort_by_key(|&b| (topo.latency(CoreId(c as u8), b), b.index()));
+        for b in banks {
+            if need == 0 {
+                break;
+            }
+            let take = need.min(remaining[b.index()]);
+            if take > 0 {
+                allocs.push(BankAllocation {
+                    bank: b,
+                    ways: take,
+                });
+                remaining[b.index()] -= take;
+                need -= take;
+            }
+        }
+        if need > 0 {
+            return None;
+        }
+    }
+    let best_effort =
+        admitted.iter().filter(|&&a| !a).count() + num_cores.saturating_sub(admitted.len());
+    let left: usize = remaining.iter().sum();
+    if left < best_effort {
+        return None;
+    }
+    Some(per_core)
+}
+
+/// The admission pass: walk the declared SLOs in ascending core order and
+/// decide, for each, whether a placement on the surviving banks can honour
+/// it. Deterministic and side-effect free — the caller owns event emission
+/// and counter updates.
+pub fn admit_cores(
+    topo: &Topology,
+    mask: &BankMask,
+    bank_ways: usize,
+    slos: &[Option<SloSpec>],
+    params: &WclParams,
+    min_budget: Option<u64>,
+) -> Vec<AdmissionOutcome> {
+    let num_cores = topo.num_cores();
+    let mut admitted = vec![false; num_cores];
+    let mut out = Vec::new();
+    for c in 0..num_cores {
+        let Some(slo) = slos.get(c).and_then(|s| s.as_ref()) else {
+            continue;
+        };
+        if let Some(budget) = min_budget {
+            if slo.bandwidth_floor > budget {
+                out.push(AdmissionOutcome {
+                    core: c,
+                    admitted: false,
+                    bound: None,
+                    reason: Some(format!(
+                        "bandwidth floor {} exceeds regulator budget {budget}",
+                        slo.bandwidth_floor
+                    )),
+                });
+                continue;
+            }
+        }
+        admitted[c] = true;
+        let Some(allocs) = allocate_admitted(topo, mask, bank_ways, slos, &admitted) else {
+            admitted[c] = false;
+            out.push(AdmissionOutcome {
+                core: c,
+                admitted: false,
+                bound: None,
+                reason: Some(format!(
+                    "insufficient healthy capacity for {} ways",
+                    slo.min_ways.max(1)
+                )),
+            });
+            continue;
+        };
+        let banks: Vec<BankId> = if params.isolated_lookup {
+            allocs[c].iter().map(|a| a.bank).collect()
+        } else {
+            mask.healthy_banks().collect()
+        };
+        let bound = wcl_bound(params, topo, CoreId(c as u8), &banks);
+        if bound <= slo.max_wcl_cycles {
+            out.push(AdmissionOutcome {
+                core: c,
+                admitted: true,
+                bound: Some(bound),
+                reason: None,
+            });
+        } else {
+            admitted[c] = false;
+            out.push(AdmissionOutcome {
+                core: c,
+                admitted: false,
+                bound: Some(bound),
+                reason: Some(format!(
+                    "wcl bound {bound} exceeds ceiling {}",
+                    slo.max_wcl_cycles
+                )),
+            });
+        }
+    }
+    out
+}
+
+/// The deterministic SLO-compliant plan: admitted cores take their
+/// `min_ways` from their nearest healthy banks (the same sequential
+/// allocation [`admit_cores`] simulated, so the admitted bounds are
+/// realized exactly), and best-effort cores split every remaining healthy
+/// way evenly — each at least one, remainder to lower ids. `None` when the
+/// admitted set is infeasible on the current mask (admission prevents this
+/// in normal operation).
+pub fn build_qos_plan(
+    topo: &Topology,
+    mask: &BankMask,
+    bank_ways: usize,
+    slos: &[Option<SloSpec>],
+    admitted: &[bool],
+) -> Option<PartitionPlan> {
+    let num_cores = topo.num_cores();
+    let per_core = allocate_admitted(topo, mask, bank_ways, slos, admitted)?;
+    let mut plan = PartitionPlan::empty(num_cores, topo.num_banks(), bank_ways);
+    let mut remaining: Vec<usize> = (0..topo.num_banks())
+        .map(|b| {
+            if mask.is_healthy(BankId(b as u8)) {
+                bank_ways
+            } else {
+                0
+            }
+        })
+        .collect();
+    for (c, allocs) in per_core.into_iter().enumerate() {
+        for a in &allocs {
+            remaining[a.bank.index()] -= a.ways;
+        }
+        plan.per_core[c] = allocs;
+    }
+    let best_effort: Vec<usize> = (0..num_cores)
+        .filter(|&c| !admitted.get(c).copied().unwrap_or(false))
+        .collect();
+    if best_effort.is_empty() {
+        return Some(plan);
+    }
+    let left: usize = remaining.iter().sum();
+    let base = left / best_effort.len();
+    let extra = left % best_effort.len();
+    let mut bank = 0usize;
+    for (i, &c) in best_effort.iter().enumerate() {
+        let mut need = base + usize::from(i < extra);
+        while need > 0 {
+            while remaining[bank] == 0 {
+                bank += 1;
+            }
+            let take = need.min(remaining[bank]);
+            plan.per_core[c].push(BankAllocation {
+                bank: BankId(bank as u8),
+                ways: take,
+            });
+            remaining[bank] -= take;
+            need -= take;
+        }
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo(max_wcl: Cycle, min_ways: usize, floor: u64) -> Option<SloSpec> {
+        Some(SloSpec {
+            max_wcl_cycles: max_wcl,
+            min_ways,
+            bandwidth_floor: floor,
+        })
+    }
+
+    fn params() -> WclParams {
+        WclParams {
+            noc_queue_bound: 64,
+            noc_reg_stall: 0,
+            dram_worst: 772,
+            dram_reg_stall: 0,
+            coherence_extra: 0,
+            isolated_lookup: true,
+        }
+    }
+
+    #[test]
+    fn admission_realizes_the_nearest_bank_bound() {
+        let topo = Topology::baseline();
+        let mask = BankMask::all_healthy(16);
+        let mut slos = vec![None; 8];
+        slos[0] = slo(10_000, 8, 0);
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), None);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].admitted);
+        // 8 ways fit entirely in core 0's Local bank — the nearest hop.
+        let expected = topo.latency(CoreId(0), BankId(0)) + 64 + 772;
+        assert_eq!(out[0].bound, Some(expected));
+    }
+
+    #[test]
+    fn tight_ceiling_is_rejected_with_the_computed_bound() {
+        let topo = Topology::baseline();
+        let mask = BankMask::all_healthy(16);
+        let mut slos = vec![None; 8];
+        slos[3] = slo(100, 8, 0);
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), None);
+        assert!(!out[0].admitted);
+        assert!(out[0].reason.as_ref().unwrap().contains("wcl bound"));
+    }
+
+    #[test]
+    fn bandwidth_floor_above_the_regulator_budget_is_rejected() {
+        let topo = Topology::baseline();
+        let mask = BankMask::all_healthy(16);
+        let mut slos = vec![None; 8];
+        slos[0] = slo(10_000, 1, 16);
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), Some(4));
+        assert!(!out[0].admitted);
+        assert!(out[0].reason.as_ref().unwrap().contains("bandwidth floor"));
+        // No regulator armed: bandwidth is unlimited, the floor is moot.
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), None);
+        assert!(out[0].admitted);
+    }
+
+    #[test]
+    fn best_effort_cores_always_keep_a_way() {
+        let topo = Topology::baseline();
+        let mask = BankMask::all_healthy(16);
+        // Two greedy SLOs wanting 60 ways each: 120 of 128 ways leave 8 for
+        // 6 best-effort cores — feasible. A third raises the demand past
+        // what the reserve allows and must be rejected.
+        let mut slos = vec![None; 8];
+        slos[0] = slo(10_000, 60, 0);
+        slos[1] = slo(10_000, 60, 0);
+        slos[2] = slo(10_000, 8, 0);
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), None);
+        assert!(out[0].admitted && out[1].admitted);
+        assert!(!out[2].admitted);
+        assert!(out[2].reason.as_ref().unwrap().contains("capacity"));
+        let admitted = vec![true, true, false, false, false, false, false, false];
+        let plan = build_qos_plan(&topo, &mask, 8, &slos, &admitted).unwrap();
+        plan.validate_against_mask(&mask).unwrap();
+        assert_eq!(plan.ways_of(CoreId(0)), 60);
+        assert_eq!(plan.ways_of(CoreId(1)), 60);
+        for c in 2..8 {
+            assert!(plan.ways_of(CoreId(c)) >= 1, "{plan}");
+        }
+        assert_eq!(plan.total_ways_used(), 128, "everything healthy is used");
+    }
+
+    #[test]
+    fn bank_loss_re_admission_degrades_instead_of_lying() {
+        let topo = Topology::baseline();
+        let mut mask = BankMask::all_healthy(16);
+        let mut slos = vec![None; 8];
+        slos[0] = slo(10_000, 120, 0);
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), None);
+        assert!(out[0].admitted, "120 of 128 ways fits while healthy");
+        // Two banks die: 112 ways remain, the 120-way floor is infeasible.
+        mask.disable(BankId(0));
+        mask.disable(BankId(8));
+        let out = admit_cores(&topo, &mask, 8, &slos, &params(), None);
+        assert!(!out[0].admitted);
+    }
+
+    #[test]
+    fn qos_plan_avoids_dead_banks() {
+        let topo = Topology::baseline();
+        let mut mask = BankMask::all_healthy(16);
+        mask.disable(BankId(0));
+        let mut slos = vec![None; 8];
+        slos[0] = slo(10_000, 8, 0);
+        let admitted = vec![true, false, false, false, false, false, false, false];
+        let plan = build_qos_plan(&topo, &mask, 8, &slos, &admitted).unwrap();
+        plan.validate_against_mask(&mask).unwrap();
+        assert_eq!(plan.bank_ways_used(BankId(0)), 0);
+        assert_eq!(plan.ways_of(CoreId(0)), 8);
+        // Core 0's Local bank is dead; its share lands on the next-nearest
+        // healthy bank, and the realized bound reflects the extra hops.
+        let b = core_bound(&params(), &topo, &mask, CoreId(0), Some(&plan));
+        assert!(b > topo.latency(CoreId(0), BankId(0)) + 64 + 772);
+    }
+
+    #[test]
+    fn unisolated_bound_ranges_over_every_healthy_bank() {
+        let topo = Topology::baseline();
+        let mask = BankMask::all_healthy(16);
+        let p = WclParams {
+            isolated_lookup: false,
+            ..params()
+        };
+        let mut slos = vec![None; 8];
+        slos[0] = slo(10_000, 8, 0);
+        let admitted = vec![true, false, false, false, false, false, false, false];
+        let plan = build_qos_plan(&topo, &mask, 8, &slos, &admitted).unwrap();
+        let bound = core_bound(&p, &topo, &mask, CoreId(0), Some(&plan));
+        let worst_hop = (0..16)
+            .map(|b| topo.latency(CoreId(0), BankId(b)))
+            .max()
+            .unwrap();
+        assert_eq!(bound, worst_hop + 64 + 772);
+    }
+}

@@ -13,7 +13,7 @@
 //! Table I figure.
 
 use crate::DramStats;
-use bap_types::{BlockAddr, Cycle};
+use bap_types::{BankRegulator, BlockAddr, Cycle, RegulatorConfig};
 use serde::{Deserialize, Serialize};
 
 /// Banked-DRAM geometry and timing (all times in core cycles).
@@ -87,6 +87,8 @@ pub struct BankedDram {
     cfg: BankedDramConfig,
     banks: Vec<BankState>,
     channel_free_at: Vec<Cycle>,
+    /// Optional per-DRAM-bank token-bucket bandwidth regulator (QoS tier).
+    regulator: Option<BankRegulator>,
     stats: DramStats,
     rows: RowStats,
 }
@@ -100,9 +102,44 @@ impl BankedDram {
             banks: vec![BankState::default(); cfg.channels * cfg.banks_per_channel],
             channel_free_at: vec![0; cfg.channels],
             cfg,
+            regulator: None,
             stats: DramStats::default(),
             rows: RowStats::default(),
         }
+    }
+
+    /// Arm the per-bank bandwidth regulator. Unarmed (the default) the
+    /// model is bit-identical to the unregulated device.
+    pub fn set_regulator(&mut self, cfg: RegulatorConfig) {
+        self.regulator = Some(BankRegulator::new(
+            cfg,
+            self.cfg.channels * self.cfg.banks_per_channel,
+        ));
+    }
+
+    /// The armed regulator, if any.
+    pub fn regulator(&self) -> Option<&BankRegulator> {
+        self.regulator.as_ref()
+    }
+
+    /// Drain the regulator's per-epoch throttle accounting.
+    pub fn drain_epoch_throttle(&mut self) -> Vec<(usize, u64, u64)> {
+        self.regulator
+            .as_mut()
+            .map(|r| r.drain_epoch())
+            .unwrap_or_default()
+    }
+
+    /// Worst-case read latency excluding the regulator term: bank queue
+    /// clamp + worst access (precharge + activate + CAS) + burst. The
+    /// burst-start clamp guarantees completion within this of issue.
+    pub fn worst_case_read_latency(&self) -> Cycle {
+        self.cfg.max_queue + self.cfg.t_pre + self.cfg.t_act + self.cfg.t_cas + self.cfg.t_burst
+    }
+
+    /// Worst stall the armed regulator can charge (0 when unarmed).
+    pub fn regulator_worst_stall(&self) -> Cycle {
+        self.regulator.as_ref().map_or(0, |r| r.worst_stall())
     }
 
     /// Map a block to (channel, global bank index, row).
@@ -135,6 +172,13 @@ impl BankedDram {
 
     fn transfer(&mut self, block: BlockAddr, now: Cycle) -> Cycle {
         let (channel, bank_idx, row) = self.map(block);
+        // The regulator gates entry to the bank queue; the stall shifts the
+        // request's issue point so completion − now ≤ max_stall + the
+        // unregulated worst case.
+        let now = match self.regulator.as_mut() {
+            Some(r) => now + r.admit(bank_idx, now),
+            None => now,
+        };
         let bank = &mut self.banks[bank_idx];
 
         // Queue at the bank (bounded).
@@ -203,6 +247,10 @@ impl BankedDram {
             ),
             ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
             ("rows".to_string(), serde::Serialize::to_value(&self.rows)),
+            (
+                "regulator".to_string(),
+                serde::Serialize::to_value(&self.regulator),
+            ),
         ])
     }
 
@@ -223,6 +271,8 @@ impl BankedDram {
         self.channel_free_at = serde::from_field(v, "channel_free_at")?;
         self.stats = serde::from_field(v, "stats")?;
         self.rows = serde::from_field(v, "rows")?;
+        // Absent in pre-QoS snapshots: default to unarmed.
+        self.regulator = serde::from_field_or_default(v, "regulator")?;
         Ok(())
     }
 }
@@ -327,5 +377,28 @@ mod tests {
             worst = worst.max(d.read_block(BlockAddr(0), 100));
         }
         assert!(worst <= 512 + 100 + 60 + 16 + 512 + 16, "bounded: {worst}");
+    }
+
+    #[test]
+    fn analytic_worst_case_holds_under_regulation() {
+        let mut d = dram();
+        d.set_regulator(RegulatorConfig {
+            budget: 1,
+            period: 128,
+            max_stall: 256,
+        });
+        let bound = d.worst_case_read_latency() + d.regulator_worst_stall();
+        let mut worst = 0;
+        for i in 0..5_000u64 {
+            // Scatter across rows of one bank to hit the worst access class.
+            worst = worst.max(d.read_block(BlockAddr((i % 5) * 16 * 128), 100));
+        }
+        assert!(worst <= bound, "read {worst} > bound {bound}");
+        assert!(d.regulator().unwrap().throttled_requests() > 0);
+        // Regulator state round-trips through the snapshot.
+        let snap = d.snapshot();
+        let mut back = dram();
+        back.restore(&snap).unwrap();
+        assert_eq!(back.regulator(), d.regulator());
     }
 }

@@ -10,7 +10,7 @@ pub mod banked;
 
 pub use banked::{BankedDram, BankedDramConfig, RowStats};
 
-use bap_types::Cycle;
+use bap_types::{BankRegulator, Cycle, RegulatorConfig};
 use serde::{Deserialize, Serialize};
 
 /// Accumulated DRAM counters.
@@ -47,6 +47,9 @@ pub struct DramModel {
     /// Maximum bandwidth-queue delay per request (finite controller queue:
     /// the paper's machine has at most 8 cores × 16 outstanding misses).
     max_queue: u64,
+    /// Optional token-bucket bandwidth regulator (QoS tier). The flat
+    /// model has one channel, so the regulator runs a single bucket.
+    regulator: Option<BankRegulator>,
     stats: DramStats,
 }
 
@@ -62,8 +65,39 @@ impl DramModel {
             block_bytes,
             channel_free_at: 0,
             max_queue: 128 * cycles_per_block,
+            regulator: None,
             stats: DramStats::default(),
         }
+    }
+
+    /// Arm the bandwidth regulator. Unarmed (the default) the model is
+    /// bit-identical to the unregulated channel.
+    pub fn set_regulator(&mut self, cfg: RegulatorConfig) {
+        self.regulator = Some(BankRegulator::new(cfg, 1));
+    }
+
+    /// The armed regulator, if any.
+    pub fn regulator(&self) -> Option<&BankRegulator> {
+        self.regulator.as_ref()
+    }
+
+    /// Drain the regulator's per-epoch throttle accounting.
+    pub fn drain_epoch_throttle(&mut self) -> Vec<(usize, u64, u64)> {
+        self.regulator
+            .as_mut()
+            .map(|r| r.drain_epoch())
+            .unwrap_or_default()
+    }
+
+    /// Worst-case read latency excluding the regulator term: the finite
+    /// controller queue plus the fixed access latency.
+    pub fn worst_case_read_latency(&self) -> Cycle {
+        self.max_queue + self.latency
+    }
+
+    /// Worst stall the armed regulator can charge (0 when unarmed).
+    pub fn regulator_worst_stall(&self) -> Cycle {
+        self.regulator.as_ref().map_or(0, |r| r.worst_stall())
     }
 
     /// The Table I memory system.
@@ -85,7 +119,14 @@ impl DramModel {
     }
 
     fn transfer(&mut self, now: Cycle) -> u64 {
-        let start = self.channel_free_at.max(now).min(now + self.max_queue);
+        // The regulator gates channel entry; its stall adds to (and is
+        // accounted with) the bandwidth stall, bounded by max_stall.
+        let reg_stall = match self.regulator.as_mut() {
+            Some(r) => r.admit(0, now),
+            None => 0,
+        };
+        let gated = now + reg_stall;
+        let start = self.channel_free_at.max(gated).min(gated + self.max_queue);
         self.channel_free_at = start + self.cycles_per_block;
         let stall = start - now;
         self.stats.requests += 1;
@@ -113,6 +154,10 @@ impl DramModel {
                 serde::Serialize::to_value(&self.channel_free_at),
             ),
             ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+            (
+                "regulator".to_string(),
+                serde::Serialize::to_value(&self.regulator),
+            ),
         ])
     }
 
@@ -120,6 +165,8 @@ impl DramModel {
     pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
         self.channel_free_at = serde::from_field(v, "channel_free_at")?;
         self.stats = serde::from_field(v, "stats")?;
+        // Absent in pre-QoS snapshots: default to unarmed.
+        self.regulator = serde::from_field_or_default(v, "regulator")?;
         Ok(())
     }
 }
@@ -195,5 +242,43 @@ mod tests {
         d.read(0);
         // 64/10 → 7 cycles occupancy.
         assert_eq!(d.read(0), 107);
+    }
+
+    #[test]
+    fn regulated_reads_stay_inside_the_analytic_worst_case() {
+        let mut d = DramModel::table1();
+        d.set_regulator(RegulatorConfig {
+            budget: 2,
+            period: 64,
+            max_stall: 200,
+        });
+        assert_eq!(d.worst_case_read_latency(), 128 * 4 + 260);
+        assert_eq!(d.regulator_worst_stall(), 200);
+        let bound = d.worst_case_read_latency() + d.regulator_worst_stall();
+        let mut worst = 0;
+        for _ in 0..5_000 {
+            worst = worst.max(d.read(0));
+        }
+        assert!(worst > 128 * 4 + 260, "regulator stall visible: {worst}");
+        assert!(worst <= bound, "read {worst} > bound {bound}");
+        assert!(d.regulator().unwrap().throttled_requests() > 0);
+        assert!(!d.drain_epoch_throttle().is_empty());
+    }
+
+    #[test]
+    fn regulator_state_survives_snapshot_restore() {
+        let mut d = DramModel::table1();
+        d.set_regulator(RegulatorConfig {
+            budget: 1,
+            period: 50,
+            max_stall: 50,
+        });
+        d.read(0);
+        d.read(0);
+        let snap = d.snapshot();
+        let mut back = DramModel::table1();
+        back.restore(&snap).unwrap();
+        assert_eq!(back.regulator(), d.regulator());
+        assert_eq!(back.read(10), d.read(10));
     }
 }

@@ -40,6 +40,10 @@ pub struct FaultCounters {
     pub guard_trips: u64,
     /// Guard escalations into the degradation ladder.
     pub guard_escalations: u64,
+    /// Declared SLOs refused (or demoted) by admission control.
+    pub slo_rejections: u64,
+    /// Candidate plans replaced by the SLO enforcement pass.
+    pub slo_enforcements: u64,
 }
 
 impl FaultCounters {
@@ -61,11 +65,80 @@ impl FaultCounters {
         self.phase_bypasses += other.phase_bypasses;
         self.guard_trips += other.guard_trips;
         self.guard_escalations += other.guard_escalations;
+        self.slo_rejections += other.slo_rejections;
+        self.slo_enforcements += other.slo_enforcements;
     }
 
     /// Whether anything at all was recorded.
     pub fn is_zero(&self) -> bool {
         *self == FaultCounters::default()
+    }
+}
+
+/// Per-core capacity-loss ledger: *which* cores lost ways to the
+/// degradation ladder, the budget-shed collision path or SLO enforcement —
+/// not just how often the ladder ran.
+///
+/// Unlike [`FaultCounters`] (a flat `Copy` bundle) this carries per-core
+/// vectors, so it lives beside the counters rather than inside them.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreDegradeLedger {
+    /// Total ways each core lost across all degrade events (index = core).
+    pub ways_lost: Vec<u64>,
+    /// Number of degrade events that cost each core capacity.
+    pub events: Vec<u64>,
+}
+
+impl CoreDegradeLedger {
+    /// An empty ledger over `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        CoreDegradeLedger {
+            ways_lost: vec![0; num_cores],
+            events: vec![0; num_cores],
+        }
+    }
+
+    /// Record that `core` lost `ways` of capacity in one degrade event.
+    /// A zero-way diff is not an event.
+    pub fn record(&mut self, core: usize, ways: u64) {
+        if ways == 0 {
+            return;
+        }
+        if self.ways_lost.len() <= core {
+            self.ways_lost.resize(core + 1, 0);
+            self.events.resize(core + 1, 0);
+        }
+        self.ways_lost[core] += ways;
+        self.events[core] += 1;
+    }
+
+    /// Fold another ledger into this one (element-wise sums).
+    pub fn merge(&mut self, other: &CoreDegradeLedger) {
+        if self.ways_lost.len() < other.ways_lost.len() {
+            self.ways_lost.resize(other.ways_lost.len(), 0);
+            self.events.resize(other.events.len(), 0);
+        }
+        for (c, &w) in other.ways_lost.iter().enumerate() {
+            self.ways_lost[c] += w;
+        }
+        for (c, &e) in other.events.iter().enumerate() {
+            self.events[c] += e;
+        }
+    }
+
+    /// Whether any core lost capacity.
+    pub fn is_zero(&self) -> bool {
+        self.events.iter().all(|&e| e == 0)
+    }
+
+    /// The cores that lost capacity at least once, ascending.
+    pub fn degraded_cores(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e > 0)
+            .map(|(c, _)| c)
+            .collect()
     }
 }
 
@@ -113,5 +186,40 @@ mod tests {
         assert_eq!(a.guard_trips, 4);
         assert_eq!(a.guard_escalations, 1);
         assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn qos_fields_merge_and_break_is_zero() {
+        let mut a = FaultCounters::default();
+        a.merge(&FaultCounters {
+            slo_rejections: 1,
+            slo_enforcements: 2,
+            ..Default::default()
+        });
+        assert_eq!(a.slo_rejections, 1);
+        assert_eq!(a.slo_enforcements, 2);
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn ledger_records_which_cores_lost_capacity() {
+        let mut l = CoreDegradeLedger::new(8);
+        assert!(l.is_zero());
+        l.record(3, 0);
+        assert!(l.is_zero(), "zero-way diffs are not events");
+        l.record(3, 8);
+        l.record(3, 4);
+        l.record(5, 2);
+        assert!(!l.is_zero());
+        assert_eq!(l.ways_lost[3], 12);
+        assert_eq!(l.events[3], 2);
+        assert_eq!(l.degraded_cores(), vec![3, 5]);
+        let mut other = CoreDegradeLedger::new(8);
+        other.record(5, 1);
+        other.record(0, 7);
+        l.merge(&other);
+        assert_eq!(l.ways_lost[5], 3);
+        assert_eq!(l.events[5], 2);
+        assert_eq!(l.degraded_cores(), vec![0, 3, 5]);
     }
 }

@@ -29,5 +29,5 @@ pub mod counters;
 pub mod injector;
 
 pub use config::FaultConfig;
-pub use counters::FaultCounters;
+pub use counters::{CoreDegradeLedger, FaultCounters};
 pub use injector::{BankEvent, BankEventKind, FaultInjector};

@@ -24,10 +24,10 @@
 //! latent bug (or bit-flipped state) degrades service instead of ending it.
 
 use bap_cache::PartitionPlan;
-use bap_core::{validate_bank_rules_masked, PlanSource};
+use bap_core::{core_bound, validate_bank_rules_masked, PlanSource};
 use bap_msa::MissRatioCurve;
 use bap_trace::{EventKind, Tracer};
-use bap_types::{BankMask, DegradedTopology, Topology};
+use bap_types::{BankMask, CoreId, DegradedTopology, SloSpec, Topology, WclParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -45,6 +45,10 @@ pub enum Invariant {
     BankRules,
     /// A profiler curve is empty, non-finite, negative or non-monotone.
     CurveHealth,
+    /// An admitted SLO is not honoured by the installed plan: the core is
+    /// below its capacity floor or its analytic WCL bound exceeds the
+    /// declared ceiling.
+    SloWcl,
 }
 
 impl Invariant {
@@ -56,6 +60,7 @@ impl Invariant {
             Invariant::CapacityConserved => "capacity_conserved",
             Invariant::BankRules => "bank_rules",
             Invariant::CurveHealth => "curve_health",
+            Invariant::SloWcl => "slo_wcl",
         }
     }
 }
@@ -201,6 +206,52 @@ impl InvariantGuard {
             }
         }
         GuardReport { violations }
+    }
+
+    /// Re-validate every *admitted* SLO against the installed plan at an
+    /// epoch boundary — the independent watchdog over the controller's own
+    /// enforcement pass. Returns one [`Invariant::SloWcl`] violation per
+    /// breached core; the caller folds them into the epoch report so a
+    /// breach escalates through the same degradation ladder as any other
+    /// invariant failure (forcing re-admission) instead of passing silently.
+    pub fn check_slos(
+        &self,
+        slos: &[Option<SloSpec>],
+        admitted: &[bool],
+        params: &WclParams,
+        plan: Option<&PartitionPlan>,
+        mask: &BankMask,
+    ) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (c, slo) in slos.iter().enumerate() {
+            let Some(slo) = slo else { continue };
+            if !admitted.get(c).copied().unwrap_or(false) {
+                continue;
+            }
+            let core = CoreId(c as u8);
+            let ways = plan.map(|p| p.ways_of(core)).unwrap_or(0);
+            if ways < slo.min_ways {
+                violations.push(Violation {
+                    invariant: Invariant::SloWcl,
+                    detail: format!(
+                        "core{c} holds {ways} ways, admitted floor is {}",
+                        slo.min_ways
+                    ),
+                });
+                continue;
+            }
+            let bound = core_bound(params, &self.topo, mask, core, plan);
+            if bound > slo.max_wcl_cycles {
+                violations.push(Violation {
+                    invariant: Invariant::SloWcl,
+                    detail: format!(
+                        "core{c} wcl bound {bound} exceeds admitted ceiling {}",
+                        slo.max_wcl_cycles
+                    ),
+                });
+            }
+        }
+        violations
     }
 
     fn check_plan(
@@ -425,6 +476,48 @@ mod tests {
         curves[0] = MissRatioCurve::from_misses(vec![f64::NAN; 73], 1_000.0);
         let report = g.check_epoch(&mask, &mask, None, PlanSource::None, &curves);
         assert!(report.is_ok());
+    }
+
+    #[test]
+    fn admitted_slos_are_revalidated_against_the_installed_plan() {
+        let g = guard();
+        let mask = BankMask::all_healthy(16);
+        let params = WclParams {
+            noc_queue_bound: 64,
+            dram_worst: 772,
+            isolated_lookup: true,
+            ..WclParams::default()
+        };
+        let mut slos: Vec<Option<SloSpec>> = vec![None; 8];
+        slos[0] = Some(SloSpec {
+            max_wcl_cycles: 10_000,
+            min_ways: 24,
+            bandwidth_floor: 0,
+        });
+        let mut admitted = vec![false; 8];
+        admitted[0] = true;
+        // The equal plan gives core 0 only 16 ways: below the 24-way floor.
+        let plan = PartitionPlan::equal(8, 16, 8);
+        let v = g.check_slos(&slos, &admitted, &params, Some(&plan), &mask);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, Invariant::SloWcl);
+        assert!(v[0].detail.contains("core0"), "{}", v[0].detail);
+        // A not-admitted SLO is not the guard's to enforce.
+        admitted[0] = false;
+        assert!(g
+            .check_slos(&slos, &admitted, &params, Some(&plan), &mask)
+            .is_empty());
+        // Admitted with a satisfiable floor: the equal plan passes.
+        slos[0].as_mut().unwrap().min_ways = 16;
+        admitted[0] = true;
+        assert!(g
+            .check_slos(&slos, &admitted, &params, Some(&plan), &mask)
+            .is_empty());
+        // A ceiling below any physically possible latency is a breach.
+        slos[0].as_mut().unwrap().max_wcl_cycles = 100;
+        let v = g.check_slos(&slos, &admitted, &params, Some(&plan), &mask);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("wcl bound"), "{}", v[0].detail);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod stats;
 pub use stats::NocStats;
 
 use bap_types::topology::Floorplan;
-use bap_types::{BankId, BankKind, CoreId, Cycle, Topology};
+use bap_types::{BankId, BankKind, BankRegulator, CoreId, Cycle, RegulatorConfig, Topology};
 use std::collections::HashMap;
 
 /// A grid point of the mesh floorplan.
@@ -61,6 +61,10 @@ pub struct NocModel {
     link_free_at: Vec<Cycle>,
     /// Next free cycle per grid edge (mesh model, XY routing).
     edge_free_at: HashMap<GridEdge, Cycle>,
+    /// Optional per-bank token-bucket bandwidth regulator (QoS tier). A
+    /// regulated request is stalled *before* it enters the network, and the
+    /// stall is folded into its queued component.
+    regulator: Option<BankRegulator>,
     stats: NocStats,
 }
 
@@ -78,8 +82,40 @@ impl NocModel {
             bank_free_at: vec![0; banks],
             link_free_at: vec![0; links],
             edge_free_at: HashMap::new(),
+            regulator: None,
             stats: NocStats::default(),
         }
+    }
+
+    /// Arm the per-bank bandwidth regulator. Unarmed (the default) the
+    /// model is bit-identical to the unregulated network.
+    pub fn set_regulator(&mut self, cfg: RegulatorConfig) {
+        self.regulator = Some(BankRegulator::new(cfg, self.topology.num_banks()));
+    }
+
+    /// The armed regulator, if any.
+    pub fn regulator(&self) -> Option<&BankRegulator> {
+        self.regulator.as_ref()
+    }
+
+    /// Drain the regulator's per-epoch throttle accounting:
+    /// `(bank, throttled_requests, stall_cycles)` since the last drain.
+    pub fn drain_epoch_throttle(&mut self) -> Vec<(usize, u64, u64)> {
+        self.regulator
+            .as_mut()
+            .map(|r| r.drain_epoch())
+            .unwrap_or_default()
+    }
+
+    /// Worst queueing delay any single request can absorb, excluding the
+    /// regulator term (the finite queue-depth clamp).
+    pub fn queue_bound(&self) -> Cycle {
+        self.max_queue
+    }
+
+    /// Worst stall the armed regulator can charge (0 when unarmed).
+    pub fn regulator_worst_stall(&self) -> Cycle {
+        self.regulator.as_ref().map_or(0, |r| r.worst_stall())
     }
 
     /// The grid edges an XY-routed request traverses (mesh model).
@@ -108,6 +144,14 @@ impl NocModel {
     /// Account one L2 request from `core` to `bank` issued at `now`,
     /// reserving link and bank-port time, and return its latency.
     pub fn l2_access(&mut self, core: CoreId, bank: BankId, now: Cycle) -> NocLatency {
+        // The bandwidth regulator gates entry to the network: a request
+        // without a token is held back and only then contends for links and
+        // the bank port. Total queued ≤ regulator max_stall + queue bound.
+        let reg_stall = match self.regulator.as_mut() {
+            Some(r) => r.admit(bank.index(), now),
+            None => 0,
+        };
+        let now = now + reg_stall;
         let wire = self.topology.latency(core, bank);
         let mut t = now;
 
@@ -153,7 +197,7 @@ impl NocModel {
         t = t.min(now + self.max_queue);
         self.bank_free_at[bank.index()] = t + self.bank_occupancy;
 
-        let queued = t - now;
+        let queued = t - now + reg_stall;
         self.stats.record(wire, queued);
         NocLatency { wire, queued }
     }
@@ -194,6 +238,10 @@ impl NocModel {
                 serde::Serialize::to_value(&edges),
             ),
             ("stats".to_string(), serde::Serialize::to_value(&self.stats)),
+            (
+                "regulator".to_string(),
+                serde::Serialize::to_value(&self.regulator),
+            ),
         ])
     }
 
@@ -208,6 +256,8 @@ impl NocModel {
             .map(|(ax, ay, bx, by, free)| (((ax, ay), (bx, by)), free))
             .collect();
         self.stats = serde::from_field(v, "stats")?;
+        // Absent in pre-QoS snapshots: default to unarmed.
+        self.regulator = serde::from_field_or_default(v, "regulator")?;
         Ok(())
     }
 }
@@ -338,6 +388,59 @@ mod tests {
         assert!(
             b.queued > 0 || a.wire != b.wire,
             "column contention visible: {b:?}"
+        );
+    }
+
+    #[test]
+    fn regulator_throttles_and_stays_bounded() {
+        let mut n = noc();
+        n.set_regulator(RegulatorConfig {
+            budget: 2,
+            period: 100,
+            max_stall: 120,
+        });
+        // Within budget: identical to the unregulated path.
+        assert_eq!(n.l2_access(CoreId(0), BankId(0), 0).queued, 0);
+        // Hammer the bank: regulator + port queue, but never past the sum
+        // of the two clamps.
+        let mut worst = 0;
+        for _ in 0..500 {
+            worst = worst.max(n.l2_access(CoreId(0), BankId(0), 0).queued);
+        }
+        assert!(worst > 16 * 4, "regulator adds stall beyond the port queue");
+        assert!(
+            worst <= 120 + 16 * 4,
+            "bounded by max_stall + queue depth: {worst}"
+        );
+        assert!(n.regulator().unwrap().throttled_requests() > 0);
+        let epoch = n.drain_epoch_throttle();
+        assert_eq!(epoch.len(), 1);
+        assert_eq!(epoch[0].0, 0, "only bank 0 throttled");
+        assert!(n.drain_epoch_throttle().is_empty());
+    }
+
+    #[test]
+    fn unarmed_regulator_is_inert_and_snapshot_round_trips() {
+        let mut plain = noc();
+        let mut armed = noc();
+        armed.set_regulator(RegulatorConfig {
+            budget: 1_000_000,
+            period: 1_000_000,
+            max_stall: 64,
+        });
+        for i in 0..50 {
+            let a = plain.l2_access(CoreId(0), BankId(i % 16), i as u64 * 7);
+            let b = armed.l2_access(CoreId(0), BankId(i % 16), i as u64 * 7);
+            assert_eq!(a, b, "huge budget never throttles");
+        }
+        // Regulator state (buckets + accounting) survives checkpointing.
+        let snap = armed.snapshot();
+        let mut restored = noc();
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.regulator(), armed.regulator());
+        assert_eq!(
+            restored.l2_access(CoreId(2), BankId(9), 4000),
+            armed.l2_access(CoreId(2), BankId(9), 4000)
         );
     }
 

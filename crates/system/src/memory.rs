@@ -18,7 +18,9 @@ use bap_guard::InvariantGuard;
 use bap_noc::NocModel;
 use bap_trace::{EventKind, Tracer};
 use bap_types::stats::CacheStats;
-use bap_types::{BankId, BlockAddr, ControlConfig, CoreId, Cycle, SystemConfig, Topology};
+use bap_types::{
+    BankId, BlockAddr, ControlConfig, CoreId, Cycle, QosConfig, SystemConfig, Topology, WclParams,
+};
 
 /// Addresses with this bit set (block-address bit 40) belong to the shared
 /// segment and run the coherence protocol.
@@ -89,6 +91,40 @@ impl MemoryModel {
         }
     }
 
+    /// Arm the per-bank bandwidth regulator (one bucket for the flat pipe,
+    /// one per DRAM bank for the banked model).
+    pub fn set_regulator(&mut self, cfg: bap_types::RegulatorConfig) {
+        match self {
+            MemoryModel::Flat(d) => d.set_regulator(cfg),
+            MemoryModel::Banked(d) => d.set_regulator(cfg),
+        }
+    }
+
+    /// The analytic worst-case latency of a single read (queue clamp plus
+    /// the device's worst timing path; regulator stall excluded).
+    pub fn worst_case_read_latency(&self) -> Cycle {
+        match self {
+            MemoryModel::Flat(d) => d.worst_case_read_latency(),
+            MemoryModel::Banked(d) => d.worst_case_read_latency(),
+        }
+    }
+
+    /// Worst stall the armed regulator can charge (0 when unarmed).
+    pub fn regulator_worst_stall(&self) -> Cycle {
+        match self {
+            MemoryModel::Flat(d) => d.regulator_worst_stall(),
+            MemoryModel::Banked(d) => d.regulator_worst_stall(),
+        }
+    }
+
+    /// Take and reset the per-epoch throttle accounting.
+    pub fn drain_epoch_throttle(&mut self) -> Vec<(usize, u64, u64)> {
+        match self {
+            MemoryModel::Flat(d) => d.drain_epoch_throttle(),
+            MemoryModel::Banked(d) => d.drain_epoch_throttle(),
+        }
+    }
+
     /// Dynamic state as a tagged checkpoint value.
     pub fn snapshot(&self) -> serde::Value {
         let (kind, state) = match self {
@@ -154,6 +190,19 @@ pub struct SharedMemory {
     /// Latest cycle observed on the access path — the timestamp used when
     /// a bank flush pushes write-backs to DRAM outside any access.
     clock: Cycle,
+    /// Whether the QoS tier is armed (SLOs declared or a regulator armed);
+    /// gates the per-epoch QoS accounting so QoS-free runs skip it.
+    qos_enabled: bool,
+    /// Worst per-core demand latency observed in the epoch now running.
+    epoch_worst: Vec<Cycle>,
+    /// Per-epoch worst measured latency per core (one row per boundary).
+    worst_history: Vec<Vec<Cycle>>,
+    /// Per-epoch admitted WCL bound per core (`None` = best effort); the
+    /// row records the bound *in force during* that epoch, so row `i` of
+    /// both histories compare directly.
+    bound_history: Vec<Vec<Option<Cycle>>>,
+    /// The bounds currently in force (refreshed after every boundary).
+    current_bounds: Vec<Option<Cycle>>,
     /// Online invariant monitor, run at the end of every epoch boundary
     /// (enabled/disabled through [`ControlConfig::guard`]).
     guard: InvariantGuard,
@@ -265,9 +314,74 @@ impl SharedMemory {
             fault_counters: FaultCounters::default(),
             fault_epoch: 0,
             clock: 0,
+            qos_enabled: false,
+            epoch_worst: vec![0; cfg.num_cores],
+            worst_history: Vec::new(),
+            bound_history: Vec::new(),
+            current_bounds: vec![None; cfg.num_cores],
             guard,
             tracer: Tracer::off(),
         }
+    }
+
+    /// Arm the QoS tier: bandwidth regulators on the interconnect and the
+    /// memory controller, plus SLO admission in the partitioning
+    /// controller. `shared_active` charges the coherence worst case into
+    /// the WCL bound; `isolated_lookup` lets the bound's wire term range
+    /// over a core's *allocated* banks only (sound only when lookups
+    /// cannot probe other cores' banks). A default [`QosConfig`] is a
+    /// no-op — behaviour stays bit-identical to a QoS-free run.
+    pub fn set_qos(&mut self, qos: &QosConfig, shared_active: bool, isolated_lookup: bool) {
+        if !qos.is_enabled() {
+            return;
+        }
+        if let Some(cfg) = qos.noc_regulator {
+            self.noc.set_regulator(cfg);
+        }
+        if let Some(cfg) = qos.dram_regulator {
+            self.dram.set_regulator(cfg);
+        }
+        self.qos_enabled = true;
+        let params = WclParams {
+            noc_queue_bound: self.noc.queue_bound(),
+            noc_reg_stall: self.noc.regulator_worst_stall(),
+            dram_worst: self.dram.worst_case_read_latency(),
+            dram_reg_stall: self.dram.regulator_worst_stall(),
+            coherence_extra: if shared_active {
+                self.forward_latency.max(self.invalidate_latency)
+            } else {
+                0
+            },
+            isolated_lookup,
+        };
+        let min_budget = [qos.noc_regulator, qos.dram_regulator]
+            .iter()
+            .flatten()
+            .map(|c| c.budget)
+            .min();
+        self.controller
+            .set_qos(qos.slos.clone(), params, min_budget);
+        // The construction-time plan predates the SLO declarations; give
+        // admitted cores their capacity floor before the first access runs.
+        if let Some(plan) = self.controller.enforce_slo_now() {
+            self.install(plan);
+        }
+        self.current_bounds = self.controller.slo_bounds();
+    }
+
+    /// Per-epoch worst measured demand latency per core (row = epoch).
+    pub fn worst_latency_history(&self) -> &[Vec<Cycle>] {
+        &self.worst_history
+    }
+
+    /// Per-epoch admitted WCL bound per core (`None` = best effort).
+    pub fn slo_bound_history(&self) -> &[Vec<Option<Cycle>>] {
+        &self.bound_history
+    }
+
+    /// The per-core capacity-loss ledger accumulated by the controller.
+    pub fn core_degrades(&self) -> bap_fault::CoreDegradeLedger {
+        self.controller.core_degrades().clone()
     }
 
     /// Configure the control-loop robustness layer (decision budget,
@@ -338,8 +452,41 @@ impl SharedMemory {
     }
 
     fn epoch_boundary_inner(&mut self, epoch: u64) {
+        if self.qos_enabled {
+            self.close_qos_epoch();
+        }
         self.decide_epoch(epoch);
         self.guard_check();
+        if self.qos_enabled {
+            self.current_bounds = self.controller.slo_bounds();
+        }
+    }
+
+    /// Close the QoS accounting of the epoch that just ran: append the
+    /// measured worst latencies and the bounds that were in force (row `i`
+    /// of both histories describes epoch `i`), and drain the regulators'
+    /// per-epoch throttle ledgers onto the trace.
+    fn close_qos_epoch(&mut self) {
+        let n = self.epoch_worst.len();
+        let worst = std::mem::replace(&mut self.epoch_worst, vec![0; n]);
+        self.worst_history.push(worst);
+        self.bound_history.push(self.current_bounds.clone());
+        for (bank, requests, stall_cycles) in self.noc.drain_epoch_throttle() {
+            self.tracer.emit(|| EventKind::RegulatorThrottle {
+                domain: "noc".to_string(),
+                bank,
+                requests,
+                stall_cycles,
+            });
+        }
+        for (bank, requests, stall_cycles) in self.dram.drain_epoch_throttle() {
+            self.tracer.emit(|| EventKind::RegulatorThrottle {
+                domain: "dram".to_string(),
+                bank,
+                requests,
+                stall_cycles,
+            });
+        }
     }
 
     /// The wall-clock deadline for this epoch's decision, from the
@@ -426,13 +573,22 @@ impl SharedMemory {
             return;
         }
         let curves = self.controller.curves();
-        let report = self.guard.check_epoch(
+        let mut report = self.guard.check_epoch(
             self.controller.mask(),
             self.l2.bank_mask(),
             self.l2.plan(),
             self.controller.plan_source(),
             &curves,
         );
+        if let Some(q) = self.controller.qos() {
+            report.violations.extend(self.guard.check_slos(
+                &q.slos,
+                &q.admitted,
+                &q.params,
+                self.l2.plan(),
+                self.l2.bank_mask(),
+            ));
+        }
         if report.is_ok() {
             return;
         }
@@ -560,6 +716,22 @@ impl SharedMemory {
                 serde::Serialize::to_value(&self.fault_epoch),
             ),
             ("clock".to_string(), serde::Serialize::to_value(&self.clock)),
+            (
+                "epoch_worst".to_string(),
+                serde::Serialize::to_value(&self.epoch_worst),
+            ),
+            (
+                "worst_history".to_string(),
+                serde::Serialize::to_value(&self.worst_history),
+            ),
+            (
+                "bound_history".to_string(),
+                serde::Serialize::to_value(&self.bound_history),
+            ),
+            (
+                "current_bounds".to_string(),
+                serde::Serialize::to_value(&self.current_bounds),
+            ),
         ])
     }
 
@@ -590,6 +762,19 @@ impl SharedMemory {
         self.fault_counters = serde::from_field(v, "fault_counters")?;
         self.fault_epoch = serde::from_field(v, "fault_epoch")?;
         self.clock = serde::from_field(v, "clock")?;
+        let n = self.epoch_worst.len();
+        self.epoch_worst = serde::from_field_or_default(v, "epoch_worst")?;
+        if self.epoch_worst.len() != n {
+            self.epoch_worst = vec![0; n];
+        }
+        self.worst_history = serde::from_field_or_default(v, "worst_history")?;
+        self.bound_history = serde::from_field_or_default(v, "bound_history")?;
+        let bounds: Vec<Option<Cycle>> = serde::from_field_or_default(v, "current_bounds")?;
+        self.current_bounds = if bounds.len() == n {
+            bounds
+        } else {
+            vec![None; n]
+        };
         Ok(())
     }
 }
@@ -631,6 +816,8 @@ impl MemorySystem for SharedMemory {
         }
         self.l2_stats[core.index()].record(outcome.hit);
         self.l2_latency_sum[core.index()] += latency;
+        let worst = &mut self.epoch_worst[core.index()];
+        *worst = (*worst).max(latency);
         self.clock = self.clock.max(cycle + latency);
         latency
     }
@@ -810,5 +997,134 @@ mod tests {
         assert_eq!(m.l2_stats(CoreId(0)).accesses(), 0);
         let lat = m.request(CoreId(0), b, false, 10_000);
         assert!(lat < 100, "warm hit after reset");
+    }
+
+    fn qos_config() -> bap_types::QosConfig {
+        bap_types::QosConfig::default()
+            .with_slo(
+                0,
+                bap_types::SloSpec {
+                    max_wcl_cycles: 1_000_000,
+                    min_ways: 24,
+                    bandwidth_floor: 0,
+                },
+            )
+            .with_noc_regulator(bap_types::RegulatorConfig::per_period(64, 1_000))
+            .with_dram_regulator(bap_types::RegulatorConfig::per_period(32, 1_000))
+    }
+
+    #[test]
+    fn slo_floor_holds_from_the_first_access() {
+        let mut m = shared(Policy::BankAware);
+        m.set_qos(&qos_config(), false, false);
+        // `enforce_slo_now` replaced the construction-time equal split
+        // before any access ran.
+        let plan = m.l2.plan().expect("partitioned");
+        assert!(plan.ways_of(CoreId(0)) >= 24, "{plan}");
+        assert!(m.controller.slo_admitted(CoreId(0)));
+        // Pressure from every core, then a boundary: the floor survives
+        // the repartitioning decision.
+        for i in 0..20_000u64 {
+            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+        }
+        m.epoch_boundary();
+        let plan = m.l2.plan().expect("partitioned");
+        assert!(plan.ways_of(CoreId(0)) >= 24, "{plan}");
+        assert_eq!(m.fault_counters().guard_trips, 0, "enforced plan is valid");
+    }
+
+    #[test]
+    fn measured_worst_stays_under_the_admitted_bound() {
+        let mut m = shared(Policy::BankAware);
+        m.set_qos(&qos_config(), false, false);
+        for i in 0..20_000u64 {
+            m.request(CoreId((i % 8) as u8), BlockAddr(i % 4096), false, i * 10);
+        }
+        m.epoch_boundary();
+        let worst = m.worst_latency_history();
+        let bounds = m.slo_bound_history();
+        assert_eq!(worst.len(), 1);
+        assert_eq!(bounds.len(), 1);
+        let bound = bounds[0][0].expect("core 0 admitted");
+        assert!(worst[0][0] > 0, "core 0 saw traffic");
+        assert!(
+            worst[0][0] <= bound,
+            "measured {} exceeds bound {bound}",
+            worst[0][0]
+        );
+        for (c, b) in bounds[0].iter().enumerate().skip(1) {
+            assert_eq!(*b, None, "core {c} is best effort");
+        }
+    }
+
+    #[test]
+    fn default_qos_config_is_inert() {
+        let mut with_qos = shared(Policy::BankAware);
+        with_qos.set_qos(&bap_types::QosConfig::default(), false, false);
+        let mut without = shared(Policy::BankAware);
+        for i in 0..20_000u64 {
+            let b = BlockAddr(i % 2048);
+            let c = CoreId((i % 8) as u8);
+            assert_eq!(
+                with_qos.request(c, b, false, i * 10),
+                without.request(c, b, false, i * 10)
+            );
+        }
+        with_qos.epoch_boundary();
+        without.epoch_boundary();
+        assert_eq!(with_qos.l2.plan(), without.l2.plan());
+        assert!(with_qos.worst_latency_history().is_empty());
+        assert!(with_qos.slo_bound_history().is_empty());
+    }
+
+    #[test]
+    fn qos_accounting_survives_a_snapshot_round_trip() {
+        let mut m = shared(Policy::BankAware);
+        m.set_qos(&qos_config(), false, false);
+        for i in 0..20_000u64 {
+            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+        }
+        m.epoch_boundary();
+        let snap = m.snapshot();
+        let mut r = shared(Policy::BankAware);
+        r.set_qos(&qos_config(), false, false);
+        r.restore(&snap).expect("restore");
+        assert_eq!(r.worst_latency_history(), m.worst_latency_history());
+        assert_eq!(r.slo_bound_history(), m.slo_bound_history());
+        assert_eq!(r.current_bounds, m.current_bounds);
+        assert_eq!(r.core_degrades(), m.core_degrades());
+        // Both continue identically.
+        for i in 20_000..24_000u64 {
+            let b = BlockAddr(i % 2048);
+            let c = CoreId((i % 8) as u8);
+            assert_eq!(
+                m.request(c, b, false, i * 10),
+                r.request(c, b, false, i * 10)
+            );
+        }
+        m.epoch_boundary();
+        r.epoch_boundary();
+        assert_eq!(r.worst_latency_history(), m.worst_latency_history());
+        assert_eq!(r.l2.plan(), m.l2.plan());
+    }
+
+    #[test]
+    fn bank_death_escalates_into_slo_reenforcement() {
+        let mut m = shared(Policy::BankAware);
+        m.set_qos(&qos_config(), false, false);
+        for i in 0..20_000u64 {
+            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+        }
+        m.epoch_boundary();
+        // Kill a bank behind the controller's back: the guard resyncs and
+        // the escalation path must land on a plan that still honours the
+        // admitted floor.
+        m.l2.take_bank_offline(bap_types::BankId(0))
+            .expect("bank exists");
+        m.epoch_boundary();
+        let plan = m.l2.plan().expect("partitioned");
+        assert_eq!(plan.bank_ways_used(bap_types::BankId(0)), 0);
+        assert!(m.controller.slo_admitted(CoreId(0)), "floor still feasible");
+        assert!(plan.ways_of(CoreId(0)) >= 24, "{plan}");
     }
 }

@@ -61,6 +61,9 @@ pub struct SimOptions {
     /// Control-loop robustness layer: decision budget, anti-thrash
     /// hysteresis and the invariant guard. Defaults are behaviour-neutral.
     pub control: bap_types::ControlConfig,
+    /// QoS tier: per-bank bandwidth regulators and per-core SLOs with
+    /// admission control. The default is behaviour-neutral.
+    pub qos: bap_types::QosConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -83,6 +86,7 @@ impl SimOptions {
             lookup_isolation: false,
             fault: None,
             control: bap_types::ControlConfig::default(),
+            qos: bap_types::QosConfig::default(),
             seed: 1,
         }
     }
@@ -116,6 +120,15 @@ pub struct RunResult {
     /// Decision-trace summary (None unless a tracer was attached with
     /// [`System::set_tracer`]).
     pub trace: Option<TraceSummary>,
+    /// Per-epoch worst measured demand latency per core (QoS runs only —
+    /// empty otherwise; row `i` describes epoch `i`).
+    pub worst_latency_history: Vec<Vec<Cycle>>,
+    /// Per-epoch admitted WCL bound per core, aligned with
+    /// `worst_latency_history` (`None` = best effort that epoch).
+    pub slo_bound_history: Vec<Vec<Option<Cycle>>>,
+    /// Per-core capacity-loss ledger: which cores were demoted by the
+    /// degradation ladder or SLO enforcement, and by how many ways.
+    pub core_degrades: bap_fault::CoreDegradeLedger,
 }
 
 impl RunResult {
@@ -317,6 +330,11 @@ impl System {
         );
         mem.l2.set_lookup_isolation(opts.lookup_isolation);
         mem.set_control(opts.control);
+        mem.set_qos(
+            &opts.qos,
+            opts.shared_fraction > 0.0,
+            opts.lookup_isolation && opts.shared_fraction == 0.0,
+        );
         if let Some(f) = opts.fault.clone() {
             mem.set_fault_injection(f);
         }
@@ -562,6 +580,9 @@ impl System {
             epoch_history: self.mem.epoch_history().to_vec(),
             fault: self.mem.fault_counters(),
             trace: self.mem.tracer().summary(),
+            worst_latency_history: self.mem.worst_latency_history().to_vec(),
+            slo_bound_history: self.mem.slo_bound_history().to_vec(),
+            core_degrades: self.mem.core_degrades(),
         }
     }
 

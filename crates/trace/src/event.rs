@@ -273,6 +273,45 @@ pub enum EventKind {
         stage: String,
         /// Elapsed nanoseconds.
         nanos: u64,
+        /// The bank-health mask the stage ran under (bit `b` set = bank `b`
+        /// healthy; 0 = not applicable), so degraded-mode solve costs are
+        /// distinguishable from healthy ones.
+        mask: u64,
+    },
+    /// A QoS bandwidth regulator throttled requests during the last epoch
+    /// (emitted once per bank per epoch boundary, from the drained
+    /// accounting).
+    RegulatorThrottle {
+        /// Regulated domain: `noc` or `dram`.
+        domain: String,
+        /// The throttled bank (L2 bank or DRAM bank index per domain).
+        bank: usize,
+        /// Requests stalled by the regulator this epoch.
+        requests: u64,
+        /// Stall cycles charged this epoch.
+        stall_cycles: u64,
+    },
+    /// Admission control accepted a core's declared SLO.
+    SloAdmitted {
+        /// The admitted core.
+        core: usize,
+        /// The analytic WCL bound under the guaranteed fallback placement.
+        bound: u64,
+    },
+    /// Admission control rejected (or demoted) a core's declared SLO.
+    SloRejected {
+        /// The rejected core.
+        core: usize,
+        /// Why admission failed.
+        reason: String,
+    },
+    /// The SLO enforcement pass replaced a candidate plan that would have
+    /// violated an admitted SLO with the guaranteed QoS placement.
+    SloEnforced {
+        /// Admitted cores whose SLO the candidate violated.
+        violations: usize,
+        /// Best-effort cores that lost capacity to the enforcement.
+        demoted: usize,
     },
 }
 
@@ -312,6 +351,10 @@ impl EventKind {
             EventKind::GuardViolation { .. } => "guard_violation",
             EventKind::GuardEscalated { .. } => "guard_escalated",
             EventKind::StageTiming { .. } => "stage_timing",
+            EventKind::RegulatorThrottle { .. } => "regulator_throttle",
+            EventKind::SloAdmitted { .. } => "slo_admitted",
+            EventKind::SloRejected { .. } => "slo_rejected",
+            EventKind::SloEnforced { .. } => "slo_enforced",
         }
     }
 }
@@ -390,6 +433,29 @@ mod tests {
             EventKind::GuardEscalated {
                 violations: 2,
                 repaired: true,
+            },
+            EventKind::StageTiming {
+                stage: "solve".to_string(),
+                nanos: 12_000,
+                mask: 0xFDFF,
+            },
+            EventKind::RegulatorThrottle {
+                domain: "noc".to_string(),
+                bank: 9,
+                requests: 41,
+                stall_cycles: 512,
+            },
+            EventKind::SloAdmitted {
+                core: 0,
+                bound: 906,
+            },
+            EventKind::SloRejected {
+                core: 3,
+                reason: "min_ways 40 exceeds reservable capacity".to_string(),
+            },
+            EventKind::SloEnforced {
+                violations: 1,
+                demoted: 5,
             },
         ];
         for kind in kinds {

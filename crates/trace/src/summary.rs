@@ -77,6 +77,14 @@ pub struct TraceSummary {
     pub guard_escalations: u64,
     /// Stage timings recorded (only with a timing-hungry sink).
     pub stage_timings: u64,
+    /// Per-bank-per-epoch regulator throttle reports.
+    pub regulator_throttles: u64,
+    /// SLO admissions granted.
+    pub slo_admissions: u64,
+    /// SLO admissions rejected (or demoted).
+    pub slo_rejections: u64,
+    /// Candidate plans replaced by the SLO enforcement pass.
+    pub slo_enforcements: u64,
 }
 
 impl TraceSummary {
@@ -120,6 +128,10 @@ impl TraceSummary {
                 self.events -= 1;
                 self.stage_timings += 1;
             }
+            EventKind::RegulatorThrottle { .. } => self.regulator_throttles += 1,
+            EventKind::SloAdmitted { .. } => self.slo_admissions += 1,
+            EventKind::SloRejected { .. } => self.slo_rejections += 1,
+            EventKind::SloEnforced { .. } => self.slo_enforcements += 1,
         }
     }
 }
@@ -141,10 +153,39 @@ mod tests {
         s.count(&EventKind::StageTiming {
             stage: "solve".to_string(),
             nanos: 10,
+            mask: 0xFFFF,
         });
         assert_eq!(s.events, 2, "timings stay out of the decision count");
         assert_eq!(s.epochs, 1);
         assert_eq!(s.center_grants, 1);
         assert_eq!(s.stage_timings, 1);
+    }
+
+    #[test]
+    fn qos_events_are_counted() {
+        let mut s = TraceSummary::default();
+        s.count(&EventKind::SloAdmitted {
+            core: 0,
+            bound: 900,
+        });
+        s.count(&EventKind::SloRejected {
+            core: 1,
+            reason: "x".to_string(),
+        });
+        s.count(&EventKind::SloEnforced {
+            violations: 1,
+            demoted: 3,
+        });
+        s.count(&EventKind::RegulatorThrottle {
+            domain: "dram".to_string(),
+            bank: 4,
+            requests: 7,
+            stall_cycles: 99,
+        });
+        assert_eq!(s.events, 4);
+        assert_eq!(s.slo_admissions, 1);
+        assert_eq!(s.slo_rejections, 1);
+        assert_eq!(s.slo_enforcements, 1);
+        assert_eq!(s.regulator_throttles, 1);
     }
 }

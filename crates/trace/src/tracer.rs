@@ -92,6 +92,12 @@ impl Tracer {
     /// Record a wall-clock stage timing — dropped unless the sink opted in
     /// ([`TraceSink::wants_timings`]), keeping deterministic traces clean.
     pub fn timing(&self, stage: &str, nanos: u64) {
+        self.timing_masked(stage, nanos, 0);
+    }
+
+    /// [`Tracer::timing`] stamped with the bank-health mask the stage ran
+    /// under (0 = not applicable), so degraded-mode costs are attributable.
+    pub fn timing_masked(&self, stage: &str, nanos: u64, mask: u64) {
         let Some(inner) = &self.inner else { return };
         if !inner.lock().expect("tracer lock").sink.wants_timings() {
             return;
@@ -99,6 +105,7 @@ impl Tracer {
         self.emit(|| EventKind::StageTiming {
             stage: stage.to_string(),
             nanos,
+            mask,
         });
     }
 
@@ -177,6 +184,15 @@ mod tests {
         assert!(out.contains("StageTiming"), "{out}");
         assert_eq!(chatty.summary().unwrap().stage_timings, 1);
         assert_eq!(chatty.summary().unwrap().events, 0);
+    }
+
+    #[test]
+    fn masked_timings_carry_the_bank_mask() {
+        let t = Tracer::jsonl(true);
+        t.timing_masked("solve", 99, 0xFDFF);
+        let out = t.take_output().unwrap();
+        assert!(out.contains("\"mask\""), "{out}");
+        assert!(out.contains("65023"), "mask value serialized: {out}");
     }
 
     #[test]

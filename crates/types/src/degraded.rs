@@ -38,6 +38,14 @@ impl BankMask {
         self.num_banks
     }
 
+    /// The raw health bits (bit `b` set = bank `b` healthy) — the compact
+    /// form stamped into solver-timing trace events and benchmark rows so
+    /// degraded-mode solve costs are attributable to the mask they ran
+    /// under.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
     /// Whether `bank` is healthy.
     pub fn is_healthy(&self, bank: BankId) -> bool {
         bank.index() < self.num_banks && self.bits & (1 << bank.index()) != 0

@@ -17,6 +17,7 @@ pub mod coreset;
 pub mod degraded;
 pub mod ids;
 pub mod ops;
+pub mod qos;
 pub mod stats;
 pub mod topology;
 
@@ -27,6 +28,9 @@ pub use coreset::CoreSet;
 pub use degraded::{BankMask, DegradedTopology};
 pub use ids::{BankId, CoreId, WayIdx};
 pub use ops::Op;
+pub use qos::{
+    wcl_bound, BankRegulator, QosConfig, RegulatorConfig, SloSpec, TokenBucket, WclParams,
+};
 pub use topology::{BankKind, Topology};
 
 /// Simulation time, measured in core clock cycles.

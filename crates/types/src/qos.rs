@@ -1,0 +1,453 @@
+//! QoS vocabulary: per-bank bandwidth regulation and worst-case-latency
+//! service-level objectives.
+//!
+//! The paper's allocator optimises *average* miss rates; this module defines
+//! the types of the QoS tier layered on top of it (see DESIGN.md §12):
+//!
+//! * [`RegulatorConfig`] / [`TokenBucket`] / [`BankRegulator`] — a per-bank
+//!   token-bucket bandwidth regulator. Each bank replenishes `budget` tokens
+//!   every `period` cycles; a request without a token stalls until the next
+//!   window opens, and the stall saturates at `max_stall` so a flooded bank
+//!   delays any single request by a bounded amount.
+//! * [`SloSpec`] — one core's declared service-level objective: a hard
+//!   worst-case-latency ceiling, a capacity floor and a bandwidth floor.
+//! * [`WclParams`] — the machine constants of the analytic WCL bound; the
+//!   bound itself is [`wcl_bound`].
+//! * [`QosConfig`] — the bundle the system wires into the interconnect,
+//!   the memory controller and the partitioning controller.
+//!
+//! **Every default is behaviour-neutral**: no SLOs are declared and no
+//! regulators are armed, so [`QosConfig::default`] leaves the paper's golden
+//! figures bit-identical.
+
+use crate::topology::Topology;
+use crate::{BankId, CoreId, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Token-bucket parameters shared by every bank of one regulated domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegulatorConfig {
+    /// Tokens granted per replenish window (0 = the bank admits nothing and
+    /// every request eats the full `max_stall`).
+    pub budget: u64,
+    /// Replenish window length in cycles (clamped to ≥ 1 at use).
+    pub period: Cycle,
+    /// Saturation clamp on the stall charged to any single request. This is
+    /// the regulator's contribution to the analytic WCL bound.
+    pub max_stall: Cycle,
+}
+
+impl RegulatorConfig {
+    /// A regulator granting `budget` tokens per `period` cycles, saturating
+    /// at one full window of stall.
+    pub fn per_period(budget: u64, period: Cycle) -> Self {
+        RegulatorConfig {
+            budget,
+            period,
+            max_stall: period.max(1),
+        }
+    }
+
+    /// The largest stall [`TokenBucket::admit`] can ever charge.
+    pub fn worst_stall(&self) -> Cycle {
+        self.max_stall
+    }
+}
+
+/// One bank's token-bucket state.
+///
+/// The bucket tracks the replenish window it has consumed up to (`window`)
+/// and the tokens left in it. Requests that exhaust the current window
+/// consume from the *next* window and are charged the stall until that
+/// window opens; when the required stall would exceed the configured
+/// `max_stall` the bucket saturates — the request proceeds after `max_stall`
+/// without consuming a token, so a flooded bank stays saturated instead of
+/// promising ever-later windows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// The replenish window tokens have been drawn up to.
+    window: u64,
+    /// Tokens left in `window`.
+    tokens: u64,
+}
+
+impl TokenBucket {
+    /// A bucket holding the full first-window budget.
+    pub fn filled(cfg: &RegulatorConfig) -> Self {
+        TokenBucket {
+            window: 0,
+            tokens: cfg.budget,
+        }
+    }
+
+    /// Admit one request at `now`; returns the stall (0 when a token of the
+    /// current window was available).
+    pub fn admit(&mut self, cfg: &RegulatorConfig, now: Cycle) -> Cycle {
+        if cfg.budget == 0 {
+            return cfg.max_stall;
+        }
+        let period = cfg.period.max(1);
+        let w = now / period;
+        if w > self.window {
+            self.window = w;
+            self.tokens = cfg.budget;
+        }
+        if self.tokens == 0 {
+            let next_open = (self.window + 1).saturating_mul(period);
+            if next_open.saturating_sub(now) > cfg.max_stall {
+                // Saturated: no token is consumed, so the bank keeps
+                // charging `max_stall` until real time catches up.
+                return cfg.max_stall;
+            }
+            self.window += 1;
+            self.tokens = cfg.budget;
+        }
+        self.tokens -= 1;
+        self.window
+            .saturating_mul(period)
+            .saturating_sub(now)
+            .min(cfg.max_stall)
+    }
+}
+
+/// A bank-indexed array of token buckets with throttle accounting.
+///
+/// `throttled_requests`/`throttle_stall_cycles` accumulate over the run;
+/// the `epoch_*` counters accumulate between [`BankRegulator::drain_epoch`]
+/// calls and feed the per-epoch `RegulatorThrottle` trace events.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankRegulator {
+    cfg: RegulatorConfig,
+    buckets: Vec<TokenBucket>,
+    throttled_requests: u64,
+    throttle_stall_cycles: u64,
+    epoch_throttled: Vec<u64>,
+    epoch_stalls: Vec<u64>,
+}
+
+impl BankRegulator {
+    /// A regulator over `num_banks` banks, all buckets full.
+    pub fn new(cfg: RegulatorConfig, num_banks: usize) -> Self {
+        BankRegulator {
+            cfg,
+            buckets: vec![TokenBucket::filled(&cfg); num_banks],
+            throttled_requests: 0,
+            throttle_stall_cycles: 0,
+            epoch_throttled: vec![0; num_banks],
+            epoch_stalls: vec![0; num_banks],
+        }
+    }
+
+    /// The configuration the regulator was armed with.
+    pub fn config(&self) -> &RegulatorConfig {
+        &self.cfg
+    }
+
+    /// Admit one request to `bank` at `now`; returns the stall to charge.
+    pub fn admit(&mut self, bank: usize, now: Cycle) -> Cycle {
+        let stall = self.buckets[bank].admit(&self.cfg, now);
+        if stall > 0 {
+            self.throttled_requests += 1;
+            self.throttle_stall_cycles += stall;
+            self.epoch_throttled[bank] += 1;
+            self.epoch_stalls[bank] += stall;
+        }
+        stall
+    }
+
+    /// The largest stall any single request can be charged.
+    pub fn worst_stall(&self) -> Cycle {
+        self.cfg.worst_stall()
+    }
+
+    /// Requests throttled over the whole run.
+    pub fn throttled_requests(&self) -> u64 {
+        self.throttled_requests
+    }
+
+    /// Stall cycles charged over the whole run.
+    pub fn throttle_stall_cycles(&self) -> u64 {
+        self.throttle_stall_cycles
+    }
+
+    /// Take and reset the per-epoch throttle accounting; returns
+    /// `(bank, throttled_requests, stall_cycles)` for every bank that
+    /// throttled since the last drain.
+    pub fn drain_epoch(&mut self) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        for b in 0..self.buckets.len() {
+            if self.epoch_throttled[b] > 0 {
+                out.push((b, self.epoch_throttled[b], self.epoch_stalls[b]));
+                self.epoch_throttled[b] = 0;
+                self.epoch_stalls[b] = 0;
+            }
+        }
+        out
+    }
+}
+
+/// One core's declared service-level objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Hard ceiling on the analytic worst-case L2-access latency bound
+    /// (cycles). Admission fails when no placement meets it.
+    pub max_wcl_cycles: Cycle,
+    /// Minimum ways the core must hold in every installed plan.
+    pub min_ways: usize,
+    /// Minimum regulator budget (tokens per period) the core requires of
+    /// every armed regulator. Trivially satisfied when no regulator is
+    /// armed (bandwidth is then unlimited).
+    pub bandwidth_floor: u64,
+}
+
+/// Machine constants of the analytic WCL bound (see [`wcl_bound`]).
+///
+/// All terms are per-request worst cases of the respective contention
+/// models, derived from their hard queue clamps — not measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WclParams {
+    /// Worst queueing delay of the interconnect (its queue-depth clamp).
+    pub noc_queue_bound: Cycle,
+    /// Worst stall the NoC bank regulator can charge (0 when unarmed).
+    pub noc_reg_stall: Cycle,
+    /// Worst-case DRAM read latency including its channel/bank queue clamp.
+    pub dram_worst: Cycle,
+    /// Worst stall the DRAM bank regulator can charge (0 when unarmed).
+    pub dram_reg_stall: Cycle,
+    /// Worst per-request coherence overhead (0 in pure multiprogrammed
+    /// runs; `max(forward, invalidate)` when a shared segment is active).
+    pub coherence_extra: Cycle,
+    /// Whether partitioned lookups are strictly isolated to the core's own
+    /// banks. Only then is the wire term over the *allocated* banks sound;
+    /// otherwise the bound must range over every healthy bank.
+    pub isolated_lookup: bool,
+}
+
+/// The analytic worst-case latency bound for one core accessing `banks`.
+///
+/// `wcl = coherence + max_hop_latency(banks) + noc_queue + noc_reg
+///        + dram_worst + dram_reg`
+///
+/// The caller passes the core's allocated healthy banks under strict lookup
+/// isolation, or every healthy bank otherwise (an empty slice yields the
+/// degenerate no-wire bound).
+pub fn wcl_bound(params: &WclParams, topo: &Topology, core: CoreId, banks: &[BankId]) -> Cycle {
+    let wire = banks
+        .iter()
+        .map(|&b| topo.latency(core, b))
+        .max()
+        .unwrap_or(0);
+    params.coherence_extra
+        + wire
+        + params.noc_queue_bound
+        + params.noc_reg_stall
+        + params.dram_worst
+        + params.dram_reg_stall
+}
+
+/// The full QoS bundle: declared SLOs plus regulator arming.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosConfig {
+    /// Declared SLO per core (index = core id); `None` = best effort.
+    pub slos: Vec<Option<SloSpec>>,
+    /// Per-L2-bank interconnect regulator (None = unregulated).
+    pub noc_regulator: Option<RegulatorConfig>,
+    /// Per-DRAM-bank memory regulator (None = unregulated).
+    pub dram_regulator: Option<RegulatorConfig>,
+}
+
+impl QosConfig {
+    /// Whether any core declared an SLO (arms admission control and the
+    /// guard's `SloWcl` invariant).
+    pub fn has_slos(&self) -> bool {
+        self.slos.iter().any(|s| s.is_some())
+    }
+
+    /// Whether the config changes behaviour at all.
+    pub fn is_enabled(&self) -> bool {
+        self.has_slos() || self.noc_regulator.is_some() || self.dram_regulator.is_some()
+    }
+
+    /// Declare `spec` for `core` (builder).
+    pub fn with_slo(mut self, core: usize, spec: SloSpec) -> Self {
+        if self.slos.len() <= core {
+            self.slos.resize(core + 1, None);
+        }
+        self.slos[core] = Some(spec);
+        self
+    }
+
+    /// Arm the interconnect regulator (builder).
+    pub fn with_noc_regulator(mut self, cfg: RegulatorConfig) -> Self {
+        self.noc_regulator = Some(cfg);
+        self
+    }
+
+    /// Arm the memory regulator (builder).
+    pub fn with_dram_regulator(mut self, cfg: RegulatorConfig) -> Self {
+        self.dram_regulator = Some(cfg);
+        self
+    }
+
+    /// The declared SLO of `core`, if any.
+    pub fn slo(&self, core: usize) -> Option<&SloSpec> {
+        self.slos.get(core).and_then(|s| s.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(budget: u64, period: Cycle, max_stall: Cycle) -> RegulatorConfig {
+        RegulatorConfig {
+            budget,
+            period,
+            max_stall,
+        }
+    }
+
+    #[test]
+    fn defaults_are_behaviour_neutral() {
+        let q = QosConfig::default();
+        assert!(!q.is_enabled());
+        assert!(!q.has_slos());
+        assert!(q.slo(0).is_none());
+    }
+
+    #[test]
+    fn builder_declares_slos() {
+        let q = QosConfig::default().with_slo(
+            2,
+            SloSpec {
+                max_wcl_cycles: 1000,
+                min_ways: 16,
+                bandwidth_floor: 1,
+            },
+        );
+        assert!(q.has_slos() && q.is_enabled());
+        assert_eq!(q.slo(2).unwrap().min_ways, 16);
+        assert!(q.slo(0).is_none() && q.slo(7).is_none());
+    }
+
+    #[test]
+    fn tokens_admit_without_stall_within_budget() {
+        let c = cfg(3, 100, 100);
+        let mut b = TokenBucket::filled(&c);
+        for _ in 0..3 {
+            assert_eq!(b.admit(&c, 10), 0);
+        }
+        // Fourth request consumes from the next window.
+        assert_eq!(b.admit(&c, 10), 90);
+        // Fifth is pushed one more window out, still under the clamp.
+        assert_eq!(b.admit(&c, 10), 90);
+        assert_eq!(b.admit(&c, 10), 90);
+        assert_eq!(b.admit(&c, 10), 100, "saturates at max_stall");
+    }
+
+    #[test]
+    fn zero_budget_always_charges_max_stall() {
+        let c = cfg(0, 100, 64);
+        let mut b = TokenBucket::filled(&c);
+        for now in [0, 50, 1_000, 1_000_000] {
+            assert_eq!(b.admit(&c, now), 64);
+        }
+    }
+
+    #[test]
+    fn period_one_replenishes_every_cycle() {
+        let c = cfg(1, 1, 16);
+        let mut b = TokenBucket::filled(&c);
+        assert_eq!(b.admit(&c, 5), 0);
+        assert_eq!(b.admit(&c, 5), 1, "second request waits one cycle");
+        assert_eq!(b.admit(&c, 6), 1, "that window's token is already gone");
+        assert_eq!(b.admit(&c, 100), 0, "fresh window");
+    }
+
+    #[test]
+    fn budget_larger_than_the_epoch_never_stalls() {
+        let c = cfg(1_000_000, 15_000, 15_000);
+        let mut b = TokenBucket::filled(&c);
+        for now in 0..10_000 {
+            assert_eq!(b.admit(&c, now), 0);
+        }
+    }
+
+    #[test]
+    fn saturation_recovers_once_time_catches_up() {
+        // A bank-offline flush floods the bank at one instant: the bucket
+        // saturates instead of promising ever-later windows, and a later
+        // request (real time past the saturation point) admits cleanly.
+        let c = cfg(2, 100, 150);
+        let mut b = TokenBucket::filled(&c);
+        let mut worst = 0;
+        for _ in 0..1_000 {
+            worst = worst.max(b.admit(&c, 10));
+        }
+        assert_eq!(worst, 150, "flood is clamped at max_stall");
+        assert_eq!(b.admit(&c, 500), 0, "recovered after the flood");
+    }
+
+    #[test]
+    fn regulator_accounts_throttles_per_bank_and_epoch() {
+        let mut r = BankRegulator::new(cfg(1, 100, 100), 4);
+        assert_eq!(r.admit(2, 0), 0);
+        assert!(r.admit(2, 0) > 0);
+        assert!(r.admit(2, 0) > 0);
+        assert_eq!(r.admit(3, 0), 0);
+        assert_eq!(r.throttled_requests(), 2);
+        assert!(r.throttle_stall_cycles() >= 2);
+        let epoch = r.drain_epoch();
+        assert_eq!(epoch.len(), 1, "only bank 2 throttled");
+        assert_eq!(epoch[0].0, 2);
+        assert_eq!(epoch[0].1, 2);
+        assert!(r.drain_epoch().is_empty(), "drain resets the epoch view");
+        assert_eq!(r.throttled_requests(), 2, "run totals survive the drain");
+    }
+
+    #[test]
+    fn wcl_bound_takes_the_farthest_allocated_bank() {
+        let topo = Topology::baseline();
+        let params = WclParams {
+            noc_queue_bound: 64,
+            noc_reg_stall: 0,
+            dram_worst: 772,
+            dram_reg_stall: 0,
+            coherence_extra: 0,
+            isolated_lookup: true,
+        };
+        let near = wcl_bound(&params, &topo, CoreId(0), &[BankId(0)]);
+        let all: Vec<BankId> = (0..16).map(BankId).collect();
+        let far = wcl_bound(&params, &topo, CoreId(0), &all);
+        assert!(near < far, "near {near} < far {far}");
+        assert_eq!(near, topo.latency(CoreId(0), BankId(0)) + 64 + 772);
+        let worst = (0..16)
+            .map(|b| topo.latency(CoreId(0), BankId(b)))
+            .max()
+            .unwrap();
+        assert_eq!(far, worst + 64 + 772);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = QosConfig::default()
+            .with_slo(
+                0,
+                SloSpec {
+                    max_wcl_cycles: 900,
+                    min_ways: 24,
+                    bandwidth_floor: 2,
+                },
+            )
+            .with_noc_regulator(RegulatorConfig::per_period(4, 64));
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QosConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+        let mut r = BankRegulator::new(cfg(1, 10, 10), 2);
+        r.admit(0, 0);
+        r.admit(0, 0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BankRegulator = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back, "bucket state and accounting round-trip");
+    }
+}
