@@ -45,7 +45,7 @@ fn bench_dnuca_modes(c: &mut Criterion) {
         c.bench_function(format!("l2_access_{mode}"), |b| {
             b.iter(|| {
                 i = i.wrapping_add(0x9E37_79B9);
-                let core = CoreId((i % 8) as u8);
+                let core = CoreId((i % 8) as u16);
                 black_box(l2.access(BlockAddr(i % 65_536), core, AccessKind::Read))
             })
         });
@@ -58,11 +58,11 @@ fn bench_plan_application(c: &mut Criterion) {
     for core in 0..8 {
         plan.per_core[core] = vec![
             BankAllocation {
-                bank: BankId(core as u8),
+                bank: BankId(core as u16),
                 ways: 8,
             },
             BankAllocation {
-                bank: BankId(8 + core as u8),
+                bank: BankId(8 + core as u16),
                 ways: 8,
             },
         ];
@@ -92,7 +92,7 @@ mod coherence_bench {
         c.bench_function("directory_get_s", |b| {
             b.iter(|| {
                 i = i.wrapping_add(1);
-                black_box(d.request(CoreId((i % 8) as u8), BlockAddr(i % 4096), Request::GetS))
+                black_box(d.request(CoreId((i % 8) as u16), BlockAddr(i % 4096), Request::GetS))
             })
         });
         let mut sharded = ShardedDirectory::new(16);
@@ -100,7 +100,7 @@ mod coherence_bench {
             b.iter(|| {
                 i = i.wrapping_add(1);
                 black_box(sharded.request(
-                    CoreId((i % 8) as u8),
+                    CoreId((i % 8) as u16),
                     BlockAddr(i % 4096),
                     Request::GetS,
                 ))

@@ -42,7 +42,7 @@ fn main() {
                     mix.iter().map(|n| lib.curves[n].clone()).collect();
                 let plan = bank_aware_partition(&curves, &topo, 8, &ba_cfg);
                 let ba: f64 = (0..8)
-                    .map(|c| curves[c].misses_at(plan.ways_of(CoreId(c as u8))))
+                    .map(|c| curves[c].misses_at(plan.ways_of(CoreId(c as u16))))
                     .sum();
                 let eq: f64 = curves.iter().map(|c| c.misses_at(16)).sum();
                 bap_types::stats::relative(ba, eq)

@@ -78,10 +78,10 @@ fn replay_solves(events: &[TraceEvent], cfg: &SystemConfig) -> Result<usize, Str
                 snapshots[*core] = Some(MissRatioCurve::from_misses(misses.clone(), *accesses));
             }
             EventKind::BankOffline { bank, .. } => {
-                mask.disable(BankId(*bank as u8));
+                mask.disable(BankId(*bank as u16));
             }
             EventKind::BankRestored { bank } => {
-                mask.enable(BankId(*bank as u8));
+                mask.enable(BankId(*bank as u16));
             }
             EventKind::AssignmentComputed { policy, ways } if policy == "bank_aware" => {
                 let curves: Vec<MissRatioCurve> = snapshots
@@ -96,7 +96,7 @@ fn replay_solves(events: &[TraceEvent], cfg: &SystemConfig) -> Result<usize, Str
                 let plan = try_bank_aware_partition(&curves, &machine, bank_ways, &ba_cfg)
                     .map_err(|e| format!("epoch {}: replayed solve failed: {e}", ev.epoch))?;
                 let replayed_ways: Vec<usize> = (0..cfg.num_cores)
-                    .map(|c| plan.ways_of(CoreId(c as u8)))
+                    .map(|c| plan.ways_of(CoreId(c as u16)))
                     .collect();
                 if &replayed_ways != ways {
                     return Err(format!(
@@ -141,6 +141,10 @@ fn main() {
     // Stage 2: the detailed simulator with the same tracer attached.
     let mut opts = SimOptions::new(cfg.clone(), Policy::BankAware);
     opts.seed = args.seed;
+    // Warm starts stay replay-exact at the default zero threshold: a reused
+    // cluster sub-plan is bit-identical to what a full solve would produce,
+    // so gate 2 below doubles as the incremental-solver fidelity check.
+    opts.control = opts.control.with_warm_starts();
     opts.config.epoch_cycles = if args.quick { 60_000 } else { 250_000 };
     opts.warmup_instructions = if args.quick { 50_000 } else { 200_000 };
     opts.measure_instructions = if args.quick { 150_000 } else { 1_000_000 };

@@ -16,6 +16,12 @@ pub struct Args {
     pub chain: Option<usize>,
     /// Number of independent seeds for statistics (`--seeds N`, default 1).
     pub seeds: u64,
+    /// Core-count sweep override for scalability runs
+    /// (`--cores 8,16,32`). `None` = the experiment's default ladder.
+    pub cores: Option<Vec<usize>>,
+    /// Regression-gate mode (`--check`): compare against the committed
+    /// baseline and exit non-zero on a regression.
+    pub check: bool,
 }
 
 impl Args {
@@ -27,6 +33,8 @@ impl Args {
             quick: false,
             chain: None,
             seeds: 1,
+            cores: None,
+            check: false,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -50,6 +58,16 @@ impl Args {
                     args.seeds = argv[i].parse().expect("--seeds takes an integer");
                     assert!(args.seeds >= 1, "--seeds must be at least 1");
                 }
+                "--cores" => {
+                    i += 1;
+                    let list: Vec<usize> = argv[i]
+                        .split(',')
+                        .map(|c| c.parse().expect("--cores takes a comma-separated list"))
+                        .collect();
+                    assert!(!list.is_empty(), "--cores needs at least one core count");
+                    args.cores = Some(list);
+                }
+                "--check" => args.check = true,
                 other => panic!("unknown argument {other}"),
             }
             i += 1;

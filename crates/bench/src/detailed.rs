@@ -76,7 +76,7 @@ fn run_one(args: &Args, mix: &[String], policy: Policy) -> PolicyRun {
             .final_plan
             .map(|p| {
                 (0..p.num_cores())
-                    .map(|c| p.ways_of(bap_types::CoreId(c as u8)))
+                    .map(|c| p.ways_of(bap_types::CoreId(c as u16)))
                     .collect()
             })
             .unwrap_or_default(),

@@ -121,7 +121,7 @@ pub fn evaluate_mix(lib: &ProfileLibrary, mix: &[String], topo: &Topology) -> Mi
     let equal: Vec<usize> = vec![total / n; n];
     let unrestricted = unrestricted_partition(&curves, total, 1, max);
     let plan = bank_aware_partition(&curves, topo, bank_ways, &BankAwareConfig::default());
-    let bank_aware: Vec<usize> = (0..n).map(|c| plan.ways_of(CoreId(c as u8))).collect();
+    let bank_aware: Vec<usize> = (0..n).map(|c| plan.ways_of(CoreId(c as u16))).collect();
 
     let project =
         |alloc: &[usize]| -> f64 { curves.iter().zip(alloc).map(|(c, &w)| c.misses_at(w)).sum() };

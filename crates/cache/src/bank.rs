@@ -184,7 +184,7 @@ impl CacheBank {
     pub fn flush_disowned(&mut self) -> Vec<EvictedLine<()>> {
         let owners = self.way_owners.clone();
         let disowned: Vec<CoreId> = (0..self.stats.len())
-            .map(|c| CoreId(c as u8))
+            .map(|c| CoreId(c as u16))
             .filter(|&c| !owners.iter().any(|m| m.contains(c)))
             .collect();
         let mut out = Vec::new();

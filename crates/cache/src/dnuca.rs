@@ -135,9 +135,9 @@ impl DnucaL2 {
         policy: crate::replacement::Policy,
     ) -> Self {
         let banks = (0..num_banks)
-            .map(|b| CacheBank::with_policy(BankId(b as u8), bank_geom, num_cores, policy))
+            .map(|b| CacheBank::with_policy(BankId(b as u16), bank_geom, num_cores, policy))
             .collect();
-        let num_banks_u8 = num_banks as u8;
+        let num_banks_u16 = num_banks as u16;
         DnucaL2 {
             banks,
             mode: L2Mode::SharedStatic,
@@ -151,7 +151,7 @@ impl DnucaL2 {
             set_bits: bank_geom.num_sets().trailing_zeros(),
             // Default chains: bank order (overridden by set_shared_dnuca).
             chains: (0..num_cores)
-                .map(|_| (0..num_banks_u8).map(BankId).collect())
+                .map(|_| (0..num_banks_u16).map(BankId).collect())
                 .collect(),
             chain_limit: num_banks,
             lookup_isolation: false,
@@ -243,9 +243,9 @@ impl DnucaL2 {
         self.clear_partitions();
         self.chains = (0..self.num_cores)
             .map(|c| {
-                let core = CoreId(c as u8);
+                let core = CoreId(c as u16);
                 let mut order: Vec<BankId> =
-                    (0..self.banks.len()).map(|b| BankId(b as u8)).collect();
+                    (0..self.banks.len()).map(|b| BankId(b as u16)).collect();
                 order.sort_by_key(|&b| (topology.hops(core, b), b.index()));
                 order
             })
@@ -306,7 +306,7 @@ impl DnucaL2 {
         // plan rejected here leaves the cache untouched (atomic install).
         let mut owners = Vec::with_capacity(self.banks.len());
         for b in 0..self.banks.len() {
-            match plan.try_way_owners(BankId(b as u8)) {
+            match plan.try_way_owners(BankId(b as u16)) {
                 Ok(o) => owners.push(o),
                 Err(e) => return reject(&self.tracer, e),
             }
@@ -315,11 +315,11 @@ impl DnucaL2 {
             self.banks[b].set_way_owners(o);
         }
         self.partitions = (0..self.num_cores)
-            .map(|c| Some(Partition::from_plan(&plan, CoreId(c as u8), scheme)))
+            .map(|c| Some(Partition::from_plan(&plan, CoreId(c as u16), scheme)))
             .collect();
         self.tracer.emit(|| EventKind::PlanInstalled {
             ways: (0..self.num_cores)
-                .map(|c| plan.ways_of(CoreId(c as u8)))
+                .map(|c| plan.ways_of(CoreId(c as u16)))
                 .collect(),
             total_ways: plan.total_ways_used(),
         });
@@ -599,7 +599,7 @@ impl DnucaL2 {
         core: CoreId,
         kind: AccessKind,
     ) -> L2AccessOutcome {
-        let bank = BankId((self.bank_key(block) % self.banks.len() as u64) as u8);
+        let bank = BankId((self.bank_key(block) % self.banks.len() as u64) as u16);
         self.stats.bank_probes += 1;
         let hit = self.banks[bank.index()].access(block, core, kind) == BankAccess::Hit;
         let mut writebacks = Vec::new();
@@ -686,7 +686,7 @@ impl DnucaL2 {
         if found.is_none() && !self.lookup_isolation {
             let in_part: Vec<BankId> = part.all_banks().collect();
             for b in 0..self.banks.len() {
-                let bid = BankId(b as u8);
+                let bid = BankId(b as u16);
                 if in_part.contains(&bid) {
                     continue;
                 }
@@ -1244,7 +1244,7 @@ mod tests {
         // A dirty line in core 0's partition writes back on bank loss.
         let dirty = BlockAddr(0x40);
         l2.access(dirty, CoreId(0), AccessKind::Write);
-        let home = (0..4u8)
+        let home = (0..4u16)
             .map(BankId)
             .find(|&b| l2.bank(b).probe(dirty))
             .expect("block resident somewhere");
@@ -1255,7 +1255,7 @@ mod tests {
         // A clean line flushes silently: no writeback reported.
         let clean = BlockAddr(0x81);
         l2.access(clean, CoreId(1), AccessKind::Read);
-        let home = (0..4u8)
+        let home = (0..4u16)
             .map(BankId)
             .find(|&b| l2.bank(b).probe(clean))
             .expect("block resident somewhere");
@@ -1288,7 +1288,7 @@ mod tests {
         assert_eq!(l2.plan(), Some(&healthy_plan));
         for b in [0usize, 1, 3] {
             assert_eq!(
-                l2.bank(BankId(b as u8)).way_owners(),
+                l2.bank(BankId(b as u16)).way_owners(),
                 &owners_before[b][..],
                 "bank {b} untouched by the failed install"
             );
@@ -1341,7 +1341,7 @@ mod fuzz {
     fn check_block_uniqueness(l2: &DnucaL2, probes: &[BlockAddr]) -> Result<(), TestCaseError> {
         for &b in probes {
             let copies = (0..l2.num_banks())
-                .filter(|&i| l2.bank(BankId(i as u8)).probe(b))
+                .filter(|&i| l2.bank(BankId(i as u16)).probe(b))
                 .count();
             prop_assert!(copies <= 1, "block {b:?} in {copies} banks");
         }
@@ -1350,7 +1350,7 @@ mod fuzz {
 
     #[derive(Clone, Debug)]
     enum Action {
-        Access { core: u8, block: u64, write: bool },
+        Access { core: u16, block: u64, write: bool },
         Repartition { variant: u8 },
         SharedDnuca,
         SharedStatic,
@@ -1358,7 +1358,7 @@ mod fuzz {
 
     fn action_strategy() -> impl Strategy<Value = Action> {
         prop_oneof![
-            8 => (0u8..2, 0u64..512, any::<bool>())
+            8 => (0u16..2, 0u64..512, any::<bool>())
                 .prop_map(|(core, block, write)| Action::Access { core, block, write }),
             1 => (0u8..3).prop_map(|variant| Action::Repartition { variant }),
             1 => Just(Action::SharedDnuca),

@@ -33,6 +33,6 @@ pub mod set_assoc;
 pub use aggregation::AggregationScheme;
 pub use bank::CacheBank;
 pub use dnuca::{DnucaL2, L2AccessOutcome, L2Mode};
-pub use plan::{BankAllocation, PartitionPlan, PlanError};
+pub use plan::{BankAllocation, BankUsage, PartitionPlan, PlanError};
 pub use replacement::Policy as ReplacementPolicy;
 pub use set_assoc::{AccessKind, EvictedLine, Line, SetAssocCache};

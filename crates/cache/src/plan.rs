@@ -203,11 +203,11 @@ impl PartitionPlan {
             .map(|c| {
                 vec![
                     BankAllocation {
-                        bank: BankId(c as u8),
+                        bank: BankId(c as u16),
                         ways: bank_ways,
                     },
                     BankAllocation {
-                        bank: BankId((num_cores + c) as u8),
+                        bank: BankId((num_cores + c) as u16),
                         ways: bank_ways,
                     },
                 ]
@@ -244,7 +244,7 @@ impl PartitionPlan {
         let mut s = CoreSet::EMPTY;
         for (c, allocs) in self.per_core.iter().enumerate() {
             if allocs.iter().any(|a| a.bank == bank && a.ways > 0) {
-                s.insert(CoreId(c as u8));
+                s.insert(CoreId(c as u16));
             }
         }
         s
@@ -258,6 +258,61 @@ impl PartitionPlan {
             .filter(|a| a.bank == bank)
             .map(|a| a.ways)
             .sum()
+    }
+
+    /// Build the per-bank inverted view of this plan in one pass over the
+    /// allocation lists. The per-bank queries above re-scan every core's
+    /// list on each call — fine for a one-off question, quadratic when a
+    /// validator asks them for all banks of a 256-bank floorplan. Batch
+    /// checks should build this once and query it instead.
+    pub fn bank_usage(&self) -> BankUsage {
+        let nb = self.num_banks;
+        let mut used = vec![0usize; nb];
+        // Counting pass: entries per bank (flat storage keeps this to a
+        // handful of allocations instead of one Vec per bank).
+        let mut start = vec![0u32; nb + 1];
+        for allocs in self.per_core.iter().flatten() {
+            let b = allocs.bank.index();
+            if b >= nb {
+                // Out-of-range banks are validate()'s error to report;
+                // the index just skips them.
+                continue;
+            }
+            used[b] += allocs.ways;
+            if allocs.ways > 0 {
+                start[b + 1] += 1;
+            }
+        }
+        for b in 0..nb {
+            start[b + 1] += start[b];
+        }
+        // Placement pass, ascending core order per bank because the outer
+        // iteration is ascending; duplicate (core, bank) entries land
+        // adjacently and are merged in place.
+        let mut entries = vec![(CoreId(0), 0usize); start[nb] as usize];
+        let mut end: Vec<u32> = start[..nb].to_vec();
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            let core = CoreId(c as u16);
+            for a in allocs {
+                let b = a.bank.index();
+                if b >= nb || a.ways == 0 {
+                    continue;
+                }
+                let e = end[b] as usize;
+                if e > start[b] as usize && entries[e - 1].0 == core {
+                    entries[e - 1].1 += a.ways;
+                } else {
+                    entries[e] = (core, a.ways);
+                    end[b] += 1;
+                }
+            }
+        }
+        BankUsage {
+            used,
+            start,
+            end,
+            entries,
+        }
     }
 
     /// Derive the concrete per-way owner masks for `bank`: cores sharing the
@@ -289,7 +344,7 @@ impl PartitionPlan {
                         bank_ways: self.bank_ways,
                     });
                 }
-                owners[next] = CoreSet::single(CoreId(c as u8));
+                owners[next] = CoreSet::single(CoreId(c as u16));
                 next += 1;
             }
         }
@@ -300,6 +355,13 @@ impl PartitionPlan {
     /// zero-way allocation entry, no bank is over-subscribed, every core has
     /// at least one way.
     pub fn validate(&self) -> Result<(), PlanError> {
+        self.validate_with(&self.bank_usage())
+    }
+
+    /// [`PartitionPlan::validate`] against a caller-supplied
+    /// [`BankUsage`], so batch validators that already built the index
+    /// don't pay for a second pass.
+    pub fn validate_with(&self, usage: &BankUsage) -> Result<(), PlanError> {
         for (c, allocs) in self.per_core.iter().enumerate() {
             if allocs.iter().map(|a| a.ways).sum::<usize>() == 0 {
                 return Err(PlanError::CoreWithoutCapacity { core: c });
@@ -328,10 +390,10 @@ impl PartitionPlan {
             }
         }
         for b in 0..self.num_banks {
-            let used = self.bank_ways_used(BankId(b as u8));
+            let used = usage.ways_used(BankId(b as u16));
             if used > self.bank_ways {
                 return Err(PlanError::OverSubscribedBank {
-                    bank: BankId(b as u8),
+                    bank: BankId(b as u16),
                     used,
                     bank_ways: self.bank_ways,
                 });
@@ -406,7 +468,7 @@ impl PartitionPlan {
         }
         let mut churn = 0;
         for b in 0..self.num_banks {
-            let bank = BankId(b as u8);
+            let bank = BankId(b as u16);
             match (self.try_way_owners(bank), other.try_way_owners(bank)) {
                 (Ok(now), Ok(then)) => {
                     churn += now.iter().zip(then.iter()).filter(|(a, b)| a != b).count();
@@ -418,10 +480,51 @@ impl PartitionPlan {
     }
 }
 
+/// Per-bank inverted view of a [`PartitionPlan`], built once by
+/// [`PartitionPlan::bank_usage`] so whole-plan validators run in
+/// O(allocations + banks) instead of O(banks × cores).
+pub struct BankUsage {
+    /// `used[b]` = total ways assigned in bank `b` (including zero-way
+    /// entries, which contribute nothing).
+    used: Vec<usize>,
+    /// Per-bank slice bounds into `entries`: bank `b`'s owners live at
+    /// `entries[start[b]..end[b]]` (`end[b] <= start[b + 1]`; the gap is
+    /// slack left by merged duplicate allocations).
+    start: Vec<u32>,
+    end: Vec<u32>,
+    /// Flat (core, ways) entries, ascending core order within each bank,
+    /// duplicates merged, zero-way allocations omitted.
+    entries: Vec<(CoreId, usize)>,
+}
+
+impl BankUsage {
+    /// Total ways assigned in `bank` (same answer as
+    /// [`PartitionPlan::bank_ways_used`]).
+    pub fn ways_used(&self, bank: BankId) -> usize {
+        self.used[bank.index()]
+    }
+
+    /// The cores holding ways in `bank`, ascending, with their stakes
+    /// (same cores as [`PartitionPlan::cores_in_bank`]).
+    pub fn owners(&self, bank: BankId) -> &[(CoreId, usize)] {
+        let b = bank.index();
+        &self.entries[self.start[b] as usize..self.end[b] as usize]
+    }
+
+    /// Ways `core` owns in `bank` (same answer as
+    /// [`PartitionPlan::ways_in_bank`]).
+    pub fn ways_of(&self, core: CoreId, bank: BankId) -> usize {
+        self.owners(bank)
+            .iter()
+            .find(|(o, _)| *o == core)
+            .map_or(0, |(_, w)| *w)
+    }
+}
+
 impl fmt::Display for PartitionPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (c, allocs) in self.per_core.iter().enumerate() {
-            write!(f, "core{c}: {} ways [", self.ways_of(CoreId(c as u8)))?;
+            write!(f, "core{c}: {} ways [", self.ways_of(CoreId(c as u16)))?;
             for (i, a) in allocs.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
@@ -596,15 +699,15 @@ mod tests {
         let mut q = PartitionPlan::empty(8, 16, 8);
         for c in 0..8 {
             q.per_core[c].push(BankAllocation {
-                bank: BankId(c as u8),
+                bank: BankId(c as u16),
                 ways: 5,
             });
             q.per_core[c].push(BankAllocation {
-                bank: BankId(c as u8),
+                bank: BankId(c as u16),
                 ways: 3,
             });
             q.per_core[c].push(BankAllocation {
-                bank: BankId((8 + c) as u8),
+                bank: BankId((8 + c) as u16),
                 ways: 8,
             });
         }

@@ -272,7 +272,7 @@ impl CoherentCluster {
         let mut by_block: HashMap<BlockAddr, Vec<(CoreId, MoesiState)>> = HashMap::new();
         for (c, states) in self.states.iter().enumerate() {
             for (&b, &s) in states {
-                by_block.entry(b).or_default().push((CoreId(c as u8), s));
+                by_block.entry(b).or_default().push((CoreId(c as u16), s));
             }
         }
         for (b, holders) in &by_block {
@@ -397,16 +397,16 @@ mod tests {
     /// holds and every load observes the latest version.
     #[derive(Clone, Debug)]
     enum Op {
-        Load(u8, u8),
-        Store(u8, u8),
-        Evict(u8, u8),
+        Load(u16, u8),
+        Store(u16, u8),
+        Evict(u16, u8),
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (0u8..4, 0u8..6).prop_map(|(c, b)| Op::Load(c, b)),
-            (0u8..4, 0u8..6).prop_map(|(c, b)| Op::Store(c, b)),
-            (0u8..4, 0u8..6).prop_map(|(c, b)| Op::Evict(c, b)),
+            (0u16..4, 0u8..6).prop_map(|(c, b)| Op::Load(c, b)),
+            (0u16..4, 0u8..6).prop_map(|(c, b)| Op::Store(c, b)),
+            (0u16..4, 0u8..6).prop_map(|(c, b)| Op::Evict(c, b)),
         ]
     }
 

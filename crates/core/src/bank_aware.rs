@@ -21,6 +21,17 @@
 //!   to minimise the pair's total misses, the pair's 16 ways are split
 //!   optimally, and both cores are marked complete.
 //!
+//! # Cluster sharding
+//!
+//! On clustered floorplans ([`Topology::num_clusters`] > 1) the solve
+//! decomposes exactly: Rule 3 adjacency and Center-bank ownership never
+//! cross a cluster boundary, so each cluster is an independent sub-problem
+//! solved by the same Fig. 6 flow over its own cores and banks. Shards run
+//! in parallel (when tracing is off) and merge in ascending cluster order,
+//! making the epoch decision cost scale with the cluster size rather than
+//! the die size. Chain/Mesh floorplans are one cluster: the classic serial
+//! solve, bit-identical plan and trace.
+//!
 //! # Degraded machines
 //!
 //! [`try_bank_aware_partition`] is the fault-tolerant entry point: it takes
@@ -279,6 +290,20 @@ pub fn try_bank_aware_partition_traced<C: Borrow<MissRatioCurve>>(
 /// (see [`SolveBudget`] for the exhaustion semantics per phase). With
 /// [`SolveBudget::unlimited`] the solve — and the emitted trace — is
 /// bit-identical to the unbudgeted entry point.
+///
+/// # Cluster sharding
+///
+/// Clustered floorplans confine Rule 3 adjacency and Center-bank ownership
+/// within clusters, so the machine-wide problem decomposes *exactly* into
+/// one independent sub-solve per cluster (each under its own 9/16 cap and
+/// step budget). Shards are solved in parallel when tracing is off and
+/// merged in ascending cluster order, so the resulting plan is identical
+/// to the serial cluster-by-cluster solve — determinism comes from the
+/// merge order, not the execution order. With tracing enabled the shards
+/// run serially in cluster order so the event stream is deterministic too.
+/// Chain/Mesh floorplans are a single cluster covering the whole die:
+/// there the sharded path *is* the classic serial solver, bit-identical
+/// plan and trace.
 pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
     curves: &[C],
     machine: &DegradedTopology,
@@ -287,10 +312,54 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
     tracer: &Tracer,
     budget: SolveBudget,
 ) -> Result<PartitionPlan, PartitionError> {
-    // Bid evaluations consumed so far — the budget's clock.
-    let mut steps: u64 = 0;
-    let topo = machine.topology();
-    let n = topo.num_cores();
+    // Resolve the curve borrows once: the cluster shards then work on plain
+    // `&MissRatioCurve` slices, which keeps `solve_cluster` monomorphic and
+    // the parallel closure `Sync` without bounds on the public generic.
+    let curve_refs: Vec<&MissRatioCurve> = curves.iter().map(Borrow::borrow).collect();
+    validate_curve_inputs(&curve_refs, machine)?;
+    let clusters = machine.topology().num_clusters();
+    let ids: Vec<usize> = (0..clusters).collect();
+    let solutions = solve_shards(&ids, &curve_refs, machine, bank_ways, cfg, tracer, budget)?;
+    merge_shards(&solutions, machine, bank_ways, tracer)
+}
+
+/// [`try_bank_aware_partition_budgeted`] with shard parallelism forced
+/// *off*: clusters are solved one after another in ascending order even
+/// when tracing is disabled. Produces the identical plan — this entry
+/// point exists so benchmarks can measure what the parallel dispatch
+/// actually buys (and is the honest baseline for the scalability figure).
+pub fn try_bank_aware_partition_serial<C: Borrow<MissRatioCurve>>(
+    curves: &[C],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+    budget: SolveBudget,
+) -> Result<PartitionPlan, PartitionError> {
+    let curve_refs: Vec<&MissRatioCurve> = curves.iter().map(Borrow::borrow).collect();
+    validate_curve_inputs(&curve_refs, machine)?;
+    let tracer = Tracer::off();
+    let clusters = machine.topology().num_clusters();
+    let mut solutions = Vec::with_capacity(clusters);
+    for cl in 0..clusters {
+        solutions.extend(solve_shards(
+            &[cl],
+            &curve_refs,
+            machine,
+            bank_ways,
+            cfg,
+            &tracer,
+            budget,
+        )?);
+    }
+    merge_shards(&solutions, machine, bank_ways, &tracer)
+}
+
+/// The solve prologue: one curve per core, none of them empty.
+pub(crate) fn validate_curve_inputs(
+    curves: &[&MissRatioCurve],
+    machine: &DegradedTopology,
+) -> Result<(), PartitionError> {
+    let n = machine.topology().num_cores();
     if curves.len() != n {
         return Err(PartitionError::CurveCountMismatch {
             curves: curves.len(),
@@ -298,31 +367,189 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
         });
     }
     for (c, curve) in curves.iter().enumerate() {
-        if curve.borrow().health().empty {
+        if curve.is_empty() {
             return Err(PartitionError::UnusableCurve { core: c });
         }
     }
-    let num_banks = topo.num_banks();
+    Ok(())
+}
+
+/// Solve the given clusters, in parallel when more than one shard is
+/// requested and tracing is off (shard events would interleave
+/// non-deterministically), serially in the given order otherwise. The
+/// returned solutions follow the order of `ids`; on failure the error is
+/// the first-listed failing cluster's, whatever order the shards finished
+/// in.
+pub(crate) fn solve_shards(
+    ids: &[usize],
+    curve_refs: &[&MissRatioCurve],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+    tracer: &Tracer,
+    budget: SolveBudget,
+) -> Result<Vec<ClusterSolution>, PartitionError> {
+    if ids.len() > 1 && !tracer.is_enabled() {
+        use rayon::prelude::*;
+        let results: Vec<Result<ClusterSolution, PartitionError>> = ids
+            .par_iter()
+            .map(|&cl| {
+                solve_cluster(
+                    cl,
+                    curve_refs,
+                    machine,
+                    bank_ways,
+                    cfg,
+                    &Tracer::off(),
+                    budget,
+                )
+            })
+            .collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for r in results {
+            // Ascending scan: a failed solve reports the lowest-indexed
+            // failing cluster, whatever order the shards finished in.
+            out.push(r?);
+        }
+        Ok(out)
+    } else {
+        let mut out = Vec::with_capacity(ids.len());
+        for &cl in ids {
+            out.push(solve_cluster(
+                cl, curve_refs, machine, bank_ways, cfg, tracer, budget,
+            )?);
+        }
+        Ok(out)
+    }
+}
+
+/// Merge per-cluster solutions (ascending cluster order expected) into one
+/// machine-wide plan, re-validating structure, physical rules and exact
+/// capacity coverage. Emits [`EventKind::ShardMerge`] per shard on
+/// multi-cluster floorplans and the final
+/// [`EventKind::AssignmentComputed`].
+pub(crate) fn merge_shards(
+    solutions: &[ClusterSolution],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    tracer: &Tracer,
+) -> Result<PartitionPlan, PartitionError> {
+    let topo = machine.topology();
+    let n = topo.num_cores();
+    let clusters = topo.num_clusters();
+    // ---- Deterministic merge, ascending cluster order. ----
+    let mut plan = PartitionPlan::empty(n, topo.num_banks(), bank_ways);
+    for sol in solutions {
+        if clusters > 1 {
+            let cluster = sol.cluster;
+            let cores = sol.per_core.len();
+            let ways: usize = sol
+                .per_core
+                .iter()
+                .flat_map(|(_, allocs)| allocs.iter().map(|a| a.ways))
+                .sum();
+            tracer.emit(|| EventKind::ShardMerge {
+                cluster,
+                cores,
+                ways,
+            });
+        }
+        for (c, allocs) in &sol.per_core {
+            plan.per_core[*c] = allocs.clone();
+        }
+    }
+
     let healthy_ways = machine.num_healthy_banks() * bank_ways;
-    let required = n * cfg.min_ways.max(1);
-    if healthy_ways < required {
+    // One shared index for both validators — building it is the expensive
+    // part on wide floorplans.
+    let usage = plan.bank_usage();
+    plan.validate_with(&usage)?;
+    validate_bank_rules_masked_with(&plan, machine, &usage)?;
+    if plan.total_ways_used() != healthy_ways {
+        return Err(PartitionError::InvalidPlan(PlanError::CapacityMismatch {
+            assigned: plan.total_ways_used(),
+            expected: healthy_ways,
+        }));
+    }
+    tracer.emit(|| EventKind::AssignmentComputed {
+        policy: "bank_aware".to_string(),
+        ways: (0..n)
+            .map(|c| plan.ways_of(CoreId::from_index(c)))
+            .collect(),
+    });
+    Ok(plan)
+}
+
+/// One cluster shard's finished sub-plan: `(global core index, its
+/// allocations)` for the cluster's cores, in ascending core order.
+/// Serializable so the incremental solver's warm state survives
+/// checkpoint/restore.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub(crate) struct ClusterSolution {
+    pub(crate) cluster: usize,
+    pub(crate) per_core: Vec<(usize, Vec<BankAllocation>)>,
+}
+
+/// Solve Fig. 6 for one cluster: the cluster's cores compete over the
+/// cluster's own Local and Center banks, under a 9/16 cap over the
+/// cluster's healthy capacity and a per-shard [`SolveBudget`].
+///
+/// All per-core state is cluster-local (index `l` ↔ global core
+/// `base + l`); global core and bank indices appear only in trace events
+/// and the emitted allocations, so on a single-cluster floorplan
+/// (`base == 0`, `k == num_cores`) this is exactly the classic
+/// whole-machine solve.
+fn solve_cluster(
+    cluster: usize,
+    curves: &[&MissRatioCurve],
+    machine: &DegradedTopology,
+    bank_ways: usize,
+    cfg: &BankAwareConfig,
+    tracer: &Tracer,
+    budget: SolveBudget,
+) -> Result<ClusterSolution, PartitionError> {
+    // Bid evaluations consumed so far — the shard's budget clock.
+    let mut steps: u64 = 0;
+    let topo = machine.topology();
+    let k = topo.cluster_cores();
+    let base = cluster * k;
+    let gcore = |l: usize| CoreId::from_index(base + l);
+
+    let cluster_ways = (topo.local_banks_in_cluster(cluster))
+        .chain(topo.center_banks_in_cluster(cluster))
+        .filter(|&b| machine.is_healthy(b))
+        .count()
+        * bank_ways;
+    let required = k * cfg.min_ways.max(1);
+    if cluster_ways < required {
         return Err(PartitionError::InsufficientCapacity {
-            healthy_ways,
+            healthy_ways: cluster_ways,
             required,
         });
     }
-    // The 9/16 cap, over *healthy* capacity. On a degraded machine the cap
-    // is clamped into `[2 banks, healthy total]` so the Boxes 1–2 grant
-    // granularity stays meaningful; on the healthy baseline both clamps are
-    // inactive and the cap is exactly the classic 72 ways.
-    let max_ways = (healthy_ways * cfg.max_capacity_num / cfg.max_capacity_den)
+    // The 9/16 cap, over the cluster's *healthy* capacity. On a degraded
+    // machine the cap is clamped into `[2 banks, healthy total]` so the
+    // Boxes 1–2 grant granularity stays meaningful; on the healthy baseline
+    // both clamps are inactive and the cap is exactly the classic 72 ways.
+    let max_ways = (cluster_ways * cfg.max_capacity_num / cfg.max_capacity_den)
         .max(2 * bank_ways)
-        .min(healthy_ways);
+        .min(cluster_ways);
+
+    // Rule 3 adjacency never crosses a cluster boundary, so neighbour lists
+    // are cluster-local indices, precomputed once.
+    let neighbours_of: Vec<Vec<usize>> = (0..k)
+        .map(|l| {
+            topo.neighbours(gcore(l))
+                .into_iter()
+                .map(|d| d.index() - base)
+                .collect()
+        })
+        .collect();
 
     // Per-core usable capacity of its own Local bank (0 if offline).
-    let avail_local: Vec<usize> = (0..n)
-        .map(|c| {
-            if machine.is_healthy(topo.local_bank(CoreId(c as u8))) {
+    let avail_local: Vec<usize> = (0..k)
+        .map(|l| {
+            if machine.is_healthy(topo.local_bank(gcore(l))) {
                 bank_ways
             } else {
                 0
@@ -333,11 +560,14 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
     // ---- Boxes 1–2: Center bank assignment at bank granularity. ----
     // Assume each healthy Local bank belongs to its home core.
     let mut assumed_ways: Vec<usize> = avail_local.clone();
-    let mut centers_of: Vec<Vec<BankId>> = vec![Vec::new(); n];
-    let mut free_centers: Vec<BankId> = machine.healthy_center_banks().collect();
+    let mut centers_of: Vec<Vec<BankId>> = vec![Vec::new(); k];
+    let mut free_centers: Vec<BankId> = topo
+        .center_banks_in_cluster(cluster)
+        .filter(|&b| machine.is_healthy(b))
+        .collect();
 
     // One Rule-1 rejection per core, however many bidding rounds it loses.
-    let mut rule1_rejected: Vec<bool> = vec![false; n];
+    let mut rule1_rejected: Vec<bool> = vec![false; k];
     while !free_centers.is_empty() {
         // Budget check at round granularity. Mid-Center exhaustion has no
         // consistent close-out (free Center banks would go unassigned), so
@@ -346,27 +576,27 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
             return Err(PartitionError::BudgetExhausted { steps });
         }
         // Each core bids its best *bank-granular* lookahead growth: the
-        // utility per way of taking `k` whole banks, maximised over the
-        // feasible `k` (bounded by the cap and the remaining free banks).
+        // utility per way of taking `j` whole banks, maximised over the
+        // feasible `j` (bounded by the cap and the remaining free banks).
         // Bids must be bank-granular — a single steep way must not win a
-        // whole bank — and committing to the full `k` matters: granting a
+        // whole bank — and committing to the full `j` matters: granting a
         // cliff-shaped workload fewer banks than its cliff wastes every
         // bank granted. Ties break towards the core with the smallest
         // current share so identical workloads spread.
         let mut best: Option<(usize, usize, f64)> = None; // (core, banks, mu)
-        for (c, curve) in curves.iter().enumerate() {
-            let curve = curve.borrow();
-            let headroom_ways = max_ways.saturating_sub(assumed_ways[c]);
+        for l in 0..k {
+            let curve = curves[base + l];
+            let headroom_ways = max_ways.saturating_sub(assumed_ways[l]);
             let headroom_banks = (headroom_ways / bank_ways).min(free_centers.len());
             if headroom_banks == 0 {
                 // Rule 1: the core still has sub-bank headroom under the
                 // capacity cap, but Center banks only move whole.
-                if headroom_ways > 0 && !rule1_rejected[c] {
-                    rule1_rejected[c] = true;
+                if headroom_ways > 0 && !rule1_rejected[l] {
+                    rule1_rejected[l] = true;
                     let bank = free_centers[0];
                     tracer.emit(|| EventKind::RuleRejected {
                         rule: 1,
-                        core: c,
+                        core: base + l,
                         bank: bank.index(),
                         why: format!(
                             "{headroom_ways} ways of cap headroom < one whole bank ({bank_ways})"
@@ -379,24 +609,24 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
             // smooth curves bid one bank at a time, true cliffs bid the
             // whole jump.
             steps += headroom_banks as u64;
-            let mut k = 1usize;
-            let mut mu = curve.marginal_utility(assumed_ways[c], bank_ways);
+            let mut j = 1usize;
+            let mut mu = curve.marginal_utility(assumed_ways[l], bank_ways);
             for cand in 2..=headroom_banks {
-                let cand_mu = curve.marginal_utility(assumed_ways[c], cand * bank_ways);
+                let cand_mu = curve.marginal_utility(assumed_ways[l], cand * bank_ways);
                 if cand_mu > mu {
-                    k = cand;
+                    j = cand;
                     mu = cand_mu;
                 }
             }
             let better = match best {
                 None => true,
-                Some((bc, _, bmu)) => {
+                Some((bl, _, bmu)) => {
                     mu > bmu + 1e-9
-                        || ((mu - bmu).abs() <= 1e-9 && assumed_ways[c] < assumed_ways[bc])
+                        || ((mu - bmu).abs() <= 1e-9 && assumed_ways[l] < assumed_ways[bl])
                 }
             };
             if better {
-                best = Some((c, k, mu));
+                best = Some((l, j, mu));
             }
         }
         let Some((winner, banks, mu)) = best else {
@@ -410,7 +640,7 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
             let Some((idx, _)) = free_centers
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &b)| topo.hops(CoreId(winner as u8), b))
+                .min_by_key(|(_, &b)| topo.hops(gcore(winner), b))
             else {
                 return Err(PartitionError::Internal("free centers exhausted mid-grant"));
             };
@@ -418,14 +648,14 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
             centers_of[winner].push(bank);
             assumed_ways[winner] += bank_ways;
             tracer.emit(|| EventKind::CenterGrant {
-                core: winner,
+                core: base + winner,
                 bank: bank.index(),
                 lookahead_banks: banks,
                 mu,
             });
             tracer.emit(|| EventKind::RuleApplied {
                 rule: 1,
-                core: winner,
+                core: base + winner,
                 bank: bank.index(),
             });
         }
@@ -433,14 +663,14 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
 
     // ---- Box 3: Center-holders are complete. ----
     let mut complete: Vec<bool> = centers_of.iter().map(|v| !v.is_empty()).collect();
-    for (c, done) in complete.iter().enumerate() {
+    for (l, done) in complete.iter().enumerate() {
         // Rule 2: completing a Center-holder grants it its full Local bank
         // (waived when that bank is offline — nothing left to own).
-        if *done && avail_local[c] > 0 {
+        if *done && avail_local[l] > 0 {
             tracer.emit(|| EventKind::RuleApplied {
                 rule: 2,
-                core: c,
-                bank: topo.local_bank(CoreId(c as u8)).index(),
+                core: base + l,
+                bank: topo.local_bank(gcore(l)).index(),
             });
         }
     }
@@ -454,63 +684,61 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
     // rescued core, whose Local bank no longer exists). On a healthy
     // machine every core has its Local bank and this pass is a no-op.
     let min_share = cfg.min_ways.max(1);
-    // Ways of core d's Local bank pre-reserved for a rescued neighbour.
+    // Ways of a core's Local bank pre-reserved for a rescued neighbour.
     // A bank carrying a reservation already has its one permitted foreign
     // sharer, so the bidding below must never route a second one into it.
-    let mut reserved: Vec<usize> = vec![0; n];
-    let mut rescue_host: Vec<Option<CoreId>> = vec![None; n];
-    for c in 0..n {
-        if complete[c] || avail_local[c] > 0 {
+    let mut reserved: Vec<usize> = vec![0; k];
+    let mut rescue_host: Vec<Option<usize>> = vec![None; k];
+    for l in 0..k {
+        if complete[l] || avail_local[l] > 0 {
             continue;
         }
-        let core = CoreId(c as u8);
-        let donor = topo.neighbours(core).into_iter().find(|d| {
-            let di = d.index();
-            di != c && !complete[di] && avail_local[di] >= 2 * min_share && reserved[di] == 0
+        let donor = neighbours_of[l].iter().copied().find(|&d| {
+            d != l && !complete[d] && avail_local[d] >= 2 * min_share && reserved[d] == 0
         });
         if let Some(d) = donor {
-            reserved[d.index()] = min_share;
-            rescue_host[c] = Some(d);
+            reserved[d] = min_share;
+            rescue_host[l] = Some(d);
             tracer.emit(|| EventKind::RuleApplied {
                 rule: 3,
-                core: c,
-                bank: topo.local_bank(d).index(),
+                core: base + l,
+                bank: topo.local_bank(gcore(d)).index(),
             });
             continue;
         }
         // No adjacent Local capacity: take a Center bank. The donor must
         // keep capacity of its own — another Center bank or a healthy
         // Local bank.
-        let donor = (0..n)
+        let donor = (0..k)
             .filter(|&d| {
                 centers_of[d].len() > 1 || (centers_of[d].len() == 1 && avail_local[d] > 0)
             })
             .max_by_key(|&d| (centers_of[d].len(), std::cmp::Reverse(d)));
         let Some(donor) = donor else {
-            return Err(PartitionError::NoUsableCapacity { core: c });
+            return Err(PartitionError::NoUsableCapacity { core: base + l });
         };
         let Some((idx, _)) = centers_of[donor]
             .iter()
             .enumerate()
-            .min_by_key(|(_, &b)| topo.hops(core, b))
+            .min_by_key(|(_, &b)| topo.hops(gcore(l), b))
         else {
             return Err(PartitionError::Internal("center donor without centers"));
         };
         let bank = centers_of[donor].remove(idx);
-        centers_of[c].push(bank);
+        centers_of[l].push(bank);
         assumed_ways[donor] -= bank_ways;
-        assumed_ways[c] += bank_ways;
-        complete[c] = true;
+        assumed_ways[l] += bank_ways;
+        complete[l] = true;
         // A rescue transfer is still a whole-bank (Rule 1) Center grant.
         tracer.emit(|| EventKind::CenterGrant {
-            core: c,
+            core: base + l,
             bank: bank.index(),
             lookahead_banks: 1,
             mu: 0.0,
         });
         tracer.emit(|| EventKind::RuleApplied {
             rule: 1,
-            core: c,
+            core: base + l,
             bank: bank.index(),
         });
         // The donor stays complete: it either kept a Center bank or owns
@@ -523,31 +751,31 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
     // (Rule 2) but may still bid for a fraction of an *adjacent* incomplete
     // core's Local bank — the paper's Fig. 5 shows such 8+8+4-style
     // partitions — becoming that bank's single permitted co-owner.
-    let mut claimed: Vec<usize> = vec![0; n];
-    let mut own_remaining: Vec<usize> = vec![0; n];
+    let mut claimed: Vec<usize> = vec![0; k];
+    let mut own_remaining: Vec<usize> = vec![0; k];
     // (partner, ways taken from the partner's bank) once paired.
-    let mut partner: Vec<Option<CoreId>> = vec![None; n];
-    let mut partner_ways: Vec<usize> = vec![0; n];
+    let mut partner: Vec<Option<usize>> = vec![None; k];
+    let mut partner_ways: Vec<usize> = vec![0; k];
     // An incomplete core leaves the pool once paired or finalised.
-    let mut open: Vec<bool> = vec![false; n];
+    let mut open: Vec<bool> = vec![false; k];
     // A complete core may take at most one foreign share.
-    let mut took_share: Vec<bool> = vec![false; n];
+    let mut took_share: Vec<bool> = vec![false; k];
 
-    for c in 0..n {
-        if complete[c] {
+    for l in 0..k {
+        if complete[l] {
             continue;
         }
-        if let Some(d) = rescue_host[c] {
+        if let Some(d) = rescue_host[l] {
             // Finalised at the minimum share inside the host's bank.
-            claimed[c] = min_share;
-            partner[c] = Some(d);
-            partner_ways[c] = min_share;
+            claimed[l] = min_share;
+            partner[l] = Some(d);
+            partner_ways[l] = min_share;
             continue;
         }
-        let usable = avail_local[c] - reserved[c];
-        claimed[c] = cfg.min_ways.min(usable);
-        own_remaining[c] = usable - claimed[c];
-        open[c] = true;
+        let usable = avail_local[l] - reserved[l];
+        claimed[l] = cfg.min_ways.min(usable);
+        own_remaining[l] = usable - claimed[l];
+        open[l] = true;
     }
 
     /// What the winning bid proposes.
@@ -572,111 +800,120 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
             tracer.emit(|| EventKind::SolverCheckpoint { steps });
         }
         let mut best: Option<(usize, Bid, f64)> = None;
-        let consider = |best: &mut Option<(usize, Bid, f64)>, c: usize, bid: Bid, mu: f64| {
+        let consider = |best: &mut Option<(usize, Bid, f64)>, l: usize, bid: Bid, mu: f64| {
             let better = match *best {
                 None => true,
-                Some((bc, _, bmu)) => {
-                    mu > bmu + 1e-9 || ((mu - bmu).abs() <= 1e-9 && claimed[c] < claimed[bc])
+                Some((bl, _, bmu)) => {
+                    mu > bmu + 1e-9 || ((mu - bmu).abs() <= 1e-9 && claimed[l] < claimed[bl])
                 }
             };
             if better {
-                *best = Some((c, bid, mu));
+                *best = Some((l, bid, mu));
             }
         };
-        for c in 0..n {
+        for l in 0..k {
             if checkpointed {
                 break;
             }
-            let neighbours = topo.neighbours(CoreId(c as u8));
-            if open[c] {
+            let neighbours = &neighbours_of[l];
+            if open[l] {
                 // Budget includes a possible overflow into a legal
                 // neighbour. A bank carrying a rescue reservation (its own
                 // or the neighbour's) is closed to pairing: its single
                 // permitted foreign sharer is already spoken for.
-                let overflow_budget: usize = if reserved[c] > 0 {
+                let overflow_budget: usize = if reserved[l] > 0 {
                     0
                 } else {
                     neighbours
                         .iter()
-                        .filter(|d| open[d.index()] && d.index() != c && reserved[d.index()] == 0)
-                        .map(|d| own_remaining[d.index()])
+                        .filter(|&&d| open[d] && d != l && reserved[d] == 0)
+                        .map(|&d| own_remaining[d])
                         .max()
                         .unwrap_or(0)
                 };
-                let budget = own_remaining[c] + overflow_budget;
-                if budget == 0 {
+                let bid_budget = own_remaining[l] + overflow_budget;
+                if bid_budget == 0 {
                     continue;
                 }
                 // One step per candidate growth the lookahead scans.
-                steps += budget as u64;
-                if let Some((extra, mu)) = curves[c].borrow().best_growth(claimed[c], budget) {
-                    let bid = if extra > own_remaining[c] {
+                steps += bid_budget as u64;
+                if let Some((extra, mu)) = curves[base + l].best_growth(claimed[l], bid_budget) {
+                    let bid = if extra > own_remaining[l] {
                         Bid::Pair
                     } else {
                         Bid::Own { extra }
                     };
-                    consider(&mut best, c, bid, mu);
+                    consider(&mut best, l, bid, mu);
                 }
-            } else if complete[c] && !took_share[c] {
+            } else if complete[l] && !took_share[l] {
                 // Fractional growth beyond the full banks, limited to one
                 // adjacent open Local bank and the 9/16 capacity cap.
-                let budget: usize = neighbours
+                let bid_budget: usize = neighbours
                     .iter()
-                    .filter(|d| open[d.index()] && reserved[d.index()] == 0)
-                    .map(|d| own_remaining[d.index()])
+                    .filter(|&&d| open[d] && reserved[d] == 0)
+                    .map(|&d| own_remaining[d])
                     .max()
                     .unwrap_or(0)
-                    .min(max_ways.saturating_sub(assumed_ways[c]));
-                if budget == 0 {
+                    .min(max_ways.saturating_sub(assumed_ways[l]));
+                if bid_budget == 0 {
                     continue;
                 }
-                steps += budget as u64;
-                if let Some((_, mu)) = curves[c].borrow().best_growth(assumed_ways[c], budget) {
-                    consider(&mut best, c, Bid::Share, mu);
+                steps += bid_budget as u64;
+                if let Some((_, mu)) = curves[base + l].best_growth(assumed_ways[l], bid_budget) {
+                    consider(&mut best, l, Bid::Share, mu);
                 }
             }
         }
 
         match best {
-            Some((c, Bid::Own { extra }, mu)) if mu > 0.0 => {
-                claimed[c] += extra;
-                own_remaining[c] -= extra;
-                tracer.emit(|| EventKind::LocalGrant { core: c, extra, mu });
+            Some((l, Bid::Own { extra }, mu)) if mu > 0.0 => {
+                claimed[l] += extra;
+                own_remaining[l] -= extra;
+                tracer.emit(|| EventKind::LocalGrant {
+                    core: base + l,
+                    extra,
+                    mu,
+                });
             }
-            Some((c, Bid::Pair, mu)) if mu > 0.0 => {
-                // Box 5–6: the best growth overflows c's Local bank — decide
-                // the pairing now, choosing the neighbour that minimises the
-                // pair's total projected misses, then split the pair's two
-                // banks' joint healthy capacity optimally and close both.
-                // Record which banks the physical rules keep the overflow
-                // out of before committing to a partner.
+            Some((l, Bid::Pair, mu)) if mu > 0.0 => {
+                // Box 5–6: the best growth overflows the core's Local bank —
+                // decide the pairing now, choosing the neighbour that
+                // minimises the pair's total projected misses, then split
+                // the pair's two banks' joint healthy capacity optimally
+                // and close both. Record which banks the physical rules
+                // keep the overflow out of before committing to a partner.
                 if tracer.is_enabled() {
-                    let neighbours = topo.neighbours(CoreId(c as u8));
-                    for d in 0..n {
-                        if d == c {
+                    let neighbours = &neighbours_of[l];
+                    for d in 0..k {
+                        if d == l {
                             continue;
                         }
-                        let core_d = CoreId(d as u8);
-                        let bank = topo.local_bank(core_d).index();
-                        if open[d] && !neighbours.contains(&core_d) {
+                        let bank = topo.local_bank(gcore(d)).index();
+                        if open[d] && !neighbours.contains(&d) {
                             tracer.emit(|| EventKind::RuleRejected {
                                 rule: 3,
-                                core: c,
+                                core: base + l,
                                 bank,
-                                why: format!("core{d}'s Local bank is not adjacent to core{c}"),
+                                why: format!(
+                                    "core{}'s Local bank is not adjacent to core{}",
+                                    base + d,
+                                    base + l
+                                ),
                             });
-                        } else if neighbours.contains(&core_d) && complete[d] && avail_local[d] > 0
-                        {
+                        } else if neighbours.contains(&d) && complete[d] && avail_local[d] > 0 {
                             tracer.emit(|| EventKind::RuleRejected {
                                 rule: 2,
-                                core: c,
+                                core: base + l,
                                 bank,
-                                why: format!("core{d} holds Centers and owns its Local bank whole"),
+                                why: format!(
+                                    "core{} holds Centers and owns its Local bank whole",
+                                    base + d
+                                ),
                             });
-                        } else if neighbours.contains(&core_d) && open[d] && reserved[d] > 0 {
+                        } else if neighbours.contains(&d) && open[d] && reserved[d] > 0 {
                             tracer.emit(|| EventKind::RuleRejected {
                                 rule: 3,
-                                core: c,
+                                core: base + l,
                                 bank,
                                 why: "bank's single foreign share is reserved for a rescue"
                                     .to_string(),
@@ -684,23 +921,23 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
                         }
                     }
                 }
-                let candidates: Vec<CoreId> = topo
-                    .neighbours(CoreId(c as u8))
-                    .into_iter()
-                    .filter(|&d| open[d.index()] && d.index() != c && reserved[d.index()] == 0)
+                let candidates: Vec<usize> = neighbours_of[l]
+                    .iter()
+                    .copied()
+                    .filter(|&d| open[d] && d != l && reserved[d] == 0)
                     .collect();
                 if candidates.is_empty() {
                     return Err(PartitionError::Internal(
                         "overflow bid without a legal neighbour",
                     ));
                 }
-                let mut best_pair: Option<(CoreId, Vec<usize>, f64)> = None;
+                let mut best_pair: Option<(usize, Vec<usize>, f64)> = None;
                 for d in candidates {
-                    let pair_total = avail_local[c] + avail_local[d.index()];
+                    let pair_total = avail_local[l] + avail_local[d];
                     if pair_total < 2 * cfg.min_ways || pair_total == 0 {
                         continue;
                     }
-                    let pair_curves = [curves[c].borrow(), curves[d.index()].borrow()];
+                    let pair_curves = [curves[base + l], curves[base + d]];
                     let split = unrestricted_partition(
                         &pair_curves,
                         pair_total,
@@ -718,105 +955,103 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
                         "pairing found no capable neighbour",
                     ));
                 };
-                let di = d.index();
                 tracer.emit(|| EventKind::PairFormed {
-                    core: c,
-                    partner: di,
+                    core: base + l,
+                    partner: base + d,
                     core_ways: split[0],
                     partner_ways: split[1],
                     mu,
                 });
-                claimed[c] = split[0];
-                claimed[di] = split[1];
+                claimed[l] = split[0];
+                claimed[d] = split[1];
                 // Physical placement: own bank first, overflow into the
                 // partner's bank (at most one side can exceed its own
                 // bank's capacity — the split sums to exactly the pair's
                 // joint capacity).
-                partner[c] = Some(d);
-                partner[di] = Some(CoreId(c as u8));
-                partner_ways[c] = split[0].saturating_sub(avail_local[c]);
-                partner_ways[di] = split[1].saturating_sub(avail_local[di]);
-                if partner_ways[c] > 0 {
+                partner[l] = Some(d);
+                partner[d] = Some(l);
+                partner_ways[l] = split[0].saturating_sub(avail_local[l]);
+                partner_ways[d] = split[1].saturating_sub(avail_local[d]);
+                if partner_ways[l] > 0 {
                     tracer.emit(|| EventKind::RuleApplied {
                         rule: 3,
-                        core: c,
-                        bank: topo.local_bank(d).index(),
+                        core: base + l,
+                        bank: topo.local_bank(gcore(d)).index(),
                     });
                 }
-                if partner_ways[di] > 0 {
+                if partner_ways[d] > 0 {
                     tracer.emit(|| EventKind::RuleApplied {
                         rule: 3,
-                        core: di,
-                        bank: topo.local_bank(CoreId(c as u8)).index(),
+                        core: base + d,
+                        bank: topo.local_bank(gcore(l)).index(),
                     });
                 }
-                own_remaining[c] = 0;
-                own_remaining[di] = 0;
-                open[c] = false;
-                open[di] = false;
+                own_remaining[l] = 0;
+                own_remaining[d] = 0;
+                open[l] = false;
+                open[d] = false;
             }
-            Some((c, Bid::Share, mu)) if mu > 0.0 => {
+            Some((l, Bid::Share, mu)) if mu > 0.0 => {
                 // A complete core annexes part of the best adjacent open
                 // bank: split that bank's healthy ways between the two.
                 let mut choice: Option<(usize, usize, f64)> = None; // (d, x, misses)
-                let cap = max_ways.saturating_sub(assumed_ways[c]);
-                for d in topo.neighbours(CoreId(c as u8)) {
-                    let di = d.index();
-                    if open[di] && reserved[di] > 0 {
+                let cap = max_ways.saturating_sub(assumed_ways[l]);
+                for &d in &neighbours_of[l] {
+                    if open[d] && reserved[d] > 0 {
                         tracer.emit(|| EventKind::RuleRejected {
                             rule: 3,
-                            core: c,
-                            bank: topo.local_bank(d).index(),
+                            core: base + l,
+                            bank: topo.local_bank(gcore(d)).index(),
                             why: "bank's single foreign share is reserved for a rescue".to_string(),
                         });
                     }
-                    if !open[di] || avail_local[di] == 0 || reserved[di] > 0 {
+                    if !open[d] || avail_local[d] == 0 || reserved[d] > 0 {
                         continue;
                     }
-                    let avail = avail_local[di];
+                    let avail = avail_local[d];
                     for x in 0..=avail.saturating_sub(cfg.min_ways).min(cap) {
-                        let misses = curves[c].borrow().misses_at(assumed_ways[c] + x)
-                            + curves[di].borrow().misses_at(avail - x);
+                        let misses = curves[base + l].misses_at(assumed_ways[l] + x)
+                            + curves[base + d].misses_at(avail - x);
                         if choice.is_none_or(|(_, _, m)| misses < m) {
-                            choice = Some((di, x, misses));
+                            choice = Some((d, x, misses));
                         }
                     }
                 }
-                let Some((di, x, _)) = choice else {
+                let Some((d, x, _)) = choice else {
                     return Err(PartitionError::Internal(
                         "positive share bid without an open neighbour",
                     ));
                 };
-                claimed[di] = avail_local[di] - x;
-                own_remaining[di] = 0;
-                open[di] = false;
+                claimed[d] = avail_local[d] - x;
+                own_remaining[d] = 0;
+                open[d] = false;
                 if x > 0 {
-                    partner[c] = Some(CoreId(di as u8));
-                    partner_ways[c] = x;
-                    partner[di] = Some(CoreId(c as u8));
+                    partner[l] = Some(d);
+                    partner_ways[l] = x;
+                    partner[d] = Some(l);
                     tracer.emit(|| EventKind::ShareTaken {
-                        core: c,
-                        bank: topo.local_bank(CoreId(di as u8)).index(),
+                        core: base + l,
+                        bank: topo.local_bank(gcore(d)).index(),
                         ways: x,
                         mu,
                     });
                     tracer.emit(|| EventKind::RuleApplied {
                         rule: 3,
-                        core: c,
-                        bank: topo.local_bank(CoreId(di as u8)).index(),
+                        core: base + l,
+                        bank: topo.local_bank(gcore(d)).index(),
                     });
                 }
-                took_share[c] = true;
-                assumed_ways[c] += x;
+                took_share[l] = true;
+                assumed_ways[l] += x;
             }
             _ => {
                 // No positive-utility growth left: every open core keeps the
                 // remainder of its own bank (nobody else may use it).
-                for c in 0..n {
-                    if open[c] {
-                        claimed[c] += own_remaining[c];
-                        own_remaining[c] = 0;
-                        open[c] = false;
+                for l in 0..k {
+                    if open[l] {
+                        claimed[l] += own_remaining[l];
+                        own_remaining[l] = 0;
+                        open[l] = false;
                     }
                 }
                 break;
@@ -829,26 +1064,26 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
     // ways, a reserved share in a neighbour's bank, or a transferred Center
     // bank; if that invariant ever breaks, fail typed rather than emit an
     // invalid plan.
-    for c in 0..n {
-        if !complete[c] && claimed[c] == 0 {
-            return Err(PartitionError::NoUsableCapacity { core: c });
+    for l in 0..k {
+        if !complete[l] && claimed[l] == 0 {
+            return Err(PartitionError::NoUsableCapacity { core: base + l });
         }
     }
 
-    // ---- Emit the plan, closest banks first. ----
-    let mut plan = PartitionPlan::empty(n, num_banks, bank_ways);
-    for c in 0..n {
-        let core = CoreId(c as u8);
+    // ---- Emit the sub-plan, closest banks first. ----
+    let mut per_core = Vec::with_capacity(k);
+    for l in 0..k {
+        let core = gcore(l);
         let own_bank = topo.local_bank(core);
         let mut allocs = Vec::new();
-        if complete[c] {
-            if avail_local[c] > 0 {
+        if complete[l] {
+            if avail_local[l] > 0 {
                 allocs.push(BankAllocation {
                     bank: own_bank,
                     ways: bank_ways,
                 });
             }
-            let mut centers = centers_of[c].clone();
+            let mut centers = centers_of[l].clone();
             centers.sort_by_key(|&b| topo.hops(core, b));
             for b in centers {
                 allocs.push(BankAllocation {
@@ -858,48 +1093,36 @@ pub fn try_bank_aware_partition_budgeted<C: Borrow<MissRatioCurve>>(
             }
             // An annexed fraction of a neighbour's Local bank (the
             // fractional second aggregation level of Fig. 4(c)).
-            if partner_ways[c] > 0 {
-                let Some(d) = partner[c] else {
+            if partner_ways[l] > 0 {
+                let Some(d) = partner[l] else {
                     return Err(PartitionError::Internal("partner ways without a partner"));
                 };
                 allocs.push(BankAllocation {
-                    bank: topo.local_bank(d),
-                    ways: partner_ways[c],
+                    bank: topo.local_bank(gcore(d)),
+                    ways: partner_ways[l],
                 });
             }
         } else {
-            let own_ways = claimed[c] - partner_ways[c];
+            let own_ways = claimed[l] - partner_ways[l];
             if own_ways > 0 {
                 allocs.push(BankAllocation {
                     bank: own_bank,
                     ways: own_ways,
                 });
             }
-            if partner_ways[c] > 0 {
-                let Some(d) = partner[c] else {
+            if partner_ways[l] > 0 {
+                let Some(d) = partner[l] else {
                     return Err(PartitionError::Internal("partner ways without a partner"));
                 };
                 allocs.push(BankAllocation {
-                    bank: topo.local_bank(d),
-                    ways: partner_ways[c],
+                    bank: topo.local_bank(gcore(d)),
+                    ways: partner_ways[l],
                 });
             }
         }
-        plan.per_core[c] = allocs;
+        per_core.push((base + l, allocs));
     }
-    plan.validate()?;
-    validate_bank_rules_masked(&plan, machine)?;
-    if plan.total_ways_used() != healthy_ways {
-        return Err(PartitionError::InvalidPlan(PlanError::CapacityMismatch {
-            assigned: plan.total_ways_used(),
-            expected: healthy_ways,
-        }));
-    }
-    tracer.emit(|| EventKind::AssignmentComputed {
-        policy: "bank_aware".to_string(),
-        ways: (0..n).map(|c| plan.ways_of(CoreId(c as u8))).collect(),
-    });
-    Ok(plan)
+    Ok(ClusterSolution { cluster, per_core })
 }
 
 /// Check the Bank-aware physical rules on a plan for a healthy machine.
@@ -920,28 +1143,40 @@ pub fn validate_bank_rules_masked(
     plan: &PartitionPlan,
     machine: &DegradedTopology,
 ) -> Result<(), PlanError> {
+    validate_bank_rules_masked_with(plan, machine, &plan.bank_usage())
+}
+
+/// [`validate_bank_rules_masked`] against a caller-supplied
+/// [`bap_cache::BankUsage`]: one pass over the allocation lists, then
+/// O(1)-ish per bank. The naive per-bank plan queries would rescan every
+/// core's list and turn this validator quadratic on large floorplans (it
+/// sits on the epoch decision path, so that cost is paid every
+/// repartition).
+pub(crate) fn validate_bank_rules_masked_with(
+    plan: &PartitionPlan,
+    machine: &DegradedTopology,
+    usage: &bap_cache::BankUsage,
+) -> Result<(), PlanError> {
     let topo = machine.topology();
     let bank_ways = plan.bank_ways;
     let rule = |rule: u8, detail: String| PlanError::RuleViolation { rule, detail };
     for b in 0..plan.num_banks {
-        let bank = BankId(b as u8);
+        let bank = BankId(b as u16);
         if !machine.is_healthy(bank) {
-            if plan.bank_ways_used(bank) != 0 {
+            if usage.ways_used(bank) != 0 {
                 return Err(rule(0, format!("offline {bank} has allocations")));
             }
             continue;
         }
-        let owners = plan.cores_in_bank(bank);
+        let owners = usage.owners(bank);
         match topo.bank_kind(bank) {
             BankKind::Center => {
                 if owners.len() > 1 {
-                    return Err(rule(1, format!("{bank} (Center) shared by {owners:?}")));
+                    let sharers: Vec<CoreId> = owners.iter().map(|(c, _)| *c).collect();
+                    return Err(rule(1, format!("{bank} (Center) shared by {sharers:?}")));
                 }
-                if owners.len() == 1 {
-                    let Some(c) = owners.iter().next() else {
-                        continue;
-                    };
-                    if plan.ways_in_bank(c, bank) != bank_ways {
+                if let Some(&(c, ways)) = owners.first() {
+                    if ways != bank_ways {
                         return Err(rule(
                             1,
                             format!("{bank} (Center) partially assigned to {c}"),
@@ -950,7 +1185,7 @@ pub fn validate_bank_rules_masked(
                     // Rule 2: a Center holder owns its full Local bank —
                     // unless that bank is offline.
                     let local = topo.local_bank(c);
-                    if machine.is_healthy(local) && plan.ways_in_bank(c, local) != bank_ways {
+                    if machine.is_healthy(local) && usage.ways_of(c, local) != bank_ways {
                         return Err(rule(
                             2,
                             format!("{c} holds {bank} but not its full Local bank"),
@@ -965,7 +1200,7 @@ pub fn validate_bank_rules_masked(
                         format!("{bank} (Local) has {} sharers", owners.len()),
                     ));
                 }
-                for c in owners.iter() {
+                for &(c, _) in owners {
                     if c != home && !topo.adjacent(c, home) {
                         return Err(rule(
                             3,
@@ -975,12 +1210,12 @@ pub fn validate_bank_rules_masked(
                 }
             }
         }
-        if plan.bank_ways_used(bank) != bank_ways {
+        if usage.ways_used(bank) != bank_ways {
             return Err(rule(
                 0,
                 format!(
                     "{bank} not fully assigned: {} of {bank_ways} ways",
-                    plan.bank_ways_used(bank)
+                    usage.ways_used(bank)
                 ),
             ));
         }
@@ -1015,7 +1250,7 @@ mod tests {
         bank_aware_partition(&curves, &topo(), 8, &BankAwareConfig::default())
     }
 
-    fn degraded(disabled: &[u8]) -> DegradedTopology {
+    fn degraded(disabled: &[u16]) -> DegradedTopology {
         let mut mask = BankMask::all_healthy(16);
         for &b in disabled {
             mask.disable(BankId(b));
@@ -1324,7 +1559,7 @@ mod tests {
                     curves.iter().zip(alloc).map(|(c, &w)| c.misses_at(w)).sum()
                 };
                 let ba: Vec<usize> =
-                    (0..8).map(|c| plan.ways_of(CoreId(c as u8))).collect();
+                    (0..8).map(|c| plan.ways_of(CoreId(c as u16))).collect();
                 prop_assert!(project(&unres) <= project(&ba) + 1e-6);
             }
 
@@ -1335,7 +1570,7 @@ mod tests {
             #[test]
             fn degraded_solver_never_panics_and_plans_stay_valid(
                 curves in proptest::collection::vec(curve_strategy(), 8),
-                dead in proptest::collection::vec(0u8..16, 0..=8),
+                dead in proptest::collection::vec(0u16..16, 0..=8),
             ) {
                 let mut mask = BankMask::all_healthy(16);
                 for &b in &dead {
@@ -1397,13 +1632,13 @@ mod tests {
         let mut plan = PartitionPlan::empty(8, 16, 8);
         for c in 0..8 {
             plan.per_core[c].push(BankAllocation {
-                bank: BankId(c as u8),
+                bank: BankId(c as u16),
                 ways: 8,
             });
         }
         for c in 0..6 {
             plan.per_core[c].push(BankAllocation {
-                bank: BankId(8 + c as u8),
+                bank: BankId(8 + c as u16),
                 ways: 8,
             });
         }
@@ -1431,6 +1666,155 @@ mod tests {
         let err = validate_bank_rules_masked(&plan, &machine).unwrap_err();
         assert!(matches!(err, PlanError::RuleViolation { rule: 0, .. }));
         assert!(err.to_string().contains("offline"), "{err}");
+    }
+
+    mod clustered {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn ring(cores: usize) -> Topology {
+            Topology::ring_of_paper_dies(cores)
+        }
+
+        #[test]
+        fn allocations_never_leave_the_owning_cluster() {
+            // 32 cores: 4 ring clusters of 8 (each the paper's die).
+            let t = ring(32);
+            let curves: Vec<_> = (0..32)
+                .map(|c| knee(1000.0 + 13.0 * c as f64, 5.0, 8 + c % 24))
+                .collect();
+            let plan = bank_aware_partition(&curves, &t, 8, &BankAwareConfig::default());
+            validate_bank_rules(&plan, &t).unwrap();
+            assert_eq!(plan.total_ways_used(), 64 * 8);
+            for c in CoreId::all(32) {
+                let cl = t.cluster_of_core(c);
+                for a in &plan.per_core[c.index()] {
+                    assert_eq!(
+                        t.cluster_of_bank(a.bank),
+                        cl,
+                        "{c} reaches into a foreign cluster"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn capacity_cap_is_per_cluster() {
+            // A hungry core collects at most 9/16 of its *own* cluster —
+            // the same 72-way cap the paper's single die enforces.
+            let t = ring(32);
+            let mut curves = vec![knee(50.0, 45.0, 4); 32];
+            curves[0] = knee(1_000_000.0, 0.0, 128);
+            curves[17] = knee(1_000_000.0, 0.0, 128);
+            let plan = bank_aware_partition(&curves, &t, 8, &BankAwareConfig::default());
+            validate_bank_rules(&plan, &t).unwrap();
+            assert_eq!(plan.ways_of(CoreId(0)), 72, "{plan}");
+            assert_eq!(plan.ways_of(CoreId(17)), 72, "{plan}");
+        }
+
+        #[test]
+        fn parallel_shards_match_serial_traced_solve() {
+            // Parallel shards (tracer off) and the serial cluster-order
+            // solve (tracer on) must merge to the identical plan, and the
+            // merge events come in ascending cluster order.
+            let machine = DegradedTopology::healthy(ring(64));
+            let curves: Vec<_> = (0..64)
+                .map(|c| knee(2000.0 + 31.0 * c as f64, 5.0, 4 + c % 40))
+                .collect();
+            let cfg = BankAwareConfig::default();
+            let parallel = try_bank_aware_partition(&curves, &machine, 8, &cfg).unwrap();
+            let tracer = Tracer::ring();
+            let serial =
+                try_bank_aware_partition_traced(&curves, &machine, 8, &cfg, &tracer).unwrap();
+            assert_eq!(parallel, serial);
+            let merges: Vec<usize> = tracer
+                .drain_events()
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::ShardMerge { cluster, .. } => Some(cluster),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(merges, (0..8).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn degraded_cluster_shrinks_only_its_own_capacity() {
+            let t = ring(32);
+            let mut mask = BankMask::all_healthy(64);
+            mask.disable(BankId(41)); // a Center bank of cluster 1
+            let machine = DegradedTopology::new(t, mask);
+            let curves = vec![knee(1000.0, 10.0, 40); 32];
+            let plan = try_bank_aware_partition(&curves, &machine, 8, &BankAwareConfig::default())
+                .unwrap();
+            validate_bank_rules_masked(&plan, &machine).unwrap();
+            assert_eq!(plan.total_ways_used(), 63 * 8);
+            // Clusters 0, 2, 3 still split 16 banks over 8 cores each.
+            for cl in [0usize, 2, 3] {
+                let ways: usize = (cl * 8..cl * 8 + 8)
+                    .map(|c| plan.ways_of(CoreId::from_index(c)))
+                    .sum();
+                assert_eq!(ways, 128, "cluster {cl} unaffected");
+            }
+        }
+
+        #[test]
+        fn budget_exhaustion_is_typed_on_clustered_floorplans() {
+            let machine = DegradedTopology::healthy(ring(32));
+            let curves = vec![knee(1000.0, 10.0, 40); 32];
+            let err = try_bank_aware_partition_budgeted(
+                &curves,
+                &machine,
+                8,
+                &BankAwareConfig::default(),
+                &Tracer::off(),
+                SolveBudget::steps(1),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, PartitionError::BudgetExhausted { .. }),
+                "{err:?}"
+            );
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Random curves on the 32-core ring: the merged plan is
+            /// complete, rule-valid, cluster-confined, and identical to
+            /// the serial traced solve.
+            #[test]
+            fn clustered_plans_stay_valid_and_deterministic(
+                seeds in proptest::collection::vec(0.0f64..5000.0, 32)
+            ) {
+                let t = ring(32);
+                let curves: Vec<_> = seeds
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &s)| knee(1000.0 + s, 5.0, 2 + (c * 7 + s as usize) % 40))
+                    .collect();
+                let machine = DegradedTopology::healthy(t.clone());
+                let cfg = BankAwareConfig::default();
+                let plan = try_bank_aware_partition(&curves, &machine, 8, &cfg).unwrap();
+                prop_assert_eq!(plan.total_ways_used(), 64 * 8);
+                if let Err(e) = validate_bank_rules(&plan, &t) {
+                    return Err(TestCaseError::fail(e.to_string()));
+                }
+                for c in CoreId::all(32) {
+                    for a in &plan.per_core[c.index()] {
+                        prop_assert_eq!(
+                            t.cluster_of_bank(a.bank),
+                            t.cluster_of_core(c)
+                        );
+                    }
+                }
+                let tracer = Tracer::ring();
+                let serial =
+                    try_bank_aware_partition_traced(&curves, &machine, 8, &cfg, &tracer)
+                        .unwrap();
+                prop_assert_eq!(plan, serial);
+            }
+        }
     }
 
     fn budgeted(

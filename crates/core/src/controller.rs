@@ -46,6 +46,7 @@
 use crate::bank_aware::{
     try_bank_aware_partition_budgeted, BankAwareConfig, PartitionError, SolveBudget,
 };
+use crate::incremental::{IncrementalSolver, IncrementalStats};
 use crate::projection::projected_plan_misses;
 use crate::qos::{self, QosState};
 use bap_cache::{BankAllocation, PartitionPlan};
@@ -140,6 +141,7 @@ pub struct Controller {
     counters: FaultCounters,
     ledger: CoreDegradeLedger,
     qos: Option<QosState>,
+    incr: IncrementalSolver,
     tracer: Tracer,
 }
 
@@ -175,6 +177,7 @@ impl Controller {
             counters: FaultCounters::default(),
             ledger: CoreDegradeLedger::new(num_cores),
             qos: None,
+            incr: IncrementalSolver::new(),
             tracer: Tracer::off(),
         }
     }
@@ -235,10 +238,19 @@ impl Controller {
 
     /// Zero the fault-handling counters (and the per-core capacity-loss
     /// ledger). Called at run start so counters in a `RunResult` describe
-    /// that run only, not earlier runs of a reused controller.
+    /// that run only, not earlier runs of a reused controller. The
+    /// warm-start statistics reset too, but the warm *cache* survives —
+    /// back-to-back runs on one machine stay warm.
     pub fn reset_counters(&mut self) {
         self.counters = FaultCounters::default();
         self.ledger = CoreDegradeLedger::new(self.topo.num_cores());
+        self.incr.reset_stats();
+    }
+
+    /// Warm-start statistics accumulated by the incremental solver (all
+    /// zero when [`bap_types::IncrementalConfig`] is disabled).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.incr.stats()
     }
 
     /// The per-core capacity-loss ledger: which cores the degradation
@@ -297,7 +309,7 @@ impl Controller {
                         &q.params,
                         &self.topo,
                         &self.mask,
-                        CoreId(c as u8),
+                        CoreId(c as u16),
                         self.last_plan.as_ref(),
                     ))
                 } else {
@@ -364,19 +376,24 @@ impl Controller {
             let slo = q.slos[c].as_ref().expect("admitted implies declared");
             let ok = match &effective {
                 Some(p) => {
-                    p.ways_of(CoreId(c as u8)) >= slo.min_ways
+                    p.ways_of(CoreId(c as u16)) >= slo.min_ways
                         && qos::core_bound(
                             &q.params,
                             &self.topo,
                             &self.mask,
-                            CoreId(c as u8),
+                            CoreId(c as u16),
                             Some(p),
                         ) <= slo.max_wcl_cycles
                 }
                 None => {
                     slo.min_ways == 0
-                        && qos::core_bound(&q.params, &self.topo, &self.mask, CoreId(c as u8), None)
-                            <= slo.max_wcl_cycles
+                        && qos::core_bound(
+                            &q.params,
+                            &self.topo,
+                            &self.mask,
+                            CoreId(c as u16),
+                            None,
+                        ) <= slo.max_wcl_cycles
                 }
             };
             if !ok {
@@ -396,8 +413,8 @@ impl Controller {
         let mut demoted = 0usize;
         if let Some(prev) = &effective {
             for c in 0..self.topo.num_cores() {
-                let before = prev.ways_of(CoreId(c as u8));
-                let after = plan.ways_of(CoreId(c as u8));
+                let before = prev.ways_of(CoreId(c as u16));
+                let after = plan.ways_of(CoreId(c as u16));
                 if after < before {
                     self.ledger.record(c, (before - after) as u64);
                     demoted += 1;
@@ -468,6 +485,10 @@ impl Controller {
                         .unwrap_or_default(),
                 ),
             ),
+            (
+                "incremental".to_string(),
+                serde::Serialize::to_value(&self.incr),
+            ),
         ])
     }
 
@@ -494,6 +515,9 @@ impl Controller {
                 q.evaluated = true;
             }
         }
+        // Absent from pre-incremental snapshots; a default (cold) solver is
+        // always safe — the first solve after restore just runs cold.
+        self.incr = serde::from_field_or_default(v, "incremental")?;
         Ok(())
     }
 
@@ -701,7 +725,7 @@ impl Controller {
             self.tracer.emit(|| EventKind::AssignmentComputed {
                 policy: policy.to_string(),
                 ways: (0..self.topo.num_cores())
-                    .map(|c| plan.ways_of(CoreId(c as u8)))
+                    .map(|c| plan.ways_of(CoreId(c as u16)))
                     .collect(),
             });
         }
@@ -714,14 +738,27 @@ impl Controller {
     ) -> Option<PartitionPlan> {
         let machine = DegradedTopology::new(self.topo.clone(), self.mask);
         let t0 = self.tracer.is_enabled().then(std::time::Instant::now);
-        let solved = try_bank_aware_partition_budgeted(
-            curves,
-            &machine,
-            self.bank_ways,
-            &self.cfg,
-            &self.tracer,
-            SolveBudget::steps(self.control.budget.max_solver_steps),
-        );
+        let budget = SolveBudget::steps(self.control.budget.max_solver_steps);
+        let solved = if self.control.incremental.enabled {
+            self.incr.solve(
+                curves,
+                &machine,
+                self.bank_ways,
+                &self.cfg,
+                &self.tracer,
+                budget,
+                self.control.incremental.delta_threshold,
+            )
+        } else {
+            try_bank_aware_partition_budgeted(
+                curves,
+                &machine,
+                self.bank_ways,
+                &self.cfg,
+                &self.tracer,
+                budget,
+            )
+        };
         if let Some(t0) = t0 {
             self.tracer
                 .timing_masked("solve", t0.elapsed().as_nanos() as u64, self.mask.bits());
@@ -857,7 +894,7 @@ impl Controller {
     fn degraded_fallback(&mut self) -> Option<PartitionPlan> {
         let prev_ways: Option<Vec<usize>> = self.last_plan.as_ref().map(|p| {
             (0..self.topo.num_cores())
-                .map(|c| p.ways_of(CoreId(c as u8)))
+                .map(|c| p.ways_of(CoreId(c as u16)))
                 .collect()
         });
         if let Some(prev) = &self.last_plan {
@@ -898,7 +935,7 @@ impl Controller {
     fn record_capacity_losses(&mut self, prev_ways: Option<&[usize]>, new: &PartitionPlan) {
         let Some(prev_ways) = prev_ways else { return };
         for (c, &before) in prev_ways.iter().enumerate() {
-            let after = new.ways_of(CoreId(c as u8));
+            let after = new.ways_of(CoreId(c as u16));
             if after < before {
                 self.ledger.record(c, (before - after) as u64);
             }
@@ -1354,6 +1391,83 @@ mod tests {
         assert_eq!(r.hyst, c.hyst, "flip history and hold-off survive restore");
         assert_eq!(r.in_holdoff(), c.in_holdoff());
         assert_eq!(r.last_plan(), c.last_plan());
+    }
+
+    #[test]
+    fn warm_start_controller_is_plan_identical_to_classic() {
+        let mut cold = controller(Policy::BankAware);
+        let mut warm = controller(Policy::BankAware);
+        warm.set_control(ControlConfig::default().with_warm_starts());
+        for round in 0..6 {
+            feed_knee_profile(&mut cold, CoreId(round % 8), 12 + round as usize, 30_000);
+            feed_knee_profile(&mut warm, CoreId(round % 8), 12 + round as usize, 30_000);
+            assert_eq!(
+                cold.epoch_boundary(),
+                warm.epoch_boundary(),
+                "round {round}: warm starts must not change any decision"
+            );
+        }
+        assert_eq!(cold.counters(), warm.counters());
+        let stats = warm.incremental_stats();
+        assert_eq!(stats.decisions, 6);
+        assert!(stats.full_solves >= 1);
+        assert_eq!(
+            cold.incremental_stats(),
+            crate::IncrementalStats::default(),
+            "the classic path never touches the incremental solver"
+        );
+    }
+
+    #[test]
+    fn stationary_curves_stop_resolving_under_the_controller() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig::default().with_warm_starts());
+        let curves = knee_curves(&[40, 8, 8, 8, 8, 8, 8, 8], 1_000.0);
+        for _ in 0..5 {
+            c.epoch_boundary_with_curves(curves.clone());
+        }
+        let stats = c.incremental_stats();
+        assert_eq!(stats.full_solves, 1);
+        assert_eq!(
+            stats.cluster_solves, 1,
+            "a stationary mix re-solves nothing after warm-up"
+        );
+        assert_eq!(stats.warm_hits, 4);
+    }
+
+    #[test]
+    fn warm_start_survives_bank_transitions() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig::default().with_warm_starts());
+        for i in 0..8 {
+            feed_knee_profile(&mut c, CoreId(i), 10, 20_000);
+        }
+        c.epoch_boundary().unwrap();
+        c.bank_failed(BankId(9));
+        let plan = c.replan_for_mask().expect("replan after a bank loss");
+        assert_eq!(plan.bank_ways_used(BankId(9)), 0);
+        assert_eq!(plan.total_ways_used(), 15 * 8);
+        // The mask change forced a cold solve; the cache is warm again on
+        // the new machine.
+        assert_eq!(c.incremental_stats().full_solves, 2);
+        c.epoch_boundary();
+        assert_eq!(c.incremental_stats().full_solves, 2, "warm on the new mask");
+    }
+
+    #[test]
+    fn snapshot_round_trips_warm_state() {
+        let mut c = controller(Policy::BankAware);
+        c.set_control(ControlConfig::default().with_warm_starts());
+        let curves = knee_curves(&[40, 8, 8, 8, 8, 8, 8, 8], 1_000.0);
+        c.epoch_boundary_with_curves(curves.clone());
+        let snap = c.snapshot();
+        let mut r = controller(Policy::BankAware);
+        r.set_control(*c.control());
+        r.restore(&snap).unwrap();
+        r.epoch_boundary_with_curves(curves);
+        let stats = r.incremental_stats();
+        assert_eq!(stats.full_solves, 1, "restored controllers resume warm");
+        assert_eq!(stats.warm_hits, 1);
     }
 
     fn slo(max_wcl: Cycle, min_ways: usize) -> bap_types::SloSpec {

@@ -10,21 +10,25 @@
 //!   physically realisable [`bap_cache::PartitionPlan`];
 //! * [`controller`] — the epoch-driven dynamic controller: profile an
 //!   epoch, repartition, decay, repeat (100 M-cycle epochs in the paper);
+//! * [`incremental`] — the warm-start solver: caches per-cluster sub-plans
+//!   across epochs and re-solves only the clusters whose curves moved;
 //! * [`projection`] — MSA-projected system miss rates for whole assignments
 //!   (the Monte Carlo evaluator of Fig. 7 is built on this).
 
 pub mod bank_aware;
 pub mod controller;
+pub mod incremental;
 pub mod projection;
 pub mod qos;
 pub mod unrestricted;
 
 pub use bank_aware::{
     bank_aware_partition, try_bank_aware_partition, try_bank_aware_partition_budgeted,
-    try_bank_aware_partition_traced, validate_bank_rules, validate_bank_rules_masked,
-    BankAwareConfig, PartitionError, SolveBudget,
+    try_bank_aware_partition_serial, try_bank_aware_partition_traced, validate_bank_rules,
+    validate_bank_rules_masked, BankAwareConfig, PartitionError, SolveBudget,
 };
 pub use controller::{Controller, PlanSource, Policy};
+pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use projection::{projected_misses, projected_plan_misses, projected_total_misses};
 pub use qos::{admit_cores, build_qos_plan, core_bound, AdmissionOutcome, QosState};
 pub use unrestricted::{unrestricted_partition, unrestricted_partition_traced};

@@ -27,7 +27,7 @@ pub fn projected_plan_misses(curves: &[MissRatioCurve], plan: &PartitionPlan) ->
     curves
         .iter()
         .enumerate()
-        .map(|(c, curve)| curve.misses_at(plan.ways_of(CoreId(c as u8))))
+        .map(|(c, curve)| curve.misses_at(plan.ways_of(CoreId(c as u16))))
         .sum()
 }
 

@@ -120,7 +120,7 @@ fn allocate_admitted(
     let num_cores = topo.num_cores();
     let mut remaining: Vec<usize> = (0..topo.num_banks())
         .map(|b| {
-            if mask.is_healthy(BankId(b as u8)) {
+            if mask.is_healthy(BankId(b as u16)) {
                 bank_ways
             } else {
                 0
@@ -135,7 +135,7 @@ fn allocate_admitted(
         let slo = slos.get(c).and_then(|s| s.as_ref())?;
         let mut need = slo.min_ways.max(1);
         let mut banks: Vec<BankId> = mask.healthy_banks().collect();
-        banks.sort_by_key(|&b| (topo.latency(CoreId(c as u8), b), b.index()));
+        banks.sort_by_key(|&b| (topo.latency(CoreId(c as u16), b), b.index()));
         for b in banks {
             if need == 0 {
                 break;
@@ -215,7 +215,7 @@ pub fn admit_cores(
         } else {
             mask.healthy_banks().collect()
         };
-        let bound = wcl_bound(params, topo, CoreId(c as u8), &banks);
+        let bound = wcl_bound(params, topo, CoreId(c as u16), &banks);
         if bound <= slo.max_wcl_cycles {
             out.push(AdmissionOutcome {
                 core: c,
@@ -258,7 +258,7 @@ pub fn build_qos_plan(
     let mut plan = PartitionPlan::empty(num_cores, topo.num_banks(), bank_ways);
     let mut remaining: Vec<usize> = (0..topo.num_banks())
         .map(|b| {
-            if mask.is_healthy(BankId(b as u8)) {
+            if mask.is_healthy(BankId(b as u16)) {
                 bank_ways
             } else {
                 0
@@ -289,7 +289,7 @@ pub fn build_qos_plan(
             }
             let take = need.min(remaining[bank]);
             plan.per_core[c].push(BankAllocation {
-                bank: BankId(bank as u8),
+                bank: BankId(bank as u16),
                 ways: take,
             });
             remaining[bank] -= take;

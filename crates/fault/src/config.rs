@@ -25,7 +25,7 @@ pub struct FaultConfig {
     pub curve_corruption_prob: f64,
     /// Scripted bank losses: at epoch `.0`, take bank `.1` offline. Fires
     /// exactly once per entry (when the bank is healthy at that epoch).
-    pub forced_offline: Vec<(u64, u8)>,
+    pub forced_offline: Vec<(u64, u16)>,
 }
 
 impl FaultConfig {

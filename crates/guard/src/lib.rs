@@ -43,6 +43,11 @@ pub enum Invariant {
     CapacityConserved,
     /// A solver-produced plan violates the paper's physical Rules 1–3.
     BankRules,
+    /// On a clustered floorplan, an allocation crosses a cluster boundary:
+    /// a core holds ways in a bank owned by another cluster. The sharded
+    /// solver confines every shard to its own cluster's banks, so a
+    /// crossing can only come from corrupted state or a splice bug.
+    ClusterLocal,
     /// A profiler curve is empty, non-finite, negative or non-monotone.
     CurveHealth,
     /// An admitted SLO is not honoured by the installed plan: the core is
@@ -59,6 +64,7 @@ impl Invariant {
             Invariant::PlanValid => "plan_valid",
             Invariant::CapacityConserved => "capacity_conserved",
             Invariant::BankRules => "bank_rules",
+            Invariant::ClusterLocal => "cluster_local",
             Invariant::CurveHealth => "curve_health",
             Invariant::SloWcl => "slo_wcl",
         }
@@ -228,7 +234,7 @@ impl InvariantGuard {
             if !admitted.get(c).copied().unwrap_or(false) {
                 continue;
             }
-            let core = CoreId(c as u8);
+            let core = CoreId(c as u16);
             let ways = plan.map(|p| p.ways_of(core)).unwrap_or(0);
             if ways < slo.min_ways {
                 violations.push(Violation {
@@ -293,6 +299,30 @@ impl InvariantGuard {
                     invariant: Invariant::BankRules,
                     detail: e.to_string(),
                 });
+            }
+            if self.topo.num_clusters() > 1 {
+                self.check_cluster_confinement(plan, violations);
+            }
+        }
+    }
+
+    /// On multi-cluster floorplans, every solver allocation must stay
+    /// inside the owning core's cluster.
+    fn check_cluster_confinement(&self, plan: &PartitionPlan, violations: &mut Vec<Violation>) {
+        for (c, allocs) in plan.per_core.iter().enumerate() {
+            let home = self.topo.cluster_of_core(CoreId(c as u16));
+            for a in allocs {
+                let owner = self.topo.cluster_of_bank(a.bank);
+                if owner != home {
+                    violations.push(Violation {
+                        invariant: Invariant::ClusterLocal,
+                        detail: format!(
+                            "core{c} (cluster {home}) holds {} ways in bank{} of cluster {owner}",
+                            a.ways,
+                            a.bank.index()
+                        ),
+                    });
+                }
             }
         }
     }
@@ -379,7 +409,7 @@ mod tests {
         // Valid but half-empty: each core one way in its Local bank.
         for c in 0..8 {
             plan.per_core[c].push(BankAllocation {
-                bank: BankId(c as u8),
+                bank: BankId(c as u16),
                 ways: 1,
             });
         }
@@ -518,6 +548,56 @@ mod tests {
         let v = g.check_slos(&slos, &admitted, &params, Some(&plan), &mask);
         assert_eq!(v.len(), 1);
         assert!(v[0].detail.contains("wcl bound"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn cross_cluster_allocations_are_flagged_on_clustered_floorplans() {
+        // Ring of four 8-core paper dies: clusters own banks 0..8 (Local)
+        // and 32+0..8 (Center) per die, and so on.
+        let topo = Topology::ring_of_paper_dies(32);
+        let num_banks = topo.num_banks();
+        let g = InvariantGuard::new(topo.clone(), 8);
+        let mask = BankMask::all_healthy(num_banks);
+        // Build a conforming plan by running the solver, then corrupt one
+        // allocation to point into a foreign cluster's Local bank.
+        let curves: Vec<bap_msa::MissRatioCurve> = (0..32)
+            .map(|_| {
+                bap_msa::MissRatioCurve::from_misses(
+                    (0..=72).map(|w| 1_000.0 - w as f64).collect(),
+                    10_000.0,
+                )
+            })
+            .collect();
+        let machine = DegradedTopology::new(topo.clone(), mask);
+        let plan = bap_core::try_bank_aware_partition(
+            &curves,
+            &machine,
+            8,
+            &bap_core::BankAwareConfig::default(),
+        )
+        .unwrap();
+        let report = g.check_epoch(&mask, &mask, Some(&plan), PlanSource::Solver, &[]);
+        assert!(report.is_ok(), "{:?}", report.violations);
+        let mut bad = plan.clone();
+        // Swap the whole allocations of core 0 (cluster 0) and core 10
+        // (cluster 1): per-bank occupancy is untouched, so the plan stays
+        // structurally valid — only the cluster confinement is broken.
+        bad.per_core.swap(0, 10);
+        let report = g.check_epoch(&mask, &mask, Some(&bad), PlanSource::Solver, &[]);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == Invariant::ClusterLocal),
+            "{:?}",
+            report.violations
+        );
+        // Ladder outputs are exempt, like the other rule checks.
+        let report = g.check_epoch(&mask, &mask, Some(&bad), PlanSource::Repair, &[]);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.invariant != Invariant::ClusterLocal));
     }
 
     #[test]

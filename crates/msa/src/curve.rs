@@ -111,6 +111,13 @@ impl MissRatioCurve {
     /// [`MissRatioCurve::from_histogram`] is always clean; defects only
     /// appear through deserialization of corrupted state or fault
     /// injection.
+    /// Cheap emptiness probe — `health().empty` without paying for the
+    /// full-curve scan (the solve prologue asks this for every core on
+    /// every epoch decision).
+    pub fn is_empty(&self) -> bool {
+        self.misses.is_empty()
+    }
+
     pub fn health(&self) -> CurveHealth {
         let mut h = CurveHealth {
             empty: self.misses.is_empty(),

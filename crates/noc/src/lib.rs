@@ -73,7 +73,12 @@ impl NocModel {
     /// cycle-per-access service time (Table-I-derived default: 4).
     pub fn new(topology: Topology, bank_occupancy: u64, link_occupancy: u64) -> Self {
         let banks = topology.num_banks();
-        let links = topology.num_cores().saturating_sub(1);
+        // Chain: `cores − 1` segment links. Clustered ring: `cores` links
+        // (the ring closes). Mesh models route over grid edges instead.
+        let links = match topology.floorplan() {
+            Floorplan::ClusteredRing { .. } => topology.num_cores(),
+            _ => topology.num_cores().saturating_sub(1),
+        };
         NocModel {
             topology,
             bank_occupancy,
@@ -178,7 +183,7 @@ impl NocModel {
                     self.link_free_at[link] = t + self.link_occupancy;
                 }
             }
-            Floorplan::Mesh => {
+            Floorplan::Mesh | Floorplan::ClusteredMesh { .. } => {
                 // Dimension-ordered (XY) routing over the grid edges.
                 for edge in self.xy_route(core, bank) {
                     let free = self.edge_free_at.entry(edge).or_insert(0);
@@ -186,6 +191,31 @@ impl NocModel {
                         t = *free;
                     }
                     *free = t + self.link_occupancy;
+                }
+            }
+            Floorplan::ClusteredRing { .. } => {
+                // Traverse the shorter ring arc; link `i` joins ring
+                // positions `i` and `i + 1 (mod cores)`. Center banks sit at
+                // their owning core's ring position (the extra vertical hop
+                // is uncontended, as in the chain model).
+                let n = self.topology.num_cores();
+                let bank_pos = match self.topology.bank_kind(bank) {
+                    BankKind::Local { home } => home.index(),
+                    BankKind::Center => bank.index() - n,
+                };
+                let mut pos = core.index();
+                let clockwise = (bank_pos + n - pos) % n <= n / 2;
+                while pos != bank_pos {
+                    let link = if clockwise { pos } else { (pos + n - 1) % n };
+                    if t < self.link_free_at[link] {
+                        t = self.link_free_at[link];
+                    }
+                    self.link_free_at[link] = t + self.link_occupancy;
+                    pos = if clockwise {
+                        (pos + 1) % n
+                    } else {
+                        (pos + n - 1) % n
+                    };
                 }
             }
         }

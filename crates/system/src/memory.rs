@@ -253,6 +253,22 @@ impl SharedMemory {
             bap_types::topology::Floorplan::Mesh => {
                 Topology::new_mesh(cfg.num_cores, cfg.l2_min_latency, cfg.l2_max_latency)
             }
+            bap_types::topology::Floorplan::ClusteredRing { cluster_cores } => {
+                Topology::new_clustered_ring(
+                    cfg.num_cores,
+                    cluster_cores,
+                    cfg.l2_min_latency,
+                    cfg.l2_max_latency,
+                )
+            }
+            bap_types::topology::Floorplan::ClusteredMesh { cluster_cores } => {
+                Topology::new_clustered_mesh(
+                    cfg.num_cores,
+                    cluster_cores,
+                    cfg.l2_min_latency,
+                    cfg.l2_max_latency,
+                )
+            }
         };
         let mut l2 =
             DnucaL2::with_policy(cfg.l2.num_banks, cfg.l2.bank, cfg.num_cores, replacement);
@@ -595,7 +611,7 @@ impl SharedMemory {
         report.emit(&self.tracer);
         self.fault_counters.guard_trips += report.violations.len() as u64;
         for b in 0..self.l2.num_banks() {
-            let bank = BankId(b as u8);
+            let bank = BankId(b as u16);
             let live = self.l2.bank_mask().is_healthy(bank);
             if live != self.controller.mask().is_healthy(bank) {
                 if live {
@@ -630,7 +646,7 @@ impl SharedMemory {
     fn push_epoch_history(&mut self) {
         let ways = match self.l2.plan() {
             Some(p) => (0..p.num_cores())
-                .map(|c| p.ways_of(bap_types::CoreId(c as u8)))
+                .map(|c| p.ways_of(bap_types::CoreId(c as u16)))
                 .collect(),
             None => Vec::new(),
         };
@@ -926,7 +942,7 @@ mod tests {
     fn guard_heals_a_mask_desync() {
         let mut m = shared(Policy::BankAware);
         for i in 0..20_000u64 {
-            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+            m.request(CoreId((i % 8) as u16), BlockAddr(i % 2048), false, i * 10);
         }
         m.epoch_boundary();
         assert!(
@@ -973,7 +989,7 @@ mod tests {
     fn step_budget_sheds_in_the_full_hierarchy() {
         let mut m = shared(Policy::BankAware);
         for i in 0..20_000u64 {
-            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+            m.request(CoreId((i % 8) as u16), BlockAddr(i % 2048), false, i * 10);
         }
         m.epoch_boundary();
         let installed = m.l2.plan().cloned();
@@ -1025,7 +1041,7 @@ mod tests {
         // Pressure from every core, then a boundary: the floor survives
         // the repartitioning decision.
         for i in 0..20_000u64 {
-            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+            m.request(CoreId((i % 8) as u16), BlockAddr(i % 2048), false, i * 10);
         }
         m.epoch_boundary();
         let plan = m.l2.plan().expect("partitioned");
@@ -1038,7 +1054,7 @@ mod tests {
         let mut m = shared(Policy::BankAware);
         m.set_qos(&qos_config(), false, false);
         for i in 0..20_000u64 {
-            m.request(CoreId((i % 8) as u8), BlockAddr(i % 4096), false, i * 10);
+            m.request(CoreId((i % 8) as u16), BlockAddr(i % 4096), false, i * 10);
         }
         m.epoch_boundary();
         let worst = m.worst_latency_history();
@@ -1064,7 +1080,7 @@ mod tests {
         let mut without = shared(Policy::BankAware);
         for i in 0..20_000u64 {
             let b = BlockAddr(i % 2048);
-            let c = CoreId((i % 8) as u8);
+            let c = CoreId((i % 8) as u16);
             assert_eq!(
                 with_qos.request(c, b, false, i * 10),
                 without.request(c, b, false, i * 10)
@@ -1082,7 +1098,7 @@ mod tests {
         let mut m = shared(Policy::BankAware);
         m.set_qos(&qos_config(), false, false);
         for i in 0..20_000u64 {
-            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+            m.request(CoreId((i % 8) as u16), BlockAddr(i % 2048), false, i * 10);
         }
         m.epoch_boundary();
         let snap = m.snapshot();
@@ -1096,7 +1112,7 @@ mod tests {
         // Both continue identically.
         for i in 20_000..24_000u64 {
             let b = BlockAddr(i % 2048);
-            let c = CoreId((i % 8) as u8);
+            let c = CoreId((i % 8) as u16);
             assert_eq!(
                 m.request(c, b, false, i * 10),
                 r.request(c, b, false, i * 10)
@@ -1113,7 +1129,7 @@ mod tests {
         let mut m = shared(Policy::BankAware);
         m.set_qos(&qos_config(), false, false);
         for i in 0..20_000u64 {
-            m.request(CoreId((i % 8) as u8), BlockAddr(i % 2048), false, i * 10);
+            m.request(CoreId((i % 8) as u16), BlockAddr(i % 2048), false, i * 10);
         }
         m.epoch_boundary();
         // Kill a bank behind the controller's back: the guard resyncs and

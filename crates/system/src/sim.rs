@@ -129,6 +129,10 @@ pub struct RunResult {
     /// Per-core capacity-loss ledger: which cores were demoted by the
     /// degradation ladder or SLO enforcement, and by how many ways.
     pub core_degrades: bap_fault::CoreDegradeLedger,
+    /// Warm-start solver accounting: decisions, full solves, per-cluster
+    /// re-solves and warm hits (all zero unless
+    /// [`bap_types::IncrementalConfig`] is enabled).
+    pub incremental: bap_core::IncrementalStats,
 }
 
 impl RunResult {
@@ -319,7 +323,7 @@ impl System {
     pub fn with_streams(opts: SimOptions, streams: Vec<OpStream>) -> Self {
         assert_eq!(streams.len(), opts.config.num_cores, "one stream per core");
         let cores: Vec<CoreModel> = (0..opts.config.num_cores)
-            .map(|c| CoreModel::new(CoreId(c as u8), &opts.config))
+            .map(|c| CoreModel::new(CoreId(c as u16), &opts.config))
             .collect();
         let mut mem = SharedMemory::with_options(
             &opts.config,
@@ -561,7 +565,7 @@ impl System {
             .enumerate()
             .map(|(i, c)| {
                 let mut s = c.stats().clone();
-                let id = CoreId(i as u8);
+                let id = CoreId(i as u16);
                 s.l2 = self.mem.l2_stats(id);
                 s.l2_latency_sum = self.mem.l2_latency_sum(id);
                 s.mem_accesses = s.l2.misses;
@@ -583,6 +587,7 @@ impl System {
             worst_latency_history: self.mem.worst_latency_history().to_vec(),
             slo_bound_history: self.mem.slo_bound_history().to_vec(),
             core_degrades: self.mem.core_degrades(),
+            incremental: self.mem.controller.incremental_stats(),
         }
     }
 

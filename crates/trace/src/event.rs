@@ -249,6 +249,38 @@ pub enum EventKind {
         /// Steps consumed when the early close-out triggered.
         steps: u64,
     },
+    /// One cluster shard's sub-plan was merged into the global plan.
+    /// Emitted in ascending cluster order (the deterministic merge order,
+    /// whatever order the shards actually solved in); multi-cluster
+    /// floorplans only, so single-cluster traces are unchanged.
+    ShardMerge {
+        /// The merged cluster.
+        cluster: usize,
+        /// Cores the shard solved.
+        cores: usize,
+        /// Total ways the shard's sub-plan assigned.
+        ways: usize,
+    },
+    /// The incremental solver's per-cluster dirtiness classification for
+    /// one epoch decision: how many clusters' curves moved past the delta
+    /// threshold and must re-solve.
+    SolverDelta {
+        /// Clusters whose curves moved past the threshold (re-solved).
+        dirty_clusters: usize,
+        /// Clusters in the floorplan.
+        total_clusters: usize,
+        /// Largest per-core relative curve delta observed this epoch.
+        max_delta: f64,
+    },
+    /// A cluster's previous sub-plan was reused verbatim (warm start): its
+    /// cores' curves moved less than the delta threshold since the last
+    /// solve, so the deterministic sub-solve would reproduce it exactly.
+    WarmStartHit {
+        /// The reused cluster.
+        cluster: usize,
+        /// Consecutive epoch decisions this cluster has now been reused.
+        streak: u64,
+    },
     /// The online invariant guard found an installed-state violation.
     GuardViolation {
         /// Stable invariant label (`capacity`, `bank_rules`, `mask`,
@@ -348,6 +380,9 @@ impl EventKind {
             EventKind::PhaseChange { .. } => "phase_change",
             EventKind::BudgetShed { .. } => "budget_shed",
             EventKind::SolverCheckpoint { .. } => "solver_checkpoint",
+            EventKind::ShardMerge { .. } => "shard_merge",
+            EventKind::SolverDelta { .. } => "solver_delta",
+            EventKind::WarmStartHit { .. } => "warm_start_hit",
             EventKind::GuardViolation { .. } => "guard_violation",
             EventKind::GuardEscalated { .. } => "guard_escalated",
             EventKind::StageTiming { .. } => "stage_timing",
@@ -426,6 +461,20 @@ mod tests {
                 limit: "steps".to_string(),
             },
             EventKind::SolverCheckpoint { steps: 1200 },
+            EventKind::ShardMerge {
+                cluster: 3,
+                cores: 8,
+                ways: 128,
+            },
+            EventKind::SolverDelta {
+                dirty_clusters: 2,
+                total_clusters: 16,
+                max_delta: 0.042,
+            },
+            EventKind::WarmStartHit {
+                cluster: 11,
+                streak: 7,
+            },
             EventKind::GuardViolation {
                 invariant: "capacity".to_string(),
                 detail: "plan uses 130/128 ways".to_string(),

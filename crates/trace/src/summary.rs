@@ -71,6 +71,12 @@ pub struct TraceSummary {
     pub budget_sheds: u64,
     /// Solver early close-outs from a consistent checkpoint.
     pub solver_checkpoints: u64,
+    /// Cluster shards merged into global plans (multi-cluster solves).
+    pub shard_merges: u64,
+    /// Incremental-solver per-epoch dirtiness classifications.
+    pub solver_deltas: u64,
+    /// Cluster sub-plans reused verbatim by the warm-start path.
+    pub warm_start_hits: u64,
     /// Invariant violations the online guard caught.
     pub guard_violations: u64,
     /// Guard escalations into the degradation ladder.
@@ -121,6 +127,9 @@ impl TraceSummary {
             EventKind::PhaseChange { .. } => self.phase_changes += 1,
             EventKind::BudgetShed { .. } => self.budget_sheds += 1,
             EventKind::SolverCheckpoint { .. } => self.solver_checkpoints += 1,
+            EventKind::ShardMerge { .. } => self.shard_merges += 1,
+            EventKind::SolverDelta { .. } => self.solver_deltas += 1,
+            EventKind::WarmStartHit { .. } => self.warm_start_hits += 1,
             EventKind::GuardViolation { .. } => self.guard_violations += 1,
             EventKind::GuardEscalated { .. } => self.guard_escalations += 1,
             EventKind::StageTiming { .. } => {

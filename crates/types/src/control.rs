@@ -128,6 +128,55 @@ impl HysteresisConfig {
     }
 }
 
+/// The incremental (warm-start) solver knobs.
+///
+/// On clustered floorplans the Bank-aware solve decomposes into independent
+/// per-cluster shards; the incremental solver caches the previous epoch's
+/// per-cluster sub-plans and curves, and at each boundary re-solves only the
+/// clusters whose miss-ratio curves moved past `delta_threshold` — the rest
+/// reuse their cached sub-plan verbatim (a *warm-start hit*).
+///
+/// With the default threshold of `0.0` a cluster is reused only when its
+/// curves are bit-for-bit unchanged, so the emitted plan is **identical** to
+/// a full solve (the sub-solve is deterministic in its inputs): warm starts
+/// are then a pure latency optimisation and the golden figures and the
+/// offline replay gate hold exactly. Raising the threshold trades plan
+/// fidelity for fewer re-solves on slowly drifting workloads; the stored
+/// per-cluster curve baseline is only advanced when a cluster is re-solved,
+/// so slow drift accumulates until it trips the threshold rather than
+/// escaping detection one epoch at a time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Master switch. When false every epoch runs the full (cold) solve,
+    /// exactly as before the warm-start path existed.
+    pub enabled: bool,
+    /// Per-cluster curve movement (max per-core mean absolute miss-ratio
+    /// delta vs the curves at that cluster's last re-solve) above which the
+    /// cluster is re-solved. `0.0` = re-solve on any change at all.
+    pub delta_threshold: f64,
+}
+
+impl Default for IncrementalConfig {
+    /// Disabled: behaviour- and trace-neutral, like every other control
+    /// default.
+    fn default() -> Self {
+        IncrementalConfig {
+            enabled: false,
+            delta_threshold: 0.0,
+        }
+    }
+}
+
+impl IncrementalConfig {
+    /// Warm starts on, at exact plan fidelity (threshold 0.0).
+    pub fn warm() -> Self {
+        IncrementalConfig {
+            enabled: true,
+            delta_threshold: 0.0,
+        }
+    }
+}
+
 /// The full control-loop robustness bundle.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ControlConfig {
@@ -139,6 +188,8 @@ pub struct ControlConfig {
     /// emits events and escalates on *violations*, so leaving it on is
     /// behaviour-neutral for healthy runs.
     pub guard: bool,
+    /// Incremental warm-start solving (disabled by default).
+    pub incremental: IncrementalConfig,
 }
 
 impl Default for ControlConfig {
@@ -147,6 +198,7 @@ impl Default for ControlConfig {
             budget: DecisionBudget::default(),
             hysteresis: HysteresisConfig::default(),
             guard: true,
+            incremental: IncrementalConfig::default(),
         }
     }
 }
@@ -159,12 +211,19 @@ impl ControlConfig {
             budget: DecisionBudget::default(),
             hysteresis: HysteresisConfig::tuned(),
             guard: true,
+            incremental: IncrementalConfig::default(),
         }
     }
 
     /// Preset with a deterministic solver step budget on top of `self`.
     pub fn with_step_budget(mut self, steps: u64) -> Self {
         self.budget.max_solver_steps = steps;
+        self
+    }
+
+    /// Preset with exact-fidelity warm starts enabled on top of `self`.
+    pub fn with_warm_starts(mut self) -> Self {
+        self.incremental = IncrementalConfig::warm();
         self
     }
 }

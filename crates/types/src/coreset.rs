@@ -9,87 +9,115 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitOrAssign};
 
-/// A set of cores represented as a 16-bit mask (the workspace supports up to
-/// 16 cores; the paper's baseline uses 8).
+/// Number of `u64` words backing a [`CoreSet`].
+const SET_WORDS: usize = 4;
+
+/// The largest core count a [`CoreSet`] can cover (the 256-core scalability
+/// ceiling).
+pub const MAX_CORES: usize = SET_WORDS * 64;
+
+/// A set of cores represented as a fixed-width bitmask. Wide enough for the
+/// 256-core scalability machines while staying `Copy` (the paper's baseline
+/// uses 8 cores).
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct CoreSet(pub u16);
+pub struct CoreSet([u64; SET_WORDS]);
 
 impl CoreSet {
     /// The empty set.
-    pub const EMPTY: CoreSet = CoreSet(0);
+    pub const EMPTY: CoreSet = CoreSet([0; SET_WORDS]);
 
     /// A set containing exactly one core.
     #[inline]
     pub fn single(core: CoreId) -> Self {
-        CoreSet(1 << core.0)
+        let mut s = CoreSet::EMPTY;
+        s.insert(core);
+        s
     }
 
     /// A set containing all of the first `n` cores.
     #[inline]
     pub fn all(n: usize) -> Self {
-        debug_assert!(n <= 16);
-        if n == 16 {
-            CoreSet(u16::MAX)
-        } else {
-            CoreSet((1u16 << n) - 1)
+        debug_assert!(n <= MAX_CORES);
+        let mut words = [0u64; SET_WORDS];
+        for (w, word) in words.iter_mut().enumerate() {
+            let lo = w * 64;
+            if n >= lo + 64 {
+                *word = u64::MAX;
+            } else if n > lo {
+                *word = (1u64 << (n - lo)) - 1;
+            }
         }
+        CoreSet(words)
     }
 
     /// Whether `core` is a member.
     #[inline]
     pub fn contains(self, core: CoreId) -> bool {
-        self.0 & (1 << core.0) != 0
+        let i = core.index();
+        i < MAX_CORES && self.0[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// Insert a core.
     #[inline]
     pub fn insert(&mut self, core: CoreId) {
-        self.0 |= 1 << core.0;
+        let i = core.index();
+        debug_assert!(i < MAX_CORES, "core {core} beyond CoreSet capacity");
+        self.0[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Remove a core.
     #[inline]
     pub fn remove(&mut self, core: CoreId) {
-        self.0 &= !(1 << core.0);
+        let i = core.index();
+        debug_assert!(i < MAX_CORES, "core {core} beyond CoreSet capacity");
+        self.0[i / 64] &= !(1u64 << (i % 64));
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; SET_WORDS]
     }
 
     /// Number of member cores.
     #[inline]
     pub fn len(self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Iterate over member cores in ascending order.
     pub fn iter(self) -> impl Iterator<Item = CoreId> {
-        (0..16u8)
-            .filter(move |&i| self.0 & (1 << i) != 0)
-            .map(CoreId)
+        (0..MAX_CORES)
+            .filter(move |&i| self.0[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(CoreId::from_index)
     }
 }
 
 impl BitOr for CoreSet {
     type Output = CoreSet;
     fn bitor(self, rhs: Self) -> Self {
-        CoreSet(self.0 | rhs.0)
+        let mut w = self.0;
+        for (a, b) in w.iter_mut().zip(rhs.0) {
+            *a |= b;
+        }
+        CoreSet(w)
     }
 }
 
 impl BitOrAssign for CoreSet {
     fn bitor_assign(&mut self, rhs: Self) {
-        self.0 |= rhs.0;
+        *self = *self | rhs;
     }
 }
 
 impl BitAnd for CoreSet {
     type Output = CoreSet;
     fn bitand(self, rhs: Self) -> Self {
-        CoreSet(self.0 & rhs.0)
+        let mut w = self.0;
+        for (a, b) in w.iter_mut().zip(rhs.0) {
+            *a &= b;
+        }
+        CoreSet(w)
     }
 }
 
@@ -139,6 +167,7 @@ mod tests {
         assert!(s.contains(CoreId(7)));
         assert!(!s.contains(CoreId(8)));
         assert_eq!(CoreSet::all(16).len(), 16);
+        assert_eq!(CoreSet::all(256).len(), 256);
     }
 
     #[test]
@@ -172,15 +201,27 @@ mod tests {
         assert_eq!(format!("{s:?}"), "{0,2}");
     }
 
+    #[test]
+    fn covers_the_256_core_ceiling() {
+        let mut s = CoreSet::EMPTY;
+        s.insert(CoreId(255));
+        s.insert(CoreId(64));
+        assert!(s.contains(CoreId(255)));
+        assert!(s.contains(CoreId(64)));
+        assert!(!s.contains(CoreId(63)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId(64), CoreId(255)]);
+    }
+
     proptest! {
         #[test]
-        fn len_matches_iter_count(mask in any::<u16>()) {
-            let s = CoreSet(mask);
+        fn len_matches_iter_count(cores in proptest::collection::vec(0u16..256, 0..20)) {
+            let s: CoreSet = cores.iter().map(|&c| CoreId(c)).collect();
             prop_assert_eq!(s.len(), s.iter().count());
         }
 
         #[test]
-        fn from_iter_contains_all(cores in proptest::collection::vec(0u8..16, 0..10)) {
+        fn from_iter_contains_all(cores in proptest::collection::vec(0u16..256, 0..10)) {
             let s: CoreSet = cores.iter().map(|&c| CoreId(c)).collect();
             for &c in &cores {
                 prop_assert!(s.contains(CoreId(c)));

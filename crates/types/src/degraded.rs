@@ -12,25 +12,40 @@ use crate::ids::BankId;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
+/// Number of `u64` words backing a [`BankMask`].
+const MASK_WORDS: usize = 8;
+
+/// The largest bank count a [`BankMask`] can cover (512 banks = the 256-core
+/// scalability ceiling, banks = 2 × cores).
+pub const MAX_BANKS: usize = MASK_WORDS * 64;
+
 /// A bitmask over the physical banks: bit `b` set means bank `b` is healthy
-/// (online and usable). Supports up to 64 banks, far beyond the 16-bank
-/// baseline and the 32-bank scalability machine.
+/// (online and usable). Backed by a fixed array of words so it stays `Copy`
+/// while covering up to [`MAX_BANKS`] banks — far beyond the 16-bank
+/// baseline, and enough for the 256-core (512-bank) scalability machines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BankMask {
-    bits: u64,
+    words: [u64; MASK_WORDS],
     num_banks: usize,
 }
 
 impl BankMask {
     /// All `num_banks` banks healthy.
     pub fn all_healthy(num_banks: usize) -> Self {
-        assert!(num_banks <= 64, "BankMask supports at most 64 banks");
-        let bits = if num_banks == 64 {
-            u64::MAX
-        } else {
-            (1u64 << num_banks) - 1
-        };
-        BankMask { bits, num_banks }
+        assert!(
+            num_banks <= MAX_BANKS,
+            "BankMask supports at most {MAX_BANKS} banks"
+        );
+        let mut words = [0u64; MASK_WORDS];
+        for (w, word) in words.iter_mut().enumerate() {
+            let lo = w * 64;
+            if num_banks >= lo + 64 {
+                *word = u64::MAX;
+            } else if num_banks > lo {
+                *word = (1u64 << (num_banks - lo)) - 1;
+            }
+        }
+        BankMask { words, num_banks }
     }
 
     /// Number of banks the mask covers (healthy or not).
@@ -38,38 +53,43 @@ impl BankMask {
         self.num_banks
     }
 
-    /// The raw health bits (bit `b` set = bank `b` healthy) — the compact
-    /// form stamped into solver-timing trace events and benchmark rows so
-    /// degraded-mode solve costs are attributable to the mask they ran
-    /// under.
+    /// A compact 64-bit health fingerprint — the form stamped into
+    /// solver-timing trace events and benchmark rows so degraded-mode solve
+    /// costs are attributable to the mask they ran under. For masks of at
+    /// most 64 banks (every machine the trace gates pin) this is exactly the
+    /// raw bit word, bit `b` set = bank `b` healthy; wider masks fold their
+    /// words together with XOR.
     pub fn bits(&self) -> u64 {
-        self.bits
+        self.words.iter().fold(0, |acc, w| acc ^ w)
     }
 
     /// Whether `bank` is healthy.
     pub fn is_healthy(&self, bank: BankId) -> bool {
-        bank.index() < self.num_banks && self.bits & (1 << bank.index()) != 0
+        let b = bank.index();
+        b < self.num_banks && self.words[b / 64] & (1u64 << (b % 64)) != 0
     }
 
     /// Mark `bank` offline. Returns whether the mask changed.
     pub fn disable(&mut self, bank: BankId) -> bool {
-        assert!(bank.index() < self.num_banks, "bank {bank} out of range");
+        let b = bank.index();
+        assert!(b < self.num_banks, "bank {bank} out of range");
         let was = self.is_healthy(bank);
-        self.bits &= !(1 << bank.index());
+        self.words[b / 64] &= !(1u64 << (b % 64));
         was
     }
 
     /// Mark `bank` healthy again. Returns whether the mask changed.
     pub fn enable(&mut self, bank: BankId) -> bool {
-        assert!(bank.index() < self.num_banks, "bank {bank} out of range");
+        let b = bank.index();
+        assert!(b < self.num_banks, "bank {bank} out of range");
         let was = self.is_healthy(bank);
-        self.bits |= 1 << bank.index();
+        self.words[b / 64] |= 1u64 << (b % 64);
         !was
     }
 
     /// Number of healthy banks.
     pub fn healthy_count(&self) -> usize {
-        self.bits.count_ones() as usize
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Number of offline banks.
@@ -85,14 +105,14 @@ impl BankMask {
     /// The offline banks, in ascending order.
     pub fn disabled_banks(&self) -> impl Iterator<Item = BankId> + '_ {
         (0..self.num_banks)
-            .map(|b| BankId(b as u8))
+            .map(BankId::from_index)
             .filter(|&b| !self.is_healthy(b))
     }
 
     /// The healthy banks, in ascending order.
     pub fn healthy_banks(&self) -> impl Iterator<Item = BankId> + '_ {
         (0..self.num_banks)
-            .map(|b| BankId(b as u8))
+            .map(BankId::from_index)
             .filter(|&b| self.is_healthy(b))
     }
 }
@@ -220,5 +240,41 @@ mod tests {
         let json = serde_json::to_string(&mask).unwrap();
         let back: BankMask = serde_json::from_str(&json).unwrap();
         assert_eq!(mask, back);
+    }
+
+    #[test]
+    fn wide_masks_cover_512_banks() {
+        let mut mask = BankMask::all_healthy(512);
+        assert!(mask.is_full());
+        assert_eq!(mask.healthy_count(), 512);
+        // Flip banks in different words.
+        assert!(mask.disable(BankId(0)));
+        assert!(mask.disable(BankId(100)));
+        assert!(mask.disable(BankId(511)));
+        assert_eq!(mask.healthy_count(), 509);
+        assert!(!mask.is_healthy(BankId(100)));
+        assert!(mask.is_healthy(BankId(101)));
+        assert_eq!(
+            mask.disabled_banks().collect::<Vec<_>>(),
+            vec![BankId(0), BankId(100), BankId(511)]
+        );
+        assert!(mask.enable(BankId(100)));
+        assert_eq!(mask.healthy_count(), 510);
+        // Serde survives the wide form too.
+        let json = serde_json::to_string(&mask).unwrap();
+        let back: BankMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(mask, back);
+    }
+
+    #[test]
+    fn bits_fingerprint_matches_raw_word_for_small_masks() {
+        // ≤64-bank masks put every bit in word 0, so the XOR fold reproduces
+        // the historical single-u64 value exactly (trace stamps unchanged).
+        let mut mask = BankMask::all_healthy(16);
+        assert_eq!(mask.bits(), 0xFFFF);
+        mask.disable(BankId(9));
+        assert_eq!(mask.bits(), 0xFFFF & !(1 << 9));
+        let full32 = BankMask::all_healthy(32);
+        assert_eq!(full32.bits(), 0xFFFF_FFFF);
     }
 }

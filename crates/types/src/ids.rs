@@ -3,15 +3,28 @@
 //! Newtypes rather than bare integers: mixing up a core index and a bank
 //! index is an easy and expensive bug in a simulator, and the types cost
 //! nothing at run time.
+//!
+//! Both identifiers are `u16`: the scalability work runs floorplans out to
+//! 256 cores and therefore 512 banks, which silently wraps a `u8` bank id
+//! (the `BankId(cores as u16)` overflow that used to lurk in
+//! `exp_scalability`). `u16` covers every plausible die and keeps the
+//! newtypes `Copy`-cheap.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one processor core (0-based).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct CoreId(pub u8);
+pub struct CoreId(pub u16);
 
 impl CoreId {
+    /// Build from a `usize` index, asserting it fits.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        assert!(i <= u16::MAX as usize, "core index {i} exceeds u16 range");
+        CoreId(i as u16)
+    }
+
     /// The core index as a `usize`, for array indexing.
     #[inline]
     pub fn index(self) -> usize {
@@ -20,7 +33,7 @@ impl CoreId {
 
     /// Iterator over the first `n` core identifiers.
     pub fn all(n: usize) -> impl Iterator<Item = CoreId> {
-        (0..n).map(|i| CoreId(i as u8))
+        (0..n).map(CoreId::from_index)
     }
 }
 
@@ -42,9 +55,16 @@ impl fmt::Display for CoreId {
 /// each core) and banks `8..16` are *Center* banks; see
 /// [`crate::topology::Topology`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct BankId(pub u8);
+pub struct BankId(pub u16);
 
 impl BankId {
+    /// Build from a `usize` index, asserting it fits.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        assert!(i <= u16::MAX as usize, "bank index {i} exceeds u16 range");
+        BankId(i as u16)
+    }
+
     /// The bank index as a `usize`, for array indexing.
     #[inline]
     pub fn index(self) -> usize {
@@ -53,7 +73,7 @@ impl BankId {
 
     /// Iterator over the first `n` bank identifiers.
     pub fn all(n: usize) -> impl Iterator<Item = BankId> {
-        (0..n).map(|i| BankId(i as u8))
+        (0..n).map(BankId::from_index)
     }
 }
 
@@ -106,5 +126,16 @@ mod tests {
     fn ids_are_ordered() {
         assert!(CoreId(1) < CoreId(2));
         assert!(BankId(0) < BankId(15));
+    }
+
+    #[test]
+    fn ids_survive_large_floorplans() {
+        // 256 cores → 512 banks: the range that overflowed the old u8 ids.
+        let banks: Vec<_> = BankId::all(512).collect();
+        assert_eq!(banks.len(), 512);
+        assert_eq!(banks[511], BankId(511));
+        assert_eq!(BankId(511).index(), 511);
+        let cores: Vec<_> = CoreId::all(256).collect();
+        assert_eq!(cores[255], CoreId(255));
     }
 }

@@ -23,9 +23,9 @@ pub mod topology;
 
 pub use addr::{Addr, BlockAddr};
 pub use config::{CacheGeometry, L2Geometry, SystemConfig};
-pub use control::{ControlConfig, DecisionBudget, HysteresisConfig};
+pub use control::{ControlConfig, DecisionBudget, HysteresisConfig, IncrementalConfig};
 pub use coreset::CoreSet;
-pub use degraded::{BankMask, DegradedTopology};
+pub use degraded::{BankMask, DegradedTopology, MAX_BANKS};
 pub use ids::{BankId, CoreId, WayIdx};
 pub use ops::Op;
 pub use qos::{

@@ -1,4 +1,5 @@
-//! Physical floorplan of the baseline CMP (Fig. 1 of the paper).
+//! Physical floorplan of the baseline CMP (Fig. 1 of the paper) and its
+//! parameterized scale-out families.
 //!
 //! The baseline chip has 8 cores and 16 L2 banks. The eight banks physically
 //! adjacent to the cores are *Local* banks; the remaining eight are *Center*
@@ -6,7 +7,7 @@
 //! bank) to 70 cycles (core 0 reaching the Local bank next to core 7 — seven
 //! hops).
 //!
-//! Two floorplan models are provided:
+//! Four floorplan models are provided:
 //!
 //! * [`Floorplan::Chain`] — a 1-D abstraction:
 //!   `hops(core i, Local_j) = |i − j|` (exactly the paper's 0-to-7-hop Local
@@ -21,9 +22,25 @@
 //!   again 7 hops on the 8-core die. Adjacency (who may share a Local
 //!   bank) follows the physical rows, so the top and bottom halves form
 //!   two separate chains.
+//! * [`Floorplan::ClusteredRing`] — the scale-out ring family: cores are
+//!   grouped into contiguous clusters of `cluster_cores` arranged around a
+//!   ring of the whole die. Distances are ring distances over the global
+//!   core index (a chain with wrap-around), so remote clusters are
+//!   genuinely far; *adjacency* (Rule 3 Local-bank sharing) is confined to
+//!   index neighbours **within the same cluster**, and each cluster owns
+//!   its own slice of Center banks. That containment is what lets the MU
+//!   solver decompose exactly per cluster.
+//! * [`Floorplan::ClusteredMesh`] — the scale-out grid family: clusters are
+//!   internally the Fig. 1 mesh of `cluster_cores`, tiled across a
+//!   near-square grid of cluster tiles. Hops are Manhattan distances over
+//!   the tiled grid; adjacency is the intra-cluster mesh adjacency only.
 //!
 //! Bank numbering convention used throughout the workspace: banks `0..n`
 //! are Local (bank *i* local to core *i*), banks `n..2n` are Center.
+//! Cluster `c` of a clustered floorplan owns cores
+//! `c·k .. (c+1)·k`, their Local banks (same indices) and Center banks
+//! `n + c·k .. n + (c+1)·k` — an explicit cluster map, queryable through
+//! [`Topology::cluster_of_core`] and friends.
 
 use crate::ids::{BankId, CoreId};
 use serde::{Deserialize, Serialize};
@@ -50,6 +67,18 @@ pub enum Floorplan {
     /// Explicit Fig. 1 grid: cores on the top/bottom edges, banks in a
     /// `(cores/2) × 4` grid between them, Manhattan-distance hops.
     Mesh,
+    /// Ring of chain clusters: `cluster_cores`-core clusters around a ring,
+    /// ring-distance hops, Rule 3 adjacency confined within clusters.
+    ClusteredRing {
+        /// Cores per cluster (divides the core count).
+        cluster_cores: usize,
+    },
+    /// Grid of mesh clusters: each cluster is the Fig. 1 mesh of
+    /// `cluster_cores`, tiled over a near-square grid of cluster tiles.
+    ClusteredMesh {
+        /// Cores per cluster (even, divides the core count).
+        cluster_cores: usize,
+    },
 }
 
 /// The floorplan: bank classification, hop distances and NUCA latencies.
@@ -95,6 +124,54 @@ impl Topology {
         }
     }
 
+    /// Build a clustered ring: `num_cores` cores in contiguous clusters of
+    /// `cluster_cores`, arranged around a ring.
+    pub fn new_clustered_ring(
+        num_cores: usize,
+        cluster_cores: usize,
+        min_latency: u64,
+        max_latency: u64,
+    ) -> Self {
+        assert!(num_cores >= 4, "clustered ring needs at least four cores");
+        assert!(cluster_cores >= 2, "clusters need at least two cores");
+        assert!(
+            num_cores.is_multiple_of(cluster_cores),
+            "cluster size {cluster_cores} must divide core count {num_cores}"
+        );
+        assert!(max_latency >= min_latency);
+        Topology {
+            num_cores,
+            min_latency,
+            max_latency,
+            kind: Floorplan::ClusteredRing { cluster_cores },
+        }
+    }
+
+    /// Build a clustered mesh: each cluster is the Fig. 1 mesh of
+    /// `cluster_cores` (even, ≥ 4), tiled over a near-square cluster grid.
+    pub fn new_clustered_mesh(
+        num_cores: usize,
+        cluster_cores: usize,
+        min_latency: u64,
+        max_latency: u64,
+    ) -> Self {
+        assert!(
+            cluster_cores >= 4 && cluster_cores.is_multiple_of(2),
+            "mesh clusters need an even core count ≥ 4"
+        );
+        assert!(
+            num_cores.is_multiple_of(cluster_cores),
+            "cluster size {cluster_cores} must divide core count {num_cores}"
+        );
+        assert!(max_latency >= min_latency);
+        Topology {
+            num_cores,
+            min_latency,
+            max_latency,
+            kind: Floorplan::ClusteredMesh { cluster_cores },
+        }
+    }
+
     /// The paper's baseline: 8 cores, 10–70 cycles, chain model.
     pub fn baseline() -> Self {
         Topology::new(8, 10, 70)
@@ -105,39 +182,131 @@ impl Topology {
         Topology::new_mesh(8, 10, 70)
     }
 
+    /// The scale-out default: a ring of 8-core clusters (each cluster the
+    /// paper's die) with the Table I latency band. `num_cores` must be a
+    /// multiple of 8; this is the floorplan `exp_scalability` sweeps out to
+    /// 256 cores.
+    pub fn ring_of_paper_dies(num_cores: usize) -> Self {
+        Topology::new_clustered_ring(num_cores, 8, 10, 70)
+    }
+
     /// The layout model in use.
     pub fn floorplan(&self) -> Floorplan {
         self.kind
     }
 
-    /// Grid position of a core (mesh model): top row at `y = 0`, bottom row
-    /// at `y = 6`; columns `0..cores/2`.
-    pub fn core_position(&self, core: CoreId) -> (i64, i64) {
-        let cols = (self.num_cores / 2) as i64;
-        let c = core.index() as i64;
-        if c < cols {
-            (c, 0)
-        } else {
-            (c - cols, 6)
+    /// Cores per cluster: `num_cores` for the single-cluster Chain/Mesh
+    /// models, the configured cluster size for the clustered families.
+    pub fn cluster_cores(&self) -> usize {
+        match self.kind {
+            Floorplan::Chain | Floorplan::Mesh => self.num_cores,
+            Floorplan::ClusteredRing { cluster_cores }
+            | Floorplan::ClusteredMesh { cluster_cores } => cluster_cores,
         }
     }
 
-    /// Grid position of a bank (mesh model): Local banks on rows 1 and 5
-    /// (facing their cores), Center banks on rows 2 and 4 (the middle of
-    /// the die).
-    pub fn bank_position(&self, bank: BankId) -> (i64, i64) {
-        let cols = (self.num_cores / 2) as i64;
-        let b = bank.index() as i64;
-        let n = self.num_cores as i64;
-        if b < cols {
-            (b, 1) // Local banks of the top cores
-        } else if b < n {
-            (b - cols, 5) // Local banks of the bottom cores
-        } else if b < n + cols {
-            (b - n, 2) // Center row facing the top
+    /// Number of clusters in the floorplan (1 for Chain/Mesh).
+    pub fn num_clusters(&self) -> usize {
+        self.num_cores / self.cluster_cores()
+    }
+
+    /// The cluster owning `core`.
+    pub fn cluster_of_core(&self, core: CoreId) -> usize {
+        assert!(core.index() < self.num_cores, "core {core} out of range");
+        core.index() / self.cluster_cores()
+    }
+
+    /// The cluster owning `bank`: a Local bank belongs to its home core's
+    /// cluster; Center bank `n + j` belongs to the cluster of core `j` —
+    /// each cluster brings its own slice of Center capacity.
+    pub fn cluster_of_bank(&self, bank: BankId) -> usize {
+        let b = bank.index();
+        assert!(b < self.num_banks(), "bank {bank} out of range");
+        let j = if b < self.num_cores {
+            b
         } else {
-            (b - n - cols, 4) // Center row facing the bottom
+            b - self.num_cores
+        };
+        j / self.cluster_cores()
+    }
+
+    /// The cores of cluster `cluster`, in ascending order.
+    pub fn cores_in_cluster(&self, cluster: usize) -> impl Iterator<Item = CoreId> {
+        assert!(cluster < self.num_clusters(), "cluster out of range");
+        let k = self.cluster_cores();
+        (cluster * k..(cluster + 1) * k).map(CoreId::from_index)
+    }
+
+    /// The Local banks of cluster `cluster`, in ascending order.
+    pub fn local_banks_in_cluster(&self, cluster: usize) -> impl Iterator<Item = BankId> {
+        assert!(cluster < self.num_clusters(), "cluster out of range");
+        let k = self.cluster_cores();
+        (cluster * k..(cluster + 1) * k).map(BankId::from_index)
+    }
+
+    /// The Center banks of cluster `cluster`, in ascending order.
+    pub fn center_banks_in_cluster(&self, cluster: usize) -> impl Iterator<Item = BankId> {
+        assert!(cluster < self.num_clusters(), "cluster out of range");
+        let k = self.cluster_cores();
+        let n = self.num_cores;
+        (n + cluster * k..n + (cluster + 1) * k).map(BankId::from_index)
+    }
+
+    /// Grid position of a core (mesh models). Single mesh: top row at
+    /// `y = 0`, bottom row at `y = 6`, columns `0..cores/2`. Clustered
+    /// mesh: the intra-cluster position offset by the cluster tile.
+    pub fn core_position(&self, core: CoreId) -> (i64, i64) {
+        let c = core.index();
+        match self.kind {
+            Floorplan::ClusteredMesh { cluster_cores } => {
+                let (gx, gy) = self.cluster_tile(c / cluster_cores);
+                let (ix, iy) = mesh_core_pos(c % cluster_cores, cluster_cores);
+                (gx * (cluster_cores / 2) as i64 + ix, gy * 7 + iy)
+            }
+            _ => mesh_core_pos(c, self.num_cores),
         }
+    }
+
+    /// Grid position of a bank (mesh models): Local banks on rows 1 and 5
+    /// (facing their cores), Center banks on rows 2 and 4 (the middle of
+    /// the die) — per cluster tile in the clustered family.
+    pub fn bank_position(&self, bank: BankId) -> (i64, i64) {
+        let b = bank.index();
+        match self.kind {
+            Floorplan::ClusteredMesh { cluster_cores } => {
+                let cl = self.cluster_of_bank(bank);
+                let (gx, gy) = self.cluster_tile(cl);
+                let intra = if b < self.num_cores {
+                    // Local bank: intra-cluster Local index.
+                    b % cluster_cores
+                } else {
+                    // Center bank: intra-cluster Center index, offset past
+                    // the cluster's Locals in the single-mesh numbering.
+                    cluster_cores + (b - self.num_cores) % cluster_cores
+                };
+                let (ix, iy) = mesh_bank_pos(intra, cluster_cores);
+                (gx * (cluster_cores / 2) as i64 + ix, gy * 7 + iy)
+            }
+            _ => mesh_bank_pos(b, self.num_cores),
+        }
+    }
+
+    /// Grid coordinates of a cluster tile (clustered mesh): clusters tile a
+    /// near-square `cols × rows` grid, row-major.
+    fn cluster_tile(&self, cluster: usize) -> (i64, i64) {
+        let cols = self.cluster_grid_cols();
+        ((cluster % cols) as i64, (cluster / cols) as i64)
+    }
+
+    /// Columns of the cluster-tile grid (clustered mesh).
+    fn cluster_grid_cols(&self) -> usize {
+        let c = self.num_clusters();
+        ((c as f64).sqrt().ceil() as usize).max(1)
+    }
+
+    /// Rows of the cluster-tile grid (clustered mesh).
+    fn cluster_grid_rows(&self) -> usize {
+        self.num_clusters().div_ceil(self.cluster_grid_cols())
     }
 
     /// Number of cores.
@@ -156,7 +325,7 @@ impl Topology {
         assert!(b < self.num_banks(), "bank {bank} out of range");
         if b < self.num_cores {
             BankKind::Local {
-                home: CoreId(b as u8),
+                home: CoreId::from_index(b),
             }
         } else {
             BankKind::Center
@@ -171,12 +340,18 @@ impl Topology {
 
     /// Iterator over all Center banks.
     pub fn center_banks(&self) -> impl Iterator<Item = BankId> + '_ {
-        (self.num_cores..self.num_banks()).map(|b| BankId(b as u8))
+        (self.num_cores..self.num_banks()).map(BankId::from_index)
     }
 
     /// Iterator over all Local banks.
     pub fn local_banks(&self) -> impl Iterator<Item = BankId> + '_ {
-        (0..self.num_cores).map(|b| BankId(b as u8))
+        (0..self.num_cores).map(BankId::from_index)
+    }
+
+    /// Ring distance between two core indices (clustered ring).
+    fn ring_dist(&self, a: usize, b: usize) -> u64 {
+        let d = a.abs_diff(b);
+        d.min(self.num_cores - d) as u64
     }
 
     /// Hop count between a core and a bank (see module docs for the model).
@@ -191,7 +366,14 @@ impl Topology {
                     1 + (c.abs_diff(j) as u64).div_ceil(2)
                 }
             },
-            Floorplan::Mesh => {
+            Floorplan::ClusteredRing { .. } => match self.bank_kind(bank) {
+                BankKind::Local { home } => self.ring_dist(c, home.index()),
+                BankKind::Center => {
+                    let j = bank.index() - self.num_cores;
+                    1 + self.ring_dist(c, j).div_ceil(2)
+                }
+            },
+            Floorplan::Mesh | Floorplan::ClusteredMesh { .. } => {
                 let (cx, cy) = self.core_position(core);
                 let (bx, by) = self.bank_position(bank);
                 // Manhattan distance, normalised so the closest (own Local)
@@ -205,9 +387,18 @@ impl Topology {
     pub fn max_hops(&self) -> u64 {
         match self.kind {
             Floorplan::Chain => (self.num_cores - 1) as u64,
+            // Half-way around the ring is as far as it gets.
+            Floorplan::ClusteredRing { .. } => (self.num_cores / 2) as u64,
             // Corner core to the far corner's Local bank:
             // (cols − 1) columns + 5 rows, minus the normalisation.
             Floorplan::Mesh => (self.num_cores / 2 - 1) as u64 + 4,
+            // Corner core (top-left tile, y = 0) to the far corner tile's
+            // bottom Local row (y = 5 within its tile).
+            Floorplan::ClusteredMesh { cluster_cores } => {
+                let span_x = (self.cluster_grid_cols() * (cluster_cores / 2) - 1) as u64;
+                let span_y = ((self.cluster_grid_rows() - 1) * 7 + 5) as u64;
+                span_x + span_y - 1
+            }
         }
     }
 
@@ -221,7 +412,9 @@ impl Topology {
 
     /// Whether two cores are adjacent in the floorplan (may share a Local
     /// bank under Rule 3). In the chain model `|a − b| == 1`; in the mesh,
-    /// neighbours along the same die edge.
+    /// neighbours along the same die edge. In the clustered families,
+    /// adjacency never crosses a cluster boundary — the containment that
+    /// lets the solver shard per cluster.
     pub fn adjacent(&self, a: CoreId, b: CoreId) -> bool {
         match self.kind {
             Floorplan::Chain => a.index().abs_diff(b.index()) == 1,
@@ -230,15 +423,65 @@ impl Topology {
                 let same_edge = (a.index() < cols) == (b.index() < cols);
                 same_edge && a.index().abs_diff(b.index()) == 1
             }
+            Floorplan::ClusteredRing { cluster_cores } => {
+                let same_cluster = a.index() / cluster_cores == b.index() / cluster_cores;
+                same_cluster && a.index().abs_diff(b.index()) == 1
+            }
+            Floorplan::ClusteredMesh { cluster_cores } => {
+                let same_cluster = a.index() / cluster_cores == b.index() / cluster_cores;
+                let (ia, ib) = (a.index() % cluster_cores, b.index() % cluster_cores);
+                let cols = cluster_cores / 2;
+                let same_edge = (ia < cols) == (ib < cols);
+                same_cluster && same_edge && ia.abs_diff(ib) == 1
+            }
         }
     }
 
-    /// The cores adjacent to `core` (one or two).
+    /// The cores adjacent to `core` (one or two), in ascending order.
+    ///
+    /// Adjacency in every floorplan family requires `|a − b| == 1` (the
+    /// mesh and clustered variants only *add* same-edge / same-cluster
+    /// constraints), so only the two index neighbours can ever qualify —
+    /// checked in O(1) rather than scanning all cores, which matters in
+    /// the solver's inner bidding loops.
     pub fn neighbours(&self, core: CoreId) -> Vec<CoreId> {
-        (0..self.num_cores)
-            .map(|i| CoreId(i as u8))
-            .filter(|&d| self.adjacent(core, d))
-            .collect()
+        let c = core.index();
+        let mut out = Vec::with_capacity(2);
+        if c > 0 && self.adjacent(core, CoreId::from_index(c - 1)) {
+            out.push(CoreId::from_index(c - 1));
+        }
+        if c + 1 < self.num_cores && self.adjacent(core, CoreId::from_index(c + 1)) {
+            out.push(CoreId::from_index(c + 1));
+        }
+        out
+    }
+}
+
+/// Intra-mesh core position for a `num_cores`-core Fig. 1 mesh.
+fn mesh_core_pos(core: usize, num_cores: usize) -> (i64, i64) {
+    let cols = (num_cores / 2) as i64;
+    let c = core as i64;
+    if c < cols {
+        (c, 0)
+    } else {
+        (c - cols, 6)
+    }
+}
+
+/// Intra-mesh bank position for a `num_cores`-core Fig. 1 mesh (Local banks
+/// on rows 1/5, Center banks on rows 2/4).
+fn mesh_bank_pos(bank: usize, num_cores: usize) -> (i64, i64) {
+    let cols = (num_cores / 2) as i64;
+    let b = bank as i64;
+    let n = num_cores as i64;
+    if b < cols {
+        (b, 1) // Local banks of the top cores
+    } else if b < n {
+        (b - cols, 5) // Local banks of the bottom cores
+    } else if b < n + cols {
+        (b - n, 2) // Center row facing the top
+    } else {
+        (b - n - cols, 4) // Center row facing the bottom
     }
 }
 
@@ -373,16 +616,148 @@ mod tests {
         assert_eq!(t.center_banks().count(), 16);
     }
 
+    #[test]
+    fn single_cluster_floorplans_have_trivial_cluster_map() {
+        for t in [Topology::baseline(), Topology::mesh_baseline()] {
+            assert_eq!(t.num_clusters(), 1);
+            assert_eq!(t.cluster_cores(), 8);
+            assert_eq!(t.cluster_of_core(CoreId(7)), 0);
+            assert_eq!(t.cluster_of_bank(BankId(15)), 0);
+            assert_eq!(t.cores_in_cluster(0).count(), 8);
+            assert_eq!(t.center_banks_in_cluster(0).count(), 8);
+            assert_eq!(
+                t.center_banks_in_cluster(0).collect::<Vec<_>>(),
+                t.center_banks().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_ring_cluster_map() {
+        // 32 cores = 4 ring clusters of 8 (each the paper's die).
+        let t = Topology::ring_of_paper_dies(32);
+        assert_eq!(t.num_banks(), 64);
+        assert_eq!(t.num_clusters(), 4);
+        assert_eq!(t.cluster_cores(), 8);
+        assert_eq!(t.cluster_of_core(CoreId(0)), 0);
+        assert_eq!(t.cluster_of_core(CoreId(15)), 1);
+        assert_eq!(t.cluster_of_core(CoreId(31)), 3);
+        // Local bank of core 20 → cluster 2; Center bank 32+20 → cluster 2.
+        assert_eq!(t.cluster_of_bank(BankId(20)), 2);
+        assert_eq!(t.cluster_of_bank(BankId(52)), 2);
+        assert_eq!(
+            t.cores_in_cluster(1).collect::<Vec<_>>(),
+            (8..16).map(CoreId::from_index).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            t.center_banks_in_cluster(1).collect::<Vec<_>>(),
+            (40..48).map(BankId::from_index).collect::<Vec<_>>()
+        );
+        // Cluster slices partition the banks exactly.
+        let mut all: Vec<BankId> = (0..4)
+            .flat_map(|cl| {
+                t.local_banks_in_cluster(cl)
+                    .chain(t.center_banks_in_cluster(cl))
+            })
+            .collect();
+        all.sort();
+        assert_eq!(all, BankId::all(64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clustered_adjacency_never_crosses_clusters() {
+        let t = Topology::ring_of_paper_dies(32);
+        // Within a cluster: chain adjacency.
+        assert!(t.adjacent(CoreId(8), CoreId(9)));
+        assert!(t.adjacent(CoreId(14), CoreId(15)));
+        // Across the cluster boundary: physically next to each other on the
+        // ring, but NOT Rule 3 adjacent.
+        assert!(!t.adjacent(CoreId(7), CoreId(8)));
+        assert!(!t.adjacent(CoreId(15), CoreId(16)));
+        assert!(!t.adjacent(CoreId(31), CoreId(0)));
+        for a in CoreId::all(32) {
+            for b in t.neighbours(a) {
+                assert_eq!(t.cluster_of_core(a), t.cluster_of_core(b));
+            }
+        }
+        // Same containment on the clustered mesh.
+        let m = Topology::new_clustered_mesh(32, 8, 10, 70);
+        for a in CoreId::all(32) {
+            for b in m.neighbours(a) {
+                assert_eq!(m.cluster_of_core(a), m.cluster_of_core(b));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_ring_distances_and_latencies() {
+        let t = Topology::ring_of_paper_dies(32);
+        // Own Local bank: zero hops, min latency.
+        for c in CoreId::all(32) {
+            assert_eq!(t.hops(c, t.local_bank(c)), 0);
+            assert_eq!(t.latency(c, t.local_bank(c)), 10);
+        }
+        // Ring wrap-around: core 0 and core 31's Local bank are 1 hop apart.
+        assert_eq!(t.hops(CoreId(0), BankId(31)), 1);
+        // Half-way around is the maximum.
+        assert_eq!(t.hops(CoreId(0), BankId(16)), 16);
+        assert_eq!(t.max_hops(), 16);
+        assert_eq!(t.latency(CoreId(0), BankId(16)), 70);
+        // Everything stays in the Table I band.
+        for c in CoreId::all(32) {
+            for b in BankId::all(64) {
+                let l = t.latency(c, b);
+                assert!((10..=70).contains(&l), "{c} {b}: {l}");
+            }
+        }
+        // A cluster's own Center banks are closer than a remote cluster's.
+        let own = t.latency(CoreId(0), BankId(32));
+        let remote = t.latency(CoreId(0), BankId(48));
+        assert!(own < remote, "own {own} vs remote {remote}");
+    }
+
+    #[test]
+    fn clustered_mesh_distances_stay_in_band() {
+        let t = Topology::new_clustered_mesh(64, 8, 10, 70);
+        assert_eq!(t.num_clusters(), 8);
+        for c in CoreId::all(64) {
+            assert_eq!(t.hops(c, t.local_bank(c)), 0, "{c}");
+            assert_eq!(t.latency(c, t.local_bank(c)), 10);
+        }
+        for c in [CoreId(0), CoreId(31), CoreId(63)] {
+            for b in BankId::all(128) {
+                let h = t.hops(c, b);
+                assert!(h <= t.max_hops(), "{c} {b}: {h} > {}", t.max_hops());
+                let l = t.latency(c, b);
+                assert!((10..=70).contains(&l), "{c} {b}: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_scales_to_256_cores() {
+        let t = Topology::ring_of_paper_dies(256);
+        assert_eq!(t.num_banks(), 512);
+        assert_eq!(t.num_clusters(), 32);
+        assert_eq!(t.cluster_of_core(CoreId(255)), 31);
+        assert_eq!(t.cluster_of_bank(BankId(511)), 31);
+        assert_eq!(t.hops(CoreId(0), t.local_bank(CoreId(0))), 0);
+        for b in [BankId(0), BankId(255), BankId(256), BankId(511)] {
+            let l = t.latency(CoreId(128), b);
+            assert!((10..=70).contains(&l), "{b}: {l}");
+        }
+    }
+
     proptest! {
         #[test]
-        fn latency_always_within_table1_range(core in 0u8..8, bank in 0u8..16) {
+        fn latency_always_within_table1_range(core in 0u16..8, bank in 0u16..16) {
             let t = Topology::baseline();
             let l = t.latency(CoreId(core), BankId(bank));
             prop_assert!((10..=70).contains(&l));
         }
 
         #[test]
-        fn latency_monotone_in_hops(core in 0u8..8, a in 0u8..16, b in 0u8..16) {
+        fn latency_monotone_in_hops(core in 0u16..8, a in 0u16..16, b in 0u16..16) {
             let t = Topology::baseline();
             let (c, a, b) = (CoreId(core), BankId(a), BankId(b));
             if t.hops(c, a) <= t.hops(c, b) {
@@ -391,12 +766,47 @@ mod tests {
         }
 
         #[test]
-        fn local_hops_symmetric(i in 0u8..8, j in 0u8..8) {
+        fn local_hops_symmetric(i in 0u16..8, j in 0u16..8) {
             let t = Topology::baseline();
             prop_assert_eq!(
                 t.hops(CoreId(i), BankId(j)),
                 t.hops(CoreId(j), BankId(i))
             );
+        }
+
+        #[test]
+        fn clustered_ring_latency_in_band(core in 0u16..32, bank in 0u16..64) {
+            let t = Topology::ring_of_paper_dies(32);
+            let l = t.latency(CoreId(core), BankId(bank));
+            prop_assert!((10..=70).contains(&l));
+        }
+
+        #[test]
+        fn neighbours_match_brute_force_scan(core in 0u16..64) {
+            // The O(1) index-neighbour shortcut must agree with filtering
+            // every core through `adjacent` on all four floorplan families.
+            for t in [
+                Topology::new(64, 10, 70),
+                Topology::new_mesh(64, 10, 70),
+                Topology::ring_of_paper_dies(64),
+                Topology::new_clustered_mesh(64, 8, 10, 70),
+            ] {
+                let c = CoreId(core);
+                let brute: Vec<CoreId> = (0..64)
+                    .map(CoreId::from_index)
+                    .filter(|&d| t.adjacent(c, d))
+                    .collect();
+                prop_assert_eq!(t.neighbours(c), brute);
+            }
+        }
+
+        #[test]
+        fn cluster_map_is_consistent(core in 0u16..64) {
+            let t = Topology::ring_of_paper_dies(64);
+            let c = CoreId(core);
+            let cl = t.cluster_of_core(c);
+            prop_assert!(t.cores_in_cluster(cl).any(|x| x == c));
+            prop_assert_eq!(t.cluster_of_bank(t.local_bank(c)), cl);
         }
     }
 }

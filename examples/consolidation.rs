@@ -101,7 +101,7 @@ fn main() {
     if let Some(plan) = &per_policy[2].1.final_plan {
         println!("\nbank-aware capacity assignment:");
         for (c, name) in names.iter().enumerate() {
-            println!("  {name:<11}: {:>3} ways", plan.ways_of(CoreId(c as u8)));
+            println!("  {name:<11}: {:>3} ways", plan.ways_of(CoreId(c as u16)));
         }
     }
     println!("\nThe streamer (analytics) gets confined; the database and the");

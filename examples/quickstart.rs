@@ -50,7 +50,7 @@ fn main() {
             if let Some(plan) = &result.final_plan {
                 println!("\nfinal bank-aware assignment:");
                 for (c, name) in mix.iter().enumerate() {
-                    let ways = plan.ways_of(bankaware::types::CoreId(c as u8));
+                    let ways = plan.ways_of(bankaware::types::CoreId(c as u16));
                     println!("  core{c} ({name:<9}): {ways:>3} ways");
                 }
             }

@@ -170,7 +170,7 @@ fn cmd_partition(names: &[String], flags: &Flags) {
         println!(
             "  core{c} {:<10} {:>3} ways  [{}]",
             name,
-            plan.ways_of(CoreId(c as u8)),
+            plan.ways_of(CoreId(c as u16)),
             allocs.join(", ")
         );
     }

@@ -54,7 +54,7 @@ fn policy_ordering_matches_the_paper() {
 fn bank_aware_assignment_tracks_appetite() {
     let r = System::new(opts(Policy::BankAware), thrash_mix()).run();
     let plan = r.final_plan.expect("bank-aware installs a plan");
-    let ways = |c: u8| plan.ways_of(CoreId(c));
+    let ways = |c: u16| plan.ways_of(CoreId(c));
     // twolf (deep elastic reuse) must hold more capacity than eon (tiny).
     assert!(ways(1) > ways(7), "twolf {} vs eon {}", ways(1), ways(7));
     // Everyone keeps something; the whole cache is assigned.

@@ -33,7 +33,7 @@ fn profiles_feed_both_algorithms_consistently() {
 
     // Both algorithms agree on the big picture: the deep-reuse core (twolf,
     // index 1) ranks near the top in both assignments.
-    let ba: Vec<usize> = (0..8).map(|c| plan.ways_of(CoreId(c as u8))).collect();
+    let ba: Vec<usize> = (0..8).map(|c| plan.ways_of(CoreId(c as u16))).collect();
     assert!(unres[1] >= 24, "unrestricted twolf share: {unres:?}");
     assert!(ba[1] >= 24, "bank-aware twolf share: {ba:?}");
     // And the restricted projection can never beat the unrestricted one.

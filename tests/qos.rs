@@ -167,7 +167,7 @@ proptest! {
         bank_offline_prob in 0.0f64..0.2,
         epoch_drop_prob in 0.0f64..0.3,
         curve_corruption_prob in 0.0f64..0.5,
-        forced_bank in 0u8..16,
+        forced_bank in 0u16..16,
     ) {
         let mut o = opts();
         o.seed = seed;

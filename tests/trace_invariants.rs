@@ -144,7 +144,7 @@ proptest! {
             _ => None,
         });
         let expected: Vec<usize> = (0..NUM_CORES)
-            .map(|c| plan.ways_of(bankaware::types::CoreId(c as u8)))
+            .map(|c| plan.ways_of(bankaware::types::CoreId(c as u16)))
             .collect();
         prop_assert_eq!(closing, Some(expected));
     }
@@ -165,7 +165,7 @@ proptest! {
         bank_offline_prob in 0.0f64..0.3,
         epoch_drop_prob in 0.0f64..0.3,
         curve_corruption_prob in 0.0f64..0.5,
-        forced_bank in 0u8..16,
+        forced_bank in 0u16..16,
     ) {
         let mut opts = SimOptions::new(SystemConfig::scaled(64), Policy::BankAware);
         opts.config.epoch_cycles = 15_000;

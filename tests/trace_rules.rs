@@ -222,7 +222,7 @@ fn every_center_grant_carries_a_rule1_application_and_rule2_completion() {
     let curves = vec![knee(1000.0, 10.0, 40); 8];
     let (plan, events) = solve_traced(&curves, &healthy(), &BankAwareConfig::default());
     for c in 0..8 {
-        assert_eq!(plan.ways_of(CoreId(c as u8)), 16);
+        assert_eq!(plan.ways_of(CoreId(c as u16)), 16);
     }
     let grants: Vec<(usize, usize)> = events
         .iter()
