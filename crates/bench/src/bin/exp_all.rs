@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ablate_dram",
     "exp_ablate_isolation",
     "exp_validation",
+    "exp_serve",
 ];
 
 fn main() {

@@ -478,6 +478,28 @@ impl PartitionPlan {
         }
         churn
     }
+
+    /// Deterministic FNV-1a fingerprint of the plan's physical shape — the
+    /// per-core `(bank, ways)` allocation lists in order. Two plans compare
+    /// equal under `==` iff their fingerprints match on non-colliding
+    /// inputs, and the value is stable across processes and platforms
+    /// (unlike `DefaultHasher`, which is randomly keyed), so it can travel
+    /// on the wire: the controller's flip-flop detector, the serve
+    /// protocol's `fingerprint` response fields and the determinism test
+    /// tier all compare this one number.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for (c, allocs) in self.per_core.iter().enumerate() {
+            h = (h ^ (c as u64 | 0x8000_0000_0000_0000)).wrapping_mul(PRIME);
+            for a in allocs {
+                h = (h ^ a.bank.index() as u64).wrapping_mul(PRIME);
+                h = (h ^ a.ways as u64).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
 }
 
 /// Per-bank inverted view of a [`PartitionPlan`], built once by

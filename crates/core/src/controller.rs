@@ -91,6 +91,20 @@ pub enum PlanSource {
     Slo,
 }
 
+impl PlanSource {
+    /// Stable lower-case label (wire protocol `source` fields, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanSource::None => "none",
+            PlanSource::Equal => "equal",
+            PlanSource::Solver => "solver",
+            PlanSource::Repair => "repair",
+            PlanSource::EqualFallback => "equal_fallback",
+            PlanSource::Slo => "slo",
+        }
+    }
+}
+
 /// The mutable hysteresis state machine (serialized with the controller so
 /// checkpoint/restore resumes hold-offs and flip histories exactly).
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -107,21 +121,12 @@ struct HysteresisState {
     curves_at_install: Option<Vec<MissRatioCurve>>,
 }
 
-/// Deterministic FNV-1a signature of a plan's physical shape, for flip-flop
-/// detection. (`DefaultHasher` is randomly keyed per process and would make
-/// hold-off behaviour non-reproducible.)
+/// Deterministic signature of a plan's physical shape, for flip-flop
+/// detection — [`PartitionPlan::fingerprint`], which is process-stable
+/// (unlike `DefaultHasher`) and shared with the serve wire protocol so
+/// server clients and the hysteresis gate agree on plan identity.
 fn plan_signature(plan: &PartitionPlan) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for (c, allocs) in plan.per_core.iter().enumerate() {
-        h = (h ^ (c as u64 | 0x8000_0000_0000_0000)).wrapping_mul(PRIME);
-        for a in allocs {
-            h = (h ^ a.bank.index() as u64).wrapping_mul(PRIME);
-            h = (h ^ a.ways as u64).wrapping_mul(PRIME);
-        }
-    }
-    h
+    plan.fingerprint()
 }
 
 /// The controller: per-core profilers plus the repartitioning logic.

@@ -13,13 +13,16 @@
 //! * [`incremental`] — the warm-start solver: caches per-cluster sub-plans
 //!   across epochs and re-solves only the clusters whose curves moved;
 //! * [`projection`] — MSA-projected system miss rates for whole assignments
-//!   (the Monte Carlo evaluator of Fig. 7 is built on this).
+//!   (the Monte Carlo evaluator of Fig. 7 is built on this);
+//! * [`serve`] — the controller wrapped for multi-tenant use: the batched,
+//!   deterministic decision service behind `bap serve`.
 
 pub mod bank_aware;
 pub mod controller;
 pub mod incremental;
 pub mod projection;
 pub mod qos;
+pub mod serve;
 pub mod unrestricted;
 
 pub use bank_aware::{
@@ -31,4 +34,5 @@ pub use controller::{Controller, PlanSource, Policy};
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use projection::{projected_misses, projected_plan_misses, projected_total_misses};
 pub use qos::{admit_cores, build_qos_plan, core_bound, AdmissionOutcome, QosState};
+pub use serve::{DecisionService, ServeClient, ServeConfig, Server};
 pub use unrestricted::{unrestricted_partition, unrestricted_partition_traced};

@@ -1,0 +1,1033 @@
+//! The batched, concurrent partitioning-decision service behind
+//! `bap serve` — the [`crate::Controller`] wrapped for multi-tenant use.
+//!
+//! The paper's controller makes one decision per epoch for one machine.
+//! This module serves that decision loop to many *sessions* (independent
+//! machines, each a clustered ring floorplan with its own controller,
+//! warm-start solver state and trace summary) behind the JSONL wire
+//! protocol of [`bap_trace::wire`]:
+//!
+//! * **Batching** — concurrent requests are collected into one batch per
+//!   *epoch tick*. [`DecisionService::process_batch`] is the pure,
+//!   deterministic core: it orders the batch by client-assigned request
+//!   id and applies it in three phases (session lifecycle → per-session
+//!   decision work → service-wide queries), so the responses depend only
+//!   on the id-ordered per-session request sequences — never on arrival
+//!   interleaving, batch boundaries, or the concurrency level that
+//!   delivered them (`tests/serve.rs` proves this bit-identically).
+//! * **Fan-out** — distinct sessions are independent, so a batch's
+//!   decision work fans out across cores on the rayon pool, one task per
+//!   session; within a session, requests apply serially in id order.
+//! * **Warm starts** — sessions run the [`crate::IncrementalSolver`] with
+//!   a zero delta threshold, so steady-state decisions reuse cluster
+//!   sub-plans bit-identically to a cold solve at a fraction of the cost.
+//! * **Restarts** — [`DecisionService::checkpoint`] captures every
+//!   session (warm solver state included) as a `bap-recovery`
+//!   [`Checkpoint`]; restoring yields a server that answers its next
+//!   snapshot exactly as the original would have, with no warmup.
+//! * **Graceful shutdown** — a [`RequestKind::Shutdown`] is served like
+//!   any other request, but the [`Server`] drains the in-flight requests
+//!   that share its final batch before the worker exits, so every
+//!   accepted request is answered.
+//!
+//! [`Server`] adds the concurrency shell: a worker thread owning the
+//! service, an mpsc queue whose natural backlog forms the batches, and
+//! cloneable blocking [`ServeClient`] handles for client threads. The
+//! stdin-JSONL and TCP front ends in `src/bin/bap.rs` are thin adapters
+//! over these two layers.
+
+use crate::bank_aware::{try_bank_aware_partition, BankAwareConfig};
+use crate::controller::{Controller, Policy};
+use bap_cache::PartitionPlan;
+use bap_msa::{EngineKind, MissRatioCurve, ProfilerConfig};
+use bap_recovery::{Checkpoint, RecoveryError, RecoveryManager, RecoveryRung};
+use bap_trace::wire::{
+    RequestKind, ResponseKind, WireCurve, WireRequest, WireResponse, WireSummary,
+};
+use bap_trace::{EventKind, NoopSink, Tracer};
+use bap_types::{ControlConfig, DegradedTopology, Topology};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Tunables of the decision service. The defaults mirror the experiment
+/// fleet: 8-way banks, the reference profiler geometry, and warm starts
+/// on (threshold 0 — bit-identical reuse, proven in PR 7).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Ways per L2 bank on every session's machine.
+    pub bank_ways: usize,
+    /// Profiler sets per session core (reference geometry).
+    pub profiler_sets: usize,
+    /// Profiler way depth per session core.
+    pub profiler_max_ways: usize,
+    /// Bank-aware solver tunables shared by all sessions.
+    pub solver: BankAwareConfig,
+    /// Control-loop bundle each session's controller runs under.
+    pub control: ControlConfig,
+    /// Checkpoints retained in the in-memory recovery ring.
+    pub history: usize,
+    /// When set, every [`RequestKind::Checkpoint`] also persists the
+    /// checkpoint to this file (atomic tmp+rename), and
+    /// [`DecisionService::restore_from_path`] can cold-start from it.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Largest session machine an `Open` may request.
+    pub max_cores: usize,
+    /// Service-level trace handle (batch/checkpoint/drain events). Session
+    /// controllers get their own summary-only tracers regardless.
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bank_ways: 8,
+            profiler_sets: 64,
+            profiler_max_ways: 72,
+            solver: BankAwareConfig::default(),
+            control: ControlConfig::default().with_warm_starts(),
+            history: 4,
+            checkpoint_path: None,
+            max_cores: 256,
+            tracer: Tracer::off(),
+        }
+    }
+}
+
+/// One tenant: a controller on its own clustered ring floorplan, plus the
+/// summary-only tracer that accumulates its decision story.
+struct SessionState {
+    cores: usize,
+    bank_ways: usize,
+    topo: Topology,
+    controller: Controller,
+    tracer: Tracer,
+}
+
+impl SessionState {
+    fn new(cores: usize, cfg: &ServeConfig) -> Self {
+        let topo = Topology::ring_of_paper_dies(cores);
+        // Serve sessions take their curves over the wire; the profilers
+        // never observe an access, so run the allocation-free Naive
+        // engine — a Fenwick engine would fault in megabytes of stack
+        // state per session for nothing, and session open is on the
+        // serving path.
+        let profiler_cfg = ProfilerConfig::reference(cfg.profiler_sets, cfg.profiler_max_ways)
+            .with_engine(EngineKind::Naive);
+        let mut controller = Controller::new(
+            Policy::BankAware,
+            topo.clone(),
+            cfg.bank_ways,
+            profiler_cfg,
+            cfg.solver,
+        );
+        controller.set_control(cfg.control);
+        // A NoopSink tracer retains no events but still counts the
+        // summary — the cheap way to give every decision response its
+        // per-session decision story.
+        let tracer = Tracer::new(Box::new(NoopSink));
+        controller.set_tracer(tracer.clone());
+        SessionState {
+            cores,
+            bank_ways: cfg.bank_ways,
+            topo,
+            controller,
+            tracer,
+        }
+    }
+
+    fn summary(&self) -> WireSummary {
+        self.tracer
+            .summary()
+            .map(|s| WireSummary::from_summary(&s))
+            .unwrap_or_default()
+    }
+}
+
+/// Total ways per core of a plan (the wire view of an assignment).
+fn per_core_ways(plan: &PartitionPlan) -> Vec<usize> {
+    plan.per_core
+        .iter()
+        .map(|allocs| allocs.iter().map(|a| a.ways).sum())
+        .collect()
+}
+
+/// The `(ways, fingerprint, source)` triple the plan-carrying responses
+/// share; `(empty, 0, "none")` before the first install.
+fn plan_view(ctl: &Controller) -> (Vec<usize>, u64, String) {
+    let source = ctl.plan_source().label().to_string();
+    match ctl.last_plan() {
+        Some(p) => (per_core_ways(p), p.fingerprint(), source),
+        None => (Vec::new(), 0, source),
+    }
+}
+
+fn unknown_session(session: u64) -> ResponseKind {
+    ResponseKind::error(
+        "unknown_session",
+        format!("session {session} was never opened"),
+    )
+}
+
+/// Validate and convert wire curves into solver inputs.
+#[allow(clippy::result_large_err)] // the Err goes straight onto the wire
+fn convert_curves(curves: &[WireCurve], cores: usize) -> Result<Vec<MissRatioCurve>, ResponseKind> {
+    if curves.len() != cores {
+        return Err(ResponseKind::error(
+            "bad_request",
+            format!(
+                "expected {cores} curves (one per core), got {}",
+                curves.len()
+            ),
+        ));
+    }
+    if let Some(i) = curves.iter().position(|c| c.misses.is_empty()) {
+        return Err(ResponseKind::error(
+            "bad_request",
+            format!("curve for core {i} has no miss points"),
+        ));
+    }
+    Ok(curves
+        .iter()
+        .map(|c| MissRatioCurve::from_misses(c.misses.clone(), c.accesses))
+        .collect())
+}
+
+/// Apply one decision request (`Snapshot`/`Evaluate`) to its session.
+/// Runs inside the per-session fan-out task.
+fn apply_decision(
+    s: &mut SessionState,
+    req: &WireRequest,
+    solver: &BankAwareConfig,
+) -> ResponseKind {
+    match &req.kind {
+        RequestKind::Snapshot { session, curves } => {
+            let converted = match convert_curves(curves, s.cores) {
+                Ok(c) => c,
+                Err(e) => return e,
+            };
+            // The controller owns the full epoch pipeline: sanitise →
+            // hysteresis → (warm) solve → SLO gate → install-or-hold.
+            let installed = s.controller.epoch_boundary_with_curves(converted).is_some();
+            let (ways, fingerprint, source) = plan_view(&s.controller);
+            ResponseKind::Decision {
+                session: *session,
+                epoch: s.controller.epochs(),
+                installed,
+                ways,
+                source,
+                fingerprint,
+                summary: s.summary(),
+            }
+        }
+        RequestKind::Evaluate { session, curves } => {
+            let mut converted = match convert_curves(curves, s.cores) {
+                Ok(c) => c,
+                Err(e) => return e,
+            };
+            // What-if solve: sanitise a private copy, solve against the
+            // session's machine under its current bank mask, and throw the
+            // plan away — no session state moves.
+            let quiet = Tracer::off();
+            for (core, c) in converted.iter_mut().enumerate() {
+                c.sanitize_traced(core, &quiet);
+            }
+            let machine = DegradedTopology::new(s.topo.clone(), *s.controller.mask());
+            match try_bank_aware_partition(&converted, &machine, s.bank_ways, solver) {
+                Ok(plan) => ResponseKind::Evaluated {
+                    session: *session,
+                    ways: per_core_ways(&plan),
+                    fingerprint: plan.fingerprint(),
+                },
+                Err(e) => ResponseKind::error("solve_failed", e.to_string()),
+            }
+        }
+        _ => unreachable!("phase 2 only sees decision requests"),
+    }
+}
+
+/// The multi-tenant decision service: every wire request except `Profile`
+/// (which needs the workload catalog and lives in the `bap` front end) is
+/// served here, deterministically, batch by batch.
+pub struct DecisionService {
+    cfg: ServeConfig,
+    sessions: BTreeMap<u64, SessionState>,
+    history: RecoveryManager,
+    tracer: Tracer,
+    /// Epoch ticks (batches) served.
+    tick: u64,
+    /// Requests served in total.
+    requests: u64,
+}
+
+impl DecisionService {
+    /// A fresh service with no sessions.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let history = RecoveryManager::new(cfg.history);
+        let tracer = cfg.tracer.clone();
+        DecisionService {
+            cfg,
+            sessions: BTreeMap::new(),
+            history,
+            tracer,
+            tick: 0,
+            requests: 0,
+        }
+    }
+
+    /// Live sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Epoch ticks (batches) served so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Serve one batch: one epoch tick. Responses come back 1:1 in the
+    /// *input* order of `requests`; internally the batch is applied in
+    /// ascending request-id order (stable on ties), in three phases:
+    ///
+    /// 1. session lifecycle (`Open`), serially;
+    /// 2. decision work (`Snapshot`/`Evaluate`), fanned out across
+    ///    sessions in parallel — within a session, id order;
+    /// 3. queries and service-wide operations (`Plan`, `Stats`,
+    ///    `Checkpoint`, `Shutdown`), serially, observing the post-decision
+    ///    state of the tick.
+    ///
+    /// This makes the responses a pure function of the id-ordered
+    /// per-session request sequences: how requests were split into
+    /// batches, interleaved, or raced by client threads cannot change any
+    /// plan, fingerprint, or error (`tick` fields excepted — the tick is
+    /// honest about how work actually batched).
+    pub fn process_batch(&mut self, requests: &[WireRequest]) -> Vec<WireResponse> {
+        self.tick += 1;
+        let tick = self.tick;
+        let n = requests.len();
+        self.requests += n as u64;
+        self.tracer.begin_epoch(tick);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| requests[i].id);
+        let mut kinds: Vec<Option<ResponseKind>> = (0..n).map(|_| None).collect();
+
+        // Phase 1: session lifecycle, serial in id order, so a Snapshot
+        // batched together with its Open (ids permitting) already works.
+        for &i in &order {
+            if let RequestKind::Open { session, cores } = &requests[i].kind {
+                kinds[i] = Some(self.handle_open(*session, *cores));
+            }
+        }
+
+        // Phase 2: decision work. Group by session preserving id order,
+        // move each touched session behind a Mutex, and fan the groups out
+        // on the rayon pool — sessions are independent, so the parallel
+        // schedule cannot affect any result.
+        let mut by_session: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for &i in &order {
+            match &requests[i].kind {
+                RequestKind::Snapshot { session, .. } | RequestKind::Evaluate { session, .. } => {
+                    by_session.entry(*session).or_default().push(i);
+                }
+                _ => {}
+            }
+        }
+        let mut work: Vec<(u64, Mutex<SessionState>, Vec<usize>)> = Vec::new();
+        for (session, idxs) in by_session {
+            match self.sessions.remove(&session) {
+                Some(state) => work.push((session, Mutex::new(state), idxs)),
+                None => {
+                    for i in idxs {
+                        kinds[i] = Some(unknown_session(session));
+                    }
+                }
+            }
+        }
+        let touched = work.len();
+        let solver = self.cfg.solver;
+        let serve_group = |(_, state, idxs): &(u64, Mutex<SessionState>, Vec<usize>)| {
+            let mut s = state.lock().expect("session lock is never poisoned");
+            idxs.iter()
+                .map(|&i| (i, apply_decision(&mut s, &requests[i], &solver)))
+                .collect::<Vec<(usize, ResponseKind)>>()
+        };
+        let results: Vec<Vec<(usize, ResponseKind)>> = if work.len() > 1 {
+            work.par_iter().map(serve_group).collect()
+        } else {
+            work.iter().map(serve_group).collect()
+        };
+        for (session, state, _) in work {
+            let state = state.into_inner().expect("session lock is never poisoned");
+            self.sessions.insert(session, state);
+        }
+        for group in results {
+            for (i, kind) in group {
+                kinds[i] = Some(kind);
+            }
+        }
+
+        // Phase 3: queries and service-wide operations, serial in id
+        // order, observing the tick's post-decision state.
+        let shutdowns = requests
+            .iter()
+            .filter(|r| matches!(r.kind, RequestKind::Shutdown))
+            .count();
+        let residual = n - shutdowns;
+        for &i in &order {
+            let kind = match &requests[i].kind {
+                RequestKind::Open { .. }
+                | RequestKind::Snapshot { .. }
+                | RequestKind::Evaluate { .. } => continue,
+                RequestKind::Plan { session } => self.handle_plan(*session),
+                RequestKind::Profile { .. } => ResponseKind::error(
+                    "unsupported",
+                    "profile requests need the workload catalog; use the bap front end",
+                ),
+                RequestKind::Checkpoint => self.handle_checkpoint(),
+                RequestKind::Stats => self.handle_stats(),
+                RequestKind::Shutdown => {
+                    self.tracer.emit(|| EventKind::ServerDrained { residual });
+                    ResponseKind::Bye { drained: residual }
+                }
+            };
+            kinds[i] = Some(kind);
+        }
+
+        // The tick's trace, in deterministic id order.
+        self.tracer.emit(|| EventKind::BatchDispatched {
+            tick,
+            requests: n,
+            sessions: touched,
+        });
+        for &i in &order {
+            self.tracer.emit(|| EventKind::RequestServed {
+                id: requests[i].id,
+                kind: requests[i].kind.label().to_string(),
+            });
+        }
+
+        requests
+            .iter()
+            .zip(kinds)
+            .map(|(r, kind)| WireResponse {
+                id: r.id,
+                tick,
+                kind: kind.expect("every request is answered exactly once"),
+            })
+            .collect()
+    }
+
+    fn handle_open(&mut self, session: u64, cores: usize) -> ResponseKind {
+        if self.sessions.contains_key(&session) {
+            return ResponseKind::error(
+                "session_exists",
+                format!("session {session} is already open"),
+            );
+        }
+        if cores < 8 || !cores.is_multiple_of(8) || cores > self.cfg.max_cores {
+            return ResponseKind::error(
+                "bad_request",
+                format!(
+                    "cores must be a multiple of 8 in 8..={} (rings of 8-core paper dies), got {cores}",
+                    self.cfg.max_cores
+                ),
+            );
+        }
+        self.sessions
+            .insert(session, SessionState::new(cores, &self.cfg));
+        ResponseKind::Opened { session, cores }
+    }
+
+    fn handle_plan(&self, session: u64) -> ResponseKind {
+        match self.sessions.get(&session) {
+            Some(s) => {
+                let (ways, fingerprint, source) = plan_view(&s.controller);
+                ResponseKind::Plan {
+                    session,
+                    epoch: s.controller.epochs(),
+                    ways,
+                    source,
+                    fingerprint,
+                }
+            }
+            None => unknown_session(session),
+        }
+    }
+
+    fn handle_stats(&self) -> ResponseKind {
+        let mut decisions = 0;
+        let mut warm_hits = 0;
+        for s in self.sessions.values() {
+            decisions += s.controller.epochs();
+            warm_hits += s.summary().warm_start_hits;
+        }
+        ResponseKind::Stats {
+            sessions: self.sessions.len(),
+            ticks: self.tick,
+            requests: self.requests,
+            decisions,
+            warm_hits,
+        }
+    }
+
+    fn handle_checkpoint(&mut self) -> ResponseKind {
+        let cp = self.checkpoint();
+        let bytes = self.history.push(&cp);
+        if let Some(path) = self.cfg.checkpoint_path.clone() {
+            if let Err(e) = bap_recovery::save_checkpoint_file(&path, &cp) {
+                return ResponseKind::error("checkpoint_failed", e.to_string());
+            }
+        }
+        let sessions = self.sessions.len();
+        self.tracer
+            .emit(|| EventKind::ServerCheckpointed { bytes, sessions });
+        ResponseKind::Checkpointed {
+            bytes,
+            sessions,
+            tick: self.tick,
+        }
+    }
+
+    /// Snapshot the whole service — tick counters plus every session's
+    /// controller state (profilers, installed plan, hysteresis, warm
+    /// solver baselines) — as an opaque payload.
+    pub fn snapshot(&self) -> serde::Value {
+        let sessions: Vec<serde::Value> = self
+            .sessions
+            .iter()
+            .map(|(id, s)| {
+                serde::Value::Object(vec![
+                    ("id".to_string(), serde::Serialize::to_value(id)),
+                    ("cores".to_string(), serde::Serialize::to_value(&s.cores)),
+                    ("state".to_string(), s.controller.snapshot()),
+                ])
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("tick".to_string(), serde::Serialize::to_value(&self.tick)),
+            (
+                "requests".to_string(),
+                serde::Serialize::to_value(&self.requests),
+            ),
+            ("sessions".to_string(), serde::Value::Array(sessions)),
+        ])
+    }
+
+    /// Rebuild the service from a [`DecisionService::snapshot`] payload.
+    /// Atomic: either every session restores and the snapshot's state
+    /// replaces the current one wholesale, or the service is left
+    /// untouched. Trace summaries restart from zero (they narrate a
+    /// process lifetime, not a logical one); warm-start solver baselines
+    /// are restored, so the next unchanged-curve decision is a warm hit —
+    /// the zero-warmup restart.
+    pub fn restore(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let tick: u64 = serde::from_field(v, "tick")?;
+        let requests: u64 = serde::from_field(v, "requests")?;
+        let entries = match v.get("sessions") {
+            Some(serde::Value::Array(items)) => items,
+            _ => return Err(serde::Error::msg("snapshot has no session list")),
+        };
+        let mut sessions = BTreeMap::new();
+        for entry in entries {
+            let id: u64 = serde::from_field(entry, "id")?;
+            let cores: usize = serde::from_field(entry, "cores")?;
+            let state = entry
+                .get("state")
+                .ok_or_else(|| serde::Error::msg(format!("session {id} has no state")))?;
+            let mut session = SessionState::new(cores, &self.cfg);
+            session.controller.restore(state)?;
+            sessions.insert(id, session);
+        }
+        let restored = sessions.len();
+        self.sessions = sessions;
+        self.tick = tick;
+        self.requests = requests;
+        self.tracer.emit(|| EventKind::ServerRestored {
+            sessions: restored,
+            tick,
+        });
+        Ok(())
+    }
+
+    /// Wrap the current state as a versioned, checksummed checkpoint
+    /// (`epoch` carries the tick).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::new(self.tick, self.snapshot())
+    }
+
+    /// Restore from a decoded checkpoint.
+    pub fn restore_from_checkpoint(&mut self, cp: &Checkpoint) -> Result<(), RecoveryError> {
+        self.restore(&cp.payload)
+            .map_err(|e| RecoveryError::Rejected(e.to_string()))
+    }
+
+    /// Cold-start restore from a checkpoint file written via the
+    /// configured `checkpoint_path`. Returns the restored tick.
+    pub fn restore_from_path(&mut self, path: &std::path::Path) -> Result<u64, RecoveryError> {
+        let cp = bap_recovery::load_checkpoint_file(path)?;
+        self.restore_from_checkpoint(&cp)?;
+        Ok(cp.epoch)
+    }
+
+    /// Walk the in-memory checkpoint ring newest-first and restore from
+    /// the first checkpoint that decodes, validates and rebuilds — the
+    /// recovery ladder applied to the server itself. Returns the rung and
+    /// tick that survived, or every rejection when the ring is exhausted.
+    pub fn recover(&mut self) -> Result<(RecoveryRung, u64), Vec<RecoveryError>> {
+        let history = std::mem::replace(&mut self.history, RecoveryManager::new(1));
+        let out = history.recover(|cp| self.restore_from_checkpoint(cp).map(|()| cp.epoch));
+        self.history = history;
+        out.map(|o| (o.rung, o.value))
+    }
+}
+
+/// An envelope on the server queue: the request plus its private reply
+/// channel.
+struct Envelope(WireRequest, mpsc::Sender<WireResponse>);
+
+/// The threaded shell around a [`DecisionService`]: one worker thread owns
+/// the service; clients enqueue requests; the worker drains the queue's
+/// natural backlog into one batch per epoch tick. Concurrency shapes only
+/// the batching — determinism is the service's job.
+pub struct Server {
+    tx: mpsc::Sender<Envelope>,
+    handle: thread::JoinHandle<DecisionService>,
+}
+
+/// A cloneable, blocking client handle onto a [`Server`].
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: mpsc::Sender<Envelope>,
+}
+
+impl Server {
+    /// Move the service onto its worker thread and start serving.
+    pub fn spawn(mut service: DecisionService) -> Server {
+        let (tx, rx) = mpsc::channel::<Envelope>();
+        let handle = thread::Builder::new()
+            .name("bap-serve".to_string())
+            .spawn(move || {
+                loop {
+                    // Block for the first request, then sweep whatever
+                    // else already queued into the same tick.
+                    let first = match rx.recv() {
+                        Ok(env) => env,
+                        Err(_) => break, // every client handle dropped
+                    };
+                    let mut batch = vec![first];
+                    while let Ok(env) = rx.try_recv() {
+                        batch.push(env);
+                    }
+                    let shutdown = batch
+                        .iter()
+                        .any(|e| matches!(e.0.kind, RequestKind::Shutdown));
+                    if shutdown {
+                        // Drain stragglers that raced the shutdown into
+                        // the final batch so they are answered, not lost.
+                        while let Ok(env) = rx.try_recv() {
+                            batch.push(env);
+                        }
+                    }
+                    let requests: Vec<WireRequest> = batch.iter().map(|e| e.0.clone()).collect();
+                    let responses = service.process_batch(&requests);
+                    for (env, resp) in batch.into_iter().zip(responses) {
+                        // A client that hung up just doesn't read its
+                        // reply; the batch still completes.
+                        let _ = env.1.send(resp);
+                    }
+                    if shutdown {
+                        break;
+                    }
+                }
+                service
+            })
+            .expect("spawn server thread");
+        Server { tx, handle }
+    }
+
+    /// A client handle; clone freely across threads.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Wait for the worker to exit (after a `Shutdown` was served, or once
+    /// every client handle is dropped) and take the service back —
+    /// checkpoint state and all.
+    pub fn join(self) -> DecisionService {
+        drop(self.tx);
+        self.handle.join().expect("server thread panicked")
+    }
+}
+
+impl ServeClient {
+    /// Send one request and block for its response. `None` means the
+    /// server already shut down.
+    pub fn call(&self, req: WireRequest) -> Option<WireResponse> {
+        let (tx, rx) = mpsc::channel();
+        self.tx.send(Envelope(req, tx)).ok()?;
+        rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knee_curves(cores: usize, seed: u64) -> Vec<WireCurve> {
+        (0..cores)
+            .map(|core| {
+                let h = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((core as u64).wrapping_mul(0x0100_0000_01B3));
+                let base = 30_000.0 + (h % 90_000) as f64;
+                let knee = 2 + ((h >> 17) % 40) as usize;
+                let floor = ((h >> 33) % 3_000) as f64;
+                let misses = (0..=72)
+                    .map(|w| {
+                        if w >= knee {
+                            floor
+                        } else {
+                            base - (base - floor) * w as f64 / knee as f64
+                        }
+                    })
+                    .collect();
+                WireCurve {
+                    accesses: base.max(1.0) * 4.0,
+                    misses,
+                }
+            })
+            .collect()
+    }
+
+    fn req(id: u64, kind: RequestKind) -> WireRequest {
+        WireRequest { id, kind }
+    }
+
+    /// The fingerprint a plan-carrying response exposes.
+    fn fp(resp: &WireResponse) -> Option<u64> {
+        match &resp.kind {
+            ResponseKind::Decision { fingerprint, .. }
+            | ResponseKind::Evaluated { fingerprint, .. }
+            | ResponseKind::Plan { fingerprint, .. } => Some(*fingerprint),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn open_snapshot_plan_lifecycle() {
+        let mut svc = DecisionService::new(ServeConfig::default());
+        let out = svc.process_batch(&[
+            req(
+                1,
+                RequestKind::Open {
+                    session: 7,
+                    cores: 8,
+                },
+            ),
+            req(
+                2,
+                RequestKind::Snapshot {
+                    session: 7,
+                    curves: knee_curves(8, 3),
+                },
+            ),
+            req(3, RequestKind::Plan { session: 7 }),
+        ]);
+        assert!(matches!(
+            out[0].kind,
+            ResponseKind::Opened {
+                session: 7,
+                cores: 8
+            }
+        ));
+        let ResponseKind::Decision {
+            installed,
+            ref ways,
+            fingerprint,
+            ref source,
+            ..
+        } = out[1].kind
+        else {
+            panic!("expected a decision, got {:?}", out[1].kind);
+        };
+        assert!(installed);
+        assert_eq!(ways.len(), 8);
+        assert_eq!(
+            ways.iter().sum::<usize>(),
+            128,
+            "8 cores × 16 banks × 8 ways"
+        );
+        assert_eq!(source, "solver");
+        let ResponseKind::Plan {
+            fingerprint: plan_fp,
+            ..
+        } = out[2].kind
+        else {
+            panic!("expected a plan, got {:?}", out[2].kind);
+        };
+        assert_eq!(
+            plan_fp, fingerprint,
+            "plan query sees the installed decision"
+        );
+    }
+
+    #[test]
+    fn typed_errors_for_bad_requests() {
+        let mut svc = DecisionService::new(ServeConfig::default());
+        let out = svc.process_batch(&[
+            req(
+                1,
+                RequestKind::Open {
+                    session: 1,
+                    cores: 9,
+                },
+            ),
+            req(
+                2,
+                RequestKind::Snapshot {
+                    session: 99,
+                    curves: knee_curves(8, 0),
+                },
+            ),
+            req(3, RequestKind::Plan { session: 99 }),
+            req(
+                4,
+                RequestKind::Profile {
+                    workloads: vec![],
+                    instructions: 0,
+                    seed: 0,
+                },
+            ),
+        ]);
+        for (resp, code) in out.iter().zip([
+            "bad_request",
+            "unknown_session",
+            "unknown_session",
+            "unsupported",
+        ]) {
+            let ResponseKind::Error { code: ref c, .. } = resp.kind else {
+                panic!("expected {code}, got {:?}", resp.kind);
+            };
+            assert_eq!(c, code);
+        }
+        // And the service keeps serving afterwards.
+        let out = svc.process_batch(&[req(
+            5,
+            RequestKind::Open {
+                session: 1,
+                cores: 8,
+            },
+        )]);
+        assert!(matches!(out[0].kind, ResponseKind::Opened { .. }));
+    }
+
+    #[test]
+    fn duplicate_open_and_wrong_curve_count_are_refused() {
+        let mut svc = DecisionService::new(ServeConfig::default());
+        svc.process_batch(&[req(
+            1,
+            RequestKind::Open {
+                session: 1,
+                cores: 8,
+            },
+        )]);
+        let out = svc.process_batch(&[
+            req(
+                2,
+                RequestKind::Open {
+                    session: 1,
+                    cores: 8,
+                },
+            ),
+            req(
+                3,
+                RequestKind::Snapshot {
+                    session: 1,
+                    curves: knee_curves(4, 0),
+                },
+            ),
+        ]);
+        assert!(matches!(out[0].kind, ResponseKind::Error { .. }));
+        let ResponseKind::Error { ref code, .. } = out[1].kind else {
+            panic!("expected bad_request, got {:?}", out[1].kind);
+        };
+        assert_eq!(code, "bad_request");
+    }
+
+    #[test]
+    fn evaluate_is_read_only() {
+        let mut svc = DecisionService::new(ServeConfig::default());
+        svc.process_batch(&[
+            req(
+                1,
+                RequestKind::Open {
+                    session: 1,
+                    cores: 8,
+                },
+            ),
+            req(
+                2,
+                RequestKind::Snapshot {
+                    session: 1,
+                    curves: knee_curves(8, 5),
+                },
+            ),
+        ]);
+        let before = svc.process_batch(&[req(3, RequestKind::Plan { session: 1 })]);
+        let out = svc.process_batch(&[req(
+            4,
+            RequestKind::Evaluate {
+                session: 1,
+                curves: knee_curves(8, 77),
+            },
+        )]);
+        assert!(matches!(out[0].kind, ResponseKind::Evaluated { .. }));
+        let after = svc.process_batch(&[req(5, RequestKind::Plan { session: 1 })]);
+        assert_eq!(
+            before[0].kind, after[0].kind,
+            "evaluate moved session state"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_is_a_zero_warmup_restart() {
+        let mut svc = DecisionService::new(ServeConfig::default());
+        svc.process_batch(&[req(
+            1,
+            RequestKind::Open {
+                session: 4,
+                cores: 16,
+            },
+        )]);
+        for round in 0..4u64 {
+            svc.process_batch(&[req(
+                10 + round,
+                RequestKind::Snapshot {
+                    session: 4,
+                    curves: knee_curves(16, 11),
+                },
+            )]);
+        }
+        let out = svc.process_batch(&[req(20, RequestKind::Checkpoint)]);
+        assert!(matches!(
+            out[0].kind,
+            ResponseKind::Checkpointed { sessions: 1, .. }
+        ));
+        let cp = svc.checkpoint();
+
+        let mut restored = DecisionService::new(ServeConfig::default());
+        restored
+            .restore_from_checkpoint(&cp)
+            .expect("restore succeeds");
+        assert_eq!(restored.num_sessions(), 1);
+
+        // Same next decision on both — and the restored one is warm: its
+        // very first solve reuses the checkpointed cluster baselines.
+        let next = knee_curves(16, 11);
+        let a = svc.process_batch(&[req(
+            30,
+            RequestKind::Snapshot {
+                session: 4,
+                curves: next.clone(),
+            },
+        )]);
+        let b = restored.process_batch(&[req(
+            30,
+            RequestKind::Snapshot {
+                session: 4,
+                curves: next,
+            },
+        )]);
+        assert_eq!(fp(&a[0]), fp(&b[0]));
+        let stats = restored.process_batch(&[req(31, RequestKind::Stats)]);
+        let ResponseKind::Stats { warm_hits, .. } = stats[0].kind else {
+            panic!("expected stats");
+        };
+        assert!(warm_hits > 0, "first post-restore decision was not warm");
+    }
+
+    #[test]
+    fn recovery_ring_walks_past_corruption() {
+        let mut svc = DecisionService::new(ServeConfig::default());
+        svc.process_batch(&[
+            req(
+                1,
+                RequestKind::Open {
+                    session: 1,
+                    cores: 8,
+                },
+            ),
+            req(
+                2,
+                RequestKind::Snapshot {
+                    session: 1,
+                    curves: knee_curves(8, 2),
+                },
+            ),
+            req(3, RequestKind::Checkpoint),
+        ]);
+        svc.process_batch(&[
+            req(
+                4,
+                RequestKind::Snapshot {
+                    session: 1,
+                    curves: knee_curves(8, 9),
+                },
+            ),
+            req(5, RequestKind::Checkpoint),
+        ]);
+        // Corrupt the newest retained checkpoint; recovery lands on the
+        // older one (rung 2) instead of failing.
+        assert!(svc.history.corrupt_newest(40));
+        let (rung, tick) = svc.recover().expect("older checkpoint survives");
+        assert_eq!(rung, RecoveryRung::Older);
+        assert_eq!(tick, 1, "first checkpoint covered tick 1");
+    }
+
+    #[test]
+    fn threaded_server_serves_and_drains_on_shutdown() {
+        let server = Server::spawn(DecisionService::new(ServeConfig::default()));
+        let client = server.client();
+        let opened = client
+            .call(req(
+                1,
+                RequestKind::Open {
+                    session: 1,
+                    cores: 8,
+                },
+            ))
+            .expect("server alive");
+        assert!(matches!(opened.kind, ResponseKind::Opened { .. }));
+
+        let curves = knee_curves(8, 1);
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let c = server.client();
+                let curves = curves.clone();
+                thread::spawn(move || {
+                    c.call(req(100 + w, RequestKind::Snapshot { session: 1, curves }))
+                        .expect("server alive")
+                })
+            })
+            .collect();
+        let decisions: Vec<WireResponse> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+        let fps: Vec<Option<u64>> = decisions.iter().map(fp).collect();
+        assert!(fps.iter().all(|f| f.is_some() && *f == fps[0]), "{fps:?}");
+
+        let bye = client
+            .call(req(999, RequestKind::Shutdown))
+            .expect("shutdown answered");
+        assert!(matches!(bye.kind, ResponseKind::Bye { .. }));
+        let service = server.join();
+        assert_eq!(service.num_sessions(), 1);
+        assert!(
+            client.call(req(1000, RequestKind::Stats)).is_none(),
+            "server is gone"
+        );
+    }
+}

@@ -345,6 +345,45 @@ pub enum EventKind {
         /// Best-effort cores that lost capacity to the enforcement.
         demoted: usize,
     },
+    /// The decision service closed one epoch tick: a batch of concurrent
+    /// requests was ordered, fanned out across sessions and served.
+    BatchDispatched {
+        /// The server's epoch tick (batch number).
+        tick: u64,
+        /// Requests in the batch.
+        requests: usize,
+        /// Distinct sessions the batch's decision work targeted.
+        sessions: usize,
+    },
+    /// One wire request was served (emitted per request, in the
+    /// deterministic id order the batch was applied in).
+    RequestServed {
+        /// Client-assigned correlation id.
+        id: u64,
+        /// Request class label (`open`, `snapshot`, `evaluate`, …).
+        kind: String,
+    },
+    /// The decision service checkpointed every live session.
+    ServerCheckpointed {
+        /// Encoded checkpoint size in bytes.
+        bytes: usize,
+        /// Sessions captured.
+        sessions: usize,
+    },
+    /// The decision service restored its sessions from a checkpoint
+    /// (warm-start solver state included — a zero-warmup restart).
+    ServerRestored {
+        /// Sessions rebuilt.
+        sessions: usize,
+        /// The epoch tick the restored state had reached.
+        tick: u64,
+    },
+    /// A graceful shutdown drained the in-flight requests that shared the
+    /// final batch before the server exited.
+    ServerDrained {
+        /// In-flight requests served alongside the shutdown.
+        residual: usize,
+    },
 }
 
 impl EventKind {
@@ -390,6 +429,11 @@ impl EventKind {
             EventKind::SloAdmitted { .. } => "slo_admitted",
             EventKind::SloRejected { .. } => "slo_rejected",
             EventKind::SloEnforced { .. } => "slo_enforced",
+            EventKind::BatchDispatched { .. } => "batch_dispatched",
+            EventKind::RequestServed { .. } => "request_served",
+            EventKind::ServerCheckpointed { .. } => "server_checkpointed",
+            EventKind::ServerRestored { .. } => "server_restored",
+            EventKind::ServerDrained { .. } => "server_drained",
         }
     }
 }
@@ -511,6 +555,41 @@ mod tests {
             let ev = TraceEvent {
                 seq: 9,
                 epoch: 4,
+                kind: kind.clone(),
+            };
+            let text = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(back.kind, kind, "{text}");
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn server_variants_round_trip() {
+        let kinds = vec![
+            EventKind::BatchDispatched {
+                tick: 12,
+                requests: 9,
+                sessions: 3,
+            },
+            EventKind::RequestServed {
+                id: 1_000_004,
+                kind: "snapshot".to_string(),
+            },
+            EventKind::ServerCheckpointed {
+                bytes: 65_536,
+                sessions: 8,
+            },
+            EventKind::ServerRestored {
+                sessions: 8,
+                tick: 12,
+            },
+            EventKind::ServerDrained { residual: 5 },
+        ];
+        for kind in kinds {
+            let ev = TraceEvent {
+                seq: 3,
+                epoch: 12,
                 kind: kind.clone(),
             };
             let text = serde_json::to_string(&ev).unwrap();

@@ -26,16 +26,24 @@
 //! Determinism: events carry a logical sequence number, never wall-clock
 //! time, so identical runs produce byte-identical JSONL. Timings travel on
 //! a separate channel ([`Tracer::timing`]) that sinks must opt into.
+//!
+//! The [`wire`] module extends the same JSONL conventions into a live
+//! request/response protocol for the `bap serve` decision service.
 
 pub mod event;
 pub mod sink;
 pub mod summary;
 pub mod tracer;
+pub mod wire;
 
 pub use event::{EventKind, TraceEvent};
 pub use sink::{JsonlSink, NoopSink, RingSink, TraceSink};
 pub use summary::TraceSummary;
 pub use tracer::Tracer;
+pub use wire::{
+    encode_request, encode_response, parse_request_line, parse_response_line, RequestKind,
+    ResponseKind, WireCurve, WireError, WireRequest, WireResponse, WireSummary,
+};
 
 /// Parse a JSONL trace, enforcing the schema: every non-empty line is a
 /// [`TraceEvent`], sequence numbers are strictly increasing and epoch

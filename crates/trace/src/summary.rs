@@ -91,6 +91,16 @@ pub struct TraceSummary {
     pub slo_rejections: u64,
     /// Candidate plans replaced by the SLO enforcement pass.
     pub slo_enforcements: u64,
+    /// Server batches (epoch ticks) dispatched.
+    pub batches_dispatched: u64,
+    /// Wire requests served by the decision service.
+    pub requests_served: u64,
+    /// Server-wide checkpoints taken.
+    pub server_checkpoints: u64,
+    /// Server restores from a checkpoint.
+    pub server_restores: u64,
+    /// Graceful-shutdown drains of in-flight batches.
+    pub server_drains: u64,
 }
 
 impl TraceSummary {
@@ -141,6 +151,11 @@ impl TraceSummary {
             EventKind::SloAdmitted { .. } => self.slo_admissions += 1,
             EventKind::SloRejected { .. } => self.slo_rejections += 1,
             EventKind::SloEnforced { .. } => self.slo_enforcements += 1,
+            EventKind::BatchDispatched { .. } => self.batches_dispatched += 1,
+            EventKind::RequestServed { .. } => self.requests_served += 1,
+            EventKind::ServerCheckpointed { .. } => self.server_checkpoints += 1,
+            EventKind::ServerRestored { .. } => self.server_restores += 1,
+            EventKind::ServerDrained { .. } => self.server_drains += 1,
         }
     }
 }
@@ -196,5 +211,34 @@ mod tests {
         assert_eq!(s.slo_rejections, 1);
         assert_eq!(s.slo_enforcements, 1);
         assert_eq!(s.regulator_throttles, 1);
+    }
+
+    #[test]
+    fn server_events_are_counted() {
+        let mut s = TraceSummary::default();
+        s.count(&EventKind::BatchDispatched {
+            tick: 1,
+            requests: 4,
+            sessions: 2,
+        });
+        s.count(&EventKind::RequestServed {
+            id: 7,
+            kind: "snapshot".to_string(),
+        });
+        s.count(&EventKind::ServerCheckpointed {
+            bytes: 1024,
+            sessions: 2,
+        });
+        s.count(&EventKind::ServerRestored {
+            sessions: 2,
+            tick: 1,
+        });
+        s.count(&EventKind::ServerDrained { residual: 3 });
+        assert_eq!(s.events, 5);
+        assert_eq!(s.batches_dispatched, 1);
+        assert_eq!(s.requests_served, 1);
+        assert_eq!(s.server_checkpoints, 1);
+        assert_eq!(s.server_restores, 1);
+        assert_eq!(s.server_drains, 1);
     }
 }

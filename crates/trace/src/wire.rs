@@ -1,0 +1,513 @@
+//! The `bap serve` wire protocol: JSONL request/response messages.
+//!
+//! The serve mode speaks the same conventions as the trace JSONL dumps —
+//! one self-describing, externally-tagged JSON object per line — so the
+//! tooling that already parses traces can parse server conversations. A
+//! client writes one [`WireRequest`] per line and receives exactly one
+//! [`WireResponse`] per request, correlated by the client-assigned `id`.
+//!
+//! Protocol guarantees (enforced by the `bap-core` serve module and the
+//! `serve_protocol`/`serve` test tiers):
+//!
+//! * **Typed errors, never panics** — a malformed line or an invalid
+//!   request yields a [`ResponseKind::Error`] with a stable `code`;
+//! * **Unknown-field tolerance** — decoding looks fields up by name, so
+//!   newer clients may attach extra fields without breaking older servers;
+//! * **Determinism** — a batch of requests produces responses that depend
+//!   only on the per-session request sequence ordered by `id`, never on
+//!   arrival interleaving or the concurrency level that served it.
+//!
+//! Floats ride the same JSON writer as the trace curve snapshots: finite
+//! `f64`s round-trip bit-exactly, NaN maps to `null` and back.
+
+use crate::summary::TraceSummary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One profiled miss-ratio curve on the wire: `misses[w]` is the projected
+/// miss count at `w` dedicated ways, `accesses` the denominator — exactly
+/// the payload of [`crate::EventKind::CurveSnapshot`], so traced snapshots
+/// can be replayed against a server verbatim.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireCurve {
+    /// Curve denominator (total profiled accesses).
+    pub accesses: f64,
+    /// Projected misses per allocated-way count, index 0..=max_ways.
+    pub misses: Vec<f64>,
+}
+
+/// One client request. `id` is client-assigned and echoed on the response;
+/// within a session the server applies requests in ascending `id` order,
+/// so clients that need strict sequencing assign monotonic ids.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Client-assigned correlation id (echoed on the response; per-session
+    /// application order).
+    pub id: u64,
+    /// What the client wants.
+    pub kind: RequestKind,
+}
+
+/// Every request the decision service understands.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Create a partitioning session: a dedicated controller on a clustered
+    /// ring floorplan of `cores` cores (must be a positive multiple of 8).
+    Open {
+        /// Client-chosen session identifier.
+        session: u64,
+        /// Cores (and half the banks) of the session's machine.
+        cores: usize,
+    },
+    /// Ingest one epoch's profile snapshot (one curve per core) and run the
+    /// session's epoch decision: sanitise, solve warm, gate, install.
+    Snapshot {
+        /// The target session.
+        session: u64,
+        /// Exactly `cores` curves, core order.
+        curves: Vec<WireCurve>,
+    },
+    /// Evaluate a hypothetical mix against the session's machine without
+    /// touching its installed state (read-only what-if solve).
+    Evaluate {
+        /// The target session.
+        session: u64,
+        /// Exactly `cores` curves, core order.
+        curves: Vec<WireCurve>,
+    },
+    /// Query the session's installed plan.
+    Plan {
+        /// The target session.
+        session: u64,
+    },
+    /// Profile named catalog workloads into curves (resolved by the `bap`
+    /// front end, which owns the workload catalog; the in-process decision
+    /// service answers `unsupported`).
+    Profile {
+        /// Workload names from the catalog (`bap workloads`).
+        workloads: Vec<String>,
+        /// Profiled instructions per workload.
+        instructions: u64,
+        /// Profiling seed.
+        seed: u64,
+    },
+    /// Checkpoint every session (and persist it, when the server was given
+    /// a checkpoint path) for zero-warmup restarts.
+    Checkpoint,
+    /// Server-wide counters.
+    Stats,
+    /// Graceful shutdown: the batch carrying this request is fully served,
+    /// in-flight requests are drained, then the server exits.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// Stable label of the request class (trace events, stats keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestKind::Open { .. } => "open",
+            RequestKind::Snapshot { .. } => "snapshot",
+            RequestKind::Evaluate { .. } => "evaluate",
+            RequestKind::Plan { .. } => "plan",
+            RequestKind::Profile { .. } => "profile",
+            RequestKind::Checkpoint => "checkpoint",
+            RequestKind::Stats => "stats",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// The session a request targets, when it targets one.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            RequestKind::Open { session, .. }
+            | RequestKind::Snapshot { session, .. }
+            | RequestKind::Evaluate { session, .. }
+            | RequestKind::Plan { session } => Some(*session),
+            _ => None,
+        }
+    }
+}
+
+/// Per-session decision-story counters attached to every decision
+/// response — the trace summary, shrunk to the classes a serving client
+/// acts on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSummary {
+    /// Decision events recorded for this session so far.
+    pub events: u64,
+    /// Epoch boundaries the session has closed.
+    pub epochs: u64,
+    /// Plans installed.
+    pub plans_installed: u64,
+    /// Candidate plans held back by the hysteresis gate.
+    pub plans_held: u64,
+    /// Cluster sub-plans reused verbatim by the warm-start solver.
+    pub warm_start_hits: u64,
+    /// Bank-aware solver refusals (degradation-ladder entries).
+    pub solver_failures: u64,
+}
+
+impl WireSummary {
+    /// Project the full [`TraceSummary`] down to the wire fields.
+    pub fn from_summary(s: &TraceSummary) -> Self {
+        WireSummary {
+            events: s.events,
+            epochs: s.epochs,
+            plans_installed: s.plans_installed,
+            plans_held: s.plans_held,
+            warm_start_hits: s.warm_start_hits,
+            solver_failures: s.solver_failures,
+        }
+    }
+}
+
+/// One server response. `id` echoes the request; `tick` is the epoch tick
+/// (batch number) that served it — informational only, it depends on how
+/// requests happened to batch and is excluded from determinism contracts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// The request this answers.
+    pub id: u64,
+    /// The batch (epoch tick) that served it.
+    pub tick: u64,
+    /// The answer.
+    pub kind: ResponseKind,
+}
+
+/// Every answer the decision service produces.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ResponseKind {
+    /// The session exists and is ready for snapshots.
+    Opened {
+        /// The opened session.
+        session: u64,
+        /// Cores of its machine.
+        cores: usize,
+    },
+    /// Outcome of one epoch decision ([`RequestKind::Snapshot`]).
+    Decision {
+        /// The session that decided.
+        session: u64,
+        /// Epochs the session has now closed.
+        epoch: u64,
+        /// Whether this epoch installed a new plan (`false` = the policy
+        /// kept the plan already in force — hysteresis hold, warm reuse of
+        /// an identical plan, or a shed decision).
+        installed: bool,
+        /// Total ways per core under the effective plan (empty when no
+        /// plan is in force yet).
+        ways: Vec<usize>,
+        /// Which path produced the effective plan (`PlanSource` label).
+        source: String,
+        /// Deterministic FNV-1a fingerprint of the effective plan's
+        /// physical shape (0 when no plan is in force).
+        fingerprint: u64,
+        /// The session's decision-story counters so far.
+        summary: WireSummary,
+    },
+    /// Outcome of a read-only what-if solve ([`RequestKind::Evaluate`]).
+    Evaluated {
+        /// The session whose machine was evaluated against.
+        session: u64,
+        /// Total ways per core under the hypothetical plan.
+        ways: Vec<usize>,
+        /// Fingerprint of the hypothetical plan.
+        fingerprint: u64,
+    },
+    /// The session's installed plan ([`RequestKind::Plan`]).
+    Plan {
+        /// The queried session.
+        session: u64,
+        /// Epochs the session has closed.
+        epoch: u64,
+        /// Total ways per core (empty when no plan is in force).
+        ways: Vec<usize>,
+        /// Which path produced the plan.
+        source: String,
+        /// Fingerprint of the plan (0 when none).
+        fingerprint: u64,
+    },
+    /// Profiled curves for a named mix ([`RequestKind::Profile`]).
+    Profiled {
+        /// One curve per requested workload, input order.
+        curves: Vec<WireCurve>,
+    },
+    /// A checkpoint of every session was taken (and persisted when the
+    /// server holds a checkpoint path).
+    Checkpointed {
+        /// Encoded checkpoint size in bytes.
+        bytes: usize,
+        /// Sessions captured.
+        sessions: usize,
+        /// The tick the checkpoint covers (state up to and including it).
+        tick: u64,
+    },
+    /// Server-wide counters ([`RequestKind::Stats`]).
+    Stats {
+        /// Live sessions.
+        sessions: usize,
+        /// Batches (epoch ticks) served.
+        ticks: u64,
+        /// Requests served in total.
+        requests: u64,
+        /// Epoch decisions taken across all sessions.
+        decisions: u64,
+        /// Warm-start cluster reuses across all sessions.
+        warm_hits: u64,
+    },
+    /// Graceful-shutdown acknowledgement: the server drained `drained`
+    /// in-flight requests alongside this one and is exiting.
+    Bye {
+        /// In-flight requests served in the shutdown's batch.
+        drained: usize,
+    },
+    /// The request could not be served. `code` is stable and matchable:
+    /// `malformed`, `bad_request`, `unknown_session`, `session_exists`,
+    /// `solve_failed`, `unsupported`, `checkpoint_failed`.
+    Error {
+        /// Stable machine-matchable error class.
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl ResponseKind {
+    /// A typed error response.
+    pub fn error(code: &str, detail: impl Into<String>) -> Self {
+        ResponseKind::Error {
+            code: code.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Stable label of the response class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResponseKind::Opened { .. } => "opened",
+            ResponseKind::Decision { .. } => "decision",
+            ResponseKind::Evaluated { .. } => "evaluated",
+            ResponseKind::Plan { .. } => "plan",
+            ResponseKind::Profiled { .. } => "profiled",
+            ResponseKind::Checkpointed { .. } => "checkpointed",
+            ResponseKind::Stats { .. } => "stats",
+            ResponseKind::Bye { .. } => "bye",
+            ResponseKind::Error { .. } => "error",
+        }
+    }
+}
+
+/// Why a request line could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The line is empty or whitespace (batch delimiter, not a request).
+    EmptyLine,
+    /// The line is not a valid request object.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::EmptyLine => write!(f, "empty request line"),
+            WireError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Render the decode failure as the typed error response a server
+    /// writes back (correlation id 0 — the request's id was unreadable).
+    pub fn to_response(&self) -> WireResponse {
+        WireResponse {
+            id: 0,
+            tick: 0,
+            kind: ResponseKind::error("malformed", self.to_string()),
+        }
+    }
+}
+
+/// Decode one request line. Never panics: garbage is a typed
+/// [`WireError`], and an empty line is distinguished so stream servers can
+/// treat it as a batch delimiter.
+pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
+    if line.trim().is_empty() {
+        return Err(WireError::EmptyLine);
+    }
+    serde_json::from_str(line).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Decode one response line (client side).
+pub fn parse_response_line(line: &str) -> Result<WireResponse, WireError> {
+    if line.trim().is_empty() {
+        return Err(WireError::EmptyLine);
+    }
+    serde_json::from_str(line).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Encode a request as one JSONL line (no trailing newline).
+pub fn encode_request(req: &WireRequest) -> String {
+    serde_json::to_string(req).expect("wire types serialize infallibly")
+}
+
+/// Encode a response as one JSONL line (no trailing newline).
+pub fn encode_response(resp: &WireResponse) -> String {
+    serde_json::to_string(resp).expect("wire types serialize infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> WireCurve {
+        WireCurve {
+            accesses: 12_345.678,
+            misses: (0..16).map(|w| 1000.0 / (w as f64 + 0.7)).collect(),
+        }
+    }
+
+    #[test]
+    fn every_request_kind_round_trips() {
+        let kinds = vec![
+            RequestKind::Open {
+                session: 3,
+                cores: 32,
+            },
+            RequestKind::Snapshot {
+                session: 3,
+                curves: vec![curve(); 2],
+            },
+            RequestKind::Evaluate {
+                session: 9,
+                curves: vec![curve()],
+            },
+            RequestKind::Plan { session: 3 },
+            RequestKind::Profile {
+                workloads: vec!["art".to_string(), "mcf".to_string()],
+                instructions: 1_000_000,
+                seed: 42,
+            },
+            RequestKind::Checkpoint,
+            RequestKind::Stats,
+            RequestKind::Shutdown,
+        ];
+        for kind in kinds {
+            let req = WireRequest { id: 7, kind };
+            let back = parse_request_line(&encode_request(&req)).unwrap();
+            assert_eq!(back, req);
+            assert!(!req.kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        let kinds = vec![
+            ResponseKind::Opened {
+                session: 1,
+                cores: 8,
+            },
+            ResponseKind::Decision {
+                session: 1,
+                epoch: 4,
+                installed: true,
+                ways: vec![16; 8],
+                source: "solver".to_string(),
+                fingerprint: 0xDEAD_BEEF,
+                summary: WireSummary {
+                    events: 40,
+                    epochs: 4,
+                    plans_installed: 3,
+                    plans_held: 1,
+                    warm_start_hits: 2,
+                    solver_failures: 0,
+                },
+            },
+            ResponseKind::Evaluated {
+                session: 1,
+                ways: vec![12, 20],
+                fingerprint: 9,
+            },
+            ResponseKind::Plan {
+                session: 1,
+                epoch: 4,
+                ways: vec![],
+                source: "none".to_string(),
+                fingerprint: 0,
+            },
+            ResponseKind::Profiled {
+                curves: vec![curve()],
+            },
+            ResponseKind::Checkpointed {
+                bytes: 4096,
+                sessions: 2,
+                tick: 17,
+            },
+            ResponseKind::Stats {
+                sessions: 2,
+                ticks: 17,
+                requests: 99,
+                decisions: 60,
+                warm_hits: 31,
+            },
+            ResponseKind::Bye { drained: 3 },
+            ResponseKind::error("unknown_session", "session 5 was never opened"),
+        ];
+        for kind in kinds {
+            let resp = WireResponse {
+                id: 7,
+                tick: 2,
+                kind,
+            };
+            let back = parse_response_line(&encode_response(&resp)).unwrap();
+            assert_eq!(back, resp);
+            assert!(!resp.kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error_not_a_panic() {
+        for bad in ["{", "null", "[1,2]", "{\"id\":true}", "{\"kind\":{}}"] {
+            let err = parse_request_line(bad).unwrap_err();
+            assert!(matches!(err, WireError::Malformed(_)), "{bad}");
+            let resp = err.to_response();
+            assert_eq!(resp.id, 0);
+            assert!(matches!(resp.kind, ResponseKind::Error { .. }));
+        }
+        assert_eq!(
+            parse_request_line("  \t ").unwrap_err(),
+            WireError::EmptyLine
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let line = "{\"id\":4,\"future\":true,\"kind\":{\"Plan\":{\"session\":2,\"hint\":9}}}";
+        let req = parse_request_line(line).unwrap();
+        assert_eq!(
+            req,
+            WireRequest {
+                id: 4,
+                kind: RequestKind::Plan { session: 2 },
+            }
+        );
+    }
+
+    #[test]
+    fn curve_floats_round_trip_exactly() {
+        let c = curve();
+        let req = WireRequest {
+            id: 1,
+            kind: RequestKind::Snapshot {
+                session: 0,
+                curves: vec![c.clone()],
+            },
+        };
+        let back = parse_request_line(&encode_request(&req)).unwrap();
+        let RequestKind::Snapshot { curves, .. } = back.kind else {
+            panic!("wrong variant");
+        };
+        assert_eq!(curves[0], c, "bit-exact float round trip");
+    }
+}

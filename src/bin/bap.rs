@@ -10,12 +10,25 @@
 //!     --instructions N                measured instructions/core (default 2000000)
 //!     --seed N                        (default 42)
 //!     --json FILE                     write the result as JSON
+//! bap record <name> <file>            record a workload's op trace to a file
+//!     --instructions N                trace length (default 1000000)
+//! bap replay <file> x8 [options]      simulate a mix of recorded traces
+//! bap serve [options]                 long-lived partitioning-decision service
+//!     --listen ADDR                   serve the JSONL protocol over TCP
+//!                                     (default: stdin/stdout JSONL; a blank
+//!                                     line flushes the pending batch)
+//!     --checkpoint FILE               restore from FILE at startup if present;
+//!                                     Checkpoint requests persist to it
+//!     --scale N                       geometry divisor for Profile requests
 //! ```
 
 use bankaware::msa::ProfilerConfig;
-use bankaware::partitioning::{bank_aware_partition, BankAwareConfig, Policy};
+use bankaware::partitioning::{
+    bank_aware_partition, BankAwareConfig, DecisionService, Policy, ServeConfig, Server,
+};
 use bankaware::system::sim::OpStream;
 use bankaware::system::{profile_workloads, SimOptions, System};
+use bankaware::trace::wire;
 use bankaware::types::{CoreId, SystemConfig, Topology};
 use bankaware::workloads::trace::{replay, LoopedTrace};
 use bankaware::workloads::{spec_by_name, workload_names, WorkloadSpec};
@@ -28,7 +41,8 @@ fn usage() -> ! {
          bap simulate <name> x8 [--policy none|equal|bank-aware] [--scale N] \
          [--instructions N] [--seed N] [--json FILE]\n  \
          bap record <name> <file> [--instructions N] [--seed N]\n  \
-         bap replay <file> x8 [--policy ...] [--scale N] [--instructions N]"
+         bap replay <file> x8 [--policy ...] [--scale N] [--instructions N]\n  \
+         bap serve [--listen ADDR] [--checkpoint FILE] [--scale N]"
     );
     exit(2)
 }
@@ -319,6 +333,218 @@ fn cmd_replay(names: &[String], flags: &Flags) {
     );
 }
 
+/// Resolve a `Profile` request against the workload catalog — the one
+/// request kind the in-process service can't serve, because the catalog
+/// and the profiling pipeline live in `bap-system`/`bap-workloads`.
+fn serve_profile(
+    workloads: &[String],
+    instructions: u64,
+    seed: u64,
+    scale: u64,
+) -> wire::ResponseKind {
+    let mut specs = Vec::with_capacity(workloads.len());
+    for name in workloads {
+        match spec_by_name(name) {
+            Some(spec) => specs.push(spec),
+            None => {
+                return wire::ResponseKind::error(
+                    "bad_request",
+                    format!("unknown workload {name:?}; run `bap workloads` for the catalog"),
+                )
+            }
+        }
+    }
+    if specs.is_empty() {
+        return wire::ResponseKind::error("bad_request", "no workloads named");
+    }
+    let cfg = SystemConfig::scaled(scale);
+    let pcfg = ProfilerConfig::reference(cfg.l2_bank_sets(), 72);
+    let curves = profile_workloads(&specs, &cfg, pcfg, instructions.max(1), seed);
+    wire::ResponseKind::Profiled {
+        curves: curves
+            .iter()
+            .map(|c| wire::WireCurve {
+                accesses: c.accesses(),
+                misses: (0..=c.max_ways()).map(|w| c.misses_at(w)).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Serve the JSONL protocol over stdin/stdout: one request per line, a
+/// blank line (or EOF) flushes the pending batch as one epoch tick, one
+/// response per line in request order. Malformed lines get a typed error
+/// response (id 0) immediately and never kill the server.
+fn serve_stdio(mut service: DecisionService, scale: u64) {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut batch: Vec<wire::WireRequest> = Vec::new();
+    let respond = |out: &mut dyn Write, resp: &wire::WireResponse| {
+        writeln!(out, "{}", wire::encode_response(resp)).expect("stdout writable");
+    };
+    let flush = |service: &mut DecisionService,
+                 batch: &mut Vec<wire::WireRequest>,
+                 out: &mut std::io::BufWriter<std::io::StdoutLock>|
+     -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        let requests = std::mem::take(batch);
+        let stop = requests
+            .iter()
+            .any(|r| matches!(r.kind, wire::RequestKind::Shutdown));
+        for resp in service.process_batch(&requests) {
+            respond(out, &resp);
+        }
+        out.flush().expect("stdout flushable");
+        stop
+    };
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("stdin read failed: {e}");
+            exit(1)
+        });
+        match wire::parse_request_line(&line) {
+            Ok(req) => {
+                // Profile requests are front-end work (workload catalog);
+                // answer them inline, outside the batch.
+                if let wire::RequestKind::Profile {
+                    workloads,
+                    instructions,
+                    seed,
+                } = &req.kind
+                {
+                    let kind = serve_profile(workloads, *instructions, *seed, scale);
+                    let resp = wire::WireResponse {
+                        id: req.id,
+                        tick: service.ticks(),
+                        kind,
+                    };
+                    respond(&mut out, &resp);
+                    out.flush().expect("stdout flushable");
+                } else {
+                    batch.push(req);
+                }
+            }
+            Err(wire::WireError::EmptyLine) => {
+                if flush(&mut service, &mut batch, &mut out) {
+                    return;
+                }
+            }
+            Err(err) => {
+                respond(&mut out, &err.to_response());
+                out.flush().expect("stdout flushable");
+            }
+        }
+    }
+    flush(&mut service, &mut batch, &mut out);
+}
+
+/// Serve the JSONL protocol over TCP: one connection per client thread,
+/// all feeding the shared batched server. A served `Shutdown` stops the
+/// accept loop and joins the worker.
+fn serve_tcp(service: DecisionService, addr: &str, scale: u64) {
+    use std::io::{BufRead, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("cannot listen on {addr}: {e}");
+        exit(1)
+    });
+    let local = listener.local_addr().expect("bound socket has an address");
+    eprintln!("bap serve listening on {local}");
+    let server = Server::spawn(service);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let client = server.client();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
+            let mut writer = std::io::BufWriter::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                let resp = match wire::parse_request_line(&line) {
+                    Ok(req) => {
+                        if let wire::RequestKind::Profile {
+                            workloads,
+                            instructions,
+                            seed,
+                        } = &req.kind
+                        {
+                            Some(wire::WireResponse {
+                                id: req.id,
+                                tick: 0,
+                                kind: serve_profile(workloads, *instructions, *seed, scale),
+                            })
+                        } else {
+                            client.call(req)
+                        }
+                    }
+                    Err(wire::WireError::EmptyLine) => continue,
+                    Err(err) => Some(err.to_response()),
+                };
+                let Some(resp) = resp else { break };
+                let bye = matches!(resp.kind, wire::ResponseKind::Bye { .. });
+                if writeln!(writer, "{}", wire::encode_response(&resp)).is_err()
+                    || writer.flush().is_err()
+                {
+                    break;
+                }
+                if bye {
+                    stop.store(true, Ordering::SeqCst);
+                    // Poke the accept loop so it notices the flag.
+                    let _ = std::net::TcpStream::connect(local);
+                    break;
+                }
+            }
+        });
+    }
+    server.join();
+}
+
+fn cmd_serve(flags: &Flags) {
+    let mut cfg = ServeConfig::default();
+    if let Some(path) = flags.get("checkpoint") {
+        cfg.checkpoint_path = Some(std::path::PathBuf::from(path));
+    }
+    let mut service = DecisionService::new(cfg);
+    if let Some(path) = flags.get("checkpoint") {
+        let path = std::path::Path::new(path);
+        if path.exists() {
+            match service.restore_from_path(path) {
+                Ok(tick) => eprintln!(
+                    "restored {} session(s) at tick {tick} from {}",
+                    service.num_sessions(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("cannot restore {}: {e}", path.display());
+                    exit(1)
+                }
+            }
+        }
+    }
+    let scale = flags.u64("scale", 8);
+    match flags.get("listen") {
+        Some(addr) => serve_tcp(service, addr, scale),
+        None => serve_stdio(service, scale),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
@@ -332,6 +558,7 @@ fn main() {
         "simulate" => cmd_simulate(&positional, &flags),
         "record" => cmd_record(&positional, &flags),
         "replay" => cmd_replay(&positional, &flags),
+        "serve" => cmd_serve(&flags),
         _ => usage(),
     }
 }

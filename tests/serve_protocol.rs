@@ -1,0 +1,340 @@
+//! Wire-protocol property tests for `bap serve` (tier 1).
+//!
+//! The serve wire format is line-oriented JSON built on the same serde
+//! conventions as bap-trace: one externally tagged object per line. The
+//! contract under test here is purely syntactic — no server is spawned:
+//!
+//! * **round trip** — every request and response kind, over arbitrary
+//!   field values, survives encode → parse bit-exactly (finite floats
+//!   compare equal; NaN is checked structurally below);
+//! * **unknown-field tolerance** — a peer speaking a newer dialect may
+//!   add fields; injecting extras at the top level or inside the kind
+//!   payload must not change what we decode;
+//! * **malformed input → typed error** — arbitrary garbage bytes and
+//!   truncations of valid messages produce `WireError`, never a panic,
+//!   and `WireError::to_response` yields the stable `"malformed"` code.
+
+use bankaware::trace::wire::{
+    encode_request, encode_response, parse_request_line, parse_response_line, RequestKind,
+    ResponseKind, WireCurve, WireError, WireRequest, WireResponse, WireSummary,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies. The proptest shim has no `String` strategy, so printable
+// ASCII strings are assembled from byte vectors.
+// ---------------------------------------------------------------------------
+
+fn arb_string() -> impl Strategy<Value = String> {
+    collection::vec(32u8..127, 0..12).prop_map(|bytes| String::from_utf8(bytes).unwrap())
+}
+
+fn arb_finite() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), 0.0..1.0e9f64, 0.0..1.0f64, Just(f64::MAX / 4.0),]
+}
+
+fn arb_curve() -> impl Strategy<Value = WireCurve> {
+    (arb_finite(), collection::vec(arb_finite(), 0..8))
+        .prop_map(|(accesses, misses)| WireCurve { accesses, misses })
+}
+
+fn arb_request_kind() -> BoxedStrategy<RequestKind> {
+    prop_oneof![
+        (any::<u64>(), 0usize..300)
+            .prop_map(|(session, cores)| RequestKind::Open { session, cores }),
+        (any::<u64>(), collection::vec(arb_curve(), 0..5))
+            .prop_map(|(session, curves)| RequestKind::Snapshot { session, curves }),
+        (any::<u64>(), collection::vec(arb_curve(), 0..5))
+            .prop_map(|(session, curves)| RequestKind::Evaluate { session, curves }),
+        any::<u64>().prop_map(|session| RequestKind::Plan { session }),
+        (
+            collection::vec(arb_string(), 0..4),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(workloads, instructions, seed)| RequestKind::Profile {
+                workloads,
+                instructions,
+                seed,
+            }),
+        Just(RequestKind::Checkpoint),
+        Just(RequestKind::Stats),
+        Just(RequestKind::Shutdown),
+    ]
+    .boxed()
+}
+
+fn arb_request() -> impl Strategy<Value = WireRequest> {
+    (any::<u64>(), arb_request_kind()).prop_map(|(id, kind)| WireRequest { id, kind })
+}
+
+fn arb_summary() -> impl Strategy<Value = WireSummary> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (events, epochs, plans_installed),
+                (plans_held, warm_start_hits, solver_failures),
+            )| {
+                WireSummary {
+                    events,
+                    epochs,
+                    plans_installed,
+                    plans_held,
+                    warm_start_hits,
+                    solver_failures,
+                }
+            },
+        )
+}
+
+fn arb_ways() -> impl Strategy<Value = Vec<usize>> {
+    collection::vec(0usize..100, 0..16)
+}
+
+fn arb_response_kind() -> BoxedStrategy<ResponseKind> {
+    prop_oneof![
+        (any::<u64>(), 0usize..300)
+            .prop_map(|(session, cores)| ResponseKind::Opened { session, cores }),
+        (
+            (any::<u64>(), any::<u64>(), any::<bool>()),
+            (arb_ways(), arb_string(), any::<u64>(), arb_summary())
+        )
+            .prop_map(
+                |((session, epoch, installed), (ways, source, fingerprint, summary))| {
+                    ResponseKind::Decision {
+                        session,
+                        epoch,
+                        installed,
+                        ways,
+                        source,
+                        fingerprint,
+                        summary,
+                    }
+                }
+            ),
+        (any::<u64>(), arb_ways(), any::<u64>()).prop_map(|(session, ways, fingerprint)| {
+            ResponseKind::Evaluated {
+                session,
+                ways,
+                fingerprint,
+            }
+        }),
+        (
+            (any::<u64>(), any::<u64>()),
+            (arb_ways(), arb_string(), any::<u64>())
+        )
+            .prop_map(|((session, epoch), (ways, source, fingerprint))| {
+                ResponseKind::Plan {
+                    session,
+                    epoch,
+                    ways,
+                    source,
+                    fingerprint,
+                }
+            }),
+        collection::vec(arb_curve(), 0..4).prop_map(|curves| ResponseKind::Profiled { curves }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(bytes, sessions, tick)| {
+            ResponseKind::Checkpointed {
+                bytes: bytes as usize,
+                sessions: sessions as usize,
+                tick,
+            }
+        }),
+        (
+            (any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>())
+        )
+            .prop_map(|((sessions, ticks), (requests, decisions, warm_hits))| {
+                ResponseKind::Stats {
+                    sessions: sessions as usize,
+                    ticks,
+                    requests,
+                    decisions,
+                    warm_hits,
+                }
+            }),
+        (0usize..64).prop_map(|drained| ResponseKind::Bye { drained }),
+        (arb_string(), arb_string())
+            .prop_map(|(code, detail)| ResponseKind::Error { code, detail }),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> impl Strategy<Value = WireResponse> {
+    (any::<u64>(), any::<u64>(), arb_response_kind()).prop_map(|(id, tick, kind)| WireResponse {
+        id,
+        tick,
+        kind,
+    })
+}
+
+/// Inject `"extra":…` fields immediately after the first `n` opening
+/// braces of an encoded line — top-level tolerance at `n = 1`, payload
+/// tolerance beyond that. Skips braces inside string literals, and skips
+/// the object directly under `"kind"`: that one is the externally tagged
+/// enum wrapper, whose single key *is* the variant tag, so extra keys
+/// there are ambiguous rather than tolerable.
+fn inject_unknown_fields(line: &str, n: usize) -> String {
+    let mut out = String::with_capacity(line.len() + 24 * n);
+    let mut injected = 0;
+    let (mut in_str, mut escaped) = (false, false);
+    for ch in line.chars() {
+        out.push(ch);
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        if ch == '"' {
+            in_str = true;
+        } else if ch == '{' && injected < n && !out.ends_with("\"kind\":{") {
+            out.push_str(&format!("\"extra{injected}\":[{injected},null],"));
+            injected += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_request_round_trips(req in arb_request()) {
+        let line = encode_request(&req);
+        prop_assert!(!line.contains('\n'), "encoded request must be one line");
+        let back = parse_request_line(&line).expect("round trip parse");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn every_response_round_trips(resp in arb_response()) {
+        let line = encode_response(&resp);
+        prop_assert!(!line.contains('\n'), "encoded response must be one line");
+        let back = parse_response_line(&line).expect("round trip parse");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated(req in arb_request(), depth in 1usize..4) {
+        let line = inject_unknown_fields(&encode_request(&req), depth);
+        let back = parse_request_line(&line).expect("parse with extra fields");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn unknown_response_fields_are_tolerated(resp in arb_response(), depth in 1usize..4) {
+        let line = inject_unknown_fields(&encode_response(&resp), depth);
+        let back = parse_response_line(&line).expect("parse with extra fields");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in collection::vec(any::<u8>(), 0..80)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        // Must return, never panic; if it parses, it must re-encode.
+        if let Ok(req) = parse_request_line(&line) {
+            let _ = encode_request(&req);
+        }
+        if let Ok(resp) = parse_response_line(&line) {
+            let _ = encode_response(&resp);
+        }
+    }
+
+    #[test]
+    fn truncations_fail_typed(req in arb_request(), frac in 0.0..1.0f64) {
+        let line = encode_request(&req);
+        // Encoded lines are pure ASCII, so byte slicing is char-safe.
+        prop_assert!(line.is_ascii());
+        let cut = ((line.len() as f64) * frac) as usize;
+        prop_assume!(cut < line.len());
+        match parse_request_line(&line[..cut]) {
+            Ok(_) => prop_assert!(false, "proper prefix of a JSON object parsed"),
+            Err(WireError::EmptyLine) => prop_assert_eq!(cut, 0),
+            Err(WireError::Malformed(detail)) => prop_assert!(!detail.is_empty()),
+        }
+    }
+
+    #[test]
+    fn malformed_maps_to_the_stable_error_code(junk in arb_string()) {
+        let line = format!("!{junk}");
+        let err = parse_request_line(&line).expect_err("leading '!' is never JSON");
+        let resp = err.to_response();
+        prop_assert_eq!(resp.id, 0);
+        match resp.kind {
+            ResponseKind::Error { code, detail } => {
+                prop_assert_eq!(code, "malformed");
+                prop_assert!(!detail.is_empty());
+            }
+            other => prop_assert!(false, "expected Error, got {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases the strategies above deliberately avoid.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nan_accesses_survive_as_null() {
+    let req = WireRequest {
+        id: 7,
+        kind: RequestKind::Snapshot {
+            session: 1,
+            curves: vec![WireCurve {
+                accesses: f64::NAN,
+                misses: vec![1.0, f64::NAN],
+            }],
+        },
+    };
+    let line = encode_request(&req);
+    assert!(line.contains("null"), "NaN must encode as null: {line}");
+    let back = parse_request_line(&line).expect("NaN round trip");
+    match back.kind {
+        RequestKind::Snapshot { curves, .. } => {
+            assert!(curves[0].accesses.is_nan());
+            assert_eq!(curves[0].misses[0], 1.0);
+            assert!(curves[0].misses[1].is_nan());
+        }
+        other => panic!("wrong kind back: {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_blank_lines_are_distinguished_from_garbage() {
+    assert_eq!(parse_request_line(""), Err(WireError::EmptyLine));
+    assert_eq!(parse_request_line("   \t  "), Err(WireError::EmptyLine));
+    assert!(matches!(
+        parse_request_line("{\"id\":1}"),
+        Err(WireError::Malformed(_))
+    ));
+    assert!(matches!(
+        parse_request_line("[1,2,3]"),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+#[test]
+fn request_labels_are_stable() {
+    let labels = [
+        (RequestKind::Checkpoint, "checkpoint"),
+        (RequestKind::Stats, "stats"),
+        (RequestKind::Shutdown, "shutdown"),
+        (RequestKind::Plan { session: 0 }, "plan"),
+    ];
+    for (kind, want) in labels {
+        assert_eq!(kind.label(), want);
+    }
+}
