@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ablate_isolation",
     "exp_validation",
     "exp_serve",
+    "exp_overload",
 ];
 
 fn main() {

@@ -118,7 +118,7 @@ fn client_requests(client: usize, rounds: usize, master_seed: u64) -> Vec<WireRe
     let mut id = (client as u64 + 1) * 1_000_000;
     let mut req = |kind: RequestKind| {
         id += 1;
-        WireRequest { id, kind }
+        WireRequest::new(id, kind)
     };
     let mut out = vec![req(RequestKind::Open {
         session,
@@ -173,7 +173,7 @@ fn run_client(
         }
         let id = req.id;
         let t = Instant::now();
-        let Some(resp) = conn.call(req) else {
+        let Ok(resp) = conn.call(req) else {
             out.dropped += 1;
             continue;
         };
@@ -272,10 +272,7 @@ fn main() {
         pause.wait();
         let conn = server.client();
         let cp = conn
-            .call(WireRequest {
-                id: 950_000_000,
-                kind: RequestKind::Checkpoint,
-            })
+            .call(WireRequest::new(950_000_000, RequestKind::Checkpoint))
             .expect("checkpoint answered");
         let (cp_bytes, cp_tick) = match cp.kind {
             ResponseKind::Checkpointed { bytes, tick, .. } => (bytes, tick),
@@ -300,10 +297,10 @@ fn main() {
     let mut final_fps = Vec::new();
     for s in 1..=sessions as u64 {
         let resp = conn
-            .call(WireRequest {
-                id: 960_000_000 + s,
-                kind: RequestKind::Plan { session: s },
-            })
+            .call(WireRequest::new(
+                960_000_000 + s,
+                RequestKind::Plan { session: s },
+            ))
             .expect("plan answered");
         match resp.kind {
             ResponseKind::Plan { fingerprint, .. } => final_fps.push(fingerprint),
@@ -311,10 +308,7 @@ fn main() {
         }
     }
     let stats_resp = conn
-        .call(WireRequest {
-            id: 970_000_000,
-            kind: RequestKind::Stats,
-        })
+        .call(WireRequest::new(970_000_000, RequestKind::Stats))
         .expect("stats answered");
     let (srv_decisions, srv_warm_hits) = match stats_resp.kind {
         ResponseKind::Stats {
@@ -325,10 +319,7 @@ fn main() {
         other => fail(args.seed, &format!("stats request got {}", other.label())),
     };
     let bye = conn
-        .call(WireRequest {
-            id: u64::MAX,
-            kind: RequestKind::Shutdown,
-        })
+        .call(WireRequest::new(u64::MAX, RequestKind::Shutdown))
         .expect("shutdown answered");
     if !matches!(bye.kind, ResponseKind::Bye { .. }) {
         fail(args.seed, &format!("shutdown got {}", bye.kind.label()));
@@ -372,10 +363,7 @@ fn main() {
     for (c, client) in clients.iter().enumerate() {
         let session = c as u64 + 1;
         let acked = client.acked_at_checkpoint;
-        let plan = restored.process_batch(&[WireRequest {
-            id: 1,
-            kind: RequestKind::Plan { session },
-        }]);
+        let plan = restored.process_batch(&[WireRequest::new(1, RequestKind::Plan { session })]);
         let got = match &plan[0].kind {
             ResponseKind::Plan { fingerprint, .. } => Some(*fingerprint),
             _ => None,

@@ -34,5 +34,8 @@ pub use controller::{Controller, PlanSource, Policy};
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use projection::{projected_misses, projected_plan_misses, projected_total_misses};
 pub use qos::{admit_cores, build_qos_plan, core_bound, AdmissionOutcome, QosState};
-pub use serve::{DecisionService, ServeClient, ServeConfig, Server};
+pub use serve::{
+    BatchContext, BrownoutLevel, ClientError, DecisionService, OverloadGovernor, ServeClient,
+    ServeConfig, Server,
+};
 pub use unrestricted::{unrestricted_partition, unrestricted_partition_traced};

@@ -35,6 +35,19 @@
 //! cloneable blocking [`ServeClient`] handles for client threads. The
 //! stdin-JSONL and TCP front ends in `src/bin/bap.rs` are thin adapters
 //! over these two layers.
+//!
+//! When [`ServeConfig::overload`] is set, an [`OverloadGovernor`] sits
+//! between the queue and the service: each dequeue sweep is *gated*
+//! (expired deadlines answered `deadline-exceeded`; queue, per-session
+//! and tick-budget excess shed `overloaded` with a `retry_after_ms` hint
+//! from recent tick durations) before the survivors are batched, and
+//! sustained over-budget ticks walk a hysteretic *brownout ladder* —
+//! level 1 bounds every solve with the tick deadline (overruns shed to
+//! the last-good plan via the controller's existing budget machinery),
+//! level 2 answers decisions from the installed plan without solving at
+//! all. With the config unset (the default) none of this code runs and
+//! the service is byte-identical to the unregulated server — the same
+//! behaviour-neutrality contract as [`ControlConfig`].
 
 use crate::bank_aware::{try_bank_aware_partition, BankAwareConfig};
 use crate::controller::{Controller, Policy};
@@ -45,12 +58,15 @@ use bap_trace::wire::{
     RequestKind, ResponseKind, WireCurve, WireRequest, WireResponse, WireSummary,
 };
 use bap_trace::{EventKind, NoopSink, Tracer};
-use bap_types::{ControlConfig, DegradedTopology, Topology};
+use bap_types::{BankId, ControlConfig, DegradedTopology, OverloadConfig, RetryConfig, Topology};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{mpsc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Tunables of the decision service. The defaults mirror the experiment
 /// fleet: 8-way banks, the reference profiler geometry, and warm starts
@@ -78,6 +94,16 @@ pub struct ServeConfig {
     /// Service-level trace handle (batch/checkpoint/drain events). Session
     /// controllers get their own summary-only tracers regardless.
     pub tracer: Tracer,
+    /// Overload regulation (deadlines, backpressure, shedding, brownout).
+    /// `None` — the default — leaves the service byte-identical to the
+    /// unregulated server: no gate runs, no deadline is read, no event is
+    /// emitted.
+    pub overload: Option<OverloadConfig>,
+    /// Chaos hook for the panic-isolation tier: the first `Snapshot` this
+    /// service sees for the named session panics mid-solve (once per
+    /// service), exercising the quarantine path. Test-only, like the
+    /// recovery ring's `corrupt_newest`.
+    pub chaos_panic_session: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -92,8 +118,59 @@ impl Default for ServeConfig {
             checkpoint_path: None,
             max_cores: 256,
             tracer: Tracer::off(),
+            overload: None,
+            chaos_panic_session: None,
         }
     }
+}
+
+/// The brownout ladder's level: how much of the full decision pipeline a
+/// tick is allowed to run under the current pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// Full service: every snapshot runs the complete epoch pipeline.
+    #[default]
+    Normal = 0,
+    /// Solves run under the tick deadline: an overrun sheds the decision
+    /// to the last-good plan through the controller's budget machinery
+    /// (warm starts still serve the cheap decisions in full).
+    Budgeted = 1,
+    /// No solves at all: decisions are answered from the installed
+    /// last-good plan, what-if evaluations are shed.
+    LastGood = 2,
+}
+
+impl BrownoutLevel {
+    /// One level worse (pressure is sustained).
+    fn deeper(self) -> BrownoutLevel {
+        match self {
+            BrownoutLevel::Normal => BrownoutLevel::Budgeted,
+            _ => BrownoutLevel::LastGood,
+        }
+    }
+
+    /// One level better (the load dropped).
+    fn shallower(self) -> BrownoutLevel {
+        match self {
+            BrownoutLevel::LastGood => BrownoutLevel::Budgeted,
+            _ => BrownoutLevel::Normal,
+        }
+    }
+}
+
+/// How one batch is to be served: the overload governor's verdict for a
+/// tick, consumed by [`DecisionService::process_batch_with`]. The default
+/// context (used by the plain [`DecisionService::process_batch`]) is
+/// behaviour-neutral: no deadline, no brownout.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchContext {
+    /// Wall-clock deadline every solve in the batch must respect
+    /// (brownout level 1); `None` never sheds.
+    pub solve_deadline: Option<Instant>,
+    /// The brownout ladder level in force for the tick.
+    pub brownout: BrownoutLevel,
+    /// The retry hint stamped on responses this tick sheds.
+    pub retry_after_ms: u64,
 }
 
 /// One tenant: a controller on its own clustered ring floorplan, plus the
@@ -171,6 +248,15 @@ fn unknown_session(session: u64) -> ResponseKind {
     )
 }
 
+/// The stable answer for a quarantined session: a panic poisoned it, its
+/// state was discarded, and a fresh `Open` recovers it.
+fn quarantined(session: u64) -> ResponseKind {
+    ResponseKind::error(
+        "internal",
+        format!("session {session} is quarantined after a panic; re-open to recover"),
+    )
+}
+
 /// Validate and convert wire curves into solver inputs.
 #[allow(clippy::result_large_err)] // the Err goes straight onto the wire
 fn convert_curves(curves: &[WireCurve], cores: usize) -> Result<Vec<MissRatioCurve>, ResponseKind> {
@@ -201,16 +287,33 @@ fn apply_decision(
     s: &mut SessionState,
     req: &WireRequest,
     solver: &BankAwareConfig,
+    ctx: &BatchContext,
+    chaos_panic: Option<u64>,
 ) -> ResponseKind {
     match &req.kind {
         RequestKind::Snapshot { session, curves } => {
+            if chaos_panic == Some(*session) {
+                panic!("injected chaos panic in session {session}");
+            }
             let converted = match convert_curves(curves, s.cores) {
                 Ok(c) => c,
                 Err(e) => return e,
             };
-            // The controller owns the full epoch pipeline: sanitise →
-            // hysteresis → (warm) solve → SLO gate → install-or-hold.
-            let installed = s.controller.epoch_boundary_with_curves(converted).is_some();
+            let installed = if ctx.brownout == BrownoutLevel::LastGood {
+                // Deep brownout: no solve at all. The epoch passes (the
+                // controller's lost-trigger path) and the answer comes
+                // from whatever plan is already in force.
+                s.controller.skip_epoch();
+                false
+            } else {
+                // The controller owns the full epoch pipeline: sanitise →
+                // hysteresis → (warm) solve → SLO gate → install-or-hold.
+                // Under brownout level 1 the solve runs against the tick
+                // deadline: an overrun sheds to the last-good plan.
+                s.controller
+                    .epoch_boundary_with_curves_deadline(converted, ctx.solve_deadline)
+                    .is_some()
+            };
             let (ways, fingerprint, source) = plan_view(&s.controller);
             ResponseKind::Decision {
                 session: *session,
@@ -223,6 +326,14 @@ fn apply_decision(
             }
         }
         RequestKind::Evaluate { session, curves } => {
+            if ctx.brownout == BrownoutLevel::LastGood {
+                // What-if solves are pure luxury under deep brownout:
+                // shed them outright so the ticks stay cheap.
+                return ResponseKind::overloaded(
+                    "what-if evaluation shed under brownout".to_string(),
+                    ctx.retry_after_ms.max(1),
+                );
+            }
             let mut converted = match convert_curves(curves, s.cores) {
                 Ok(c) => c,
                 Err(e) => return e,
@@ -254,6 +365,11 @@ fn apply_decision(
 pub struct DecisionService {
     cfg: ServeConfig,
     sessions: BTreeMap<u64, SessionState>,
+    /// Sessions whose state a panic poisoned: their requests answer the
+    /// stable `internal` error until a fresh `Open` rebuilds them.
+    poisoned: BTreeSet<u64>,
+    /// The chaos panic fires once per service lifetime.
+    chaos_armed: bool,
     history: RecoveryManager,
     tracer: Tracer,
     /// Epoch ticks (batches) served.
@@ -267,9 +383,12 @@ impl DecisionService {
     pub fn new(cfg: ServeConfig) -> Self {
         let history = RecoveryManager::new(cfg.history);
         let tracer = cfg.tracer.clone();
+        let chaos_armed = cfg.chaos_panic_session.is_some();
         DecisionService {
             cfg,
             sessions: BTreeMap::new(),
+            poisoned: BTreeSet::new(),
+            chaos_armed,
             history,
             tracer,
             tick: 0,
@@ -304,6 +423,19 @@ impl DecisionService {
     /// plan, fingerprint, or error (`tick` fields excepted — the tick is
     /// honest about how work actually batched).
     pub fn process_batch(&mut self, requests: &[WireRequest]) -> Vec<WireResponse> {
+        self.process_batch_with(requests, &BatchContext::default())
+    }
+
+    /// [`DecisionService::process_batch`] with an explicit overload
+    /// verdict for the tick. The wall-clock reasoning (deadlines, ladder
+    /// levels, retry hints) lives entirely in the [`OverloadGovernor`]
+    /// that builds the context; given the same requests and the same
+    /// context, this function is as deterministic as the plain batch.
+    pub fn process_batch_with(
+        &mut self,
+        requests: &[WireRequest],
+        ctx: &BatchContext,
+    ) -> Vec<WireResponse> {
         self.tick += 1;
         let tick = self.tick;
         let n = requests.len();
@@ -337,6 +469,12 @@ impl DecisionService {
         }
         let mut work: Vec<(u64, Mutex<SessionState>, Vec<usize>)> = Vec::new();
         for (session, idxs) in by_session {
+            if self.poisoned.contains(&session) {
+                for i in idxs {
+                    kinds[i] = Some(quarantined(session));
+                }
+                continue;
+            }
             match self.sessions.remove(&session) {
                 Some(state) => work.push((session, Mutex::new(state), idxs)),
                 None => {
@@ -348,11 +486,45 @@ impl DecisionService {
         }
         let touched = work.len();
         let solver = self.cfg.solver;
-        let serve_group = |(_, state, idxs): &(u64, Mutex<SessionState>, Vec<usize>)| {
-            let mut s = state.lock().expect("session lock is never poisoned");
-            idxs.iter()
-                .map(|&i| (i, apply_decision(&mut s, &requests[i], &solver)))
-                .collect::<Vec<(usize, ResponseKind)>>()
+        let chaos_panic = if self.chaos_armed {
+            self.cfg.chaos_panic_session
+        } else {
+            None
+        };
+        if chaos_panic.is_some()
+            && work
+                .iter()
+                .any(|(session, _, _)| Some(*session) == chaos_panic)
+        {
+            // The chaos knob fires exactly once per service lifetime;
+            // disarm before the fan-out so a retry of the same session
+            // after recovery runs clean.
+            self.chaos_armed = false;
+        }
+        // A panic inside a session's decision work must not take down the
+        // batch (or, through the rayon shim, the whole worker): the
+        // catch_unwind rides *inside* the per-session task, so a poisoned
+        // session answers its requests with the stable `internal` code
+        // while every other session's group completes untouched.
+        let serve_group = |(session, state, idxs): &(u64, Mutex<SessionState>, Vec<usize>)| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut s = match state.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                idxs.iter()
+                    .map(|&i| {
+                        (
+                            i,
+                            apply_decision(&mut s, &requests[i], &solver, ctx, chaos_panic),
+                        )
+                    })
+                    .collect::<Vec<(usize, ResponseKind)>>()
+            }));
+            match caught {
+                Ok(answers) => answers,
+                Err(_) => idxs.iter().map(|&i| (i, quarantined(*session))).collect(),
+            }
         };
         let results: Vec<Vec<(usize, ResponseKind)>> = if work.len() > 1 {
             work.par_iter().map(serve_group).collect()
@@ -360,8 +532,16 @@ impl DecisionService {
             work.iter().map(serve_group).collect()
         };
         for (session, state, _) in work {
-            let state = state.into_inner().expect("session lock is never poisoned");
-            self.sessions.insert(session, state);
+            match state.into_inner() {
+                Ok(state) => {
+                    self.sessions.insert(session, state);
+                }
+                Err(_) => {
+                    // The panic left this session's state mid-mutation:
+                    // discard it and quarantine the id until a fresh Open.
+                    self.poisoned.insert(session);
+                }
+            }
         }
         for group in results {
             for (i, kind) in group {
@@ -421,6 +601,9 @@ impl DecisionService {
     }
 
     fn handle_open(&mut self, session: u64, cores: usize) -> ResponseKind {
+        // A fresh Open is the quarantine exit: the poisoned state was
+        // discarded, so the id is free to rebuild from scratch.
+        self.poisoned.remove(&session);
         if self.sessions.contains_key(&session) {
             return ResponseKind::error(
                 "session_exists",
@@ -442,6 +625,9 @@ impl DecisionService {
     }
 
     fn handle_plan(&self, session: u64) -> ResponseKind {
+        if self.poisoned.contains(&session) {
+            return quarantined(session);
+        }
         match self.sessions.get(&session) {
             Some(s) => {
                 let (ways, fingerprint, source) = plan_view(&s.controller);
@@ -506,11 +692,16 @@ impl DecisionService {
                 ])
             })
             .collect();
+        let poisoned: Vec<u64> = self.poisoned.iter().copied().collect();
         serde::Value::Object(vec![
             ("tick".to_string(), serde::Serialize::to_value(&self.tick)),
             (
                 "requests".to_string(),
                 serde::Serialize::to_value(&self.requests),
+            ),
+            (
+                "poisoned".to_string(),
+                serde::Serialize::to_value(&poisoned),
             ),
             ("sessions".to_string(), serde::Value::Array(sessions)),
         ])
@@ -541,8 +732,17 @@ impl DecisionService {
             session.controller.restore(state)?;
             sessions.insert(id, session);
         }
+        // Old snapshots (pre-overload) have no poisoned list; treat the
+        // absence as empty rather than rejecting the checkpoint.
+        let poisoned: BTreeSet<u64> = match v.get("poisoned") {
+            Some(_) => serde::from_field::<Vec<u64>>(v, "poisoned")?
+                .into_iter()
+                .collect(),
+            None => BTreeSet::new(),
+        };
         let restored = sessions.len();
         self.sessions = sessions;
+        self.poisoned = poisoned;
         self.tick = tick;
         self.requests = requests;
         self.tracer.emit(|| EventKind::ServerRestored {
@@ -582,11 +782,253 @@ impl DecisionService {
         self.history = history;
         out.map(|o| (o.rung, o.value))
     }
+
+    /// Sessions currently quarantined after a panic.
+    pub fn num_quarantined(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// The overload governor matching this service's config (sharing its
+    /// tracer), or `None` when regulation is off. Front ends that batch
+    /// without the [`Server`] shell (the stdio loop) gate through this.
+    pub fn governor(&self) -> Option<OverloadGovernor> {
+        self.cfg
+            .overload
+            .map(|cfg| OverloadGovernor::new(cfg, self.tracer.clone()))
+    }
+
+    /// Fault a bank on one session's machine (the chaos path of
+    /// `exp_overload`): the session's controller re-plans around the
+    /// offline bank at its next snapshot. No-op on unknown sessions.
+    pub fn fail_bank(&mut self, session: u64, bank: u16) {
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.controller.bank_failed(BankId(bank));
+        }
+    }
+
+    /// Restore a previously faulted bank on one session's machine.
+    pub fn restore_bank(&mut self, session: u64, bank: u16) {
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.controller.bank_restored(BankId(bank));
+        }
+    }
 }
 
-/// An envelope on the server queue: the request plus its private reply
-/// channel.
-struct Envelope(WireRequest, mpsc::Sender<WireResponse>);
+/// The overload governor: the stateful gate between the request queue and
+/// the service. It owns every wall-clock decision of the resilience layer
+/// — deadline expiry, shed verdicts, retry hints, and the brownout ladder
+/// — so [`DecisionService::process_batch_with`] stays a pure function of
+/// its inputs. One governor serves one worker (or one stdio loop); it is
+/// deliberately single-threaded.
+pub struct OverloadGovernor {
+    cfg: OverloadConfig,
+    tracer: Tracer,
+    /// Smoothed whole-tick duration in microseconds — the retry hint.
+    ewma_tick_us: f64,
+    /// Smoothed per-request cost in microseconds — the admission model.
+    ewma_req_us: f64,
+    level: BrownoutLevel,
+    over_streak: u32,
+    calm_streak: u32,
+}
+
+/// EWMA smoothing factor for tick and per-request costs: heavy enough to
+/// track a load shift within a few ticks, light enough not to chase one
+/// outlier solve.
+const EWMA_ALPHA: f64 = 0.3;
+
+impl OverloadGovernor {
+    /// A fresh governor at brownout level Normal. Events (sheds, ladder
+    /// transitions, deadline expiries) go to `tracer`.
+    pub fn new(cfg: OverloadConfig, tracer: Tracer) -> Self {
+        OverloadGovernor {
+            cfg,
+            tracer,
+            ewma_tick_us: 0.0,
+            ewma_req_us: 0.0,
+            level: BrownoutLevel::Normal,
+            over_streak: 0,
+            calm_streak: 0,
+        }
+    }
+
+    /// The brownout level currently in force.
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// The hint stamped on shed responses: roughly one recent tick
+    /// duration — the earliest a retry could plausibly be admitted —
+    /// never zero, so a client always has a concrete wait.
+    pub fn retry_after_ms(&self) -> u64 {
+        ((self.ewma_tick_us / 1000.0).ceil() as u64).max(1)
+    }
+
+    /// Gate one dequeue sweep. Returns one verdict per pending request,
+    /// in order: `None` admits it into the tick's batch; `Some(kind)` is
+    /// the immediate answer (deadline expiry or shed) — the request never
+    /// reaches the service. `Shutdown` is exempt from shedding: a drain
+    /// must always get through. At least one decision request is admitted
+    /// per sweep so the system keeps making progress under any budget.
+    pub fn gate(
+        &mut self,
+        now: Instant,
+        pending: &[(&WireRequest, Instant)],
+    ) -> Vec<Option<ResponseKind>> {
+        let mut verdicts: Vec<Option<ResponseKind>> = vec![None; pending.len()];
+        let hint = self.retry_after_ms();
+
+        // 1. Expired deadlines answer first: shedding a request the
+        // client has already given up on as `overloaded` would invite a
+        // pointless retry.
+        for (i, (req, arrival)) in pending.iter().enumerate() {
+            if matches!(req.kind, RequestKind::Shutdown) {
+                continue;
+            }
+            if let Some(budget) = req.deadline_ms {
+                if now.saturating_duration_since(*arrival) >= Duration::from_millis(budget) {
+                    self.tracer.emit(|| EventKind::DeadlineExceeded {
+                        id: req.id,
+                        deadline_ms: budget,
+                    });
+                    verdicts[i] = Some(ResponseKind::deadline_exceeded(format!(
+                        "deadline of {budget}ms expired before evaluation"
+                    )));
+                }
+            }
+        }
+
+        // 2. The queue cap bounds what one tick may admit at all.
+        let mut admitted = 0usize;
+        // 3. The per-session cap bounds what one tenant may claim of it.
+        let mut per_session: BTreeMap<u64, usize> = BTreeMap::new();
+        // 4. The tick budget bounds the *predicted* batch cost: with a
+        // cost model of `ewma_req_us` per decision request, admission
+        // stops once the estimate fills the budget (floor one decision,
+        // so the system always progresses).
+        let budget_cap = if self.cfg.tick_budget_ms > 0 && self.ewma_req_us > 0.0 {
+            let fit = (self.cfg.tick_budget_ms as f64 * 1000.0) / self.ewma_req_us;
+            Some((fit.floor() as usize).max(1))
+        } else {
+            None
+        };
+        let mut decisions = 0usize;
+
+        for (i, (req, _)) in pending.iter().enumerate() {
+            if verdicts[i].is_some() || matches!(req.kind, RequestKind::Shutdown) {
+                continue;
+            }
+            if self.cfg.max_queue_depth > 0 && admitted >= self.cfg.max_queue_depth {
+                verdicts[i] = Some(self.shed("queue", hint));
+                continue;
+            }
+            let session = match &req.kind {
+                RequestKind::Snapshot { session, .. } | RequestKind::Evaluate { session, .. } => {
+                    Some(*session)
+                }
+                _ => None,
+            };
+            if let Some(session) = session {
+                let inflight = per_session.entry(session).or_insert(0);
+                if self.cfg.max_session_inflight > 0 && *inflight >= self.cfg.max_session_inflight {
+                    verdicts[i] = Some(self.shed("session", hint));
+                    continue;
+                }
+                if let Some(cap) = budget_cap {
+                    if decisions >= cap {
+                        verdicts[i] = Some(self.shed("tick_budget", hint));
+                        continue;
+                    }
+                }
+                *inflight += 1;
+                decisions += 1;
+            }
+            admitted += 1;
+        }
+        verdicts
+    }
+
+    /// The batch context for the tick that serves this sweep's admitted
+    /// requests: under brownout level 1 every solve runs against the tick
+    /// deadline; under level 2 the service answers from installed plans.
+    pub fn context(&self, now: Instant) -> BatchContext {
+        let solve_deadline = if self.level >= BrownoutLevel::Budgeted && self.cfg.tick_budget_ms > 0
+        {
+            Some(now + Duration::from_millis(self.cfg.tick_budget_ms))
+        } else {
+            None
+        };
+        BatchContext {
+            solve_deadline,
+            brownout: self.level,
+            retry_after_ms: self.retry_after_ms(),
+        }
+    }
+
+    /// Feed back one completed tick: duration and requests served. Keeps
+    /// the cost model current and walks the brownout ladder — `enter`
+    /// consecutive over-budget ticks step one level down, `exit`
+    /// consecutive calm ticks step one level up (hysteresis: exit is the
+    /// longer streak).
+    pub fn tick_done(&mut self, dur: Duration, served: usize) {
+        let us = dur.as_secs_f64() * 1e6;
+        self.ewma_tick_us = if self.ewma_tick_us == 0.0 {
+            us
+        } else {
+            EWMA_ALPHA * us + (1.0 - EWMA_ALPHA) * self.ewma_tick_us
+        };
+        if served > 0 {
+            let per = us / served as f64;
+            self.ewma_req_us = if self.ewma_req_us == 0.0 {
+                per
+            } else {
+                EWMA_ALPHA * per + (1.0 - EWMA_ALPHA) * self.ewma_req_us
+            };
+        }
+        if self.cfg.tick_budget_ms == 0 {
+            return; // the ladder never arms without a tick budget
+        }
+        let over = dur > Duration::from_millis(self.cfg.tick_budget_ms);
+        if over {
+            self.calm_streak = 0;
+            self.over_streak += 1;
+            if self.over_streak >= self.cfg.enter_ticks() && self.level != BrownoutLevel::LastGood {
+                self.level = self.level.deeper();
+                let (level, over_ticks) = (self.level as u8, self.over_streak);
+                self.tracer
+                    .emit(|| EventKind::BrownoutEnter { level, over_ticks });
+                self.over_streak = 0;
+            }
+        } else {
+            self.over_streak = 0;
+            self.calm_streak += 1;
+            if self.calm_streak >= self.cfg.exit_ticks() && self.level != BrownoutLevel::Normal {
+                self.level = self.level.shallower();
+                let (level, calm_ticks) = (self.level as u8, self.calm_streak);
+                self.tracer
+                    .emit(|| EventKind::BrownoutExit { level, calm_ticks });
+                self.calm_streak = 0;
+            }
+        }
+    }
+
+    /// Emit and build one shed answer.
+    fn shed(&self, reason: &str, retry_after_ms: u64) -> ResponseKind {
+        let r = reason.to_string();
+        self.tracer.emit(|| EventKind::OverloadShed {
+            reason: r,
+            retry_after_ms,
+        });
+        ResponseKind::overloaded(
+            format!("shed by the {reason} limit; retry after the hint"),
+            retry_after_ms,
+        )
+    }
+}
+
+/// An envelope on the server queue: the request, its private reply
+/// channel, and its arrival instant (the deadline clock starts here).
+struct Envelope(WireRequest, mpsc::Sender<WireResponse>, Instant);
 
 /// The threaded shell around a [`DecisionService`]: one worker thread owns
 /// the service; clients enqueue requests; the worker drains the queue's
@@ -604,9 +1046,15 @@ pub struct ServeClient {
 }
 
 impl Server {
-    /// Move the service onto its worker thread and start serving.
+    /// Move the service onto its worker thread and start serving. With
+    /// [`ServeConfig::overload`] set, an [`OverloadGovernor`] gates every
+    /// dequeue sweep before it becomes a batch; without it the worker is
+    /// the plain unregulated loop. Either way the queue itself is
+    /// unbounded and `send` never blocks — backpressure is expressed as
+    /// immediate `overloaded` answers, never as a stalled accept path.
     pub fn spawn(mut service: DecisionService) -> Server {
         let (tx, rx) = mpsc::channel::<Envelope>();
+        let mut governor = service.governor();
         let handle = thread::Builder::new()
             .name("bap-serve".to_string())
             .spawn(move || {
@@ -631,9 +1079,45 @@ impl Server {
                             batch.push(env);
                         }
                     }
-                    let requests: Vec<WireRequest> = batch.iter().map(|e| e.0.clone()).collect();
-                    let responses = service.process_batch(&requests);
-                    for (env, resp) in batch.into_iter().zip(responses) {
+                    let now = Instant::now();
+                    // Gate the sweep: shed verdicts answer immediately
+                    // (tick 0 — they never reached the service), the
+                    // survivors become the tick's batch.
+                    let verdicts = match governor.as_mut() {
+                        Some(g) => {
+                            let pending: Vec<(&WireRequest, Instant)> =
+                                batch.iter().map(|e| (&e.0, e.2)).collect();
+                            g.gate(now, &pending)
+                        }
+                        None => vec![None; batch.len()],
+                    };
+                    let mut admitted: Vec<Envelope> = Vec::with_capacity(batch.len());
+                    for (env, verdict) in batch.into_iter().zip(verdicts) {
+                        match verdict {
+                            Some(kind) => {
+                                let _ = env.1.send(WireResponse {
+                                    id: env.0.id,
+                                    tick: 0,
+                                    kind,
+                                });
+                            }
+                            None => admitted.push(env),
+                        }
+                    }
+                    if admitted.is_empty() {
+                        continue; // the whole sweep shed; Shutdown is exempt
+                    }
+                    let ctx = governor
+                        .as_ref()
+                        .map(|g| g.context(now))
+                        .unwrap_or_default();
+                    let requests: Vec<WireRequest> = admitted.iter().map(|e| e.0.clone()).collect();
+                    let start = Instant::now();
+                    let responses = service.process_batch_with(&requests, &ctx);
+                    if let Some(g) = governor.as_mut() {
+                        g.tick_done(start.elapsed(), requests.len());
+                    }
+                    for (env, resp) in admitted.into_iter().zip(responses) {
                         // A client that hung up just doesn't read its
                         // reply; the batch still completes.
                         let _ = env.1.send(resp);
@@ -664,13 +1148,89 @@ impl Server {
     }
 }
 
+/// Why a [`ServeClient`] call could not produce a server answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server worker is gone — it served a `Shutdown`, or its thread
+    /// died — so the request can never be answered on this handle.
+    Disconnected,
+    /// Every retry attempt was answered `overloaded`; the client gave up.
+    GaveUp {
+        /// Attempts made, including the first send.
+        attempts: u32,
+        /// The server's last `retry_after_ms` hint, if any.
+        last_retry_after_ms: Option<u64>,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::GaveUp {
+                attempts,
+                last_retry_after_ms,
+            } => write!(
+                f,
+                "gave up after {attempts} overloaded attempts (last hint: {last_retry_after_ms:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
 impl ServeClient {
-    /// Send one request and block for its response. `None` means the
-    /// server already shut down.
-    pub fn call(&self, req: WireRequest) -> Option<WireResponse> {
+    /// Send one request and block for its response.
+    pub fn call(&self, req: WireRequest) -> Result<WireResponse, ClientError> {
+        let rx = self.submit(req)?;
+        rx.recv().map_err(|_| ClientError::Disconnected)
+    }
+
+    /// Enqueue one request without blocking for the answer — the open-loop
+    /// send of the overload experiments. The caller polls or blocks on the
+    /// returned channel at its leisure; dropping it abandons the reply.
+    pub fn submit(&self, req: WireRequest) -> Result<mpsc::Receiver<WireResponse>, ClientError> {
         let (tx, rx) = mpsc::channel();
-        self.tx.send(Envelope(req, tx)).ok()?;
-        rx.recv().ok()
+        self.tx
+            .send(Envelope(req, tx, Instant::now()))
+            .map_err(|_| ClientError::Disconnected)?;
+        Ok(rx)
+    }
+
+    /// [`ServeClient::call`] with retry on `overloaded` answers: jittered
+    /// exponential back-off (salted by the request id), the server's
+    /// `retry_after_ms` hint honored as a floor, attempts bounded by the
+    /// policy. Every non-overloaded answer — success *or* any other error
+    /// — returns immediately; exhaustion is the typed
+    /// [`ClientError::GaveUp`].
+    pub fn call_with_retry(
+        &self,
+        req: WireRequest,
+        retry: &RetryConfig,
+    ) -> Result<WireResponse, ClientError> {
+        let salt = req.id;
+        let attempts = retry.attempts();
+        let mut last_hint = None;
+        for attempt in 1..=attempts {
+            let resp = self.call(req.clone())?;
+            let hint = match &resp.kind {
+                ResponseKind::Error {
+                    code,
+                    retry_after_ms,
+                    ..
+                } if code == "overloaded" => *retry_after_ms,
+                _ => return Ok(resp),
+            };
+            last_hint = hint.or(last_hint);
+            if attempt < attempts {
+                thread::sleep(Duration::from_millis(retry.backoff_ms(attempt, hint, salt)));
+            }
+        }
+        Err(ClientError::GaveUp {
+            attempts,
+            last_retry_after_ms: last_hint,
+        })
     }
 }
 
@@ -705,7 +1265,7 @@ mod tests {
     }
 
     fn req(id: u64, kind: RequestKind) -> WireRequest {
-        WireRequest { id, kind }
+        WireRequest::new(id, kind)
     }
 
     /// The fingerprint a plan-carrying response exposes.
@@ -990,6 +1550,46 @@ mod tests {
     }
 
     #[test]
+    fn call_with_retry_gives_up_typed_on_persistent_overload() {
+        // A minimal fake worker that sheds every request: the retry loop's
+        // behaviour is then exact — one wire call per attempt, back-off
+        // between them, a typed give-up carrying the last hint.
+        let (tx, rx) = mpsc::channel::<Envelope>();
+        let client = ServeClient { tx };
+        let worker = thread::spawn(move || {
+            let mut calls = 0u32;
+            while let Ok(env) = rx.recv() {
+                calls += 1;
+                let _ = env.1.send(WireResponse {
+                    id: env.0.id,
+                    tick: 0,
+                    kind: ResponseKind::overloaded("always shed", 1),
+                });
+            }
+            calls
+        });
+        let retry = RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            jitter_frac: 0.0,
+            seed: 1,
+        };
+        let err = client
+            .call_with_retry(WireRequest::new(9, RequestKind::Stats), &retry)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::GaveUp {
+                attempts: 3,
+                last_retry_after_ms: Some(1),
+            }
+        );
+        drop(client);
+        assert_eq!(worker.join().unwrap(), 3, "one wire call per attempt");
+    }
+
+    #[test]
     fn threaded_server_serves_and_drains_on_shutdown() {
         let server = Server::spawn(DecisionService::new(ServeConfig::default()));
         let client = server.client();
@@ -1025,8 +1625,9 @@ mod tests {
         assert!(matches!(bye.kind, ResponseKind::Bye { .. }));
         let service = server.join();
         assert_eq!(service.num_sessions(), 1);
-        assert!(
-            client.call(req(1000, RequestKind::Stats)).is_none(),
+        assert_eq!(
+            client.call(req(1000, RequestKind::Stats)).unwrap_err(),
+            ClientError::Disconnected,
             "server is gone"
         );
     }

@@ -384,6 +384,40 @@ pub enum EventKind {
         /// In-flight requests served alongside the shutdown.
         residual: usize,
     },
+    /// Backpressure shed one request with an `overloaded` answer instead
+    /// of admitting it into a tick.
+    OverloadShed {
+        /// Which limit shed it: `queue`, `session`, `tick_budget` or
+        /// `brownout`.
+        reason: String,
+        /// The retry hint the shed response carried, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Sustained over-budget ticks stepped the brownout ladder down one
+    /// level (1 = budget-bounded solves, 2 = last-good answers only).
+    BrownoutEnter {
+        /// The level entered.
+        level: u8,
+        /// Consecutive over-budget ticks that triggered the step.
+        over_ticks: u32,
+    },
+    /// Calm ticks stepped the brownout ladder back up one level
+    /// (hysteretic: the exit threshold exceeds the entry threshold).
+    BrownoutExit {
+        /// The level returned to (0 = normal service).
+        level: u8,
+        /// Consecutive within-budget ticks that triggered the step.
+        calm_ticks: u32,
+    },
+    /// A request's `deadline_ms` expired before its batch was evaluated;
+    /// it was answered with the typed `deadline-exceeded` error instead
+    /// of a stale solve.
+    DeadlineExceeded {
+        /// The expired request's correlation id.
+        id: u64,
+        /// The budget the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl EventKind {
@@ -434,6 +468,10 @@ impl EventKind {
             EventKind::ServerCheckpointed { .. } => "server_checkpointed",
             EventKind::ServerRestored { .. } => "server_restored",
             EventKind::ServerDrained { .. } => "server_drained",
+            EventKind::OverloadShed { .. } => "overload_shed",
+            EventKind::BrownoutEnter { .. } => "brownout_enter",
+            EventKind::BrownoutExit { .. } => "brownout_exit",
+            EventKind::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 }
@@ -585,6 +623,22 @@ mod tests {
                 tick: 12,
             },
             EventKind::ServerDrained { residual: 5 },
+            EventKind::OverloadShed {
+                reason: "queue".to_string(),
+                retry_after_ms: 12,
+            },
+            EventKind::BrownoutEnter {
+                level: 2,
+                over_ticks: 3,
+            },
+            EventKind::BrownoutExit {
+                level: 0,
+                calm_ticks: 4,
+            },
+            EventKind::DeadlineExceeded {
+                id: 1_000_017,
+                deadline_ms: 25,
+            },
         ];
         for kind in kinds {
             let ev = TraceEvent {

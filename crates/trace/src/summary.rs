@@ -101,6 +101,14 @@ pub struct TraceSummary {
     pub server_restores: u64,
     /// Graceful-shutdown drains of in-flight batches.
     pub server_drains: u64,
+    /// Requests shed by backpressure with an `overloaded` answer.
+    pub overload_sheds: u64,
+    /// Brownout-ladder entries (steps down a level).
+    pub brownout_enters: u64,
+    /// Brownout-ladder exits (steps back up a level).
+    pub brownout_exits: u64,
+    /// Requests whose deadline expired before evaluation.
+    pub deadline_exceeded: u64,
 }
 
 impl TraceSummary {
@@ -156,6 +164,10 @@ impl TraceSummary {
             EventKind::ServerCheckpointed { .. } => self.server_checkpoints += 1,
             EventKind::ServerRestored { .. } => self.server_restores += 1,
             EventKind::ServerDrained { .. } => self.server_drains += 1,
+            EventKind::OverloadShed { .. } => self.overload_sheds += 1,
+            EventKind::BrownoutEnter { .. } => self.brownout_enters += 1,
+            EventKind::BrownoutExit { .. } => self.brownout_exits += 1,
+            EventKind::DeadlineExceeded { .. } => self.deadline_exceeded += 1,
         }
     }
 }
@@ -240,5 +252,31 @@ mod tests {
         assert_eq!(s.server_checkpoints, 1);
         assert_eq!(s.server_restores, 1);
         assert_eq!(s.server_drains, 1);
+    }
+
+    #[test]
+    fn overload_events_are_counted() {
+        let mut s = TraceSummary::default();
+        s.count(&EventKind::OverloadShed {
+            reason: "queue".to_string(),
+            retry_after_ms: 9,
+        });
+        s.count(&EventKind::BrownoutEnter {
+            level: 1,
+            over_ticks: 2,
+        });
+        s.count(&EventKind::BrownoutExit {
+            level: 0,
+            calm_ticks: 4,
+        });
+        s.count(&EventKind::DeadlineExceeded {
+            id: 7,
+            deadline_ms: 10,
+        });
+        assert_eq!(s.events, 4);
+        assert_eq!(s.overload_sheds, 1);
+        assert_eq!(s.brownout_enters, 1);
+        assert_eq!(s.brownout_exits, 1);
+        assert_eq!(s.deadline_exceeded, 1);
     }
 }

@@ -44,8 +44,34 @@ pub struct WireRequest {
     /// Client-assigned correlation id (echoed on the response; per-session
     /// application order).
     pub id: u64,
+    /// Optional latency budget in milliseconds, measured from the moment
+    /// the server receives the request. A request whose deadline expires
+    /// before its batch is evaluated is answered with the typed
+    /// `deadline-exceeded` error instead of a stale solve. Absent (the
+    /// default, and what every pre-overload client sends) means no
+    /// deadline; servers ignore the field unless overload regulation is
+    /// configured.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
     /// What the client wants.
     pub kind: RequestKind,
+}
+
+impl WireRequest {
+    /// A request without a deadline — the pre-overload wire shape.
+    pub fn new(id: u64, kind: RequestKind) -> Self {
+        WireRequest {
+            id,
+            deadline_ms: None,
+            kind,
+        }
+    }
+
+    /// Attach a relative latency budget in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
 }
 
 /// Every request the decision service understands.
@@ -261,16 +287,49 @@ pub enum ResponseKind {
         /// In-flight requests served in the shutdown's batch.
         drained: usize,
     },
-    /// The request could not be served. `code` is stable and matchable:
-    /// `malformed`, `bad_request`, `unknown_session`, `session_exists`,
-    /// `solve_failed`, `unsupported`, `checkpoint_failed`.
+    /// The request could not be served. `code` is stable and matchable —
+    /// the full registry is [`ERROR_CODES`].
     Error {
         /// Stable machine-matchable error class.
         code: String,
         /// Human-readable detail.
         detail: String,
+        /// For `overloaded` sheds: how long the client should wait before
+        /// retrying, computed from recent tick durations. Absent on every
+        /// other error class (and on pre-overload servers).
+        #[serde(default)]
+        retry_after_ms: Option<u64>,
     },
 }
+
+/// The wire error-code registry. Codes are append-only and never renamed:
+/// clients match on them across server versions, and
+/// `tests/serve_protocol.rs` pins this list.
+///
+/// * `malformed` — the request line did not decode.
+/// * `bad_request` — a decoded request had invalid arguments.
+/// * `unknown_session` — the target session was never opened.
+/// * `session_exists` — `Open` of an id that is already live.
+/// * `solve_failed` — the bank-aware solver refused the evaluate.
+/// * `unsupported` — the endpoint cannot serve this request kind.
+/// * `checkpoint_failed` — persisting the checkpoint file failed.
+/// * `overloaded` — the request was shed by backpressure; carries a
+///   `retry_after_ms` hint.
+/// * `deadline-exceeded` — the request's `deadline_ms` expired before its
+///   batch was evaluated.
+/// * `internal` — a quarantined (panicked) session; re-`Open` to recover.
+pub const ERROR_CODES: &[&str] = &[
+    "malformed",
+    "bad_request",
+    "unknown_session",
+    "session_exists",
+    "solve_failed",
+    "unsupported",
+    "checkpoint_failed",
+    "overloaded",
+    "deadline-exceeded",
+    "internal",
+];
 
 impl ResponseKind {
     /// A typed error response.
@@ -278,6 +337,30 @@ impl ResponseKind {
         ResponseKind::Error {
             code: code.to_string(),
             detail: detail.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// The backpressure shed: `overloaded`, always with a retry hint.
+    pub fn overloaded(detail: impl Into<String>, retry_after_ms: u64) -> Self {
+        ResponseKind::Error {
+            code: "overloaded".to_string(),
+            detail: detail.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    /// The typed answer for a request whose `deadline_ms` expired before
+    /// its batch was evaluated.
+    pub fn deadline_exceeded(detail: impl Into<String>) -> Self {
+        ResponseKind::error("deadline-exceeded", detail)
+    }
+
+    /// The error code, when this is an error response.
+    pub fn error_code(&self) -> Option<&str> {
+        match self {
+            ResponseKind::Error { code, .. } => Some(code.as_str()),
+            _ => None,
         }
     }
 
@@ -394,10 +477,44 @@ mod tests {
             RequestKind::Shutdown,
         ];
         for kind in kinds {
-            let req = WireRequest { id: 7, kind };
+            let req = WireRequest::new(7, kind);
             let back = parse_request_line(&encode_request(&req)).unwrap();
             assert_eq!(back, req);
             assert!(!req.kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn deadlines_ride_the_wire_and_default_off() {
+        let req = WireRequest::new(9, RequestKind::Stats).with_deadline_ms(250);
+        let back = parse_request_line(&encode_request(&req)).unwrap();
+        assert_eq!(back.deadline_ms, Some(250));
+        // A pre-overload line (no deadline field at all) still decodes.
+        let legacy = "{\"id\":4,\"kind\":{\"Plan\":{\"session\":2}}}";
+        let req = parse_request_line(legacy).unwrap();
+        assert_eq!(req.deadline_ms, None);
+        // Retry hints round-trip on errors and default to absent.
+        let resp = WireResponse {
+            id: 4,
+            tick: 0,
+            kind: ResponseKind::overloaded("queue full", 12),
+        };
+        let back = parse_response_line(&encode_response(&resp)).unwrap();
+        let ResponseKind::Error { retry_after_ms, .. } = back.kind else {
+            panic!("expected error");
+        };
+        assert_eq!(retry_after_ms, Some(12));
+    }
+
+    #[test]
+    fn overload_error_codes_are_registered() {
+        for kind in [
+            ResponseKind::overloaded("x", 5),
+            ResponseKind::deadline_exceeded("x"),
+            ResponseKind::error("internal", "x"),
+        ] {
+            let code = kind.error_code().expect("error kind");
+            assert!(ERROR_CODES.contains(&code), "{code} missing from registry");
         }
     }
 
@@ -485,25 +602,19 @@ mod tests {
     fn unknown_fields_are_tolerated() {
         let line = "{\"id\":4,\"future\":true,\"kind\":{\"Plan\":{\"session\":2,\"hint\":9}}}";
         let req = parse_request_line(line).unwrap();
-        assert_eq!(
-            req,
-            WireRequest {
-                id: 4,
-                kind: RequestKind::Plan { session: 2 },
-            }
-        );
+        assert_eq!(req, WireRequest::new(4, RequestKind::Plan { session: 2 }));
     }
 
     #[test]
     fn curve_floats_round_trip_exactly() {
         let c = curve();
-        let req = WireRequest {
-            id: 1,
-            kind: RequestKind::Snapshot {
+        let req = WireRequest::new(
+            1,
+            RequestKind::Snapshot {
                 session: 0,
                 curves: vec![c.clone()],
             },
-        };
+        );
         let back = parse_request_line(&encode_request(&req)).unwrap();
         let RequestKind::Snapshot { curves, .. } = back.kind else {
             panic!("wrong variant");

@@ -17,6 +17,7 @@ pub mod coreset;
 pub mod degraded;
 pub mod ids;
 pub mod ops;
+pub mod overload;
 pub mod qos;
 pub mod stats;
 pub mod topology;
@@ -28,6 +29,7 @@ pub use coreset::CoreSet;
 pub use degraded::{BankMask, DegradedTopology, MAX_BANKS};
 pub use ids::{BankId, CoreId, WayIdx};
 pub use ops::Op;
+pub use overload::{OverloadConfig, RetryConfig};
 pub use qos::{
     wcl_bound, BankRegulator, QosConfig, RegulatorConfig, SloSpec, TokenBucket, WclParams,
 };

@@ -20,16 +20,24 @@
 //!     --checkpoint FILE               restore from FILE at startup if present;
 //!                                     Checkpoint requests persist to it
 //!     --scale N                       geometry divisor for Profile requests
+//!     --overload on|off               enable overload regulation with the
+//!                                     tuned defaults (any knob below implies on)
+//!     --queue-depth N                 requests admitted per tick (0 = unlimited)
+//!     --inflight N                    per-session admissions per tick (0 = unl.)
+//!     --tick-budget-ms N              wall-clock budget per tick (0 = unlimited)
+//!     --brownout-enter N              over-budget ticks before browning out
+//!     --brownout-exit N               calm ticks before stepping back up
 //! ```
 
 use bankaware::msa::ProfilerConfig;
 use bankaware::partitioning::{
-    bank_aware_partition, BankAwareConfig, DecisionService, Policy, ServeConfig, Server,
+    bank_aware_partition, BankAwareConfig, DecisionService, OverloadGovernor, Policy, ServeConfig,
+    Server,
 };
 use bankaware::system::sim::OpStream;
 use bankaware::system::{profile_workloads, SimOptions, System};
 use bankaware::trace::wire;
-use bankaware::types::{CoreId, SystemConfig, Topology};
+use bankaware::types::{CoreId, OverloadConfig, SystemConfig, Topology};
 use bankaware::workloads::trace::{replay, LoopedTrace};
 use bankaware::workloads::{spec_by_name, workload_names, WorkloadSpec};
 use std::process::exit;
@@ -42,7 +50,9 @@ fn usage() -> ! {
          [--instructions N] [--seed N] [--json FILE]\n  \
          bap record <name> <file> [--instructions N] [--seed N]\n  \
          bap replay <file> x8 [--policy ...] [--scale N] [--instructions N]\n  \
-         bap serve [--listen ADDR] [--checkpoint FILE] [--scale N]"
+         bap serve [--listen ADDR] [--checkpoint FILE] [--scale N] [--overload on] \
+         [--queue-depth N] [--inflight N] [--tick-budget-ms N] \
+         [--brownout-enter N] [--brownout-exit N]"
     );
     exit(2)
 }
@@ -374,28 +384,78 @@ fn serve_profile(
 /// Serve the JSONL protocol over stdin/stdout: one request per line, a
 /// blank line (or EOF) flushes the pending batch as one epoch tick, one
 /// response per line in request order. Malformed lines get a typed error
-/// response (id 0) immediately and never kill the server.
+/// response (id 0) immediately and never kill the server. With overload
+/// regulation on, every flush is gated by the service's governor: shed
+/// requests answer `overloaded`/`deadline-exceeded` in place, the
+/// survivors form the tick.
 fn serve_stdio(mut service: DecisionService, scale: u64) {
     use std::io::{BufRead, Write};
+    use std::time::Instant;
+    let mut governor = service.governor();
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    let mut batch: Vec<wire::WireRequest> = Vec::new();
+    let mut batch: Vec<(wire::WireRequest, Instant)> = Vec::new();
     let respond = |out: &mut dyn Write, resp: &wire::WireResponse| {
         writeln!(out, "{}", wire::encode_response(resp)).expect("stdout writable");
     };
     let flush = |service: &mut DecisionService,
-                 batch: &mut Vec<wire::WireRequest>,
+                 governor: &mut Option<OverloadGovernor>,
+                 batch: &mut Vec<(wire::WireRequest, Instant)>,
                  out: &mut std::io::BufWriter<std::io::StdoutLock>|
      -> bool {
         if batch.is_empty() {
             return false;
         }
-        let requests = std::mem::take(batch);
-        let stop = requests
+        let pending = std::mem::take(batch);
+        let stop = pending
             .iter()
-            .any(|r| matches!(r.kind, wire::RequestKind::Shutdown));
-        for resp in service.process_batch(&requests) {
+            .any(|(r, _)| matches!(r.kind, wire::RequestKind::Shutdown));
+        let now = Instant::now();
+        let verdicts = match governor.as_mut() {
+            Some(g) => {
+                let refs: Vec<(&wire::WireRequest, Instant)> =
+                    pending.iter().map(|(r, t)| (r, *t)).collect();
+                g.gate(now, &refs)
+            }
+            None => vec![None; pending.len()],
+        };
+        // Responses go out in request order: sheds answer in place, the
+        // admitted rest come back from the tick.
+        let mut responses: Vec<Option<wire::WireResponse>> =
+            (0..pending.len()).map(|_| None).collect();
+        let mut admitted = Vec::new();
+        let mut slots = Vec::new();
+        for (i, ((req, _), verdict)) in pending.into_iter().zip(verdicts).enumerate() {
+            match verdict {
+                Some(kind) => {
+                    responses[i] = Some(wire::WireResponse {
+                        id: req.id,
+                        tick: 0,
+                        kind,
+                    })
+                }
+                None => {
+                    slots.push(i);
+                    admitted.push(req);
+                }
+            }
+        }
+        if !admitted.is_empty() {
+            let ctx = governor
+                .as_ref()
+                .map(|g| g.context(now))
+                .unwrap_or_default();
+            let start = Instant::now();
+            let served = service.process_batch_with(&admitted, &ctx);
+            if let Some(g) = governor.as_mut() {
+                g.tick_done(start.elapsed(), admitted.len());
+            }
+            for (slot, resp) in slots.into_iter().zip(served) {
+                responses[slot] = Some(resp);
+            }
+        }
+        for resp in responses.into_iter().flatten() {
             respond(out, &resp);
         }
         out.flush().expect("stdout flushable");
@@ -425,11 +485,11 @@ fn serve_stdio(mut service: DecisionService, scale: u64) {
                     respond(&mut out, &resp);
                     out.flush().expect("stdout flushable");
                 } else {
-                    batch.push(req);
+                    batch.push((req, Instant::now()));
                 }
             }
             Err(wire::WireError::EmptyLine) => {
-                if flush(&mut service, &mut batch, &mut out) {
+                if flush(&mut service, &mut governor, &mut batch, &mut out) {
                     return;
                 }
             }
@@ -439,7 +499,7 @@ fn serve_stdio(mut service: DecisionService, scale: u64) {
             }
         }
     }
-    flush(&mut service, &mut batch, &mut out);
+    flush(&mut service, &mut governor, &mut batch, &mut out);
 }
 
 /// Serve the JSONL protocol over TCP: one connection per client thread,
@@ -485,19 +545,26 @@ fn serve_tcp(service: DecisionService, addr: &str, scale: u64) {
                             seed,
                         } = &req.kind
                         {
-                            Some(wire::WireResponse {
+                            wire::WireResponse {
                                 id: req.id,
                                 tick: 0,
                                 kind: serve_profile(workloads, *instructions, *seed, scale),
-                            })
+                            }
                         } else {
-                            client.call(req)
+                            match client.call(req) {
+                                Ok(resp) => resp,
+                                Err(e) => {
+                                    // Typed, not silent: the worker is
+                                    // gone, so this connection is done.
+                                    eprintln!("bap serve: {e}; closing connection");
+                                    break;
+                                }
+                            }
                         }
                     }
                     Err(wire::WireError::EmptyLine) => continue,
-                    Err(err) => Some(err.to_response()),
+                    Err(err) => err.to_response(),
                 };
-                let Some(resp) = resp else { break };
                 let bye = matches!(resp.kind, wire::ResponseKind::Bye { .. });
                 if writeln!(writer, "{}", wire::encode_response(&resp)).is_err()
                     || writer.flush().is_err()
@@ -516,11 +583,46 @@ fn serve_tcp(service: DecisionService, addr: &str, scale: u64) {
     server.join();
 }
 
+/// The overload regulation requested on the command line: `--overload on`
+/// (or any individual knob) enables the layer with the tuned defaults,
+/// individual knobs override from there. No flag at all leaves the
+/// service unregulated — byte-identical to the pre-overload server.
+fn overload_flags(flags: &Flags) -> Option<OverloadConfig> {
+    let knobs = [
+        "queue-depth",
+        "inflight",
+        "tick-budget-ms",
+        "brownout-enter",
+        "brownout-exit",
+    ];
+    let enabled = match flags.get("overload") {
+        Some("on") => true,
+        Some("off") => return None,
+        Some(other) => {
+            eprintln!("--overload expects on|off, got {other:?}");
+            exit(2)
+        }
+        None => knobs.iter().any(|k| flags.get(k).is_some()),
+    };
+    if !enabled {
+        return None;
+    }
+    let d = OverloadConfig::default();
+    Some(OverloadConfig {
+        max_queue_depth: flags.u64("queue-depth", d.max_queue_depth as u64) as usize,
+        max_session_inflight: flags.u64("inflight", d.max_session_inflight as u64) as usize,
+        tick_budget_ms: flags.u64("tick-budget-ms", d.tick_budget_ms),
+        brownout_enter_ticks: flags.u64("brownout-enter", u64::from(d.brownout_enter_ticks)) as u32,
+        brownout_exit_ticks: flags.u64("brownout-exit", u64::from(d.brownout_exit_ticks)) as u32,
+    })
+}
+
 fn cmd_serve(flags: &Flags) {
     let mut cfg = ServeConfig::default();
     if let Some(path) = flags.get("checkpoint") {
         cfg.checkpoint_path = Some(std::path::PathBuf::from(path));
     }
+    cfg.overload = overload_flags(flags);
     let mut service = DecisionService::new(cfg);
     if let Some(path) = flags.get("checkpoint") {
         let path = std::path::Path::new(path);

@@ -67,7 +67,7 @@ fn workload(rounds: usize, seed: u64) -> Vec<WireRequest> {
     let mut id = 0u64;
     let mut req = |kind: RequestKind| {
         id += 1;
-        WireRequest { id, kind }
+        WireRequest::new(id, kind)
     };
     for (session, cores) in SESSIONS {
         reqs.push(req(RequestKind::Open { session, cores }));
@@ -221,10 +221,7 @@ fn run_threaded(reqs: &[WireRequest], clients: usize) -> BTreeMap<u64, ResponseK
     }
     let bye = server
         .client()
-        .call(WireRequest {
-            id: u64::MAX,
-            kind: RequestKind::Shutdown,
-        })
+        .call(WireRequest::new(u64::MAX, RequestKind::Shutdown))
         .expect("shutdown acknowledged");
     assert!(matches!(bye.kind, ResponseKind::Bye { .. }));
     server.join();
@@ -289,21 +286,15 @@ fn shutdown_drains_the_inflight_batch() {
     let mut service = DecisionService::new(ServeConfig::default());
     service.process_batch(&workload(1, 0xAB)[..3]); // opens only
     let batch = vec![
-        WireRequest {
-            id: 10,
-            kind: RequestKind::Snapshot {
+        WireRequest::new(
+            10,
+            RequestKind::Snapshot {
                 session: 1,
                 curves: knee_curves(8, 0xAB),
             },
-        },
-        WireRequest {
-            id: 11,
-            kind: RequestKind::Shutdown,
-        },
-        WireRequest {
-            id: 12,
-            kind: RequestKind::Plan { session: 1 },
-        },
+        ),
+        WireRequest::new(11, RequestKind::Shutdown),
+        WireRequest::new(12, RequestKind::Plan { session: 1 }),
     ];
     let out = service.process_batch(&batch);
     assert!(matches!(out[0].kind, ResponseKind::Decision { .. }));

@@ -16,7 +16,7 @@
 
 use bankaware::trace::wire::{
     encode_request, encode_response, parse_request_line, parse_response_line, RequestKind,
-    ResponseKind, WireCurve, WireError, WireRequest, WireResponse, WireSummary,
+    ResponseKind, WireCurve, WireError, WireRequest, WireResponse, WireSummary, ERROR_CODES,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -65,8 +65,18 @@ fn arb_request_kind() -> BoxedStrategy<RequestKind> {
     .boxed()
 }
 
+fn arb_deadline() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (0u64..100_000).prop_map(Some)]
+}
+
 fn arb_request() -> impl Strategy<Value = WireRequest> {
-    (any::<u64>(), arb_request_kind()).prop_map(|(id, kind)| WireRequest { id, kind })
+    (any::<u64>(), arb_deadline(), arb_request_kind()).prop_map(|(id, deadline_ms, kind)| {
+        WireRequest {
+            id,
+            deadline_ms,
+            kind,
+        }
+    })
 }
 
 fn arb_summary() -> impl Strategy<Value = WireSummary> {
@@ -158,8 +168,13 @@ fn arb_response_kind() -> BoxedStrategy<ResponseKind> {
                 }
             }),
         (0usize..64).prop_map(|drained| ResponseKind::Bye { drained }),
-        (arb_string(), arb_string())
-            .prop_map(|(code, detail)| ResponseKind::Error { code, detail }),
+        (arb_string(), arb_string(), arb_deadline()).prop_map(|(code, detail, retry_after_ms)| {
+            ResponseKind::Error {
+                code,
+                detail,
+                retry_after_ms,
+            }
+        }),
     ]
     .boxed()
 }
@@ -274,7 +289,7 @@ proptest! {
         let resp = err.to_response();
         prop_assert_eq!(resp.id, 0);
         match resp.kind {
-            ResponseKind::Error { code, detail } => {
+            ResponseKind::Error { code, detail, .. } => {
                 prop_assert_eq!(code, "malformed");
                 prop_assert!(!detail.is_empty());
             }
@@ -291,6 +306,7 @@ proptest! {
 fn nan_accesses_survive_as_null() {
     let req = WireRequest {
         id: 7,
+        deadline_ms: None,
         kind: RequestKind::Snapshot {
             session: 1,
             curves: vec![WireCurve {
@@ -324,6 +340,40 @@ fn empty_and_blank_lines_are_distinguished_from_garbage() {
         parse_request_line("[1,2,3]"),
         Err(WireError::Malformed(_))
     ));
+}
+
+/// The wire error-code registry is an API contract: clients dispatch on
+/// these strings (`ServeClient::call_with_retry` retries exactly on
+/// `overloaded`), so a rename or removal is a wire break. This test pins
+/// the registry verbatim — extending it is fine, but any change here must
+/// be deliberate and documented.
+#[test]
+fn error_code_registry_is_pinned() {
+    assert_eq!(
+        ERROR_CODES,
+        [
+            "malformed",
+            "bad_request",
+            "unknown_session",
+            "session_exists",
+            "solve_failed",
+            "unsupported",
+            "checkpoint_failed",
+            "overloaded",
+            "deadline-exceeded",
+            "internal",
+        ],
+        "the wire error-code registry changed; this is a compatibility break"
+    );
+    // The helpers stamp codes straight from the registry.
+    let shed = ResponseKind::overloaded("busy", 7);
+    assert_eq!(shed.error_code(), Some("overloaded"));
+    let late = ResponseKind::deadline_exceeded("too late");
+    assert_eq!(late.error_code(), Some("deadline-exceeded"));
+    let ResponseKind::Error { retry_after_ms, .. } = &shed else {
+        panic!("overloaded is an error");
+    };
+    assert_eq!(*retry_after_ms, Some(7), "sheds always carry a retry hint");
 }
 
 #[test]
