@@ -33,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_validation",
     "exp_serve",
     "exp_overload",
+    "exp_failover",
 ];
 
 fn main() {

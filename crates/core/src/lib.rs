@@ -15,13 +15,20 @@
 //! * [`projection`] — MSA-projected system miss rates for whole assignments
 //!   (the Monte Carlo evaluator of Fig. 7 is built on this);
 //! * [`serve`] — the controller wrapped for multi-tenant use: the batched,
-//!   deterministic decision service behind `bap serve`.
+//!   deterministic decision service behind `bap serve`;
+//! * [`replication`] — primary/follower log shipping over the service's
+//!   determinism contract: bounded checkpoint-anchored logs, divergence
+//!   detection, and fenced failover;
+//! * [`net`] — the TCP front end shared by `bap serve --listen` and the
+//!   replication stream, with per-connection panic isolation.
 
 pub mod bank_aware;
 pub mod controller;
 pub mod incremental;
+pub mod net;
 pub mod projection;
 pub mod qos;
+pub mod replication;
 pub mod serve;
 pub mod unrestricted;
 
@@ -34,8 +41,9 @@ pub use controller::{Controller, PlanSource, Policy};
 pub use incremental::{IncrementalSolver, IncrementalStats};
 pub use projection::{projected_misses, projected_plan_misses, projected_total_misses};
 pub use qos::{admit_cores, build_qos_plan, core_bound, AdmissionOutcome, QosState};
+pub use replication::{ReplItem, ReplicationLog, Role};
 pub use serve::{
-    BatchContext, BrownoutLevel, ClientError, DecisionService, OverloadGovernor, ServeClient,
-    ServeConfig, Server,
+    BatchContext, BrownoutLevel, ClientError, DecisionService, KillMode, OverloadGovernor,
+    ServeClient, ServeConfig, Server,
 };
 pub use unrestricted::{unrestricted_partition, unrestricted_partition_traced};

@@ -1,0 +1,177 @@
+//! Replication primitives for the decision service: roles, the bounded
+//! checkpoint-anchored log, and the items shipped to followers.
+//!
+//! The protocol rides the determinism contract proven in `tests/serve.rs`:
+//! responses are a pure function of the id-ordered per-session request
+//! sequences, so a follower that replays the primary's admitted batches in
+//! tick order rebuilds byte-identical state. The primary therefore ships
+//! *inputs* (admitted request batches as [`WireLogEntry`]s), not outputs,
+//! and the follower cross-checks its replay against the primary's
+//! [`SessionDigest`]s to catch any divergence.
+//!
+//! The log stays bounded by anchoring to `bap-recovery` checkpoints: once
+//! the suffix outgrows its capacity the log re-anchors on a fresh encoded
+//! checkpoint and clears the suffix, so a cold follower always joins from
+//! one checkpoint plus at most `capacity` entries.
+
+use bap_trace::wire::WireLogEntry;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+/// Which side of the replication protocol a service is speaking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts state-mutating requests, commits ticks, ships log entries.
+    Primary,
+    /// Refuses state-mutating requests (`not-primary`), applies shipped
+    /// entries, and can be promoted.
+    Follower,
+}
+
+impl Role {
+    /// Stable wire label (`ReplStatus.role`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+        }
+    }
+}
+
+/// The bounded replication log: an anchor checkpoint plus a suffix of
+/// committed entries. A joining follower restores the anchor and replays
+/// the suffix; an in-sync follower receives each new entry as it commits.
+#[derive(Clone, Debug)]
+pub struct ReplicationLog {
+    capacity: usize,
+    anchor: Vec<u8>,
+    anchor_tick: u64,
+    anchor_term: u64,
+    entries: VecDeque<WireLogEntry>,
+}
+
+impl ReplicationLog {
+    /// A log anchored on `anchor` (encoded checkpoint bytes) covering
+    /// state up to `anchor_tick` under `anchor_term`.
+    pub fn new(capacity: usize, anchor: Vec<u8>, anchor_tick: u64, anchor_term: u64) -> Self {
+        ReplicationLog {
+            capacity: capacity.max(1),
+            anchor,
+            anchor_tick,
+            anchor_term,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Append one committed entry to the suffix.
+    pub fn append(&mut self, entry: WireLogEntry) {
+        self.entries.push_back(entry);
+    }
+
+    /// True once the suffix outgrew its capacity and the log should
+    /// re-anchor on a fresh checkpoint.
+    pub fn needs_anchor(&self) -> bool {
+        self.entries.len() > self.capacity
+    }
+
+    /// Replace the anchor with a fresh checkpoint and clear the suffix;
+    /// returns how many entries the re-anchor dropped.
+    pub fn re_anchor(&mut self, anchor: Vec<u8>, anchor_tick: u64, anchor_term: u64) -> usize {
+        let dropped = self.entries.len();
+        self.anchor = anchor;
+        self.anchor_tick = anchor_tick;
+        self.anchor_term = anchor_term;
+        self.entries.clear();
+        dropped
+    }
+
+    /// The anchor checkpoint: `(encoded bytes, tick, term)`.
+    pub fn anchor(&self) -> (&[u8], u64, u64) {
+        (&self.anchor, self.anchor_tick, self.anchor_term)
+    }
+
+    /// The suffix entries after `after_tick`, in commit order.
+    pub fn suffix(&self, after_tick: u64) -> Vec<WireLogEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.tick > after_tick)
+            .cloned()
+            .collect()
+    }
+
+    /// Suffix length.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the suffix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One item shipped over a replication subscription. The `ack` channel
+/// carries the applied tick back to the shipper — the primary holds client
+/// responses until every live follower has acked, which is what makes an
+/// acknowledged decision durable across a primary kill.
+pub enum ReplItem {
+    /// The anchor checkpoint a joining follower restores first.
+    Snapshot {
+        /// Encoded `bap-recovery` checkpoint bytes.
+        state: Vec<u8>,
+        /// Tick the checkpoint covers.
+        tick: u64,
+        /// Term it was anchored under.
+        term: u64,
+        /// Ack channel (the restored tick).
+        ack: mpsc::Sender<u64>,
+    },
+    /// One committed log entry to replay.
+    Entry {
+        /// The entry.
+        entry: WireLogEntry,
+        /// Ack channel (the applied tick).
+        ack: mpsc::Sender<u64>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bap_trace::wire::WireLogEntry;
+
+    fn entry(tick: u64) -> WireLogEntry {
+        WireLogEntry {
+            tick,
+            term: 1,
+            brownout: 0,
+            requests: vec![],
+            digests: vec![],
+        }
+    }
+
+    #[test]
+    fn log_bounds_suffix_and_reanchors() {
+        let mut log = ReplicationLog::new(2, b"anchor0".to_vec(), 0, 1);
+        assert!(log.is_empty());
+        for t in 1..=3 {
+            log.append(entry(t));
+        }
+        assert!(log.needs_anchor(), "3 entries > capacity 2");
+        assert_eq!(log.suffix(1).len(), 2, "suffix filters by tick");
+        let dropped = log.re_anchor(b"anchor3".to_vec(), 3, 1);
+        assert_eq!(dropped, 3);
+        assert!(log.is_empty() && !log.needs_anchor());
+        let (bytes, tick, term) = log.anchor();
+        assert_eq!((bytes, tick, term), (&b"anchor3"[..], 3, 1));
+    }
+
+    #[test]
+    fn zero_capacity_is_floored() {
+        let mut log = ReplicationLog::new(0, vec![], 0, 1);
+        log.append(entry(1));
+        assert!(!log.needs_anchor(), "capacity floors at 1");
+        log.append(entry(2));
+        assert!(log.needs_anchor());
+    }
+}

@@ -51,20 +51,26 @@
 
 use crate::bank_aware::{try_bank_aware_partition, BankAwareConfig};
 use crate::controller::{Controller, Policy};
+use crate::replication::{ReplItem, ReplicationLog, Role};
 use bap_cache::PartitionPlan;
 use bap_msa::{EngineKind, MissRatioCurve, ProfilerConfig};
 use bap_recovery::{Checkpoint, RecoveryError, RecoveryManager, RecoveryRung};
 use bap_trace::wire::{
-    RequestKind, ResponseKind, WireCurve, WireRequest, WireResponse, WireSummary,
+    RequestKind, ResponseKind, SessionDigest, WireCurve, WireLogEntry, WireRequest, WireResponse,
+    WireSummary,
 };
 use bap_trace::{EventKind, NoopSink, Tracer};
-use bap_types::{BankId, ControlConfig, DegradedTopology, OverloadConfig, RetryConfig, Topology};
+use bap_types::{
+    BankId, ControlConfig, DegradedTopology, OverloadConfig, ReplicationConfig, RetryConfig,
+    Topology,
+};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -99,6 +105,13 @@ pub struct ServeConfig {
     /// unregulated server: no gate runs, no deadline is read, no event is
     /// emitted.
     pub overload: Option<OverloadConfig>,
+    /// Primary/follower replication. `None` — the default — leaves the
+    /// service byte-identical to the unreplicated server: no term rides
+    /// any response, no log is kept, no request is refused. With the
+    /// config set, the service stamps its fencing term on every response,
+    /// a primary logs and ships every committed batch, and a follower
+    /// refuses state mutations with `not-primary` until promoted.
+    pub replication: Option<ReplicationConfig>,
     /// Chaos hook for the panic-isolation tier: the first `Snapshot` this
     /// service sees for the named session panics mid-solve (once per
     /// service), exercising the quarantine path. Test-only, like the
@@ -119,6 +132,7 @@ impl Default for ServeConfig {
             max_cores: 256,
             tracer: Tracer::off(),
             overload: None,
+            replication: None,
             chaos_panic_session: None,
         }
     }
@@ -156,6 +170,16 @@ impl BrownoutLevel {
             _ => BrownoutLevel::Normal,
         }
     }
+
+    /// Decode the level a replication-log entry shipped (`as u8` inverse;
+    /// unknown future levels clamp to the most conservative).
+    fn from_u8(v: u8) -> BrownoutLevel {
+        match v {
+            0 => BrownoutLevel::Normal,
+            1 => BrownoutLevel::Budgeted,
+            _ => BrownoutLevel::LastGood,
+        }
+    }
 }
 
 /// How one batch is to be served: the overload governor's verdict for a
@@ -181,6 +205,13 @@ struct SessionState {
     topo: Topology,
     controller: Controller,
     tracer: Tracer,
+    /// Exactly-once cache for replicated services: the last applied
+    /// `Snapshot`'s `(id, response)`. A client that never heard its
+    /// acknowledged answer (the primary died after shipping, before
+    /// responding) retries the same id against the promoted follower and
+    /// gets this cached response instead of a double-applied epoch.
+    /// Always `None` when replication is off.
+    last_decision: Option<(u64, ResponseKind)>,
 }
 
 impl SessionState {
@@ -212,6 +243,7 @@ impl SessionState {
             topo,
             controller,
             tracer,
+            last_decision: None,
         }
     }
 
@@ -359,6 +391,27 @@ fn apply_decision(
     }
 }
 
+/// The replication half of a service: role, fencing term, the bounded
+/// log, and the divergence ledger. Present exactly when
+/// [`ServeConfig::replication`] is set.
+struct ReplState {
+    role: Role,
+    /// The fencing term. Starts at 1, bumped by promotion or by observing
+    /// a higher term on a shipped entry; stamped on every wire response.
+    term: u64,
+    log: ReplicationLog,
+    /// Highest shipped-entry tick this replica has applied (the
+    /// replication frontier; on a primary the service tick is the
+    /// frontier instead).
+    applied: u64,
+    /// Replay digest mismatches detected so far. A non-zero count blocks
+    /// promotion: the replica cannot vouch for its state.
+    divergences: u64,
+    /// True while a shipped entry replays through `process_batch_with`,
+    /// so the follower gate lets the replayed mutations through.
+    replaying: bool,
+}
+
 /// The multi-tenant decision service: every wire request except `Profile`
 /// (which needs the workload catalog and lives in the `bap` front end) is
 /// served here, deterministically, batch by batch.
@@ -376,6 +429,8 @@ pub struct DecisionService {
     tick: u64,
     /// Requests served in total.
     requests: u64,
+    /// Replication state; `None` when replication is off.
+    repl: Option<ReplState>,
 }
 
 impl DecisionService {
@@ -384,7 +439,8 @@ impl DecisionService {
         let history = RecoveryManager::new(cfg.history);
         let tracer = cfg.tracer.clone();
         let chaos_armed = cfg.chaos_panic_session.is_some();
-        DecisionService {
+        let replication = cfg.replication;
+        let mut svc = DecisionService {
             cfg,
             sessions: BTreeMap::new(),
             poisoned: BTreeSet::new(),
@@ -393,7 +449,26 @@ impl DecisionService {
             tracer,
             tick: 0,
             requests: 0,
+            repl: None,
+        };
+        if let Some(rcfg) = replication {
+            // The empty service is its own first anchor: a follower that
+            // joins before any tick restores a checkpoint of nothing.
+            let anchor = svc.checkpoint().encode();
+            svc.repl = Some(ReplState {
+                role: if rcfg.follower {
+                    Role::Follower
+                } else {
+                    Role::Primary
+                },
+                term: 1,
+                log: ReplicationLog::new(rcfg.capacity(), anchor, 0, 1),
+                applied: 0,
+                divergences: 0,
+                replaying: false,
+            });
         }
+        svc
     }
 
     /// Live sessions.
@@ -404,6 +479,37 @@ impl DecisionService {
     /// Epoch ticks (batches) served so far.
     pub fn ticks(&self) -> u64 {
         self.tick
+    }
+
+    /// The fencing term stamped on responses: `Some` exactly when
+    /// replication is configured.
+    pub fn term(&self) -> Option<u64> {
+        self.repl.as_ref().map(|r| r.term)
+    }
+
+    /// The replication role, when replication is configured.
+    pub fn role(&self) -> Option<Role> {
+        self.repl.as_ref().map(|r| r.role)
+    }
+
+    /// Replay digest mismatches detected so far (0 when replication is
+    /// off or the replica is clean).
+    pub fn divergences(&self) -> u64 {
+        self.repl.as_ref().map(|r| r.divergences).unwrap_or(0)
+    }
+
+    /// The service-level trace handle (front ends emit connection events
+    /// through it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// How long a shipper waits for this service's follower acks.
+    pub fn ack_timeout(&self) -> Duration {
+        self.cfg
+            .replication
+            .map(|r| r.ack_timeout())
+            .unwrap_or(Duration::from_millis(1000))
     }
 
     /// Serve one batch: one epoch tick. Responses come back 1:1 in the
@@ -446,11 +552,27 @@ impl DecisionService {
         order.sort_by_key(|&i| requests[i].id);
         let mut kinds: Vec<Option<ResponseKind>> = (0..n).map(|_| None).collect();
 
+        // The follower gate: a follower refuses state mutations with the
+        // pinned `not-primary` code unless a shipped entry is replaying —
+        // the primary is the only writer the fleet has.
+        let refuse = self
+            .repl
+            .as_ref()
+            .map(|r| r.role == Role::Follower && !r.replaying)
+            .unwrap_or(false);
+        let fence_term = self.repl.as_ref().map(|r| r.term).unwrap_or(0);
+
         // Phase 1: session lifecycle, serial in id order, so a Snapshot
         // batched together with its Open (ids permitting) already works.
         for &i in &order {
             if let RequestKind::Open { session, cores } = &requests[i].kind {
-                kinds[i] = Some(self.handle_open(*session, *cores));
+                kinds[i] = Some(if refuse {
+                    let id = requests[i].id;
+                    self.tracer.emit(|| EventKind::NotPrimaryRejected { id });
+                    ResponseKind::not_primary(fence_term)
+                } else {
+                    self.handle_open(*session, *cores)
+                });
             }
         }
 
@@ -462,7 +584,13 @@ impl DecisionService {
         for &i in &order {
             match &requests[i].kind {
                 RequestKind::Snapshot { session, .. } | RequestKind::Evaluate { session, .. } => {
-                    by_session.entry(*session).or_default().push(i);
+                    if refuse {
+                        let id = requests[i].id;
+                        self.tracer.emit(|| EventKind::NotPrimaryRejected { id });
+                        kinds[i] = Some(ResponseKind::not_primary(fence_term));
+                    } else {
+                        by_session.entry(*session).or_default().push(i);
+                    }
                 }
                 _ => {}
             }
@@ -501,6 +629,12 @@ impl DecisionService {
             // after recovery runs clean.
             self.chaos_armed = false;
         }
+        // Replicated services cache each session's last applied Snapshot
+        // by request id: a client that never heard its acknowledged
+        // answer (the primary died after shipping, before responding)
+        // retries the same id against the promoted follower and gets the
+        // cached response instead of a double-applied epoch.
+        let dedup = self.repl.is_some();
         // A panic inside a session's decision work must not take down the
         // batch (or, through the rayon shim, the whole worker): the
         // catch_unwind rides *inside* the per-session task, so a poisoned
@@ -514,10 +648,19 @@ impl DecisionService {
                 };
                 idxs.iter()
                     .map(|&i| {
-                        (
-                            i,
-                            apply_decision(&mut s, &requests[i], &solver, ctx, chaos_panic),
-                        )
+                        let req = &requests[i];
+                        if dedup && matches!(req.kind, RequestKind::Snapshot { .. }) {
+                            if let Some((last_id, cached)) = &s.last_decision {
+                                if *last_id == req.id {
+                                    return (i, cached.clone());
+                                }
+                            }
+                        }
+                        let kind = apply_decision(&mut s, req, &solver, ctx, chaos_panic);
+                        if dedup && matches!(req.kind, RequestKind::Snapshot { .. }) {
+                            s.last_decision = Some((req.id, kind.clone()));
+                        }
+                        (i, kind)
                     })
                     .collect::<Vec<(usize, ResponseKind)>>()
             }));
@@ -568,6 +711,14 @@ impl DecisionService {
                 ),
                 RequestKind::Checkpoint => self.handle_checkpoint(),
                 RequestKind::Stats => self.handle_stats(),
+                RequestKind::Promote => self.handle_promote(),
+                RequestKind::ReplStatus => self.handle_repl_status(),
+                RequestKind::ReplSubscribe { .. } | RequestKind::ReplAck { .. } => {
+                    ResponseKind::error(
+                        "unsupported",
+                        "replication stream frames are handled by the TCP front end",
+                    )
+                }
                 RequestKind::Shutdown => {
                     self.tracer.emit(|| EventKind::ServerDrained { residual });
                     ResponseKind::Bye { drained: residual }
@@ -589,12 +740,16 @@ impl DecisionService {
             });
         }
 
+        // Read the term *after* phase 3: a Promote in this batch already
+        // bumped it, so its whole tick answers under the new fence.
+        let term = self.repl.as_ref().map(|r| r.term);
         requests
             .iter()
             .zip(kinds)
             .map(|(r, kind)| WireResponse {
                 id: r.id,
                 tick,
+                term,
                 kind: kind.expect("every request is answered exactly once"),
             })
             .collect()
@@ -685,15 +840,21 @@ impl DecisionService {
             .sessions
             .iter()
             .map(|(id, s)| {
-                serde::Value::Object(vec![
+                let mut members = vec![
                     ("id".to_string(), serde::Serialize::to_value(id)),
                     ("cores".to_string(), serde::Serialize::to_value(&s.cores)),
                     ("state".to_string(), s.controller.snapshot()),
-                ])
+                ];
+                // The exactly-once cache rides only when populated, so
+                // unreplicated snapshots stay byte-identical.
+                if let Some(dedup) = &s.last_decision {
+                    members.push(("dedup".to_string(), serde::Serialize::to_value(dedup)));
+                }
+                serde::Value::Object(members)
             })
             .collect();
         let poisoned: Vec<u64> = self.poisoned.iter().copied().collect();
-        serde::Value::Object(vec![
+        let mut members = vec![
             ("tick".to_string(), serde::Serialize::to_value(&self.tick)),
             (
                 "requests".to_string(),
@@ -704,7 +865,12 @@ impl DecisionService {
                 serde::Serialize::to_value(&poisoned),
             ),
             ("sessions".to_string(), serde::Value::Array(sessions)),
-        ])
+        ];
+        // Likewise the fencing term: only a replicated service has one.
+        if let Some(repl) = &self.repl {
+            members.push(("term".to_string(), serde::Serialize::to_value(&repl.term)));
+        }
+        serde::Value::Object(members)
     }
 
     /// Rebuild the service from a [`DecisionService::snapshot`] payload.
@@ -730,6 +896,10 @@ impl DecisionService {
                 .ok_or_else(|| serde::Error::msg(format!("session {id} has no state")))?;
             let mut session = SessionState::new(cores, &self.cfg);
             session.controller.restore(state)?;
+            // Optional: the exactly-once cache of a replicated snapshot.
+            if entry.get("dedup").is_some() {
+                session.last_decision = Some(serde::from_field(entry, "dedup")?);
+            }
             sessions.insert(id, session);
         }
         // Old snapshots (pre-overload) have no poisoned list; treat the
@@ -745,6 +915,16 @@ impl DecisionService {
         self.poisoned = poisoned;
         self.tick = tick;
         self.requests = requests;
+        // A snapshot's term can only advance the fence, never lower it:
+        // a replica that already observed a higher term stays fenced.
+        if let Some(repl) = self.repl.as_mut() {
+            if v.get("term").is_some() {
+                let term: u64 = serde::from_field(v, "term")?;
+                if term > repl.term {
+                    repl.term = term;
+                }
+            }
+        }
         self.tracer.emit(|| EventKind::ServerRestored {
             sessions: restored,
             tick,
@@ -812,6 +992,281 @@ impl DecisionService {
             s.controller.bank_restored(BankId(bank));
         }
     }
+
+    /// The current log anchor `(encoded checkpoint, tick, term)` when
+    /// replication is on — what a joining follower restores first.
+    pub fn log_anchor(&self) -> Option<(Vec<u8>, u64, u64)> {
+        self.repl.as_ref().map(|r| {
+            let (bytes, tick, term) = r.log.anchor();
+            (bytes.to_vec(), tick, term)
+        })
+    }
+
+    /// The log suffix after `after_tick`, in commit order (empty when
+    /// replication is off).
+    pub fn log_suffix(&self, after_tick: u64) -> Vec<WireLogEntry> {
+        self.repl
+            .as_ref()
+            .map(|r| r.log.suffix(after_tick))
+            .unwrap_or_default()
+    }
+
+    /// The per-session `(epoch, plan fingerprint)` digest the replication
+    /// protocol cross-checks; `(0, 0)` for a session that does not exist
+    /// or has no plan yet (both sides compute it the same way).
+    fn session_digest(&self, session: u64) -> (u64, u64) {
+        self.sessions
+            .get(&session)
+            .map(|s| {
+                (
+                    s.controller.epochs(),
+                    s.controller
+                        .last_plan()
+                        .map(|p| p.fingerprint())
+                        .unwrap_or(0),
+                )
+            })
+            .unwrap_or((0, 0))
+    }
+
+    /// Commit the tick just served to the replication log and hand back
+    /// the entry to ship. Primary only — `None` when replication is off
+    /// or this replica is a follower. The entry carries the *inputs*:
+    /// the batch's state-mutating requests (`Open`/`Snapshot`) in id
+    /// order — queries and control frames replay to nothing — plus a
+    /// [`SessionDigest`] for every session those requests touch, so a
+    /// follower can both replay and cross-check. Every committed tick
+    /// ships, even an all-query one: the ack-before-answer contract
+    /// wants the shipped tick stream gap-free.
+    pub fn log_batch(&mut self, requests: &[WireRequest], brownout: u8) -> Option<WireLogEntry> {
+        let repl = self.repl.as_ref()?;
+        if repl.role != Role::Primary {
+            return None;
+        }
+        let term = repl.term;
+        let mut reqs: Vec<WireRequest> = requests
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    RequestKind::Open { .. } | RequestKind::Snapshot { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        reqs.sort_by_key(|r| r.id);
+        let mut touched: BTreeSet<u64> = BTreeSet::new();
+        for r in &reqs {
+            match &r.kind {
+                RequestKind::Open { session, .. } | RequestKind::Snapshot { session, .. } => {
+                    touched.insert(*session);
+                }
+                _ => {}
+            }
+        }
+        let digests: Vec<SessionDigest> = touched
+            .into_iter()
+            .map(|session| {
+                let (epoch, fingerprint) = self.session_digest(session);
+                SessionDigest {
+                    session,
+                    epoch,
+                    fingerprint,
+                }
+            })
+            .collect();
+        let entry = WireLogEntry {
+            tick: self.tick,
+            term,
+            brownout,
+            requests: reqs,
+            digests,
+        };
+        self.append_to_log(entry.clone());
+        Some(entry)
+    }
+
+    /// Append one committed entry to the local log; once the suffix
+    /// outgrows its capacity, re-anchor on a fresh checkpoint so the log
+    /// stays bounded and a cold joiner never replays more than one
+    /// capacity's worth of entries.
+    fn append_to_log(&mut self, entry: WireLogEntry) {
+        let needs = match self.repl.as_mut() {
+            Some(repl) => {
+                repl.log.append(entry);
+                repl.log.needs_anchor()
+            }
+            None => return,
+        };
+        if !needs {
+            return;
+        }
+        // Sequenced: the checkpoint borrows the whole service, the
+        // re-anchor only the replication half.
+        let bytes = self.checkpoint().encode();
+        let tick = self.tick;
+        let repl = self.repl.as_mut().expect("checked above");
+        let term = repl.term;
+        let dropped = repl.log.re_anchor(bytes, tick, term);
+        self.tracer
+            .emit(|| EventKind::ReplAnchored { tick, dropped });
+    }
+
+    /// Apply one shipped log entry (the follower side). Replays the
+    /// entry's requests through the normal batch path at the shipped
+    /// tick and brownout level, cross-checks the primary's digests
+    /// against the replayed state, appends the entry to the local log
+    /// and advances the replication frontier. Returns the applied tick
+    /// (the ack), or `None` when the entry must not be applied — this
+    /// replica is a primary, or the entry's term is stale (a deposed
+    /// primary still shipping). A refused entry is deliberately not
+    /// acked: the shipper times out and drops the connection.
+    pub fn apply_repl_entry(&mut self, entry: &WireLogEntry) -> Option<u64> {
+        {
+            let repl = self.repl.as_ref()?;
+            if repl.role == Role::Primary || entry.term < repl.term {
+                let (tick, term) = (entry.tick, entry.term);
+                self.tracer
+                    .emit(|| EventKind::StaleEntryRejected { tick, term });
+                return None;
+            }
+            if entry.tick <= repl.applied {
+                // A re-ship of an entry already applied (catch-up after
+                // a reconnect overlapping the live stream): idempotent.
+                return Some(entry.tick);
+            }
+        }
+        if let Some(repl) = self.repl.as_mut() {
+            if entry.term > repl.term {
+                repl.term = entry.term;
+                let term = entry.term;
+                self.tracer.emit(|| EventKind::TermBumped {
+                    term,
+                    reason: "observed a higher term on a shipped entry".to_string(),
+                });
+            }
+            repl.replaying = true;
+        }
+        // Replay at the shipped tick: the primary's tick stream is the
+        // authority; follower-local queries in between must not shift
+        // where the replayed mutations land.
+        self.tick = entry.tick.saturating_sub(1);
+        let ctx = BatchContext {
+            solve_deadline: None,
+            brownout: BrownoutLevel::from_u8(entry.brownout),
+            retry_after_ms: 0,
+        };
+        self.process_batch_with(&entry.requests, &ctx);
+        if let Some(repl) = self.repl.as_mut() {
+            repl.replaying = false;
+        }
+        // Cross-check: the replayed state must match the primary's
+        // digests bit for bit. Any mismatch is a divergence — reported
+        // as a typed event, counted, and promotion-blocking.
+        let mut mismatches = 0u64;
+        for d in &entry.digests {
+            let (epoch, fingerprint) = self.session_digest(d.session);
+            if epoch != d.epoch || fingerprint != d.fingerprint {
+                mismatches += 1;
+                let (session, tick, expected, actual) =
+                    (d.session, entry.tick, d.fingerprint, fingerprint);
+                self.tracer.emit(|| EventKind::DivergenceDetected {
+                    session,
+                    tick,
+                    expected,
+                    actual,
+                });
+            }
+        }
+        let (tick, nreq) = (entry.tick, entry.requests.len());
+        self.tracer.emit(|| EventKind::ReplEntryApplied {
+            tick,
+            requests: nreq,
+        });
+        self.append_to_log(entry.clone());
+        if let Some(repl) = self.repl.as_mut() {
+            repl.divergences += mismatches;
+            repl.applied = entry.tick;
+        }
+        Some(entry.tick)
+    }
+
+    /// Restore this replica from a shipped anchor checkpoint (the first
+    /// item of a subscription): decode, rebuild the whole service from
+    /// it, and re-anchor the local log on the same bytes so a promoted
+    /// ex-follower can serve joiners itself.
+    pub fn restore_from_anchor(
+        &mut self,
+        state: &[u8],
+        tick: u64,
+        term: u64,
+    ) -> Result<(), RecoveryError> {
+        let cp = Checkpoint::decode(state)?;
+        self.restore_from_checkpoint(&cp)?;
+        if let Some(repl) = self.repl.as_mut() {
+            if term > repl.term {
+                repl.term = term;
+            }
+            repl.applied = tick;
+            repl.log.re_anchor(state.to_vec(), tick, term);
+        }
+        self.tick = self.tick.max(tick);
+        Ok(())
+    }
+
+    /// Serve a `Promote`: fence off the old primary by bumping the term
+    /// and start accepting mutations. Refused on a primary, without
+    /// replication, and — crucially — on a replica whose replay ever
+    /// diverged: a diverged follower cannot vouch for its state.
+    fn handle_promote(&mut self) -> ResponseKind {
+        let Some(repl) = self.repl.as_mut() else {
+            return ResponseKind::error(
+                "unsupported",
+                "promotion needs replication configured on this replica",
+            );
+        };
+        if repl.role == Role::Primary {
+            return ResponseKind::error("bad_request", "this replica is already the primary");
+        }
+        if repl.divergences > 0 {
+            let n = repl.divergences;
+            return ResponseKind::error(
+                "divergence",
+                format!("refusing promotion: {n} divergence(s) detected during replay"),
+            );
+        }
+        repl.role = Role::Primary;
+        repl.term += 1;
+        let term = repl.term;
+        let tick = repl.applied;
+        self.tick = self.tick.max(tick);
+        self.tracer.emit(|| EventKind::TermBumped {
+            term,
+            reason: "promoted to primary".to_string(),
+        });
+        ResponseKind::Promoted { term, tick }
+    }
+
+    /// Serve a `ReplStatus` introspection query.
+    fn handle_repl_status(&self) -> ResponseKind {
+        let Some(repl) = self.repl.as_ref() else {
+            return ResponseKind::error(
+                "unsupported",
+                "replication is not configured on this replica",
+            );
+        };
+        ResponseKind::ReplStatus {
+            role: repl.role.label().to_string(),
+            term: repl.term,
+            tick: match repl.role {
+                Role::Primary => self.tick,
+                Role::Follower => repl.applied,
+            },
+            log_entries: repl.log.len(),
+            anchor_tick: repl.log.anchor().1,
+            divergences: repl.divergences,
+        }
+    }
 }
 
 /// The overload governor: the stateful gate between the request queue and
@@ -867,8 +1322,10 @@ impl OverloadGovernor {
     /// Gate one dequeue sweep. Returns one verdict per pending request,
     /// in order: `None` admits it into the tick's batch; `Some(kind)` is
     /// the immediate answer (deadline expiry or shed) — the request never
-    /// reaches the service. `Shutdown` is exempt from shedding: a drain
-    /// must always get through. At least one decision request is admitted
+    /// reaches the service. `Shutdown` and `Promote` are exempt from
+    /// shedding: a drain must always get through, and a failover must
+    /// never be refused by the very overload it is escaping.
+    /// At least one decision request is admitted
     /// per sweep so the system keeps making progress under any budget.
     pub fn gate(
         &mut self,
@@ -882,7 +1339,7 @@ impl OverloadGovernor {
         // client has already given up on as `overloaded` would invite a
         // pointless retry.
         for (i, (req, arrival)) in pending.iter().enumerate() {
-            if matches!(req.kind, RequestKind::Shutdown) {
+            if matches!(req.kind, RequestKind::Shutdown | RequestKind::Promote) {
                 continue;
             }
             if let Some(budget) = req.deadline_ms {
@@ -915,7 +1372,9 @@ impl OverloadGovernor {
         let mut decisions = 0usize;
 
         for (i, (req, _)) in pending.iter().enumerate() {
-            if verdicts[i].is_some() || matches!(req.kind, RequestKind::Shutdown) {
+            if verdicts[i].is_some()
+                || matches!(req.kind, RequestKind::Shutdown | RequestKind::Promote)
+            {
                 continue;
             }
             if self.cfg.max_queue_depth > 0 && admitted >= self.cfg.max_queue_depth {
@@ -1030,19 +1489,180 @@ impl OverloadGovernor {
 /// channel, and its arrival instant (the deadline clock starts here).
 struct Envelope(WireRequest, mpsc::Sender<WireResponse>, Instant);
 
+/// Everything the worker loop multiplexes on its one queue: client
+/// requests, shipped replication traffic, follower attachment, and the
+/// chaos controls of the failover bench.
+enum WorkItem {
+    /// A client request awaiting its reply.
+    Client(Envelope),
+    /// A shipped replication item to apply (the follower side).
+    Repl(ReplItem),
+    /// Attach a follower sink: catch it up (anchor + suffix), then ship
+    /// it every committed entry.
+    Attach(mpsc::Sender<ReplItem>),
+    /// Chaos: corrupt the next shipped entry's first digest — the
+    /// shipped copy only, the local log stays clean — proving the
+    /// divergence detector end to end.
+    ChaosFlipDigest,
+    /// Chaos: kill the worker like a `kill -9`.
+    Kill(KillMode),
+}
+
+/// Which instant [`Server::kill`] murders the worker at — the two
+/// interesting moments of a primary crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillMode {
+    /// Die at the next sweep, before serving anything more: queued and
+    /// in-flight requests go unanswered ([`ClientError::Disconnected`]).
+    Now,
+    /// Serve one more batch, ship it to the followers and collect their
+    /// acks, then die *before answering the clients* — the window that
+    /// makes zero-acknowledged-loss hard: the answers the clients never
+    /// heard are already durable on the promoted follower, which serves
+    /// the retries from its exactly-once cache.
+    AfterShip,
+}
+
 /// The threaded shell around a [`DecisionService`]: one worker thread owns
 /// the service; clients enqueue requests; the worker drains the queue's
 /// natural backlog into one batch per epoch tick. Concurrency shapes only
 /// the batching — determinism is the service's job.
+///
+/// With replication on, the worker is also the replication endpoint: a
+/// primary ships every committed batch to its attached follower sinks
+/// and holds the batch's client responses until every live follower
+/// acked (semi-synchronous — an acknowledged decision is durable on the
+/// fleet); a follower applies shipped items between client sweeps.
 pub struct Server {
-    tx: mpsc::Sender<Envelope>,
+    tx: mpsc::Sender<WorkItem>,
     handle: thread::JoinHandle<DecisionService>,
 }
 
-/// A cloneable, blocking client handle onto a [`Server`].
+/// A cloneable, blocking client handle onto one [`Server`] — or onto a
+/// replica fleet ([`Server::client_of`]): calls go to the current
+/// replica and fail over in list order on a dead target, and
+/// [`ServeClient::call_with_retry`] also redirects on `not-primary` and
+/// `fenced` answers. Clones share the replica cursor and the highest
+/// fencing term seen, so one thread's failover redirects every clone
+/// and a deposed primary's stale answers are rejected fleet-wide.
 #[derive(Clone)]
 pub struct ServeClient {
-    tx: mpsc::Sender<Envelope>,
+    targets: Vec<mpsc::Sender<WorkItem>>,
+    /// Index of the replica currently targeted (shared across clones).
+    current: Arc<AtomicUsize>,
+    /// Highest fencing term observed on any response; a lower-termed
+    /// response is from a deposed primary and answers `fenced`.
+    max_term: Arc<AtomicU64>,
+}
+
+/// Ship one committed entry to every follower sink and await each ack;
+/// a sink that hung up or timed out is dropped (`FollowerLost`) so the
+/// surviving fleet keeps the primary answering.
+fn ship_entry(
+    service: &DecisionService,
+    sinks: &mut Vec<mpsc::Sender<ReplItem>>,
+    entry: &WireLogEntry,
+    ack_timeout: Duration,
+) {
+    if sinks.is_empty() {
+        return;
+    }
+    let mut live: Vec<mpsc::Sender<ReplItem>> = Vec::with_capacity(sinks.len());
+    let mut acked = 0usize;
+    for sink in sinks.drain(..) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let ok = sink
+            .send(ReplItem::Entry {
+                entry: entry.clone(),
+                ack: ack_tx,
+            })
+            .is_ok()
+            && ack_rx.recv_timeout(ack_timeout).is_ok();
+        if ok {
+            acked += 1;
+            live.push(sink);
+        } else {
+            let detail = format!("no ack shipping the entry for tick {}", entry.tick);
+            service.tracer().emit(|| EventKind::FollowerLost { detail });
+        }
+    }
+    *sinks = live;
+    let (tick, followers) = (entry.tick, acked);
+    service
+        .tracer()
+        .emit(|| EventKind::ReplEntryShipped { tick, followers });
+}
+
+/// Bring one follower sink up to date: the anchor checkpoint first,
+/// then the log suffix, each acked. Only a survivor of the catch-up
+/// joins the shipping fleet.
+fn attach_follower(
+    service: &DecisionService,
+    sink: &mpsc::Sender<ReplItem>,
+    ack_timeout: Duration,
+) -> bool {
+    let Some((state, tick, term)) = service.log_anchor() else {
+        return false; // replication is off; nothing to subscribe to
+    };
+    let (ack_tx, ack_rx) = mpsc::channel();
+    if sink
+        .send(ReplItem::Snapshot {
+            state,
+            tick,
+            term,
+            ack: ack_tx,
+        })
+        .is_err()
+        || ack_rx.recv_timeout(ack_timeout).is_err()
+    {
+        service.tracer().emit(|| EventKind::FollowerLost {
+            detail: "no ack restoring the anchor checkpoint".to_string(),
+        });
+        return false;
+    }
+    let suffix = service.log_suffix(tick);
+    let entries = suffix.len();
+    for entry in suffix {
+        let entry_tick = entry.tick;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if sink.send(ReplItem::Entry { entry, ack: ack_tx }).is_err()
+            || ack_rx.recv_timeout(ack_timeout).is_err()
+        {
+            let detail = format!("no ack replaying the suffix at tick {entry_tick}");
+            service.tracer().emit(|| EventKind::FollowerLost { detail });
+            return false;
+        }
+    }
+    let anchor_tick = tick;
+    service.tracer().emit(|| EventKind::FollowerJoined {
+        anchor_tick,
+        entries,
+    });
+    true
+}
+
+/// Apply one shipped replication item on this worker's service and ack
+/// it. A refused item (stale term, or this replica is itself a primary)
+/// is deliberately not acked: the shipper times out and drops us, which
+/// is exactly how a deposed primary loses its fleet.
+fn apply_repl_item(service: &mut DecisionService, item: ReplItem) {
+    match item {
+        ReplItem::Snapshot {
+            state,
+            tick,
+            term,
+            ack,
+        } => {
+            if service.restore_from_anchor(&state, tick, term).is_ok() {
+                let _ = ack.send(tick);
+            }
+        }
+        ReplItem::Entry { entry, ack } => {
+            if let Some(tick) = service.apply_repl_entry(&entry) {
+                let _ = ack.send(tick);
+            }
+        }
+    }
 }
 
 impl Server {
@@ -1053,21 +1673,48 @@ impl Server {
     /// unbounded and `send` never blocks — backpressure is expressed as
     /// immediate `overloaded` answers, never as a stalled accept path.
     pub fn spawn(mut service: DecisionService) -> Server {
-        let (tx, rx) = mpsc::channel::<Envelope>();
+        let (tx, rx) = mpsc::channel::<WorkItem>();
         let mut governor = service.governor();
+        let ack_timeout = service.ack_timeout();
         let handle = thread::Builder::new()
             .name("bap-serve".to_string())
             .spawn(move || {
-                loop {
-                    // Block for the first request, then sweep whatever
-                    // else already queued into the same tick.
+                let mut sinks: Vec<mpsc::Sender<ReplItem>> = Vec::new();
+                let mut flip_armed = false;
+                let mut die_after_ship = false;
+                'serve: loop {
+                    // Block for the first item, then sweep whatever else
+                    // already queued into the same tick.
                     let first = match rx.recv() {
-                        Ok(env) => env,
+                        Ok(item) => item,
                         Err(_) => break, // every client handle dropped
                     };
-                    let mut batch = vec![first];
-                    while let Ok(env) = rx.try_recv() {
-                        batch.push(env);
+                    let mut items = vec![first];
+                    while let Ok(item) = rx.try_recv() {
+                        items.push(item);
+                    }
+                    // Control and replication traffic peels off first;
+                    // the client envelopes left form the tick's sweep.
+                    let mut batch: Vec<Envelope> = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            WorkItem::Client(env) => batch.push(env),
+                            WorkItem::Repl(item) => apply_repl_item(&mut service, item),
+                            WorkItem::Attach(sink) => {
+                                if attach_follower(&service, &sink, ack_timeout) {
+                                    sinks.push(sink);
+                                }
+                            }
+                            WorkItem::ChaosFlipDigest => flip_armed = true,
+                            WorkItem::Kill(KillMode::Now) => break 'serve,
+                            WorkItem::Kill(KillMode::AfterShip) => die_after_ship = true,
+                        }
+                    }
+                    if batch.is_empty() {
+                        if die_after_ship {
+                            break; // nothing left to ship; just die
+                        }
+                        continue;
                     }
                     let shutdown = batch
                         .iter()
@@ -1075,8 +1722,10 @@ impl Server {
                     if shutdown {
                         // Drain stragglers that raced the shutdown into
                         // the final batch so they are answered, not lost.
-                        while let Ok(env) = rx.try_recv() {
-                            batch.push(env);
+                        while let Ok(item) = rx.try_recv() {
+                            if let WorkItem::Client(env) = item {
+                                batch.push(env);
+                            }
                         }
                     }
                     let now = Instant::now();
@@ -1098,6 +1747,7 @@ impl Server {
                                 let _ = env.1.send(WireResponse {
                                     id: env.0.id,
                                     tick: 0,
+                                    term: service.term(),
                                     kind,
                                 });
                             }
@@ -1117,6 +1767,22 @@ impl Server {
                     if let Some(g) = governor.as_mut() {
                         g.tick_done(start.elapsed(), requests.len());
                     }
+                    // Commit and ship *before answering*: a response only
+                    // leaves once every live follower acked the entry
+                    // that produced it, so an acknowledged decision is
+                    // durable on the fleet — the zero-loss contract.
+                    if let Some(mut entry) = service.log_batch(&requests, ctx.brownout as u8) {
+                        if flip_armed && !entry.digests.is_empty() {
+                            entry.digests[0].fingerprint ^= 1;
+                            flip_armed = false;
+                        }
+                        ship_entry(&service, &mut sinks, &entry, ack_timeout);
+                    }
+                    if die_after_ship {
+                        // The kill -9 window: the batch is durable on the
+                        // followers but the clients never hear back.
+                        break;
+                    }
                     for (env, resp) in admitted.into_iter().zip(responses) {
                         // A client that hung up just doesn't read its
                         // reply; the batch still completes.
@@ -1135,8 +1801,68 @@ impl Server {
     /// A client handle; clone freely across threads.
     pub fn client(&self) -> ServeClient {
         ServeClient {
-            tx: self.tx.clone(),
+            targets: vec![self.tx.clone()],
+            current: Arc::new(AtomicUsize::new(0)),
+            max_term: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// A client over a replica fleet: calls target the replicas in list
+    /// order, failing over on a dead target, `not-primary`, or a fence.
+    /// List the primary first.
+    pub fn client_of(replicas: &[&Server]) -> ServeClient {
+        ServeClient {
+            targets: replicas.iter().map(|s| s.tx.clone()).collect(),
+            current: Arc::new(AtomicUsize::new(0)),
+            max_term: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A sink feeding shipped replication items into this server's
+    /// worker — the in-process transport (the TCP front end bridges the
+    /// same items over a socket). The relay exits when either side
+    /// hangs up.
+    pub fn repl_sink(&self) -> mpsc::Sender<ReplItem> {
+        let (tx, rx) = mpsc::channel::<ReplItem>();
+        let worker = self.tx.clone();
+        thread::Builder::new()
+            .name("bap-repl-sink".to_string())
+            .spawn(move || {
+                while let Ok(item) = rx.recv() {
+                    if worker.send(WorkItem::Repl(item)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn repl sink relay");
+        tx
+    }
+
+    /// Attach a raw follower sink to this server's replication stream
+    /// (the TCP bridge's half; prefer [`Server::replicate_to`] for
+    /// in-process pairs).
+    pub fn attach(&self, sink: mpsc::Sender<ReplItem>) {
+        let _ = self.tx.send(WorkItem::Attach(sink));
+    }
+
+    /// Subscribe `follower` to this server's replication stream: anchor
+    /// plus suffix catch-up first, then every committed entry, with
+    /// every item acked before the primary answers its clients.
+    pub fn replicate_to(&self, follower: &Server) {
+        self.attach(follower.repl_sink());
+    }
+
+    /// Chaos: kill the worker thread `kill -9` style — no drain, no
+    /// goodbye. See [`KillMode`] for which instant the process dies at.
+    pub fn kill(&self, mode: KillMode) {
+        let _ = self.tx.send(WorkItem::Kill(mode));
+    }
+
+    /// Chaos: corrupt the next shipped entry's first digest (the
+    /// shipped copy only — the local log stays clean), so the
+    /// follower's divergence detector must fire.
+    pub fn chaos_flip_next_digest(&self) {
+        let _ = self.tx.send(WorkItem::ChaosFlipDigest);
     }
 
     /// Wait for the worker to exit (after a `Shutdown` was served, or once
@@ -1151,15 +1877,21 @@ impl Server {
 /// Why a [`ServeClient`] call could not produce a server answer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ClientError {
-    /// The server worker is gone — it served a `Shutdown`, or its thread
-    /// died — so the request can never be answered on this handle.
+    /// Every server worker the client knows is gone — each served a
+    /// `Shutdown`, or its thread died — so the request can never be
+    /// answered on this handle.
     Disconnected,
-    /// Every retry attempt was answered `overloaded`; the client gave up.
+    /// Every retry attempt was answered `overloaded`, redirected off a
+    /// fence, or found the fleet mid-failover; the client gave up.
     GaveUp {
         /// Attempts made, including the first send.
         attempts: u32,
         /// The server's last `retry_after_ms` hint, if any.
         last_retry_after_ms: Option<u64>,
+        /// The last fencing term a `not-primary`/`fenced` redirect
+        /// chased, if any — tells the operator how far behind the
+        /// client's view of the fleet was when it gave up.
+        last_fence_term: Option<u64>,
     },
 }
 
@@ -1170,9 +1902,10 @@ impl fmt::Display for ClientError {
             ClientError::GaveUp {
                 attempts,
                 last_retry_after_ms,
+                last_fence_term,
             } => write!(
                 f,
-                "gave up after {attempts} overloaded attempts (last hint: {last_retry_after_ms:?})"
+                "gave up after {attempts} attempts (last hint: {last_retry_after_ms:?}, last fence term: {last_fence_term:?})"
             ),
         }
     }
@@ -1181,29 +1914,102 @@ impl fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 impl ServeClient {
-    /// Send one request and block for its response.
+    /// Send one request and block for its response, failing over across
+    /// the replica list when the current target is gone. A response
+    /// stamped with a fencing term below the highest this client (or any
+    /// clone) has seen comes from a deposed primary: its kind is
+    /// replaced with the pinned `fenced` error before the caller sees
+    /// it, so stale answers can never be mistaken for authority.
     pub fn call(&self, req: WireRequest) -> Result<WireResponse, ClientError> {
-        let rx = self.submit(req)?;
-        rx.recv().map_err(|_| ClientError::Disconnected)
+        let n = self.targets.len();
+        for _ in 0..n {
+            let idx = self.current.load(Ordering::Relaxed) % n;
+            let (tx, rx) = mpsc::channel();
+            let sent = self.targets[idx]
+                .send(WorkItem::Client(Envelope(req.clone(), tx, Instant::now())))
+                .is_ok();
+            if sent {
+                if let Ok(resp) = rx.recv() {
+                    return Ok(self.fence_check(resp));
+                }
+            }
+            // Dead replica: advance the shared cursor. First thread to
+            // notice wins; the rest just see the moved cursor.
+            let _ = self.current.compare_exchange(
+                idx,
+                (idx + 1) % n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+        Err(ClientError::Disconnected)
     }
 
     /// Enqueue one request without blocking for the answer — the open-loop
     /// send of the overload experiments. The caller polls or blocks on the
     /// returned channel at its leisure; dropping it abandons the reply.
+    /// Targets the current replica only (no failover: an open-loop
+    /// sender has nowhere to re-route an in-flight reply).
     pub fn submit(&self, req: WireRequest) -> Result<mpsc::Receiver<WireResponse>, ClientError> {
         let (tx, rx) = mpsc::channel();
-        self.tx
-            .send(Envelope(req, tx, Instant::now()))
+        let idx = self.current.load(Ordering::Relaxed) % self.targets.len();
+        self.targets[idx]
+            .send(WorkItem::Client(Envelope(req, tx, Instant::now())))
             .map_err(|_| ClientError::Disconnected)?;
         Ok(rx)
     }
 
-    /// [`ServeClient::call`] with retry on `overloaded` answers: jittered
-    /// exponential back-off (salted by the request id), the server's
-    /// `retry_after_ms` hint honored as a floor, attempts bounded by the
-    /// policy. Every non-overloaded answer — success *or* any other error
-    /// — returns immediately; exhaustion is the typed
-    /// [`ClientError::GaveUp`].
+    /// Subscribe to the replication stream of the current target:
+    /// attaches a fresh sink to the server's worker and returns its
+    /// receiving end — the TCP front end bridges the items it yields
+    /// onto the socket.
+    pub fn subscribe(&self) -> mpsc::Receiver<ReplItem> {
+        let (tx, rx) = mpsc::channel();
+        let idx = self.current.load(Ordering::Relaxed) % self.targets.len();
+        let _ = self.targets[idx].send(WorkItem::Attach(tx));
+        rx
+    }
+
+    /// Enforce fencing on one response: remember the highest term seen
+    /// across every clone, and demote a lower-termed response to the
+    /// pinned `fenced` error.
+    fn fence_check(&self, resp: WireResponse) -> WireResponse {
+        let Some(term) = resp.term else { return resp };
+        let prev = self.max_term.fetch_max(term, Ordering::Relaxed);
+        if term < prev {
+            return WireResponse {
+                kind: ResponseKind::fenced(format!(
+                    "response stamped term {term}, but term {prev} was already observed: \
+                     this answer is from a deposed primary"
+                )),
+                ..resp
+            };
+        }
+        resp
+    }
+
+    /// Move the shared cursor past the current replica (the redirect
+    /// after a `not-primary` or `fenced` answer).
+    fn advance(&self) {
+        let n = self.targets.len();
+        if n <= 1 {
+            return;
+        }
+        let idx = self.current.load(Ordering::Relaxed) % n;
+        let _ =
+            self.current
+                .compare_exchange(idx, (idx + 1) % n, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// [`ServeClient::call`] with retry on `overloaded` answers and
+    /// redirect-on-fence: jittered exponential back-off (salted by the
+    /// request id), the server's `retry_after_ms` hint honored as a
+    /// floor, attempts bounded by the policy. A `not-primary` or
+    /// `fenced` answer advances the replica cursor and retries — this is
+    /// how a client survives a failover. Every other answer — success
+    /// *or* error — returns immediately; exhaustion is the typed
+    /// [`ClientError::GaveUp`] carrying the last overload hint and the
+    /// last fence term chased.
     pub fn call_with_retry(
         &self,
         req: WireRequest,
@@ -1212,24 +2018,45 @@ impl ServeClient {
         let salt = req.id;
         let attempts = retry.attempts();
         let mut last_hint = None;
+        let mut last_fence = None;
         for attempt in 1..=attempts {
-            let resp = self.call(req.clone())?;
-            let hint = match &resp.kind {
-                ResponseKind::Error {
-                    code,
-                    retry_after_ms,
-                    ..
-                } if code == "overloaded" => *retry_after_ms,
-                _ => return Ok(resp),
+            let backoff_hint = match self.call(req.clone()) {
+                Ok(resp) => match &resp.kind {
+                    ResponseKind::Error {
+                        code,
+                        retry_after_ms,
+                        ..
+                    } if code == "overloaded" => {
+                        last_hint = (*retry_after_ms).or(last_hint);
+                        *retry_after_ms
+                    }
+                    ResponseKind::Error { code, .. }
+                        if code == "not-primary" || code == "fenced" =>
+                    {
+                        last_fence = resp.term.or(last_fence);
+                        self.advance();
+                        None
+                    }
+                    _ => return Ok(resp),
+                },
+                // With one target a dead server is final; with a fleet
+                // the sweep may have raced a promotion — back off and
+                // sweep again.
+                Err(ClientError::Disconnected) if self.targets.len() > 1 => None,
+                Err(e) => return Err(e),
             };
-            last_hint = hint.or(last_hint);
             if attempt < attempts {
-                thread::sleep(Duration::from_millis(retry.backoff_ms(attempt, hint, salt)));
+                thread::sleep(Duration::from_millis(retry.backoff_ms(
+                    attempt,
+                    backoff_hint,
+                    salt,
+                )));
             }
         }
         Err(ClientError::GaveUp {
             attempts,
             last_retry_after_ms: last_hint,
+            last_fence_term: last_fence,
         })
     }
 }
@@ -1554,15 +2381,20 @@ mod tests {
         // A minimal fake worker that sheds every request: the retry loop's
         // behaviour is then exact — one wire call per attempt, back-off
         // between them, a typed give-up carrying the last hint.
-        let (tx, rx) = mpsc::channel::<Envelope>();
-        let client = ServeClient { tx };
+        let (tx, rx) = mpsc::channel::<WorkItem>();
+        let client = ServeClient {
+            targets: vec![tx],
+            current: Arc::new(AtomicUsize::new(0)),
+            max_term: Arc::new(AtomicU64::new(0)),
+        };
         let worker = thread::spawn(move || {
             let mut calls = 0u32;
-            while let Ok(env) = rx.recv() {
+            while let Ok(WorkItem::Client(env)) = rx.recv() {
                 calls += 1;
                 let _ = env.1.send(WireResponse {
                     id: env.0.id,
                     tick: 0,
+                    term: None,
                     kind: ResponseKind::overloaded("always shed", 1),
                 });
             }
@@ -1583,6 +2415,7 @@ mod tests {
             ClientError::GaveUp {
                 attempts: 3,
                 last_retry_after_ms: Some(1),
+                last_fence_term: None,
             }
         );
         drop(client);

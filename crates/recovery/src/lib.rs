@@ -179,22 +179,54 @@ impl Checkpoint {
     }
 }
 
-/// Persist an encoded checkpoint to a file, atomically enough for the
-/// single-writer server case: write to `<path>.tmp`, then rename over the
-/// destination, so a crash mid-write leaves the previous checkpoint intact
-/// rather than a torn file (and a torn rename is caught by the checksum on
-/// load). Used by the `bap serve` restart story.
+/// Persist an encoded checkpoint to a file, atomically *and durably*:
+/// write to `<path>.tmp`, fsync the tmp file, rename over the destination,
+/// then fsync the parent directory. The rename alone only orders the two
+/// names in memory — without the data fsync a host crash right after a
+/// "successful" save can surface a zero-length or garbage file under the
+/// final name, and without the directory fsync the rename itself can
+/// vanish. Torn writes that survive anyway are caught by the checksum on
+/// load. Used by the `bap serve` restart story and the replication-log
+/// anchor.
 pub fn save_checkpoint_file(
     path: &std::path::Path,
     cp: &Checkpoint,
 ) -> Result<usize, RecoveryError> {
+    use std::io::Write;
     let bytes = cp.encode();
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &bytes)
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| RecoveryError::Io(format!("create {}: {e}", tmp.display())))?;
+    file.write_all(&bytes)
         .map_err(|e| RecoveryError::Io(format!("write {}: {e}", tmp.display())))?;
+    // Data must be on stable storage before the rename publishes the name.
+    file.sync_all()
+        .map_err(|e| RecoveryError::Io(format!("fsync {}: {e}", tmp.display())))?;
+    drop(file);
     std::fs::rename(&tmp, path)
         .map_err(|e| RecoveryError::Io(format!("rename to {}: {e}", path.display())))?;
+    sync_parent_dir(path)?;
     Ok(bytes.len())
+}
+
+/// Fsync the directory holding `path` so the rename that published it is
+/// itself durable. Directory fds are a Unix notion; elsewhere this is a
+/// no-op (the rename is still atomic, just not crash-durable).
+#[cfg(unix)]
+fn sync_parent_dir(path: &std::path::Path) -> Result<(), RecoveryError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let dir = std::fs::File::open(parent)
+        .map_err(|e| RecoveryError::Io(format!("open dir {}: {e}", parent.display())))?;
+    dir.sync_all()
+        .map_err(|e| RecoveryError::Io(format!("fsync dir {}: {e}", parent.display())))
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &std::path::Path) -> Result<(), RecoveryError> {
+    Ok(())
 }
 
 /// Load and validate a checkpoint file written by [`save_checkpoint_file`].

@@ -418,6 +418,84 @@ pub enum EventKind {
         /// The budget the request carried, in milliseconds.
         deadline_ms: u64,
     },
+    /// The primary shipped one replication-log entry to its followers and
+    /// collected their acks before answering the batch's clients.
+    ReplEntryShipped {
+        /// The committed tick.
+        tick: u64,
+        /// Followers that acknowledged the entry.
+        followers: usize,
+    },
+    /// A follower replayed one shipped log entry through its own service.
+    ReplEntryApplied {
+        /// The applied tick.
+        tick: u64,
+        /// Requests the entry carried.
+        requests: usize,
+    },
+    /// The replication log outgrew its capacity and re-anchored on a fresh
+    /// checkpoint, clearing the suffix.
+    ReplAnchored {
+        /// Tick the new anchor covers.
+        tick: u64,
+        /// Suffix entries dropped by the re-anchor.
+        dropped: usize,
+    },
+    /// A follower joined the replication stream: it restored the anchor
+    /// checkpoint and replayed the suffix.
+    FollowerJoined {
+        /// Tick of the anchor it restored.
+        anchor_tick: u64,
+        /// Suffix entries it caught up through.
+        entries: usize,
+    },
+    /// A follower stopped acknowledging shipped entries and was dropped
+    /// from the replication set.
+    FollowerLost {
+        /// Why the follower was declared lost.
+        detail: String,
+    },
+    /// A follower's replay digest disagreed with the primary's — the
+    /// replica is serving from state it cannot vouch for and refuses
+    /// promotion until rebuilt.
+    DivergenceDetected {
+        /// The diverged session.
+        session: u64,
+        /// The tick at which the digests disagreed.
+        tick: u64,
+        /// The primary's plan fingerprint for the session.
+        expected: u64,
+        /// The follower's own plan fingerprint after replay.
+        actual: u64,
+    },
+    /// The fencing term advanced, by promotion or by observing a higher
+    /// term on a shipped entry.
+    TermBumped {
+        /// The new term.
+        term: u64,
+        /// `promoted` or `observed`.
+        reason: String,
+    },
+    /// A follower refused a state-mutating client request with the typed
+    /// `not-primary` error.
+    NotPrimaryRejected {
+        /// The refused request's correlation id.
+        id: u64,
+    },
+    /// A shipped entry from a deposed primary (stale term, or this node is
+    /// itself primary) was rejected instead of applied.
+    StaleEntryRejected {
+        /// The rejected entry's tick.
+        tick: u64,
+        /// The rejected entry's term.
+        term: u64,
+    },
+    /// A serve connection handler failed (panic or poisoned stream); the
+    /// listener dropped the connection and kept accepting.
+    ConnectionFailed {
+        /// What the handler reported.
+        detail: String,
+    },
 }
 
 impl EventKind {
@@ -472,6 +550,16 @@ impl EventKind {
             EventKind::BrownoutEnter { .. } => "brownout_enter",
             EventKind::BrownoutExit { .. } => "brownout_exit",
             EventKind::DeadlineExceeded { .. } => "deadline_exceeded",
+            EventKind::ReplEntryShipped { .. } => "repl_entry_shipped",
+            EventKind::ReplEntryApplied { .. } => "repl_entry_applied",
+            EventKind::ReplAnchored { .. } => "repl_anchored",
+            EventKind::FollowerJoined { .. } => "follower_joined",
+            EventKind::FollowerLost { .. } => "follower_lost",
+            EventKind::DivergenceDetected { .. } => "divergence_detected",
+            EventKind::TermBumped { .. } => "term_bumped",
+            EventKind::NotPrimaryRejected { .. } => "not_primary_rejected",
+            EventKind::StaleEntryRejected { .. } => "stale_entry_rejected",
+            EventKind::ConnectionFailed { .. } => "connection_failed",
         }
     }
 }
@@ -644,6 +732,57 @@ mod tests {
             let ev = TraceEvent {
                 seq: 3,
                 epoch: 12,
+                kind: kind.clone(),
+            };
+            let text = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(back.kind, kind, "{text}");
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn replication_variants_round_trip() {
+        let kinds = vec![
+            EventKind::ReplEntryShipped {
+                tick: 40,
+                followers: 2,
+            },
+            EventKind::ReplEntryApplied {
+                tick: 40,
+                requests: 7,
+            },
+            EventKind::ReplAnchored {
+                tick: 64,
+                dropped: 64,
+            },
+            EventKind::FollowerJoined {
+                anchor_tick: 35,
+                entries: 5,
+            },
+            EventKind::FollowerLost {
+                detail: "ack timeout".to_string(),
+            },
+            EventKind::DivergenceDetected {
+                session: 3,
+                tick: 41,
+                expected: 0xFEED,
+                actual: 0xFEEC,
+            },
+            EventKind::TermBumped {
+                term: 2,
+                reason: "promoted".to_string(),
+            },
+            EventKind::NotPrimaryRejected { id: 1_000_021 },
+            EventKind::StaleEntryRejected { tick: 42, term: 1 },
+            EventKind::ConnectionFailed {
+                detail: "handler panicked".to_string(),
+            },
+        ];
+        for kind in kinds {
+            let ev = TraceEvent {
+                seq: 4,
+                epoch: 40,
                 kind: kind.clone(),
             };
             let text = serde_json::to_string(&ev).unwrap();

@@ -41,8 +41,9 @@ pub use sink::{JsonlSink, NoopSink, RingSink, TraceSink};
 pub use summary::TraceSummary;
 pub use tracer::Tracer;
 pub use wire::{
-    encode_request, encode_response, parse_request_line, parse_response_line, RequestKind,
-    ResponseKind, WireCurve, WireError, WireRequest, WireResponse, WireSummary,
+    encode_request, encode_response, from_hex, parse_request_line, parse_response_line, to_hex,
+    RequestKind, ResponseKind, SessionDigest, WireCurve, WireError, WireLogEntry, WireRequest,
+    WireResponse, WireSummary,
 };
 
 /// Parse a JSONL trace, enforcing the schema: every non-empty line is a

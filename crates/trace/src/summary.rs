@@ -109,6 +109,26 @@ pub struct TraceSummary {
     pub brownout_exits: u64,
     /// Requests whose deadline expired before evaluation.
     pub deadline_exceeded: u64,
+    /// Replication-log entries shipped (and acked) to followers.
+    pub repl_entries_shipped: u64,
+    /// Shipped log entries replayed by this follower.
+    pub repl_entries_applied: u64,
+    /// Replication-log re-anchors on a fresh checkpoint.
+    pub repl_anchors: u64,
+    /// Followers that joined the replication stream.
+    pub followers_joined: u64,
+    /// Followers dropped for missed acks or closed streams.
+    pub followers_lost: u64,
+    /// Replay digest mismatches detected.
+    pub divergences: u64,
+    /// Fencing-term advances (promotions or observed higher terms).
+    pub term_bumps: u64,
+    /// State-mutating requests a follower refused with `not-primary`.
+    pub not_primary_rejections: u64,
+    /// Stale-term (or wrong-role) shipped entries rejected.
+    pub stale_entries_rejected: u64,
+    /// Serve connection handlers that failed without killing the listener.
+    pub connection_failures: u64,
 }
 
 impl TraceSummary {
@@ -168,6 +188,16 @@ impl TraceSummary {
             EventKind::BrownoutEnter { .. } => self.brownout_enters += 1,
             EventKind::BrownoutExit { .. } => self.brownout_exits += 1,
             EventKind::DeadlineExceeded { .. } => self.deadline_exceeded += 1,
+            EventKind::ReplEntryShipped { .. } => self.repl_entries_shipped += 1,
+            EventKind::ReplEntryApplied { .. } => self.repl_entries_applied += 1,
+            EventKind::ReplAnchored { .. } => self.repl_anchors += 1,
+            EventKind::FollowerJoined { .. } => self.followers_joined += 1,
+            EventKind::FollowerLost { .. } => self.followers_lost += 1,
+            EventKind::DivergenceDetected { .. } => self.divergences += 1,
+            EventKind::TermBumped { .. } => self.term_bumps += 1,
+            EventKind::NotPrimaryRejected { .. } => self.not_primary_rejections += 1,
+            EventKind::StaleEntryRejected { .. } => self.stale_entries_rejected += 1,
+            EventKind::ConnectionFailed { .. } => self.connection_failures += 1,
         }
     }
 }
@@ -278,5 +308,55 @@ mod tests {
         assert_eq!(s.brownout_enters, 1);
         assert_eq!(s.brownout_exits, 1);
         assert_eq!(s.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn replication_events_are_counted() {
+        let mut s = TraceSummary::default();
+        s.count(&EventKind::ReplEntryShipped {
+            tick: 1,
+            followers: 1,
+        });
+        s.count(&EventKind::ReplEntryApplied {
+            tick: 1,
+            requests: 3,
+        });
+        s.count(&EventKind::ReplAnchored {
+            tick: 64,
+            dropped: 64,
+        });
+        s.count(&EventKind::FollowerJoined {
+            anchor_tick: 0,
+            entries: 1,
+        });
+        s.count(&EventKind::FollowerLost {
+            detail: "ack timeout".to_string(),
+        });
+        s.count(&EventKind::DivergenceDetected {
+            session: 1,
+            tick: 2,
+            expected: 1,
+            actual: 2,
+        });
+        s.count(&EventKind::TermBumped {
+            term: 2,
+            reason: "promoted".to_string(),
+        });
+        s.count(&EventKind::NotPrimaryRejected { id: 9 });
+        s.count(&EventKind::StaleEntryRejected { tick: 3, term: 1 });
+        s.count(&EventKind::ConnectionFailed {
+            detail: "panic".to_string(),
+        });
+        assert_eq!(s.events, 10);
+        assert_eq!(s.repl_entries_shipped, 1);
+        assert_eq!(s.repl_entries_applied, 1);
+        assert_eq!(s.repl_anchors, 1);
+        assert_eq!(s.followers_joined, 1);
+        assert_eq!(s.followers_lost, 1);
+        assert_eq!(s.divergences, 1);
+        assert_eq!(s.term_bumps, 1);
+        assert_eq!(s.not_primary_rejections, 1);
+        assert_eq!(s.stale_entries_rejected, 1);
+        assert_eq!(s.connection_failures, 1);
     }
 }

@@ -125,6 +125,29 @@ pub enum RequestKind {
     /// Graceful shutdown: the batch carrying this request is fully served,
     /// in-flight requests are drained, then the server exits.
     Shutdown,
+    /// Promote a follower to primary: bump the fencing term and start
+    /// accepting state-mutating requests. A primary answers `bad_request`
+    /// (it is already primary); an unreplicated server answers
+    /// `unsupported`; a follower that has detected divergence refuses with
+    /// `divergence` rather than serve state it cannot vouch for.
+    Promote,
+    /// Query the replication role, term, log shape and divergence count.
+    ReplStatus,
+    /// Follower-to-primary: subscribe to the replication stream. The
+    /// primary answers with a [`ResponseKind::ReplSnapshot`] anchor
+    /// checkpoint followed by one [`ResponseKind::ReplEntry`] per log
+    /// entry after `after_tick`, then ships new entries as they commit.
+    ReplSubscribe {
+        /// Highest tick the follower already holds (0 = cold join).
+        after_tick: u64,
+    },
+    /// Follower-to-primary: the shipped entry for `tick` was applied. The
+    /// primary holds client responses until every live follower acks —
+    /// this is the zero-acknowledged-loss contract.
+    ReplAck {
+        /// The applied entry's tick.
+        tick: u64,
+    },
 }
 
 impl RequestKind {
@@ -139,6 +162,10 @@ impl RequestKind {
             RequestKind::Checkpoint => "checkpoint",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::Promote => "promote",
+            RequestKind::ReplStatus => "repl_status",
+            RequestKind::ReplSubscribe { .. } => "repl_subscribe",
+            RequestKind::ReplAck { .. } => "repl_ack",
         }
     }
 
@@ -187,17 +214,85 @@ impl WireSummary {
     }
 }
 
+/// Fingerprint of one session's state after a replicated tick, shipped
+/// alongside the log entry so followers can cross-check their replay: a
+/// mismatch in `epoch` or the installed plan's `fingerprint` is reported
+/// as a typed divergence instead of silently serving wrong plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionDigest {
+    /// The session the digest covers.
+    pub session: u64,
+    /// Epochs the session has closed after the tick.
+    pub epoch: u64,
+    /// FNV-1a fingerprint of the installed plan (0 when none).
+    pub fingerprint: u64,
+}
+
+/// One replication-log entry: everything a follower needs to replay one
+/// committed tick deterministically — the admitted requests (id order is
+/// restored per session by the replaying service), the brownout level the
+/// batch was served under, and the primary's post-tick session digests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireLogEntry {
+    /// The tick this entry commits (entries ship in ascending-tick order).
+    pub tick: u64,
+    /// Fencing term the primary held when committing the tick.
+    pub term: u64,
+    /// Brownout ladder level of the batch (`BrownoutLevel` as `u8`), so a
+    /// budgeted or last-good tick replays through the same decision path.
+    pub brownout: u8,
+    /// The admitted requests of the batch (sheds and `Shutdown` excluded).
+    pub requests: Vec<WireRequest>,
+    /// Post-tick digest of every session the batch touched.
+    pub digests: Vec<SessionDigest>,
+}
+
 /// One server response. `id` echoes the request; `tick` is the epoch tick
 /// (batch number) that served it — informational only, it depends on how
 /// requests happened to batch and is excluded from determinism contracts.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are written by hand (not derived) so `term`
+/// is omitted entirely when `None`: an unreplicated server's lines stay
+/// byte-identical to the pre-replication protocol, which the golden
+/// figures and `tests/serve_replication.rs` pin.
+#[derive(Clone, Debug, PartialEq)]
 pub struct WireResponse {
     /// The request this answers.
     pub id: u64,
     /// The batch (epoch tick) that served it.
     pub tick: u64,
+    /// Fencing term of the server that answered. Stamped on every response
+    /// of a replicated server; absent (and absent from the encoded line)
+    /// when replication is not configured. Clients track the highest term
+    /// seen and reject lower-term answers as `fenced`.
+    pub term: Option<u64>,
     /// The answer.
     pub kind: ResponseKind,
+}
+
+impl Serialize for WireResponse {
+    fn to_value(&self) -> serde::Value {
+        let mut members = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("tick".to_string(), self.tick.to_value()),
+        ];
+        if let Some(term) = self.term {
+            members.push(("term".to_string(), term.to_value()));
+        }
+        members.push(("kind".to_string(), self.kind.to_value()));
+        serde::Value::Object(members)
+    }
+}
+
+impl Deserialize for WireResponse {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(WireResponse {
+            id: serde::from_field(v, "id")?,
+            tick: serde::from_field(v, "tick")?,
+            term: serde::from_field(v, "term")?,
+            kind: serde::from_field(v, "kind")?,
+        })
+    }
 }
 
 /// Every answer the decision service produces.
@@ -287,6 +382,45 @@ pub enum ResponseKind {
         /// In-flight requests served in the shutdown's batch.
         drained: usize,
     },
+    /// Promotion succeeded ([`RequestKind::Promote`]): this server is now
+    /// primary under the bumped fencing term.
+    Promoted {
+        /// The new (bumped) fencing term.
+        term: u64,
+        /// The tick frontier the promoted server holds.
+        tick: u64,
+    },
+    /// Replication status ([`RequestKind::ReplStatus`]).
+    ReplStatus {
+        /// Current role: `"primary"` or `"follower"`.
+        role: String,
+        /// Current fencing term.
+        term: u64,
+        /// Ticks committed/applied so far.
+        tick: u64,
+        /// Log-suffix entries retained past the anchor.
+        log_entries: usize,
+        /// Tick the anchor checkpoint covers.
+        anchor_tick: u64,
+        /// Replay digest mismatches detected so far.
+        divergences: u64,
+    },
+    /// First frame of a replication subscription: the anchor checkpoint a
+    /// cold follower restores before replaying the suffix.
+    ReplSnapshot {
+        /// Tick the checkpoint covers.
+        tick: u64,
+        /// Term the checkpoint was anchored under.
+        term: u64,
+        /// Hex-encoded `bap-recovery` checkpoint bytes (JSONL lines cannot
+        /// carry raw binary).
+        state: String,
+    },
+    /// One shipped replication-log entry.
+    ReplEntry {
+        /// The entry to replay.
+        entry: WireLogEntry,
+    },
     /// The request could not be served. `code` is stable and matchable —
     /// the full registry is [`ERROR_CODES`].
     Error {
@@ -318,6 +452,14 @@ pub enum ResponseKind {
 /// * `deadline-exceeded` — the request's `deadline_ms` expired before its
 ///   batch was evaluated.
 /// * `internal` — a quarantined (panicked) session; re-`Open` to recover.
+/// * `not-primary` — a follower refused a state-mutating request; redirect
+///   to the primary (the response's `term` says how current the follower
+///   is).
+/// * `fenced` — the answer came from a deposed primary (its `term` is
+///   below the highest term the client has seen); synthesized client-side
+///   and never trusted.
+/// * `divergence` — a follower whose replay digests mismatched the
+///   primary's refused promotion rather than serve unvouched state.
 pub const ERROR_CODES: &[&str] = &[
     "malformed",
     "bad_request",
@@ -329,6 +471,9 @@ pub const ERROR_CODES: &[&str] = &[
     "overloaded",
     "deadline-exceeded",
     "internal",
+    "not-primary",
+    "fenced",
+    "divergence",
 ];
 
 impl ResponseKind {
@@ -356,6 +501,20 @@ impl ResponseKind {
         ResponseKind::error("deadline-exceeded", detail)
     }
 
+    /// A follower's refusal of a state-mutating request: `not-primary`,
+    /// with the follower's current term in the detail for redirect hints.
+    pub fn not_primary(term: u64) -> Self {
+        ResponseKind::error(
+            "not-primary",
+            format!("this replica is a follower (term {term}); redirect to the primary"),
+        )
+    }
+
+    /// The client-synthesized rejection of a deposed primary's answer.
+    pub fn fenced(detail: impl Into<String>) -> Self {
+        ResponseKind::error("fenced", detail)
+    }
+
     /// The error code, when this is an error response.
     pub fn error_code(&self) -> Option<&str> {
         match self {
@@ -375,9 +534,33 @@ impl ResponseKind {
             ResponseKind::Checkpointed { .. } => "checkpointed",
             ResponseKind::Stats { .. } => "stats",
             ResponseKind::Bye { .. } => "bye",
+            ResponseKind::Promoted { .. } => "promoted",
+            ResponseKind::ReplStatus { .. } => "repl_status",
+            ResponseKind::ReplSnapshot { .. } => "repl_snapshot",
+            ResponseKind::ReplEntry { .. } => "repl_entry",
             ResponseKind::Error { .. } => "error",
         }
     }
+}
+
+/// Hex-encode checkpoint bytes for the [`ResponseKind::ReplSnapshot`]
+/// frame (JSONL lines cannot carry raw binary).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+        s.push(char::from_digit(u32::from(b & 0xF), 16).unwrap());
+    }
+    s
+}
+
+/// Decode a [`to_hex`] string; `None` on odd length or non-hex digits.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
+    Some(digits.chunks(2).map(|p| (p[0] * 16 + p[1]) as u8).collect())
 }
 
 /// Why a request line could not be decoded.
@@ -407,6 +590,7 @@ impl WireError {
         WireResponse {
             id: 0,
             tick: 0,
+            term: None,
             kind: ResponseKind::error("malformed", self.to_string()),
         }
     }
@@ -475,6 +659,10 @@ mod tests {
             RequestKind::Checkpoint,
             RequestKind::Stats,
             RequestKind::Shutdown,
+            RequestKind::Promote,
+            RequestKind::ReplStatus,
+            RequestKind::ReplSubscribe { after_tick: 17 },
+            RequestKind::ReplAck { tick: 18 },
         ];
         for kind in kinds {
             let req = WireRequest::new(7, kind);
@@ -497,6 +685,7 @@ mod tests {
         let resp = WireResponse {
             id: 4,
             tick: 0,
+            term: None,
             kind: ResponseKind::overloaded("queue full", 12),
         };
         let back = parse_response_line(&encode_response(&resp)).unwrap();
@@ -569,18 +758,90 @@ mod tests {
                 warm_hits: 31,
             },
             ResponseKind::Bye { drained: 3 },
+            ResponseKind::Promoted { term: 2, tick: 40 },
+            ResponseKind::ReplStatus {
+                role: "follower".to_string(),
+                term: 2,
+                tick: 40,
+                log_entries: 5,
+                anchor_tick: 35,
+                divergences: 0,
+            },
+            ResponseKind::ReplSnapshot {
+                tick: 35,
+                term: 2,
+                state: "42415043".to_string(),
+            },
+            ResponseKind::ReplEntry {
+                entry: WireLogEntry {
+                    tick: 36,
+                    term: 2,
+                    brownout: 1,
+                    requests: vec![WireRequest::new(9, RequestKind::Plan { session: 3 })],
+                    digests: vec![SessionDigest {
+                        session: 3,
+                        epoch: 7,
+                        fingerprint: 0xFEED,
+                    }],
+                },
+            },
             ResponseKind::error("unknown_session", "session 5 was never opened"),
         ];
         for kind in kinds {
             let resp = WireResponse {
                 id: 7,
                 tick: 2,
+                term: None,
                 kind,
             };
             let back = parse_response_line(&encode_response(&resp)).unwrap();
             assert_eq!(back, resp);
             assert!(!resp.kind.label().is_empty());
         }
+    }
+
+    #[test]
+    fn term_is_omitted_when_none_and_rides_when_some() {
+        // The byte-identity contract: an unreplicated response line has no
+        // "term" member at all, matching the pre-replication protocol.
+        let bare = WireResponse {
+            id: 7,
+            tick: 2,
+            term: None,
+            kind: ResponseKind::Bye { drained: 0 },
+        };
+        let line = encode_response(&bare);
+        assert!(!line.contains("term"), "unexpected term member: {line}");
+        assert_eq!(parse_response_line(&line).unwrap(), bare);
+        let stamped = WireResponse {
+            term: Some(3),
+            ..bare.clone()
+        };
+        let line = encode_response(&stamped);
+        assert!(line.contains("\"term\":3"), "missing term stamp: {line}");
+        assert_eq!(parse_response_line(&line).unwrap(), stamped);
+    }
+
+    #[test]
+    fn replication_error_helpers_are_registered() {
+        for kind in [
+            ResponseKind::not_primary(4),
+            ResponseKind::fenced("stale term 2 < 3"),
+            ResponseKind::error("divergence", "digest mismatch at tick 9"),
+        ] {
+            let code = kind.error_code().expect("error kind");
+            assert!(ERROR_CODES.contains(&code), "{code} missing from registry");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex digit");
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod ids;
 pub mod ops;
 pub mod overload;
 pub mod qos;
+pub mod replication;
 pub mod stats;
 pub mod topology;
 
@@ -33,6 +34,7 @@ pub use overload::{OverloadConfig, RetryConfig};
 pub use qos::{
     wcl_bound, BankRegulator, QosConfig, RegulatorConfig, SloSpec, TokenBucket, WclParams,
 };
+pub use replication::ReplicationConfig;
 pub use topology::{BankKind, Topology};
 
 /// Simulation time, measured in core clock cycles.

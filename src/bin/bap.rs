@@ -27,17 +27,25 @@
 //!     --tick-budget-ms N              wall-clock budget per tick (0 = unlimited)
 //!     --brownout-enter N              over-budget ticks before browning out
 //!     --brownout-exit N               calm ticks before stepping back up
+//!     --replication on|off            run as a replicating primary: stamp the
+//!                                     fencing term on every response, log and
+//!                                     ship every committed batch to followers
+//!     --replica-of ADDR               run as a follower of the primary at ADDR
+//!                                     (requires --listen): replay its log,
+//!                                     refuse writes with `not-primary`
+//!     --promote-on-loss on|off        follower only: promote to primary when
+//!                                     the primary's stream dies (default off)
 //! ```
 
 use bankaware::msa::ProfilerConfig;
 use bankaware::partitioning::{
-    bank_aware_partition, BankAwareConfig, DecisionService, OverloadGovernor, Policy, ServeConfig,
-    Server,
+    bank_aware_partition, net, BankAwareConfig, DecisionService, OverloadGovernor, Policy,
+    ServeConfig,
 };
 use bankaware::system::sim::OpStream;
 use bankaware::system::{profile_workloads, SimOptions, System};
 use bankaware::trace::wire;
-use bankaware::types::{CoreId, OverloadConfig, SystemConfig, Topology};
+use bankaware::types::{CoreId, OverloadConfig, ReplicationConfig, SystemConfig, Topology};
 use bankaware::workloads::trace::{replay, LoopedTrace};
 use bankaware::workloads::{spec_by_name, workload_names, WorkloadSpec};
 use std::process::exit;
@@ -52,7 +60,8 @@ fn usage() -> ! {
          bap replay <file> x8 [--policy ...] [--scale N] [--instructions N]\n  \
          bap serve [--listen ADDR] [--checkpoint FILE] [--scale N] [--overload on] \
          [--queue-depth N] [--inflight N] [--tick-budget-ms N] \
-         [--brownout-enter N] [--brownout-exit N]"
+         [--brownout-enter N] [--brownout-exit N] \
+         [--replication on] [--replica-of ADDR] [--promote-on-loss on]"
     );
     exit(2)
 }
@@ -432,6 +441,7 @@ fn serve_stdio(mut service: DecisionService, scale: u64) {
                     responses[i] = Some(wire::WireResponse {
                         id: req.id,
                         tick: 0,
+                        term: service.term(),
                         kind,
                     })
                 }
@@ -480,6 +490,7 @@ fn serve_stdio(mut service: DecisionService, scale: u64) {
                     let resp = wire::WireResponse {
                         id: req.id,
                         tick: service.ticks(),
+                        term: service.term(),
                         kind,
                     };
                     respond(&mut out, &resp);
@@ -502,85 +513,23 @@ fn serve_stdio(mut service: DecisionService, scale: u64) {
     flush(&mut service, &mut governor, &mut batch, &mut out);
 }
 
-/// Serve the JSONL protocol over TCP: one connection per client thread,
-/// all feeding the shared batched server. A served `Shutdown` stops the
-/// accept loop and joins the worker.
-fn serve_tcp(service: DecisionService, addr: &str, scale: u64) {
-    use std::io::{BufRead, Write};
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
-
+/// Serve the JSONL protocol over TCP through the shared
+/// [`net::serve_tcp`] front end (per-connection panic isolation, the
+/// replication bridge): one connection per client thread, all feeding
+/// the batched server. A served `Shutdown` stops the accept loop and
+/// joins the worker.
+fn serve_tcp(service: DecisionService, addr: &str, scale: u64, replica_of: Option<(String, bool)>) {
     let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
         eprintln!("cannot listen on {addr}: {e}");
         exit(1)
     });
     let local = listener.local_addr().expect("bound socket has an address");
     eprintln!("bap serve listening on {local}");
-    let server = Server::spawn(service);
-    let stop = Arc::new(AtomicBool::new(false));
-
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("accept failed: {e}");
-                continue;
-            }
-        };
-        let client = server.client();
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
-            let mut writer = std::io::BufWriter::new(stream);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                let resp = match wire::parse_request_line(&line) {
-                    Ok(req) => {
-                        if let wire::RequestKind::Profile {
-                            workloads,
-                            instructions,
-                            seed,
-                        } = &req.kind
-                        {
-                            wire::WireResponse {
-                                id: req.id,
-                                tick: 0,
-                                kind: serve_profile(workloads, *instructions, *seed, scale),
-                            }
-                        } else {
-                            match client.call(req) {
-                                Ok(resp) => resp,
-                                Err(e) => {
-                                    // Typed, not silent: the worker is
-                                    // gone, so this connection is done.
-                                    eprintln!("bap serve: {e}; closing connection");
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    Err(wire::WireError::EmptyLine) => continue,
-                    Err(err) => err.to_response(),
-                };
-                let bye = matches!(resp.kind, wire::ResponseKind::Bye { .. });
-                if writeln!(writer, "{}", wire::encode_response(&resp)).is_err()
-                    || writer.flush().is_err()
-                {
-                    break;
-                }
-                if bye {
-                    stop.store(true, Ordering::SeqCst);
-                    // Poke the accept loop so it notices the flag.
-                    let _ = std::net::TcpStream::connect(local);
-                    break;
-                }
-            }
+    let profile: std::sync::Arc<net::ProfileFn> =
+        std::sync::Arc::new(move |workloads: &[String], instructions: u64, seed: u64| {
+            serve_profile(workloads, instructions, seed, scale)
         });
-    }
-    server.join();
+    net::serve_tcp(service, listener, profile, replica_of);
 }
 
 /// The overload regulation requested on the command line: `--overload on`
@@ -617,12 +566,51 @@ fn overload_flags(flags: &Flags) -> Option<OverloadConfig> {
     })
 }
 
+/// The replication role requested on the command line. `--replica-of`
+/// makes a follower; `--replication on` makes a replicating primary; no
+/// flag leaves the service unreplicated — byte-identical to the
+/// pre-replication server.
+fn replication_flags(flags: &Flags) -> (Option<ReplicationConfig>, Option<(String, bool)>) {
+    let on_off = |name: &str| match flags.get(name) {
+        Some("on") => true,
+        Some("off") | None => false,
+        Some(other) => {
+            eprintln!("--{name} expects on|off, got {other:?}");
+            exit(2)
+        }
+    };
+    let promote_on_loss = on_off("promote-on-loss");
+    let primary = on_off("replication");
+    match flags.get("replica-of") {
+        Some(addr) => {
+            if primary {
+                eprintln!("--replica-of and --replication on are mutually exclusive");
+                exit(2);
+            }
+            let cfg = ReplicationConfig {
+                follower: true,
+                ..ReplicationConfig::default()
+            };
+            (Some(cfg), Some((addr.to_string(), promote_on_loss)))
+        }
+        None => {
+            if promote_on_loss {
+                eprintln!("--promote-on-loss needs --replica-of");
+                exit(2);
+            }
+            (primary.then(ReplicationConfig::default), None)
+        }
+    }
+}
+
 fn cmd_serve(flags: &Flags) {
     let mut cfg = ServeConfig::default();
     if let Some(path) = flags.get("checkpoint") {
         cfg.checkpoint_path = Some(std::path::PathBuf::from(path));
     }
     cfg.overload = overload_flags(flags);
+    let (replication, replica_of) = replication_flags(flags);
+    cfg.replication = replication;
     let mut service = DecisionService::new(cfg);
     if let Some(path) = flags.get("checkpoint") {
         let path = std::path::Path::new(path);
@@ -642,8 +630,14 @@ fn cmd_serve(flags: &Flags) {
     }
     let scale = flags.u64("scale", 8);
     match flags.get("listen") {
-        Some(addr) => serve_tcp(service, addr, scale),
-        None => serve_stdio(service, scale),
+        Some(addr) => serve_tcp(service, addr, scale, replica_of),
+        None => {
+            if replica_of.is_some() {
+                eprintln!("--replica-of needs --listen: a follower serves its clients over TCP");
+                exit(2);
+            }
+            serve_stdio(service, scale)
+        }
     }
 }
 

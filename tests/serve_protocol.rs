@@ -16,7 +16,8 @@
 
 use bankaware::trace::wire::{
     encode_request, encode_response, parse_request_line, parse_response_line, RequestKind,
-    ResponseKind, WireCurve, WireError, WireRequest, WireResponse, WireSummary, ERROR_CODES,
+    ResponseKind, SessionDigest, WireCurve, WireError, WireLogEntry, WireRequest, WireResponse,
+    WireSummary, ERROR_CODES,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -61,6 +62,10 @@ fn arb_request_kind() -> BoxedStrategy<RequestKind> {
         Just(RequestKind::Checkpoint),
         Just(RequestKind::Stats),
         Just(RequestKind::Shutdown),
+        Just(RequestKind::Promote),
+        Just(RequestKind::ReplStatus),
+        any::<u64>().prop_map(|after_tick| RequestKind::ReplSubscribe { after_tick }),
+        any::<u64>().prop_map(|tick| RequestKind::ReplAck { tick }),
     ]
     .boxed()
 }
@@ -103,6 +108,31 @@ fn arb_summary() -> impl Strategy<Value = WireSummary> {
 
 fn arb_ways() -> impl Strategy<Value = Vec<usize>> {
     collection::vec(0usize..100, 0..16)
+}
+
+fn arb_digest() -> impl Strategy<Value = SessionDigest> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(session, epoch, fingerprint)| {
+        SessionDigest {
+            session,
+            epoch,
+            fingerprint,
+        }
+    })
+}
+
+fn arb_log_entry() -> impl Strategy<Value = WireLogEntry> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u8>()),
+        collection::vec(arb_request(), 0..3),
+        collection::vec(arb_digest(), 0..3),
+    )
+        .prop_map(|((tick, term, brownout), requests, digests)| WireLogEntry {
+            tick,
+            term,
+            brownout,
+            requests,
+            digests,
+        })
 }
 
 fn arb_response_kind() -> BoxedStrategy<ResponseKind> {
@@ -168,6 +198,26 @@ fn arb_response_kind() -> BoxedStrategy<ResponseKind> {
                 }
             }),
         (0usize..64).prop_map(|drained| ResponseKind::Bye { drained }),
+        (any::<u64>(), any::<u64>()).prop_map(|(term, tick)| ResponseKind::Promoted { term, tick }),
+        (
+            (arb_string(), any::<u64>(), any::<u64>()),
+            (0usize..128, any::<u64>(), any::<u64>())
+        )
+            .prop_map(
+                |((role, term, tick), (log_entries, anchor_tick, divergences))| {
+                    ResponseKind::ReplStatus {
+                        role,
+                        term,
+                        tick,
+                        log_entries,
+                        anchor_tick,
+                        divergences,
+                    }
+                }
+            ),
+        (any::<u64>(), any::<u64>(), arb_string())
+            .prop_map(|(tick, term, state)| { ResponseKind::ReplSnapshot { tick, term, state } }),
+        arb_log_entry().prop_map(|entry| ResponseKind::ReplEntry { entry }),
         (arb_string(), arb_string(), arb_deadline()).prop_map(|(code, detail, retry_after_ms)| {
             ResponseKind::Error {
                 code,
@@ -179,12 +229,19 @@ fn arb_response_kind() -> BoxedStrategy<ResponseKind> {
     .boxed()
 }
 
+fn arb_term() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (1u64..1_000_000).prop_map(Some)]
+}
+
 fn arb_response() -> impl Strategy<Value = WireResponse> {
-    (any::<u64>(), any::<u64>(), arb_response_kind()).prop_map(|(id, tick, kind)| WireResponse {
-        id,
-        tick,
-        kind,
-    })
+    (any::<u64>(), any::<u64>(), arb_term(), arb_response_kind()).prop_map(
+        |(id, tick, term, kind)| WireResponse {
+            id,
+            tick,
+            term,
+            kind,
+        },
+    )
 }
 
 /// Inject `"extra":…` fields immediately after the first `n` opening
@@ -362,6 +419,9 @@ fn error_code_registry_is_pinned() {
             "overloaded",
             "deadline-exceeded",
             "internal",
+            "not-primary",
+            "fenced",
+            "divergence",
         ],
         "the wire error-code registry changed; this is a compatibility break"
     );
@@ -370,6 +430,10 @@ fn error_code_registry_is_pinned() {
     assert_eq!(shed.error_code(), Some("overloaded"));
     let late = ResponseKind::deadline_exceeded("too late");
     assert_eq!(late.error_code(), Some("deadline-exceeded"));
+    let refused = ResponseKind::not_primary(3);
+    assert_eq!(refused.error_code(), Some("not-primary"));
+    let stale = ResponseKind::fenced("deposed");
+    assert_eq!(stale.error_code(), Some("fenced"));
     let ResponseKind::Error { retry_after_ms, .. } = &shed else {
         panic!("overloaded is an error");
     };
@@ -383,8 +447,51 @@ fn request_labels_are_stable() {
         (RequestKind::Stats, "stats"),
         (RequestKind::Shutdown, "shutdown"),
         (RequestKind::Plan { session: 0 }, "plan"),
+        (RequestKind::Promote, "promote"),
+        (RequestKind::ReplStatus, "repl_status"),
+        (
+            RequestKind::ReplSubscribe { after_tick: 0 },
+            "repl_subscribe",
+        ),
+        (RequestKind::ReplAck { tick: 0 }, "repl_ack"),
     ];
     for (kind, want) in labels {
         assert_eq!(kind.label(), want);
     }
+}
+
+/// The fencing term is strictly additive on the wire: an unreplicated
+/// server must encode responses WITHOUT a `term` member (byte-identical
+/// to the pre-replication dialect), and a pre-replication peer's lines —
+/// which never carry `term` — must parse with `term: None`.
+#[test]
+fn term_is_omitted_when_absent_and_optional_on_parse() {
+    let bare = WireResponse {
+        id: 9,
+        tick: 4,
+        term: None,
+        kind: ResponseKind::Bye { drained: 0 },
+    };
+    let line = encode_response(&bare);
+    assert!(
+        !line.contains("term"),
+        "term:None must not appear on the wire: {line}"
+    );
+    assert_eq!(parse_response_line(&line).unwrap(), bare);
+
+    // A pre-replication line parses with term: None.
+    let old = r#"{"id":9,"tick":4,"kind":{"Bye":{"drained":0}}}"#;
+    assert_eq!(parse_response_line(old).unwrap(), bare);
+
+    // A stamped term survives the round trip and sits between tick and kind.
+    let stamped = WireResponse {
+        term: Some(3),
+        ..bare.clone()
+    };
+    let line = encode_response(&stamped);
+    assert!(
+        line.contains("\"term\":3"),
+        "stamped term on the wire: {line}"
+    );
+    assert_eq!(parse_response_line(&line).unwrap(), stamped);
 }

@@ -244,3 +244,62 @@ fn recovery_ladder_survives_a_torn_checkpoint_file() {
 
     let _ = std::fs::remove_dir_all(dir);
 }
+
+/// `save_checkpoint_file` is the durability primitive under both the
+/// `--checkpoint` restart story and the replication-log anchor, so its
+/// contract is pinned here: the write is atomic (no `.tmp` debris, an
+/// existing destination is replaced wholesale, a failed save leaves the
+/// old file intact) and what lands on disk reloads bit-exactly. The
+/// fsync-before-rename + parent-directory-fsync ordering itself cannot
+/// be observed without a crash, but every error path it added must stay
+/// typed — a full disk or unwritable directory is a `RecoveryError`,
+/// never a panic.
+#[test]
+fn save_checkpoint_file_is_atomic_and_reloads_bit_exactly() {
+    use bankaware::recovery::{load_checkpoint_file, save_checkpoint_file};
+
+    let dir = std::env::temp_dir().join(format!("bap_durable_save_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("serve.cp");
+
+    let cp = seeded_service().checkpoint();
+    let written = save_checkpoint_file(&path, &cp).expect("save succeeds");
+    assert_eq!(written, cp.encode().len(), "reported size is the payload");
+    assert!(
+        !path.with_extension("tmp").exists(),
+        "the staging file must not survive a successful save"
+    );
+    let back = load_checkpoint_file(&path).expect("reload");
+    assert_eq!(back.encode(), cp.encode(), "round trip is bit-exact");
+
+    // Overwrite in place: a second save replaces the file wholesale.
+    let mut svc = seeded_service();
+    svc.process_batch(&[req(
+        900,
+        RequestKind::Snapshot {
+            session: 1,
+            curves: knee_curves(8, 77),
+        },
+    )]);
+    let cp2 = svc.checkpoint();
+    save_checkpoint_file(&path, &cp2).expect("overwrite succeeds");
+    assert_eq!(
+        load_checkpoint_file(&path).expect("reload").encode(),
+        cp2.encode(),
+        "the destination was replaced wholesale"
+    );
+
+    // An unwritable destination fails typed and leaves the good file.
+    let bad = dir.join("no_such_subdir").join("serve.cp");
+    assert!(
+        save_checkpoint_file(&bad, &cp).is_err(),
+        "unwritable destination must be a typed error"
+    );
+    assert_eq!(
+        load_checkpoint_file(&path).expect("survivor").encode(),
+        cp2.encode(),
+        "a failed save elsewhere must not disturb the existing file"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
